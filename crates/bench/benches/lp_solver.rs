@@ -1,0 +1,83 @@
+//! Criterion: LP backend costs on graph-shaped models.
+//!
+//! Measures (a) Algorithm 1 model construction, (b) simplex solve time on
+//! contracted graphs of growing size, (c) the parametric envelope pass,
+//! and (d) the bound-tightening resolve that Algorithm 2 performs per
+//! iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llamp_bench::graph_of;
+use llamp_core::{Binding, GraphLp, ParametricProfile};
+use llamp_model::LogGPSParams;
+use llamp_util::time::us;
+use llamp_workloads::App;
+use std::hint::black_box;
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_solver");
+    for iters in [1usize, 2, 4] {
+        let graph = graph_of(&App::Cloverleaf.programs(8, iters)).contracted();
+        let params = LogGPSParams::cscs_testbed(8).with_o(us(6.1));
+        let binding = Binding::uniform(&params);
+
+        group.bench_with_input(
+            BenchmarkId::new("build_algorithm1", graph.num_vertices()),
+            &graph,
+            |b, g| b.iter(|| black_box(GraphLp::build(g, &binding))),
+        );
+
+        // Dense simplex is O(rows²) per pivot; bench it only on models it
+        // is meant for (the envelope covers the rest).
+        if GraphLp::build(&graph, &binding).model().num_constraints() <= 1_200 {
+            group.bench_with_input(
+                BenchmarkId::new("simplex_predict", graph.num_vertices()),
+                &graph,
+                |b, g| {
+                    let mut lp = GraphLp::build(g, &binding);
+                    b.iter(|| black_box(lp.predict(params.l).unwrap().runtime))
+                },
+            );
+        }
+
+        group.bench_with_input(
+            BenchmarkId::new("parametric_envelope", graph.num_vertices()),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    black_box(ParametricProfile::compute(
+                        g,
+                        &binding,
+                        (0.0, us(1000.0)),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tolerance(c: &mut Criterion) {
+    let graph = graph_of(&App::Milc.programs(8, 2)).contracted();
+    let params = LogGPSParams::cscs_testbed(8).with_o(us(6.0));
+    let binding = Binding::uniform(&params);
+    let mut lp = GraphLp::build(&graph, &binding);
+    let t0 = lp.predict(params.l).unwrap().runtime;
+
+    c.bench_function("lp_tolerance_flip", |b| {
+        b.iter(|| black_box(lp.tolerance(0.0, t0 * 1.05).unwrap()))
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_lp, bench_tolerance
+}
+criterion_main!(benches);

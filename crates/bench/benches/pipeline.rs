@@ -1,0 +1,56 @@
+//! Criterion: the front half of the toolchain — workload generation,
+//! virtual-clock tracing, text round-trip and Schedgen compilation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llamp_schedgen::{build_graph, GraphConfig};
+use llamp_trace::text::{parse_trace, write_trace};
+use llamp_trace::TracerConfig;
+use llamp_workloads::App;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    for ranks in [8u32, 27] {
+        let set = App::Lulesh.programs(ranks, 4);
+
+        group.bench_with_input(BenchmarkId::new("generate", ranks), &ranks, |b, &r| {
+            b.iter(|| black_box(App::Lulesh.programs(r, 4)))
+        });
+
+        group.bench_with_input(BenchmarkId::new("trace", ranks), &set, |b, s| {
+            b.iter(|| black_box(s.trace(&TracerConfig::default())))
+        });
+
+        let trace = set.trace(&TracerConfig::default());
+        group.bench_with_input(BenchmarkId::new("schedgen", ranks), &trace, |b, t| {
+            b.iter(|| black_box(build_graph(t, &GraphConfig::paper()).unwrap()))
+        });
+
+        let text = write_trace(&trace);
+        group.bench_with_input(
+            BenchmarkId::new("text_roundtrip", ranks),
+            &text,
+            |b, txt| b.iter(|| black_box(parse_trace(txt).unwrap())),
+        );
+
+        let graph = build_graph(&trace, &GraphConfig::paper()).unwrap();
+        group.bench_with_input(BenchmarkId::new("contract", ranks), &graph, |b, g| {
+            b.iter(|| black_box(g.contracted()))
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_pipeline
+}
+criterion_main!(benches);

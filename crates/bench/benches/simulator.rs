@@ -1,0 +1,54 @@
+//! Criterion: discrete-event simulator throughput (the LogGOPSim role) and
+//! the cost of the injector designs and noise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llamp_bench::graph_of;
+use llamp_model::LogGPSParams;
+use llamp_sim::{InjectorDesign, NoiseConfig, SimConfig, Simulator};
+use llamp_util::time::us;
+use llamp_workloads::App;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    for iters in [2usize, 6] {
+        let graph = graph_of(&App::Hpcg.programs(8, iters));
+        let params = LogGPSParams::cscs_testbed(8).with_o(us(5.6));
+
+        group.bench_with_input(
+            BenchmarkId::new("ideal", graph.num_vertices()),
+            &graph,
+            |b, g| {
+                let cfg = SimConfig::ideal(params);
+                b.iter(|| black_box(Simulator::new(g, cfg).run().makespan))
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("noisy_injected", graph.num_vertices()),
+            &graph,
+            |b, g| {
+                let cfg = SimConfig::ideal(params)
+                    .with_delta_l(us(20.0))
+                    .with_injector(InjectorDesign::DelayThread)
+                    .with_noise(NoiseConfig::quiet(3));
+                b.iter(|| black_box(Simulator::new(g, cfg).run().makespan))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_simulator
+}
+criterion_main!(benches);

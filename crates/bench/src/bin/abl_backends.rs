@@ -1,0 +1,85 @@
+//! Ablation: the three analysis backends on identical questions.
+//!
+//! DESIGN.md commits this workspace to three cross-validated backends:
+//! the simplex LP (the paper's formulation), the parametric envelope (the
+//! scalable path), and direct graph evaluation. This harness checks the
+//! three agree on runtime and λ_L across applications and reports their
+//! costs side by side.
+
+use llamp_bench::{graph_of, Table};
+use llamp_core::{evaluate, Binding, GraphLp, ParametricProfile};
+use llamp_model::LogGPSParams;
+use llamp_util::time::us;
+use llamp_workloads::App;
+use std::time::Instant;
+
+fn main() {
+    let ranks = 8u32;
+    let iters = 2usize; // dense simplex is O(rows^2) per pivot; keep rows modest
+    println!("# Ablation — simplex vs. parametric vs. direct evaluation\n");
+    let mut t = Table::new(&[
+        "app", "LP rows", "simplex [ms]", "envelope [ms]", "eval [ms]", "max |ΔT|/T", "λ agree",
+    ]);
+
+    for app in App::ALL {
+        let graph = graph_of(&app.programs(ranks, iters)).contracted();
+        let params = LogGPSParams::cscs_testbed(ranks).with_o(app.paper_o());
+        let binding = Binding::uniform(&params);
+        let ls: Vec<f64> = (0..3).map(|i| params.l + us(30.0) * i as f64).collect();
+
+        // The dense-inverse simplex is O(rows²) per pivot: beyond ~2500
+        // rows the envelope backend is the designated path (DESIGN.md §5),
+        // so the simplex leg is skipped there.
+        let t0 = Instant::now();
+        let mut lp = GraphLp::build(&graph, &binding);
+        let run_simplex = lp.model().num_constraints() <= 2_500;
+        let preds: Vec<_> = if run_simplex {
+            ls.iter().map(|&l| lp.predict(l).unwrap()).collect()
+        } else {
+            Vec::new()
+        };
+        let simplex_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t0 = Instant::now();
+        let prof = ParametricProfile::compute(&graph, &binding, (0.0, *ls.last().unwrap() + 1.0));
+        let env_points: Vec<_> = ls.iter().map(|&l| (prof.runtime(l), prof.lambda(l))).collect();
+        let envelope_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t0 = Instant::now();
+        let evals: Vec<_> = ls.iter().map(|&l| evaluate(&graph, &binding, l)).collect();
+        let eval_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let mut max_rel = 0.0f64;
+        let mut lambda_ok = true;
+        for i in 0..ls.len() {
+            let (t_env, t_ev) = (env_points[i].0, evals[i].runtime);
+            let base = t_ev.max(1.0);
+            max_rel = max_rel.max((t_env - t_ev).abs() / base);
+            if run_simplex {
+                max_rel = max_rel.max((preds[i].runtime - t_ev).abs() / base);
+            }
+            // λ: compare envelope (right derivative) with evaluation; the
+            // LP may legitimately return another subgradient at exact
+            // breakpoints.
+            if (env_points[i].1 - evals[i].lambda).abs() > 1e-6 {
+                lambda_ok = false;
+            }
+        }
+
+        t.row(vec![
+            app.name().into(),
+            lp.model().num_constraints().to_string(),
+            if run_simplex { format!("{simplex_ms:.1}") } else { "- (>2500 rows)".into() },
+            format!("{envelope_ms:.2}"),
+            format!("{eval_ms:.2}"),
+            format!("{max_rel:.2e}"),
+            if lambda_ok { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t.print();
+    println!(
+        "\nThe envelope backend answers the whole interval in one pass; the \
+         simplex additionally provides duals/ranging; evaluation extracts \
+         the critical path itself."
+    );
+}

@@ -1,0 +1,52 @@
+//! Fig. 1 — network latency tolerance zones of MILC, LULESH and ICON.
+//!
+//! For each application at 8 ranks the harness prints measured (simulated)
+//! vs. predicted runtime over a `∆L` sweep and the 1%/2%/5% tolerance
+//! boundaries computed *directly from the LP/envelope*, not from the
+//! sweep — the point the paper's caption makes.
+
+use llamp_bench::{linspace, s3, us1, Experiment, Table};
+use llamp_util::time::us;
+use llamp_workloads::App;
+
+fn main() {
+    let apps = [
+        (App::Milc, us(100.0)),
+        (App::Lulesh, us(200.0)),
+        (App::Icon, us(1200.0)),
+    ];
+    println!("# Fig. 1 — latency tolerance zones (8 ranks)\n");
+    let mut zones_table = Table::new(&["app", "T0 [s]", "1% [µs]", "2% [µs]", "5% [µs]"]);
+
+    for (app, sweep_hi) in apps {
+        let exp = Experiment::from_app(app, 8, 10);
+        let a = exp.analyzer();
+        let z = a.tolerance_zones(exp.params.l + us(50_000.0));
+        zones_table.row(vec![
+            app.name().into(),
+            s3(z.baseline_runtime),
+            us1(z.pct1),
+            us1(z.pct2),
+            us1(z.pct5),
+        ]);
+
+        let mut t = Table::new(&["dL [µs]", "measured [s]", "predicted [s]", "err"]);
+        for d in linspace(0.0, sweep_hi, 9) {
+            let measured = exp.measure(d, 3);
+            let predicted = a.evaluate(exp.params.l + d).runtime;
+            let err = (predicted - measured).abs() / measured;
+            t.row(vec![
+                us1(d),
+                s3(measured),
+                s3(predicted),
+                format!("{:.2}%", err * 100.0),
+            ]);
+        }
+        println!("## {}", exp.name);
+        t.print();
+        println!();
+    }
+
+    println!("## Tolerance zones (computed by the LP, paper Fig. 1 green/orange/red)");
+    zones_table.print();
+}

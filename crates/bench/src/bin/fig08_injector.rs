@@ -1,0 +1,59 @@
+//! Fig. 8 — latency injector designs.
+//!
+//! Reproduces the two-send/two-recv experiment for each injector design
+//! and checks the closed-form completion times of the paper's panels:
+//!
+//! * intended (A) / delay thread (D): `t_R0 = 2o`, `t_R1 = 3o+L₀+B+∆L`
+//! * sender delay (B):                `t_R0 = 2o+2∆L`, `t_R1 = 3o+L₀+B+2∆L`
+//! * progress thread (C):             `t_R0 = 2o`, `t_R1 = 2o+L₀+B+2∆L`
+
+use llamp_bench::Table;
+use llamp_model::LogGPSParams;
+use llamp_sim::injector::{fig8_scenario, InjectorDesign};
+
+fn main() {
+    let params = LogGPSParams {
+        l: 1_000.0,
+        o: 300.0,
+        g: 0.0,
+        big_g: 1.0,
+        big_o: 0.0,
+        s: u64::MAX,
+        p: 2,
+    };
+    let bytes = 101u64;
+    let b = (bytes - 1) as f64 * params.big_g;
+    let (o, l0) = (params.o, params.l);
+
+    println!("# Fig. 8 — injector design comparison (o=300ns, L0=1µs, B=100ns)\n");
+    for delta in [0.0, 1_000.0, 5_000.0, 20_000.0] {
+        let mut t = Table::new(&["design", "t_R0 [ns]", "t_R1 [ns]", "expected t_R1", "ok"]);
+        let cases = [
+            ("B sender-delay", InjectorDesign::SenderDelay, 3.0 * o + l0 + b + 2.0 * delta),
+            ("C progress-thread", InjectorDesign::ProgressThread, if delta > o {
+                2.0 * o + l0 + b + 2.0 * delta
+            } else {
+                3.0 * o + l0 + b + delta
+            }),
+            ("D delay-thread", InjectorDesign::DelayThread, 3.0 * o + l0 + b + delta),
+        ];
+        for (name, design, expect) in cases {
+            let out = fig8_scenario(params, bytes, delta, design);
+            let ok = (out.t_r1 - expect).abs() < 1e-6;
+            t.row(vec![
+                name.into(),
+                format!("{:.0}", out.t_r0),
+                format!("{:.0}", out.t_r1),
+                format!("{expect:.0}"),
+                if ok { "yes".into() } else { "NO".into() },
+            ]);
+        }
+        println!("## ∆L = {delta} ns");
+        t.print();
+        println!();
+    }
+    println!(
+        "Design D (the paper's delay thread) matches the intended flow-level \
+         delay; B penalises the sender twice, C doubles ∆L once it exceeds o."
+    );
+}

@@ -1,0 +1,103 @@
+//! Fig. 20 / Algorithm 3 — rank placement on ICON.
+//!
+//! The paper compares its sensitivity-guided iterative placement against
+//! the MPI default (block) and Scotch (volume-based static mapping) on
+//! ICON at 32 ranks / 4 nodes and 64 ranks / 8 nodes, finding small
+//! (<1%, "inconclusive") improvements on the heavily-optimised ICON. The
+//! harness also runs an adversarial pairwise-heavy pattern where the
+//! sensitivity information matters and the gap is decisive.
+
+use llamp_bench::{graph_of, Table};
+use llamp_core::placement::{
+    block_mapping, evaluate_mapping, llamp_placement, volume_greedy_mapping, Machine,
+};
+use llamp_model::LogGPSParams;
+use llamp_trace::ProgramSet;
+use llamp_util::time::us;
+use llamp_workloads::icon;
+
+fn ms3(ns: f64) -> String {
+    format!("{:.3}", ns / 1e6)
+}
+
+fn main() {
+    println!("# Fig. 20 — rank placement: block vs. LLAMP vs. volume-greedy (Scotch-like)\n");
+    let mut t = Table::new(&[
+        "workload", "ranks/nodes", "block [ms]", "LLAMP [ms]", "volume [ms]", "LLAMP gain",
+    ]);
+
+    for (ranks, nodes) in [(32u32, 4u32), (64, 8)] {
+        let machine = Machine {
+            nodes,
+            slots_per_node: ranks / nodes,
+            intra_l: 200.0,
+            inter_l: 1_400.0,
+        };
+        let params = LogGPSParams::piz_daint(ranks).with_o(us(8.5));
+        let graph = graph_of(&icon::programs(&icon::Config::paper(ranks, 6)));
+
+        let block = block_mapping(ranks);
+        let t_block = evaluate_mapping(&graph, &machine, &params, &block);
+        let out = llamp_placement(&graph, &machine, &params, block.clone());
+        let vol = volume_greedy_mapping(&graph, &machine);
+        let t_vol = evaluate_mapping(&graph, &machine, &params, &vol);
+
+        t.row(vec![
+            "ICON".into(),
+            format!("{ranks}/{nodes}"),
+            ms3(t_block),
+            ms3(out.runtime),
+            ms3(t_vol),
+            format!("{:.2}%", 100.0 * (t_block - out.runtime) / t_block),
+        ]);
+    }
+
+    // Adversarial pattern: chatty pairs split across nodes by the block
+    // mapping.
+    let ranks = 16u32;
+    let machine = Machine {
+        nodes: 4,
+        slots_per_node: 4,
+        intra_l: 200.0,
+        inter_l: 3_000.0,
+    };
+    let params = LogGPSParams::cscs_testbed(ranks).with_o(500.0);
+    // Distinct per-pair weights keep the makespan strictly improving as
+    // pairs are colocated (a flat objective stops the greedy loop — the
+    // same early stop the paper's Algorithm 3 has).
+    let set = ProgramSet::spmd(ranks, |rank, b| {
+        let peer = (rank + ranks / 2) % ranks;
+        let weight = 1.0 + (rank % (ranks / 2)) as f64 * 0.4;
+        for i in 0..30 {
+            b.comp(50_000.0 * weight);
+            if rank < peer {
+                b.send(peer, 4_096, i);
+                b.recv(peer, 4_096, 1000 + i);
+            } else {
+                b.recv(peer, 4_096, i);
+                b.send(peer, 4_096, 1000 + i);
+            }
+        }
+    });
+    let graph = graph_of(&set);
+    let block = block_mapping(ranks);
+    let t_block = evaluate_mapping(&graph, &machine, &params, &block);
+    let out = llamp_placement(&graph, &machine, &params, block.clone());
+    let vol = volume_greedy_mapping(&graph, &machine);
+    let t_vol = evaluate_mapping(&graph, &machine, &params, &vol);
+    t.row(vec![
+        "pairwise-heavy".into(),
+        format!("{ranks}/4"),
+        ms3(t_block),
+        ms3(out.runtime),
+        ms3(t_vol),
+        format!("{:.2}%", 100.0 * (t_block - out.runtime) / t_block),
+    ]);
+
+    t.print();
+    println!(
+        "\nICON gains are small (the paper calls its own <1% result \
+         'inconclusive'); the adversarial pattern shows the algorithm \
+         working when placement actually matters."
+    );
+}

@@ -1,0 +1,82 @@
+//! Fig. 7 / Table I — analysis runtime: LLAMP vs. LogGOPSim.
+//!
+//! The paper iterates both tools over `L ∈ [3, 13] µs` in 1 µs steps
+//! (Appendix E) and reports LLAMP (Gurobi) consistently >6× faster than
+//! LogGOPSim. Here: "LLAMP" = chain-contraction presolve + the parametric
+//! envelope backend (one pass yields the whole interval); "LogGOPSim" =
+//! the discrete-event simulator run once per `L`. Event counts are the
+//! graph sizes, as in Table I's third column.
+
+use llamp_bench::{graph_of_with, Table};
+use llamp_core::{Analyzer, Binding};
+use llamp_model::LogGPSParams;
+use llamp_schedgen::GraphConfig;
+use llamp_sim::{SimConfig, Simulator};
+use llamp_util::time::us;
+use llamp_workloads::npb::{Config as NpbConfig, Kernel};
+use llamp_workloads::App;
+use std::time::Instant;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (ranks, iters) = if full { (64u32, 30usize) } else { (16, 10) };
+
+    println!("# Table I — analysis runtime, L swept over [3, 13] µs in 1 µs steps\n");
+    let mut t = Table::new(&[
+        "application", "ranks", "events", "LLAMP [ms]", "DES [ms]", "speedup",
+    ]);
+
+    let mut cases: Vec<(String, llamp_schedgen::ExecGraph)> = Vec::new();
+    for k in Kernel::ALL {
+        let cfg = NpbConfig::class_c(k, ranks, iters);
+        cases.push((
+            k.name().into(),
+            graph_of_with(&llamp_workloads::npb::programs(&cfg), &GraphConfig::paper()),
+        ));
+    }
+    for app in [App::Lulesh, App::Lammps] {
+        cases.push((
+            app.name().into(),
+            graph_of_with(&app.programs(ranks, iters), &GraphConfig::paper()),
+        ));
+    }
+
+    let ls: Vec<f64> = (3..=13).map(|i| us(i as f64)).collect();
+    for (name, graph) in &cases {
+        let params = LogGPSParams::cscs_testbed(ranks).with_o(us(5.0));
+
+        // LLAMP: contract once, envelope once, then read 11 points.
+        let t0 = Instant::now();
+        let analyzer = Analyzer::with_binding(graph, Binding::uniform(&params), params.l);
+        let prof = analyzer.profile(ls[0], *ls.last().unwrap());
+        let mut sink = 0.0;
+        for &l in &ls {
+            sink += prof.runtime(l) + prof.lambda(l);
+        }
+        let llamp_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // LogGOPSim role: one full DES replay per L value.
+        let t0 = Instant::now();
+        for &l in &ls {
+            let cfg = SimConfig::ideal(params.with_l(l));
+            sink += Simulator::new(graph, cfg).run().makespan;
+        }
+        let des_ms = t0.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(sink);
+
+        t.row(vec![
+            name.clone(),
+            ranks.to_string(),
+            graph.num_vertices().to_string(),
+            format!("{llamp_ms:.1}"),
+            format!("{des_ms:.1}"),
+            format!("{:.1}x", des_ms / llamp_ms),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nLLAMP additionally yields λ_L and every critical latency in the \
+         interval from the same single pass; the DES would need a parameter \
+         sweep per metric (the paper's core argument, §II-D3)."
+    );
+}

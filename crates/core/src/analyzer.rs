@@ -1,0 +1,258 @@
+//! High-level analysis facade.
+//!
+//! [`Analyzer`] bundles the pieces a user of the toolchain actually wants:
+//! build once from an execution graph and a network parameter set, then ask
+//! for runtime predictions, sensitivity/ratio curves, critical latencies
+//! and the x% latency-tolerance figures of Fig. 1 / Fig. 9 — without
+//! touching LPs or envelopes directly.
+
+use crate::binding::Binding;
+use crate::eval::{evaluate, Evaluation};
+use crate::lp_build::GraphLp;
+use crate::parametric::ParametricProfile;
+use llamp_model::LogGPSParams;
+use llamp_schedgen::ExecGraph;
+
+/// The x% latency-tolerance triple the paper highlights (green / orange /
+/// red zones of Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ToleranceZones {
+    /// Baseline runtime `T₀` at the base latency (ns).
+    pub baseline_runtime: f64,
+    /// Max added latency `∆L` before >1% slowdown (ns).
+    pub pct1: f64,
+    /// Max added latency before >2% slowdown (ns).
+    pub pct2: f64,
+    /// Max added latency before >5% slowdown (ns).
+    pub pct5: f64,
+}
+
+/// One sample of a latency sweep (a row of the Fig. 9 curves).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Added latency `∆L` (ns).
+    pub delta_l: f64,
+    /// Predicted runtime (ns).
+    pub runtime: f64,
+    /// Latency sensitivity `λ_L`.
+    pub lambda: f64,
+    /// Latency ratio `ρ_L`.
+    pub rho: f64,
+}
+
+/// Analysis driver for one execution graph under one network binding.
+#[derive(Debug, Clone)]
+pub struct Analyzer {
+    graph: ExecGraph,
+    binding: Binding,
+    base_l: f64,
+}
+
+impl Analyzer {
+    /// Build from a graph and LogGPS parameters (uniform latency model).
+    /// The graph is chain-contracted internally — the analysis-preserving
+    /// presolve — so construction cost is paid once.
+    pub fn new(graph: &ExecGraph, params: &LogGPSParams) -> Self {
+        Self {
+            graph: graph.contracted(),
+            binding: Binding::uniform(params),
+            base_l: params.l,
+        }
+    }
+
+    /// Build with an explicit binding (topology / per-class / HLogGP
+    /// analyses). `base_l` is the reference value of the analysis variable
+    /// (e.g. the baseline wire latency).
+    pub fn with_binding(graph: &ExecGraph, binding: Binding, base_l: f64) -> Self {
+        Self {
+            graph: graph.contracted(),
+            binding,
+            base_l,
+        }
+    }
+
+    /// The contracted graph under analysis.
+    pub fn graph(&self) -> &ExecGraph {
+        &self.graph
+    }
+
+    /// The active binding.
+    pub fn binding(&self) -> &Binding {
+        &self.binding
+    }
+
+    /// Base value of the analysis variable (network latency `L` for the
+    /// uniform model).
+    pub fn base_l(&self) -> f64 {
+        self.base_l
+    }
+
+    /// Fast runtime/λ/critical-path evaluation at one latency value.
+    pub fn evaluate(&self, l: f64) -> Evaluation {
+        evaluate(&self.graph, &self.binding, l)
+    }
+
+    /// Predicted runtime at the base latency.
+    pub fn baseline_runtime(&self) -> f64 {
+        self.evaluate(self.base_l).runtime
+    }
+
+    /// Build the LP form (Algorithm 1) for solver-based queries.
+    pub fn lp(&self) -> GraphLp {
+        GraphLp::build(&self.graph, &self.binding)
+    }
+
+    /// Exact `T(L)` profile over `[l_min, l_max]`.
+    pub fn profile(&self, l_min: f64, l_max: f64) -> ParametricProfile {
+        ParametricProfile::compute(&self.graph, &self.binding, (l_min, l_max))
+    }
+
+    /// The x% tolerance (§II-D2) as *added* latency `∆L` above the base
+    /// latency, computed exactly from the parametric profile.
+    /// `f64::INFINITY` means the cap is never exceeded within `search_hi`.
+    pub fn tolerance_pct(&self, pct: f64, search_hi: f64) -> f64 {
+        let t0 = self.baseline_runtime();
+        let cap = t0 * (1.0 + pct / 100.0);
+        let prof = self.profile(self.base_l, search_hi);
+        match prof.tolerance(cap) {
+            None => 0.0,
+            Some(x) if x >= search_hi => f64::INFINITY,
+            Some(x) => x - self.base_l,
+        }
+    }
+
+    /// The 1/2/5% tolerance zones of Fig. 1.
+    pub fn tolerance_zones(&self, search_hi: f64) -> ToleranceZones {
+        let t0 = self.baseline_runtime();
+        let prof = self.profile(self.base_l, search_hi);
+        let zone = |pct: f64| -> f64 {
+            let cap = t0 * (1.0 + pct / 100.0);
+            match prof.tolerance(cap) {
+                None => 0.0,
+                Some(x) if x >= search_hi => f64::INFINITY,
+                Some(x) => x - self.base_l,
+            }
+        };
+        ToleranceZones {
+            baseline_runtime: t0,
+            pct1: zone(1.0),
+            pct2: zone(2.0),
+            pct5: zone(5.0),
+        }
+    }
+
+    /// Sweep `∆L` over `deltas` (the Fig. 9 x-axis), producing runtime,
+    /// `λ_L` and `ρ_L` per point from the exact profile.
+    pub fn sweep(&self, deltas: &[f64]) -> Vec<SweepPoint> {
+        let hi = self.base_l
+            + deltas
+                .iter()
+                .copied()
+                .fold(0.0f64, f64::max);
+        let prof = self.profile(self.base_l.min(hi), hi.max(self.base_l) + 1.0);
+        deltas
+            .iter()
+            .map(|&d| {
+                let l = self.base_l + d;
+                SweepPoint {
+                    delta_l: d,
+                    runtime: prof.runtime(l),
+                    lambda: prof.lambda(l),
+                    rho: prof.rho(l),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llamp_schedgen::{build_graph, GraphConfig};
+    use llamp_trace::{ProgramSet, TracerConfig};
+    use llamp_util::time::us;
+
+    /// A bulk-synchronous job: per-iteration compute then allreduce — a
+    /// miniature of the paper's applications.
+    fn bsp_graph(ranks: u32, iters: usize, comp_us: f64) -> ExecGraph {
+        let set = ProgramSet::spmd(ranks, |_, b| {
+            for _ in 0..iters {
+                b.comp(us(comp_us));
+                b.allreduce(64);
+            }
+        });
+        build_graph(&set.trace(&TracerConfig::default()), &GraphConfig::eager()).unwrap()
+    }
+
+    #[test]
+    fn zones_are_ordered() {
+        let g = bsp_graph(8, 10, 50.0);
+        let params = LogGPSParams::cscs_testbed(8).with_o(us(2.0));
+        let a = Analyzer::new(&g, &params);
+        let z = a.tolerance_zones(us(2_000.0));
+        assert!(z.pct1 > 0.0);
+        assert!(z.pct1 <= z.pct2);
+        assert!(z.pct2 <= z.pct5);
+    }
+
+    #[test]
+    fn zone_caps_are_respected() {
+        let g = bsp_graph(4, 5, 100.0);
+        let params = LogGPSParams::cscs_testbed(4).with_o(us(2.0));
+        let a = Analyzer::new(&g, &params);
+        let z = a.tolerance_zones(us(5_000.0));
+        let t0 = z.baseline_runtime;
+        // Runtime exactly at the 1% tolerance equals 1.01 T0.
+        let at = a.evaluate(params.l + z.pct1).runtime;
+        assert!(
+            (at - 1.01 * t0).abs() < 1e-6 * t0,
+            "runtime at pct1 {} vs cap {}",
+            at,
+            1.01 * t0
+        );
+        // Just past it, the cap is exceeded.
+        let past = a.evaluate(params.l + z.pct1 + us(1.0)).runtime;
+        assert!(past > 1.01 * t0);
+    }
+
+    #[test]
+    fn sweep_points_match_evaluation() {
+        let g = bsp_graph(4, 8, 20.0);
+        let params = LogGPSParams::cscs_testbed(4).with_o(us(1.0));
+        let a = Analyzer::new(&g, &params);
+        let deltas: Vec<f64> = (0..10).map(|i| us(10.0) * i as f64).collect();
+        for pt in a.sweep(&deltas) {
+            let e = a.evaluate(params.l + pt.delta_l);
+            assert!((pt.runtime - e.runtime).abs() < 1e-6 * (1.0 + e.runtime));
+            assert!((pt.lambda - e.lambda).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn more_compute_means_more_tolerance() {
+        // Strong-scaling intuition (§III-C): more compute per rank hides
+        // more latency.
+        let params = LogGPSParams::cscs_testbed(4).with_o(us(1.0));
+        let small = Analyzer::new(&bsp_graph(4, 6, 10.0), &params);
+        let big = Analyzer::new(&bsp_graph(4, 6, 1_000.0), &params);
+        let zs = small.tolerance_zones(us(100_000.0));
+        let zb = big.tolerance_zones(us(100_000.0));
+        assert!(
+            zb.pct1 > zs.pct1,
+            "compute-heavy {} vs light {}",
+            zb.pct1,
+            zs.pct1
+        );
+    }
+
+    #[test]
+    fn fully_synchronous_job_has_near_zero_tolerance() {
+        // No compute at all: any added latency shows up ~proportionally.
+        let g = bsp_graph(4, 4, 0.0);
+        let params = LogGPSParams::cscs_testbed(4).with_o(100.0);
+        let a = Analyzer::new(&g, &params);
+        let z = a.tolerance_zones(us(1_000.0));
+        // 1% of an all-communication runtime is tiny.
+        assert!(z.pct1 < a.baseline_runtime() * 0.02);
+    }
+}

@@ -1,0 +1,366 @@
+//! Binding symbolic graph costs to concrete (or decision-variable) network
+//! parameters.
+//!
+//! Execution graphs carry symbolic [`CostExpr`]s. An analysis *binds* them:
+//! `o` and `G` become constants, while the latency term becomes either
+//!
+//! * the scalar decision variable `l` (the paper's main analysis),
+//! * a per-wire variable: each `L` traversal between ranks `i` and `j`
+//!   expands to `wires(i,j)·l_wire + switches(i,j)·d_switch`
+//!   (topology analysis, §IV-2), optionally per wire *class*
+//!   (Appendix H / Fig. 19),
+//! * a per-pair constant from an [`HLogGP`](llamp_model::HLogGP) matrix (process placement,
+//!   Appendix I), with the pairwise sensitivities read off the critical
+//!   path.
+//!
+//! The binding reduces every latency traversal to the affine form
+//! `multiplier · λ + constant`, where `λ` is the *analysis variable*. All
+//! backends (LP, parametric envelope, plain evaluation) consume this form.
+
+use llamp_schedgen::CostExpr;
+use llamp_topo::{PathProfile, Topology, WireClass};
+
+/// How one unit of `L` between two ranks maps onto the analysis variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyTerm {
+    /// Coefficient of the analysis variable per `L` traversal.
+    pub multiplier: f64,
+    /// Constant nanoseconds added per `L` traversal.
+    pub constant: f64,
+}
+
+/// The latency model of an analysis.
+#[derive(Debug, Clone)]
+pub enum LatencyModel {
+    /// Every traversal costs exactly the variable `l` (paper §II).
+    Uniform,
+    /// Topology-decomposed with a single wire variable: a traversal between
+    /// ranks `i, j` costs `wires·l_wire + switches·d_switch` (§IV-2).
+    Wire {
+        /// Per rank pair `(i, j)`: total wires and switch count.
+        profiles: PairTable<PathProfile>,
+        /// Fixed switch traversal delay (ns).
+        d_switch: f64,
+    },
+    /// Per-class wire analysis: one class is the variable, the other
+    /// classes are fixed constants (Appendix H).
+    WireClass {
+        /// Per rank pair profiles.
+        profiles: PairTable<PathProfile>,
+        /// Fixed switch traversal delay (ns).
+        d_switch: f64,
+        /// The class under study.
+        variable: WireClass,
+        /// Fixed latencies for `[terminal, intra, inter]`; the variable
+        /// class entry is ignored.
+        fixed: [f64; 3],
+    },
+    /// Heterogeneous per-pair constants (placement analysis): the variable
+    /// is unused; `multiplier = 0`, `constant = L_{i,j}`.
+    PairwiseConstant {
+        /// Per rank pair latency (ns).
+        latencies: PairTable<f64>,
+    },
+}
+
+/// Dense symmetric table indexed by rank pairs.
+#[derive(Debug, Clone)]
+pub struct PairTable<T> {
+    n: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy> PairTable<T> {
+    /// Build from a function of `(i, j)`.
+    pub fn from_fn(n: u32, mut f: impl FnMut(u32, u32) -> T) -> Self {
+        let n = n as usize;
+        let mut data = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                data.push(f(i as u32, j as u32));
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Look up a pair.
+    #[inline]
+    pub fn get(&self, i: u32, j: u32) -> T {
+        self.data[i as usize * self.n + j as usize]
+    }
+}
+
+/// Which LogGPS parameter plays the decision variable (paper §II-B1 /
+/// Eq. 4 generalise the analysis beyond `L`; §VI names `G` explicitly).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AnalysisVariable {
+    /// The network latency `L` — the paper's main analysis.
+    Latency,
+    /// The per-byte gap `G` (inverse bandwidth); `L` is frozen at the
+    /// given value. The sensitivity `λ_G` then counts bytes on the
+    /// critical path (Eq. 4).
+    BandwidthG {
+        /// The fixed network latency while `G` varies (ns).
+        fixed_l: f64,
+    },
+}
+
+/// A complete binding: scalar parameters plus the latency model.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    /// Per-message CPU overhead `o` (ns).
+    pub o: f64,
+    /// Per-byte gap `G` (ns/byte); the constant value when `L` is the
+    /// analysis variable, unused as a constant when `G` itself varies.
+    pub big_g: f64,
+    /// Latency model.
+    pub latency: LatencyModel,
+    /// Which parameter is the decision variable.
+    pub variable: AnalysisVariable,
+}
+
+impl Binding {
+    /// Uniform binding from LogGPS parameters (the latency value itself is
+    /// supplied per query, not stored here).
+    pub fn uniform(params: &llamp_model::LogGPSParams) -> Self {
+        Self {
+            o: params.o,
+            big_g: params.big_g,
+            latency: LatencyModel::Uniform,
+            variable: AnalysisVariable::Latency,
+        }
+    }
+
+    /// Bandwidth-sensitivity binding (paper Eq. 4 / §VI): `G` becomes the
+    /// analysis variable, `L` stays fixed at `params.l`. Every query's
+    /// variable value is then a per-byte gap in ns/byte, `λ` becomes
+    /// `λ_G ≈` bytes on the critical path, and tolerances answer "how slow
+    /// may the network's per-byte rate get".
+    pub fn bandwidth(params: &llamp_model::LogGPSParams) -> Self {
+        Self {
+            o: params.o,
+            big_g: params.big_g,
+            latency: LatencyModel::Uniform,
+            variable: AnalysisVariable::BandwidthG { fixed_l: params.l },
+        }
+    }
+
+    /// Topology binding with a single `l_wire` variable. `placement[r]` is
+    /// the physical node of rank `r`.
+    pub fn wire<T: Topology>(
+        params: &llamp_model::LogGPSParams,
+        topo: &T,
+        placement: &[u32],
+        d_switch: f64,
+    ) -> Self {
+        let n = placement.len() as u32;
+        let profiles = PairTable::from_fn(n, |i, j| {
+            topo.profile(placement[i as usize], placement[j as usize])
+        });
+        Self {
+            o: params.o,
+            big_g: params.big_g,
+            latency: LatencyModel::Wire { profiles, d_switch },
+            variable: AnalysisVariable::Latency,
+        }
+    }
+
+    /// Per-class topology binding (Appendix H): `variable` is the class
+    /// under study, `fixed` holds the constant latencies of the others.
+    pub fn wire_class<T: Topology>(
+        params: &llamp_model::LogGPSParams,
+        topo: &T,
+        placement: &[u32],
+        d_switch: f64,
+        variable: WireClass,
+        fixed: [f64; 3],
+    ) -> Self {
+        let n = placement.len() as u32;
+        let profiles = PairTable::from_fn(n, |i, j| {
+            topo.profile(placement[i as usize], placement[j as usize])
+        });
+        Self {
+            o: params.o,
+            big_g: params.big_g,
+            latency: LatencyModel::WireClass {
+                profiles,
+                d_switch,
+                variable,
+                fixed,
+            },
+            variable: AnalysisVariable::Latency,
+        }
+    }
+
+    /// Heterogeneous per-pair binding from an HLogGP matrix and a
+    /// placement.
+    pub fn hloggp(h: &llamp_model::HLogGP, placement: &[u32]) -> Self {
+        let n = placement.len() as u32;
+        let latencies =
+            PairTable::from_fn(n, |i, j| h.l(placement[i as usize], placement[j as usize]));
+        Self {
+            o: h.base.o,
+            big_g: h.base.big_g,
+            latency: LatencyModel::PairwiseConstant { latencies },
+            variable: AnalysisVariable::Latency,
+        }
+    }
+
+    /// The affine latency term for one `L` traversal between two ranks.
+    #[inline]
+    pub fn latency_term(&self, src: u32, dst: u32) -> LatencyTerm {
+        match &self.latency {
+            LatencyModel::Uniform => LatencyTerm {
+                multiplier: 1.0,
+                constant: 0.0,
+            },
+            LatencyModel::Wire { profiles, d_switch } => {
+                let p = profiles.get(src, dst);
+                LatencyTerm {
+                    multiplier: p.total_wires() as f64,
+                    constant: p.switches as f64 * d_switch,
+                }
+            }
+            LatencyModel::WireClass {
+                profiles,
+                d_switch,
+                variable,
+                fixed,
+            } => {
+                let p = profiles.get(src, dst);
+                let vi = class_index(*variable);
+                let mut constant = p.switches as f64 * d_switch;
+                for (c, fix) in fixed.iter().enumerate() {
+                    if c != vi {
+                        constant += p.wires[c] as f64 * fix;
+                    }
+                }
+                LatencyTerm {
+                    multiplier: p.wires[vi] as f64,
+                    constant,
+                }
+            }
+            LatencyModel::PairwiseConstant { latencies } => LatencyTerm {
+                multiplier: 0.0,
+                constant: latencies.get(src, dst),
+            },
+        }
+    }
+
+    /// Bind a symbolic cost on an edge between `src` and `dst` ranks,
+    /// returning `(constant, variable multiplier)`.
+    #[inline]
+    pub fn bind(&self, cost: &CostExpr, src: u32, dst: u32) -> (f64, f64) {
+        match self.variable {
+            AnalysisVariable::Latency => {
+                let (mut constant, l_count) = cost.eval_without_l(self.o, self.big_g);
+                if l_count == 0.0 {
+                    return (constant, 0.0);
+                }
+                let term = self.latency_term(src, dst);
+                constant += l_count * term.constant;
+                (constant, l_count * term.multiplier)
+            }
+            AnalysisVariable::BandwidthG { fixed_l } => {
+                // G is the variable: its coefficient is the byte count;
+                // the latency contribution becomes a constant.
+                let mut constant = cost.const_ns + cost.o_count * self.o;
+                if cost.l_count != 0.0 {
+                    let term = self.latency_term(src, dst);
+                    constant += cost.l_count * (term.multiplier * fixed_l + term.constant);
+                }
+                (constant, cost.gbytes)
+            }
+        }
+    }
+}
+
+fn class_index(c: WireClass) -> usize {
+    match c {
+        WireClass::Terminal => 0,
+        WireClass::Intra => 1,
+        WireClass::Inter => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llamp_model::LogGPSParams;
+    use llamp_topo::FatTree;
+
+    #[test]
+    fn uniform_binding_passthrough() {
+        let b = Binding::uniform(&LogGPSParams::didactic());
+        let cost = CostExpr::wire(4); // L + 3G with G = 5
+        let (c, m) = b.bind(&cost, 0, 1);
+        assert_eq!(c, 15.0);
+        assert_eq!(m, 1.0);
+    }
+
+    #[test]
+    fn wire_binding_expands_hops() {
+        let ft = FatTree::new(4);
+        let placement: Vec<u32> = (0..4).collect();
+        let params = LogGPSParams::didactic();
+        let b = Binding::wire(&params, &ft, &placement, 108.0);
+        // Ranks 0 and 1 share an edge switch (k=4: 2 hosts/edge): 2 wires,
+        // 1 switch.
+        let cost = CostExpr::wire(1);
+        let (c, m) = b.bind(&cost, 0, 1);
+        assert_eq!(m, 2.0);
+        assert_eq!(c, 108.0);
+        // Ranks 0 and 2: different edge switches, same pod: 4 wires, 3
+        // switches.
+        let (c, m) = b.bind(&cost, 0, 2);
+        assert_eq!(m, 4.0);
+        assert_eq!(c, 3.0 * 108.0);
+    }
+
+    #[test]
+    fn wire_class_binding_fixes_other_classes() {
+        let ft = FatTree::new(4);
+        let placement: Vec<u32> = (0..8).collect();
+        let params = LogGPSParams::didactic();
+        let b = Binding::wire_class(
+            &params,
+            &ft,
+            &placement,
+            100.0,
+            WireClass::Inter,
+            [274.0, 274.0, 0.0],
+        );
+        // Cross-pod pair (k=4: pods of 4 hosts): wires [2,2,2], switches 5.
+        let cost = CostExpr::wire(1);
+        let (c, m) = b.bind(&cost, 0, 4);
+        assert_eq!(m, 2.0); // two inter wires are the variable
+        assert_eq!(c, 5.0 * 100.0 + 2.0 * 274.0 + 2.0 * 274.0);
+    }
+
+    #[test]
+    fn pairwise_constant_binding() {
+        let mut h = llamp_model::HLogGP::uniform(LogGPSParams::didactic().with_l(500.0));
+        h.set_l(0, 1, 123.0);
+        let placement: Vec<u32> = vec![0, 1];
+        let b = Binding::hloggp(&h, &placement);
+        let cost = CostExpr::wire(1);
+        let (c, m) = b.bind(&cost, 0, 1);
+        assert_eq!(m, 0.0);
+        assert_eq!(c, 123.0);
+    }
+
+    #[test]
+    fn rendezvous_multiplies_latency_terms() {
+        // A rendezvous completion edge has l_count = 3.
+        let b = Binding::uniform(&LogGPSParams::didactic());
+        let cost = CostExpr {
+            o_count: 3.0,
+            l_count: 3.0,
+            gbytes: 10.0,
+            const_ns: 0.0,
+        };
+        let (c, m) = b.bind(&cost, 0, 1);
+        assert_eq!(m, 3.0);
+        assert_eq!(c, 50.0); // 3o (o=0) + 10 G (G=5)
+    }
+}

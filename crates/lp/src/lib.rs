@@ -1,0 +1,40 @@
+//! # llamp-lp — linear programming substrate
+//!
+//! LLAMP converts MPI execution graphs into linear programs and reads
+//! predicted runtimes, latency sensitivities (reduced costs), basis-stability
+//! ranges (for critical-latency search) and latency tolerances (a flipped
+//! objective) off the solved model. The paper uses Gurobi; no comparable
+//! solver exists as a mature Rust crate, so this crate implements the
+//! required solver technology from scratch:
+//!
+//! * [`model::LpModel`] — a general LP model builder: variables with bounds,
+//!   linear constraints (`≤`, `≥`, `=`, ranges), minimise/maximise.
+//! * [`simplex`] — a bounded-variable primal simplex with a dense basis
+//!   inverse, artificial-free phase 1, Dantzig pricing with Bland fallback
+//!   (anti-cycling), and periodic refactorisation.
+//! * [`solution::Solution`] — primal values, objective, row duals, reduced
+//!   costs, and *bound ranging*: the equivalent of Gurobi's `SARHSLow` /
+//!   `SALBLow` attributes that Algorithm 2 of the paper relies on.
+//! * [`presolve`] — fixed-variable elimination, empty/singleton-row
+//!   reduction and duplicate-row dropping, mirroring the presolve phase the
+//!   paper credits for the LP approach outperforming simulation (§II-D3).
+//! * [`piecewise`] — convex piecewise-linear functions represented as upper
+//!   envelopes of lines. This powers the *parametric* backend: for the
+//!   network-structured LPs LLAMP produces, the full value function `T(L)`
+//!   can be computed exactly over a latency window, yielding every critical
+//!   latency, the sensitivity step function `λ_L(L)` and exact tolerances in
+//!   a single pass.
+//!
+//! Both solving styles are cross-validated against each other (and against
+//! brute-force enumeration) in the test suites of this crate and
+//! `llamp-core`.
+
+pub mod model;
+pub mod piecewise;
+pub mod presolve;
+pub mod simplex;
+pub mod solution;
+
+pub use model::{ConId, LpModel, Objective, Relation, VarId};
+pub use piecewise::{Envelope, Line};
+pub use solution::{SolveStatus, Solution};

@@ -1,0 +1,341 @@
+//! LP model builder.
+//!
+//! The representation follows solver conventions rather than textbook
+//! canonical form: every variable carries a `[lb, ub]` box (either side may
+//! be infinite) and every constraint is a *range row* `lb ≤ aᵀx ≤ ub`.
+//! Plain `≤` / `≥` / `=` rows are special cases. This makes the bounded
+//! simplex natural and lets callers tighten a single variable bound (the
+//! paper's `l ≥ L` step in Algorithm 2) without touching the constraint
+//! matrix.
+
+use std::fmt;
+
+/// Handle to a decision variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+/// Handle to a constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConId(pub u32);
+
+/// Optimisation direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Minimise the objective function (LLAMP runtime prediction).
+    #[default]
+    Minimize,
+    /// Maximise the objective function (LLAMP latency tolerance).
+    Maximize,
+}
+
+/// Constraint sense for the convenience [`LpModel::add_constraint`] API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `aᵀx ≤ rhs`
+    Le,
+    /// `aᵀx ≥ rhs`
+    Ge,
+    /// `aᵀx = rhs`
+    Eq,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Column {
+    pub name: String,
+    pub lb: f64,
+    pub ub: f64,
+    pub obj: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Row {
+    pub name: String,
+    pub lb: f64,
+    pub ub: f64,
+    /// `(column, coefficient)` pairs; kept sorted by column, deduplicated.
+    pub terms: Vec<(u32, f64)>,
+}
+
+/// A linear program under construction.
+///
+/// ```
+/// use llamp_lp::{LpModel, Objective, Relation};
+///
+/// // The paper's running example (Fig. 5): min t
+/// //   y1 >= l + 0.115, y1 >= 0.5, t >= 1.1, t >= y1 + 1, l >= 0.5
+/// let mut m = LpModel::new(Objective::Minimize);
+/// let l = m.add_var("l", 0.5, f64::INFINITY, 0.0);
+/// let y1 = m.add_var("y1", f64::NEG_INFINITY, f64::INFINITY, 0.0);
+/// let t = m.add_var("t", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+/// m.add_constraint("c1", &[(y1, 1.0), (l, -1.0)], Relation::Ge, 0.115);
+/// m.add_constraint("c2", &[(y1, 1.0)], Relation::Ge, 0.5);
+/// m.add_constraint("c3", &[(t, 1.0)], Relation::Ge, 1.1);
+/// m.add_constraint("c4", &[(t, 1.0), (y1, -1.0)], Relation::Ge, 1.0);
+/// let sol = m.solve().unwrap();
+/// assert!((sol.objective() - 1.615).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LpModel {
+    pub(crate) sense: Objective,
+    pub(crate) cols: Vec<Column>,
+    pub(crate) rows: Vec<Row>,
+}
+
+impl LpModel {
+    /// Create an empty model with the given optimisation direction.
+    pub fn new(sense: Objective) -> Self {
+        Self {
+            sense,
+            cols: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Add a variable with box bounds and objective coefficient, returning
+    /// its handle. Use `f64::NEG_INFINITY` / `f64::INFINITY` for free sides.
+    pub fn add_var(&mut self, name: impl Into<String>, lb: f64, ub: f64, obj: f64) -> VarId {
+        assert!(
+            lb <= ub,
+            "variable bounds crossed: lb={lb} > ub={ub} for {}",
+            name.into()
+        );
+        let id = self.cols.len() as u32;
+        self.cols.push(Column {
+            name: name.into(),
+            lb,
+            ub,
+            obj,
+        });
+        VarId(id)
+    }
+
+    /// Add a `≤` / `≥` / `=` constraint over the given `(variable,
+    /// coefficient)` terms. Duplicate variables in `terms` are summed.
+    pub fn add_constraint(
+        &mut self,
+        name: impl Into<String>,
+        terms: &[(VarId, f64)],
+        rel: Relation,
+        rhs: f64,
+    ) -> ConId {
+        let (lb, ub) = match rel {
+            Relation::Le => (f64::NEG_INFINITY, rhs),
+            Relation::Ge => (rhs, f64::INFINITY),
+            Relation::Eq => (rhs, rhs),
+        };
+        self.add_range_constraint(name, terms, lb, ub)
+    }
+
+    /// Add a range constraint `lb ≤ aᵀx ≤ ub`.
+    pub fn add_range_constraint(
+        &mut self,
+        name: impl Into<String>,
+        terms: &[(VarId, f64)],
+        lb: f64,
+        ub: f64,
+    ) -> ConId {
+        assert!(lb <= ub, "constraint bounds crossed: {lb} > {ub}");
+        let mut t: Vec<(u32, f64)> = Vec::with_capacity(terms.len());
+        for &(v, c) in terms {
+            assert!(
+                (v.0 as usize) < self.cols.len(),
+                "constraint references unknown variable {v:?}"
+            );
+            t.push((v.0, c));
+        }
+        t.sort_unstable_by_key(|&(v, _)| v);
+        // Merge duplicates, drop exact zeros.
+        let mut merged: Vec<(u32, f64)> = Vec::with_capacity(t.len());
+        for (v, c) in t {
+            match merged.last_mut() {
+                Some((lv, lc)) if *lv == v => *lc += c,
+                _ => merged.push((v, c)),
+            }
+        }
+        merged.retain(|&(_, c)| c != 0.0);
+        let id = self.rows.len() as u32;
+        self.rows.push(Row {
+            name: name.into(),
+            lb,
+            ub,
+            terms: merged,
+        });
+        ConId(id)
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total number of nonzero coefficients across all rows.
+    pub fn num_nonzeros(&self) -> usize {
+        self.rows.iter().map(|r| r.terms.len()).sum()
+    }
+
+    /// Optimisation direction.
+    pub fn sense(&self) -> Objective {
+        self.sense
+    }
+
+    /// Change the optimisation direction (the paper flips `min t` into
+    /// `max l` when computing latency tolerance).
+    pub fn set_sense(&mut self, sense: Objective) {
+        self.sense = sense;
+    }
+
+    /// Replace the objective with the given terms (all other coefficients
+    /// become zero).
+    pub fn set_objective(&mut self, terms: &[(VarId, f64)]) {
+        for c in &mut self.cols {
+            c.obj = 0.0;
+        }
+        for &(v, c) in terms {
+            self.cols[v.0 as usize].obj += c;
+        }
+    }
+
+    /// Current lower bound of `v`.
+    pub fn var_lb(&self, v: VarId) -> f64 {
+        self.cols[v.0 as usize].lb
+    }
+
+    /// Current upper bound of `v`.
+    pub fn var_ub(&self, v: VarId) -> f64 {
+        self.cols[v.0 as usize].ub
+    }
+
+    /// Variable name (for reports and GOAL/LP dumps).
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.cols[v.0 as usize].name
+    }
+
+    /// Objective coefficient of `v`.
+    pub fn var_obj(&self, v: VarId) -> f64 {
+        self.cols[v.0 as usize].obj
+    }
+
+    /// Tighten/relax the lower bound of a variable. This is the hot
+    /// operation of Algorithm 2 (`assign constraint l ≥ L`).
+    pub fn set_var_lb(&mut self, v: VarId, lb: f64) {
+        let c = &mut self.cols[v.0 as usize];
+        assert!(lb <= c.ub, "lb {lb} exceeds ub {} for {}", c.ub, c.name);
+        c.lb = lb;
+    }
+
+    /// Tighten/relax the upper bound of a variable (used by the tolerance
+    /// formulation `t ≤ (1+x)·T₀`).
+    pub fn set_var_ub(&mut self, v: VarId, ub: f64) {
+        let c = &mut self.cols[v.0 as usize];
+        assert!(ub >= c.lb, "ub {ub} below lb {} for {}", c.lb, c.name);
+        c.ub = ub;
+    }
+
+    /// Row bounds `(lb, ub)` of a constraint.
+    pub fn row_bounds(&self, c: ConId) -> (f64, f64) {
+        let r = &self.rows[c.0 as usize];
+        (r.lb, r.ub)
+    }
+
+    /// Solve with default options. See [`simplex::SimplexOptions`] for
+    /// tuning and [`Solution`] for what can be read back.
+    ///
+    /// [`simplex::SimplexOptions`]: crate::simplex::SimplexOptions
+    /// [`Solution`]: crate::solution::Solution
+    pub fn solve(&self) -> Result<crate::solution::Solution, crate::solution::SolveStatus> {
+        crate::simplex::solve(self, &crate::simplex::SimplexOptions::default())
+    }
+}
+
+impl fmt::Display for LpModel {
+    /// Render in an LP-file-like text format (objective, constraints,
+    /// bounds). Intended for debugging and golden tests, not interchange.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.sense {
+            Objective::Minimize => writeln!(f, "Minimize")?,
+            Objective::Maximize => writeln!(f, "Maximize")?,
+        }
+        write!(f, "  obj:")?;
+        for (j, c) in self.cols.iter().enumerate() {
+            if c.obj != 0.0 {
+                write!(f, " {:+} {}", c.obj, nm(&c.name, j))?;
+            }
+        }
+        writeln!(f)?;
+        writeln!(f, "Subject To")?;
+        for (i, r) in self.rows.iter().enumerate() {
+            write!(f, "  {}:", nm(&r.name, i))?;
+            for &(v, coef) in &r.terms {
+                write!(f, " {:+} {}", coef, nm(&self.cols[v as usize].name, v as usize))?;
+            }
+            if r.lb == r.ub {
+                writeln!(f, " = {}", r.ub)?;
+            } else if r.lb.is_finite() && r.ub.is_finite() {
+                writeln!(f, " in [{}, {}]", r.lb, r.ub)?;
+            } else if r.lb.is_finite() {
+                writeln!(f, " >= {}", r.lb)?;
+            } else {
+                writeln!(f, " <= {}", r.ub)?;
+            }
+        }
+        writeln!(f, "Bounds")?;
+        for (j, c) in self.cols.iter().enumerate() {
+            writeln!(f, "  {} <= {} <= {}", c.lb, nm(&c.name, j), c.ub)?;
+        }
+        Ok(())
+    }
+}
+
+fn nm(name: &str, idx: usize) -> String {
+    if name.is_empty() {
+        format!("x{idx}")
+    } else {
+        name.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_terms_are_merged() {
+        let mut m = LpModel::new(Objective::Minimize);
+        let x = m.add_var("x", 0.0, 10.0, 1.0);
+        let c = m.add_constraint("r", &[(x, 1.0), (x, 2.0)], Relation::Le, 6.0);
+        assert_eq!(m.rows[c.0 as usize].terms, vec![(0, 3.0)]);
+    }
+
+    #[test]
+    fn zero_coefficients_are_dropped() {
+        let mut m = LpModel::new(Objective::Minimize);
+        let x = m.add_var("x", 0.0, 10.0, 1.0);
+        let y = m.add_var("y", 0.0, 10.0, 0.0);
+        let c = m.add_constraint("r", &[(x, 1.0), (y, 0.0)], Relation::Le, 6.0);
+        assert_eq!(m.rows[c.0 as usize].terms, vec![(0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds crossed")]
+    fn crossed_bounds_panic() {
+        let mut m = LpModel::new(Objective::Minimize);
+        m.add_var("x", 1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn display_contains_sections() {
+        let mut m = LpModel::new(Objective::Maximize);
+        let x = m.add_var("x", 0.0, 1.0, 2.0);
+        m.add_constraint("cap", &[(x, 1.0)], Relation::Le, 0.5);
+        let s = m.to_string();
+        assert!(s.contains("Maximize"));
+        assert!(s.contains("Subject To"));
+        assert!(s.contains("Bounds"));
+        assert!(s.contains("cap"));
+    }
+}

@@ -1,0 +1,346 @@
+//! LP presolve.
+//!
+//! The paper attributes much of the LP approach's speed advantage over
+//! simulation to the solver's presolve phase "eliminat\[ing\] all redundant
+//! constraints with advanced heuristics" (§II-D3). LLAMP's generated models
+//! are full of such redundancy: single-predecessor vertices create chains of
+//! singleton-like rows, and repeated communication patterns create duplicate
+//! rows. This module implements the classic reductions:
+//!
+//! 1. **Fixed variables** (`lb == ub`): substituted into every row.
+//! 2. **Empty rows**: dropped (or detected as infeasible).
+//! 3. **Singleton rows** (one nonzero): converted into variable bounds.
+//! 4. **Duplicate rows** (identical coefficient vectors): intersected.
+//!
+//! Reductions iterate to a fixpoint. The reduced model solves with the same
+//! optimal objective; [`Presolved::recover`] maps a reduced solution back to
+//! the original variable space.
+
+use crate::model::{LpModel, VarId};
+use crate::solution::{Solution, SolveStatus};
+use llamp_util::FxHashMap;
+
+/// How an original variable maps into the presolved model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum VarMap {
+    Kept(u32),
+    Fixed(f64),
+}
+
+/// Outcome of presolving: a reduced model plus recovery metadata.
+#[derive(Debug, Clone)]
+pub struct Presolved {
+    /// The reduced model (same optimisation sense, shifted objective).
+    pub model: LpModel,
+    /// Constant added to the reduced objective to recover the original one.
+    pub objective_offset: f64,
+    var_map: Vec<VarMap>,
+    /// Statistics for reporting.
+    pub vars_removed: usize,
+    /// Statistics for reporting.
+    pub rows_removed: usize,
+}
+
+impl Presolved {
+    /// Solve the reduced model and report the objective in the original
+    /// model's terms.
+    pub fn solve(&self) -> Result<(f64, Vec<f64>), SolveStatus> {
+        let sol = self.model.solve()?;
+        Ok((sol.objective() + self.objective_offset, self.recover(&sol)))
+    }
+
+    /// Expand a reduced-model solution to the original variable vector.
+    pub fn recover(&self, sol: &Solution) -> Vec<f64> {
+        self.var_map
+            .iter()
+            .map(|vm| match *vm {
+                VarMap::Kept(j) => sol.value(VarId(j)),
+                VarMap::Fixed(v) => v,
+            })
+            .collect()
+    }
+
+    /// Handle of an original variable in the reduced model, if it survived.
+    pub fn reduced_var(&self, original: VarId) -> Option<VarId> {
+        match self.var_map[original.0 as usize] {
+            VarMap::Kept(j) => Some(VarId(j)),
+            VarMap::Fixed(_) => None,
+        }
+    }
+}
+
+/// Row state while reducing.
+#[derive(Debug, Clone)]
+struct WorkRow {
+    lb: f64,
+    ub: f64,
+    terms: Vec<(u32, f64)>,
+    alive: bool,
+}
+
+/// Apply presolve reductions to `model`.
+///
+/// Returns `Err(SolveStatus::Infeasible)` if a reduction proves the model
+/// infeasible outright.
+pub fn presolve(model: &LpModel) -> Result<Presolved, SolveStatus> {
+    let n = model.num_vars();
+    let mut lb: Vec<f64> = (0..n).map(|j| model.var_lb(VarId(j as u32))).collect();
+    let mut ub: Vec<f64> = (0..n).map(|j| model.var_ub(VarId(j as u32))).collect();
+    let obj: Vec<f64> = (0..n).map(|j| model.var_obj(VarId(j as u32))).collect();
+    let mut fixed: Vec<Option<f64>> = vec![None; n];
+
+    let mut rows: Vec<WorkRow> = model
+        .rows
+        .iter()
+        .map(|r| WorkRow {
+            lb: r.lb,
+            ub: r.ub,
+            terms: r.terms.clone(),
+            alive: true,
+        })
+        .collect();
+
+    const TOL: f64 = 1e-9;
+    let mut changed = true;
+    while changed {
+        changed = false;
+
+        // 1. Fix variables whose box degenerated to a point.
+        for j in 0..n {
+            if fixed[j].is_none() && (ub[j] - lb[j]).abs() <= TOL {
+                fixed[j] = Some(lb[j]);
+                changed = true;
+            }
+        }
+
+        for row in rows.iter_mut().filter(|r| r.alive) {
+            // Substitute fixed variables into the row.
+            let before = row.terms.len();
+            row.terms.retain(|&(v, c)| {
+                if let Some(val) = fixed[v as usize] {
+                    if row.lb.is_finite() {
+                        row.lb -= c * val;
+                    }
+                    if row.ub.is_finite() {
+                        row.ub -= c * val;
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+            if row.terms.len() != before {
+                changed = true;
+            }
+
+            match row.terms.len() {
+                0 => {
+                    // 2. Empty row: 0 must lie in [lb, ub].
+                    if row.lb > TOL || row.ub < -TOL {
+                        return Err(SolveStatus::Infeasible);
+                    }
+                    row.alive = false;
+                    changed = true;
+                }
+                1 => {
+                    // 3. Singleton row: fold into variable bounds.
+                    let (v, c) = row.terms[0];
+                    let j = v as usize;
+                    let (mut new_lb, mut new_ub) = if c > 0.0 {
+                        (row.lb / c, row.ub / c)
+                    } else {
+                        (row.ub / c, row.lb / c)
+                    };
+                    if new_lb.is_nan() {
+                        new_lb = f64::NEG_INFINITY;
+                    }
+                    if new_ub.is_nan() {
+                        new_ub = f64::INFINITY;
+                    }
+                    if new_lb > lb[j] {
+                        lb[j] = new_lb;
+                    }
+                    if new_ub < ub[j] {
+                        ub[j] = new_ub;
+                    }
+                    if lb[j] > ub[j] + TOL {
+                        return Err(SolveStatus::Infeasible);
+                    }
+                    row.alive = false;
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+
+        // 4. Duplicate rows: same term vector (bitwise coefficients) merge
+        // by intersecting bounds.
+        let mut seen: FxHashMap<Vec<(u32, u64)>, usize> = FxHashMap::default();
+        for i in 0..rows.len() {
+            if !rows[i].alive || rows[i].terms.is_empty() {
+                continue;
+            }
+            let key: Vec<(u32, u64)> = rows[i]
+                .terms
+                .iter()
+                .map(|&(v, c)| (v, c.to_bits()))
+                .collect();
+            match seen.get(&key) {
+                None => {
+                    seen.insert(key, i);
+                }
+                Some(&first) => {
+                    let (rl, ru) = (rows[i].lb, rows[i].ub);
+                    let keep = &mut rows[first];
+                    keep.lb = keep.lb.max(rl);
+                    keep.ub = keep.ub.min(ru);
+                    if keep.lb > keep.ub + TOL {
+                        return Err(SolveStatus::Infeasible);
+                    }
+                    rows[i].alive = false;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Assemble the reduced model.
+    let mut reduced = LpModel::new(model.sense());
+    let mut var_map = vec![VarMap::Fixed(0.0); n];
+    let mut objective_offset = 0.0;
+    let mut kept_vars = 0usize;
+    for j in 0..n {
+        match fixed[j] {
+            Some(v) => {
+                var_map[j] = VarMap::Fixed(v);
+                objective_offset += obj[j] * v;
+            }
+            None => {
+                let nv = reduced.add_var(
+                    model.var_name(VarId(j as u32)).to_string(),
+                    lb[j],
+                    ub[j],
+                    obj[j],
+                );
+                var_map[j] = VarMap::Kept(nv.0);
+                kept_vars += 1;
+            }
+        }
+    }
+    let mut kept_rows = 0usize;
+    for row in rows.iter().filter(|r| r.alive) {
+        let terms: Vec<(VarId, f64)> = row
+            .terms
+            .iter()
+            .map(|&(v, c)| match var_map[v as usize] {
+                VarMap::Kept(nj) => (VarId(nj), c),
+                VarMap::Fixed(_) => unreachable!("fixed var left in live row"),
+            })
+            .collect();
+        reduced.add_range_constraint(format!("r{kept_rows}"), &terms, row.lb, row.ub);
+        kept_rows += 1;
+    }
+
+    Ok(Presolved {
+        model: reduced,
+        objective_offset,
+        var_map,
+        vars_removed: n - kept_vars,
+        rows_removed: model.num_constraints() - kept_rows,
+    })
+}
+
+/// Convenience: presolve then solve, reporting the original objective value
+/// and full primal vector.
+pub fn presolve_and_solve(model: &LpModel) -> Result<(f64, Vec<f64>), SolveStatus> {
+    presolve(model)?.solve()
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LpModel, Objective, Relation};
+
+    #[test]
+    fn fixed_variable_is_substituted() {
+        // min x + y, x = 3 (by bounds), x + y >= 10.
+        let mut m = LpModel::new(Objective::Minimize);
+        let x = m.add_var("x", 3.0, 3.0, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        m.add_constraint("r", &[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.vars_removed, 1);
+        let (obj, xs) = p.solve().unwrap();
+        assert!((obj - 10.0).abs() < 1e-7);
+        assert!((xs[0] - 3.0).abs() < 1e-12);
+        assert!((xs[1] - 7.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn singleton_row_becomes_bound() {
+        let mut m = LpModel::new(Objective::Minimize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        m.add_constraint("lo", &[(x, 2.0)], Relation::Ge, 8.0); // x >= 4
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.rows_removed, 1);
+        assert_eq!(p.model.num_constraints(), 0);
+        let (obj, _) = p.solve().unwrap();
+        assert!((obj - 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn negative_singleton_flips_bounds() {
+        let mut m = LpModel::new(Objective::Maximize);
+        let x = m.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        m.add_constraint("hi", &[(x, -1.0)], Relation::Ge, -6.0); // x <= 6
+        let p = presolve(&m).unwrap();
+        let (obj, _) = p.solve().unwrap();
+        assert!((obj - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn duplicate_rows_are_merged() {
+        let mut m = LpModel::new(Objective::Minimize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        for rhs in [4.0, 6.0, 5.0] {
+            m.add_constraint("r", &[(x, 1.0), (y, 1.0)], Relation::Ge, rhs);
+        }
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.model.num_constraints(), 1);
+        let (obj, _) = p.solve().unwrap();
+        assert!((obj - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected_by_bounds() {
+        let mut m = LpModel::new(Objective::Minimize);
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        m.add_constraint("lo", &[(x, 1.0)], Relation::Ge, 5.0);
+        assert_eq!(presolve(&m).unwrap_err(), SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn infeasible_empty_row() {
+        let mut m = LpModel::new(Objective::Minimize);
+        let x = m.add_var("x", 2.0, 2.0, 0.0);
+        m.add_constraint("r", &[(x, 1.0)], Relation::Ge, 5.0);
+        assert_eq!(presolve(&m).unwrap_err(), SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn presolve_matches_direct_solve_on_running_example() {
+        let mut m = LpModel::new(Objective::Minimize);
+        let l = m.add_var("l", 0.5, f64::INFINITY, 0.0);
+        let y1 = m.add_var("y1", f64::NEG_INFINITY, f64::INFINITY, 0.0);
+        let t = m.add_var("t", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        m.add_constraint("c1", &[(y1, 1.0), (l, -1.0)], Relation::Ge, 0.115);
+        m.add_constraint("c2", &[(y1, 1.0)], Relation::Ge, 0.5);
+        m.add_constraint("c3", &[(t, 1.0)], Relation::Ge, 1.1);
+        m.add_constraint("c4", &[(t, 1.0), (y1, -1.0)], Relation::Ge, 1.0);
+        let direct = m.solve().unwrap().objective();
+        let (via_presolve, _) = presolve_and_solve(&m).unwrap();
+        assert!((direct - via_presolve).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,1013 @@
+//! Bounded-variable primal simplex.
+//!
+//! Design notes (what a reader needs to audit the implementation):
+//!
+//! * **Computational form.** The model's `m` range rows `lb ≤ aᵀx ≤ ub` are
+//!   rewritten as equalities `aᵀx − s = 0` with one *logical* (slack)
+//!   variable `s ∈ [lb, ub]` per row, so the working system is
+//!   `A_ext · (x, s) = 0` with box bounds on every column. The right-hand
+//!   side being identically zero makes the initial all-logical basis
+//!   (`B = −I`) trivially factorised.
+//! * **Phase 1 without artificials.** If the initial basis is primal
+//!   infeasible we minimise the sum of bound violations of basic variables
+//!   using the standard piecewise-linear phase-1 costs (−1 below the lower
+//!   bound, +1 above the upper bound). Infeasible basic variables block the
+//!   ratio test at the bound they are approaching, which monotonically
+//!   shrinks total infeasibility.
+//! * **Pricing.** Dantzig (most negative reduced cost) with an automatic
+//!   fallback to Bland's least-index rule after a run of degenerate pivots,
+//!   guaranteeing termination.
+//! * **Factorisation.** The basis inverse is kept as a dense column-major
+//!   matrix updated by elementary (eta) transformations, refactorised from
+//!   scratch periodically via Gauss–Jordan elimination with partial
+//!   pivoting. Dense linear algebra bounds this solver to medium problems —
+//!   the parametric envelope backend in `llamp-core` covers the
+//!   multi-million-vertex graphs, exactly as the paper leans on Gurobi's
+//!   presolve for scale (§II-D3).
+
+// Dense linear-algebra kernels index several same-length buffers per loop;
+// iterator zips would obscure the math without changing codegen.
+#![allow(clippy::needless_range_loop)]
+
+use crate::model::{LpModel, Objective};
+use crate::solution::{Solution, SolveStatus, VarStatus};
+
+const INF: f64 = f64::INFINITY;
+
+/// Tunable solver parameters. The defaults suit the well-scaled (±1
+/// coefficient) models LLAMP generates.
+#[derive(Debug, Clone)]
+pub struct SimplexOptions {
+    /// Primal feasibility tolerance (absolute, on variable bounds).
+    pub feas_tol: f64,
+    /// Dual feasibility / optimality tolerance (on reduced costs).
+    pub opt_tol: f64,
+    /// Minimum magnitude accepted for a pivot element.
+    pub pivot_tol: f64,
+    /// Hard iteration cap; `0` selects `20_000 + 50·(m+n)`.
+    pub max_iterations: u64,
+    /// Refactorise the basis inverse every this many pivots.
+    pub refactor_every: u64,
+    /// Switch to Bland's rule after this many consecutive degenerate pivots.
+    pub bland_after: u32,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        Self {
+            feas_tol: 1e-7,
+            opt_tol: 1e-7,
+            pivot_tol: 1e-9,
+            max_iterations: 0,
+            refactor_every: 256,
+            bland_after: 64,
+        }
+    }
+}
+
+/// Retained basis data enabling post-solve ranging queries.
+#[derive(Debug, Clone)]
+pub struct RangingData {
+    m: usize,
+    /// Column-major dense basis inverse.
+    binv: Vec<f64>,
+    /// Column sparse structure of the extended matrix (structural+logical).
+    col_start: Vec<usize>,
+    col_rows: Vec<u32>,
+    col_vals: Vec<f64>,
+    /// Basic column per row position.
+    basis: Vec<usize>,
+    /// Values of all extended columns at the optimum.
+    x: Vec<f64>,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    pivot_tol: f64,
+}
+
+impl RangingData {
+    /// Range of the lower bound of extended column `j` keeping the basis
+    /// optimal (primal feasible; dual feasibility is unaffected by bound
+    /// shifts).
+    pub(crate) fn lb_range(&self, j: usize, status: VarStatus) -> (f64, f64) {
+        match status {
+            VarStatus::Basic | VarStatus::FreeZero => (f64::NEG_INFINITY, self.x[j]),
+            VarStatus::AtUpper => (f64::NEG_INFINITY, self.ub[j]),
+            VarStatus::AtLower => {
+                let w = self.ftran(j);
+                // Moving the bound by δ moves x_j by δ and the basic
+                // variables by −δ·w. Find the feasible δ window.
+                let mut dn = f64::NEG_INFINITY;
+                let mut up = INF;
+                for (i, &wi) in w.iter().enumerate() {
+                    if wi.abs() <= self.pivot_tol {
+                        continue;
+                    }
+                    let b = self.basis[i];
+                    let xb = self.x[b];
+                    let (lbi, ubi) = (self.lb[b], self.ub[b]);
+                    if wi > 0.0 {
+                        // x_b decreases as δ grows.
+                        if lbi.is_finite() {
+                            up = up.min((xb - lbi) / wi);
+                        }
+                        if ubi.is_finite() {
+                            dn = dn.max((xb - ubi) / wi);
+                        }
+                    } else {
+                        // x_b increases as δ grows.
+                        if ubi.is_finite() {
+                            up = up.min((xb - ubi) / wi);
+                        }
+                        if lbi.is_finite() {
+                            dn = dn.max((xb - lbi) / wi);
+                        }
+                    }
+                }
+                if self.ub[j].is_finite() {
+                    up = up.min(self.ub[j] - self.x[j]);
+                }
+                (self.x[j] + dn, self.x[j] + up)
+            }
+        }
+    }
+
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let m = self.m;
+        let mut w = vec![0.0; m];
+        for idx in self.col_start[j]..self.col_start[j + 1] {
+            let k = self.col_rows[idx] as usize;
+            let a = self.col_vals[idx];
+            let col = &self.binv[k * m..(k + 1) * m];
+            for i in 0..m {
+                w[i] += a * col[i];
+            }
+        }
+        w
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NbStatus {
+    Basic,
+    Lower,
+    Upper,
+    FreeZero,
+}
+
+struct Core {
+    m: usize,
+    n_struct: usize,
+    n_total: usize,
+    col_start: Vec<usize>,
+    col_rows: Vec<u32>,
+    col_vals: Vec<f64>,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    /// Internal costs (always a minimisation).
+    cost: Vec<f64>,
+    basis: Vec<usize>,
+    in_basis: Vec<i32>,
+    status: Vec<NbStatus>,
+    x: Vec<f64>,
+    /// Column-major dense basis inverse.
+    binv: Vec<f64>,
+    iterations: u64,
+    pivots_since_refactor: u64,
+    opts: SimplexOptions,
+}
+
+/// Solve `model`, returning the optimal [`Solution`] or the terminal
+/// [`SolveStatus`] explaining why none exists.
+pub fn solve(model: &LpModel, opts: &SimplexOptions) -> Result<Solution, SolveStatus> {
+    let mut core = Core::build(model, opts.clone());
+    let max_iters = if opts.max_iterations == 0 {
+        20_000 + 50 * (core.m as u64 + core.n_total as u64)
+    } else {
+        opts.max_iterations
+    };
+
+    // Phase 1: restore primal feasibility if the slack basis violates row
+    // bounds.
+    if core.infeasibility() > opts.feas_tol {
+        match core.iterate(true, max_iters) {
+            PhaseOutcome::Done => {
+                if core.infeasibility() > opts.feas_tol * 10.0 {
+                    return Err(SolveStatus::Infeasible);
+                }
+            }
+            PhaseOutcome::Unbounded => {
+                // Phase-1 objective is bounded below by zero; an unbounded
+                // ray here signals numerical failure, treated as infeasible.
+                return Err(SolveStatus::Infeasible);
+            }
+            PhaseOutcome::IterLimit => return Err(SolveStatus::IterationLimit),
+        }
+    }
+
+    // Phase 2: optimise the true objective.
+    match core.iterate(false, max_iters) {
+        PhaseOutcome::Done => Ok(core.extract(model)),
+        PhaseOutcome::Unbounded => Err(SolveStatus::Unbounded),
+        PhaseOutcome::IterLimit => Err(SolveStatus::IterationLimit),
+    }
+}
+
+enum PhaseOutcome {
+    Done,
+    Unbounded,
+    IterLimit,
+}
+
+impl Core {
+    fn build(model: &LpModel, opts: SimplexOptions) -> Self {
+        let m = model.rows.len();
+        let n_struct = model.cols.len();
+        let n_total = n_struct + m;
+        let sign = match model.sense {
+            Objective::Minimize => 1.0,
+            Objective::Maximize => -1.0,
+        };
+
+        // Column-wise extended matrix: structural columns from the rows,
+        // then one logical column (+1 at its row; `aᵀx − s = 0` i.e. the
+        // logical coefficient is −1, folded in here).
+        let mut counts = vec![0usize; n_total];
+        for row in &model.rows {
+            for &(v, _) in &row.terms {
+                counts[v as usize] += 1;
+            }
+        }
+        for i in 0..m {
+            counts[n_struct + i] = 1;
+        }
+        let mut col_start = vec![0usize; n_total + 1];
+        for j in 0..n_total {
+            col_start[j + 1] = col_start[j] + counts[j];
+        }
+        let nnz = col_start[n_total];
+        let mut col_rows = vec![0u32; nnz];
+        let mut col_vals = vec![0.0f64; nnz];
+        let mut fill = col_start.clone();
+        for (i, row) in model.rows.iter().enumerate() {
+            for &(v, c) in &row.terms {
+                let p = fill[v as usize];
+                col_rows[p] = i as u32;
+                col_vals[p] = c;
+                fill[v as usize] += 1;
+            }
+        }
+        for i in 0..m {
+            let p = fill[n_struct + i];
+            col_rows[p] = i as u32;
+            col_vals[p] = -1.0;
+            fill[n_struct + i] += 1;
+        }
+
+        let mut lb = Vec::with_capacity(n_total);
+        let mut ub = Vec::with_capacity(n_total);
+        let mut cost = Vec::with_capacity(n_total);
+        for c in &model.cols {
+            lb.push(c.lb);
+            ub.push(c.ub);
+            cost.push(sign * c.obj);
+        }
+        for r in &model.rows {
+            lb.push(r.lb);
+            ub.push(r.ub);
+            cost.push(0.0);
+        }
+
+        // Nonbasic structural variables start at their bound nearest zero;
+        // logical variables form the initial basis (B = −I ⇒ B⁻¹ = −I).
+        let mut status = vec![NbStatus::Lower; n_total];
+        let mut x = vec![0.0; n_total];
+        for j in 0..n_struct {
+            let (l, u) = (lb[j], ub[j]);
+            if l.is_finite() && u.is_finite() {
+                if l.abs() <= u.abs() {
+                    status[j] = NbStatus::Lower;
+                    x[j] = l;
+                } else {
+                    status[j] = NbStatus::Upper;
+                    x[j] = u;
+                }
+            } else if l.is_finite() {
+                status[j] = NbStatus::Lower;
+                x[j] = l;
+            } else if u.is_finite() {
+                status[j] = NbStatus::Upper;
+                x[j] = u;
+            } else {
+                status[j] = NbStatus::FreeZero;
+                x[j] = 0.0;
+            }
+        }
+        let mut basis = Vec::with_capacity(m);
+        let mut in_basis = vec![-1i32; n_total];
+        let mut binv = vec![0.0; m * m];
+        for i in 0..m {
+            let j = n_struct + i;
+            basis.push(j);
+            in_basis[j] = i as i32;
+            status[j] = NbStatus::Basic;
+            binv[i * m + i] = -1.0;
+        }
+
+        let mut core = Self {
+            m,
+            n_struct,
+            n_total,
+            col_start,
+            col_rows,
+            col_vals,
+            lb,
+            ub,
+            cost,
+            basis,
+            in_basis,
+            status,
+            x,
+            binv,
+            iterations: 0,
+            pivots_since_refactor: 0,
+            opts,
+        };
+        core.recompute_basics();
+        core
+    }
+
+    /// Recompute all basic variable values from the nonbasic assignment:
+    /// `x_B = B⁻¹ (0 − A_N x_N)`.
+    fn recompute_basics(&mut self) {
+        let m = self.m;
+        let mut r = vec![0.0; m];
+        for j in 0..self.n_total {
+            if self.in_basis[j] >= 0 || self.x[j] == 0.0 {
+                continue;
+            }
+            let xj = self.x[j];
+            for idx in self.col_start[j]..self.col_start[j + 1] {
+                r[self.col_rows[idx] as usize] -= self.col_vals[idx] * xj;
+            }
+        }
+        let mut xb = vec![0.0; m];
+        for k in 0..m {
+            let rk = r[k];
+            if rk == 0.0 {
+                continue;
+            }
+            let col = &self.binv[k * m..(k + 1) * m];
+            for i in 0..m {
+                xb[i] += rk * col[i];
+            }
+        }
+        for i in 0..m {
+            self.x[self.basis[i]] = xb[i];
+        }
+    }
+
+    fn infeasibility(&self) -> f64 {
+        let mut total = 0.0;
+        for &b in &self.basis {
+            let v = self.x[b];
+            if v < self.lb[b] {
+                total += self.lb[b] - v;
+            } else if v > self.ub[b] {
+                total += v - self.ub[b];
+            }
+        }
+        total
+    }
+
+    /// BTRAN: `y = cᵦᵀ B⁻¹` for the given basic cost vector.
+    fn btran(&self, cb: &[f64]) -> Vec<f64> {
+        let m = self.m;
+        let mut y = vec![0.0; m];
+        for (k, yk) in y.iter_mut().enumerate() {
+            let col = &self.binv[k * m..(k + 1) * m];
+            let mut acc = 0.0;
+            for i in 0..m {
+                acc += cb[i] * col[i];
+            }
+            *yk = acc;
+        }
+        y
+    }
+
+    /// FTRAN: `w = B⁻¹ A_j`.
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let m = self.m;
+        let mut w = vec![0.0; m];
+        for idx in self.col_start[j]..self.col_start[j + 1] {
+            let k = self.col_rows[idx] as usize;
+            let a = self.col_vals[idx];
+            let col = &self.binv[k * m..(k + 1) * m];
+            for i in 0..m {
+                w[i] += a * col[i];
+            }
+        }
+        w
+    }
+
+    fn dot_col(&self, j: usize, y: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for idx in self.col_start[j]..self.col_start[j + 1] {
+            acc += self.col_vals[idx] * y[self.col_rows[idx] as usize];
+        }
+        acc
+    }
+
+    /// Rebuild the dense basis inverse via Gauss–Jordan with partial
+    /// pivoting, then refresh the basic values.
+    fn refactor(&mut self) {
+        let m = self.m;
+        if m == 0 {
+            return;
+        }
+        // Assemble B column-major.
+        let mut b = vec![0.0; m * m];
+        for (pos, &j) in self.basis.iter().enumerate() {
+            for idx in self.col_start[j]..self.col_start[j + 1] {
+                b[pos * m + self.col_rows[idx] as usize] = self.col_vals[idx];
+            }
+        }
+        // Invert into `inv` (column-major) by Gauss-Jordan on [B | I].
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            // Partial pivot on rows >= col in column `col` of B.
+            let mut piv = col;
+            let mut best = b[col * m + col].abs();
+            for r in col + 1..m {
+                let v = b[col * m + r].abs();
+                if v > best {
+                    best = v;
+                    piv = r;
+                }
+            }
+            if best < 1e-12 {
+                // Singular basis should be impossible; fall back to leaving
+                // the previous inverse in place.
+                return;
+            }
+            if piv != col {
+                for k in 0..m {
+                    b.swap(k * m + col, k * m + piv);
+                    inv.swap(k * m + col, k * m + piv);
+                }
+            }
+            let d = b[col * m + col];
+            for k in 0..m {
+                b[k * m + col] /= d;
+                inv[k * m + col] /= d;
+            }
+            for r in 0..m {
+                if r == col {
+                    continue;
+                }
+                let f = b[col * m + r];
+                if f == 0.0 {
+                    continue;
+                }
+                for k in 0..m {
+                    b[k * m + r] -= f * b[k * m + col];
+                    inv[k * m + r] -= f * inv[k * m + col];
+                }
+            }
+        }
+        self.binv = inv;
+        self.pivots_since_refactor = 0;
+        self.recompute_basics();
+    }
+
+    /// Run simplex iterations for one phase. `phase1` selects infeasibility
+    /// costs instead of the model objective.
+    fn iterate(&mut self, phase1: bool, max_iters: u64) -> PhaseOutcome {
+        let m = self.m;
+        let feas = self.opts.feas_tol;
+        let opt = self.opts.opt_tol;
+        let mut degenerate_streak = 0u32;
+
+        loop {
+            if self.iterations >= max_iters {
+                return PhaseOutcome::IterLimit;
+            }
+            self.iterations += 1;
+
+            // Phase-dependent basic costs.
+            let mut cb = vec![0.0; m];
+            let mut any_infeasible = false;
+            for (i, &b) in self.basis.iter().enumerate() {
+                if phase1 {
+                    if self.x[b] < self.lb[b] - feas {
+                        cb[i] = -1.0;
+                        any_infeasible = true;
+                    } else if self.x[b] > self.ub[b] + feas {
+                        cb[i] = 1.0;
+                        any_infeasible = true;
+                    }
+                } else {
+                    cb[i] = self.cost[b];
+                }
+            }
+            if phase1 && !any_infeasible {
+                return PhaseOutcome::Done;
+            }
+
+            let y = self.btran(&cb);
+
+            // Pricing: find an entering column.
+            let use_bland = degenerate_streak >= self.opts.bland_after;
+            let mut entering: Option<(usize, f64, f64)> = None; // (col, d, dir)
+            let mut best_score = opt;
+            for j in 0..self.n_total {
+                let st = self.status[j];
+                if st == NbStatus::Basic {
+                    continue;
+                }
+                let cj = if phase1 { 0.0 } else { self.cost[j] };
+                let d = cj - self.dot_col(j, &y);
+                let dir = match st {
+                    NbStatus::Lower => {
+                        if d < -opt {
+                            1.0
+                        } else {
+                            continue;
+                        }
+                    }
+                    NbStatus::Upper => {
+                        if d > opt {
+                            -1.0
+                        } else {
+                            continue;
+                        }
+                    }
+                    NbStatus::FreeZero => {
+                        if d < -opt {
+                            1.0
+                        } else if d > opt {
+                            -1.0
+                        } else {
+                            continue;
+                        }
+                    }
+                    NbStatus::Basic => unreachable!(),
+                };
+                if use_bland {
+                    entering = Some((j, d, dir));
+                    break;
+                }
+                if d.abs() > best_score {
+                    best_score = d.abs();
+                    entering = Some((j, d, dir));
+                }
+            }
+
+            let Some((q, _dq, dir)) = entering else {
+                return if phase1 {
+                    // No improving column; infeasibility is minimal. The
+                    // caller checks whether it reached ~zero.
+                    PhaseOutcome::Done
+                } else {
+                    PhaseOutcome::Done
+                };
+            };
+
+            let w = self.ftran(q);
+
+            // Ratio test: how far can x_q travel in direction `dir`?
+            let mut t_limit = if self.lb[q].is_finite() && self.ub[q].is_finite() {
+                self.ub[q] - self.lb[q]
+            } else {
+                INF
+            };
+            let mut leaving: Option<(usize, bool)> = None; // (row pos, leaves at upper)
+            for i in 0..m {
+                let rate = -dir * w[i];
+                if rate.abs() <= self.opts.pivot_tol {
+                    continue;
+                }
+                let b = self.basis[i];
+                let xb = self.x[b];
+                let (lbi, ubi) = (self.lb[b], self.ub[b]);
+                let (blocking, at_upper) = if rate > 0.0 {
+                    // x_b increases.
+                    if phase1 && xb < lbi - feas {
+                        // Infeasible below: blocks when it reaches lb.
+                        (Some(lbi), false)
+                    } else if phase1 && xb > ubi + feas {
+                        // Already above ub and moving further up: no bound
+                        // ahead to cross (its cost is in the pricing).
+                        (None, false)
+                    } else if ubi.is_finite() {
+                        (Some(ubi), true)
+                    } else {
+                        (None, false)
+                    }
+                } else {
+                    // x_b decreases.
+                    if phase1 && xb > ubi + feas {
+                        (Some(ubi), true)
+                    } else if phase1 && xb < lbi - feas {
+                        // Already below lb and moving further down: no
+                        // bound ahead to cross.
+                        (None, false)
+                    } else if lbi.is_finite() {
+                        (Some(lbi), false)
+                    } else {
+                        (None, false)
+                    }
+                };
+                if let Some(bound) = blocking {
+                    let t = ((bound - xb) / rate).max(0.0);
+                    if t < t_limit - 1e-12 {
+                        t_limit = t;
+                        leaving = Some((i, at_upper));
+                    } else if t < t_limit + 1e-12 && leaving.is_some() {
+                        // Tie-break toward the larger |pivot| for stability.
+                        let (cur, _) = leaving.unwrap();
+                        if w[i].abs() > w[cur].abs() {
+                            leaving = Some((i, at_upper));
+                        }
+                    }
+                }
+            }
+
+            if t_limit.is_infinite() {
+                return PhaseOutcome::Unbounded;
+            }
+            if t_limit <= 1e-12 {
+                degenerate_streak += 1;
+            } else {
+                degenerate_streak = 0;
+            }
+
+            #[cfg(debug_assertions)]
+            if std::env::var_os("LLAMP_LP_TRACE").is_some() {
+                eprintln!("iter={} phase1={} q={} status={:?} dir={} t_limit={} leaving={:?} x_q={}",
+                    self.iterations, phase1, q, self.status[q], dir, t_limit,
+                    leaving.map(|(r, up)| (r, self.basis[r], up)), self.x[q]);
+            }
+            // Apply the step.
+            let step = dir * t_limit;
+            self.x[q] += step;
+            for i in 0..m {
+                if w[i] != 0.0 {
+                    let b = self.basis[i];
+                    self.x[b] -= step * w[i];
+                }
+            }
+
+            match leaving {
+                None => {
+                    // Bound flip: x_q traversed its whole box.
+                    self.status[q] = match self.status[q] {
+                        NbStatus::Lower => NbStatus::Upper,
+                        NbStatus::Upper => NbStatus::Lower,
+                        s => s,
+                    };
+                }
+                Some((r, at_upper)) => {
+                    let out = self.basis[r];
+                    // Snap the leaving variable exactly onto its bound.
+                    self.x[out] = if at_upper { self.ub[out] } else { self.lb[out] };
+                    self.status[out] = if at_upper {
+                        NbStatus::Upper
+                    } else {
+                        NbStatus::Lower
+                    };
+                    self.in_basis[out] = -1;
+                    self.basis[r] = q;
+                    self.in_basis[q] = r as i32;
+                    self.status[q] = NbStatus::Basic;
+                    self.update_binv(&w, r);
+                    #[cfg(debug_assertions)]
+                    if std::env::var_os("LLAMP_LP_CHECK").is_some() {
+                        let res = self.binv_residual();
+                        assert!(res < 1e-6, "binv residual {res} after pivot (iter {})", self.iterations);
+                        let incr: Vec<f64> = self.basis.iter().map(|&b| self.x[b]).collect();
+                        self.recompute_basics();
+                        for (i, &b) in self.basis.iter().enumerate() {
+                            assert!((incr[i] - self.x[b]).abs() < 1e-6 * (1.0 + incr[i].abs()),
+                                "x_B[{i}] (col {b}) drift: incremental {} vs fresh {} at iter {} phase1={phase1}",
+                                incr[i], self.x[b], self.iterations);
+                        }
+                    }
+                    self.pivots_since_refactor += 1;
+                    if self.pivots_since_refactor >= self.opts.refactor_every {
+                        self.refactor();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Maximum residual `|B·B⁻¹ − I|` (debug aid).
+    #[cfg(debug_assertions)]
+    #[allow(dead_code)]
+    fn binv_residual(&self) -> f64 {
+        let m = self.m;
+        let mut worst = 0.0f64;
+        // (B · Binv)[i][k] = Σ_j B[i][j] · Binv[j][k]; B's column j is the
+        // sparse column of basis[j].
+        for k in 0..m {
+            let mut acc = vec![0.0; m];
+            for (j, &bj) in self.basis.iter().enumerate() {
+                let x = self.binv[k * m + j];
+                if x == 0.0 {
+                    continue;
+                }
+                for idx in self.col_start[bj]..self.col_start[bj + 1] {
+                    acc[self.col_rows[idx] as usize] += self.col_vals[idx] * x;
+                }
+            }
+            for i in 0..m {
+                let want = if i == k { 1.0 } else { 0.0 };
+                worst = worst.max((acc[i] - want).abs());
+            }
+        }
+        worst
+    }
+
+    /// Eta update: replace basic position `r` given the FTRAN direction `w`.
+    fn update_binv(&mut self, w: &[f64], r: usize) {
+        let m = self.m;
+        let wr = w[r];
+        debug_assert!(wr.abs() > self.opts.pivot_tol, "zero pivot");
+        for k in 0..m {
+            let col = &mut self.binv[k * m..(k + 1) * m];
+            let brk = col[r];
+            if brk == 0.0 {
+                continue;
+            }
+            let scaled = brk / wr;
+            col[r] = scaled;
+            for i in 0..m {
+                if i != r && w[i] != 0.0 {
+                    col[i] -= w[i] * scaled;
+                }
+            }
+        }
+    }
+
+    fn extract(mut self, model: &LpModel) -> Solution {
+        // One final refactor to tighten numerics before reporting.
+        if self.pivots_since_refactor > 0 {
+            self.refactor();
+        }
+        let sign = match model.sense {
+            Objective::Minimize => 1.0,
+            Objective::Maximize => -1.0,
+        };
+        let m = self.m;
+        let n = self.n_struct;
+
+        let mut cb = vec![0.0; m];
+        for (i, &b) in self.basis.iter().enumerate() {
+            cb[i] = self.cost[b];
+        }
+        let y = self.btran(&cb);
+
+        let mut x = Vec::with_capacity(n);
+        let mut reduced = Vec::with_capacity(n);
+        let mut statuses = Vec::with_capacity(n);
+        let mut objective = 0.0;
+        for j in 0..n {
+            x.push(self.x[j]);
+            objective += model.cols[j].obj * self.x[j];
+            let d_int = self.cost[j] - self.dot_col(j, &y);
+            reduced.push(sign * d_int);
+            statuses.push(match self.status[j] {
+                NbStatus::Basic => VarStatus::Basic,
+                NbStatus::Lower => VarStatus::AtLower,
+                NbStatus::Upper => VarStatus::AtUpper,
+                NbStatus::FreeZero => VarStatus::FreeZero,
+            });
+        }
+
+        let mut duals = Vec::with_capacity(m);
+        let mut activity = Vec::with_capacity(m);
+        let mut row_lb = Vec::with_capacity(m);
+        let mut row_ub = Vec::with_capacity(m);
+        for i in 0..m {
+            // Logical column i has coefficient −1: reduced cost of the
+            // logical is 0 − yᵀ(−e_i) = y_i = ∂obj/∂(row bound).
+            duals.push(sign * y[i]);
+            activity.push(self.x[n + i]);
+            row_lb.push(model.rows[i].lb);
+            row_ub.push(model.rows[i].ub);
+        }
+
+        let ranging = RangingData {
+            m,
+            binv: self.binv,
+            col_start: self.col_start,
+            col_rows: self.col_rows,
+            col_vals: self.col_vals,
+            basis: self.basis,
+            x: self.x,
+            lb: self.lb,
+            ub: self.ub,
+            pivot_tol: self.opts.pivot_tol,
+        };
+
+        Solution {
+            objective,
+            x,
+            reduced_costs: reduced,
+            duals,
+            row_activity: activity,
+            var_status: statuses,
+            iterations: self.iterations,
+            row_lb,
+            row_ub,
+            ranging: Box::new(ranging),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LpModel, Objective, Relation};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+    }
+
+    #[test]
+    fn trivial_bound_only() {
+        // min x s.t. x >= 5 (as a bound).
+        let mut m = LpModel::new(Objective::Minimize);
+        let x = m.add_var("x", 5.0, INF, 1.0);
+        let sol = m.solve().unwrap();
+        assert_close(sol.objective(), 5.0);
+        assert_close(sol.value(x), 5.0);
+        assert_close(sol.reduced_cost(x), 1.0);
+    }
+
+    #[test]
+    fn simple_row_dual() {
+        // min x s.t. x >= 5 (as a row): dual must be 1.
+        let mut m = LpModel::new(Objective::Minimize);
+        let x = m.add_var("x", f64::NEG_INFINITY, INF, 1.0);
+        let c = m.add_constraint("r", &[(x, 1.0)], Relation::Ge, 5.0);
+        let sol = m.solve().unwrap();
+        assert_close(sol.objective(), 5.0);
+        assert_close(sol.dual(c), 1.0);
+        assert!(sol.is_tight(c));
+    }
+
+    #[test]
+    fn maximize_with_capacity() {
+        // max 3a + 5b s.t. a <= 4, 2b <= 12, 3a + 2b <= 18 (classic).
+        let mut m = LpModel::new(Objective::Maximize);
+        let a = m.add_var("a", 0.0, INF, 3.0);
+        let b = m.add_var("b", 0.0, INF, 5.0);
+        m.add_constraint("c1", &[(a, 1.0)], Relation::Le, 4.0);
+        let c2 = m.add_constraint("c2", &[(b, 2.0)], Relation::Le, 12.0);
+        let c3 = m.add_constraint("c3", &[(a, 3.0), (b, 2.0)], Relation::Le, 18.0);
+        let sol = m.solve().unwrap();
+        assert_close(sol.objective(), 36.0);
+        assert_close(sol.value(a), 2.0);
+        assert_close(sol.value(b), 6.0);
+        // Known duals of the Dakota-style example: y2 = 1.5, y3 = 1.
+        assert_close(sol.dual(c2), 1.5);
+        assert_close(sol.dual(c3), 1.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + y = 10, x - y = 4 => x=7, y=3.
+        let mut m = LpModel::new(Objective::Minimize);
+        let x = m.add_var("x", 0.0, INF, 1.0);
+        let y = m.add_var("y", 0.0, INF, 1.0);
+        m.add_constraint("sum", &[(x, 1.0), (y, 1.0)], Relation::Eq, 10.0);
+        m.add_constraint("diff", &[(x, 1.0), (y, -1.0)], Relation::Eq, 4.0);
+        let sol = m.solve().unwrap();
+        assert_close(sol.value(x), 7.0);
+        assert_close(sol.value(y), 3.0);
+        assert_close(sol.objective(), 10.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = LpModel::new(Objective::Minimize);
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        m.add_constraint("hi", &[(x, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(m.solve().unwrap_err(), SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = LpModel::new(Objective::Minimize);
+        let x = m.add_var("x", f64::NEG_INFINITY, 0.0, 1.0);
+        m.add_constraint("r", &[(x, 1.0)], Relation::Le, 0.0);
+        assert_eq!(m.solve().unwrap_err(), SolveStatus::Unbounded);
+    }
+
+    #[test]
+    fn free_variables() {
+        // min |shift| style: free var pinned by two inequalities.
+        let mut m = LpModel::new(Objective::Minimize);
+        let x = m.add_var("x", f64::NEG_INFINITY, INF, 1.0);
+        m.add_constraint("lo", &[(x, 1.0)], Relation::Ge, -3.0);
+        let sol = m.solve().unwrap();
+        assert_close(sol.objective(), -3.0);
+    }
+
+    #[test]
+    fn paper_running_example_min_t() {
+        // Equation 6 + l >= 0.5: t = 1.615, reduced cost of l = 1 (Fig. 5).
+        let mut m = LpModel::new(Objective::Minimize);
+        let l = m.add_var("l", 0.5, INF, 0.0);
+        let y1 = m.add_var("y1", f64::NEG_INFINITY, INF, 0.0);
+        let t = m.add_var("t", f64::NEG_INFINITY, INF, 1.0);
+        let c1 = m.add_constraint("c1", &[(y1, 1.0), (l, -1.0)], Relation::Ge, 0.115);
+        let c2 = m.add_constraint("c2", &[(y1, 1.0)], Relation::Ge, 0.5);
+        let c3 = m.add_constraint("c3", &[(t, 1.0)], Relation::Ge, 1.1);
+        let c4 = m.add_constraint("c4", &[(t, 1.0), (y1, -1.0)], Relation::Ge, 1.0);
+        let sol = m.solve().unwrap();
+        assert_close(sol.objective(), 1.615);
+        assert_close(sol.reduced_cost(l), 1.0);
+        // Constraints (1) and (4) are tight: the critical path C0->S->R->C3.
+        assert!(sol.is_tight(c1));
+        assert!(sol.is_tight(c4));
+        assert!(!sol.is_tight(c2));
+        assert!(!sol.is_tight(c3));
+        // Basis stays optimal down to l >= 0.385 (the critical latency).
+        let (lo, _hi) = sol.lb_range(l);
+        assert_close(lo, 0.385);
+    }
+
+    #[test]
+    fn paper_running_example_max_l() {
+        // Fig. 6: maximize l subject to t <= 2 => l = 0.885.
+        let mut m = LpModel::new(Objective::Maximize);
+        let l = m.add_var("l", 0.0, INF, 1.0);
+        let y1 = m.add_var("y1", f64::NEG_INFINITY, INF, 0.0);
+        let t = m.add_var("t", f64::NEG_INFINITY, 2.0, 0.0);
+        m.add_constraint("c1", &[(y1, 1.0), (l, -1.0)], Relation::Ge, 0.115);
+        m.add_constraint("c2", &[(y1, 1.0)], Relation::Ge, 0.5);
+        m.add_constraint("c3", &[(t, 1.0)], Relation::Ge, 1.1);
+        m.add_constraint("c4", &[(t, 1.0), (y1, -1.0)], Relation::Ge, 1.0);
+        let sol = m.solve().unwrap();
+        assert_close(sol.objective(), 0.885);
+        assert_close(sol.value(l), 0.885);
+    }
+
+    #[test]
+    fn running_example_below_critical_latency() {
+        // With l >= 0.2 (< 0.385) the compute path dominates: t = 1.5 and
+        // the latency sensitivity is 0.
+        let mut m = LpModel::new(Objective::Minimize);
+        let l = m.add_var("l", 0.2, INF, 0.0);
+        let y1 = m.add_var("y1", f64::NEG_INFINITY, INF, 0.0);
+        let t = m.add_var("t", f64::NEG_INFINITY, INF, 1.0);
+        m.add_constraint("c1", &[(y1, 1.0), (l, -1.0)], Relation::Ge, 0.115);
+        m.add_constraint("c2", &[(y1, 1.0)], Relation::Ge, 0.5);
+        m.add_constraint("c3", &[(t, 1.0)], Relation::Ge, 1.1);
+        m.add_constraint("c4", &[(t, 1.0), (y1, -1.0)], Relation::Ge, 1.0);
+        let sol = m.solve().unwrap();
+        assert_close(sol.objective(), 1.5);
+        assert_close(sol.reduced_cost(l), 0.0);
+    }
+
+    #[test]
+    fn range_row_is_respected() {
+        // max x with 2 <= x <= 7 expressed as a range row.
+        let mut m = LpModel::new(Objective::Maximize);
+        let x = m.add_var("x", f64::NEG_INFINITY, INF, 1.0);
+        m.add_range_constraint("rng", &[(x, 1.0)], 2.0, 7.0);
+        let sol = m.solve().unwrap();
+        assert_close(sol.objective(), 7.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Many redundant constraints through the same vertex.
+        let mut m = LpModel::new(Objective::Minimize);
+        let x = m.add_var("x", 0.0, INF, 1.0);
+        let y = m.add_var("y", 0.0, INF, 1.0);
+        for i in 0..20 {
+            let w = 1.0 + (i as f64) * 0.0; // identical rows
+            m.add_constraint(format!("r{i}"), &[(x, w), (y, w)], Relation::Ge, 4.0);
+        }
+        let sol = m.solve().unwrap();
+        assert_close(sol.objective(), 4.0);
+    }
+
+    #[test]
+    fn iterations_are_counted() {
+        let mut m = LpModel::new(Objective::Maximize);
+        let a = m.add_var("a", 0.0, INF, 3.0);
+        let b = m.add_var("b", 0.0, INF, 5.0);
+        m.add_constraint("c1", &[(a, 1.0)], Relation::Le, 4.0);
+        m.add_constraint("c2", &[(b, 2.0)], Relation::Le, 12.0);
+        m.add_constraint("c3", &[(a, 3.0), (b, 2.0)], Relation::Le, 18.0);
+        let sol = m.solve().unwrap();
+        assert!(sol.iterations() > 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Solved-model accessors: primal values, duals, reduced costs, ranging.
+//!
+//! The fields mirror what LLAMP reads from Gurobi:
+//!
+//! * the objective value (predicted runtime `T`),
+//! * the reduced cost of the latency variable (`λ_L = ∂T/∂L`, §II-D1),
+//! * the *range of feasibility* of a variable's lower bound — Gurobi's
+//!   `SALBLow`/`SALBUp` attributes — which Algorithm 2 uses to walk the
+//!   critical-latency breakpoints,
+//! * per-constraint tightness, which identifies the critical path (§II-D1:
+//!   "if a set of constraints are tight after optimization, their
+//!   corresponding edges are on the critical path").
+
+use crate::model::{ConId, VarId};
+use crate::simplex::RangingData;
+
+/// Terminal state of a solve attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// An optimal basic solution was found.
+    Optimal,
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded in the optimisation direction.
+    Unbounded,
+    /// The iteration limit was hit before convergence.
+    IterationLimit,
+}
+
+impl std::fmt::Display for SolveStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SolveStatus::Optimal => "optimal",
+            SolveStatus::Infeasible => "infeasible",
+            SolveStatus::Unbounded => "unbounded",
+            SolveStatus::IterationLimit => "iteration limit",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for SolveStatus {}
+
+/// Basis membership of a variable in the optimal solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarStatus {
+    /// In the basis (value strictly between bounds, barring degeneracy).
+    Basic,
+    /// Nonbasic, resting on its lower bound.
+    AtLower,
+    /// Nonbasic, resting on its upper bound.
+    AtUpper,
+    /// Nonbasic free variable pinned at zero.
+    FreeZero,
+}
+
+/// The result of a successful solve. All reported quantities are expressed
+/// in the *user's* optimisation sense (signs are flipped internally for
+/// maximisation problems).
+#[derive(Debug, Clone)]
+pub struct Solution {
+    pub(crate) objective: f64,
+    pub(crate) x: Vec<f64>,
+    pub(crate) reduced_costs: Vec<f64>,
+    pub(crate) duals: Vec<f64>,
+    pub(crate) row_activity: Vec<f64>,
+    pub(crate) var_status: Vec<VarStatus>,
+    pub(crate) iterations: u64,
+    pub(crate) row_lb: Vec<f64>,
+    pub(crate) row_ub: Vec<f64>,
+    /// Final basis factorisation, retained so ranging queries can run
+    /// on demand instead of eagerly for every variable.
+    pub(crate) ranging: Box<RangingData>,
+}
+
+impl Solution {
+    /// Optimal objective value.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Value of a variable at the optimum.
+    pub fn value(&self, v: VarId) -> f64 {
+        self.x[v.0 as usize]
+    }
+
+    /// Reduced cost of a variable. For a `min t` LLAMP model this is
+    /// `∂T/∂(bound of v)` when `v` is nonbasic at a bound — reading it for
+    /// the latency variable yields the latency sensitivity `λ_L`.
+    pub fn reduced_cost(&self, v: VarId) -> f64 {
+        self.reduced_costs[v.0 as usize]
+    }
+
+    /// Dual value (shadow price) of a constraint row: the rate of change of
+    /// the objective per unit increase of the row's binding bound.
+    pub fn dual(&self, c: ConId) -> f64 {
+        self.duals[c.0 as usize]
+    }
+
+    /// Activity `aᵀx` of a constraint row at the optimum.
+    pub fn activity(&self, c: ConId) -> f64 {
+        self.row_activity[c.0 as usize]
+    }
+
+    /// Whether a constraint is *tight* (its activity sits on a finite row
+    /// bound). Tight rows correspond to critical-path edges in LLAMP.
+    pub fn is_tight(&self, c: ConId) -> bool {
+        let i = c.0 as usize;
+        let a = self.row_activity[i];
+        let tol = 1e-6 * (1.0 + a.abs());
+        (self.row_lb[i].is_finite() && (a - self.row_lb[i]).abs() <= tol)
+            || (self.row_ub[i].is_finite() && (a - self.row_ub[i]).abs() <= tol)
+    }
+
+    /// Basis status of a variable.
+    pub fn var_status(&self, v: VarId) -> VarStatus {
+        self.var_status[v.0 as usize]
+    }
+
+    /// Range of feasibility of the variable's **lower bound**: the interval
+    /// of lower-bound values over which the current optimal basis remains
+    /// optimal. The low end is the paper's `SALBLow` (Algorithm 2).
+    ///
+    /// For a basic variable the lower bound is slack: the range extends to
+    /// `-∞` below and up to the variable's current value above. For a
+    /// nonbasic variable at its upper bound the lower bound is equally
+    /// slack and the range is `(-∞, ub]`.
+    pub fn lb_range(&self, v: VarId) -> (f64, f64) {
+        self.ranging.lb_range(v.0 as usize, self.var_status[v.0 as usize])
+    }
+
+    /// Equivalent of Gurobi's `SALBLow` attribute: the smallest lower-bound
+    /// value for which the current basis stays optimal.
+    pub fn salb_low(&self, v: VarId) -> f64 {
+        self.lb_range(v).0
+    }
+
+    /// Number of simplex iterations performed (phases 1 and 2 combined).
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+}

@@ -1,0 +1,234 @@
+//! Property tests for the simplex solver.
+//!
+//! Strategy: generate random bounded LPs, solve, and check the *certificates*
+//! rather than re-deriving the optimum: primal feasibility of the returned
+//! point, consistency across solver configurations (refactorising every
+//! pivot must agree with eta-update-only runs), duality relationships, and
+//! agreement with brute-force vertex enumeration on tiny instances.
+
+use llamp_lp::simplex::{solve, SimplexOptions};
+use llamp_lp::{ConId, LpModel, Objective, Relation, SolveStatus, VarId};
+use proptest::prelude::*;
+
+/// A constraint row: sparse terms, relation code (0 ≤, 1 ≥, 2 =), rhs.
+type RandomRow = (Vec<(usize, f64)>, u8, f64);
+
+#[derive(Debug, Clone)]
+struct RandomLp {
+    nvars: usize,
+    lbs: Vec<f64>,
+    ubs: Vec<f64>,
+    objs: Vec<f64>,
+    rows: Vec<RandomRow>,
+    maximize: bool,
+}
+
+fn lp_strategy(max_vars: usize, max_rows: usize) -> impl Strategy<Value = RandomLp> {
+    (2..=max_vars).prop_flat_map(move |nvars| {
+        let bounds = prop::collection::vec((0.0f64..5.0, 0.0f64..10.0), nvars);
+        let objs = prop::collection::vec(-5.0f64..5.0, nvars);
+        let row = (
+            prop::collection::vec((0..nvars, -3.0f64..3.0), 1..=3),
+            0u8..3,
+            -10.0f64..20.0,
+        );
+        let rows = prop::collection::vec(row, 1..=max_rows);
+        (bounds, objs, rows, any::<bool>()).prop_map(move |(bounds, objs, rows, maximize)| {
+            let (lbs, spans): (Vec<f64>, Vec<f64>) = bounds.into_iter().unzip();
+            let ubs: Vec<f64> = lbs.iter().zip(&spans).map(|(l, s)| l + s).collect();
+            RandomLp {
+                nvars,
+                lbs,
+                ubs,
+                objs,
+                rows,
+                maximize,
+            }
+        })
+    })
+}
+
+fn build(lp: &RandomLp) -> (LpModel, Vec<VarId>, Vec<ConId>) {
+    let mut m = LpModel::new(if lp.maximize {
+        Objective::Maximize
+    } else {
+        Objective::Minimize
+    });
+    let vars: Vec<VarId> = (0..lp.nvars)
+        .map(|j| m.add_var(format!("x{j}"), lp.lbs[j], lp.ubs[j], lp.objs[j]))
+        .collect();
+    let mut cons = Vec::new();
+    for (i, (terms, rel, rhs)) in lp.rows.iter().enumerate() {
+        let t: Vec<(VarId, f64)> = terms.iter().map(|&(v, c)| (vars[v], c)).collect();
+        let rel = match rel {
+            0 => Relation::Le,
+            1 => Relation::Ge,
+            _ => Relation::Eq,
+        };
+        cons.push(m.add_constraint(format!("r{i}"), &t, rel, *rhs));
+    }
+    (m, vars, cons)
+}
+
+/// Check that a point satisfies all rows and bounds within tolerance.
+fn is_feasible(lp: &RandomLp, x: &[f64]) -> bool {
+    const TOL: f64 = 1e-5;
+    for (j, &xj) in x.iter().enumerate() {
+        if xj < lp.lbs[j] - TOL || xj > lp.ubs[j] + TOL {
+            return false;
+        }
+    }
+    for (terms, rel, rhs) in &lp.rows {
+        let a: f64 = terms.iter().map(|&(v, c)| c * x[v]).sum();
+        let ok = match rel {
+            0 => a <= rhs + TOL,
+            1 => a >= rhs - TOL,
+            _ => (a - rhs).abs() <= TOL,
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The returned "optimal" point is actually feasible, and the reported
+    /// objective matches the point.
+    #[test]
+    fn solutions_are_feasible(lp in lp_strategy(5, 6)) {
+        let (m, vars, _) = build(&lp);
+        if let Ok(sol) = m.solve() {
+            let x: Vec<f64> = vars.iter().map(|&v| sol.value(v)).collect();
+            prop_assert!(is_feasible(&lp, &x), "infeasible point returned: {x:?}");
+            let obj: f64 = (0..lp.nvars).map(|j| lp.objs[j] * x[j]).sum();
+            prop_assert!((obj - sol.objective()).abs() < 1e-5 * (1.0 + obj.abs()));
+        }
+    }
+
+    /// Eta updates must agree with refactorising after every pivot — the
+    /// configuration that exposed the phase-1 ratio-test bug during
+    /// development.
+    #[test]
+    fn refactor_frequency_does_not_change_answers(lp in lp_strategy(5, 6)) {
+        let (m, _, _) = build(&lp);
+        let every = SimplexOptions { refactor_every: 1, ..Default::default() };
+        let never = SimplexOptions { refactor_every: 1_000_000, ..Default::default() };
+        let a = solve(&m, &every);
+        let b = solve(&m, &never);
+        match (a, b) {
+            (Ok(sa), Ok(sb)) => {
+                prop_assert!(
+                    (sa.objective() - sb.objective()).abs() < 1e-5 * (1.0 + sa.objective().abs()),
+                    "objectives differ: {} vs {}", sa.objective(), sb.objective()
+                );
+            }
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+            (x, y) => prop_assert!(false, "status mismatch: {x:?} vs {y:?}"),
+        }
+    }
+
+    /// Bland-from-the-start agrees with Dantzig pricing.
+    #[test]
+    fn pricing_rule_does_not_change_answers(lp in lp_strategy(5, 6)) {
+        let (m, _, _) = build(&lp);
+        let dantzig = SimplexOptions::default();
+        let bland = SimplexOptions { bland_after: 0, ..Default::default() };
+        if let (Ok(a), Ok(b)) = (solve(&m, &dantzig), solve(&m, &bland)) {
+            prop_assert!(
+                (a.objective() - b.objective()).abs() < 1e-5 * (1.0 + a.objective().abs())
+            );
+        }
+    }
+
+    /// Tiny LPs vs. brute force: sample the box on a grid, keep feasible
+    /// points; the solver's optimum must weakly dominate all of them.
+    #[test]
+    fn optimum_dominates_grid_samples(lp in lp_strategy(3, 4)) {
+        let (m, _, _) = build(&lp);
+        if let Ok(sol) = m.solve() {
+            let steps = 7usize;
+            let mut idx = vec![0usize; lp.nvars];
+            loop {
+                let x: Vec<f64> = (0..lp.nvars)
+                    .map(|j| lp.lbs[j] + (lp.ubs[j] - lp.lbs[j]) * idx[j] as f64 / (steps - 1) as f64)
+                    .collect();
+                if is_feasible(&lp, &x) {
+                    let obj: f64 = (0..lp.nvars).map(|j| lp.objs[j] * x[j]).sum();
+                    if lp.maximize {
+                        prop_assert!(sol.objective() >= obj - 1e-4 * (1.0 + obj.abs()),
+                            "grid point beats optimum: {obj} > {}", sol.objective());
+                    } else {
+                        prop_assert!(sol.objective() <= obj + 1e-4 * (1.0 + obj.abs()),
+                            "grid point beats optimum: {obj} < {}", sol.objective());
+                    }
+                }
+                // advance the mixed-radix counter
+                let mut k = 0;
+                loop {
+                    if k == lp.nvars { return Ok(()); }
+                    idx[k] += 1;
+                    if idx[k] < steps { break; }
+                    idx[k] = 0;
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    /// An infeasibility verdict must be genuine: no grid point may satisfy
+    /// all constraints.
+    #[test]
+    fn infeasible_verdicts_have_no_witness(lp in lp_strategy(3, 4)) {
+        let (m, _, _) = build(&lp);
+        if let Err(SolveStatus::Infeasible) = m.solve() {
+            let steps = 9usize;
+            let mut idx = vec![0usize; lp.nvars];
+            loop {
+                let x: Vec<f64> = (0..lp.nvars)
+                    .map(|j| lp.lbs[j] + (lp.ubs[j] - lp.lbs[j]) * idx[j] as f64 / (steps - 1) as f64)
+                    .collect();
+                // Use a strict margin: grid feasibility within -1e-3 slack
+                // would contradict the verdict.
+                let strictly_ok = lp.rows.iter().all(|(terms, rel, rhs)| {
+                    let a: f64 = terms.iter().map(|&(v, c)| c * x[v]).sum();
+                    match rel {
+                        0 => a <= rhs - 1e-3,
+                        1 => a >= rhs + 1e-3,
+                        _ => (a - rhs).abs() <= 0.0,
+                    }
+                });
+                prop_assert!(!strictly_ok, "witness found for 'infeasible' LP: {x:?}");
+                let mut k = 0;
+                loop {
+                    if k == lp.nvars { return Ok(()); }
+                    idx[k] += 1;
+                    if idx[k] < steps { break; }
+                    idx[k] = 0;
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    /// Reduced-cost sign convention at optimum: for minimisation, nonbasic
+    /// variables at lower bound have d >= 0 and at upper bound d <= 0.
+    #[test]
+    fn reduced_cost_signs(lp in lp_strategy(4, 5)) {
+        use llamp_lp::solution::VarStatus;
+        let (m, vars, _) = build(&lp);
+        if let Ok(sol) = m.solve() {
+            let sign = if lp.maximize { -1.0 } else { 1.0 };
+            for &v in &vars {
+                let d = sign * sol.reduced_cost(v);
+                match sol.var_status(v) {
+                    VarStatus::AtLower => prop_assert!(d >= -1e-5, "d={d} at lower"),
+                    VarStatus::AtUpper => prop_assert!(d <= 1e-5, "d={d} at upper"),
+                    _ => {}
+                }
+            }
+        }
+    }
+}

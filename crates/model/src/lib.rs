@@ -1,0 +1,24 @@
+//! # llamp-model — network performance models
+//!
+//! The LogGPS family of models underpinning LLAMP:
+//!
+//! * [`params::LogGPSParams`] — the `L, o, g, G, O, S` parameter vector of
+//!   the LogGOPS/LogGPS models (Culler et al., Alexandrov et al., Ino et
+//!   al.), with the protocol-selection rule (eager below `S`, rendezvous at
+//!   or above) and the cluster configurations the paper measured with
+//!   Netgauge on the CSCS test-bed and Piz Daint.
+//! * [`hloggp::HLogGP`] — the heterogeneous extension (Bosque et al.): `L`
+//!   and `G` become `P×P` matrices so intra-node, intra-switch and
+//!   inter-group links can differ (paper Appendix I).
+//! * [`netgauge`] — parameter *measurement*: the PRTT(n, d, s) methodology
+//!   of the Netgauge LogGP module, fitting `L`, `o`, `G` from round-trip
+//!   experiments against any implementor of [`netgauge::Network`]. The
+//!   simulator crate implements that trait, closing the loop the paper's
+//!   §III-B describes (measure parameters, then feed them to the analysis).
+
+pub mod hloggp;
+pub mod netgauge;
+pub mod params;
+
+pub use hloggp::HLogGP;
+pub use params::{LogGPSParams, Protocol};

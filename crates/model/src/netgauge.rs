@@ -1,0 +1,176 @@
+//! Netgauge-style LogGP parameter measurement.
+//!
+//! The paper measures its clusters' LogGPS parameters with Netgauge
+//! (Hoefler et al., HPCC'07) before any analysis: "To precisely measure the
+//! network parameters critical for the LogGPS model, we employed Netgauge
+//! 2.4.6" (§III-B). This module reimplements the LogGP fitting procedure of
+//! Netgauge's `logp` module on top of an abstract [`Network`]:
+//!
+//! * `PRTT(1, 0, s)` — a ping-pong of one `s`-byte message each way:
+//!   `2·(2o + L + (s−1)G)` under LogGP.
+//! * `PRTT(n, d, s)` — `n` messages sent with inter-send delay `d`; for
+//!   `d` larger than the network's per-message service time the sender is
+//!   the bottleneck and the overhead `o` becomes observable:
+//!   `o ≈ (PRTT(n, d, s) − PRTT(1, 0, s))/(n − 1) − d`.
+//! * `G` — the slope of `PRTT(1, 0, s)` over the message size `s`
+//!   (two-point fit across a size sweep, divided by 2 for the round trip).
+//! * `L` — the intercept: `PRTT(1,0,1)/2 − 2o`.
+//!
+//! The simulator implements [`Network`] by actually simulating these
+//! exchanges, so tests can verify that measurement recovers the parameters
+//! the simulator was configured with — the same closure the paper gets by
+//! measuring real hardware.
+
+use crate::params::LogGPSParams;
+
+/// Anything that can run a Netgauge PRTT experiment: send `n` messages of
+/// `size` bytes with `delay` ns between consecutive sends, get them echoed
+/// back, and report the total round-trip time of the last message.
+pub trait Network {
+    /// Parameterised round-trip time (ns).
+    fn prtt(&mut self, n: usize, delay_ns: f64, size: u64) -> f64;
+}
+
+/// Measurement campaign configuration.
+#[derive(Debug, Clone)]
+pub struct MeasureConfig {
+    /// Message sizes swept for the `G` fit.
+    pub sizes: Vec<u64>,
+    /// Message train length for the `o` measurement.
+    pub train: usize,
+    /// Inter-send delay for the `o` measurement (must exceed the service
+    /// time; Netgauge grows it adaptively, we take it as a parameter).
+    pub delay_ns: f64,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        Self {
+            sizes: vec![1, 1 << 10, 1 << 14, 1 << 17],
+            train: 16,
+            delay_ns: 100_000.0,
+        }
+    }
+}
+
+/// Fitted LogGP parameters (a subset of [`LogGPSParams`]; `S` and `g` are
+/// not observable from PRTT experiments alone).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fitted {
+    /// Estimated network latency `L` (ns).
+    pub l: f64,
+    /// Estimated per-message overhead `o` (ns).
+    pub o: f64,
+    /// Estimated per-byte gap `G` (ns/byte).
+    pub big_g: f64,
+}
+
+impl Fitted {
+    /// Merge the fitted values into a full parameter set.
+    pub fn into_params(self, template: LogGPSParams) -> LogGPSParams {
+        LogGPSParams {
+            l: self.l,
+            o: self.o,
+            big_g: self.big_g,
+            ..template
+        }
+    }
+}
+
+/// Run the measurement campaign and fit `L`, `o`, `G`.
+pub fn measure(net: &mut impl Network, cfg: &MeasureConfig) -> Fitted {
+    assert!(cfg.sizes.len() >= 2, "need at least two sizes to fit G");
+    assert!(cfg.train >= 2, "need a message train to observe o");
+
+    // G: least-squares slope of PRTT(1,0,s)/2 against (s-1).
+    let pts: Vec<(f64, f64)> = cfg
+        .sizes
+        .iter()
+        .map(|&s| {
+            let rtt = net.prtt(1, 0.0, s);
+            ((s.saturating_sub(1)) as f64, rtt / 2.0)
+        })
+        .collect();
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    let big_g = if denom.abs() < f64::EPSILON {
+        0.0
+    } else {
+        ((n * sxy - sx * sy) / denom).max(0.0)
+    };
+
+    // o: saturated sender experiment at the smallest size.
+    let s0 = cfg.sizes[0];
+    let base = net.prtt(1, 0.0, s0);
+    let train = net.prtt(cfg.train, cfg.delay_ns, s0);
+    let o = ((train - base) / (cfg.train as f64 - 1.0) - cfg.delay_ns).max(0.0);
+
+    // L: one-way small-message time minus both overheads.
+    let one_way = base / 2.0 - (s0.saturating_sub(1)) as f64 * big_g;
+    let l = (one_way - 2.0 * o).max(0.0);
+
+    Fitted { l, o, big_g }
+}
+
+/// An ideal analytical LogGP network — the ground truth the fitting code is
+/// validated against (and a reference for what `PRTT` means).
+#[derive(Debug, Clone, Copy)]
+pub struct IdealLogGP {
+    /// True parameters.
+    pub params: LogGPSParams,
+}
+
+impl Network for IdealLogGP {
+    fn prtt(&mut self, n: usize, delay_ns: f64, size: u64) -> f64 {
+        let p = &self.params;
+        // First n-1 messages pace the sender (CPU issue time o+d vs. wire
+        // occupancy g+(s-1)G, whichever binds); the round trip of the last
+        // message completes the PRTT (Netgauge logp methodology).
+        let pace = (p.o + delay_ns).max(p.g + p.transmission(size));
+        let round_trip = 2.0 * (2.0 * p.o + p.l + p.transmission(size));
+        (n as f64 - 1.0) * pace + round_trip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_ideal_parameters() {
+        let truth = LogGPSParams {
+            l: 3_000.0,
+            o: 5_000.0,
+            g: 0.0,
+            big_g: 0.018,
+            big_o: 0.0,
+            s: u64::MAX,
+            p: 2,
+        };
+        let mut net = IdealLogGP { params: truth };
+        let fit = measure(&mut net, &MeasureConfig::default());
+        assert!((fit.l - truth.l).abs() < 1.0, "L: {}", fit.l);
+        assert!((fit.o - truth.o).abs() < 1.0, "o: {}", fit.o);
+        assert!((fit.big_g - truth.big_g).abs() < 1e-4, "G: {}", fit.big_g);
+    }
+
+    #[test]
+    fn fitted_into_params_keeps_template_fields() {
+        let template = LogGPSParams::cscs_testbed(64);
+        let fit = Fitted {
+            l: 10.0,
+            o: 20.0,
+            big_g: 0.5,
+        };
+        let p = fit.into_params(template);
+        assert_eq!(p.l, 10.0);
+        assert_eq!(p.o, 20.0);
+        assert_eq!(p.big_g, 0.5);
+        assert_eq!(p.s, template.s);
+        assert_eq!(p.p, 64);
+    }
+}

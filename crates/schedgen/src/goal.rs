@@ -1,0 +1,346 @@
+//! GOAL-style serialisation of execution graphs.
+//!
+//! GOAL (Group Operation Assembly Language, Hoefler et al. 2009) is the
+//! format Schedgen emits and LogGOPSim consumes. This module writes a
+//! GOAL-inspired dialect extended with explicit symbolic costs so graphs
+//! round-trip exactly (the classic format encodes only `send`/`recv`/`calc`
+//! with concrete costs):
+//!
+//! ```text
+//! num_ranks 2
+//! rank 0 {
+//! v0: calc 1000
+//! v1: send 8b to 1 tag 0 cost o=1
+//! }
+//! rank 1 {
+//! v2: recv 8b from 0 tag 0 cost o=1
+//! }
+//! v0 -> v1 local
+//! v1 -> v2 comm l=1 gb=7
+//! ```
+
+use crate::graph::{CostExpr, EdgeKind, ExecGraph, GraphBuilder, VertexKind};
+use std::fmt::Write as _;
+
+/// Serialise a graph to the GOAL dialect.
+pub fn write_goal(g: &ExecGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "num_ranks {}", g.nranks());
+    for rank in 0..g.nranks() {
+        let _ = writeln!(out, "rank {rank} {{");
+        for v in 0..g.num_vertices() as u32 {
+            let vert = g.vertex(v);
+            if vert.rank != rank {
+                continue;
+            }
+            match vert.kind {
+                VertexKind::Calc => {
+                    let _ = write!(out, "v{v}: calc");
+                }
+                VertexKind::Send { peer, bytes, tag } => {
+                    let _ = write!(out, "v{v}: send {bytes}b to {peer} tag {tag}");
+                }
+                VertexKind::Recv { peer, bytes, tag } => {
+                    let _ = write!(out, "v{v}: recv {bytes}b from {peer} tag {tag}");
+                }
+                VertexKind::Handshake => {
+                    let _ = write!(out, "v{v}: handshake");
+                }
+            }
+            write_cost(&mut out, &vert.cost);
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "}}");
+    }
+    for v in 0..g.num_vertices() as u32 {
+        for e in g.preds(v) {
+            let kind = match e.kind {
+                EdgeKind::Local => "local",
+                EdgeKind::Comm => "comm",
+                EdgeKind::Rendezvous => "rndv",
+            };
+            let _ = write!(out, "v{} -> v{} {}", e.other, v, kind);
+            write_cost(&mut out, &e.cost);
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+fn write_cost(out: &mut String, c: &CostExpr) {
+    if c.is_zero() {
+        return;
+    }
+    let _ = write!(out, " cost");
+    if c.const_ns != 0.0 {
+        let _ = write!(out, " c={}", c.const_ns);
+    }
+    if c.o_count != 0.0 {
+        let _ = write!(out, " o={}", c.o_count);
+    }
+    if c.l_count != 0.0 {
+        let _ = write!(out, " l={}", c.l_count);
+    }
+    if c.gbytes != 0.0 {
+        let _ = write!(out, " gb={}", c.gbytes);
+    }
+}
+
+/// Parse failure with a 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoalParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for GoalParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GOAL parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for GoalParseError {}
+
+/// Parse the GOAL dialect back into an execution graph.
+pub fn parse_goal(input: &str) -> Result<ExecGraph, GoalParseError> {
+    let mut nranks: Option<u32> = None;
+    let mut current_rank: Option<u32> = None;
+    // Vertex declarations may arrive in any order; collect then build.
+    let mut verts: Vec<(u32, u32, VertexKind, CostExpr)> = Vec::new(); // (id, rank, ...)
+    let mut edges: Vec<(u32, u32, EdgeKind, CostExpr)> = Vec::new();
+
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        let err = |message: String| GoalParseError {
+            line: lineno,
+            message,
+        };
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("num_ranks") {
+            nranks = Some(
+                rest.trim()
+                    .parse()
+                    .map_err(|e| err(format!("bad num_ranks: {e}")))?,
+            );
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("rank") {
+            let rest = rest.trim().trim_end_matches('{').trim();
+            current_rank = Some(
+                rest.parse()
+                    .map_err(|e| err(format!("bad rank header: {e}")))?,
+            );
+            continue;
+        }
+        if line == "}" {
+            current_rank = None;
+            continue;
+        }
+        if line.contains("->") {
+            // Edge line: v<a> -> v<b> <kind> [cost ...]
+            let mut it = line.split_whitespace();
+            let a = parse_vid(it.next().unwrap_or(""), lineno)?;
+            if it.next() != Some("->") {
+                return Err(err("expected '->'".into()));
+            }
+            let b = parse_vid(it.next().unwrap_or(""), lineno)?;
+            let kind = match it.next() {
+                Some("local") => EdgeKind::Local,
+                Some("comm") => EdgeKind::Comm,
+                Some("rndv") => EdgeKind::Rendezvous,
+                other => return Err(err(format!("bad edge kind {other:?}"))),
+            };
+            let cost = parse_cost(&mut it, lineno)?;
+            edges.push((a, b, kind, cost));
+            continue;
+        }
+        // Vertex line: v<id>: <kind> ... [cost ...]
+        let rank = current_rank.ok_or_else(|| err("vertex outside rank block".into()))?;
+        let (head, rest) = line
+            .split_once(':')
+            .ok_or_else(|| err("expected 'v<id>:'".into()))?;
+        let id = parse_vid(head, lineno)?;
+        let mut it = rest.split_whitespace();
+        let kind = match it.next() {
+            Some("calc") => VertexKind::Calc,
+            Some("handshake") => VertexKind::Handshake,
+            Some(k @ ("send" | "recv")) => {
+                let bytes: u64 = it
+                    .next()
+                    .and_then(|s| s.strip_suffix('b'))
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad byte count".into()))?;
+                let dir = it.next(); // "to" | "from"
+                if dir != Some("to") && dir != Some("from") {
+                    return Err(err("expected to/from".into()));
+                }
+                let peer: u32 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad peer".into()))?;
+                if it.next() != Some("tag") {
+                    return Err(err("expected tag".into()));
+                }
+                let tag: u32 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad tag".into()))?;
+                if k == "send" {
+                    VertexKind::Send { peer, bytes, tag }
+                } else {
+                    VertexKind::Recv { peer, bytes, tag }
+                }
+            }
+            other => return Err(err(format!("bad vertex kind {other:?}"))),
+        };
+        let cost = parse_cost(&mut it, lineno)?;
+        verts.push((id, rank, kind, cost));
+    }
+
+    let nranks = nranks.ok_or(GoalParseError {
+        line: 0,
+        message: "missing num_ranks".into(),
+    })?;
+    verts.sort_by_key(|v| v.0);
+    let mut builder = GraphBuilder::new(nranks);
+    for (i, &(id, rank, kind, cost)) in verts.iter().enumerate() {
+        if id as usize != i {
+            return Err(GoalParseError {
+                line: 0,
+                message: format!("vertex ids must be dense, missing v{i}"),
+            });
+        }
+        builder.add_vertex(rank, kind, cost);
+    }
+    for (a, b, kind, cost) in edges {
+        if a as usize >= verts.len() || b as usize >= verts.len() {
+            return Err(GoalParseError {
+                line: 0,
+                message: format!("edge references undeclared vertex v{a} or v{b}"),
+            });
+        }
+        builder.add_edge(a, b, kind, cost);
+    }
+    builder.finish().map_err(|e| GoalParseError {
+        line: 0,
+        message: e.to_string(),
+    })
+}
+
+fn parse_vid(tok: &str, line: usize) -> Result<u32, GoalParseError> {
+    tok.trim()
+        .strip_prefix('v')
+        .and_then(|s| s.trim_end_matches(':').parse().ok())
+        .ok_or_else(|| GoalParseError {
+            line,
+            message: format!("bad vertex id {tok:?}"),
+        })
+}
+
+fn parse_cost<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    line: usize,
+) -> Result<CostExpr, GoalParseError> {
+    let mut cost = CostExpr::ZERO;
+    let mut saw_cost_kw = false;
+    for tok in it {
+        if tok == "cost" {
+            saw_cost_kw = true;
+            continue;
+        }
+        if !saw_cost_kw {
+            return Err(GoalParseError {
+                line,
+                message: format!("unexpected token {tok:?}"),
+            });
+        }
+        let (k, v) = tok.split_once('=').ok_or_else(|| GoalParseError {
+            line,
+            message: format!("bad cost term {tok:?}"),
+        })?;
+        let v: f64 = v.parse().map_err(|e| GoalParseError {
+            line,
+            message: format!("bad cost value {tok:?}: {e}"),
+        })?;
+        match k {
+            "c" => cost.const_ns = v,
+            "o" => cost.o_count = v,
+            "l" => cost.l_count = v,
+            "gb" => cost.gbytes = v,
+            other => {
+                return Err(GoalParseError {
+                    line,
+                    message: format!("unknown cost key {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_graph, GraphConfig};
+    use llamp_trace::{ProgramSet, TracerConfig};
+
+    fn sample_graph() -> ExecGraph {
+        let tr = ProgramSet::spmd(3, |rank, b| {
+            b.comp(1_000.0);
+            if rank == 0 {
+                b.send(1, 4096, 0);
+            } else if rank == 1 {
+                b.recv(0, 4096, 0);
+            }
+            b.allreduce(64);
+            b.comp(250.5);
+        })
+        .trace(&TracerConfig::default());
+        build_graph(&tr, &GraphConfig::eager()).unwrap()
+    }
+
+    #[test]
+    fn goal_round_trip_preserves_structure() {
+        let g = sample_graph();
+        let text = write_goal(&g);
+        let back = parse_goal(&text).unwrap();
+        assert_eq!(back.nranks(), g.nranks());
+        assert_eq!(back.num_vertices(), g.num_vertices());
+        assert_eq!(back.num_edges(), g.num_edges());
+        assert_eq!(back.num_messages(), g.num_messages());
+        for v in 0..g.num_vertices() as u32 {
+            assert_eq!(back.vertex(v).kind, g.vertex(v).kind, "v{v}");
+            assert_eq!(back.vertex(v).cost, g.vertex(v).cost, "v{v}");
+            assert_eq!(back.vertex(v).rank, g.vertex(v).rank, "v{v}");
+        }
+    }
+
+    #[test]
+    fn rendezvous_graph_round_trips() {
+        let tr = ProgramSet::spmd(2, |rank, b| {
+            if rank == 0 {
+                b.send(1, 1 << 20, 0);
+            } else {
+                b.recv(0, 1 << 20, 0);
+            }
+        })
+        .trace(&TracerConfig::default());
+        let g = build_graph(&tr, &GraphConfig::paper()).unwrap();
+        let back = parse_goal(&write_goal(&g)).unwrap();
+        assert_eq!(back.num_edges(), g.num_edges());
+        let (_, _, _, hs) = back.kind_counts();
+        assert_eq!(hs, 1);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_goal("v0: calc\n").is_err()); // missing num_ranks+rank
+        assert!(parse_goal("num_ranks 1\nrank 0 {\nv0: frobnicate\n}\n").is_err());
+        assert!(parse_goal("num_ranks 1\nrank 0 {\nv0: calc\n}\nv0 -> v5 local\n").is_err());
+    }
+}

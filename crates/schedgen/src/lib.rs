@@ -1,0 +1,36 @@
+//! # llamp-schedgen — trace → execution graph compilation
+//!
+//! A reimplementation of the LogGOPSim toolchain's *Schedgen* (paper §II-A):
+//! it parses MPI traces, infers computation from timestamp gaps, matches
+//! point-to-point messages, substitutes collectives with point-to-point
+//! algorithms, and emits execution graphs in a GOAL-style format.
+//!
+//! * [`graph`] — the CSR execution-graph representation with *symbolic*
+//!   LogGPS costs ([`graph::CostExpr`]), chain contraction (the graph-level
+//!   presolve), and topological ordering.
+//! * [`lower`] — eager and rendezvous lowering gadgets (paper Figs. 3, 14,
+//!   15).
+//! * [`collectives`] — recursive doubling, ring, binomial-tree, linear and
+//!   dissemination algorithm expansions (§IV-1).
+//! * [`build`] — the trace compiler ([`build::build_graph`]).
+//! * [`goal`] — GOAL-dialect writer/parser.
+
+pub mod build;
+pub mod collectives;
+pub mod goal;
+pub mod graph;
+pub mod lower;
+
+pub use build::{build_graph, BuildError, GraphConfig};
+pub use collectives::{
+    AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BarrierAlgo, BcastAlgo, CollectiveConfig,
+    ReduceAlgo,
+};
+pub use graph::{CostExpr, EdgeKind, EdgeRef, ExecGraph, GraphBuilder, Vertex, VertexKind};
+
+use llamp_trace::{ProgramSet, TracerConfig};
+
+/// Convenience: trace a program set with the default tracer and compile it.
+pub fn graph_of_programs(set: &ProgramSet, cfg: &GraphConfig) -> Result<ExecGraph, BuildError> {
+    build_graph(&set.trace(&TracerConfig::default()), cfg)
+}

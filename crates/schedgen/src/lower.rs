@@ -1,0 +1,253 @@
+//! Lowering of matched point-to-point messages into graph gadgets.
+//!
+//! * **Eager** (`bytes < S`): the send vertex costs `o` on the sender, the
+//!   receive vertex costs `o` on the receiver, and the communication edge
+//!   costs `L + (s−1)·G` — exactly Fig. 3C of the paper.
+//! * **Rendezvous** (`bytes ≥ S`): the REQ/data/FIN handshake of Fig. 14 is
+//!   modelled with a handshake vertex `H` satisfying
+//!   `T(H) ≥ T(send issued)` and `T(H) ≥ T(recv posted) + L`, after which
+//!   the sender completes at `H + 3o + 3L + (s−1)G` and the receiver at
+//!   `H + 2o + 3L + (s−1)G` — the exact constraint structure of the LP in
+//!   Fig. 15 (Appendix B).
+
+use crate::graph::{CostExpr, EdgeKind, GraphBuilder, VertexKind};
+
+/// The four interesting vertices of a lowered message.
+#[derive(Debug, Clone, Copy)]
+pub struct LoweredMessage {
+    /// Sender-side issue vertex (chain continues here for `Isend`).
+    pub issue: u32,
+    /// Sender-side completion (chain continues here for blocking `Send`;
+    /// `Wait` targets for `Isend`).
+    pub send_done: u32,
+    /// Receiver-side posting vertex (chain continues here for `Irecv`).
+    pub post: u32,
+    /// Receiver-side completion (delivery; `Recv`/`Wait` continue here).
+    pub recv_done: u32,
+}
+
+/// Shared p2p lowering context: the graph under construction plus the
+/// rendezvous threshold `S`.
+pub struct Lowering<'a> {
+    /// Graph being built.
+    pub builder: &'a mut GraphBuilder,
+    /// Rendezvous threshold in bytes (messages of at least this size
+    /// handshake).
+    pub rndv_threshold: u64,
+}
+
+impl<'a> Lowering<'a> {
+    /// Lower one matched message. `pred_s`/`pred_r` are the chain vertices
+    /// after which the send is issued / the receive is posted.
+    pub fn message(
+        &mut self,
+        sender: u32,
+        pred_s: u32,
+        receiver: u32,
+        pred_r: u32,
+        bytes: u64,
+        tag: u32,
+    ) -> LoweredMessage {
+        if bytes < self.rndv_threshold {
+            self.eager(sender, pred_s, receiver, pred_r, bytes, tag)
+        } else {
+            self.rendezvous(sender, pred_s, receiver, pred_r, bytes, tag)
+        }
+    }
+
+    fn eager(
+        &mut self,
+        sender: u32,
+        pred_s: u32,
+        receiver: u32,
+        pred_r: u32,
+        bytes: u64,
+        tag: u32,
+    ) -> LoweredMessage {
+        let b = &mut *self.builder;
+        let s = b.add_vertex(
+            sender,
+            VertexKind::Send {
+                peer: receiver,
+                bytes,
+                tag,
+            },
+            CostExpr::o(1.0),
+        );
+        b.add_edge(pred_s, s, EdgeKind::Local, CostExpr::ZERO);
+        // Posting and delivery are distinct vertices (paper Fig. 13): an
+        // `Irecv`'s chain continues from the zero-cost post, while the
+        // delivery vertex needs both the post and the message.
+        let post = b.add_vertex(receiver, VertexKind::Calc, CostExpr::ZERO);
+        b.add_edge(pred_r, post, EdgeKind::Local, CostExpr::ZERO);
+        let r = b.add_vertex(
+            receiver,
+            VertexKind::Recv {
+                peer: sender,
+                bytes,
+                tag,
+            },
+            CostExpr::o(1.0),
+        );
+        b.add_edge(post, r, EdgeKind::Local, CostExpr::ZERO);
+        b.add_edge(s, r, EdgeKind::Comm, CostExpr::wire(bytes));
+        LoweredMessage {
+            issue: s,
+            send_done: s,
+            post,
+            recv_done: r,
+        }
+    }
+
+    fn rendezvous(
+        &mut self,
+        sender: u32,
+        pred_s: u32,
+        receiver: u32,
+        pred_r: u32,
+        bytes: u64,
+        tag: u32,
+    ) -> LoweredMessage {
+        let b = &mut *self.builder;
+        // Issue and post are zero-cost: the protocol's costs sit on the
+        // handshake's outgoing edges (Fig. 15).
+        let s = b.add_vertex(
+            sender,
+            VertexKind::Send {
+                peer: receiver,
+                bytes,
+                tag,
+            },
+            CostExpr::ZERO,
+        );
+        b.add_edge(pred_s, s, EdgeKind::Local, CostExpr::ZERO);
+        let r = b.add_vertex(
+            receiver,
+            VertexKind::Recv {
+                peer: sender,
+                bytes,
+                tag,
+            },
+            CostExpr::ZERO,
+        );
+        b.add_edge(pred_r, r, EdgeKind::Local, CostExpr::ZERO);
+
+        let h = b.add_vertex(sender, VertexKind::Handshake, CostExpr::ZERO);
+        b.add_edge(s, h, EdgeKind::Rendezvous, CostExpr::ZERO);
+        // REQ from the receiver reaches the sender one latency later.
+        b.add_edge(
+            r,
+            h,
+            EdgeKind::Rendezvous,
+            CostExpr {
+                l_count: 1.0,
+                ..CostExpr::ZERO
+            },
+        );
+        let body = bytes.saturating_sub(1) as f64;
+        let send_done = b.add_vertex(sender, VertexKind::Calc, CostExpr::ZERO);
+        b.add_edge(
+            h,
+            send_done,
+            EdgeKind::Rendezvous,
+            CostExpr {
+                o_count: 3.0,
+                l_count: 3.0,
+                gbytes: body,
+                ..CostExpr::ZERO
+            },
+        );
+        let recv_done = b.add_vertex(receiver, VertexKind::Calc, CostExpr::ZERO);
+        b.add_edge(
+            h,
+            recv_done,
+            EdgeKind::Rendezvous,
+            CostExpr {
+                o_count: 2.0,
+                l_count: 3.0,
+                gbytes: body,
+                ..CostExpr::ZERO
+            },
+        );
+        LoweredMessage {
+            issue: s,
+            send_done,
+            post: r,
+            recv_done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn anchors(b: &mut GraphBuilder) -> (u32, u32) {
+        let a0 = b.add_vertex(0, VertexKind::Calc, CostExpr::ZERO);
+        let a1 = b.add_vertex(1, VertexKind::Calc, CostExpr::ZERO);
+        (a0, a1)
+    }
+
+    #[test]
+    fn eager_message_shape() {
+        let mut b = GraphBuilder::new(2);
+        let (a0, a1) = anchors(&mut b);
+        let mut low = Lowering {
+            builder: &mut b,
+            rndv_threshold: 1024,
+        };
+        let m = low.message(0, a0, 1, a1, 100, 7);
+        assert_eq!(m.issue, m.send_done);
+        // Posting precedes delivery (Fig. 13): distinct vertices.
+        assert_ne!(m.post, m.recv_done);
+        let g = b.finish().unwrap();
+        assert_eq!(g.num_messages(), 1);
+        // Recv has two preds: local chain + comm edge.
+        assert_eq!(g.preds(m.recv_done).len(), 2);
+        assert!(g
+            .preds(m.recv_done)
+            .iter()
+            .any(|e| e.kind == EdgeKind::Comm && e.cost.l_count == 1.0 && e.cost.gbytes == 99.0));
+    }
+
+    #[test]
+    fn rendezvous_message_shape() {
+        let mut b = GraphBuilder::new(2);
+        let (a0, a1) = anchors(&mut b);
+        let mut low = Lowering {
+            builder: &mut b,
+            rndv_threshold: 1024,
+        };
+        let m = low.message(0, a0, 1, a1, 4096, 0);
+        assert_ne!(m.issue, m.send_done);
+        assert_ne!(m.post, m.recv_done);
+        let g = b.finish().unwrap();
+        // Handshake vertex exists with two rendezvous preds.
+        let h = (0..g.num_vertices() as u32)
+            .find(|&v| g.vertex(v).kind == VertexKind::Handshake)
+            .unwrap();
+        assert_eq!(g.preds(h).len(), 2);
+        // Sender completion edge carries 3o + 3L + (s-1)G.
+        let e = g.preds(m.send_done)[0];
+        assert_eq!(e.cost.o_count, 3.0);
+        assert_eq!(e.cost.l_count, 3.0);
+        assert_eq!(e.cost.gbytes, 4095.0);
+        // Receiver completion edge carries 2o + 3L + (s-1)G.
+        let e = g.preds(m.recv_done)[0];
+        assert_eq!(e.cost.o_count, 2.0);
+        assert_eq!(e.cost.l_count, 3.0);
+    }
+
+    #[test]
+    fn threshold_boundary_is_rendezvous() {
+        let mut b = GraphBuilder::new(2);
+        let (a0, a1) = anchors(&mut b);
+        let mut low = Lowering {
+            builder: &mut b,
+            rndv_threshold: 4096,
+        };
+        let m = low.message(0, a0, 1, a1, 4096, 0);
+        assert_ne!(m.issue, m.send_done, "S-byte message must handshake");
+    }
+}

@@ -1,0 +1,452 @@
+//! Discrete-event replay of execution graphs under LogGOPS.
+//!
+//! The simulator is this workspace's LogGOPSim: it walks the execution
+//! graph with an event queue, maintaining per-rank CPU (`o`, `calc`) and
+//! NIC (`g`, `(s−1)·G`) resources, applying the configured latency-injector
+//! design to every eager message and evaluating rendezvous control edges
+//! under the injected latency. With noise disabled and `g = 0` its makespan
+//! matches the LP prediction exactly (the LP *is* the critical path of this
+//! schedule); with `g`, injector distortions, or noise enabled it produces
+//! the independent "measured" runtimes of the validation experiments.
+
+use crate::injector::InjectorDesign;
+use crate::noise::{Noise, NoiseConfig};
+use llamp_model::LogGPSParams;
+use llamp_schedgen::{EdgeKind, ExecGraph, VertexKind};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Network model parameters.
+    pub params: LogGPSParams,
+    /// Injected extra latency `∆L` (ns).
+    pub delta_l: f64,
+    /// Latency-injector implementation (paper Fig. 8).
+    pub injector: InjectorDesign,
+    /// Optional noise model; `None` reproduces the analytical schedule.
+    pub noise: Option<NoiseConfig>,
+    /// Record per-vertex finish times (costs memory on big graphs).
+    pub record_vertex_times: bool,
+    /// Serialise CPU-occupying events per rank (LogGOPSim behaviour: two
+    /// concurrent `o` charges on one rank queue behind each other). The
+    /// LP/critical-path model treats them as parallel branches, so this is
+    /// one of the genuine model/measurement gaps of the validation
+    /// experiments. Disable for an exact dataflow replay of the graph.
+    pub cpu_serialization: bool,
+}
+
+impl SimConfig {
+    /// Noise-free, injection-free replay under `params`.
+    pub fn ideal(params: LogGPSParams) -> Self {
+        Self {
+            params,
+            delta_l: 0.0,
+            injector: InjectorDesign::DelayThread,
+            noise: None,
+            record_vertex_times: false,
+            cpu_serialization: true,
+        }
+    }
+
+    /// Pure dataflow replay: no CPU serialisation, matching the
+    /// critical-path model exactly when noise and `g` are off.
+    pub fn dataflow(params: LogGPSParams) -> Self {
+        Self {
+            cpu_serialization: false,
+            ..Self::ideal(params)
+        }
+    }
+
+    /// Set the injected latency.
+    pub fn with_delta_l(mut self, delta_l: f64) -> Self {
+        self.delta_l = delta_l;
+        self
+    }
+
+    /// Set the injector design.
+    pub fn with_injector(mut self, injector: InjectorDesign) -> Self {
+        self.injector = injector;
+        self
+    }
+
+    /// Enable noise.
+    pub fn with_noise(mut self, noise: NoiseConfig) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+}
+
+/// Simulation outcome.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Completion time of the whole job (ns).
+    pub makespan: f64,
+    /// Completion time per rank (ns).
+    pub rank_finish: Vec<f64>,
+    /// Number of vertex events processed.
+    pub events: u64,
+    /// Per-vertex finish times when requested.
+    pub vertex_finish: Option<Vec<f64>>,
+}
+
+/// Total-ordered f64 key for the event heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Key(f64);
+
+impl Eq for Key {}
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// The simulator.
+#[derive(Debug)]
+pub struct Simulator<'g> {
+    graph: &'g ExecGraph,
+    cfg: SimConfig,
+}
+
+impl<'g> Simulator<'g> {
+    /// Bind a simulator to a graph.
+    pub fn new(graph: &'g ExecGraph, cfg: SimConfig) -> Self {
+        Self { graph, cfg }
+    }
+
+    /// Run to completion.
+    pub fn run(&self) -> SimResult {
+        let g = self.graph;
+        let p = &self.cfg.params;
+        let delta = self.cfg.delta_l;
+        let design = self.cfg.injector;
+        let nranks = g.nranks() as usize;
+        let n = g.num_vertices();
+
+        let mut noise = self.cfg.noise.map(Noise::new);
+        let mut indeg: Vec<u32> = (0..n as u32).map(|v| g.preds(v).len() as u32).collect();
+        let mut ready: Vec<f64> = vec![0.0; n];
+        let mut finish: Vec<f64> = vec![0.0; n];
+        let mut cpu_free: Vec<f64> = vec![0.0; nranks];
+        let mut nic_free: Vec<f64> = vec![0.0; nranks];
+        // Design C (progress thread): last delay-release per receiving rank.
+        let mut last_release: Vec<f64> = vec![f64::NEG_INFINITY; nranks];
+
+        let mut heap: BinaryHeap<Reverse<(Key, u32)>> = BinaryHeap::new();
+        for v in 0..n as u32 {
+            if indeg[v as usize] == 0 {
+                heap.push(Reverse((Key(0.0), v)));
+            }
+        }
+
+        // Latency applied to rendezvous control edges (per-message flows
+        // are delayed by the injector at flow level, REQ/FIN included).
+        let l_eff = p.l + delta;
+        let mut events = 0u64;
+        let mut rank_finish = vec![0.0f64; nranks];
+
+        while let Some(Reverse((Key(_t), v))) = heap.pop() {
+            events += 1;
+            let vert = g.vertex(v);
+            let rank = vert.rank as usize;
+
+            // Vertex execution: CPU-occupying when it has nonzero cost.
+            let mut cost = vert.cost.eval(p.o, p.l, p.big_g);
+            if vert.kind == VertexKind::Calc && vert.cost.const_ns > 0.0 {
+                if let Some(ns) = noise.as_mut() {
+                    cost = vert.cost.const_ns * ns.comp_factor()
+                        + (cost - vert.cost.const_ns);
+                }
+            }
+            // Design B: eager sends busy-wait the injected delay before the
+            // message leaves (Underwood et al., Fig. 8B).
+            let is_eager_send = vert.kind.is_send()
+                && g.succs(v).iter().any(|e| e.kind == EdgeKind::Comm);
+            if design == InjectorDesign::SenderDelay && is_eager_send {
+                cost += delta;
+            }
+
+            let f = if cost > 0.0 {
+                if self.cfg.cpu_serialization {
+                    let start = ready[v as usize].max(cpu_free[rank]);
+                    let f = start + cost;
+                    cpu_free[rank] = f;
+                    f
+                } else {
+                    ready[v as usize] + cost
+                }
+            } else {
+                // Zero-cost structural vertex: no CPU occupancy.
+                ready[v as usize]
+            };
+            finish[v as usize] = f;
+            rank_finish[rank] = rank_finish[rank].max(f);
+
+            // Message departure shared by all outgoing comm edges of a
+            // send. NIC pacing (the LogGP gap: a new message every
+            // max(g, (s−1)G)) is part of the resource model, off in pure
+            // dataflow replay.
+            let mut departure = f;
+            if is_eager_send && self.cfg.cpu_serialization {
+                if let VertexKind::Send { bytes, .. } = vert.kind {
+                    departure = f.max(nic_free[rank]);
+                    nic_free[rank] = departure + p.g.max(p.transmission(bytes));
+                }
+            }
+
+            for e in g.succs(v) {
+                let contribution = match e.kind {
+                    EdgeKind::Local => f + e.cost.eval(p.o, p.l, p.big_g),
+                    EdgeKind::Rendezvous => {
+                        let mut c = f + e.cost.eval(p.o, l_eff, p.big_g);
+                        if e.cost.l_count > 0.0 {
+                            if let Some(ns) = noise.as_mut() {
+                                c += ns.msg_jitter();
+                            }
+                        }
+                        c
+                    }
+                    EdgeKind::Comm => {
+                        let bytes = match vert.kind {
+                            VertexKind::Send { bytes, .. } => bytes,
+                            _ => 0,
+                        };
+                        let mut raw = departure + p.l + p.transmission(bytes);
+                        if let Some(ns) = noise.as_mut() {
+                            raw += ns.msg_jitter();
+                        }
+                        let dst = g.vertex(e.other).rank as usize;
+                        match design {
+                            InjectorDesign::None | InjectorDesign::SenderDelay => raw,
+                            InjectorDesign::DelayThread => raw + delta,
+                            InjectorDesign::ProgressThread => {
+                                let rel = raw.max(last_release[dst]) + delta;
+                                last_release[dst] = rel;
+                                rel
+                            }
+                        }
+                    }
+                };
+                let w = e.other as usize;
+                ready[w] = ready[w].max(contribution);
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    heap.push(Reverse((Key(ready[w]), e.other)));
+                }
+            }
+        }
+
+        let makespan = rank_finish.iter().copied().fold(0.0, f64::max);
+        SimResult {
+            makespan,
+            rank_finish,
+            events,
+            vertex_finish: self.cfg.record_vertex_times.then_some(finish),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llamp_schedgen::{build_graph, GraphConfig};
+    use llamp_trace::{ProgramSet, TracerConfig};
+    use llamp_util::time::us;
+
+    fn graph(set: &ProgramSet, cfg: &GraphConfig) -> ExecGraph {
+        build_graph(&set.trace(&TracerConfig::default()), cfg).unwrap()
+    }
+
+    fn didactic_params() -> LogGPSParams {
+        // The paper's running example: o = 0, G = 5 ns/B (Fig. 4b).
+        LogGPSParams::didactic()
+    }
+
+    /// The Fig. 4b scenario: c0 = c1 = 1 µs, c2 = 0.5 µs, c3 = 1 µs,
+    /// s = 4 B. With a late sender the runtime is L + 2.015 µs.
+    fn running_example() -> ExecGraph {
+        graph(
+            &ProgramSet::spmd(2, |rank, b| {
+                if rank == 0 {
+                    b.comp(us(1.0));
+                    b.send(1, 4, 0);
+                    b.comp(us(1.0));
+                } else {
+                    b.comp(us(0.5));
+                    b.recv(0, 4, 0);
+                    b.comp(us(1.0));
+                }
+            }),
+            &GraphConfig::eager(),
+        )
+    }
+
+    #[test]
+    fn running_example_late_sender() {
+        // T = L + 2.015 µs at L = 3 µs (paper Fig. 4b: dT/dL = 1).
+        let g = running_example();
+        let params = didactic_params().with_l(us(3.0));
+        let r = Simulator::new(&g, SimConfig::ideal(params)).run();
+        assert!((r.makespan - (us(3.0) + 2_015.0)).abs() < 1e-6, "{}", r.makespan);
+    }
+
+    #[test]
+    fn running_example_overlap_region() {
+        // With c0 = 0.1 µs: T = max(L + 1.115, 1.5) µs (Fig. 4c).
+        let g = graph(
+            &ProgramSet::spmd(2, |rank, b| {
+                if rank == 0 {
+                    b.comp(100.0);
+                    b.send(1, 4, 0);
+                    b.comp(us(1.0));
+                } else {
+                    b.comp(us(0.5));
+                    b.recv(0, 4, 0);
+                    b.comp(us(1.0));
+                }
+            }),
+            &GraphConfig::eager(),
+        );
+        // Below the critical latency 0.385 µs the runtime pins at 1.5 µs.
+        let r = Simulator::new(&g, SimConfig::ideal(didactic_params().with_l(200.0))).run();
+        assert!((r.makespan - us(1.5)).abs() < 1e-6, "{}", r.makespan);
+        // Above it the runtime is L + 1.115 µs.
+        let r = Simulator::new(&g, SimConfig::ideal(didactic_params().with_l(us(0.5)))).run();
+        assert!((r.makespan - us(1.615)).abs() < 1e-6, "{}", r.makespan);
+    }
+
+    #[test]
+    fn delta_l_injection_shifts_runtime() {
+        let g = running_example();
+        let params = didactic_params().with_l(us(3.0));
+        let base = Simulator::new(&g, SimConfig::ideal(params)).run().makespan;
+        let inj = Simulator::new(&g, SimConfig::ideal(params).with_delta_l(us(10.0)))
+            .run()
+            .makespan;
+        assert!((inj - base - us(10.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noise_only_slows_down_and_is_deterministic() {
+        let g = running_example();
+        let params = didactic_params().with_l(us(3.0));
+        let base = Simulator::new(&g, SimConfig::ideal(params)).run().makespan;
+        let cfg = SimConfig::ideal(params).with_noise(NoiseConfig::noisy(11));
+        let a = Simulator::new(&g, cfg).run().makespan;
+        let b = Simulator::new(&g, cfg).run().makespan;
+        assert!(a >= base);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rendezvous_protocol_cost() {
+        // One rendezvous message, no other work. Fig. 15: completion at
+        // max(t_s, t_r + L) + 3o + 3L + B on the sender, +2o+3L+B on the
+        // receiver.
+        let bytes = 512 * 1024u64;
+        let g = graph(
+            &ProgramSet::spmd(2, |rank, b| {
+                if rank == 0 {
+                    b.send(1, bytes, 0);
+                } else {
+                    b.recv(0, bytes, 0);
+                }
+            }),
+            &GraphConfig::paper(),
+        );
+        let params = LogGPSParams {
+            l: 1_000.0,
+            o: 100.0,
+            g: 0.0,
+            big_g: 0.01,
+            big_o: 0.0,
+            s: 256 * 1024,
+            p: 2,
+        };
+        let r = Simulator::new(&g, SimConfig::ideal(params)).run();
+        let b = (bytes - 1) as f64 * params.big_g;
+        // Handshake at t_r + L = L (both ready at 0); sender completes at
+        // L + 3o + 3L + B.
+        let expect = params.l + 3.0 * params.o + 3.0 * params.l + b;
+        assert!(
+            (r.makespan - expect).abs() < 1e-6,
+            "{} vs {expect}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn nic_gap_paces_message_bursts() {
+        // 4 back-to-back sends with o = 0: without g they all leave at
+        // once; with g they serialise.
+        let set = ProgramSet::spmd(2, |rank, b| {
+            if rank == 0 {
+                for i in 0..4 {
+                    b.send(1, 4, i);
+                }
+            } else {
+                for i in 0..4 {
+                    b.recv(0, 4, i);
+                }
+            }
+        });
+        let g = graph(&set, &GraphConfig::eager());
+        let mut params = didactic_params().with_l(us(1.0));
+        let t0 = Simulator::new(&g, SimConfig::ideal(params)).run().makespan;
+        params.g = us(5.0);
+        let t1 = Simulator::new(&g, SimConfig::ideal(params)).run().makespan;
+        // Three inter-send gaps grow from max(g, B) = B = 15 ns to g = 5 µs.
+        let expect = 3.0 * (us(5.0) - 15.0);
+        assert!((t1 - t0 - expect).abs() < 1e-6, "t0={t0} t1={t1}");
+    }
+
+    #[test]
+    fn collective_runtime_scales_with_log_p(){
+        // Recursive-doubling allreduce over pure latency: T ~ lg(P)·(L+2o).
+        let params = LogGPSParams {
+            l: us(1.0),
+            o: 0.0,
+            g: 0.0,
+            big_g: 0.0,
+            big_o: 0.0,
+            s: u64::MAX,
+            p: 16,
+        };
+        let mk = |p: u32| {
+            let g = graph(
+                &ProgramSet::spmd(p, |_, b| {
+                    b.allreduce(8);
+                }),
+                &GraphConfig::eager(),
+            );
+            Simulator::new(&g, SimConfig::ideal(params)).run().makespan
+        };
+        assert!((mk(16) - 4.0 * us(1.0)).abs() < 1e-6);
+        assert!((mk(4) - 2.0 * us(1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vertex_times_are_monotone_along_edges() {
+        let g = running_example();
+        let params = didactic_params().with_l(us(3.0));
+        let mut cfg = SimConfig::ideal(params);
+        cfg.record_vertex_times = true;
+        let r = Simulator::new(&g, cfg).run();
+        let ft = r.vertex_finish.unwrap();
+        for v in 0..g.num_vertices() as u32 {
+            for e in g.preds(v) {
+                assert!(
+                    ft[e.other as usize] <= ft[v as usize] + 1e-9,
+                    "edge {} -> {v} not monotone",
+                    e.other
+                );
+            }
+        }
+    }
+}

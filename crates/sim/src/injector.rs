@@ -1,0 +1,173 @@
+//! Latency-injector designs (paper Fig. 8 and §III-A).
+//!
+//! Emulating network latency in software is subtle. For a sender issuing
+//! two back-to-back eager sends to a receiver that posted both receives in
+//! advance, the *intended* effect of adding `∆L` (panel A) is
+//!
+//! ```text
+//! t_R0 = 2o                    t_R1 = 3o + L₀ + B + ∆L
+//! ```
+//!
+//! The three implementations the paper analyses distort or achieve this:
+//!
+//! * **B — sender-side delay** (Underwood et al.): the send call busy-waits
+//!   `∆L`, delaying the sender itself and every subsequent message:
+//!   `t_R0 = 2o + 2∆L`, `t_R1 = 3o + L₀ + B + 2∆L`.
+//! * **C — receiver progress thread**: one thread serialises the delays;
+//!   when `∆L > o` the second message queues behind the first:
+//!   `t_R0 = 2o`, `t_R1 = 2o + L₀ + B + 2∆L`.
+//! * **D — delay thread** (the paper's contribution, implemented in MPICH +
+//!   UCX, Fig. 17): messages are timestamped on arrival and released at
+//!   `t_m + ∆L` by a dedicated thread, achieving the intended effect:
+//!   `t_R0 = 2o`, `t_R1 = 3o + L₀ + B + ∆L`.
+//!
+//! [`fig8_scenario`] reproduces the exact two-message experiment and the
+//! tests pin each design to its formula.
+
+use crate::des::{SimConfig, Simulator};
+use llamp_model::LogGPSParams;
+use llamp_schedgen::{build_graph, GraphConfig};
+use llamp_trace::{ProgramSet, TracerConfig};
+
+/// Which latency-injector implementation the simulator emulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InjectorDesign {
+    /// No injection at all (`∆L` ignored for eager messages).
+    None,
+    /// Fig. 8B: delay added inside the send call.
+    SenderDelay,
+    /// Fig. 8C: receiver-side progress thread serialising delays.
+    ProgressThread,
+    /// Fig. 8D: receiver-side delay thread; the paper's design and the
+    /// faithful "flow-level" injection.
+    #[default]
+    DelayThread,
+}
+
+/// Per-rank completion times of the Fig. 8 experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig8Outcome {
+    /// Sender completion `t_R0` (ns).
+    pub t_r0: f64,
+    /// Receiver completion `t_R1` (ns).
+    pub t_r1: f64,
+}
+
+/// Run the Fig. 8 scenario: rank 0 issues two eager sends of `bytes`
+/// bytes; rank 1 posted two receives beforehand. Returns both ranks'
+/// completion times under the given design and `∆L`.
+pub fn fig8_scenario(
+    params: LogGPSParams,
+    bytes: u64,
+    delta_l: f64,
+    design: InjectorDesign,
+) -> Fig8Outcome {
+    let set = ProgramSet::spmd(2, |rank, b| {
+        if rank == 0 {
+            b.send(1, bytes, 0);
+            b.send(1, bytes, 0);
+        } else {
+            b.recv(0, bytes, 0);
+            b.recv(0, bytes, 0);
+        }
+    });
+    let g = build_graph(&set.trace(&TracerConfig::default()), &GraphConfig::eager())
+        .expect("fig8 scenario builds");
+    let cfg = SimConfig::ideal(params)
+        .with_delta_l(delta_l)
+        .with_injector(design);
+    let r = Simulator::new(&g, cfg).run();
+    Fig8Outcome {
+        t_r0: r.rank_finish[0],
+        t_r1: r.rank_finish[1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Parameters chosen so B < o (the regime Fig. 8 draws) and ∆L > o
+    /// (the regime where design C breaks, §III-A).
+    fn setup() -> (LogGPSParams, u64, f64, f64, f64, f64) {
+        let params = LogGPSParams {
+            l: 1_000.0,
+            o: 300.0,
+            g: 0.0,
+            big_g: 1.0,
+            big_o: 0.0,
+            s: u64::MAX,
+            p: 2,
+        };
+        let bytes = 101u64;
+        let b = (bytes - 1) as f64 * params.big_g; // 100 ns
+        let delta = 5_000.0; // ∆L > o
+        (params, bytes, b, delta, params.o, params.l)
+    }
+
+    #[test]
+    fn design_d_achieves_intended_effect() {
+        let (params, bytes, b, delta, o, l0) = setup();
+        let out = fig8_scenario(params, bytes, delta, InjectorDesign::DelayThread);
+        assert!((out.t_r0 - 2.0 * o).abs() < 1e-6, "t_r0 = {}", out.t_r0);
+        let expect = 3.0 * o + l0 + b + delta;
+        assert!((out.t_r1 - expect).abs() < 1e-6, "{} vs {expect}", out.t_r1);
+    }
+
+    #[test]
+    fn design_b_delays_the_sender() {
+        let (params, bytes, b, delta, o, l0) = setup();
+        let out = fig8_scenario(params, bytes, delta, InjectorDesign::SenderDelay);
+        assert!(
+            (out.t_r0 - (2.0 * o + 2.0 * delta)).abs() < 1e-6,
+            "t_r0 = {}",
+            out.t_r0
+        );
+        let expect = 3.0 * o + l0 + b + 2.0 * delta;
+        assert!((out.t_r1 - expect).abs() < 1e-6, "{} vs {expect}", out.t_r1);
+    }
+
+    #[test]
+    fn design_c_serialises_delays() {
+        let (params, bytes, b, delta, o, l0) = setup();
+        let out = fig8_scenario(params, bytes, delta, InjectorDesign::ProgressThread);
+        assert!((out.t_r0 - 2.0 * o).abs() < 1e-6);
+        let expect = 2.0 * o + l0 + b + 2.0 * delta;
+        assert!((out.t_r1 - expect).abs() < 1e-6, "{} vs {expect}", out.t_r1);
+    }
+
+    #[test]
+    fn design_none_ignores_delta() {
+        let (params, bytes, b, delta, o, l0) = setup();
+        let out = fig8_scenario(params, bytes, delta, InjectorDesign::None);
+        let expect = 3.0 * o + l0 + b;
+        assert!((out.t_r1 - expect).abs() < 1e-6, "{} vs {expect}", out.t_r1);
+    }
+
+    #[test]
+    fn designs_agree_at_zero_delta() {
+        let (params, bytes, _, _, _, _) = setup();
+        let designs = [
+            InjectorDesign::None,
+            InjectorDesign::SenderDelay,
+            InjectorDesign::ProgressThread,
+            InjectorDesign::DelayThread,
+        ];
+        let base = fig8_scenario(params, bytes, 0.0, InjectorDesign::None);
+        for d in designs {
+            let out = fig8_scenario(params, bytes, 0.0, d);
+            assert!((out.t_r1 - base.t_r1).abs() < 1e-6, "{d:?}");
+            assert!((out.t_r0 - base.t_r0).abs() < 1e-6, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn design_c_matches_d_when_delta_small() {
+        // When ∆L < o the progress thread keeps up and C behaves like D.
+        let (params, bytes, _, _, _, _) = setup();
+        let small = 100.0; // < o = 300
+        let c = fig8_scenario(params, bytes, small, InjectorDesign::ProgressThread);
+        let d = fig8_scenario(params, bytes, small, InjectorDesign::DelayThread);
+        assert!((c.t_r1 - d.t_r1).abs() < 1e-6, "{} vs {}", c.t_r1, d.t_r1);
+    }
+}

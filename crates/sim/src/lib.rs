@@ -1,0 +1,32 @@
+//! # llamp-sim — LogGOPSim-equivalent discrete-event simulation
+//!
+//! LLAMP's validation needs two independent executions of the same
+//! execution graph: the *analytical* one (the LP) and a *measured* one. The
+//! paper measures on a 188-node cluster under a software latency injector
+//! (§III); this workspace substitutes a discrete-event simulator faithful
+//! to the LogGOPS model — the same role LogGOPSim plays as the speed
+//! baseline in the paper's Fig. 7/Table I:
+//!
+//! * [`des::Simulator`] — event-queue replay of an execution graph with
+//!   per-rank CPU and NIC resources, honouring `o`, `g`, `G`, `L` and the
+//!   rendezvous gadgets. Unlike the LP it models the NIC gap `g` and can
+//!   inject noise, so "measured" runtimes genuinely differ from the
+//!   prediction.
+//! * [`injector`] — the four latency-injection designs of Fig. 8: the
+//!   intended behaviour (A), sender-side delays (B, Underwood et al.),
+//!   a receiver progress thread serialising delays (C), and the paper's
+//!   delay-thread design (D), which this crate implements exactly.
+//! * [`noise`] — deterministic, seeded compute/message jitter standing in
+//!   for OS and network noise.
+//! * [`netgauge_impl`] — the [`llamp_model::netgauge::Network`] trait
+//!   implemented by actually simulating PRTT exchanges, closing the
+//!   measure-then-analyse loop of §III-B.
+
+pub mod des;
+pub mod injector;
+pub mod netgauge_impl;
+pub mod noise;
+
+pub use des::{SimConfig, SimResult, Simulator};
+pub use injector::InjectorDesign;
+pub use noise::NoiseConfig;

@@ -1,0 +1,116 @@
+//! Netgauge PRTT experiments executed in the simulator.
+//!
+//! The paper measures its clusters' LogGPS parameters with Netgauge before
+//! analysing anything (§III-B). Here the "cluster" is the simulator, so the
+//! measurement loop runs PRTT ping-pong programs through the DES and the
+//! fitting code in [`llamp_model::netgauge`] recovers the parameters the
+//! simulator was configured with — the round trip that validates both the
+//! fitter and the simulator's LogGP mechanics.
+
+use crate::des::{SimConfig, Simulator};
+use llamp_model::netgauge::Network;
+use llamp_model::LogGPSParams;
+use llamp_schedgen::{build_graph, GraphConfig};
+use llamp_trace::{ProgramSet, TracerConfig};
+
+/// A simulated network: PRTT experiments are compiled to programs and
+/// replayed through the DES.
+#[derive(Debug, Clone)]
+pub struct SimNetwork {
+    /// Ground-truth parameters of the simulated cluster.
+    pub params: LogGPSParams,
+}
+
+impl SimNetwork {
+    /// Wrap parameters into a measurable network.
+    pub fn new(params: LogGPSParams) -> Self {
+        Self { params }
+    }
+}
+
+impl Network for SimNetwork {
+    fn prtt(&mut self, n: usize, delay_ns: f64, size: u64) -> f64 {
+        // Rank 0 fires n messages spaced by `delay`; rank 1 echoes the last
+        // one back. PRTT is the completion time of the echo.
+        let set = ProgramSet::spmd(2, |rank, b| {
+            if rank == 0 {
+                for i in 0..n {
+                    b.send(1, size, i as u32);
+                    if i + 1 < n {
+                        b.comp(delay_ns);
+                    }
+                }
+                b.recv(1, size, u32::MAX);
+            } else {
+                for i in 0..n {
+                    b.recv(0, size, i as u32);
+                }
+                b.send(0, size, u32::MAX);
+            }
+        });
+        let g = build_graph(&set.trace(&TracerConfig::default()), &GraphConfig::eager())
+            .expect("prtt program builds");
+        Simulator::new(&g, SimConfig::ideal(self.params)).run().makespan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llamp_model::netgauge::{measure, MeasureConfig};
+
+    #[test]
+    fn prtt_single_message_matches_loggp() {
+        let params = LogGPSParams {
+            l: 3_000.0,
+            o: 500.0,
+            g: 0.0,
+            big_g: 0.02,
+            big_o: 0.0,
+            s: u64::MAX,
+            p: 2,
+        };
+        let mut net = SimNetwork::new(params);
+        let s = 1024u64;
+        let b = (s - 1) as f64 * params.big_g;
+        // Round trip: 2 (2o + L + B). The receiver's send issues after its
+        // recv o; the sender's recv costs another o.
+        let expect = 2.0 * (2.0 * params.o + params.l + b);
+        let got = net.prtt(1, 0.0, s);
+        assert!((got - expect).abs() < 1e-6, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn measurement_recovers_simulated_parameters() {
+        // The paper's CSCS test-bed values: L = 3 µs, G = 0.018 ns/B.
+        let truth = LogGPSParams {
+            l: 3_000.0,
+            o: 5_000.0,
+            g: 0.0,
+            big_g: 0.018,
+            big_o: 0.0,
+            s: u64::MAX,
+            p: 2,
+        };
+        let mut net = SimNetwork::new(truth);
+        let fit = measure(&mut net, &MeasureConfig::default());
+        assert!(
+            (fit.l - truth.l).abs() / truth.l < 0.05,
+            "L: {} vs {}",
+            fit.l,
+            truth.l
+        );
+        assert!(
+            (fit.o - truth.o).abs() / truth.o < 0.05,
+            "o: {} vs {}",
+            fit.o,
+            truth.o
+        );
+        assert!(
+            (fit.big_g - truth.big_g).abs() / truth.big_g < 0.05,
+            "G: {} vs {}",
+            fit.big_g,
+            truth.big_g
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Deterministic noise injection.
+//!
+//! The paper's measured runtimes scatter around the prediction because of
+//! OS and network noise (§III-C notes HPCG being "inherently more
+//! susceptible to system and network noise"; see also Hoefler et al. 2010).
+//! The simulator models that with *one-sided* jitter — noise only ever
+//! slows execution down:
+//!
+//! * every `calc` vertex is stretched by `1 + σ_comp·|z|` (half-normal),
+//! * every message pays an extra `σ_msg·|z|` nanoseconds in flight.
+//!
+//! Sampling is seeded and drawn in deterministic event order, so a given
+//! `(graph, config, seed)` triple always reproduces the same "measurement".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Noise magnitudes.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseConfig {
+    /// Relative half-normal scale on compute durations (e.g. `0.01` for
+    /// ~1% mean slowdown).
+    pub comp_rel_sigma: f64,
+    /// Half-normal scale on per-message wire time (ns).
+    pub msg_sigma_ns: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl NoiseConfig {
+    /// A quiet cluster: 0.2% compute jitter, 100 ns message jitter.
+    pub fn quiet(seed: u64) -> Self {
+        Self {
+            comp_rel_sigma: 0.002,
+            msg_sigma_ns: 100.0,
+            seed,
+        }
+    }
+
+    /// A noisy cluster: 2% compute jitter, 2 µs message jitter (HPCG-like
+    /// scatter).
+    pub fn noisy(seed: u64) -> Self {
+        Self {
+            comp_rel_sigma: 0.02,
+            msg_sigma_ns: 2_000.0,
+            seed,
+        }
+    }
+}
+
+/// Stateful sampler.
+#[derive(Debug)]
+pub struct Noise {
+    cfg: NoiseConfig,
+    rng: StdRng,
+}
+
+impl Noise {
+    /// Create a sampler from a config.
+    pub fn new(cfg: NoiseConfig) -> Self {
+        Self {
+            cfg,
+            rng: StdRng::seed_from_u64(cfg.seed),
+        }
+    }
+
+    /// Standard normal via Box–Muller (no external distribution crate).
+    fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.random_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Multiplicative factor (≥ 1) for a compute duration.
+    pub fn comp_factor(&mut self) -> f64 {
+        1.0 + self.cfg.comp_rel_sigma * self.standard_normal().abs()
+    }
+
+    /// Additive wire-time jitter (≥ 0) for one message.
+    pub fn msg_jitter(&mut self) -> f64 {
+        self.cfg.msg_sigma_ns * self.standard_normal().abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_one_sided() {
+        let mut n = Noise::new(NoiseConfig::noisy(7));
+        for _ in 0..1000 {
+            assert!(n.comp_factor() >= 1.0);
+            assert!(n.msg_jitter() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn noise_is_deterministic() {
+        let mut a = Noise::new(NoiseConfig::quiet(42));
+        let mut b = Noise::new(NoiseConfig::quiet(42));
+        for _ in 0..100 {
+            assert_eq!(a.comp_factor(), b.comp_factor());
+            assert_eq!(a.msg_jitter(), b.msg_jitter());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Noise::new(NoiseConfig::quiet(1));
+        let mut b = Noise::new(NoiseConfig::quiet(2));
+        let va: Vec<f64> = (0..10).map(|_| a.msg_jitter()).collect();
+        let vb: Vec<f64> = (0..10).map(|_| b.msg_jitter()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn mean_scale_is_plausible() {
+        // Half-normal mean is sigma * sqrt(2/pi) ~ 0.798 sigma.
+        let mut n = Noise::new(NoiseConfig {
+            comp_rel_sigma: 0.0,
+            msg_sigma_ns: 1_000.0,
+            seed: 3,
+        });
+        let m: f64 = (0..20_000).map(|_| n.msg_jitter()).sum::<f64>() / 20_000.0;
+        assert!((m - 798.0).abs() < 40.0, "mean {m}");
+    }
+}

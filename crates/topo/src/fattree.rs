@@ -1,0 +1,142 @@
+//! Three-tier Fat Tree (k-ary folded Clos, Al-Fares et al. 2008).
+//!
+//! With switch radix `k`: `k` pods, each with `k/2` edge and `k/2`
+//! aggregation switches; each edge switch hosts `k/2` nodes; `(k/2)²` core
+//! switches. Capacity: `k³/4` hosts. The paper's case study uses `k = 16`
+//! (1024 hosts) with ICON on 256 nodes.
+//!
+//! Minimal routes and their profiles:
+//!
+//! | relation | wires (terminal, intra, inter) | switches |
+//! |---|---|---|
+//! | same edge switch | (2, 0, 0) | 1 |
+//! | same pod | (2, 2, 0) | 3 |
+//! | different pods | (2, 2, 2) | 5 |
+
+use crate::{PathProfile, Topology};
+
+/// A `k`-ary three-tier fat tree.
+#[derive(Debug, Clone, Copy)]
+pub struct FatTree {
+    k: u32,
+}
+
+impl FatTree {
+    /// Build a fat tree with switch radix `k` (must be even and ≥ 2).
+    pub fn new(k: u32) -> Self {
+        assert!(k >= 2 && k.is_multiple_of(2), "fat tree radix must be even, got {k}");
+        Self { k }
+    }
+
+    /// Switch radix.
+    pub fn radix(&self) -> u32 {
+        self.k
+    }
+
+    /// Hosts per edge switch (`k/2`).
+    pub fn hosts_per_edge(&self) -> u32 {
+        self.k / 2
+    }
+
+    /// Hosts per pod (`k²/4`).
+    pub fn hosts_per_pod(&self) -> u32 {
+        self.k * self.k / 4
+    }
+
+    /// Edge switch index of a node.
+    pub fn edge_of(&self, node: u32) -> u32 {
+        node / self.hosts_per_edge()
+    }
+
+    /// Pod index of a node.
+    pub fn pod_of(&self, node: u32) -> u32 {
+        node / self.hosts_per_pod()
+    }
+}
+
+impl Topology for FatTree {
+    fn num_nodes(&self) -> u32 {
+        self.k * self.k * self.k / 4
+    }
+
+    fn profile(&self, a: u32, b: u32) -> PathProfile {
+        assert!(a < self.num_nodes() && b < self.num_nodes());
+        if a == b {
+            return PathProfile::default();
+        }
+        if self.edge_of(a) == self.edge_of(b) {
+            PathProfile {
+                wires: [2, 0, 0],
+                switches: 1,
+            }
+        } else if self.pod_of(a) == self.pod_of(b) {
+            PathProfile {
+                wires: [2, 2, 0],
+                switches: 3,
+            }
+        } else {
+            PathProfile {
+                wires: [2, 2, 2],
+                switches: 5,
+            }
+        }
+    }
+
+    fn max_switches(&self) -> u32 {
+        if self.num_nodes() <= self.hosts_per_edge() {
+            1
+        } else if self.num_nodes() <= self.hosts_per_pod() {
+            3
+        } else {
+            5
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_k16() {
+        let ft = FatTree::new(16);
+        assert_eq!(ft.num_nodes(), 1024);
+        assert_eq!(ft.hosts_per_edge(), 8);
+        assert_eq!(ft.hosts_per_pod(), 64);
+        // "nodes 0 to 7 are clustered within the same pod" — same edge
+        // switch under dense packing.
+        assert_eq!(ft.profile(0, 7).switches, 1);
+        assert_eq!(ft.profile(0, 8).switches, 3);
+        assert_eq!(ft.profile(0, 64).switches, 5);
+        assert_eq!(ft.profile(0, 64).total_wires(), 6);
+    }
+
+    #[test]
+    fn profile_is_symmetric() {
+        let ft = FatTree::new(8);
+        for (a, b) in [(0u32, 1), (0, 5), (0, 30), (17, 90)] {
+            assert_eq!(ft.profile(a, b), ft.profile(b, a));
+        }
+    }
+
+    #[test]
+    fn self_profile_is_empty() {
+        let ft = FatTree::new(4);
+        assert_eq!(ft.profile(2, 2), PathProfile::default());
+    }
+
+    #[test]
+    fn uniform_latency_matches_formula() {
+        // Zambre et al. numbers from the paper: l_wire = 274ns, d_switch =
+        // 108ns. Cross-pod: 6 wires + 5 switches.
+        let ft = FatTree::new(16);
+        let lat = ft.latency(0, 512, 274.0, 108.0);
+        assert_eq!(lat, 6.0 * 274.0 + 5.0 * 108.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "radix must be even")]
+    fn odd_radix_rejected() {
+        FatTree::new(5);
+    }
+}

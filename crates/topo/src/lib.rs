@@ -1,0 +1,110 @@
+//! # llamp-topo — network topologies
+//!
+//! The paper's topology case study (§IV-2, Appendix H) replaces the
+//! end-to-end latency `L` of a communication edge with a per-wire
+//! decomposition: a message over `h` switches costs
+//! `(h+1)·l_wire + h·d_switch`. For the Dragonfly analysis each wire class
+//! (terminal, intra-group, inter-group) can carry its own decision variable
+//! (Fig. 19).
+//!
+//! This crate provides the two topologies the paper evaluates — a
+//! three-tier Fat Tree (Al-Fares et al.) and a Dragonfly (Kim et al.) —
+//! under a common [`Topology`] trait exposing, per node pair, the number of
+//! wires of each class and the number of switches traversed on a minimal
+//! route. Nodes are "densely packed" (paper §IV-2): consecutive node ids
+//! fill switches/routers in order.
+
+pub mod dragonfly;
+pub mod fattree;
+
+pub use dragonfly::Dragonfly;
+pub use fattree::FatTree;
+
+/// Wire classes distinguished by the per-class tolerance analysis
+/// (Fig. 19: `l_tc`, `l_intra`, `l_inter`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireClass {
+    /// Host ↔ first-level switch (terminal channel).
+    Terminal,
+    /// Switch ↔ switch inside a pod/group (edge–aggregation in a fat tree,
+    /// intra-group in a dragonfly).
+    Intra,
+    /// Pod/group ↔ pod/group (aggregation–core, inter-group global links).
+    Inter,
+}
+
+/// Per-pair route profile on a minimal path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PathProfile {
+    /// Wires of each class: `[terminal, intra, inter]`.
+    pub wires: [u32; 3],
+    /// Switches traversed (the `h` of the paper's cost formula).
+    pub switches: u32,
+}
+
+impl PathProfile {
+    /// Total wire count (`h + 1` in the paper's uniform-wire formula).
+    pub fn total_wires(&self) -> u32 {
+        self.wires.iter().sum()
+    }
+
+    /// Evaluate the uniform-wire latency `(h+1)·l_wire + h·d_switch`.
+    pub fn latency_uniform(&self, l_wire: f64, d_switch: f64) -> f64 {
+        self.total_wires() as f64 * l_wire + self.switches as f64 * d_switch
+    }
+
+    /// Evaluate with per-class wire latencies `[terminal, intra, inter]`.
+    pub fn latency_by_class(&self, l: [f64; 3], d_switch: f64) -> f64 {
+        self.wires[0] as f64 * l[0]
+            + self.wires[1] as f64 * l[1]
+            + self.wires[2] as f64 * l[2]
+            + self.switches as f64 * d_switch
+    }
+}
+
+/// A network topology: node count plus minimal-route profiles.
+pub trait Topology {
+    /// Number of host nodes.
+    fn num_nodes(&self) -> u32;
+
+    /// Minimal-route profile between two nodes. `profile(a, a)` is empty
+    /// (intra-node communication does not touch the network).
+    fn profile(&self, a: u32, b: u32) -> PathProfile;
+
+    /// Convenience: uniform-wire latency between two nodes.
+    fn latency(&self, a: u32, b: u32, l_wire: f64, d_switch: f64) -> f64 {
+        self.profile(a, b).latency_uniform(l_wire, d_switch)
+    }
+
+    /// Largest switch count over all pairs (network diameter in switches).
+    fn max_switches(&self) -> u32 {
+        let n = self.num_nodes();
+        let mut best = 0;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                best = best.max(self.profile(a, b).switches);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_latency_math() {
+        let p = PathProfile {
+            wires: [2, 2, 2],
+            switches: 5,
+        };
+        // (h+1) l_wire + h d_switch with h = 5: 6 wires.
+        assert_eq!(p.total_wires(), 6);
+        assert_eq!(p.latency_uniform(274.0, 108.0), 6.0 * 274.0 + 5.0 * 108.0);
+        assert_eq!(
+            p.latency_by_class([100.0, 10.0, 1.0], 0.0),
+            2.0 * 100.0 + 2.0 * 10.0 + 2.0
+        );
+    }
+}

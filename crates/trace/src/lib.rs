@@ -1,0 +1,27 @@
+//! # llamp-trace — MPI traces and per-rank programs
+//!
+//! LLAMP starts from *traces*: per-rank logs of MPI calls with start/end
+//! timestamps, as collected by `liballprof` in the original toolchain
+//! (paper Fig. 2, §II-A). This crate provides:
+//!
+//! * [`op::CallKind`] — the modelled subset of MPI: blocking and
+//!   nonblocking point-to-point, `Sendrecv`, persistent-style request
+//!   handles, and the collectives Schedgen substitutes with point-to-point
+//!   algorithms.
+//! * [`program`] — *per-rank programs*: explicit sequences of compute
+//!   phases and MPI calls. The paper traces real applications; this
+//!   workspace's application proxies (crate `llamp-workloads`) emit
+//!   programs instead, and [`program::ProgramSet::trace`] converts them to
+//!   timestamped traces with a virtual per-rank clock — preserving exactly
+//!   the information `liballprof` would capture (timestamps whose gaps are
+//!   the compute intervals Schedgen infers, §II-A and Fig. 3A).
+//! * [`text`] — a `liballprof`-style line format (`MPI_Isend:<t0>:...:<t1>`)
+//!   with a writer and parser, so traces can be stored, diffed and fed back
+//!   through the pipeline.
+
+pub mod op;
+pub mod program;
+pub mod text;
+
+pub use op::{CallKind, TraceRecord};
+pub use program::{Program, ProgramBuilder, ProgramSet, RankTrace, Trace, TracerConfig};

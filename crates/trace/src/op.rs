@@ -1,0 +1,134 @@
+//! MPI call model.
+//!
+//! The subset covers everything the paper's applications exercise: blocking
+//! and nonblocking point-to-point with request handles, combined
+//! send-receive, and the dense collectives whose algorithmic substitution
+//! the ICON case study analyses (§IV-1).
+
+/// One MPI call as seen by the tracer (timestamps live in
+/// [`TraceRecord`]). `peer`/`root` are ranks in `MPI_COMM_WORLD`; `bytes`
+/// are payload sizes; `req` are per-rank request handles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `MPI_Init`.
+    Init,
+    /// `MPI_Finalize`.
+    Finalize,
+    /// Blocking standard-mode send.
+    Send { peer: u32, bytes: u64, tag: u32 },
+    /// Blocking receive.
+    Recv { peer: u32, bytes: u64, tag: u32 },
+    /// Nonblocking send; completion observed by `Wait`/`Waitall` on `req`.
+    Isend { peer: u32, bytes: u64, tag: u32, req: u32 },
+    /// Nonblocking receive.
+    Irecv { peer: u32, bytes: u64, tag: u32, req: u32 },
+    /// Wait for a single request.
+    Wait { req: u32 },
+    /// Wait for a set of requests.
+    Waitall { reqs: Vec<u32> },
+    /// Combined send+receive (common in halo exchanges).
+    Sendrecv {
+        dst: u32,
+        send_bytes: u64,
+        send_tag: u32,
+        src: u32,
+        recv_bytes: u64,
+        recv_tag: u32,
+    },
+    /// `MPI_Barrier` on the world communicator.
+    Barrier,
+    /// `MPI_Bcast`: `bytes` from `root` to all.
+    Bcast { bytes: u64, root: u32 },
+    /// `MPI_Reduce`: `bytes` from all to `root`.
+    Reduce { bytes: u64, root: u32 },
+    /// `MPI_Allreduce` over `bytes` (ICON's dynamical-core workhorse).
+    Allreduce { bytes: u64 },
+    /// `MPI_Allgather`: every rank contributes `bytes`.
+    Allgather { bytes: u64 },
+    /// `MPI_Alltoall`: `bytes` exchanged between every pair.
+    Alltoall { bytes: u64 },
+}
+
+impl CallKind {
+    /// Whether this call is a collective over the world communicator.
+    pub fn is_collective(&self) -> bool {
+        matches!(
+            self,
+            CallKind::Barrier
+                | CallKind::Bcast { .. }
+                | CallKind::Reduce { .. }
+                | CallKind::Allreduce { .. }
+                | CallKind::Allgather { .. }
+                | CallKind::Alltoall { .. }
+        )
+    }
+
+    /// The MPI function name (used by the text format).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CallKind::Init => "MPI_Init",
+            CallKind::Finalize => "MPI_Finalize",
+            CallKind::Send { .. } => "MPI_Send",
+            CallKind::Recv { .. } => "MPI_Recv",
+            CallKind::Isend { .. } => "MPI_Isend",
+            CallKind::Irecv { .. } => "MPI_Irecv",
+            CallKind::Wait { .. } => "MPI_Wait",
+            CallKind::Waitall { .. } => "MPI_Waitall",
+            CallKind::Sendrecv { .. } => "MPI_Sendrecv",
+            CallKind::Barrier => "MPI_Barrier",
+            CallKind::Bcast { .. } => "MPI_Bcast",
+            CallKind::Reduce { .. } => "MPI_Reduce",
+            CallKind::Allreduce { .. } => "MPI_Allreduce",
+            CallKind::Allgather { .. } => "MPI_Allgather",
+            CallKind::Alltoall { .. } => "MPI_Alltoall",
+        }
+    }
+}
+
+/// One timestamped call in a rank's trace: what `liballprof` records
+/// (paper Fig. 3A). Compute time is *not* recorded — Schedgen infers it
+/// from the gap to the previous record's `end`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// The call.
+    pub kind: CallKind,
+    /// Start timestamp (ns on the rank's clock).
+    pub start: f64,
+    /// End timestamp (ns).
+    pub end: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collective_classification() {
+        assert!(CallKind::Barrier.is_collective());
+        assert!(CallKind::Allreduce { bytes: 8 }.is_collective());
+        assert!(!CallKind::Send {
+            peer: 0,
+            bytes: 8,
+            tag: 0
+        }
+        .is_collective());
+        assert!(!CallKind::Wait { req: 0 }.is_collective());
+    }
+
+    #[test]
+    fn names_are_mpi_spelled() {
+        assert_eq!(CallKind::Init.name(), "MPI_Init");
+        assert_eq!(
+            CallKind::Sendrecv {
+                dst: 0,
+                send_bytes: 1,
+                send_tag: 0,
+                src: 1,
+                recv_bytes: 1,
+                recv_tag: 0
+            }
+            .name(),
+            "MPI_Sendrecv"
+        );
+    }
+}

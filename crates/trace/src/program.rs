@@ -1,0 +1,383 @@
+//! Per-rank programs and the virtual-clock tracer.
+//!
+//! A [`Program`] is the ground truth an application proxy emits: an ordered
+//! list of compute phases and MPI calls for one rank. [`ProgramSet::trace`]
+//! plays the role of `liballprof`: it walks each rank's program with a
+//! local clock, producing [`TraceRecord`]s whose inter-record gaps equal
+//! the compute phases — the only timing information Schedgen extracts from
+//! real traces (paper §II-A: "By exploiting the difference in timestamps of
+//! consecutive MPI operations, Schedgen infers the amount of computation
+//! that occurred").
+
+use crate::op::{CallKind, TraceRecord};
+
+/// One step of a rank's program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Pure computation for the given duration (ns).
+    Comp(f64),
+    /// An MPI call.
+    Call(CallKind),
+}
+
+/// The full instruction sequence of one rank.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Steps in program order (without `Init`/`Finalize`; the tracer adds
+    /// those).
+    pub ops: Vec<Op>,
+}
+
+/// Fluent builder for [`Program`]s; allocates request handles for the
+/// nonblocking calls.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    ops: Vec<Op>,
+    next_req: u32,
+}
+
+impl ProgramBuilder {
+    /// Start an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a compute phase of `ns` nanoseconds (ignored if zero or
+    /// negative, which keeps generated workloads branch-free).
+    pub fn comp(&mut self, ns: f64) -> &mut Self {
+        if ns > 0.0 {
+            // Coalesce with a preceding compute phase.
+            if let Some(Op::Comp(prev)) = self.ops.last_mut() {
+                *prev += ns;
+            } else {
+                self.ops.push(Op::Comp(ns));
+            }
+        }
+        self
+    }
+
+    /// Blocking send.
+    pub fn send(&mut self, peer: u32, bytes: u64, tag: u32) -> &mut Self {
+        self.ops.push(Op::Call(CallKind::Send { peer, bytes, tag }));
+        self
+    }
+
+    /// Blocking receive.
+    pub fn recv(&mut self, peer: u32, bytes: u64, tag: u32) -> &mut Self {
+        self.ops.push(Op::Call(CallKind::Recv { peer, bytes, tag }));
+        self
+    }
+
+    /// Nonblocking send; returns the request handle.
+    pub fn isend(&mut self, peer: u32, bytes: u64, tag: u32) -> u32 {
+        let req = self.next_req;
+        self.next_req += 1;
+        self.ops
+            .push(Op::Call(CallKind::Isend { peer, bytes, tag, req }));
+        req
+    }
+
+    /// Nonblocking receive; returns the request handle.
+    pub fn irecv(&mut self, peer: u32, bytes: u64, tag: u32) -> u32 {
+        let req = self.next_req;
+        self.next_req += 1;
+        self.ops
+            .push(Op::Call(CallKind::Irecv { peer, bytes, tag, req }));
+        req
+    }
+
+    /// Wait on one request.
+    pub fn wait(&mut self, req: u32) -> &mut Self {
+        self.ops.push(Op::Call(CallKind::Wait { req }));
+        self
+    }
+
+    /// Wait on several requests.
+    pub fn waitall(&mut self, reqs: Vec<u32>) -> &mut Self {
+        if !reqs.is_empty() {
+            self.ops.push(Op::Call(CallKind::Waitall { reqs }));
+        }
+        self
+    }
+
+    /// Combined send/receive.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sendrecv(
+        &mut self,
+        dst: u32,
+        send_bytes: u64,
+        send_tag: u32,
+        src: u32,
+        recv_bytes: u64,
+        recv_tag: u32,
+    ) -> &mut Self {
+        self.ops.push(Op::Call(CallKind::Sendrecv {
+            dst,
+            send_bytes,
+            send_tag,
+            src,
+            recv_bytes,
+            recv_tag,
+        }));
+        self
+    }
+
+    /// World barrier.
+    pub fn barrier(&mut self) -> &mut Self {
+        self.ops.push(Op::Call(CallKind::Barrier));
+        self
+    }
+
+    /// Broadcast from `root`.
+    pub fn bcast(&mut self, bytes: u64, root: u32) -> &mut Self {
+        self.ops.push(Op::Call(CallKind::Bcast { bytes, root }));
+        self
+    }
+
+    /// Reduce to `root`.
+    pub fn reduce(&mut self, bytes: u64, root: u32) -> &mut Self {
+        self.ops.push(Op::Call(CallKind::Reduce { bytes, root }));
+        self
+    }
+
+    /// Allreduce.
+    pub fn allreduce(&mut self, bytes: u64) -> &mut Self {
+        self.ops.push(Op::Call(CallKind::Allreduce { bytes }));
+        self
+    }
+
+    /// Allgather.
+    pub fn allgather(&mut self, bytes: u64) -> &mut Self {
+        self.ops.push(Op::Call(CallKind::Allgather { bytes }));
+        self
+    }
+
+    /// Alltoall.
+    pub fn alltoall(&mut self, bytes: u64) -> &mut Self {
+        self.ops.push(Op::Call(CallKind::Alltoall { bytes }));
+        self
+    }
+
+    /// Finish, yielding the program.
+    pub fn build(self) -> Program {
+        Program { ops: self.ops }
+    }
+}
+
+/// Programs for every rank of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramSet {
+    /// World size.
+    pub nranks: u32,
+    /// One program per rank, indexed by rank.
+    pub programs: Vec<Program>,
+}
+
+impl ProgramSet {
+    /// Bundle per-rank programs; `programs[r]` is rank `r`.
+    ///
+    /// # Panics
+    /// Panics when the program count disagrees with `nranks`.
+    pub fn new(programs: Vec<Program>) -> Self {
+        let nranks = programs.len() as u32;
+        assert!(nranks > 0, "empty program set");
+        Self { nranks, programs }
+    }
+
+    /// Generate per-rank programs from a closure (the standard SPMD shape).
+    pub fn spmd(nranks: u32, mut f: impl FnMut(u32, &mut ProgramBuilder)) -> Self {
+        let programs = (0..nranks)
+            .map(|r| {
+                let mut b = ProgramBuilder::new();
+                f(r, &mut b);
+                b.build()
+            })
+            .collect();
+        Self { nranks, programs }
+    }
+
+    /// Total number of MPI calls across all ranks (excluding the implicit
+    /// `Init`/`Finalize`).
+    pub fn num_calls(&self) -> usize {
+        self.programs
+            .iter()
+            .map(|p| {
+                p.ops
+                    .iter()
+                    .filter(|o| matches!(o, Op::Call(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Run the virtual-clock tracer, producing a [`Trace`].
+    pub fn trace(&self, cfg: &TracerConfig) -> Trace {
+        let ranks = self
+            .programs
+            .iter()
+            .enumerate()
+            .map(|(rank, prog)| {
+                let mut clock = 0.0f64;
+                let mut records = Vec::with_capacity(prog.ops.len() + 2);
+                records.push(TraceRecord {
+                    kind: CallKind::Init,
+                    start: 0.0,
+                    end: 0.0,
+                });
+                for op in &prog.ops {
+                    match op {
+                        Op::Comp(ns) => clock += ns,
+                        Op::Call(kind) => {
+                            let start = clock;
+                            clock += cfg.call_duration_ns;
+                            records.push(TraceRecord {
+                                kind: kind.clone(),
+                                start,
+                                end: clock,
+                            });
+                        }
+                    }
+                }
+                records.push(TraceRecord {
+                    kind: CallKind::Finalize,
+                    start: clock,
+                    end: clock,
+                });
+                RankTrace {
+                    rank: rank as u32,
+                    records,
+                }
+            })
+            .collect();
+        Trace {
+            nranks: self.nranks,
+            ranks,
+        }
+    }
+}
+
+/// Tracer knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TracerConfig {
+    /// Nominal duration attributed to each MPI call in the trace. Real
+    /// traces contain the *measured* call duration; the analysis models the
+    /// call's cost itself via LogGPS, so the faithful default is zero
+    /// (Schedgen only consumes the gaps *between* calls).
+    pub call_duration_ns: f64,
+}
+
+impl Default for TracerConfig {
+    fn default() -> Self {
+        Self {
+            call_duration_ns: 0.0,
+        }
+    }
+}
+
+/// The timestamped trace of one rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankTrace {
+    /// Rank id.
+    pub rank: u32,
+    /// Records in call order; first is `Init`, last is `Finalize`.
+    pub records: Vec<TraceRecord>,
+}
+
+/// A full job trace: what `liballprof` would have written for each rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// World size.
+    pub nranks: u32,
+    /// Per-rank traces indexed by rank.
+    pub ranks: Vec<RankTrace>,
+}
+
+impl Trace {
+    /// Total number of records across ranks.
+    pub fn num_records(&self) -> usize {
+        self.ranks.iter().map(|r| r.records.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_allocates_requests() {
+        let mut b = ProgramBuilder::new();
+        let r0 = b.irecv(1, 100, 0);
+        let r1 = b.isend(1, 100, 0);
+        b.waitall(vec![r0, r1]);
+        let p = b.build();
+        assert_eq!(r0, 0);
+        assert_eq!(r1, 1);
+        assert_eq!(p.ops.len(), 3);
+    }
+
+    #[test]
+    fn comp_phases_coalesce() {
+        let mut b = ProgramBuilder::new();
+        b.comp(10.0).comp(5.0);
+        b.send(0, 1, 0);
+        b.comp(0.0); // dropped
+        let p = b.build();
+        assert_eq!(p.ops.len(), 2);
+        assert_eq!(p.ops[0], Op::Comp(15.0));
+    }
+
+    #[test]
+    fn tracer_gaps_equal_compute() {
+        let set = ProgramSet::spmd(2, |rank, b| {
+            b.comp(1_000.0);
+            if rank == 0 {
+                b.send(1, 4, 0);
+            } else {
+                b.recv(0, 4, 0);
+            }
+            b.comp(500.0);
+            b.allreduce(8);
+        });
+        let tr = set.trace(&TracerConfig::default());
+        assert_eq!(tr.nranks, 2);
+        let r0 = &tr.ranks[0];
+        // Init, Send, Allreduce, Finalize.
+        assert_eq!(r0.records.len(), 4);
+        // Gap before the send is the first compute phase.
+        assert_eq!(r0.records[1].start - r0.records[0].end, 1_000.0);
+        // Gap between send end and allreduce start is the second phase.
+        assert_eq!(r0.records[2].start - r0.records[1].end, 500.0);
+        assert_eq!(r0.records[3].kind, CallKind::Finalize);
+    }
+
+    #[test]
+    fn tracer_honours_call_duration() {
+        let set = ProgramSet::spmd(1, |_, b| {
+            b.barrier();
+            b.barrier();
+        });
+        let tr = set.trace(&TracerConfig {
+            call_duration_ns: 7.0,
+        });
+        let recs = &tr.ranks[0].records;
+        assert_eq!(recs[1].end - recs[1].start, 7.0);
+        assert_eq!(recs[2].start, recs[1].end);
+    }
+
+    #[test]
+    fn num_calls_counts_only_mpi() {
+        let set = ProgramSet::spmd(2, |_, b| {
+            b.comp(10.0);
+            b.barrier();
+            b.comp(10.0);
+            b.allreduce(8);
+        });
+        assert_eq!(set.num_calls(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty program set")]
+    fn empty_set_panics() {
+        ProgramSet::new(vec![]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Shared utilities for the LLAMP workspace.
+//!
+//! Contains the small building blocks every other crate relies on:
+//!
+//! * [`fx`] — a fast, deterministic hasher (FxHash algorithm) plus the
+//!   [`FxHashMap`]/[`FxHashSet`] aliases used throughout the workspace.
+//!   Profiling-oriented Rust guidance recommends replacing SipHash for
+//!   integer-keyed tables on hot paths; execution graphs are exactly that.
+//! * [`stats`] — summary statistics (mean/std) and the error metrics the
+//!   paper reports (RMSE, RRMSE).
+//! * [`time`] — nanosecond-based time helpers and pretty-printing.
+
+pub mod fx;
+pub mod stats;
+pub mod time;
+
+pub use fx::{FxHashMap, FxHashSet};
+
+/// Workspace-wide absolute tolerance for floating-point comparisons of times
+/// expressed in nanoseconds. One picosecond: far below any modelled effect.
+pub const TIME_EPS: f64 = 1e-3;
+
+/// Returns `true` when `a` and `b` are equal within `abs_tol` or a relative
+/// tolerance of `rel_tol`, whichever is looser.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, abs_tol: f64, rel_tol: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= abs_tol || diff <= rel_tol * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9, 0.0));
+        assert!(!approx_eq(1.0, 1.1, 1e-9, 0.0));
+    }
+
+    #[test]
+    fn approx_eq_relative() {
+        assert!(approx_eq(1e12, 1e12 + 1.0, 0.0, 1e-9));
+        assert!(!approx_eq(1e12, 1.1e12, 0.0, 1e-9));
+    }
+}

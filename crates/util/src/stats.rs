@@ -1,0 +1,161 @@
+//! Summary statistics and error metrics.
+//!
+//! The paper quantifies prediction accuracy with RMSE and the *relative*
+//! root-mean-square error (RRMSE, normalised by the mean of the measured
+//! values), reporting RRMSE consistently below 2% in its validation
+//! experiments (Fig. 9, Table II).
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n-1 denominator). Returns 0 for slices with
+/// fewer than two entries.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Root-mean-square error between predictions and measurements.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn rmse(predicted: &[f64], measured: &[f64]) -> f64 {
+    assert_eq!(
+        predicted.len(),
+        measured.len(),
+        "rmse: length mismatch ({} vs {})",
+        predicted.len(),
+        measured.len()
+    );
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let sum_sq: f64 = predicted
+        .iter()
+        .zip(measured)
+        .map(|(p, m)| (p - m) * (p - m))
+        .sum();
+    (sum_sq / predicted.len() as f64).sqrt()
+}
+
+/// Relative RMSE: RMSE normalised by the mean measured value, as used in the
+/// paper's validation plots ("RRMSE: 0.54%"). Expressed as a fraction
+/// (multiply by 100 for percent). Returns 0 when the measured mean is 0.
+pub fn rrmse(predicted: &[f64], measured: &[f64]) -> f64 {
+    let m = mean(measured);
+    if m == 0.0 {
+        return 0.0;
+    }
+    rmse(predicted, measured) / m
+}
+
+/// Minimum and maximum of a slice; `None` when empty.
+pub fn min_max(xs: &[f64]) -> Option<(f64, f64)> {
+    let mut it = xs.iter().copied();
+    let first = it.next()?;
+    let mut lo = first;
+    let mut hi = first;
+    for x in it {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    Some((lo, hi))
+}
+
+/// Online mean/std accumulator (Welford). Useful when a sweep produces one
+/// value at a time and storing all samples would be wasteful.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Accumulator {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (0 with fewer than two observations).
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample std of this classic dataset is sqrt(32/7).
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_zero_for_exact_predictions() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&xs, &xs), 0.0);
+        assert_eq!(rrmse(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn rrmse_matches_hand_computation() {
+        let measured = [10.0, 10.0];
+        let predicted = [11.0, 9.0];
+        // RMSE = 1, mean = 10 => RRMSE = 0.1.
+        assert!((rrmse(&predicted, &measured) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let xs = [1.0, 2.5, 3.5, 4.0, 8.0, 9.5];
+        let mut acc = Accumulator::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        assert!((acc.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((acc.std_dev() - std_dev(&xs)).abs() < 1e-12);
+        assert_eq!(acc.count(), xs.len() as u64);
+    }
+
+    #[test]
+    fn min_max_basic() {
+        assert_eq!(min_max(&[]), None);
+        assert_eq!(min_max(&[3.0, -1.0, 2.0]), Some((-1.0, 3.0)));
+    }
+}

@@ -1,0 +1,66 @@
+//! Time units.
+//!
+//! Every duration, latency and timestamp in the workspace is an `f64` count
+//! of **nanoseconds**. The constants and formatter here keep the unit
+//! conversions in one place so magic factors of 1 000 never leak into
+//! application code.
+
+/// One microsecond in nanoseconds.
+pub const US: f64 = 1_000.0;
+/// One millisecond in nanoseconds.
+pub const MS: f64 = 1_000_000.0;
+/// One second in nanoseconds.
+pub const SEC: f64 = 1_000_000_000.0;
+
+/// Convert microseconds to nanoseconds.
+#[inline]
+pub fn us(v: f64) -> f64 {
+    v * US
+}
+
+/// Convert milliseconds to nanoseconds.
+#[inline]
+pub fn ms(v: f64) -> f64 {
+    v * MS
+}
+
+/// Convert seconds to nanoseconds.
+#[inline]
+pub fn secs(v: f64) -> f64 {
+    v * SEC
+}
+
+/// Render a nanosecond duration with a human-friendly unit
+/// (`"3.00 µs"`, `"5.50 s"`, ...). Meant for harness/report output.
+pub fn format_ns(ns: f64) -> String {
+    let abs = ns.abs();
+    if abs >= SEC {
+        format!("{:.3} s", ns / SEC)
+    } else if abs >= MS {
+        format!("{:.3} ms", ns / MS)
+    } else if abs >= US {
+        format!("{:.3} µs", ns / US)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(us(3.0), 3_000.0);
+        assert_eq!(ms(2.0), 2_000_000.0);
+        assert_eq!(secs(1.5), 1_500_000_000.0);
+    }
+
+    #[test]
+    fn formatting_picks_unit() {
+        assert_eq!(format_ns(500.0), "500.0 ns");
+        assert_eq!(format_ns(3_000.0), "3.000 µs");
+        assert_eq!(format_ns(2_500_000.0), "2.500 ms");
+        assert_eq!(format_ns(1_500_000_000.0), "1.500 s");
+    }
+}

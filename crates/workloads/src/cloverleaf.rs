@@ -1,0 +1,101 @@
+//! CloverLeaf proxy (Mallinson et al.).
+//!
+//! A 2D structured compressible-hydro mini-app: per timestep two halo
+//! exchanges over the 4-neighbour stencil (pre- and post-advection) and
+//! two field reductions (timestep control and energy diagnostics). The
+//! paper runs it at 128 procs / 8 nodes with `tiles_per_chunk 50`,
+//! `end_step 150` (Appendix G-G).
+
+use crate::decomp::{dims2, imbalance};
+use llamp_trace::{ProgramBuilder, ProgramSet};
+
+/// CloverLeaf proxy configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Rank count.
+    pub ranks: u32,
+    /// Hydro timesteps.
+    pub iters: usize,
+    /// Cells per rank edge.
+    pub edge_cells: u32,
+    /// Compute per step (ns), weak-scaled.
+    pub comp_per_step_ns: f64,
+}
+
+impl Config {
+    /// The validation shape.
+    pub fn paper(ranks: u32, iters: usize) -> Self {
+        Self {
+            ranks,
+            iters,
+            edge_cells: 480,
+            comp_per_step_ns: 25.0e6,
+        }
+    }
+
+    /// Halo bytes per neighbour: edge cells × 2 layers × 8-byte doubles ×
+    /// a handful of fields.
+    pub fn halo_bytes(&self) -> u64 {
+        self.edge_cells as u64 * 2 * 8 * 4
+    }
+}
+
+/// Generate the per-rank programs.
+pub fn programs(cfg: &Config) -> ProgramSet {
+    let [nx, ny] = dims2(cfg.ranks);
+    let bytes = cfg.halo_bytes();
+    ProgramSet::spmd(cfg.ranks, |rank, b: &mut ProgramBuilder| {
+        let (x, y) = (rank % nx, rank / nx);
+        let neighbors: Vec<u32> = [
+            (x.wrapping_sub(1).min(nx - 1), y),
+            ((x + 1) % nx, y),
+            (x, y.wrapping_sub(1).min(ny - 1)),
+            (x, (y + 1) % ny),
+        ]
+        .iter()
+        .map(|&(a, c)| a + c * nx)
+        .filter(|&n| n != rank)
+        .collect();
+
+        for step in 0..cfg.iters {
+            for phase in 0..2u32 {
+                let mut reqs = Vec::with_capacity(neighbors.len() * 2);
+                for &n in &neighbors {
+                    reqs.push(b.irecv(n, bytes, phase));
+                }
+                for &n in &neighbors {
+                    reqs.push(b.isend(n, bytes, phase));
+                }
+                b.waitall(reqs);
+                b.comp(0.5 * cfg.comp_per_step_ns * imbalance(rank, step, 0.04));
+            }
+            // dt control and diagnostics.
+            b.allreduce(8);
+            b.allreduce(8);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llamp_schedgen::{graph_of_programs, GraphConfig};
+
+    #[test]
+    fn builds_on_various_grids() {
+        for p in [2u32, 4, 6, 8, 16] {
+            let cfg = Config::paper(p, 2);
+            let g = graph_of_programs(&programs(&cfg), &GraphConfig::eager())
+                .unwrap_or_else(|e| panic!("P={p}: {e}"));
+            assert!(g.num_messages() > 0, "P={p}");
+        }
+    }
+
+    #[test]
+    fn neighbor_sets_are_symmetric() {
+        // If the graph builds, send/recv matching already proved symmetry;
+        // spot-check halo byte maths.
+        let cfg = Config::paper(8, 1);
+        assert_eq!(cfg.halo_bytes(), 480 * 2 * 8 * 4);
+    }
+}

@@ -1,0 +1,189 @@
+//! Cartesian domain-decomposition helpers shared by the skeletons.
+
+/// Factor `p` into a near-cubic 3D grid `[nx, ny, nz]` with
+/// `nx ≥ ny ≥ nz` and `nx·ny·nz = p`.
+pub fn dims3(p: u32) -> [u32; 3] {
+    let mut best = [p, 1, 1];
+    let mut best_score = u32::MAX;
+    for nz in 1..=p {
+        if !p.is_multiple_of(nz) {
+            continue;
+        }
+        let rest = p / nz;
+        for ny in 1..=rest {
+            if !rest.is_multiple_of(ny) {
+                continue;
+            }
+            let nx = rest / ny;
+            if nx < ny || ny < nz {
+                continue;
+            }
+            let score = nx - nz; // flatter is better
+            if score < best_score {
+                best_score = score;
+                best = [nx, ny, nz];
+            }
+        }
+    }
+    best
+}
+
+/// Factor `p` into a near-square 2D grid `[nx, ny]`, `nx ≥ ny`.
+pub fn dims2(p: u32) -> [u32; 2] {
+    let mut ny = (p as f64).sqrt() as u32;
+    while ny > 1 && !p.is_multiple_of(ny) {
+        ny -= 1;
+    }
+    [p / ny.max(1), ny.max(1)]
+}
+
+/// Factor `p` into a near-hypercubic 4D grid (MILC-style lattice layout).
+pub fn dims4(p: u32) -> [u32; 4] {
+    let [a, b, c] = dims3(p);
+    // Split the largest dimension once more if possible.
+    let mut best = [a, b, c, 1];
+    for d in 2..=a {
+        if a % d == 0 && a / d >= d.min(b) / d.max(1) {
+            let candidate = [a / d, b, c, d];
+            let spread = |v: [u32; 4]| v.iter().max().unwrap() - v.iter().min().unwrap();
+            if spread(candidate) < spread(best) {
+                best = candidate;
+            }
+        }
+    }
+    best.sort_unstable_by(|x, y| y.cmp(x));
+    best
+}
+
+/// A rank's coordinates in a periodic Cartesian grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid3 {
+    /// Grid dimensions.
+    pub dims: [u32; 3],
+}
+
+impl Grid3 {
+    /// Build the balanced grid for `p` ranks.
+    pub fn new(p: u32) -> Self {
+        Self { dims: dims3(p) }
+    }
+
+    /// Coordinates of a rank.
+    pub fn coords(&self, rank: u32) -> [u32; 3] {
+        let [nx, ny, _] = self.dims;
+        [rank % nx, (rank / nx) % ny, rank / (nx * ny)]
+    }
+
+    /// Rank at (periodic) coordinates.
+    pub fn rank_at(&self, c: [i64; 3]) -> u32 {
+        let [nx, ny, nz] = self.dims;
+        let w = |v: i64, n: u32| (v.rem_euclid(n as i64)) as u32;
+        let (x, y, z) = (w(c[0], nx), w(c[1], ny), w(c[2], nz));
+        x + y * nx + z * nx * ny
+    }
+
+    /// Neighbour rank offset by `(dx, dy, dz)` with periodic wrap.
+    pub fn neighbor(&self, rank: u32, d: [i64; 3]) -> u32 {
+        let c = self.coords(rank);
+        self.rank_at([
+            c[0] as i64 + d[0],
+            c[1] as i64 + d[1],
+            c[2] as i64 + d[2],
+        ])
+    }
+
+    /// The 6 face, 12 edge and 8 corner neighbour offsets of a 3D stencil,
+    /// classified by how many axes they move along (1 = face, 2 = edge,
+    /// 3 = corner).
+    pub fn stencil26() -> Vec<([i64; 3], u32)> {
+        let mut out = Vec::with_capacity(26);
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dz in -1i64..=1 {
+                    let order = (dx != 0) as u32 + (dy != 0) as u32 + (dz != 0) as u32;
+                    if order > 0 {
+                        out.push(([dx, dy, dz], order));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Deterministic per-rank compute imbalance: a small smooth modulation so
+/// inferred calc durations differ across ranks without randomness.
+/// Returns a factor in `[1 − amp, 1 + amp]`.
+pub fn imbalance(rank: u32, iter: usize, amp: f64) -> f64 {
+    let phase = rank as f64 * 0.7 + iter as f64 * 0.13;
+    1.0 + amp * phase.sin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims3_balanced_cubes() {
+        assert_eq!(dims3(8), [2, 2, 2]);
+        assert_eq!(dims3(27), [3, 3, 3]);
+        assert_eq!(dims3(64), [4, 4, 4]);
+        assert_eq!(dims3(12), [3, 2, 2]);
+        assert_eq!(dims3(1), [1, 1, 1]);
+    }
+
+    #[test]
+    fn dims3_products_hold() {
+        for p in 1..=128 {
+            let [a, b, c] = dims3(p);
+            assert_eq!(a * b * c, p, "p={p}");
+            assert!(a >= b && b >= c);
+        }
+    }
+
+    #[test]
+    fn dims2_products_hold() {
+        for p in 1..=128 {
+            let [a, b] = dims2(p);
+            assert_eq!(a * b, p);
+            assert!(a >= b);
+        }
+    }
+
+    #[test]
+    fn dims4_products_hold() {
+        for p in [1u32, 2, 4, 8, 16, 32, 64, 128, 256] {
+            let d = dims4(p);
+            assert_eq!(d.iter().product::<u32>(), p, "p={p} -> {d:?}");
+        }
+    }
+
+    #[test]
+    fn grid_neighbors_wrap() {
+        let g = Grid3::new(8); // 2x2x2
+        assert_eq!(g.coords(0), [0, 0, 0]);
+        assert_eq!(g.coords(7), [1, 1, 1]);
+        // +x from rank 1 (x=1) wraps to x=0.
+        assert_eq!(g.neighbor(1, [1, 0, 0]), 0);
+        assert_eq!(g.neighbor(0, [-1, 0, 0]), 1);
+    }
+
+    #[test]
+    fn stencil_has_26_offsets() {
+        let s = Grid3::stencil26();
+        assert_eq!(s.len(), 26);
+        assert_eq!(s.iter().filter(|(_, o)| *o == 1).count(), 6);
+        assert_eq!(s.iter().filter(|(_, o)| *o == 2).count(), 12);
+        assert_eq!(s.iter().filter(|(_, o)| *o == 3).count(), 8);
+    }
+
+    #[test]
+    fn imbalance_is_bounded() {
+        for r in 0..100 {
+            for i in 0..10 {
+                let f = imbalance(r, i, 0.05);
+                assert!((0.95..=1.05).contains(&f));
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! HPCG proxy (Heroux & Dongarra).
+//!
+//! The High Performance Conjugate Gradient benchmark: per CG iteration a
+//! 27-point halo exchange for the sparse matrix-vector product, two
+//! dot-product reductions (`MPI_Allreduce` of one double each), and the
+//! symmetric Gauss–Seidel preconditioner — here folded into the compute
+//! phase together with a small multigrid V-cycle whose coarser levels
+//! exchange shrinking halos.
+//!
+//! Weak scaling (`nx = ny = nz = 48` per rank in the paper's runs). The
+//! dot products make the critical path carry `2·lg P` latency hops per
+//! iteration — more than LULESH — but the large compute phase keeps the
+//! tolerance band near 100 µs (Fig. 9 second row).
+
+use crate::decomp::{imbalance, Grid3};
+use llamp_trace::{ProgramBuilder, ProgramSet};
+
+/// HPCG proxy configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Rank count.
+    pub ranks: u32,
+    /// CG iterations.
+    pub iters: usize,
+    /// Local subdomain side (`nx`).
+    pub nx: u32,
+    /// Multigrid levels (each halves the halo).
+    pub mg_levels: u32,
+    /// Compute per CG iteration (ns), weak-scaled.
+    pub comp_per_iter_ns: f64,
+}
+
+impl Config {
+    /// The validation shape: `xhpcg 48 48 48`, 4 MG levels.
+    pub fn paper(ranks: u32, iters: usize) -> Self {
+        Self {
+            ranks,
+            iters,
+            nx: 48,
+            mg_levels: 4,
+            comp_per_iter_ns: 60.0e6,
+        }
+    }
+}
+
+fn face_bytes(nx: u32) -> u64 {
+    (nx as u64) * (nx as u64) * 8
+}
+
+/// One 27-point halo exchange at the given level's resolution.
+fn halo(b: &mut ProgramBuilder, grid: &Grid3, rank: u32, nx: u32, tag_base: u32) {
+    let stencil = Grid3::stencil26();
+    let mut reqs = Vec::with_capacity(stencil.len() * 2);
+    for (i, (offset, order)) in stencil.iter().enumerate() {
+        let peer = grid.neighbor(rank, *offset);
+        if peer == rank {
+            continue;
+        }
+        let bytes = match order {
+            1 => face_bytes(nx),
+            2 => (nx as u64) * 8,
+            _ => 8,
+        };
+        reqs.push(b.irecv(peer, bytes, tag_base + i as u32));
+    }
+    for (i, (offset, order)) in stencil.iter().enumerate() {
+        let peer = grid.neighbor(rank, [-offset[0], -offset[1], -offset[2]]);
+        if peer == rank {
+            continue;
+        }
+        let bytes = match order {
+            1 => face_bytes(nx),
+            2 => (nx as u64) * 8,
+            _ => 8,
+        };
+        reqs.push(b.isend(peer, bytes, tag_base + i as u32));
+    }
+    b.waitall(reqs);
+}
+
+/// Generate the per-rank programs.
+pub fn programs(cfg: &Config) -> ProgramSet {
+    let grid = Grid3::new(cfg.ranks);
+    ProgramSet::spmd(cfg.ranks, |rank, b: &mut ProgramBuilder| {
+        for iter in 0..cfg.iters {
+            // SpMV halo at full resolution.
+            halo(b, &grid, rank, cfg.nx, 0);
+            // SpMV + SYMGS compute: ~70% of the iteration.
+            b.comp(0.7 * cfg.comp_per_iter_ns * imbalance(rank, iter, 0.05));
+            // First dot product (r·z).
+            b.allreduce(8);
+            // MG V-cycle: coarser halos with the remaining compute.
+            let mut nx = cfg.nx;
+            let per_level = 0.3 * cfg.comp_per_iter_ns / cfg.mg_levels as f64;
+            for level in 1..cfg.mg_levels {
+                nx = (nx / 2).max(2);
+                halo(b, &grid, rank, nx, level * 32);
+                b.comp(per_level * imbalance(rank, iter, 0.05));
+            }
+            // Second dot product (p·Ap) and convergence check.
+            b.allreduce(8);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llamp_schedgen::{graph_of_programs, GraphConfig};
+
+    #[test]
+    fn builds_and_counts() {
+        let cfg = Config::paper(8, 2);
+        let g = graph_of_programs(&programs(&cfg), &GraphConfig::eager()).unwrap();
+        // Per iteration: mg_levels halos of 26 exchanges x 8 ranks, plus
+        // 2 allreduces (8·lg8 = 24 messages each).
+        let per_iter = 8 * 26 * 4 + 2 * 24;
+        assert_eq!(g.num_messages(), per_iter * 2);
+    }
+
+    #[test]
+    fn coarse_levels_shrink_messages() {
+        assert_eq!(face_bytes(48), 48 * 48 * 8);
+        assert!(face_bytes(24) < face_bytes(48));
+    }
+}

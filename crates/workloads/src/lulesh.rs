@@ -1,0 +1,123 @@
+//! LULESH 2.0 proxy (Karlin et al., LLNL-TR-641973).
+//!
+//! The Livermore shock-hydrodynamics proxy runs on a cubic process grid
+//! (the paper uses 8/27/64 ranks, one per node, `-s 16 -i 1000`). Per
+//! Lagrange leapfrog iteration the skeleton performs:
+//!
+//! 1. a 26-neighbour nonblocking halo exchange (6 faces, 12 edges, 8
+//!    corners; `Irecv`s posted first, then `Isend`s, then `Waitall` — the
+//!    overlap structure that gives LULESH its flat `λ_L` at small `L`),
+//! 2. the element/nodal compute phase (weak scaling: constant per rank,
+//!    with a mild deterministic imbalance),
+//! 3. the `dt` reduction: `MPI_Allreduce` of one double.
+//!
+//! Compute is calibrated so the 1% latency tolerance at 8 ranks lands in
+//! the paper's ~70 µs band (Fig. 9 top-left: 68.5 µs) and stays roughly
+//! flat under weak scaling.
+
+use crate::decomp::{imbalance, Grid3};
+use llamp_trace::{ProgramBuilder, ProgramSet};
+
+/// LULESH proxy configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Rank count (ideally a cube).
+    pub ranks: u32,
+    /// Lagrange iterations.
+    pub iters: usize,
+    /// Per-rank element-side length (`-s`).
+    pub side: u32,
+    /// Compute per iteration per rank (ns), weak-scaled (constant).
+    pub comp_per_iter_ns: f64,
+}
+
+impl Config {
+    /// The validation-experiment shape (`-s 16`), compute calibrated to the
+    /// paper's tolerance band.
+    pub fn paper(ranks: u32, iters: usize) -> Self {
+        Self {
+            ranks,
+            iters,
+            side: 16,
+            comp_per_iter_ns: 28.0e6,
+        }
+    }
+}
+
+/// Bytes exchanged with a neighbour of the given stencil order
+/// (1 = face, 2 = edge, 3 = corner) for `side`-sized domains: three nodal
+/// fields of 8-byte doubles across the shared boundary.
+fn halo_bytes(side: u32, order: u32) -> u64 {
+    let s = side as u64;
+    let fields = 3u64;
+    match order {
+        1 => s * s * 8 * fields,
+        2 => s * 8 * fields,
+        _ => 8 * fields,
+    }
+}
+
+/// Generate the per-rank programs.
+pub fn programs(cfg: &Config) -> ProgramSet {
+    let grid = Grid3::new(cfg.ranks);
+    let stencil = Grid3::stencil26();
+    ProgramSet::spmd(cfg.ranks, |rank, b: &mut ProgramBuilder| {
+        for iter in 0..cfg.iters {
+            // Post all receives, then all sends (LULESH's CommRecv /
+            // CommSend split), then wait for everything.
+            let mut reqs = Vec::with_capacity(stencil.len() * 2);
+            for (tag, (offset, order)) in stencil.iter().enumerate() {
+                let peer = grid.neighbor(rank, *offset);
+                if peer == rank {
+                    continue; // degenerate grid dimension
+                }
+                reqs.push(b.irecv(peer, halo_bytes(cfg.side, *order), tag as u32));
+            }
+            for (tag, (offset, order)) in stencil.iter().enumerate() {
+                let peer = grid.neighbor(rank, [-offset[0], -offset[1], -offset[2]]);
+                if peer == rank {
+                    continue;
+                }
+                reqs.push(b.isend(peer, halo_bytes(cfg.side, *order), tag as u32));
+            }
+            b.waitall(reqs);
+            // Element + nodal kernels.
+            b.comp(cfg.comp_per_iter_ns * imbalance(rank, iter, 0.03));
+            // CalcTimeConstraints: global dt.
+            b.allreduce(8);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llamp_schedgen::{graph_of_programs, GraphConfig};
+
+    #[test]
+    fn message_counts_match_structure() {
+        let cfg = Config::paper(8, 3);
+        let g = graph_of_programs(&programs(&cfg), &GraphConfig::eager()).unwrap();
+        // 2x2x2 grid with periodic wrap: all 26 neighbours exist but many
+        // alias; still every (rank, offset) pair emits one message, plus
+        // the allreduce (recursive doubling: 8·lg8 = 24 per instance).
+        let halo = 8 * 26 * 3;
+        let allreduce = 24 * 3;
+        assert_eq!(g.num_messages(), halo + allreduce);
+    }
+
+    #[test]
+    fn face_messages_dominate_bytes() {
+        assert!(halo_bytes(16, 1) > halo_bytes(16, 2));
+        assert!(halo_bytes(16, 2) > halo_bytes(16, 3));
+        // -s 16: face = 16*16*8*3 = 6144 B (eager on the paper's cluster).
+        assert_eq!(halo_bytes(16, 1), 6144);
+    }
+
+    #[test]
+    fn weak_scaling_keeps_compute_constant() {
+        let a = Config::paper(8, 1);
+        let b = Config::paper(64, 1);
+        assert_eq!(a.comp_per_iter_ns, b.comp_per_iter_ns);
+    }
+}

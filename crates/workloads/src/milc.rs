@@ -1,0 +1,158 @@
+//! MILC su3_rmd proxy (Bernard et al.).
+//!
+//! Lattice QCD with the R-algorithm: a 4D space-time lattice (the paper
+//! runs the 16⁴ NERSC lattice) distributed over a 4D process grid. The
+//! dominant cost is the conjugate-gradient solver for the fermion force:
+//! per CG iteration the *dslash* operator gathers neighbour spinors along
+//! all 8 directions (±x, ±y, ±z, ±t) and two global sums keep the
+//! residual. MILC's gathers are tightly dependent — the next CG iteration
+//! cannot start before the previous one's sums — which is why the paper
+//! measures the *lowest* latency tolerance of all applications (Fig. 1:
+//! degradation from ~20 µs; Fig. 9 third row).
+//!
+//! Strong scaling: the global lattice is fixed, so per-rank compute
+//! shrinks as `P` grows (modelled with a surface-term exponent, matching
+//! the paper's observation that tolerance roughly halves from 8 to 64
+//! nodes rather than dropping 8×).
+
+use crate::decomp::{dims4, imbalance};
+use llamp_trace::{ProgramBuilder, ProgramSet};
+
+/// MILC proxy configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Rank count.
+    pub ranks: u32,
+    /// CG iterations (the outer R-algorithm steps are folded in).
+    pub iters: usize,
+    /// Global lattice side (16 for the NERSC `16x16x16x16.chlat`).
+    pub lattice: u32,
+    /// Per-rank compute per CG iteration at 8 ranks (ns).
+    pub comp_at_8_ns: f64,
+    /// Strong-scaling exponent: compute ∝ `(8/P)^exp`.
+    pub scaling_exp: f64,
+}
+
+impl Config {
+    /// The validation shape (16⁴ lattice).
+    pub fn paper(ranks: u32, iters: usize) -> Self {
+        Self {
+            ranks,
+            iters,
+            lattice: 16,
+            comp_at_8_ns: 12.0e6,
+            scaling_exp: 0.55,
+        }
+    }
+
+    /// Per-rank compute per iteration after strong scaling.
+    pub fn comp_per_iter(&self) -> f64 {
+        self.comp_at_8_ns * (8.0 / self.ranks as f64).powf(self.scaling_exp)
+    }
+}
+
+/// 4D periodic grid navigation.
+struct Grid4 {
+    dims: [u32; 4],
+}
+
+impl Grid4 {
+    fn new(p: u32) -> Self {
+        Self { dims: dims4(p) }
+    }
+
+    fn coords(&self, rank: u32) -> [u32; 4] {
+        let [a, b, c, _] = self.dims;
+        [
+            rank % a,
+            (rank / a) % b,
+            (rank / (a * b)) % c,
+            rank / (a * b * c),
+        ]
+    }
+
+    fn neighbor(&self, rank: u32, axis: usize, dir: i64) -> u32 {
+        let mut c = self.coords(rank).map(|v| v as i64);
+        c[axis] += dir;
+        let d = self.dims;
+        let w = |v: i64, n: u32| v.rem_euclid(n as i64) as u32;
+        w(c[0], d[0])
+            + w(c[1], d[1]) * d[0]
+            + w(c[2], d[2]) * d[0] * d[1]
+            + w(c[3], d[3]) * d[0] * d[1] * d[2]
+    }
+}
+
+/// Spinor surface bytes along one direction: a 3D boundary of the local 4D
+/// block, 24 reals (3×4 complex) per site at 4 bytes (single precision).
+fn surface_bytes(cfg: &Config) -> u64 {
+    let local_side = (cfg.lattice as f64
+        / (cfg.ranks as f64).powf(0.25))
+    .max(2.0) as u64;
+    (local_side.pow(3) * 24 * 4).max(64)
+}
+
+/// Generate the per-rank programs.
+pub fn programs(cfg: &Config) -> ProgramSet {
+    let grid = Grid4::new(cfg.ranks);
+    let bytes = surface_bytes(cfg);
+    let comp = cfg.comp_per_iter();
+    ProgramSet::spmd(cfg.ranks, |rank, b: &mut ProgramBuilder| {
+        for iter in 0..cfg.iters {
+            // Dslash: gathers along 8 directions in two dependent waves
+            // (MILC starts the ±even directions, computes the interior,
+            // then the ±odd directions — partial overlap only).
+            for wave in 0..2u32 {
+                let mut reqs = Vec::with_capacity(8);
+                for axis in 0..4usize {
+                    let dir = if wave == 0 { 1i64 } else { -1 };
+                    let to = grid.neighbor(rank, axis, dir);
+                    let from = grid.neighbor(rank, axis, -dir);
+                    if to == rank || from == rank {
+                        continue;
+                    }
+                    let tag = (wave * 4 + axis as u32) + iter as u32 * 8;
+                    reqs.push(b.irecv(from, bytes, tag));
+                    reqs.push(b.isend(to, bytes, tag));
+                }
+                b.waitall(reqs);
+                // Interior/exterior su3 multiplies for this wave.
+                b.comp(0.5 * comp * imbalance(rank, iter, 0.02));
+            }
+            // CG residual + Rayleigh quotient: two global sums.
+            b.allreduce(16);
+            b.allreduce(16);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llamp_schedgen::{graph_of_programs, GraphConfig};
+
+    #[test]
+    fn builds_on_various_rank_counts() {
+        for p in [2u32, 4, 8, 16, 32] {
+            let cfg = Config::paper(p, 2);
+            let g = graph_of_programs(&programs(&cfg), &GraphConfig::eager())
+                .unwrap_or_else(|e| panic!("P={p}: {e}"));
+            assert!(g.num_messages() > 0);
+        }
+    }
+
+    #[test]
+    fn strong_scaling_shrinks_compute() {
+        let a = Config::paper(8, 1).comp_per_iter();
+        let b = Config::paper(64, 1).comp_per_iter();
+        assert!(b < a / 2.0, "64-rank compute should shrink: {b} vs {a}");
+        assert!(b > a / 8.0, "surface term keeps it above linear scaling");
+    }
+
+    #[test]
+    fn surface_bytes_stay_eager_on_paper_cluster() {
+        let cfg = Config::paper(8, 1);
+        assert!(surface_bytes(&cfg) < 256 * 1024);
+        assert!(surface_bytes(&cfg) >= 64);
+    }
+}

@@ -1,0 +1,152 @@
+//! NAMD / charm++ proxy (Fig. 12 of the paper).
+//!
+//! charm++ over-decomposes the molecular system into many more *chares*
+//! (patch/compute objects) than ranks and schedules them message-driven:
+//! when latency rises, work whose inputs already arrived runs first, so
+//! the *traces themselves* change with the network. The paper records
+//! NAMD traces at several injected latencies and shows each trace's
+//! prediction is only valid near the latency it was recorded at — the
+//! runtime "proactively adjusts its communication schedule" (§VI).
+//!
+//! The proxy models this with an explicit overlap parameter derived from
+//! the latency the trace is recorded at: each rank holds `chares` objects;
+//! per step every object exchanges boundary data with a partner object on
+//! a neighbouring rank. With `recorded_delta_l = 0` the schedule is eager
+//! but serial (send → wait → compute per object). At higher recorded
+//! latency, the scheduler pipelines: all sends are posted up front and
+//! every object's compute fills the wait time of the *next* object's
+//! messages, hiding up to one message round per object.
+
+use crate::decomp::imbalance;
+use llamp_trace::{ProgramBuilder, ProgramSet};
+
+/// NAMD proxy configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Rank count.
+    pub ranks: u32,
+    /// MD steps.
+    pub iters: usize,
+    /// Chares (patches) per rank.
+    pub chares: u32,
+    /// Boundary bytes per chare pair per step.
+    pub bytes: u64,
+    /// Per-chare compute per step (ns).
+    pub comp_per_chare_ns: f64,
+    /// The injected latency (ns) the trace is recorded under; controls how
+    /// aggressively the message-driven scheduler overlaps.
+    pub recorded_delta_l: f64,
+    /// Adaptation knee (ns): the latency scale at which the scheduler has
+    /// reordered half of the objects' communication.
+    pub knee_ns: f64,
+}
+
+impl Config {
+    /// Paper-like shape: 8 chares per rank.
+    pub fn paper(ranks: u32, iters: usize, recorded_delta_l: f64) -> Self {
+        Self {
+            ranks,
+            iters,
+            chares: 8,
+            bytes: 12 * 1024,
+            comp_per_chare_ns: 3.0e6,
+            recorded_delta_l,
+            knee_ns: 20_000.0,
+        }
+    }
+
+    /// Fraction of objects whose communication the scheduler pipelines,
+    /// growing with the latency the trace was recorded at (saturating: the
+    /// runtime can hide at most all-but-one round).
+    pub fn overlap_fraction(&self) -> f64 {
+        (self.recorded_delta_l / (self.recorded_delta_l + self.knee_ns)).min(0.95)
+    }
+}
+
+/// Generate the per-rank programs.
+pub fn programs(cfg: &Config) -> ProgramSet {
+    // Partner rank per chare: alternate neighbours on a ring so traffic
+    // spreads like a patch grid.
+    let overlap = cfg.overlap_fraction();
+    let pipelined = (cfg.chares as f64 * overlap).round() as u32;
+    ProgramSet::spmd(cfg.ranks, |rank, b: &mut ProgramBuilder| {
+        if cfg.ranks < 2 {
+            b.comp(cfg.comp_per_chare_ns * cfg.chares as f64 * cfg.iters as f64);
+            return;
+        }
+        for step in 0..cfg.iters {
+            // Phase 1: the scheduler posts the pipelined objects' traffic
+            // up front (message-driven execution).
+            let mut pending = Vec::new();
+            for c in 0..pipelined {
+                let dir = if (c + rank) % 2 == 0 { 1 } else { cfg.ranks - 1 };
+                let peer = (rank + dir) % cfg.ranks;
+                let tag = c;
+                pending.push(b.irecv(peer, cfg.bytes, tag));
+                pending.push(b.isend(peer, cfg.bytes, tag));
+            }
+            // Their compute fills the transfer time back-to-back.
+            for c in 0..pipelined {
+                b.comp(cfg.comp_per_chare_ns * imbalance(rank, step + c as usize, 0.03));
+            }
+            b.waitall(pending);
+            // Phase 2: the rest run serially (send, wait, compute) — the
+            // un-adapted remainder.
+            for c in pipelined..cfg.chares {
+                let dir = if (c + rank) % 2 == 0 { 1 } else { cfg.ranks - 1 };
+                let peer = (rank + dir) % cfg.ranks;
+                let tag = c;
+                let rq_r = b.irecv(peer, cfg.bytes, tag);
+                let rq_s = b.isend(peer, cfg.bytes, tag);
+                b.waitall(vec![rq_r, rq_s]);
+                b.comp(cfg.comp_per_chare_ns * imbalance(rank, step + c as usize, 0.03));
+            }
+            // Integration barrier per step.
+            b.allreduce(8);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llamp_schedgen::{graph_of_programs, GraphConfig};
+
+    #[test]
+    fn overlap_grows_with_recorded_latency() {
+        let a = Config::paper(8, 1, 0.0).overlap_fraction();
+        let b = Config::paper(8, 1, 50_000.0).overlap_fraction();
+        let c = Config::paper(8, 1, 200_000.0).overlap_fraction();
+        assert!(a < b && b < c);
+        assert!(c <= 0.95);
+        assert_eq!(a, 0.0);
+    }
+
+    #[test]
+    fn builds_at_all_overlap_levels() {
+        for delta in [0.0, 20_000.0, 100_000.0] {
+            let cfg = Config::paper(8, 2, delta);
+            let g = graph_of_programs(&programs(&cfg), &GraphConfig::eager())
+                .unwrap_or_else(|e| panic!("delta={delta}: {e}"));
+            assert!(g.num_messages() > 0);
+        }
+    }
+
+    #[test]
+    fn adapted_traces_are_more_latency_tolerant() {
+        use llamp_core::Analyzer;
+        use llamp_model::LogGPSParams;
+        let params = LogGPSParams::cscs_testbed(8).with_o(2_000.0);
+        let tol = |delta: f64| {
+            let cfg = Config::paper(8, 4, delta);
+            let g = graph_of_programs(&programs(&cfg), &GraphConfig::eager()).unwrap();
+            Analyzer::new(&g, &params).tolerance_pct(5.0, 10_000_000.0)
+        };
+        let cold = tol(0.0);
+        let hot = tol(100_000.0);
+        assert!(
+            hot > cold,
+            "trace recorded under latency should tolerate more: {hot} vs {cold}"
+        );
+    }
+}

@@ -1,0 +1,336 @@
+//! NAS Parallel Benchmarks communication skeletons (Bailey).
+//!
+//! Table I of the paper benchmarks LLAMP's solver against LogGOPSim on the
+//! class-C MPI NPB kernels at 256 ranks. The skeletons reproduce each
+//! kernel's characteristic communication structure; compute blocks are
+//! sized so graph shapes (chains vs. fan-outs) dominate the analysis the
+//! way they do in the originals:
+//!
+//! * **BT / SP** — ADI solvers on a square process grid: three dependent
+//!   sweep phases per iteration, each a pipelined nearest-neighbour chain.
+//! * **CG** — conjugate gradient on a row/column decomposition: transpose
+//!   exchanges plus two dot-product allreduces per iteration.
+//! * **EP** — embarrassingly parallel: one large compute block and a final
+//!   reduction (the tiny-graph outlier of Table I).
+//! * **FT** — 3D FFT: compute + global transpose (`MPI_Alltoall`) per
+//!   iteration.
+//! * **LU** — SSOR with 2D wavefront pipelining: many tiny dependent
+//!   messages (the largest event count in Table I).
+//! * **MG** — multigrid V-cycles: halo exchanges at every level plus a
+//!   norm reduction.
+
+use crate::decomp::{dims2, imbalance, Grid3};
+use llamp_trace::{ProgramBuilder, ProgramSet};
+
+/// Which NPB kernel to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Block-tridiagonal ADI solver.
+    Bt,
+    /// Conjugate gradient.
+    Cg,
+    /// Embarrassingly parallel.
+    Ep,
+    /// 3D FFT.
+    Ft,
+    /// Lower-upper SSOR.
+    Lu,
+    /// Multigrid.
+    Mg,
+    /// Scalar-pentadiagonal ADI solver.
+    Sp,
+}
+
+impl Kernel {
+    /// All kernels in Table I order.
+    pub const ALL: [Kernel; 7] = [
+        Kernel::Bt,
+        Kernel::Cg,
+        Kernel::Ep,
+        Kernel::Ft,
+        Kernel::Lu,
+        Kernel::Mg,
+        Kernel::Sp,
+    ];
+
+    /// Benchmark name as the paper prints it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kernel::Bt => "NPB BT",
+            Kernel::Cg => "NPB CG",
+            Kernel::Ep => "NPB EP",
+            Kernel::Ft => "NPB FT",
+            Kernel::Lu => "NPB LU",
+            Kernel::Mg => "NPB MG",
+            Kernel::Sp => "NPB SP",
+        }
+    }
+}
+
+/// NPB skeleton configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Kernel selection.
+    pub kernel: Kernel,
+    /// Rank count.
+    pub ranks: u32,
+    /// Outer iterations.
+    pub iters: usize,
+    /// Base message payload (class knob).
+    pub bytes: u64,
+    /// Base compute block (ns).
+    pub comp_ns: f64,
+}
+
+impl Config {
+    /// A class-C-shaped configuration (relative sizes follow the kernels'
+    /// class-C communication ratios; absolute values scaled down).
+    pub fn class_c(kernel: Kernel, ranks: u32, iters: usize) -> Self {
+        let (bytes, comp_ns) = match kernel {
+            Kernel::Bt => (40 * 1024, 12.0e6),
+            Kernel::Cg => (16 * 1024, 4.0e6),
+            Kernel::Ep => (8, 400.0e6),
+            Kernel::Ft => (64 * 1024, 60.0e6),
+            Kernel::Lu => (2 * 1024, 1.0e6),
+            Kernel::Mg => (8 * 1024, 6.0e6),
+            Kernel::Sp => (32 * 1024, 8.0e6),
+        };
+        Self {
+            kernel,
+            ranks,
+            iters,
+            bytes,
+            comp_ns,
+        }
+    }
+}
+
+/// Generate the per-rank programs.
+pub fn programs(cfg: &Config) -> ProgramSet {
+    match cfg.kernel {
+        Kernel::Bt | Kernel::Sp => adi_sweeps(cfg),
+        Kernel::Cg => cg(cfg),
+        Kernel::Ep => ep(cfg),
+        Kernel::Ft => ft(cfg),
+        Kernel::Lu => lu(cfg),
+        Kernel::Mg => mg(cfg),
+    }
+}
+
+/// BT/SP: square grid, three pipelined sweep phases per iteration. In each
+/// phase a rank receives from its predecessor along the sweep direction,
+/// computes, and forwards — a dependency chain across the grid diagonal.
+fn adi_sweeps(cfg: &Config) -> ProgramSet {
+    let [nx, ny] = dims2(cfg.ranks);
+    ProgramSet::spmd(cfg.ranks, |rank, b: &mut ProgramBuilder| {
+        let (x, y) = (rank % nx, rank / nx);
+        for iter in 0..cfg.iters {
+            // Phase along x, then y, then "z" (modelled as a second x
+            // sweep in reverse).
+            for (phase, (coord, n)) in [(x, nx), (y, ny), (nx - 1 - x, nx)]
+                .into_iter()
+                .enumerate()
+            {
+                let tag = (iter * 3 + phase) as u32;
+                let (prev, next): (Option<u32>, Option<u32>) = match phase {
+                    0 => (
+                        (coord > 0).then(|| rank - 1),
+                        (coord + 1 < n).then(|| rank + 1),
+                    ),
+                    1 => (
+                        (coord > 0).then(|| rank - nx),
+                        (coord + 1 < n).then(|| rank + nx),
+                    ),
+                    _ => (
+                        (coord > 0).then(|| rank + 1),
+                        (coord + 1 < n).then(|| rank - 1),
+                    ),
+                };
+                if let Some(p) = prev {
+                    b.recv(p, cfg.bytes, tag);
+                }
+                b.comp(cfg.comp_ns / 3.0 * imbalance(rank, iter, 0.02));
+                if let Some(nx_) = next {
+                    b.send(nx_, cfg.bytes, tag);
+                }
+            }
+        }
+    })
+}
+
+/// CG: transpose-partner exchange plus two reductions per iteration.
+fn cg(cfg: &Config) -> ProgramSet {
+    ProgramSet::spmd(cfg.ranks, |rank, b: &mut ProgramBuilder| {
+        // Partner across the square grid transpose; falls back to an XOR
+        // partner on non-square counts.
+        let [nx, ny] = dims2(cfg.ranks);
+        let partner = if nx == ny {
+            let (x, y) = (rank % nx, rank / nx);
+            y + x * nx
+        } else {
+            rank ^ 1
+        };
+        for iter in 0..cfg.iters {
+            b.comp(cfg.comp_ns * imbalance(rank, iter, 0.03));
+            if partner != rank && partner < cfg.ranks {
+                b.sendrecv(partner, cfg.bytes, iter as u32, partner, cfg.bytes, iter as u32);
+            }
+            b.allreduce(8);
+            b.comp(0.2 * cfg.comp_ns);
+            b.allreduce(8);
+        }
+    })
+}
+
+/// EP: one big compute block, one final reduction.
+fn ep(cfg: &Config) -> ProgramSet {
+    ProgramSet::spmd(cfg.ranks, |rank, b: &mut ProgramBuilder| {
+        b.comp(cfg.comp_ns * cfg.iters as f64 * imbalance(rank, 0, 0.01));
+        b.allreduce(cfg.bytes.max(8));
+    })
+}
+
+/// FT: compute + global transpose per iteration.
+fn ft(cfg: &Config) -> ProgramSet {
+    ProgramSet::spmd(cfg.ranks, |rank, b: &mut ProgramBuilder| {
+        for iter in 0..cfg.iters {
+            b.comp(cfg.comp_ns * imbalance(rank, iter, 0.02));
+            b.alltoall(cfg.bytes / cfg.ranks as u64);
+        }
+    })
+}
+
+/// LU: 2D wavefront: each rank waits for north+west, computes a small
+/// block, forwards south+east; two sweeps (lower and upper) per iteration.
+fn lu(cfg: &Config) -> ProgramSet {
+    let [nx, ny] = dims2(cfg.ranks);
+    ProgramSet::spmd(cfg.ranks, |rank, b: &mut ProgramBuilder| {
+        let (x, y) = (rank % nx, rank / nx);
+        for iter in 0..cfg.iters {
+            let tag = iter as u32;
+            // Lower sweep: top-left to bottom-right.
+            if x > 0 {
+                b.recv(rank - 1, cfg.bytes, tag);
+            }
+            if y > 0 {
+                b.recv(rank - nx, cfg.bytes, tag);
+            }
+            b.comp(cfg.comp_ns / 2.0 * imbalance(rank, iter, 0.02));
+            if x + 1 < nx {
+                b.send(rank + 1, cfg.bytes, tag);
+            }
+            if y + 1 < ny {
+                b.send(rank + nx, cfg.bytes, tag);
+            }
+            // Upper sweep: bottom-right to top-left.
+            let tag = tag + 0x1000;
+            if x + 1 < nx {
+                b.recv(rank + 1, cfg.bytes, tag);
+            }
+            if y + 1 < ny {
+                b.recv(rank + nx, cfg.bytes, tag);
+            }
+            b.comp(cfg.comp_ns / 2.0 * imbalance(rank, iter, 0.02));
+            if x > 0 {
+                b.send(rank - 1, cfg.bytes, tag);
+            }
+            if y > 0 {
+                b.send(rank - nx, cfg.bytes, tag);
+            }
+        }
+    })
+}
+
+/// MG: V-cycle of halo exchanges with shrinking payloads + a norm check.
+fn mg(cfg: &Config) -> ProgramSet {
+    let grid = Grid3::new(cfg.ranks);
+    ProgramSet::spmd(cfg.ranks, |rank, b: &mut ProgramBuilder| {
+        for iter in 0..cfg.iters {
+            let mut bytes = cfg.bytes;
+            for level in 0..4u32 {
+                let mut reqs = Vec::new();
+                for (axis, tag) in [0usize, 1, 2].iter().zip(0u32..) {
+                    let mut d = [0i64; 3];
+                    d[*axis] = 1;
+                    let plus = grid.neighbor(rank, d);
+                    d[*axis] = -1;
+                    let minus = grid.neighbor(rank, d);
+                    if plus == rank {
+                        continue;
+                    }
+                    let t = level * 8 + tag;
+                    reqs.push(b.irecv(minus, bytes, t));
+                    reqs.push(b.isend(plus, bytes, t));
+                }
+                b.waitall(reqs);
+                b.comp(cfg.comp_ns / 4.0 * imbalance(rank, iter, 0.02));
+                bytes = (bytes / 4).max(64);
+            }
+            b.allreduce(8);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llamp_schedgen::{graph_of_programs, GraphConfig};
+
+    #[test]
+    fn all_kernels_build_at_16_ranks() {
+        for k in Kernel::ALL {
+            let cfg = Config::class_c(k, 16, 2);
+            let g = graph_of_programs(&programs(&cfg), &GraphConfig::paper())
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+            assert!(g.num_messages() > 0, "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn ep_has_smallest_graph() {
+        let mut sizes = Vec::new();
+        for k in Kernel::ALL {
+            let cfg = Config::class_c(k, 16, 4);
+            let g = graph_of_programs(&programs(&cfg), &GraphConfig::eager()).unwrap();
+            sizes.push((k, g.num_vertices()));
+        }
+        let ep = sizes
+            .iter()
+            .find(|(k, _)| *k == Kernel::Ep)
+            .unwrap()
+            .1;
+        for (k, s) in &sizes {
+            if *k != Kernel::Ep {
+                assert!(ep < *s, "{}: EP {} vs {}", k.name(), ep, s);
+            }
+        }
+    }
+
+    #[test]
+    fn lu_has_most_messages_per_unit_compute() {
+        // LU's event count dominates Table I: many tiny messages.
+        let lu = Config::class_c(Kernel::Lu, 16, 4);
+        let ep = Config::class_c(Kernel::Ep, 16, 4);
+        let glu = graph_of_programs(&programs(&lu), &GraphConfig::eager()).unwrap();
+        let gep = graph_of_programs(&programs(&ep), &GraphConfig::eager()).unwrap();
+        // LU sends per iteration (two wavefront sweeps) dwarf EP's single
+        // final reduction.
+        assert!(glu.num_messages() > 2 * gep.num_messages());
+        assert!(glu.num_vertices() > gep.num_vertices());
+    }
+
+    #[test]
+    fn wavefront_is_latency_sensitive() {
+        // LU's dependent chains make λ_L grow with the grid diagonal.
+        use llamp_core::{Analyzer};
+        use llamp_model::LogGPSParams;
+        let cfg = Config::class_c(Kernel::Lu, 16, 2);
+        let g = graph_of_programs(&programs(&cfg), &GraphConfig::eager()).unwrap();
+        let params = LogGPSParams::cscs_testbed(16).with_o(5_000.0);
+        let a = Analyzer::new(&g, &params);
+        let e = a.evaluate(params.l);
+        // Diagonal of a 4x4 grid crossed twice per iteration, 2 iters:
+        // well above a single allreduce chain.
+        assert!(e.lambda >= 8.0, "λ = {}", e.lambda);
+    }
+}

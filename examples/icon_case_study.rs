@@ -1,0 +1,72 @@
+//! The ICON case study (paper §IV) in miniature: collective-algorithm
+//! choice and network-topology analysis on the same traced graph.
+//!
+//! Run with `cargo run --release --example icon_case_study`.
+
+use llamp::core::{Analyzer, Binding};
+use llamp::model::LogGPSParams;
+use llamp::schedgen::{build_graph, AllreduceAlgo, GraphConfig};
+use llamp::topo::{Dragonfly, FatTree};
+use llamp::trace::TracerConfig;
+use llamp::util::time::{format_ns, us};
+use llamp::workloads::icon;
+
+fn main() {
+    let ranks = 64u32;
+    let params = LogGPSParams::piz_daint(ranks).with_o(us(7.4));
+    let set = icon::programs(&icon::Config::paper(ranks, 8));
+    let trace = set.trace(&TracerConfig::default());
+
+    // --- Part 1: collective algorithms (Fig. 10) -----------------------
+    println!("== allreduce algorithm (ICON, {ranks} ranks) ==");
+    for (label, algo) in [
+        ("recursive doubling", AllreduceAlgo::RecursiveDoubling),
+        ("ring              ", AllreduceAlgo::Ring),
+    ] {
+        let mut cfg = GraphConfig::paper();
+        cfg.collectives.allreduce = algo;
+        let graph = build_graph(&trace, &cfg).unwrap();
+        let a = Analyzer::new(&graph, &params);
+        let tol = a.tolerance_pct(5.0, params.l + us(1_000_000.0));
+        let e = a.evaluate(params.l + us(100.0));
+        println!(
+            "  {label}: 5% tolerance +{}, λ_L@100µs = {:.0}, ρ_L = {:.1}%",
+            format_ns(tol),
+            e.lambda,
+            100.0 * e.rho(params.l + us(100.0))
+        );
+    }
+
+    // --- Part 2: topology wire latency (Fig. 11) -----------------------
+    println!("\n== per-wire latency (d_switch = 108 ns, dense packing) ==");
+    let graph = build_graph(&trace, &GraphConfig::paper()).unwrap();
+    let placement: Vec<u32> = (0..ranks).collect();
+    let base_wire = 274.0;
+    for (label, binding) in [
+        (
+            "fat tree (k=16) ",
+            Binding::wire(&params, &FatTree::new(16), &placement, 108.0),
+        ),
+        (
+            "dragonfly (8,4,8)",
+            Binding::wire(&params, &Dragonfly::paper(), &placement, 108.0),
+        ),
+    ] {
+        let a = Analyzer::with_binding(&graph, binding, base_wire);
+        let prof = a.profile(base_wire, 10_000.0);
+        let t274 = prof.runtime(274.0);
+        let t424 = prof.runtime(424.0);
+        let tol = a.tolerance_pct(1.0, 2_000_000.0);
+        println!(
+            "  {label}: T(274ns) = {}, T(424ns) = {} (+{:.3}%), 1% tol at wire = {:.1} µs",
+            format_ns(t274),
+            format_ns(t424),
+            100.0 * (t424 - t274) / t274,
+            (base_wire + tol) / 1_000.0,
+        );
+    }
+    println!(
+        "\nThe FEC-driven wire-latency increase (274 → 424 ns) leaves ICON's\n\
+         runtime essentially unchanged under both topologies (paper §IV-2)."
+    );
+}

@@ -1,0 +1,43 @@
+//! Latency-tolerance analysis of three real application skeletons — the
+//! Fig. 1 workflow as a library user would run it.
+//!
+//! Run with `cargo run --release --example latency_tolerance`.
+
+use llamp::core::Analyzer;
+use llamp::model::LogGPSParams;
+use llamp::schedgen::{graph_of_programs, GraphConfig};
+use llamp::util::time::{format_ns, us};
+use llamp::workloads::App;
+
+fn main() {
+    println!("network latency tolerance at 8 ranks (CSCS test-bed parameters)\n");
+    for app in [App::Milc, App::Lulesh, App::Icon] {
+        let set = app.programs(8, 10);
+        let graph = graph_of_programs(&set, &GraphConfig::paper()).unwrap();
+        let params = LogGPSParams::cscs_testbed(8).with_o(app.paper_o());
+        let analyzer = Analyzer::new(&graph, &params);
+
+        let zones = analyzer.tolerance_zones(params.l + us(50_000.0));
+        println!("{}:", app.name());
+        println!("  baseline runtime  {}", format_ns(zones.baseline_runtime));
+        println!("  1% tolerance      +{}", format_ns(zones.pct1));
+        println!("  2% tolerance      +{}", format_ns(zones.pct2));
+        println!("  5% tolerance      +{}", format_ns(zones.pct5));
+
+        // The λ_L staircase: how many messages sit un-overlapped on the
+        // critical path as latency grows.
+        let profile = analyzer.profile(params.l, params.l + us(1000.0));
+        let lcs = profile.critical_latencies();
+        println!(
+            "  λ_L from {} to {} across {} critical latencies in (L, L+1ms)",
+            profile.lambda(params.l),
+            profile.lambda(params.l + us(1000.0)),
+            lcs.len()
+        );
+        println!();
+    }
+    println!(
+        "MILC tolerates the least added latency and ICON the most — the\n\
+         ordering of the paper's Fig. 1."
+    );
+}

@@ -1,0 +1,30 @@
+//! # LLAMP — LogGPS and Linear Programming based Analyzer for MPI Programs
+//!
+//! A from-scratch Rust reproduction of *"LLAMP: Assessing Network Latency
+//! Tolerance of HPC Applications with Linear Programming"* (SC 2024).
+//!
+//! This facade crate re-exports the whole toolchain:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`lp`] | linear-programming substrate (bounded simplex, presolve, ranging, parametric envelopes) |
+//! | [`model`] | LogGPS / LogGOPS / HLogGP network models |
+//! | [`trace`] | MPI trace records, per-rank programs, liballprof-style text format |
+//! | [`schedgen`] | trace → execution graph compiler with collective substitution |
+//! | [`sim`] | LogGOPSim-equivalent discrete-event simulator + latency injector |
+//! | [`topo`] | Fat Tree / Dragonfly topologies and wire-latency decomposition |
+//! | [`core`] | the paper's contribution: graph→LP, λ_L, ρ_L, critical latencies, tolerance, placement |
+//! | [`workloads`] | communication-skeleton proxies of the paper's applications |
+//!
+//! See the `examples/` directory for end-to-end walkthroughs, starting with
+//! `quickstart.rs`.
+
+pub use llamp_core as core;
+pub use llamp_lp as lp;
+pub use llamp_model as model;
+pub use llamp_schedgen as schedgen;
+pub use llamp_sim as sim;
+pub use llamp_topo as topo;
+pub use llamp_trace as trace;
+pub use llamp_util as util;
+pub use llamp_workloads as workloads;

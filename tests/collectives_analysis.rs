@@ -1,0 +1,129 @@
+//! Collective-algorithm analysis across the pipeline (the Fig. 10 claims
+//! as invariants).
+
+use llamp::core::Analyzer;
+use llamp::model::LogGPSParams;
+use llamp::schedgen::{
+    build_graph, AllreduceAlgo, BcastAlgo, CollectiveConfig, GraphConfig,
+};
+use llamp::trace::{ProgramSet, TracerConfig};
+use llamp::util::time::us;
+
+fn allreduce_graph(ranks: u32, algo: AllreduceAlgo, bytes: u64) -> llamp::schedgen::ExecGraph {
+    let set = ProgramSet::spmd(ranks, |_, b| {
+        for _ in 0..3 {
+            b.comp(us(100.0));
+            b.allreduce(bytes);
+        }
+    });
+    let cfg = GraphConfig {
+        rndv_threshold: u64::MAX,
+        collectives: CollectiveConfig {
+            allreduce: algo,
+            ..Default::default()
+        },
+    };
+    build_graph(&set.trace(&TracerConfig::default()), &cfg).unwrap()
+}
+
+/// Ring allreduce has Θ(P) dependent steps vs Θ(lg P) for recursive
+/// doubling: its latency sensitivity must be strictly larger and grow
+/// faster with scale (Fig. 10).
+#[test]
+fn ring_is_more_latency_sensitive_than_recursive_doubling() {
+    let params = LogGPSParams::cscs_testbed(16).with_o(us(1.0));
+    let mut prev_ratio = 0.0;
+    for ranks in [8u32, 16, 32] {
+        let g_rd = allreduce_graph(ranks, AllreduceAlgo::RecursiveDoubling, 1024);
+        let g_ring = allreduce_graph(ranks, AllreduceAlgo::Ring, 1024);
+        let a_rd = Analyzer::new(&g_rd, &params);
+        let a_ring = Analyzer::new(&g_ring, &params);
+        let l = params.l + us(100.0);
+        let lam_rd = a_rd.evaluate(l).lambda;
+        let lam_ring = a_ring.evaluate(l).lambda;
+        assert!(
+            lam_ring > lam_rd,
+            "P={ranks}: ring λ {lam_ring} <= recdub λ {lam_rd}"
+        );
+        let ratio = lam_ring / lam_rd;
+        assert!(
+            ratio >= prev_ratio,
+            "P={ranks}: sensitivity gap should widen with scale"
+        );
+        prev_ratio = ratio;
+    }
+}
+
+/// Tolerance ordering is the flip side: recursive doubling tolerates more.
+#[test]
+fn recursive_doubling_tolerates_more_latency() {
+    let ranks = 16;
+    let params = LogGPSParams::cscs_testbed(ranks).with_o(us(1.0));
+    let tol = |algo| {
+        let g = allreduce_graph(ranks, algo, 1024);
+        Analyzer::new(&g, &params).tolerance_pct(5.0, params.l + us(1_000_000.0))
+    };
+    let t_rd = tol(AllreduceAlgo::RecursiveDoubling);
+    let t_ring = tol(AllreduceAlgo::Ring);
+    assert!(
+        t_rd > 2.0 * t_ring,
+        "recdub {t_rd} should beat ring {t_ring} clearly"
+    );
+}
+
+/// All three allreduce algorithms compute the same collective; at zero
+/// latency and bandwidth their runtimes may differ only through `o` chains
+/// — and every one terminates and matches a valid schedule.
+#[test]
+fn allreduce_algorithms_all_build_and_are_causal() {
+    for ranks in [3u32, 4, 6, 8, 17] {
+        for algo in [
+            AllreduceAlgo::RecursiveDoubling,
+            AllreduceAlgo::Ring,
+            AllreduceAlgo::ReduceBcast,
+        ] {
+            let g = allreduce_graph(ranks, algo, 64);
+            assert!(g.num_messages() > 0, "P={ranks} {algo:?}");
+        }
+    }
+}
+
+/// Broadcast algorithm trade-off: binomial trees minimise the root's `o`
+/// chain (O(lg P) vs O(P)) and win when overhead dominates; linear bcast
+/// has latency depth 1 (all transfers in parallel) and wins when `L`
+/// dominates. Both regimes must come out of the analysis.
+#[test]
+fn bcast_algorithm_tradeoff() {
+    let ranks = 16u32;
+    let mk = |algo, l_extra: f64| {
+        let params = LogGPSParams::cscs_testbed(ranks).with_o(us(1.0));
+        let set = ProgramSet::spmd(ranks, |_, b| {
+            b.bcast(4096, 0);
+        });
+        let cfg = GraphConfig {
+            rndv_threshold: u64::MAX,
+            collectives: CollectiveConfig {
+                bcast: algo,
+                ..Default::default()
+            },
+        };
+        let g = build_graph(&set.trace(&TracerConfig::default()), &cfg).unwrap();
+        let a = Analyzer::new(&g, &params);
+        let e = a.evaluate(100.0 + l_extra);
+        (e.runtime, e.lambda)
+    };
+    // Overhead-dominated regime (L ≈ 0): binomial wins.
+    let (t_bin, lam_bin) = mk(BcastAlgo::BinomialTree, 0.0);
+    let (t_lin, lam_lin) = mk(BcastAlgo::Linear, 0.0);
+    assert!(t_bin < t_lin, "o-regime: binomial {t_bin} vs linear {t_lin}");
+    // Latency sensitivities: lg P for the tree, 1 for the pipelined chain.
+    assert_eq!(lam_bin, 4.0);
+    assert_eq!(lam_lin, 1.0);
+    // Latency-dominated regime: linear overtakes (its λ is smaller).
+    let (t_bin_hi, _) = mk(BcastAlgo::BinomialTree, us(300.0));
+    let (t_lin_hi, _) = mk(BcastAlgo::Linear, us(300.0));
+    assert!(
+        t_lin_hi < t_bin_hi,
+        "L-regime: linear {t_lin_hi} vs binomial {t_bin_hi}"
+    );
+}

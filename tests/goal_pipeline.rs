@@ -1,0 +1,44 @@
+//! GOAL serialisation as a pipeline stage: a graph written to the GOAL
+//! dialect and parsed back must analyse identically — the property that
+//! lets schedules be stored and shared like LogGOPSim's.
+
+use llamp::core::Analyzer;
+use llamp::model::LogGPSParams;
+use llamp::schedgen::goal::{parse_goal, write_goal};
+use llamp::schedgen::{build_graph, GraphConfig};
+use llamp::trace::TracerConfig;
+use llamp::util::time::us;
+use llamp::workloads::App;
+
+#[test]
+fn goal_round_trip_preserves_all_metrics() {
+    for app in [App::Milc, App::Openmx] {
+        let set = app.programs(8, 2);
+        let trace = set.trace(&TracerConfig::default());
+        let graph = build_graph(&trace, &GraphConfig::paper()).unwrap();
+        let text = write_goal(&graph);
+        let parsed = parse_goal(&text).unwrap();
+
+        let params = LogGPSParams::cscs_testbed(8).with_o(app.paper_o());
+        let a1 = Analyzer::new(&graph, &params);
+        let a2 = Analyzer::new(&parsed, &params);
+        for delta in [0.0, us(50.0)] {
+            let e1 = a1.evaluate(params.l + delta);
+            let e2 = a2.evaluate(params.l + delta);
+            assert_eq!(e1.runtime, e2.runtime, "{} ∆L={delta}", app.name());
+            assert_eq!(e1.lambda, e2.lambda, "{} ∆L={delta}", app.name());
+        }
+        let z1 = a1.tolerance_zones(params.l + us(100_000.0));
+        let z2 = a2.tolerance_zones(params.l + us(100_000.0));
+        assert_eq!(z1, z2, "{}", app.name());
+    }
+}
+
+#[test]
+fn goal_text_is_stable() {
+    // Writing twice produces identical text (no hidden nondeterminism).
+    let set = App::Cloverleaf.programs(4, 2);
+    let trace = set.trace(&TracerConfig::default());
+    let graph = build_graph(&trace, &GraphConfig::paper()).unwrap();
+    assert_eq!(write_goal(&graph), write_goal(&graph));
+}

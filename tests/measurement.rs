@@ -1,0 +1,65 @@
+//! Closing the measurement loop (paper §III-B): Netgauge-style parameter
+//! fitting against the simulator, then analysis with the *fitted*
+//! parameters must match analysis with the ground truth.
+
+use llamp::core::Analyzer;
+use llamp::model::netgauge::{measure, MeasureConfig};
+use llamp::model::LogGPSParams;
+use llamp::schedgen::{build_graph, GraphConfig};
+use llamp::sim::netgauge_impl::SimNetwork;
+use llamp::trace::TracerConfig;
+use llamp::workloads::App;
+
+#[test]
+fn fitted_parameters_reproduce_predictions() {
+    let truth = LogGPSParams {
+        l: 3_000.0,
+        o: 5_000.0,
+        g: 0.0,
+        big_g: 0.018,
+        big_o: 0.0,
+        s: 256 * 1024,
+        p: 8,
+    };
+    // Measure the simulated cluster.
+    let mut net = SimNetwork::new(truth);
+    let fitted = measure(&mut net, &MeasureConfig::default()).into_params(truth);
+
+    // Analyse LULESH with truth vs. fitted parameters.
+    let set = App::Lulesh.programs(8, 3);
+    let graph = build_graph(&set.trace(&TracerConfig::default()), &GraphConfig::paper()).unwrap();
+    let t_truth = Analyzer::new(&graph, &truth).baseline_runtime();
+    let t_fit = Analyzer::new(&graph, &fitted).baseline_runtime();
+    assert!(
+        (t_truth - t_fit).abs() < 0.02 * t_truth,
+        "truth {t_truth} vs fitted {t_fit}"
+    );
+}
+
+#[test]
+fn fitting_is_robust_across_parameter_ranges() {
+    for (l, o, g_per_byte) in [
+        (1_400.0, 7_400.0, 0.013), // Piz Daint
+        (3_000.0, 5_000.0, 0.018), // CSCS test-bed
+        (10_000.0, 1_000.0, 0.1),  // a slow cloud-ish network
+    ] {
+        let truth = LogGPSParams {
+            l,
+            o,
+            g: 0.0,
+            big_g: g_per_byte,
+            big_o: 0.0,
+            s: u64::MAX,
+            p: 2,
+        };
+        let mut net = SimNetwork::new(truth);
+        let fit = measure(&mut net, &MeasureConfig::default());
+        assert!((fit.l - l).abs() / l < 0.05, "L: {} vs {l}", fit.l);
+        assert!((fit.o - o).abs() / o < 0.05, "o: {} vs {o}", fit.o);
+        assert!(
+            (fit.big_g - g_per_byte).abs() / g_per_byte < 0.05,
+            "G: {} vs {g_per_byte}",
+            fit.big_g
+        );
+    }
+}

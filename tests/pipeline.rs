@@ -1,0 +1,110 @@
+//! End-to-end pipeline tests: workload → trace → text round-trip →
+//! execution graph → analysis, cross-checked against the simulator.
+
+use llamp::core::Analyzer;
+use llamp::model::LogGPSParams;
+use llamp::schedgen::{build_graph, GraphConfig};
+use llamp::sim::{SimConfig, Simulator};
+use llamp::trace::text::{parse_trace, write_trace};
+use llamp::trace::TracerConfig;
+use llamp::util::time::us;
+use llamp::workloads::App;
+
+/// The full chain including serialising the trace to the liballprof-style
+/// text format and parsing it back must produce identical predictions.
+#[test]
+fn text_round_trip_preserves_analysis() {
+    for app in [App::Lulesh, App::Milc, App::Cloverleaf] {
+        let set = app.programs(8, 3);
+        let trace = set.trace(&TracerConfig::default());
+        let text = write_trace(&trace);
+        let parsed = parse_trace(&text).unwrap();
+        assert_eq!(trace, parsed, "{}", app.name());
+
+        let params = LogGPSParams::cscs_testbed(8).with_o(app.paper_o());
+        let g1 = build_graph(&trace, &GraphConfig::paper()).unwrap();
+        let g2 = build_graph(&parsed, &GraphConfig::paper()).unwrap();
+        let t1 = Analyzer::new(&g1, &params).baseline_runtime();
+        let t2 = Analyzer::new(&g2, &params).baseline_runtime();
+        assert_eq!(t1, t2, "{}", app.name());
+    }
+}
+
+/// The analytical prediction equals a noise-free dataflow replay for every
+/// application, at several latencies (the LP *is* the critical path of
+/// that schedule).
+#[test]
+fn prediction_matches_dataflow_simulation() {
+    for app in App::ALL {
+        let set = app.programs(8, 3);
+        let trace = set.trace(&TracerConfig::default());
+        let graph = build_graph(&trace, &GraphConfig::paper()).unwrap();
+        let params = LogGPSParams::cscs_testbed(8).with_o(app.paper_o());
+        let analyzer = Analyzer::new(&graph, &params);
+        for delta in [0.0, us(10.0), us(200.0)] {
+            let predicted = analyzer.evaluate(params.l + delta).runtime;
+            let sim = SimConfig::dataflow(params).with_delta_l(delta);
+            let measured = Simulator::new(&graph, sim).run().makespan;
+            assert!(
+                (predicted - measured).abs() <= 1e-6 * measured.max(1.0),
+                "{} at ∆L={delta}: predicted {predicted} vs dataflow {measured}",
+                app.name()
+            );
+        }
+    }
+}
+
+/// With LogGOPSim-style CPU serialisation the simulator can only be
+/// slower, and the prediction error stays within the o-per-event bound.
+#[test]
+fn serialized_simulation_bounds_prediction_error() {
+    for app in [App::Hpcg, App::Icon, App::Lammps] {
+        let set = app.programs(8, 3);
+        let trace = set.trace(&TracerConfig::default());
+        let graph = build_graph(&trace, &GraphConfig::paper()).unwrap();
+        let params = LogGPSParams::cscs_testbed(8).with_o(app.paper_o());
+        let predicted = Analyzer::new(&graph, &params).baseline_runtime();
+        let measured = Simulator::new(&graph, SimConfig::ideal(params))
+            .run()
+            .makespan;
+        assert!(measured >= predicted - 1e-6, "{}", app.name());
+        assert!(
+            measured <= predicted * 1.35,
+            "{}: serialisation gap too large: {measured} vs {predicted}",
+            app.name()
+        );
+    }
+}
+
+/// Validation-experiment accuracy: under quiet noise the relative error at
+/// every sweep point stays in the paper's few-percent band.
+#[test]
+fn validation_rrmse_band() {
+    use llamp::sim::NoiseConfig;
+    use llamp::util::stats;
+    for app in [App::Lulesh, App::Milc] {
+        let set = app.programs(8, 5);
+        let trace = set.trace(&TracerConfig::default());
+        let graph = build_graph(&trace, &GraphConfig::paper()).unwrap();
+        let params = LogGPSParams::cscs_testbed(8).with_o(app.paper_o());
+        let analyzer = Analyzer::new(&graph, &params);
+
+        let mut predicted = Vec::new();
+        let mut measured = Vec::new();
+        for i in 0..6 {
+            let delta = us(20.0) * i as f64;
+            predicted.push(analyzer.evaluate(params.l + delta).runtime);
+            let cfg = SimConfig::ideal(params)
+                .with_delta_l(delta)
+                .with_noise(NoiseConfig::quiet(99 + i));
+            measured.push(Simulator::new(&graph, cfg).run().makespan);
+        }
+        let rrmse = stats::rrmse(&predicted, &measured);
+        assert!(
+            rrmse < 0.05,
+            "{}: RRMSE {:.2}% out of band",
+            app.name(),
+            100.0 * rrmse
+        );
+    }
+}

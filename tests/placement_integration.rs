@@ -1,0 +1,106 @@
+//! Placement pipeline: Algorithm 3 against its baselines on full
+//! workload graphs (the Fig. 20 experiment as an invariant).
+
+use llamp::core::placement::{
+    block_mapping, evaluate_mapping, llamp_placement, random_mapping, round_robin_mapping,
+    volume_greedy_mapping, Machine,
+};
+use llamp::model::LogGPSParams;
+use llamp::schedgen::{build_graph, GraphConfig};
+use llamp::trace::{ProgramSet, TracerConfig};
+use llamp::workloads::App;
+
+fn machine_16() -> Machine {
+    Machine {
+        nodes: 4,
+        slots_per_node: 4,
+        intra_l: 200.0,
+        inter_l: 3_000.0,
+    }
+}
+
+/// Adversarial stride pattern: Algorithm 3 must recover most of the
+/// intra-node latency advantage from a block start. Pairs carry distinct
+/// compute weights so each fixed pair lowers the makespan — on perfectly
+/// symmetric patterns the objective is flat until the *last* pair moves
+/// and the greedy loop (like the paper's) stops early.
+#[test]
+fn llamp_placement_recovers_stride_pattern() {
+    let ranks = 16u32;
+    let set = ProgramSet::spmd(ranks, |rank, b| {
+        let peer = (rank + 8) % 16;
+        let weight = 1.0 + (rank % 8) as f64 * 0.5;
+        for i in 0..20 {
+            b.comp(10_000.0 * weight);
+            if rank < peer {
+                b.send(peer, 1024, i);
+                b.recv(peer, 1024, 100 + i);
+            } else {
+                b.recv(peer, 1024, i);
+                b.send(peer, 1024, 100 + i);
+            }
+        }
+    });
+    let graph = build_graph(&set.trace(&TracerConfig::default()), &GraphConfig::paper()).unwrap();
+    let machine = machine_16();
+    let params = LogGPSParams::cscs_testbed(ranks).with_o(500.0);
+
+    let out = llamp_placement(&graph, &machine, &params, block_mapping(ranks));
+    assert!(
+        out.runtime < 0.9 * out.initial_runtime,
+        "expected >10% gain: {} -> {}",
+        out.initial_runtime,
+        out.runtime
+    );
+    // Volume-greedy also solves this (pure volume suffices here).
+    let vol = volume_greedy_mapping(&graph, &machine);
+    let t_vol = evaluate_mapping(&graph, &machine, &params, &vol);
+    assert!(t_vol < 0.9 * out.initial_runtime);
+}
+
+/// On a symmetric collective-dominated application no placement should
+/// beat block placement meaningfully (the paper's 'inconclusive' ICON
+/// outcome) — and Algorithm 3 must not make things worse.
+#[test]
+fn placement_on_icon_is_at_least_neutral() {
+    let ranks = 16u32;
+    let set = App::Icon.programs(ranks, 3);
+    let graph = build_graph(&set.trace(&TracerConfig::default()), &GraphConfig::paper()).unwrap();
+    let machine = machine_16();
+    let params = LogGPSParams::cscs_testbed(ranks).with_o(App::Icon.paper_o());
+
+    let t_block = evaluate_mapping(&graph, &machine, &params, &block_mapping(ranks));
+    let out = llamp_placement(&graph, &machine, &params, block_mapping(ranks));
+    assert!(out.runtime <= t_block + 1e-6);
+    // Gain stays small on an already-balanced app.
+    assert!(
+        out.runtime > 0.9 * t_block,
+        "suspiciously large gain on symmetric ICON: {} -> {}",
+        t_block,
+        out.runtime
+    );
+}
+
+/// All baseline mappings are valid and comparable.
+#[test]
+fn baselines_produce_valid_mappings() {
+    let ranks = 16u32;
+    let set = App::Cloverleaf.programs(ranks, 2);
+    let graph = build_graph(&set.trace(&TracerConfig::default()), &GraphConfig::paper()).unwrap();
+    let machine = machine_16();
+    let params = LogGPSParams::cscs_testbed(ranks).with_o(1_000.0);
+
+    for mapping in [
+        block_mapping(ranks),
+        round_robin_mapping(ranks, &machine),
+        random_mapping(ranks, &machine, 3),
+        volume_greedy_mapping(&graph, &machine),
+    ] {
+        let mut sorted = mapping.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ranks as usize);
+        let t = evaluate_mapping(&graph, &machine, &params, &mapping);
+        assert!(t.is_finite() && t > 0.0);
+    }
+}

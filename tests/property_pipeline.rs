@@ -1,0 +1,190 @@
+//! Property tests over the full pipeline with randomly generated —
+//! deadlock-free by construction — SPMD communication patterns.
+//!
+//! Pattern generator: a sequence of *phases*; each phase posts a random
+//! set of matched nonblocking messages (every send paired with a receive
+//! posted in the same phase) followed by a `Waitall` and optional random
+//! collective + compute. Nonblocking posting plus phase-local matching
+//! guarantees acyclic graphs for any draw.
+
+use llamp::core::{evaluate, Binding, ParametricProfile};
+use llamp::model::LogGPSParams;
+use llamp::schedgen::{build_graph, GraphConfig};
+use llamp::sim::{SimConfig, Simulator};
+use llamp::trace::text::{parse_trace, write_trace};
+use llamp::trace::{ProgramBuilder, ProgramSet, TracerConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum PhaseColl {
+    None,
+    Barrier,
+    Allreduce(u64),
+    Bcast(u64, u32),
+}
+
+#[derive(Debug, Clone)]
+struct Phase {
+    /// Matched messages: (src, dst, bytes); src != dst.
+    messages: Vec<(u32, u32, u64)>,
+    comp_ns: Vec<f64>,
+    coll: PhaseColl,
+}
+
+#[derive(Debug, Clone)]
+struct Pattern {
+    ranks: u32,
+    phases: Vec<Phase>,
+}
+
+fn pattern_strategy() -> impl Strategy<Value = Pattern> {
+    (2u32..7).prop_flat_map(|ranks| {
+        let msg = (0..ranks, 0..ranks, 1u64..300_000).prop_filter_map(
+            "no self messages",
+            move |(a, b, bytes)| (a != b).then_some((a, b, bytes)),
+        );
+        let coll = prop_oneof![
+            3 => Just(PhaseColl::None),
+            1 => Just(PhaseColl::Barrier),
+            1 => (1u64..4096).prop_map(PhaseColl::Allreduce),
+            1 => (1u64..4096, 0..ranks).prop_map(|(b, r)| PhaseColl::Bcast(b, r)),
+        ];
+        let phase = (
+            prop::collection::vec(msg, 0..6),
+            prop::collection::vec(0.0f64..200_000.0, ranks as usize),
+            coll,
+        )
+            .prop_map(|(messages, comp_ns, coll)| Phase {
+                messages,
+                comp_ns,
+                coll,
+            });
+        prop::collection::vec(phase, 1..5)
+            .prop_map(move |phases| Pattern { ranks, phases })
+    })
+}
+
+fn build_programs(p: &Pattern) -> ProgramSet {
+    let programs = (0..p.ranks)
+        .map(|rank| {
+            let mut b = ProgramBuilder::new();
+            for (pi, phase) in p.phases.iter().enumerate() {
+                b.comp(phase.comp_ns[rank as usize]);
+                let mut reqs = Vec::new();
+                for (mi, &(src, dst, bytes)) in phase.messages.iter().enumerate() {
+                    let tag = (pi * 64 + mi) as u32;
+                    if src == rank {
+                        reqs.push(b.isend(dst, bytes, tag));
+                    }
+                    if dst == rank {
+                        reqs.push(b.irecv(src, bytes, tag));
+                    }
+                }
+                b.waitall(reqs);
+                match phase.coll {
+                    PhaseColl::None => {}
+                    PhaseColl::Barrier => {
+                        b.barrier();
+                    }
+                    PhaseColl::Allreduce(bytes) => {
+                        b.allreduce(bytes);
+                    }
+                    PhaseColl::Bcast(bytes, root) => {
+                        b.bcast(bytes, root);
+                    }
+                }
+            }
+            b.build()
+        })
+        .collect();
+    ProgramSet::new(programs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated pattern compiles to an acyclic graph under both
+    /// protocols, and the text format round-trips.
+    #[test]
+    fn patterns_compile_and_round_trip(p in pattern_strategy()) {
+        let set = build_programs(&p);
+        let trace = set.trace(&TracerConfig::default());
+        let text = write_trace(&trace);
+        prop_assert_eq!(&parse_trace(&text).unwrap(), &trace);
+        for cfg in [GraphConfig::eager(), GraphConfig::paper()] {
+            let g = build_graph(&trace, &cfg);
+            prop_assert!(g.is_ok(), "build failed: {:?}", g.err());
+        }
+    }
+
+    /// T(L) from the envelope equals direct evaluation at arbitrary points
+    /// and is nondecreasing and convex-consistent.
+    #[test]
+    fn envelope_equals_eval_and_is_monotone(
+        p in pattern_strategy(),
+        ls in prop::collection::vec(0.0f64..200_000.0, 3..8),
+    ) {
+        let set = build_programs(&p);
+        let g = build_graph(&set.trace(&TracerConfig::default()), &GraphConfig::paper()).unwrap();
+        let params = LogGPSParams::cscs_testbed(p.ranks).with_o(2_000.0);
+        let binding = Binding::uniform(&params);
+        let prof = ParametricProfile::compute(&g, &binding, (0.0, 250_000.0));
+        let mut pts: Vec<f64> = ls;
+        pts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev_t = f64::NEG_INFINITY;
+        let mut prev_lam = -1.0;
+        for &l in &pts {
+            let t_env = prof.runtime(l);
+            let t_ev = evaluate(&g, &binding, l).runtime;
+            prop_assert!(
+                (t_env - t_ev).abs() <= 1e-6 * (1.0 + t_ev),
+                "L={l}: envelope {t_env} vs eval {t_ev}"
+            );
+            prop_assert!(t_env >= prev_t - 1e-9, "T(L) decreased at {l}");
+            let lam = prof.lambda(l);
+            prop_assert!(lam >= prev_lam - 1e-9, "λ decreased at {l}");
+            prev_t = t_env;
+            prev_lam = lam;
+        }
+    }
+
+    /// Dataflow simulation equals the analytical prediction on arbitrary
+    /// patterns; injected latency shifts it by at most λ_max·∆L.
+    #[test]
+    fn dataflow_sim_matches_prediction(p in pattern_strategy()) {
+        let set = build_programs(&p);
+        let g = build_graph(&set.trace(&TracerConfig::default()), &GraphConfig::paper()).unwrap();
+        let params = LogGPSParams::cscs_testbed(p.ranks).with_o(2_000.0);
+        let binding = Binding::uniform(&params);
+        let predicted = evaluate(&g, &binding, params.l).runtime;
+        let sim = Simulator::new(&g, SimConfig::dataflow(params)).run().makespan;
+        prop_assert!(
+            (predicted - sim).abs() <= 1e-6 * (1.0 + sim),
+            "predicted {predicted} vs dataflow sim {sim}"
+        );
+        // Injection monotonicity.
+        let delta = 10_000.0;
+        let sim_inj = Simulator::new(&g, SimConfig::dataflow(params).with_delta_l(delta))
+            .run()
+            .makespan;
+        prop_assert!(sim_inj >= sim - 1e-9);
+    }
+
+    /// Chain contraction never changes predictions (any pattern, any L).
+    #[test]
+    fn contraction_is_analysis_preserving(
+        p in pattern_strategy(),
+        l in 0.0f64..100_000.0,
+    ) {
+        let set = build_programs(&p);
+        let g = build_graph(&set.trace(&TracerConfig::default()), &GraphConfig::paper()).unwrap();
+        let params = LogGPSParams::cscs_testbed(p.ranks).with_o(2_000.0);
+        let binding = Binding::uniform(&params);
+        let full = evaluate(&g, &binding, l);
+        let contracted = evaluate(&g.contracted(), &binding, l);
+        prop_assert!(
+            (full.runtime - contracted.runtime).abs() <= 1e-6 * (1.0 + full.runtime)
+        );
+        prop_assert_eq!(full.lambda, contracted.lambda);
+    }
+}

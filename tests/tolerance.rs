@@ -1,0 +1,115 @@
+//! Latency tolerance consistency: the LP's flipped objective, the
+//! parametric envelope inversion, and a brute-force bisection on the
+//! simulator must all agree.
+
+use llamp::core::{Analyzer, Binding, GraphLp};
+use llamp::model::LogGPSParams;
+use llamp::schedgen::{build_graph, GraphConfig};
+use llamp::sim::{SimConfig, Simulator};
+use llamp::trace::TracerConfig;
+use llamp::util::time::us;
+use llamp::workloads::App;
+
+fn tolerance_by_bisection(
+    graph: &llamp::schedgen::ExecGraph,
+    params: &LogGPSParams,
+    cap: f64,
+) -> f64 {
+    // Noise-free dataflow replay is the analytical model; bisect the
+    // largest ∆L with makespan ≤ cap.
+    let runtime = |delta: f64| {
+        Simulator::new(graph, SimConfig::dataflow(*params).with_delta_l(delta))
+            .run()
+            .makespan
+    };
+    let mut lo = 0.0f64;
+    let mut hi = us(1_000_000.0);
+    assert!(runtime(lo) <= cap, "cap below baseline");
+    assert!(runtime(hi) > cap, "cap never exceeded in window");
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if runtime(mid) <= cap {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[test]
+fn three_ways_to_tolerance_agree() {
+    // Small graphs only: the LP leg runs the dense-inverse simplex, which
+    // is O(rows²) per pivot — LULESH/HPCG-sized models belong to the
+    // envelope backend (DESIGN.md §5), covered by `tolerance.rs`'s other
+    // tests and `abl_backends`.
+    for app in [App::Milc, App::Cloverleaf] {
+        let set = app.programs(8, 2);
+        let trace = set.trace(&TracerConfig::default());
+        let graph = build_graph(&trace, &GraphConfig::paper()).unwrap();
+        let params = LogGPSParams::cscs_testbed(8).with_o(app.paper_o());
+        let analyzer = Analyzer::new(&graph, &params);
+
+        let t0 = analyzer.baseline_runtime();
+        let cap = 1.02 * t0;
+
+        // 1. Envelope inversion.
+        let tol_env = analyzer.tolerance_pct(2.0, params.l + us(1_000_000.0));
+
+        // 2. LP with flipped objective (on the contracted graph).
+        let binding = Binding::uniform(&params);
+        let contracted = graph.contracted();
+        let mut lp = GraphLp::build(&contracted, &binding);
+        let tol_lp = lp.tolerance(0.0, cap).unwrap() - params.l;
+
+        // 3. Bisection against the dataflow simulator.
+        let tol_sim = tolerance_by_bisection(&graph, &params, cap);
+
+        let rel = |a: f64, b: f64| (a - b).abs() / b.max(1.0);
+        assert!(
+            rel(tol_env, tol_lp) < 1e-6,
+            "{}: envelope {tol_env} vs LP {tol_lp}",
+            app.name()
+        );
+        assert!(
+            rel(tol_env, tol_sim) < 1e-3,
+            "{}: envelope {tol_env} vs bisection {tol_sim}",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn tolerance_is_monotone_in_percentage() {
+    let set = App::Icon.programs(8, 4);
+    let trace = set.trace(&TracerConfig::default());
+    let graph = build_graph(&trace, &GraphConfig::paper()).unwrap();
+    let params = LogGPSParams::cscs_testbed(8).with_o(App::Icon.paper_o());
+    let analyzer = Analyzer::new(&graph, &params);
+    let hi = params.l + us(10_000_000.0);
+    let mut prev = 0.0;
+    for pct in [0.5, 1.0, 2.0, 5.0, 10.0] {
+        let tol = analyzer.tolerance_pct(pct, hi);
+        assert!(tol >= prev, "tolerance not monotone at {pct}%");
+        prev = tol;
+    }
+}
+
+#[test]
+fn runtime_at_tolerance_equals_cap() {
+    let set = App::Lulesh.programs(8, 4);
+    let trace = set.trace(&TracerConfig::default());
+    let graph = build_graph(&trace, &GraphConfig::paper()).unwrap();
+    let params = LogGPSParams::cscs_testbed(8).with_o(App::Lulesh.paper_o());
+    let analyzer = Analyzer::new(&graph, &params);
+    let t0 = analyzer.baseline_runtime();
+    for pct in [1.0, 5.0] {
+        let tol = analyzer.tolerance_pct(pct, params.l + us(1_000_000.0));
+        let at = analyzer.evaluate(params.l + tol).runtime;
+        let cap = t0 * (1.0 + pct / 100.0);
+        assert!(
+            (at - cap).abs() < 1e-6 * cap,
+            "{pct}%: runtime at tolerance {at} vs cap {cap}"
+        );
+    }
+}

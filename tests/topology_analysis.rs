@@ -1,0 +1,118 @@
+//! Topology and heterogeneous-latency analyses across crates
+//! (Fig. 11 / Appendices H-I as invariants).
+
+use llamp::core::{Analyzer, Binding};
+use llamp::model::{HLogGP, LogGPSParams};
+use llamp::schedgen::{build_graph, GraphConfig};
+use llamp::topo::{Dragonfly, FatTree, Topology, WireClass};
+use llamp::trace::{ProgramSet, TracerConfig};
+use llamp::util::time::us;
+
+fn ring_workload(ranks: u32) -> llamp::schedgen::ExecGraph {
+    let set = ProgramSet::spmd(ranks, |rank, b| {
+        for i in 0..4 {
+            b.comp(us(50.0));
+            let next = (rank + 1) % ranks;
+            let prev = (rank + ranks - 1) % ranks;
+            b.sendrecv(next, 4096, i, prev, 4096, i);
+        }
+    });
+    build_graph(&set.trace(&TracerConfig::default()), &GraphConfig::paper()).unwrap()
+}
+
+/// The wire-decomposed binding must equal a manual HLogGP binding whose
+/// pairwise latency is the topology's uniform-wire latency.
+#[test]
+fn wire_binding_matches_manual_hloggp() {
+    let ranks = 16u32;
+    let graph = ring_workload(ranks);
+    let params = LogGPSParams::cscs_testbed(ranks).with_o(us(1.0));
+    let placement: Vec<u32> = (0..ranks).collect();
+    let ft = FatTree::new(8);
+    let d_switch = 108.0;
+    let l_wire = 274.0;
+
+    let wire = Binding::wire(&params, &ft, &placement, d_switch);
+    let a_wire = Analyzer::with_binding(&graph, wire, l_wire);
+    let t_wire = a_wire.evaluate(l_wire).runtime;
+
+    let mut h = HLogGP::uniform(params);
+    for i in 0..ranks {
+        for j in 0..ranks {
+            if i != j {
+                h.set_l(i, j, ft.latency(i, j, l_wire, d_switch));
+            }
+        }
+    }
+    let hb = Binding::hloggp(&h, &placement);
+    let a_h = Analyzer::with_binding(&graph, hb, 0.0);
+    let t_h = a_h.evaluate(0.0).runtime;
+
+    assert!(
+        (t_wire - t_h).abs() < 1e-6 * t_h,
+        "wire {t_wire} vs manual hloggp {t_h}"
+    );
+}
+
+/// Dragonfly's lower average hop count gives it equal-or-better runtime at
+/// equal wire latency on the same traffic (the paper's Fig. 11
+/// observation).
+#[test]
+fn dragonfly_at_least_matches_fat_tree() {
+    let ranks = 32u32;
+    let graph = ring_workload(ranks);
+    let params = LogGPSParams::cscs_testbed(ranks).with_o(us(1.0));
+    let placement: Vec<u32> = (0..ranks).collect();
+    let l_wire = 274.0;
+    let t = |b: Binding| Analyzer::with_binding(&graph, b, l_wire).evaluate(l_wire).runtime;
+    let t_ft = t(Binding::wire(&params, &FatTree::new(16), &placement, 108.0));
+    let t_df = t(Binding::wire(&params, &Dragonfly::paper(), &placement, 108.0));
+    assert!(
+        t_df <= t_ft * 1.001,
+        "dragonfly {t_df} should not lose to fat tree {t_ft}"
+    );
+}
+
+/// Per-class analysis (Appendix H): inter-group wires are scarcer on the
+/// critical path than terminal wires, so the inter-group tolerance is
+/// higher for node-local-heavy placements.
+#[test]
+fn per_class_sensitivities_differ() {
+    // The paper's dragonfly has a·p = 32 hosts per group: 64 ranks span
+    // two groups, so the ring crosses an inter-group link.
+    let ranks = 64u32;
+    let graph = ring_workload(ranks);
+    let params = LogGPSParams::cscs_testbed(ranks).with_o(us(1.0));
+    let placement: Vec<u32> = (0..ranks).collect();
+    let df = Dragonfly::paper();
+    let fixed = [274.0, 274.0, 274.0];
+
+    let lambda_of = |class| {
+        let b = Binding::wire_class(&params, &df, &placement, 108.0, class, fixed);
+        Analyzer::with_binding(&graph, b, 274.0)
+            .evaluate(274.0)
+            .lambda
+    };
+    let lam_term = lambda_of(WireClass::Terminal);
+    let lam_inter = lambda_of(WireClass::Inter);
+    // Every message crosses 2 terminal wires; only group-crossing ones use
+    // an inter wire.
+    assert!(
+        lam_term > lam_inter,
+        "terminal λ {lam_term} should exceed inter λ {lam_inter}"
+    );
+    assert!(lam_inter > 0.0, "ring traffic does cross groups");
+}
+
+/// Moving ranks that share a switch keeps the same profile classes the
+/// topology promises (dense packing sanity).
+#[test]
+fn dense_packing_profiles() {
+    let df = Dragonfly::paper();
+    // Nodes 0..7 under one router: 1 switch.
+    assert_eq!(df.profile(0, 7).switches, 1);
+    let ft = FatTree::new(16);
+    assert_eq!(ft.profile(0, 7).switches, 1);
+    // First cross-pod pair.
+    assert_eq!(ft.profile(0, 64).switches, 5);
+}

@@ -42,15 +42,7 @@ fn bench_lp(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("parametric_envelope", graph.num_vertices()),
             &graph,
-            |b, g| {
-                b.iter(|| {
-                    black_box(ParametricProfile::compute(
-                        g,
-                        &binding,
-                        (0.0, us(1000.0)),
-                    ))
-                })
-            },
+            |b, g| b.iter(|| black_box(ParametricProfile::compute(g, &binding, (0.0, us(1000.0))))),
         );
     }
     group.finish();

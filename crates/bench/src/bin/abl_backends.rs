@@ -1,82 +1,134 @@
-//! Ablation: the three analysis backends on identical questions.
+//! Ablation: the three analysis backends on identical questions — driven
+//! as `llamp-engine` campaigns.
 //!
-//! DESIGN.md commits this workspace to three cross-validated backends:
-//! the simplex LP (the paper's formulation), the parametric envelope (the
-//! scalable path), and direct graph evaluation. This harness checks the
-//! three agree on runtime and λ_L across applications and reports their
-//! costs side by side.
+//! One campaign per backend sweeps all applications in parallel over the
+//! same latency grid; the campaign results are then cross-compared
+//! point-for-point. Because scenario results are deterministic and
+//! cache-addressed, the agreement check is exactly the engine's
+//! cross-backend contract: all three must predict the same `T(L)`.
+//!
+//! The dense-inverse simplex is O(rows²) per pivot, so the LP campaign
+//! only includes applications whose contracted model stays below the row
+//! cap (DESIGN.md §5 designates the envelope as the at-scale path).
 
-use llamp_bench::{graph_of, Table};
-use llamp_core::{evaluate, Binding, GraphLp, ParametricProfile};
+use llamp_bench::{app_campaign_spec, campaign_grid, graph_of, Table};
+use llamp_core::{Binding, GraphLp};
+use llamp_engine::{run_campaign, Backend, ExecutorConfig, ResultCache, ScenarioResult};
 use llamp_model::LogGPSParams;
 use llamp_util::time::us;
 use llamp_workloads::App;
 use std::time::Instant;
 
+const ROW_CAP: usize = 2_500;
+
 fn main() {
     let ranks = 8u32;
-    let iters = 2usize; // dense simplex is O(rows^2) per pivot; keep rows modest
-    println!("# Ablation — simplex vs. parametric vs. direct evaluation\n");
-    let mut t = Table::new(&[
-        "app", "LP rows", "simplex [ms]", "envelope [ms]", "eval [ms]", "max |ΔT|/T", "λ agree",
-    ]);
+    let iters = 2usize;
+    println!("# Ablation — simplex vs. parametric vs. direct evaluation (engine campaigns)\n");
 
+    // Probe model sizes once to decide LP eligibility. The probe's graphs
+    // are discarded and each campaign rebuilds its own per scenario — the
+    // engine owns graph construction so results stay cache-addressable —
+    // which keeps the wall-clock column comparable across backends (every
+    // campaign pays the identical build cost) at the price of redundant
+    // construction in this harness.
+    let mut rows_of = Vec::new();
     for app in App::ALL {
         let graph = graph_of(&app.programs(ranks, iters)).contracted();
         let params = LogGPSParams::cscs_testbed(ranks).with_o(app.paper_o());
-        let binding = Binding::uniform(&params);
-        let ls: Vec<f64> = (0..3).map(|i| params.l + us(30.0) * i as f64).collect();
+        let lp = GraphLp::build(&graph, &Binding::uniform(&params));
+        rows_of.push((app, lp.model().num_constraints()));
+    }
 
-        // The dense-inverse simplex is O(rows²) per pivot: beyond ~2500
-        // rows the envelope backend is the designated path (DESIGN.md §5),
-        // so the simplex leg is skipped there.
-        let t0 = Instant::now();
-        let mut lp = GraphLp::build(&graph, &binding);
-        let run_simplex = lp.model().num_constraints() <= 2_500;
-        let preds: Vec<_> = if run_simplex {
-            ls.iter().map(|&l| lp.predict(l).unwrap()).collect()
-        } else {
-            Vec::new()
-        };
-        let simplex_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let all: Vec<(App, u32, usize)> = App::ALL.iter().map(|&a| (a, ranks, iters)).collect();
+    let lp_apps: Vec<(App, u32, usize)> = rows_of
+        .iter()
+        .filter(|(_, rows)| *rows <= ROW_CAP)
+        .map(|&(a, _)| (a, ranks, iters))
+        .collect();
+    let grid = || campaign_grid(0.0, us(60.0), 3, us(2_000.0));
 
+    // One campaign per backend, individually timed. Fresh caches keep the
+    // timing honest (no cross-backend reuse — keys differ per backend
+    // anyway).
+    let mut campaigns = Vec::new();
+    for (backend, apps) in [
+        (Backend::Eval, &all),
+        (Backend::Parametric, &all),
+        (Backend::Lp, &lp_apps),
+    ] {
+        let spec = app_campaign_spec(apps, &[backend], grid());
         let t0 = Instant::now();
-        let prof = ParametricProfile::compute(&graph, &binding, (0.0, *ls.last().unwrap() + 1.0));
-        let env_points: Vec<_> = ls.iter().map(|&l| (prof.runtime(l), prof.lambda(l))).collect();
-        let envelope_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let (result, summary) =
+            run_campaign(&spec, &ExecutorConfig::default(), &ResultCache::new());
+        campaigns.push((backend, result, summary, t0.elapsed().as_secs_f64() * 1e3));
+    }
 
-        let t0 = Instant::now();
-        let evals: Vec<_> = ls.iter().map(|&l| evaluate(&graph, &binding, l)).collect();
-        let eval_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let find = |backend: Backend, app: App| -> Option<&ScenarioResult> {
+        campaigns
+            .iter()
+            .find(|(b, ..)| *b == backend)
+            .and_then(|(_, r, ..)| {
+                r.scenarios
+                    .iter()
+                    .find(|s| s.scenario.workload.app == app && s.outcome.is_ok())
+            })
+    };
+
+    let mut t = Table::new(&["app", "LP rows", "simplex", "max |ΔT|/T", "λ agree"]);
+    for &(app, rows) in &rows_of {
+        let eval = find(Backend::Eval, app).expect("eval campaign covers all apps");
+        let envl = find(Backend::Parametric, app).expect("parametric campaign covers all apps");
+        let lp = find(Backend::Lp, app);
+        let pe = &eval.outcome.as_ref().unwrap().sweep;
+        let pp = &envl.outcome.as_ref().unwrap().sweep;
+        let pl = lp.map(|s| &s.outcome.as_ref().unwrap().sweep);
 
         let mut max_rel = 0.0f64;
         let mut lambda_ok = true;
-        for i in 0..ls.len() {
-            let (t_env, t_ev) = (env_points[i].0, evals[i].runtime);
-            let base = t_ev.max(1.0);
-            max_rel = max_rel.max((t_env - t_ev).abs() / base);
-            if run_simplex {
-                max_rel = max_rel.max((preds[i].runtime - t_ev).abs() / base);
+        for i in 0..pe.len() {
+            let base = pe[i].runtime_ns.max(1.0);
+            max_rel = max_rel.max((pp[i].runtime_ns - pe[i].runtime_ns).abs() / base);
+            if let Some(pl) = pl {
+                max_rel = max_rel.max((pl[i].runtime_ns - pe[i].runtime_ns).abs() / base);
             }
-            // λ: compare envelope (right derivative) with evaluation; the
-            // LP may legitimately return another subgradient at exact
-            // breakpoints.
-            if (env_points[i].1 - evals[i].lambda).abs() > 1e-6 {
+            // λ: envelope (right derivative) vs. evaluation; the LP may
+            // legitimately return another subgradient at breakpoints.
+            if (pp[i].lambda - pe[i].lambda).abs() > 1e-6 {
                 lambda_ok = false;
             }
         }
-
         t.row(vec![
             app.name().into(),
-            lp.model().num_constraints().to_string(),
-            if run_simplex { format!("{simplex_ms:.1}") } else { "- (>2500 rows)".into() },
-            format!("{envelope_ms:.2}"),
-            format!("{eval_ms:.2}"),
+            rows.to_string(),
+            if pl.is_some() {
+                "yes".into()
+            } else {
+                format!("- (>{ROW_CAP} rows)")
+            },
             format!("{max_rel:.2e}"),
             if lambda_ok { "yes".into() } else { "NO".into() },
         ]);
     }
     t.print();
+
+    println!("\n## Campaign costs (all applications batched per backend)");
+    let mut ct = Table::new(&["backend", "scenarios", "points", "wall [ms]"]);
+    for (backend, result, summary, ms) in &campaigns {
+        let points: usize = result
+            .scenarios
+            .iter()
+            .filter_map(|s| s.outcome.as_ref().ok())
+            .map(|o| o.sweep.len())
+            .sum();
+        ct.row(vec![
+            backend.name().into(),
+            summary.jobs_unique.to_string(),
+            points.to_string(),
+            format!("{ms:.1}"),
+        ]);
+    }
+    ct.print();
     println!(
         "\nThe envelope backend answers the whole interval in one pass; the \
          simplex additionally provides duals/ranging; evaluation extracts \

@@ -98,9 +98,7 @@ fn main() {
         let p = alg1.predict(params.l).unwrap();
         let alg1_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-        let dt = naive_obj
-            .map(|o| (o - p.runtime).abs())
-            .unwrap_or(f64::NAN);
+        let dt = naive_obj.map(|o| (o - p.runtime).abs()).unwrap_or(f64::NAN);
         t.row(vec![
             app.name().into(),
             graph.num_vertices().to_string(),

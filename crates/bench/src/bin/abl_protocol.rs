@@ -42,7 +42,12 @@ fn main() {
         let tol = a.tolerance_pct(5.0, params.l + us(100_000.0));
         t.row(vec![
             bytes.to_string(),
-            if bytes >= 256 * 1024 { "rendezvous" } else { "eager" }.into(),
+            if bytes >= 256 * 1024 {
+                "rendezvous"
+            } else {
+                "eager"
+            }
+            .into(),
             s3(e.runtime),
             format!("{:.0}", e.lambda),
             format!("{:.1}", tol / 1000.0),

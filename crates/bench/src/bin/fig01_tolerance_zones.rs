@@ -1,11 +1,14 @@
 //! Fig. 1 — network latency tolerance zones of MILC, LULESH and ICON.
 //!
-//! For each application at 8 ranks the harness prints measured (simulated)
-//! vs. predicted runtime over a `∆L` sweep and the 1%/2%/5% tolerance
-//! boundaries computed *directly from the LP/envelope*, not from the
-//! sweep — the point the paper's caption makes.
+//! The analysis side (predicted sweep + 1%/2%/5% zones) is expressed as an
+//! `llamp-engine` campaign — three workloads × the parametric backend over
+//! one latency grid, executed in parallel with result caching — while the
+//! "measured" column still comes from the discrete-event simulator, which
+//! stays outside the engine by design. The zones are computed from the
+//! envelope, not from the sweep — the point the paper's caption makes.
 
-use llamp_bench::{linspace, s3, us1, Experiment, Table};
+use llamp_bench::{campaign_grid, run_app_campaign, s3, us1, Experiment, Table};
+use llamp_engine::Backend;
 use llamp_util::time::us;
 use llamp_workloads::App;
 
@@ -19,34 +22,40 @@ fn main() {
     let mut zones_table = Table::new(&["app", "T0 [s]", "1% [µs]", "2% [µs]", "5% [µs]"]);
 
     for (app, sweep_hi) in apps {
-        let exp = Experiment::from_app(app, 8, 10);
-        let a = exp.analyzer();
-        let z = a.tolerance_zones(exp.params.l + us(50_000.0));
+        // One engine campaign per application: its grid is the figure's
+        // x-axis, its zones answer the colour boundaries.
+        let grid = campaign_grid(0.0, sweep_hi, 9, us(50_000.0));
+        let (result, summary) = run_app_campaign(&[(app, 8, 10)], &[Backend::Parametric], grid);
+        let outcome = result.scenarios[0]
+            .outcome
+            .as_ref()
+            .expect("parametric backend answers");
+        let z = &outcome.zones;
         zones_table.row(vec![
             app.name().into(),
-            s3(z.baseline_runtime),
-            us1(z.pct1),
-            us1(z.pct2),
-            us1(z.pct5),
+            s3(z.baseline_runtime_ns),
+            us1(z.pct1_ns),
+            us1(z.pct2_ns),
+            us1(z.pct5_ns),
         ]);
 
+        let exp = Experiment::from_app(app, 8, 10);
         let mut t = Table::new(&["dL [µs]", "measured [s]", "predicted [s]", "err"]);
-        for d in linspace(0.0, sweep_hi, 9) {
-            let measured = exp.measure(d, 3);
-            let predicted = a.evaluate(exp.params.l + d).runtime;
-            let err = (predicted - measured).abs() / measured;
+        for p in &outcome.sweep {
+            let measured = exp.measure(p.delta_l_ns, 3);
+            let err = (p.runtime_ns - measured).abs() / measured;
             t.row(vec![
-                us1(d),
+                us1(p.delta_l_ns),
                 s3(measured),
-                s3(predicted),
+                s3(p.runtime_ns),
                 format!("{:.2}%", err * 100.0),
             ]);
         }
-        println!("## {}", exp.name);
+        println!("## {} ({})", exp.name, summary.render().replace('\n', "; "));
         t.print();
         println!();
     }
 
-    println!("## Tolerance zones (computed by the LP, paper Fig. 1 green/orange/red)");
+    println!("## Tolerance zones (computed by the envelope, paper Fig. 1 green/orange/red)");
     zones_table.print();
 }

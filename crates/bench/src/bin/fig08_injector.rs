@@ -29,13 +29,25 @@ fn main() {
     for delta in [0.0, 1_000.0, 5_000.0, 20_000.0] {
         let mut t = Table::new(&["design", "t_R0 [ns]", "t_R1 [ns]", "expected t_R1", "ok"]);
         let cases = [
-            ("B sender-delay", InjectorDesign::SenderDelay, 3.0 * o + l0 + b + 2.0 * delta),
-            ("C progress-thread", InjectorDesign::ProgressThread, if delta > o {
-                2.0 * o + l0 + b + 2.0 * delta
-            } else {
-                3.0 * o + l0 + b + delta
-            }),
-            ("D delay-thread", InjectorDesign::DelayThread, 3.0 * o + l0 + b + delta),
+            (
+                "B sender-delay",
+                InjectorDesign::SenderDelay,
+                3.0 * o + l0 + b + 2.0 * delta,
+            ),
+            (
+                "C progress-thread",
+                InjectorDesign::ProgressThread,
+                if delta > o {
+                    2.0 * o + l0 + b + 2.0 * delta
+                } else {
+                    3.0 * o + l0 + b + delta
+                },
+            ),
+            (
+                "D delay-thread",
+                InjectorDesign::DelayThread,
+                3.0 * o + l0 + b + delta,
+            ),
         ];
         for (name, design, expect) in cases {
             let out = fig8_scenario(params, bytes, delta, design);

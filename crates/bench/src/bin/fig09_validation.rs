@@ -18,17 +18,23 @@ use llamp_workloads::App;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    let scales: Vec<u32> = if full { vec![8, 32, 64] } else { vec![8, 16, 32] };
+    let scales: Vec<u32> = if full {
+        vec![8, 32, 64]
+    } else {
+        vec![8, 16, 32]
+    };
     let iters = 10;
 
-    let mut table2 = Table::new(&[
-        "app", "ranks", "o [µs]", "events", "RMSE [s]", "RRMSE",
-    ]);
+    let mut table2 = Table::new(&["app", "ranks", "o [µs]", "events", "RMSE [s]", "RRMSE"]);
 
     for app in App::ALL {
         // ICON tolerates ~10x more latency: sweep a wider window like the
         // paper's bottom row (0..1000 µs vs 0..100 µs).
-        let sweep_hi = if app == App::Icon { us(1000.0) } else { us(100.0) };
+        let sweep_hi = if app == App::Icon {
+            us(1000.0)
+        } else {
+            us(100.0)
+        };
         for &ranks in &scales {
             let exp = Experiment::from_app(app, ranks, iters);
             let a = exp.analyzer();
@@ -37,9 +43,8 @@ fn main() {
             let deltas = linspace(0.0, sweep_hi, 11);
             let mut measured = Vec::with_capacity(deltas.len());
             let mut predicted = Vec::with_capacity(deltas.len());
-            let mut rows = Table::new(&[
-                "dL [µs]", "measured [s]", "predicted [s]", "lambda", "rho",
-            ]);
+            let mut rows =
+                Table::new(&["dL [µs]", "measured [s]", "predicted [s]", "lambda", "rho"]);
             for &d in &deltas {
                 let m = exp.measure(d, 3);
                 let e = a.evaluate(exp.params.l + d);
@@ -98,6 +103,10 @@ fn main() {
         "headline check: MILC 1% tolerance ({} µs) << ICON ({} µs): {}",
         us1(tm),
         us1(ti),
-        if ti > 5.0 * tm { "reproduced" } else { "NOT reproduced" }
+        if ti > 5.0 * tm {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

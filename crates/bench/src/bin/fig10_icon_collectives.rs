@@ -15,11 +15,20 @@ use llamp_workloads::icon;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    let scales: Vec<u32> = if full { vec![32, 64, 256] } else { vec![16, 32, 64] };
+    let scales: Vec<u32> = if full {
+        vec![32, 64, 256]
+    } else {
+        vec![16, 32, 64]
+    };
 
     println!("# Fig. 10 — ICON: recursive doubling vs. ring allreduce\n");
     let mut summary = Table::new(&[
-        "ranks", "algorithm", "T0 [s]", "5% tol [µs]", "lambda@100µs", "rho@100µs",
+        "ranks",
+        "algorithm",
+        "T0 [s]",
+        "5% tol [µs]",
+        "lambda@100µs",
+        "rho@100µs",
     ]);
 
     for &ranks in &scales {

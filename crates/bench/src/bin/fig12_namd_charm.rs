@@ -45,9 +45,7 @@ fn main() {
         let closest = recorded
             .iter()
             .enumerate()
-            .min_by(|a, b| {
-                (a.1 - d).abs().partial_cmp(&(b.1 - d).abs()).unwrap()
-            })
+            .min_by(|a, b| (a.1 - d).abs().partial_cmp(&(b.1 - d).abs()).unwrap())
             .map(|(i, _)| i)
             .unwrap();
         let cfg = namd::Config::paper(ranks, steps, recorded[closest]);

@@ -56,7 +56,10 @@ fn main() {
     t.print();
 
     let lcs = lp.critical_latencies(200.0, 500.0, 100.0, 0.01).unwrap();
-    println!("\nAlgorithm 2 critical latencies: {:?} ns (paper: 385 ns)", lcs);
+    println!(
+        "\nAlgorithm 2 critical latencies: {:?} ns (paper: 385 ns)",
+        lcs
+    );
 
     let prof = ParametricProfile::compute(&g, &binding, (0.0, 1_000.0));
     println!(

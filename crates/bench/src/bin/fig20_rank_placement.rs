@@ -23,7 +23,12 @@ fn ms3(ns: f64) -> String {
 fn main() {
     println!("# Fig. 20 — rank placement: block vs. LLAMP vs. volume-greedy (Scotch-like)\n");
     let mut t = Table::new(&[
-        "workload", "ranks/nodes", "block [ms]", "LLAMP [ms]", "volume [ms]", "LLAMP gain",
+        "workload",
+        "ranks/nodes",
+        "block [ms]",
+        "LLAMP [ms]",
+        "volume [ms]",
+        "LLAMP gain",
     ]);
 
     for (ranks, nodes) in [(32u32, 4u32), (64, 8)] {

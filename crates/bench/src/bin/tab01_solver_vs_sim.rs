@@ -23,7 +23,12 @@ fn main() {
 
     println!("# Table I — analysis runtime, L swept over [3, 13] µs in 1 µs steps\n");
     let mut t = Table::new(&[
-        "application", "ranks", "events", "LLAMP [ms]", "DES [ms]", "speedup",
+        "application",
+        "ranks",
+        "events",
+        "LLAMP [ms]",
+        "DES [ms]",
+        "speedup",
     ]);
 
     let mut cases: Vec<(String, llamp_schedgen::ExecGraph)> = Vec::new();

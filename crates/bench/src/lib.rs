@@ -22,6 +22,10 @@
 //! | `abl_protocol` | ablation: eager/rendezvous crossover at `S` |
 
 use llamp_core::Analyzer;
+use llamp_engine::{
+    run_campaign, Backend, CampaignResult, CampaignSpec, ExecutorConfig, GridSpec, ParamsPreset,
+    ParamsSpec, ResultCache, RunSummary, TopologySpec, WorkloadSpec,
+};
 use llamp_model::LogGPSParams;
 use llamp_schedgen::{build_graph, ExecGraph, GraphConfig};
 use llamp_sim::{NoiseConfig, SimConfig, Simulator};
@@ -81,6 +85,60 @@ pub fn graph_of(set: &ProgramSet) -> ExecGraph {
 /// Trace + compile with a custom configuration.
 pub fn graph_of_with(set: &ProgramSet, cfg: &GraphConfig) -> ExecGraph {
     build_graph(&set.trace(&TracerConfig::default()), cfg).expect("workload builds")
+}
+
+/// An engine latency grid: `points` evenly spaced `∆L` samples over
+/// `[lo, hi]` (ns) with a tolerance search window of `search_hi` ns.
+pub fn campaign_grid(lo: f64, hi: f64, points: usize, search_hi: f64) -> GridSpec {
+    GridSpec {
+        deltas_ns: linspace(lo, hi, points),
+        search_hi_ns: search_hi,
+    }
+}
+
+/// Build and run an engine campaign over `(app, ranks, iters)` workloads
+/// with the given backends on the uniform-latency topology under the CSCS
+/// test-bed preset — the harnesses' standard sweep shape. Runs on all
+/// cores with a fresh cache.
+pub fn run_app_campaign(
+    apps: &[(App, u32, usize)],
+    backends: &[Backend],
+    grid: GridSpec,
+) -> (CampaignResult, RunSummary) {
+    let spec = app_campaign_spec(apps, backends, grid);
+    run_campaign(&spec, &ExecutorConfig::default(), &ResultCache::new())
+}
+
+/// The spec behind [`run_app_campaign`], for harnesses that need to
+/// customise topologies or reuse a cache.
+pub fn app_campaign_spec(
+    apps: &[(App, u32, usize)],
+    backends: &[Backend],
+    grid: GridSpec,
+) -> CampaignSpec {
+    let mut spec = CampaignSpec {
+        name: "bench".into(),
+        workloads: apps
+            .iter()
+            .map(|&(app, ranks, iters)| WorkloadSpec {
+                app,
+                ranks,
+                iters: iters as u32,
+                o_ns: None,
+            })
+            .collect(),
+        topologies: vec![TopologySpec::Uniform],
+        params: vec![ParamsSpec {
+            preset: ParamsPreset::Cscs,
+            l_ns: None,
+            o_ns: None,
+            s_bytes: None,
+        }],
+        backends: backends.to_vec(),
+        grid,
+    };
+    spec.canonicalize();
+    spec
 }
 
 /// Evenly spaced sweep points `lo..=hi`.

@@ -144,11 +144,7 @@ impl Analyzer {
     /// Sweep `∆L` over `deltas` (the Fig. 9 x-axis), producing runtime,
     /// `λ_L` and `ρ_L` per point from the exact profile.
     pub fn sweep(&self, deltas: &[f64]) -> Vec<SweepPoint> {
-        let hi = self.base_l
-            + deltas
-                .iter()
-                .copied()
-                .fold(0.0f64, f64::max);
+        let hi = self.base_l + deltas.iter().copied().fold(0.0f64, f64::max);
         let prof = self.profile(self.base_l.min(hi), hi.max(self.base_l) + 1.0);
         deltas
             .iter()

@@ -12,7 +12,7 @@
 //! which is what makes the reduced cost of `l` equal `∂T/∂L ≥ 0`.
 
 use crate::binding::Binding;
-use llamp_lp::{LpModel, Objective, Relation, SolveStatus, Solution, VarId};
+use llamp_lp::{LpModel, Objective, Relation, Solution, SolveStatus, VarId};
 use llamp_schedgen::ExecGraph;
 
 /// Affine running expression `base + c + m·l` for a vertex's completion

@@ -38,9 +38,7 @@ impl ParametricProfile {
         let (lo, hi) = window;
         let n = graph.num_vertices();
         let mut envs: Vec<Option<Envelope>> = vec![None; n];
-        let mut remaining: Vec<u32> = (0..n as u32)
-            .map(|v| graph.succs(v).len() as u32)
-            .collect();
+        let mut remaining: Vec<u32> = (0..n as u32).map(|v| graph.succs(v).len() as u32).collect();
         let mut global: Option<Envelope> = None;
         let mut max_width = 0usize;
 

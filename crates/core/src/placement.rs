@@ -195,8 +195,7 @@ pub fn volume_greedy_mapping(graph: &ExecGraph, machine: &Machine) -> Vec<u32> {
             .find(|&n| node_used[n] + group.len() <= cap)
             .expect("groups fit by construction");
         for r in group {
-            mapping[r] =
-                (node as u32) * machine.slots_per_node + node_used[node] as u32;
+            mapping[r] = (node as u32) * machine.slots_per_node + node_used[node] as u32;
             node_used[node] += 1;
         }
     }

@@ -1,0 +1,297 @@
+//! `llamp` — the unified campaign CLI.
+//!
+//! ```text
+//! llamp run <spec.toml|spec.json> [--threads N] [--cache FILE]
+//!           [--out FILE] [--csv FILE] [--timeout-ms N] [--quiet]
+//! llamp list-workloads
+//! llamp report <results.json> [--csv FILE]
+//! ```
+//!
+//! `run` executes a campaign spec (see `examples/campaign.toml`),
+//! optionally persisting the result cache across invocations; `report`
+//! renders a results file as an aligned tolerance table. Run statistics
+//! (threads, cache hit rate, wall time) go to stderr so stdout stays
+//! clean for piped JSON.
+
+use llamp_engine::value::{parse_json, Value};
+use llamp_engine::{run_campaign, CampaignSpec, ExecutorConfig, ResultCache};
+use llamp_workloads::App;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("list-workloads") => cmd_list_workloads(),
+        Some("report") => cmd_report(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("llamp: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+llamp — LLAMP campaign driver
+
+USAGE:
+  llamp run <spec.toml|spec.json> [OPTIONS]   execute a campaign spec
+  llamp list-workloads                        list workload proxies
+  llamp report <results.json> [--csv FILE]    summarise a results file
+
+RUN OPTIONS:
+  --threads N       worker threads (default: all cores)
+  --cache FILE      load/save the result cache (JSON; created if missing)
+  --out FILE        write results JSON here (default: stdout)
+  --csv FILE        also write a flat CSV of all sweep points
+  --timeout-ms N    per-scenario timeout (default: unlimited)
+  --quiet           suppress the run summary
+";
+
+/// Minimal flag parser: positionals plus `--key value` / `--flag`.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(args: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Result<Self, String> {
+        let mut out = Self {
+            positional: Vec::new(),
+            flags: Vec::new(),
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if bool_flags.contains(&name) {
+                    out.flags.push((name.to_string(), None));
+                } else if value_flags.contains(&name) {
+                    let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                    out.flags.push((name.to_string(), Some(v.clone())));
+                } else {
+                    return Err(format!("unknown option --{name}"));
+                }
+            } else {
+                out.positional.push(a.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(k, _)| k == name)
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        args,
+        &["threads", "cache", "out", "csv", "timeout-ms"],
+        &["quiet"],
+    )?;
+    let [spec_path] = args.positional.as_slice() else {
+        return Err(format!("'run' takes exactly one spec file\n\n{USAGE}"));
+    };
+    let source =
+        std::fs::read_to_string(spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let spec = CampaignSpec::parse(&source, spec_path).map_err(|e| e.to_string())?;
+
+    let threads = match args.get("threads") {
+        None => 0,
+        Some(t) => t
+            .parse::<usize>()
+            .map_err(|_| format!("--threads: '{t}' is not a number"))?,
+    };
+    let job_timeout = match args.get("timeout-ms") {
+        None => None,
+        Some(t) => {
+            Some(Duration::from_millis(t.parse::<u64>().map_err(|_| {
+                format!("--timeout-ms: '{t}' is not a number")
+            })?))
+        }
+    };
+    let config = ExecutorConfig {
+        threads,
+        job_timeout,
+    };
+
+    let cache_path = args.get("cache").map(PathBuf::from);
+    let cache = match &cache_path {
+        Some(p) if p.exists() => {
+            ResultCache::load(p).map_err(|e| format!("cannot load cache {}: {e}", p.display()))?
+        }
+        _ => ResultCache::new(),
+    };
+
+    let (result, summary) = run_campaign(&spec, &config, &cache);
+
+    if let Some(p) = &cache_path {
+        cache
+            .save(p)
+            .map_err(|e| format!("cannot save cache {}: {e}", p.display()))?;
+    }
+
+    let json = result.to_json();
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?
+        }
+        None => print!("{json}"),
+    }
+    if let Some(path) = args.get("csv") {
+        std::fs::write(path, result.to_csv()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if !args.has("quiet") {
+        eprintln!(
+            "campaign '{}' ({:016x})",
+            result.name, result.spec_fingerprint
+        );
+        eprintln!("{}", summary.render());
+    }
+    let failures = result
+        .scenarios
+        .iter()
+        .filter(|s| s.outcome.is_err())
+        .count();
+    if failures > 0 {
+        return Err(format!(
+            "{failures} scenario(s) failed; see the results file"
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_list_workloads() -> Result<(), String> {
+    println!("{:<12} {:>10} character", "name", "paper o");
+    println!("{}", "-".repeat(72));
+    for app in App::ALL {
+        println!(
+            "{:<12} {:>7.1} µs {}",
+            app.name().to_ascii_lowercase(),
+            app.paper_o() / 1_000.0,
+            describe(app)
+        );
+    }
+    println!("\nUse these names in [[workloads]] entries of a campaign spec.");
+    Ok(())
+}
+
+fn describe(app: App) -> &'static str {
+    match app {
+        App::Lulesh => "3D 26-neighbour nonblocking halo + dt-allreduce (weak)",
+        App::Hpcg => "27-pt halo, dot-product allreduces, MG V-cycle (weak)",
+        App::Milc => "4D lattice, dependent CG halo chains + global sums (strong)",
+        App::Icon => "icosahedral neighbour exchange, compute-heavy (strong)",
+        App::Lammps => "forward/reverse 6-dir comm, neighbour rebuilds (weak)",
+        App::Openmx => "bcast/reduce-heavy DFT steps (weak)",
+        App::Cloverleaf => "2D 4-neighbour halo + field reductions (weak)",
+    }
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let args = Args::parse(args, &["csv"], &[])?;
+    let [path] = args.positional.as_slice() else {
+        return Err(format!(
+            "'report' takes exactly one results file\n\n{USAGE}"
+        ));
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let name = doc.get("name").and_then(Value::as_str).unwrap_or("?");
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{path}: not a llamp results file"))?;
+
+    println!("# campaign '{name}' — {} scenario(s)\n", scenarios.len());
+    let fmt_tol = |v: Option<&Value>| -> String {
+        match v {
+            Some(Value::Null) => "inf".into(),
+            Some(x) => x
+                .as_f64()
+                .map(|t| format!("{:.1}", t / 1_000.0))
+                .unwrap_or_else(|| "?".into()),
+            None => "?".into(),
+        }
+    };
+    println!(
+        "{:<38} {:<10} {:>12} {:>10} {:>10} {:>10}",
+        "workload | topology", "backend", "T0 [ms]", "1% [µs]", "2% [µs]", "5% [µs]"
+    );
+    println!("{}", "-".repeat(96));
+    let mut rows_csv = String::from(
+        "workload,topology,params,backend,baseline_runtime_ns,pct1_ns,pct2_ns,pct5_ns\n",
+    );
+    for s in scenarios {
+        let sc = s.get("scenario");
+        let field = |k: &str| -> String {
+            sc.and_then(|t| t.get(k))
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string()
+        };
+        if let Some(err) = s.get("error").and_then(Value::as_str) {
+            println!(
+                "{:<38} {:<10} FAILED: {err}",
+                format!("{} | {}", field("workload"), field("topology")),
+                field("backend")
+            );
+            continue;
+        }
+        let zones = s.get("zones");
+        let z = |k: &str| zones.and_then(|z| z.get(k));
+        let t0 = z("baseline_runtime_ns")
+            .and_then(Value::as_f64)
+            .map(|t| format!("{:.3}", t / 1e6))
+            .unwrap_or_else(|| "?".into());
+        println!(
+            "{:<38} {:<10} {:>12} {:>10} {:>10} {:>10}",
+            format!("{} | {}", field("workload"), field("topology")),
+            field("backend"),
+            t0,
+            fmt_tol(z("pct1_ns")),
+            fmt_tol(z("pct2_ns")),
+            fmt_tol(z("pct5_ns"))
+        );
+        let raw = |k: &str| -> String {
+            match z(k) {
+                Some(Value::Null) => "inf".into(),
+                Some(x) => x.as_f64().map(|f| format!("{f:?}")).unwrap_or_default(),
+                None => String::new(),
+            }
+        };
+        rows_csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            field("workload"),
+            field("topology"),
+            field("params"),
+            field("backend"),
+            raw("baseline_runtime_ns"),
+            raw("pct1_ns"),
+            raw("pct2_ns"),
+            raw("pct5_ns"),
+        ));
+    }
+    if let Some(csv_path) = args.get("csv") {
+        std::fs::write(csv_path, rows_csv).map_err(|e| format!("cannot write {csv_path}: {e}"))?;
+    }
+    Ok(())
+}

@@ -1,0 +1,340 @@
+//! Content-addressed result cache.
+//!
+//! Keys are canonical scenario strings (see
+//! [`Scenario::base_canonical`](crate::scenario::Scenario::base_canonical))
+//! extended with the entry kind, hashed with FNV-1a for the index;
+//! the full key string is stored alongside each entry so hash collisions
+//! degrade to misses, never to wrong results. Two entry granularities:
+//!
+//! * **points** — one `(runtime, λ, ρ)` sample per `(scenario-base, ∆L)`,
+//!   so campaigns with *overlapping* latency grids reuse each other's
+//!   solved points and only compute the set difference;
+//! * **zones** — the 1/2/5% tolerance triple per `(scenario-base,
+//!   search window)`.
+//!
+//! The cache is in-memory (`RwLock`-guarded, shared across executor
+//! workers) with optional JSON persistence: [`ResultCache::load`] /
+//! [`ResultCache::save`] round-trip the store through the same
+//! deterministic JSON writer the result files use.
+
+use crate::scenario::{PointResult, ZonesResult};
+use crate::spec::fnv1a;
+use crate::value::{parse_json, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// A cached answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CachedEntry {
+    /// One sweep sample.
+    Point(PointResult),
+    /// One tolerance-zone triple.
+    Zones(ZonesResult),
+}
+
+/// Hit/miss counters (atomic: updated concurrently by workers).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CacheStats {
+    /// Lookups answered from the store.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that required computation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hit fraction in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits() as f64, self.misses() as f64);
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+/// The content-addressed store.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    // fingerprint → (full key, entry). The full key disambiguates
+    // colliding fingerprints.
+    map: RwLock<HashMap<u64, Vec<(String, CachedEntry)>>>,
+    stats: CacheStats,
+}
+
+/// Key for one point entry.
+pub fn point_key(base_canonical: &str, delta_l_ns: f64) -> String {
+    format!("{base_canonical}|pt|{:016x}", delta_l_ns.to_bits())
+}
+
+/// Key for one zones entry.
+pub fn zones_key(base_canonical: &str, search_hi_ns: f64) -> String {
+    format!("{base_canonical}|zones|{:016x}", search_hi_ns.to_bits())
+}
+
+impl ResultCache {
+    /// Fresh empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a key, counting the outcome.
+    pub fn get(&self, key: &str) -> Option<CachedEntry> {
+        let fp = fnv1a(key.as_bytes());
+        let map = self.map.read().expect("cache lock");
+        let found = map
+            .get(&fp)
+            .and_then(|bucket| bucket.iter().find(|(k, _)| k == key))
+            .map(|(_, e)| e.clone());
+        match &found {
+            Some(_) => self.stats.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.stats.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Peek without touching the counters (used by the scheduler's
+    /// full-hit probe so stats reflect real job-time lookups only once).
+    pub fn peek(&self, key: &str) -> Option<CachedEntry> {
+        let fp = fnv1a(key.as_bytes());
+        let map = self.map.read().expect("cache lock");
+        map.get(&fp)
+            .and_then(|bucket| bucket.iter().find(|(k, _)| k == key))
+            .map(|(_, e)| e.clone())
+    }
+
+    /// Insert (idempotent; concurrent duplicate inserts of the same
+    /// deterministic value are harmless).
+    pub fn put(&self, key: String, entry: CachedEntry) {
+        let fp = fnv1a(key.as_bytes());
+        let mut map = self.map.write().expect("cache lock");
+        let bucket = map.entry(fp).or_default();
+        match bucket.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, slot)) => *slot = entry,
+            None => bucket.push((key, entry)),
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.map
+            .read()
+            .expect("cache lock")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Serialize the store (entries sorted by key for determinism).
+    pub fn to_value(&self) -> Value {
+        let map = self.map.read().expect("cache lock");
+        let mut entries: Vec<(String, CachedEntry)> = map
+            .values()
+            .flat_map(|bucket| bucket.iter().cloned())
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Table(vec![
+            ("version".into(), Value::Int(1)),
+            (
+                "entries".into(),
+                Value::Array(
+                    entries
+                        .into_iter()
+                        .map(|(key, entry)| {
+                            let mut pairs = vec![("key".into(), Value::Str(key))];
+                            match entry {
+                                CachedEntry::Point(p) => {
+                                    pairs.push(("kind".into(), Value::Str("point".into())));
+                                    pairs.push(("delta_l_ns".into(), Value::Float(p.delta_l_ns)));
+                                    pairs.push(("runtime_ns".into(), Value::Float(p.runtime_ns)));
+                                    pairs.push(("lambda".into(), Value::Float(p.lambda)));
+                                    pairs.push(("rho".into(), Value::Float(p.rho)));
+                                }
+                                CachedEntry::Zones(z) => {
+                                    pairs.push(("kind".into(), Value::Str("zones".into())));
+                                    pairs.push((
+                                        "baseline_runtime_ns".into(),
+                                        Value::Float(z.baseline_runtime_ns),
+                                    ));
+                                    pairs.push(("pct1_ns".into(), float_or_inf(z.pct1_ns)));
+                                    pairs.push(("pct2_ns".into(), float_or_inf(z.pct2_ns)));
+                                    pairs.push(("pct5_ns".into(), float_or_inf(z.pct5_ns)));
+                                }
+                            }
+                            Value::Table(pairs)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Save to a JSON file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_value().to_json_pretty())
+    }
+
+    /// Load from a JSON file produced by [`ResultCache::save`]. Unknown or
+    /// malformed entries are skipped (a stale cache must never block a
+    /// run).
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let cache = Self::new();
+        let Ok(doc) = parse_json(&text) else {
+            return Ok(cache);
+        };
+        let Some(entries) = doc.get("entries").and_then(Value::as_array) else {
+            return Ok(cache);
+        };
+        for e in entries {
+            let Some(key) = e.get("key").and_then(Value::as_str) else {
+                continue;
+            };
+            let entry = match e.get("kind").and_then(Value::as_str) {
+                Some("point") => {
+                    let Some(p) = decode_point(e) else { continue };
+                    CachedEntry::Point(p)
+                }
+                Some("zones") => {
+                    let Some(z) = decode_zones(e) else { continue };
+                    CachedEntry::Zones(z)
+                }
+                _ => continue,
+            };
+            cache.put(key.to_string(), entry);
+        }
+        Ok(cache)
+    }
+}
+
+/// Infinite tolerances serialise as `null` (JSON has no `inf`);
+/// [`inf_or_float`] reverses the mapping.
+fn float_or_inf(x: f64) -> Value {
+    if x.is_finite() {
+        Value::Float(x)
+    } else {
+        Value::Null
+    }
+}
+
+fn inf_or_float(v: Option<&Value>) -> Option<f64> {
+    match v {
+        Some(Value::Null) => Some(f64::INFINITY),
+        Some(x) => x.as_f64(),
+        None => None,
+    }
+}
+
+fn decode_point(e: &Value) -> Option<PointResult> {
+    Some(PointResult {
+        delta_l_ns: e.get("delta_l_ns")?.as_f64()?,
+        runtime_ns: e.get("runtime_ns")?.as_f64()?,
+        lambda: e.get("lambda")?.as_f64()?,
+        rho: e.get("rho")?.as_f64()?,
+    })
+}
+
+fn decode_zones(e: &Value) -> Option<ZonesResult> {
+    Some(ZonesResult {
+        baseline_runtime_ns: e.get("baseline_runtime_ns")?.as_f64()?,
+        pct1_ns: inf_or_float(e.get("pct1_ns"))?,
+        pct2_ns: inf_or_float(e.get("pct2_ns"))?,
+        pct5_ns: inf_or_float(e.get("pct5_ns"))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(d: f64) -> PointResult {
+        PointResult {
+            delta_l_ns: d,
+            runtime_ns: 100.0 + d,
+            lambda: 3.0,
+            rho: 0.25,
+        }
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let c = ResultCache::new();
+        let k = point_key("base", 5.0);
+        assert!(c.get(&k).is_none());
+        c.put(k.clone(), CachedEntry::Point(point(5.0)));
+        assert_eq!(c.get(&k), Some(CachedEntry::Point(point(5.0))));
+        assert_eq!(c.stats().hits(), 1);
+        assert_eq!(c.stats().misses(), 1);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let c = ResultCache::new();
+        let k = point_key("base", 1.0);
+        c.put(k.clone(), CachedEntry::Point(point(1.0)));
+        assert!(c.peek(&k).is_some());
+        assert_eq!(c.stats().hits() + c.stats().misses(), 0);
+    }
+
+    #[test]
+    fn disk_round_trip_including_infinities() {
+        let c = ResultCache::new();
+        c.put(point_key("b", 0.0), CachedEntry::Point(point(0.0)));
+        c.put(
+            zones_key("b", 1e6),
+            CachedEntry::Zones(ZonesResult {
+                baseline_runtime_ns: 42.0,
+                pct1_ns: 7.0,
+                pct2_ns: f64::INFINITY,
+                pct5_ns: f64::INFINITY,
+            }),
+        );
+        let dir = std::env::temp_dir().join(format!("llamp-cache-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        c.save(&path).unwrap();
+        let back = ResultCache::load(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        match back.peek(&zones_key("b", 1e6)) {
+            Some(CachedEntry::Zones(z)) => {
+                assert_eq!(z.baseline_runtime_ns, 42.0);
+                assert!(z.pct2_ns.is_infinite());
+            }
+            other => panic!("bad entry: {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn colliding_keys_coexist() {
+        // Different keys in the same bucket must both be retrievable even
+        // if FNV collides; simulate by inserting two keys and checking
+        // bucket logic handles same-fingerprint lookups (exercised via the
+        // shared map path regardless of an actual collision).
+        let c = ResultCache::new();
+        c.put("ka".into(), CachedEntry::Point(point(1.0)));
+        c.put("kb".into(), CachedEntry::Point(point(2.0)));
+        assert_eq!(c.peek("ka"), Some(CachedEntry::Point(point(1.0))));
+        assert_eq!(c.peek("kb"), Some(CachedEntry::Point(point(2.0))));
+    }
+}

@@ -1,0 +1,399 @@
+//! Campaign orchestration: spec → scenario jobs → parallel execution with
+//! caching → deterministic results.
+//!
+//! The runner expands a canonical [`CampaignSpec`] into its deduplicated,
+//! sorted scenario list, probes the cache for *full hits* (every grid
+//! point and the zones already present → the scenario is assembled without
+//! building its graph), dispatches the rest onto the work-stealing
+//! executor — each job computes only its cache-missing pieces — and
+//! assembles a [`CampaignResult`] whose JSON form is byte-identical across
+//! runs and thread counts: entries are ordered by canonical scenario key
+//! and contain no wall-clock data (timings live in [`RunSummary`], which
+//! is reported separately).
+
+use crate::cache::{point_key, zones_key, CachedEntry, ResultCache};
+use crate::executor::{run_jobs, ExecutorConfig, JobStatus};
+use crate::scenario::{expand, PointResult, Scenario, ScenarioOutcome, ZonesResult};
+use crate::spec::CampaignSpec;
+use crate::value::Value;
+use std::time::{Duration, Instant};
+
+/// How one scenario's answer was obtained (summary bookkeeping; never part
+/// of the deterministic results file).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Every piece came from the cache; the graph was never built.
+    FullCacheHit,
+    /// Computed (possibly with partial cache reuse).
+    Computed,
+    /// The job panicked.
+    Panicked,
+    /// The job exceeded the per-job timeout.
+    TimedOut,
+    /// The job reported an analysis error.
+    Failed,
+}
+
+/// One scenario's slot in a campaign result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// The scenario.
+    pub scenario: Scenario,
+    /// The outcome, or a rendered error.
+    pub outcome: Result<ScenarioOutcome, String>,
+}
+
+/// The deterministic product of a campaign run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// Campaign name (from the spec).
+    pub name: String,
+    /// Content hash of the canonical spec.
+    pub spec_fingerprint: u64,
+    /// Per-scenario results, ordered by canonical scenario key.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+/// Run statistics (reported alongside, never inside, the results file).
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Scenarios before deduplication.
+    pub jobs_requested: usize,
+    /// Scenarios after deduplication.
+    pub jobs_unique: usize,
+    /// Scenarios answered wholly from the cache (no graph build).
+    pub full_cache_hits: usize,
+    /// Scenarios dispatched to the executor.
+    pub jobs_executed: usize,
+    /// Point/zone-level cache hits during the run.
+    pub cache_hits: u64,
+    /// Point/zone-level cache misses during the run.
+    pub cache_misses: u64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Per-scenario provenance, aligned with the result's scenario order.
+    pub provenance: Vec<Provenance>,
+}
+
+impl RunSummary {
+    /// Point/zone-level cache hit fraction in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Render a human-readable block.
+    pub fn render(&self) -> String {
+        format!(
+            "scenarios: {} requested, {} unique, {} full cache hits, {} executed\n\
+             cache: {} hits, {} misses ({:.1}% hit rate)\n\
+             threads: {}, elapsed: {:.3}s",
+            self.jobs_requested,
+            self.jobs_unique,
+            self.full_cache_hits,
+            self.jobs_executed,
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.hit_rate(),
+            self.threads,
+            self.elapsed.as_secs_f64()
+        )
+    }
+}
+
+/// Run a campaign against a (possibly pre-warmed) cache.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    config: &ExecutorConfig,
+    cache: &ResultCache,
+) -> (CampaignResult, RunSummary) {
+    let started = Instant::now();
+    let hits_before = cache.stats().hits();
+    let misses_before = cache.stats().misses();
+
+    // The requested count reflects the caller's spec as written; the
+    // unique count reflects the canonicalized (sorted + deduplicated)
+    // sweep actually run.
+    let jobs_requested =
+        spec.workloads.len() * spec.topologies.len() * spec.params.len() * spec.backends.len();
+    let mut canonical_spec = spec.clone();
+    canonical_spec.canonicalize();
+    let all = expand(&canonical_spec);
+    let jobs_unique = all.len();
+
+    // Split into full cache hits (assembled inline, counted as hits) and
+    // jobs that need the executor.
+    let mut slots: Vec<Option<(Result<ScenarioOutcome, String>, Provenance)>> =
+        vec![None; all.len()];
+    let mut to_run: Vec<(usize, &Scenario)> = Vec::new();
+    for (i, sc) in all.iter().enumerate() {
+        match assemble_from_cache(sc, cache) {
+            Some(outcome) => slots[i] = Some((Ok(outcome), Provenance::FullCacheHit)),
+            None => to_run.push((i, sc)),
+        }
+    }
+    let jobs_executed = to_run.len();
+    let full_cache_hits = jobs_unique - jobs_executed;
+
+    let threads = config.effective_threads().min(jobs_executed.max(1));
+    let statuses = run_jobs(config, to_run.iter().map(|(_, sc)| *sc).collect(), |sc| {
+        run_one(sc, cache)
+    });
+    for ((idx, _), status) in to_run.iter().zip(statuses) {
+        slots[*idx] = Some(match status {
+            JobStatus::Done(Ok((outcome, inserts))) => {
+                // Publish computed pieces only for jobs that finished
+                // within budget: a timed-out or panicked job must leave
+                // no trace, or a rerun would silently flip it from error
+                // to full-cache-hit success.
+                for (key, entry) in inserts {
+                    cache.put(key, entry);
+                }
+                (Ok(outcome), Provenance::Computed)
+            }
+            JobStatus::Done(Err(msg)) => (Err(msg), Provenance::Failed),
+            JobStatus::Panicked(msg) => (Err(format!("panic: {msg}")), Provenance::Panicked),
+            JobStatus::TimedOut { elapsed } => (
+                Err(format!("timed out after {:.3}s", elapsed.as_secs_f64())),
+                Provenance::TimedOut,
+            ),
+        });
+    }
+
+    let mut scenarios = Vec::with_capacity(all.len());
+    let mut provenance = Vec::with_capacity(all.len());
+    for (sc, slot) in all.into_iter().zip(slots) {
+        let (outcome, prov) = slot.expect("every scenario resolved");
+        scenarios.push(ScenarioResult {
+            scenario: sc,
+            outcome,
+        });
+        provenance.push(prov);
+    }
+
+    let result = CampaignResult {
+        name: canonical_spec.name.clone(),
+        spec_fingerprint: canonical_spec.fingerprint(),
+        scenarios,
+    };
+    let summary = RunSummary {
+        jobs_requested,
+        jobs_unique,
+        full_cache_hits,
+        jobs_executed,
+        cache_hits: cache.stats().hits() - hits_before,
+        cache_misses: cache.stats().misses() - misses_before,
+        threads,
+        elapsed: started.elapsed(),
+        provenance,
+    };
+    (result, summary)
+}
+
+/// Probe (without counting) whether every piece of a scenario is cached;
+/// if so, replay the lookups through the counting path and assemble.
+fn assemble_from_cache(sc: &Scenario, cache: &ResultCache) -> Option<ScenarioOutcome> {
+    let base = sc.base_canonical();
+    let zk = zones_key(&base, sc.grid.search_hi_ns);
+    let all_present = cache.peek(&zk).is_some()
+        && sc
+            .grid
+            .deltas_ns
+            .iter()
+            .all(|&d| cache.peek(&point_key(&base, d)).is_some());
+    if !all_present {
+        return None;
+    }
+    // Count the real lookups now that assembly is guaranteed.
+    let zones = match cache.get(&zk)? {
+        CachedEntry::Zones(z) => z,
+        _ => return None,
+    };
+    let mut sweep = Vec::with_capacity(sc.grid.deltas_ns.len());
+    for &d in &sc.grid.deltas_ns {
+        match cache.get(&point_key(&base, d))? {
+            CachedEntry::Point(p) => sweep.push(p),
+            _ => return None,
+        }
+    }
+    Some(ScenarioOutcome { zones, sweep })
+}
+
+/// Execute one scenario: look up cached pieces, compute the rest. Newly
+/// computed pieces are *returned* rather than inserted — the campaign
+/// runner publishes them only when the job completes within its budget.
+type ComputedInserts = Vec<(String, CachedEntry)>;
+
+fn run_one(
+    sc: &Scenario,
+    cache: &ResultCache,
+) -> Result<(ScenarioOutcome, ComputedInserts), String> {
+    let base = sc.base_canonical();
+    let mut cached_points: Vec<Option<PointResult>> = Vec::with_capacity(sc.grid.deltas_ns.len());
+    let mut missing: Vec<f64> = Vec::new();
+    for &d in &sc.grid.deltas_ns {
+        match cache.get(&point_key(&base, d)) {
+            Some(CachedEntry::Point(p)) => cached_points.push(Some(p)),
+            _ => {
+                cached_points.push(None);
+                missing.push(d);
+            }
+        }
+    }
+    let zk = zones_key(&base, sc.grid.search_hi_ns);
+    let cached_zones = match cache.get(&zk) {
+        Some(CachedEntry::Zones(z)) => Some(z),
+        _ => None,
+    };
+
+    let (computed_points, computed_zones): (Vec<PointResult>, Option<ZonesResult>) =
+        if missing.is_empty() && cached_zones.is_some() {
+            (Vec::new(), None)
+        } else {
+            let analyzer = sc.build_analyzer()?;
+            sc.compute(&analyzer, &missing, cached_zones.is_none())?
+        };
+
+    // Merge computed points back into grid order, collecting the inserts
+    // for post-completion publication.
+    let mut inserts: ComputedInserts = Vec::new();
+    let mut computed_iter = computed_points.into_iter();
+    let mut sweep = Vec::with_capacity(cached_points.len());
+    for (slot, &d) in cached_points.into_iter().zip(&sc.grid.deltas_ns) {
+        match slot {
+            Some(p) => sweep.push(p),
+            None => {
+                let p = computed_iter
+                    .next()
+                    .ok_or_else(|| "backend returned fewer points than requested".to_string())?;
+                inserts.push((point_key(&base, d), CachedEntry::Point(p)));
+                sweep.push(p);
+            }
+        }
+    }
+    let zones = match (cached_zones, computed_zones) {
+        (Some(z), _) => z,
+        (None, Some(z)) => {
+            inserts.push((zk, CachedEntry::Zones(z)));
+            z
+        }
+        (None, None) => return Err("backend returned no zones".to_string()),
+    };
+    Ok((ScenarioOutcome { zones, sweep }, inserts))
+}
+
+impl CampaignResult {
+    /// Serialize deterministically (see module docs).
+    pub fn to_value(&self) -> Value {
+        Value::Table(vec![
+            ("name".into(), Value::Str(self.name.clone())),
+            (
+                "spec_fingerprint".into(),
+                Value::Str(format!("{:016x}", self.spec_fingerprint)),
+            ),
+            (
+                "scenarios".into(),
+                Value::Array(
+                    self.scenarios
+                        .iter()
+                        .map(|sr| {
+                            let mut pairs = vec![
+                                ("scenario".into(), sr.scenario.to_value()),
+                                (
+                                    "key".into(),
+                                    Value::Str(format!("{:016x}", sr.scenario.fingerprint())),
+                                ),
+                            ];
+                            match &sr.outcome {
+                                Ok(outcome) => {
+                                    pairs.push(("zones".into(), zones_to_value(&outcome.zones)));
+                                    pairs.push((
+                                        "sweep".into(),
+                                        Value::Array(
+                                            outcome.sweep.iter().map(point_to_value).collect(),
+                                        ),
+                                    ));
+                                }
+                                Err(msg) => {
+                                    pairs.push(("error".into(), Value::Str(msg.clone())));
+                                }
+                            }
+                            Value::Table(pairs)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The results file body (pretty JSON, trailing newline, byte-stable).
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json_pretty()
+    }
+
+    /// Flat CSV: one row per sweep point.
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("workload,topology,params,backend,delta_l_ns,runtime_ns,lambda,rho\n");
+        for sr in &self.scenarios {
+            if let Ok(outcome) = &sr.outcome {
+                for p in &outcome.sweep {
+                    out.push_str(&format!(
+                        "{},{},{},{},{:?},{:?},{:?},{:?}\n",
+                        csv_field(&sr.scenario.workload.canonical()),
+                        csv_field(&sr.scenario.topology.canonical()),
+                        csv_field(&sr.scenario.params.canonical()),
+                        sr.scenario.backend.name(),
+                        p.delta_l_ns,
+                        p.runtime_ns,
+                        p.lambda,
+                        p.rho
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn zones_to_value(z: &ZonesResult) -> Value {
+    let inf = |x: f64| {
+        if x.is_finite() {
+            Value::Float(x)
+        } else {
+            Value::Null
+        }
+    };
+    Value::Table(vec![
+        (
+            "baseline_runtime_ns".into(),
+            Value::Float(z.baseline_runtime_ns),
+        ),
+        ("pct1_ns".into(), inf(z.pct1_ns)),
+        ("pct2_ns".into(), inf(z.pct2_ns)),
+        ("pct5_ns".into(), inf(z.pct5_ns)),
+    ])
+}
+
+fn point_to_value(p: &PointResult) -> Value {
+    Value::Table(vec![
+        ("delta_l_ns".into(), Value::Float(p.delta_l_ns)),
+        ("runtime_ns".into(), Value::Float(p.runtime_ns)),
+        ("lambda".into(), Value::Float(p.lambda)),
+        ("rho".into(), Value::Float(p.rho)),
+    ])
+}

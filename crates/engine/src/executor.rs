@@ -1,0 +1,237 @@
+//! Work-stealing parallel executor.
+//!
+//! Jobs are distributed round-robin across per-worker deques; a worker
+//! pops from the front of its own deque and, when empty, steals from the
+//! back of the longest sibling deque — the classic split that keeps local
+//! work cache-warm while idle workers drain stragglers. Built on std
+//! threads and locks only (`std::thread::scope`, `Mutex`, channels): no
+//! external runtime.
+//!
+//! Each job runs under `catch_unwind`, so one panicking scenario is
+//! reported as [`JobStatus::Panicked`] instead of tearing down the
+//! campaign, and its wall time is checked against an optional per-job
+//! timeout: a job that exceeds it is reported as [`JobStatus::TimedOut`]
+//! and its (late) result discarded. Cooperative timeout is the honest
+//! contract without killing threads; a genuinely wedged job holds its
+//! worker but cannot block the other workers from finishing the queue.
+//!
+//! Results are returned **in input order**, so executor output is
+//! deterministic regardless of thread count or steal interleaving.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Executor configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutorConfig {
+    /// Worker count; 0 = one per available core.
+    pub threads: usize,
+    /// Per-job wall-clock budget; `None` = unlimited.
+    pub job_timeout: Option<Duration>,
+}
+
+impl ExecutorConfig {
+    /// Resolved worker count (≥ 1).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Terminal state of one job.
+#[derive(Debug)]
+pub enum JobStatus<R> {
+    /// Completed within budget.
+    Done(R),
+    /// The job panicked; payload is the rendered panic message.
+    Panicked(String),
+    /// The job finished after its deadline; the result was discarded.
+    TimedOut {
+        /// How long the job actually ran.
+        elapsed: Duration,
+    },
+}
+
+impl<R> JobStatus<R> {
+    /// The result, if the job completed in time.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            JobStatus::Done(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Run `f` over `jobs` on a work-stealing pool, returning per-job
+/// statuses in input order.
+pub fn run_jobs<J, R, F>(config: &ExecutorConfig, jobs: Vec<J>, f: F) -> Vec<JobStatus<R>>
+where
+    J: Send,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
+    let n_jobs = jobs.len();
+    let threads = config.effective_threads().min(n_jobs.max(1));
+    // Per-worker deques, seeded round-robin.
+    let deques: Vec<Mutex<VecDeque<(usize, J)>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, job) in jobs.into_iter().enumerate() {
+        deques[i % threads]
+            .lock()
+            .expect("deque lock")
+            .push_back((i, job));
+    }
+
+    let results: Mutex<Vec<Option<JobStatus<R>>>> = Mutex::new((0..n_jobs).map(|_| None).collect());
+    let f = &f;
+    let deques = &deques;
+    let results_ref = &results;
+    let timeout = config.job_timeout;
+
+    std::thread::scope(|scope| {
+        for me in 0..threads {
+            scope.spawn(move || {
+                loop {
+                    // Own deque first (front: FIFO locally for cache
+                    // warmth of freshly seeded batches).
+                    let next = deques[me].lock().expect("deque lock").pop_front();
+                    let (idx, job) = match next {
+                        Some(j) => j,
+                        None => {
+                            // Steal from the back of the fullest sibling.
+                            let victim = (0..threads)
+                                .filter(|&v| v != me)
+                                .max_by_key(|&v| deques[v].lock().expect("deque lock").len());
+                            let stolen = victim
+                                .and_then(|v| deques[v].lock().expect("deque lock").pop_back());
+                            match stolen {
+                                Some(j) => j,
+                                // All deques empty: no job creates new
+                                // jobs, so the queue is drained for good.
+                                None => break,
+                            }
+                        }
+                    };
+                    let started = Instant::now();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| f(&job)));
+                    let elapsed = started.elapsed();
+                    let status = match outcome {
+                        Err(panic) => JobStatus::Panicked(panic_message(panic)),
+                        Ok(_) if timeout.is_some_and(|t| elapsed > t) => {
+                            JobStatus::TimedOut { elapsed }
+                        }
+                        Ok(r) => JobStatus::Done(r),
+                    };
+                    results_ref.lock().expect("results lock")[idx] = Some(status);
+                }
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("results lock")
+        .into_iter()
+        .map(|s| s.expect("every job ran"))
+        .collect()
+}
+
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_jobs_run_in_input_order() {
+        let cfg = ExecutorConfig {
+            threads: 4,
+            job_timeout: None,
+        };
+        let jobs: Vec<u64> = (0..100).collect();
+        let out = run_jobs(&cfg, jobs, |&j| j * 2);
+        assert_eq!(out.len(), 100);
+        for (i, s) in out.into_iter().enumerate() {
+            assert_eq!(s.ok(), Some(i as u64 * 2));
+        }
+    }
+
+    #[test]
+    fn panics_are_isolated() {
+        let cfg = ExecutorConfig {
+            threads: 2,
+            job_timeout: None,
+        };
+        let out = run_jobs(&cfg, vec![1, 2, 3], |&j| {
+            if j == 2 {
+                panic!("job {j} exploded");
+            }
+            j
+        });
+        assert!(matches!(out[0], JobStatus::Done(1)));
+        match &out[1] {
+            JobStatus::Panicked(msg) => assert!(msg.contains("exploded")),
+            other => panic!("expected panic status, got {other:?}"),
+        }
+        assert!(matches!(out[2], JobStatus::Done(3)));
+    }
+
+    #[test]
+    fn slow_jobs_time_out() {
+        let cfg = ExecutorConfig {
+            threads: 2,
+            job_timeout: Some(Duration::from_millis(10)),
+        };
+        let out = run_jobs(&cfg, vec![0u64, 50], |&ms| {
+            std::thread::sleep(Duration::from_millis(ms));
+            ms
+        });
+        assert!(matches!(out[0], JobStatus::Done(0)));
+        assert!(matches!(out[1], JobStatus::TimedOut { .. }));
+    }
+
+    #[test]
+    fn work_stealing_drains_imbalanced_queues() {
+        // One worker's seeded jobs are heavy; others must steal them.
+        let cfg = ExecutorConfig {
+            threads: 4,
+            job_timeout: None,
+        };
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<usize> = (0..64).collect();
+        let out = run_jobs(&cfg, jobs, |_| counter.fetch_add(1, Ordering::Relaxed));
+        assert_eq!(out.len(), 64);
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn single_thread_matches_multi_thread() {
+        let run = |threads| {
+            let cfg = ExecutorConfig {
+                threads,
+                job_timeout: None,
+            };
+            run_jobs(&cfg, (0..37u64).collect(), |&j| j * j)
+                .into_iter()
+                .map(|s| s.ok().unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(4));
+    }
+}

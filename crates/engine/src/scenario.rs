@@ -1,0 +1,396 @@
+//! A [`Scenario`] is one cell of a campaign's cartesian product: one
+//! workload on one topology under one parameter set, answered by one
+//! backend over the campaign's latency grid. Scenarios are the engine's
+//! unit of scheduling, caching and reporting.
+
+use crate::spec::{
+    fnv1a, grid_canonical, Backend, CampaignSpec, GridSpec, ParamsPreset, ParamsSpec, TopologySpec,
+    WorkloadSpec,
+};
+use crate::value::Value;
+use llamp_core::{Analyzer, Binding};
+use llamp_model::LogGPSParams;
+use llamp_schedgen::{graph_of_programs, GraphConfig};
+use llamp_topo::{Dragonfly, FatTree};
+
+/// One job: the atomic unit of campaign execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Workload under analysis.
+    pub workload: WorkloadSpec,
+    /// Network topology (or uniform latency).
+    pub topology: TopologySpec,
+    /// LogGPS parameter set.
+    pub params: ParamsSpec,
+    /// Backend answering the questions.
+    pub backend: Backend,
+    /// Latency grid (added latency above the scenario's base value).
+    pub grid: GridSpec,
+}
+
+/// One sweep sample of a scenario result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointResult {
+    /// Added latency `∆L` above the base value (ns).
+    pub delta_l_ns: f64,
+    /// Predicted runtime (ns).
+    pub runtime_ns: f64,
+    /// Latency sensitivity `λ_L`.
+    pub lambda: f64,
+    /// Latency ratio `ρ_L`.
+    pub rho: f64,
+}
+
+/// The 1/2/5% tolerance zones plus the baseline they are relative to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZonesResult {
+    /// Runtime at the base latency (ns).
+    pub baseline_runtime_ns: f64,
+    /// Max added latency before >1% slowdown (ns; infinite = never within
+    /// the search window).
+    pub pct1_ns: f64,
+    /// Max added latency before >2% slowdown (ns).
+    pub pct2_ns: f64,
+    /// Max added latency before >5% slowdown (ns).
+    pub pct5_ns: f64,
+}
+
+/// A fully answered scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Tolerance zones.
+    pub zones: ZonesResult,
+    /// Sweep samples, in grid order.
+    pub sweep: Vec<PointResult>,
+}
+
+impl Scenario {
+    /// Canonical identity of the full job (cache key for whole-scenario
+    /// lookups; grid included).
+    pub fn canonical(&self) -> String {
+        format!("{}|{}", self.base_canonical(), grid_canonical(&self.grid))
+    }
+
+    /// Canonical identity *excluding* the grid: the key space for
+    /// per-point cache entries, so campaigns with overlapping grids share
+    /// solved points.
+    pub fn base_canonical(&self) -> String {
+        format!(
+            "{}|{}|{}|{}",
+            self.workload.canonical(),
+            self.topology.canonical(),
+            self.params.canonical(),
+            self.backend.name()
+        )
+    }
+
+    /// Content hash of [`Scenario::canonical`].
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(self.canonical().as_bytes())
+    }
+
+    /// Effective LogGPS parameters: preset → workload `o` default →
+    /// explicit overrides.
+    pub fn effective_params(&self) -> LogGPSParams {
+        let mut p = match self.params.preset {
+            ParamsPreset::Cscs => LogGPSParams::cscs_testbed(self.workload.ranks),
+            ParamsPreset::PizDaint => LogGPSParams::piz_daint(self.workload.ranks),
+            ParamsPreset::Didactic => {
+                let mut d = LogGPSParams::didactic();
+                d.p = self.workload.ranks;
+                d
+            }
+        };
+        p.o = self
+            .params
+            .o_ns
+            .or(self.workload.o_ns)
+            .unwrap_or_else(|| self.workload.app.paper_o());
+        if let Some(l) = self.params.l_ns {
+            p.l = l;
+        }
+        if let Some(s) = self.params.s_bytes {
+            p.s = s;
+        }
+        p
+    }
+
+    /// Build the analyzer (graph construction + binding). This is the
+    /// expensive part of a job; the campaign runner skips it entirely when
+    /// every grid point is already cached.
+    pub fn build_analyzer(&self) -> Result<Analyzer, String> {
+        let set = self
+            .workload
+            .app
+            .programs(self.workload.ranks, self.workload.iters as usize);
+        let graph = graph_of_programs(&set, &GraphConfig::paper())
+            .map_err(|e| format!("graph build failed: {e}"))?;
+        let params = self.effective_params();
+        let placement: Vec<u32> = (0..self.workload.ranks).collect();
+        Ok(match &self.topology {
+            TopologySpec::Uniform => Analyzer::new(&graph, &params),
+            TopologySpec::FatTree {
+                k,
+                l_wire_ns,
+                d_switch_ns,
+            } => Analyzer::with_binding(
+                &graph,
+                Binding::wire(&params, &FatTree::new(*k), &placement, *d_switch_ns),
+                *l_wire_ns,
+            ),
+            TopologySpec::Dragonfly {
+                groups,
+                routers,
+                hosts,
+                l_wire_ns,
+                d_switch_ns,
+            } => Analyzer::with_binding(
+                &graph,
+                Binding::wire(
+                    &params,
+                    &Dragonfly::new(*groups, *routers, *hosts),
+                    &placement,
+                    *d_switch_ns,
+                ),
+                *l_wire_ns,
+            ),
+        })
+    }
+
+    /// Answer the scenario's missing pieces with its backend.
+    ///
+    /// `need_deltas` selects which grid points to compute (the campaign
+    /// runner passes only cache misses); `need_zones` likewise. Returned
+    /// points follow `need_deltas` order.
+    pub fn compute(
+        &self,
+        analyzer: &Analyzer,
+        need_deltas: &[f64],
+        need_zones: bool,
+    ) -> Result<(Vec<PointResult>, Option<ZonesResult>), String> {
+        let base = analyzer.base_l();
+        let hi = base + self.grid.search_hi_ns;
+        match self.backend {
+            Backend::Parametric => {
+                let points = analyzer
+                    .sweep(need_deltas)
+                    .into_iter()
+                    .map(|p| PointResult {
+                        delta_l_ns: p.delta_l,
+                        runtime_ns: p.runtime,
+                        lambda: p.lambda,
+                        rho: p.rho,
+                    })
+                    .collect();
+                let zones = need_zones.then(|| {
+                    let z = analyzer.tolerance_zones(hi);
+                    ZonesResult {
+                        baseline_runtime_ns: z.baseline_runtime,
+                        pct1_ns: z.pct1,
+                        pct2_ns: z.pct2,
+                        pct5_ns: z.pct5,
+                    }
+                });
+                Ok((points, zones))
+            }
+            Backend::Eval => {
+                let points = need_deltas
+                    .iter()
+                    .map(|&d| {
+                        let e = analyzer.evaluate(base + d);
+                        PointResult {
+                            delta_l_ns: d,
+                            runtime_ns: e.runtime,
+                            lambda: e.lambda,
+                            rho: e.rho(base + d),
+                        }
+                    })
+                    .collect();
+                let zones = need_zones.then(|| eval_zones(analyzer, base, hi));
+                Ok((points, zones))
+            }
+            Backend::Lp => {
+                let mut lp = analyzer.lp();
+                let mut points = Vec::with_capacity(need_deltas.len());
+                for &d in need_deltas {
+                    let p = lp
+                        .predict(base + d)
+                        .map_err(|e| format!("LP solve failed at ∆L={d}: {e:?}"))?;
+                    points.push(PointResult {
+                        delta_l_ns: d,
+                        runtime_ns: p.runtime,
+                        lambda: p.lambda,
+                        rho: p.rho(base + d),
+                    });
+                }
+                let zones = if need_zones {
+                    let t0 = lp
+                        .predict(base)
+                        .map_err(|e| format!("LP baseline solve failed: {e:?}"))?
+                        .runtime;
+                    let mut zone = |pct: f64| -> Result<f64, String> {
+                        let cap = t0 * (1.0 + pct / 100.0);
+                        let l = lp
+                            .tolerance(base, cap)
+                            .map_err(|e| format!("LP tolerance solve failed: {e:?}"))?;
+                        Ok(if l - base >= self.grid.search_hi_ns {
+                            f64::INFINITY
+                        } else {
+                            l - base
+                        })
+                    };
+                    Some(ZonesResult {
+                        baseline_runtime_ns: t0,
+                        pct1_ns: zone(1.0)?,
+                        pct2_ns: zone(2.0)?,
+                        pct5_ns: zone(5.0)?,
+                    })
+                } else {
+                    None
+                };
+                Ok((points, zones))
+            }
+        }
+    }
+
+    /// Re-encode for result files (canonical order; round-trips through
+    /// the spec decoders).
+    pub fn to_value(&self) -> Value {
+        Value::Table(vec![
+            ("workload".into(), Value::Str(self.workload.canonical())),
+            ("topology".into(), Value::Str(self.topology.canonical())),
+            ("params".into(), Value::Str(self.params.canonical())),
+            ("backend".into(), Value::Str(self.backend.name().into())),
+        ])
+    }
+}
+
+/// Tolerance zones via monotone bisection on direct evaluation — the
+/// backend-honest way to answer zones without an envelope.
+fn eval_zones(analyzer: &Analyzer, base: f64, hi: f64) -> ZonesResult {
+    let t0 = analyzer.evaluate(base).runtime;
+    let zone = |pct: f64| -> f64 {
+        let cap = t0 * (1.0 + pct / 100.0);
+        if analyzer.evaluate(hi).runtime <= cap {
+            return f64::INFINITY;
+        }
+        if analyzer.evaluate(base).runtime > cap {
+            return 0.0;
+        }
+        let (mut lo, mut up) = (base, hi);
+        // 64 bisection steps: below f64 resolution on any realistic span.
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + up);
+            if analyzer.evaluate(mid).runtime <= cap {
+                lo = mid;
+            } else {
+                up = mid;
+            }
+        }
+        lo - base
+    };
+    ZonesResult {
+        baseline_runtime_ns: t0,
+        pct1_ns: zone(1.0),
+        pct2_ns: zone(2.0),
+        pct5_ns: zone(5.0),
+    }
+}
+
+/// Expand a canonical spec into its scenario set, sorted by canonical key
+/// and deduplicated — the deterministic job list of a campaign.
+pub fn expand(spec: &CampaignSpec) -> Vec<Scenario> {
+    let mut out = Vec::with_capacity(
+        spec.workloads.len() * spec.topologies.len() * spec.params.len() * spec.backends.len(),
+    );
+    for w in &spec.workloads {
+        for t in &spec.topologies {
+            for p in &spec.params {
+                for b in &spec.backends {
+                    out.push(Scenario {
+                        workload: w.clone(),
+                        topology: t.clone(),
+                        params: p.clone(),
+                        backend: *b,
+                        grid: spec.grid.clone(),
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by_key(Scenario::canonical);
+    out.dedup_by(|a, b| a.canonical() == b.canonical());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+
+    fn small_spec() -> CampaignSpec {
+        CampaignSpec::parse(
+            r#"
+name = "unit"
+backends = ["parametric", "eval", "lp"]
+[grid]
+deltas_ns = [0.0, 50000.0]
+search_hi_ns = 500000.0
+[[workloads]]
+app = "cloverleaf"
+ranks = 4
+iters = 1
+"#,
+            "x.toml",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn expansion_is_sorted_and_complete() {
+        let spec = small_spec();
+        let jobs = expand(&spec);
+        assert_eq!(jobs.len(), 3);
+        let keys: Vec<String> = jobs.iter().map(Scenario::canonical).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn backends_agree_on_sweep_points() {
+        let spec = small_spec();
+        let jobs = expand(&spec);
+        let mut results = Vec::new();
+        for job in &jobs {
+            let a = job.build_analyzer().unwrap();
+            let (points, zones) = job.compute(&a, &job.grid.deltas_ns, true).unwrap();
+            results.push((job.backend, points, zones.unwrap()));
+        }
+        // All three backends answer the same questions; runtimes must agree
+        // to numerical tolerance at every grid point.
+        for w in results.windows(2) {
+            let (_, pa, za) = &w[0];
+            let (_, pb, zb) = &w[1];
+            for (x, y) in pa.iter().zip(pb) {
+                assert!(
+                    (x.runtime_ns - y.runtime_ns).abs() <= 1e-6 * (1.0 + x.runtime_ns),
+                    "runtime mismatch: {x:?} vs {y:?}"
+                );
+            }
+            let tol = 1e-3 * (1.0 + za.baseline_runtime_ns);
+            assert!((za.baseline_runtime_ns - zb.baseline_runtime_ns).abs() <= tol);
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_backends_but_not_grid_for_base() {
+        let spec = small_spec();
+        let jobs = expand(&spec);
+        assert_ne!(jobs[0].fingerprint(), jobs[1].fingerprint());
+        let mut other = jobs[0].clone();
+        other.grid.deltas_ns.push(123.0);
+        assert_eq!(jobs[0].base_canonical(), other.base_canonical());
+        assert_ne!(jobs[0].canonical(), other.canonical());
+    }
+}

@@ -1,0 +1,737 @@
+//! Declarative campaign specifications.
+//!
+//! A [`CampaignSpec`] describes a cartesian sweep: every combination of
+//! workload × topology × parameter set × backend becomes one [`Scenario`]
+//! (see [`crate::scenario`]), all sharing one latency grid. Specs are
+//! written in TOML (or JSON with the same shape) and decode through
+//! [`crate::value::Value`]; see `examples/campaign.toml` for the format.
+//!
+//! Canonicalisation (`CampaignSpec::canonicalize`) sorts and deduplicates
+//! every dimension and the latency grid, so two specs describing the same
+//! sweep — in any order, in either syntax — produce identical scenario
+//! sets, identical content hashes, and therefore identical cache keys.
+
+use crate::value::{parse_json, parse_toml, Value};
+use llamp_workloads::App;
+use std::fmt::Write as _;
+
+/// One workload axis entry: an application proxy at a given scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Which application skeleton.
+    pub app: App,
+    /// MPI rank count.
+    pub ranks: u32,
+    /// Outer iterations of the proxy's main loop.
+    pub iters: u32,
+    /// Optional override of the per-message overhead `o` (ns); defaults
+    /// to the application's paper-matched value.
+    pub o_ns: Option<f64>,
+}
+
+/// One topology axis entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologySpec {
+    /// Uniform end-to-end latency: the analysis variable is `L` itself.
+    Uniform,
+    /// Three-tier fat tree; the analysis variable is the per-wire latency.
+    FatTree {
+        /// Switch radix `k` (hosts = k³/4).
+        k: u32,
+        /// Baseline per-wire latency (ns).
+        l_wire_ns: f64,
+        /// Per-switch traversal delay (ns).
+        d_switch_ns: f64,
+    },
+    /// Dragonfly; the analysis variable is the per-wire latency.
+    Dragonfly {
+        /// Number of groups.
+        groups: u32,
+        /// Routers per group.
+        routers: u32,
+        /// Hosts per router.
+        hosts: u32,
+        /// Baseline per-wire latency (ns).
+        l_wire_ns: f64,
+        /// Per-switch traversal delay (ns).
+        d_switch_ns: f64,
+    },
+}
+
+/// Cluster parameter presets (paper §III-B / §IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ParamsPreset {
+    /// The 188-node CSCS validation test-bed.
+    Cscs,
+    /// Piz Daint as measured for the ICON case study.
+    PizDaint,
+    /// The paper's didactic running example.
+    Didactic,
+}
+
+impl ParamsPreset {
+    /// Spec-file name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ParamsPreset::Cscs => "cscs",
+            ParamsPreset::PizDaint => "piz-daint",
+            ParamsPreset::Didactic => "didactic",
+        }
+    }
+}
+
+/// One LogGPS parameter axis entry: a preset plus overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamsSpec {
+    /// Base preset.
+    pub preset: ParamsPreset,
+    /// Override the base latency `L` (ns).
+    pub l_ns: Option<f64>,
+    /// Override the per-message overhead `o` (ns). Takes precedence over
+    /// the workload-level override.
+    pub o_ns: Option<f64>,
+    /// Override the rendezvous threshold `S` (bytes).
+    pub s_bytes: Option<u64>,
+}
+
+/// Analysis backend answering the sweep (all cross-validated in
+/// `llamp-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Backend {
+    /// Exact `T(L)` envelope in one pass (`ParametricProfile`).
+    Parametric,
+    /// The paper's Algorithm 1 LP, solved per grid point.
+    Lp,
+    /// Direct critical-path evaluation per grid point.
+    Eval,
+}
+
+impl Backend {
+    /// Spec-file name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Parametric => "parametric",
+            Backend::Lp => "lp",
+            Backend::Eval => "eval",
+        }
+    }
+}
+
+/// The latency grid shared by all scenarios of a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSpec {
+    /// Added-latency samples `∆L` (ns) above each scenario's base value.
+    pub deltas_ns: Vec<f64>,
+    /// Upper search bound for the 1/2/5% tolerance zones (ns above base).
+    pub search_hi_ns: f64,
+}
+
+/// A full campaign: the cartesian product of the four axes under one grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (used in reports and output files).
+    pub name: String,
+    /// Workload axis.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Topology axis.
+    pub topologies: Vec<TopologySpec>,
+    /// Parameter-set axis.
+    pub params: Vec<ParamsSpec>,
+    /// Backend axis.
+    pub backends: Vec<Backend>,
+    /// Shared latency grid.
+    pub grid: GridSpec,
+}
+
+/// Spec decoding / validation failure.
+#[derive(Debug, Clone)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(msg: impl Into<String>) -> SpecError {
+    SpecError(msg.into())
+}
+
+/// Parse an application name as used in spec files (`llamp
+/// list-workloads` prints the list).
+pub fn parse_app(name: &str) -> Result<App, SpecError> {
+    App::ALL
+        .iter()
+        .copied()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            err(format!(
+                "unknown app '{name}' (expected one of: {})",
+                App::ALL.map(|a| a.name().to_ascii_lowercase()).join(", ")
+            ))
+        })
+}
+
+impl CampaignSpec {
+    /// Parse a spec from TOML or JSON source. `path_hint` selects the
+    /// syntax by extension; content sniffing (`{` first) is the fallback.
+    pub fn parse(source: &str, path_hint: &str) -> Result<Self, SpecError> {
+        let is_json = path_hint.ends_with(".json")
+            || (!path_hint.ends_with(".toml") && source.trim_start().starts_with('{'));
+        let value = if is_json {
+            parse_json(source).map_err(|e| err(format!("JSON: {e}")))?
+        } else {
+            parse_toml(source).map_err(|e| err(format!("TOML: {e}")))?
+        };
+        Self::from_value(&value)
+    }
+
+    /// Decode from a parsed document.
+    pub fn from_value(value: &Value) -> Result<Self, SpecError> {
+        let name = value
+            .get("name")
+            .and_then(Value::as_str)
+            .unwrap_or("campaign")
+            .to_string();
+
+        let workloads = req_array(value, "workloads")?
+            .iter()
+            .map(decode_workload)
+            .collect::<Result<Vec<_>, _>>()?;
+        let topologies = match value.get("topologies") {
+            None => vec![TopologySpec::Uniform],
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| err("'topologies' must be an array of tables"))?
+                .iter()
+                .map(decode_topology)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let params = match value.get("params") {
+            None => vec![ParamsSpec {
+                preset: ParamsPreset::Cscs,
+                l_ns: None,
+                o_ns: None,
+                s_bytes: None,
+            }],
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| err("'params' must be an array of tables"))?
+                .iter()
+                .map(decode_params)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let backends = match value.get("backends") {
+            None => vec![Backend::Parametric],
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| err("'backends' must be an array of strings"))?
+                .iter()
+                .map(|b| {
+                    let s = b.as_str().ok_or_else(|| err("backend must be a string"))?;
+                    match s.to_ascii_lowercase().as_str() {
+                        "parametric" => Ok(Backend::Parametric),
+                        "lp" | "simplex" => Ok(Backend::Lp),
+                        "eval" | "evaluate" => Ok(Backend::Eval),
+                        _ => Err(err(format!(
+                            "unknown backend '{s}' (expected parametric | lp | eval)"
+                        ))),
+                    }
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let grid = decode_grid(value.get("grid"))?;
+
+        let mut spec = Self {
+            name,
+            workloads,
+            topologies,
+            params,
+            backends,
+            grid,
+        };
+        spec.validate()?;
+        spec.canonicalize();
+        Ok(spec)
+    }
+
+    fn validate(&self) -> Result<(), SpecError> {
+        if self.workloads.is_empty() {
+            return Err(err("at least one [[workloads]] entry is required"));
+        }
+        if self.grid.deltas_ns.is_empty() {
+            return Err(err("the latency grid needs at least one point"));
+        }
+        if !self.grid.search_hi_ns.is_finite() || self.grid.search_hi_ns <= 0.0 {
+            return Err(err("grid.search_hi_ns must be positive and finite"));
+        }
+        for d in &self.grid.deltas_ns {
+            if !d.is_finite() || *d < 0.0 {
+                return Err(err(format!("grid delta {d} must be finite and >= 0")));
+            }
+        }
+        for w in &self.workloads {
+            if w.ranks < 2 {
+                return Err(err(format!("{}: ranks must be >= 2", w.app.name())));
+            }
+            if w.iters == 0 {
+                return Err(err(format!("{}: iters must be >= 1", w.app.name())));
+            }
+        }
+        for t in &self.topologies {
+            let nodes = t.num_nodes();
+            if let Some(n) = nodes {
+                if let Some(w) = self.workloads.iter().find(|w| w.ranks > n) {
+                    return Err(err(format!(
+                        "topology {} has {n} hosts but workload {} needs {} ranks",
+                        t.canonical(),
+                        w.app.name(),
+                        w.ranks
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sort + deduplicate every axis and the grid. Idempotent; called by
+    /// the decoder so parsed specs are always canonical.
+    pub fn canonicalize(&mut self) {
+        sort_dedup_by_key(&mut self.workloads, WorkloadSpec::canonical);
+        sort_dedup_by_key(&mut self.topologies, TopologySpec::canonical);
+        sort_dedup_by_key(&mut self.params, ParamsSpec::canonical);
+        self.backends.sort();
+        self.backends.dedup();
+        self.grid.deltas_ns.sort_by(f64::total_cmp);
+        self.grid
+            .deltas_ns
+            .dedup_by(|a, b| a.to_bits() == b.to_bits());
+    }
+
+    /// Canonical string form: the deterministic identity of the campaign's
+    /// sweep (name excluded — two differently named campaigns over the
+    /// same sweep share cache entries).
+    pub fn canonical(&self) -> String {
+        let mut s = String::new();
+        for w in &self.workloads {
+            let _ = write!(s, "w:{};", w.canonical());
+        }
+        for t in &self.topologies {
+            let _ = write!(s, "t:{};", t.canonical());
+        }
+        for p in &self.params {
+            let _ = write!(s, "p:{};", p.canonical());
+        }
+        for b in &self.backends {
+            let _ = write!(s, "b:{};", b.name());
+        }
+        let _ = write!(s, "g:{}", grid_canonical(&self.grid));
+        s
+    }
+
+    /// Content hash of the canonical form (FNV-1a, stable across runs and
+    /// platforms).
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(self.canonical().as_bytes())
+    }
+
+    /// Re-encode as a document (JSON-compatible), preserving canonical
+    /// order — parsing the encoding yields an identical spec.
+    pub fn to_value(&self) -> Value {
+        Value::Table(vec![
+            ("name".into(), Value::Str(self.name.clone())),
+            (
+                "workloads".into(),
+                Value::Array(self.workloads.iter().map(WorkloadSpec::to_value).collect()),
+            ),
+            (
+                "topologies".into(),
+                Value::Array(self.topologies.iter().map(TopologySpec::to_value).collect()),
+            ),
+            (
+                "params".into(),
+                Value::Array(self.params.iter().map(ParamsSpec::to_value).collect()),
+            ),
+            (
+                "backends".into(),
+                Value::Array(
+                    self.backends
+                        .iter()
+                        .map(|b| Value::Str(b.name().into()))
+                        .collect(),
+                ),
+            ),
+            (
+                "grid".into(),
+                Value::Table(vec![
+                    (
+                        "deltas_ns".into(),
+                        Value::Array(
+                            self.grid
+                                .deltas_ns
+                                .iter()
+                                .map(|&d| Value::Float(d))
+                                .collect(),
+                        ),
+                    ),
+                    ("search_hi_ns".into(), Value::Float(self.grid.search_hi_ns)),
+                ]),
+            ),
+        ])
+    }
+}
+
+fn sort_dedup_by_key<T>(items: &mut Vec<T>, key: impl Fn(&T) -> String) {
+    items.sort_by_key(|i| key(i));
+    items.dedup_by(|a, b| key(a) == key(b));
+}
+
+/// FNV-1a 64-bit hash: tiny, dependency-free, and stable — exactly what a
+/// content-addressed cache key needs.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Render a float in its shortest round-trip form for canonical keys.
+fn f(x: f64) -> String {
+    format!("{x:?}")
+}
+
+impl WorkloadSpec {
+    /// Canonical fragment.
+    pub fn canonical(&self) -> String {
+        format!(
+            "{},r{},i{},o{}",
+            self.app.name().to_ascii_lowercase(),
+            self.ranks,
+            self.iters,
+            self.o_ns.map(f).unwrap_or_else(|| "paper".into())
+        )
+    }
+
+    fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            (
+                "app".into(),
+                Value::Str(self.app.name().to_ascii_lowercase()),
+            ),
+            ("ranks".into(), Value::Int(self.ranks as i64)),
+            ("iters".into(), Value::Int(self.iters as i64)),
+        ];
+        if let Some(o) = self.o_ns {
+            pairs.push(("o_ns".into(), Value::Float(o)));
+        }
+        Value::Table(pairs)
+    }
+}
+
+impl TopologySpec {
+    /// Host capacity, when the topology constrains it.
+    pub fn num_nodes(&self) -> Option<u32> {
+        match self {
+            TopologySpec::Uniform => None,
+            TopologySpec::FatTree { k, .. } => Some(k * k * k / 4),
+            TopologySpec::Dragonfly {
+                groups,
+                routers,
+                hosts,
+                ..
+            } => Some(groups * routers * hosts),
+        }
+    }
+
+    /// Canonical fragment.
+    pub fn canonical(&self) -> String {
+        match self {
+            TopologySpec::Uniform => "uniform".into(),
+            TopologySpec::FatTree {
+                k,
+                l_wire_ns,
+                d_switch_ns,
+            } => format!("fattree,k{k},w{},d{}", f(*l_wire_ns), f(*d_switch_ns)),
+            TopologySpec::Dragonfly {
+                groups,
+                routers,
+                hosts,
+                l_wire_ns,
+                d_switch_ns,
+            } => format!(
+                "dragonfly,g{groups},a{routers},p{hosts},w{},d{}",
+                f(*l_wire_ns),
+                f(*d_switch_ns)
+            ),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        match self {
+            TopologySpec::Uniform => {
+                Value::Table(vec![("kind".into(), Value::Str("uniform".into()))])
+            }
+            TopologySpec::FatTree {
+                k,
+                l_wire_ns,
+                d_switch_ns,
+            } => Value::Table(vec![
+                ("kind".into(), Value::Str("fattree".into())),
+                ("k".into(), Value::Int(*k as i64)),
+                ("l_wire_ns".into(), Value::Float(*l_wire_ns)),
+                ("d_switch_ns".into(), Value::Float(*d_switch_ns)),
+            ]),
+            TopologySpec::Dragonfly {
+                groups,
+                routers,
+                hosts,
+                l_wire_ns,
+                d_switch_ns,
+            } => Value::Table(vec![
+                ("kind".into(), Value::Str("dragonfly".into())),
+                ("groups".into(), Value::Int(*groups as i64)),
+                ("routers".into(), Value::Int(*routers as i64)),
+                ("hosts".into(), Value::Int(*hosts as i64)),
+                ("l_wire_ns".into(), Value::Float(*l_wire_ns)),
+                ("d_switch_ns".into(), Value::Float(*d_switch_ns)),
+            ]),
+        }
+    }
+}
+
+impl ParamsSpec {
+    /// Canonical fragment.
+    pub fn canonical(&self) -> String {
+        format!(
+            "{},l{},o{},s{}",
+            self.preset.name(),
+            self.l_ns.map(f).unwrap_or_else(|| "-".into()),
+            self.o_ns.map(f).unwrap_or_else(|| "-".into()),
+            self.s_bytes
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".into())
+        )
+    }
+
+    fn to_value(&self) -> Value {
+        let mut pairs = vec![("preset".into(), Value::Str(self.preset.name().into()))];
+        if let Some(l) = self.l_ns {
+            pairs.push(("l_ns".into(), Value::Float(l)));
+        }
+        if let Some(o) = self.o_ns {
+            pairs.push(("o_ns".into(), Value::Float(o)));
+        }
+        if let Some(s) = self.s_bytes {
+            pairs.push(("s_bytes".into(), Value::Int(s as i64)));
+        }
+        Value::Table(pairs)
+    }
+}
+
+/// Canonical fragment of a grid.
+pub fn grid_canonical(grid: &GridSpec) -> String {
+    let mut s = String::new();
+    for d in &grid.deltas_ns {
+        let _ = write!(s, "{},", f(*d));
+    }
+    let _ = write!(s, "hi{}", f(grid.search_hi_ns));
+    s
+}
+
+fn req_array<'v>(value: &'v Value, key: &str) -> Result<&'v [Value], SpecError> {
+    value
+        .get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| err(format!("'{key}' must be an array of tables ([[{key}]])")))
+}
+
+fn get_f64(v: &Value, key: &str) -> Result<Option<f64>, SpecError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(x) => x
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| err(format!("'{key}' must be a number"))),
+    }
+}
+
+fn get_u32(v: &Value, key: &str) -> Result<Option<u32>, SpecError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(x) => x
+            .as_i64()
+            .filter(|i| *i >= 0 && *i <= u32::MAX as i64)
+            .map(|i| Some(i as u32))
+            .ok_or_else(|| err(format!("'{key}' must be a non-negative integer"))),
+    }
+}
+
+fn decode_workload(v: &Value) -> Result<WorkloadSpec, SpecError> {
+    let app_name = v
+        .get("app")
+        .and_then(Value::as_str)
+        .ok_or_else(|| err("workload needs an 'app' name"))?;
+    Ok(WorkloadSpec {
+        app: parse_app(app_name)?,
+        ranks: get_u32(v, "ranks")?.unwrap_or(8),
+        iters: get_u32(v, "iters")?.unwrap_or(2),
+        o_ns: get_f64(v, "o_ns")?,
+    })
+}
+
+fn decode_topology(v: &Value) -> Result<TopologySpec, SpecError> {
+    let kind = v
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or_else(|| err("topology needs a 'kind'"))?;
+    match kind.to_ascii_lowercase().as_str() {
+        "uniform" => Ok(TopologySpec::Uniform),
+        "fattree" | "fat-tree" => Ok(TopologySpec::FatTree {
+            k: get_u32(v, "k")?.unwrap_or(8),
+            l_wire_ns: get_f64(v, "l_wire_ns")?.unwrap_or(274.0),
+            d_switch_ns: get_f64(v, "d_switch_ns")?.unwrap_or(108.0),
+        }),
+        "dragonfly" => Ok(TopologySpec::Dragonfly {
+            groups: get_u32(v, "groups")?.unwrap_or(9),
+            routers: get_u32(v, "routers")?.unwrap_or(4),
+            hosts: get_u32(v, "hosts")?.unwrap_or(2),
+            l_wire_ns: get_f64(v, "l_wire_ns")?.unwrap_or(274.0),
+            d_switch_ns: get_f64(v, "d_switch_ns")?.unwrap_or(108.0),
+        }),
+        _ => Err(err(format!(
+            "unknown topology kind '{kind}' (expected uniform | fattree | dragonfly)"
+        ))),
+    }
+}
+
+fn decode_params(v: &Value) -> Result<ParamsSpec, SpecError> {
+    let preset = match v.get("preset").and_then(Value::as_str) {
+        None => ParamsPreset::Cscs,
+        Some(p) => match p.to_ascii_lowercase().as_str() {
+            "cscs" | "cscs-testbed" => ParamsPreset::Cscs,
+            "piz-daint" | "pizdaint" | "piz_daint" => ParamsPreset::PizDaint,
+            "didactic" => ParamsPreset::Didactic,
+            _ => {
+                return Err(err(format!(
+                    "unknown preset '{p}' (expected cscs | piz-daint | didactic)"
+                )))
+            }
+        },
+    };
+    Ok(ParamsSpec {
+        preset,
+        l_ns: get_f64(v, "l_ns")?,
+        o_ns: get_f64(v, "o_ns")?,
+        s_bytes: v
+            .get("s_bytes")
+            .map(|x| {
+                x.as_i64()
+                    .filter(|i| *i >= 0)
+                    .map(|i| i as u64)
+                    .ok_or_else(|| err("'s_bytes' must be a non-negative integer"))
+            })
+            .transpose()?,
+    })
+}
+
+fn decode_grid(v: Option<&Value>) -> Result<GridSpec, SpecError> {
+    let Some(v) = v else {
+        return Ok(GridSpec {
+            deltas_ns: vec![0.0],
+            search_hi_ns: 2_000_000.0,
+        });
+    };
+    let search_hi_ns = get_f64(v, "search_hi_ns")?.unwrap_or(2_000_000.0);
+    // Either an explicit list or a linspace window.
+    if let Some(list) = v.get("deltas_ns") {
+        let arr = list
+            .as_array()
+            .ok_or_else(|| err("'deltas_ns' must be an array of numbers"))?;
+        let deltas_ns = arr
+            .iter()
+            .map(|x| x.as_f64().ok_or_else(|| err("'deltas_ns' must be numbers")))
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(GridSpec {
+            deltas_ns,
+            search_hi_ns,
+        });
+    }
+    if let Some(win) = v.get("window") {
+        let lo = get_f64(win, "lo")?.unwrap_or(0.0);
+        let hi = get_f64(win, "hi")?.ok_or_else(|| err("grid.window needs 'hi'"))?;
+        let points = get_u32(win, "points")?.unwrap_or(9).max(2) as usize;
+        if hi <= lo {
+            return Err(err("grid.window: hi must exceed lo"));
+        }
+        let deltas_ns = (0..points)
+            .map(|i| lo + (hi - lo) * i as f64 / (points - 1) as f64)
+            .collect();
+        return Ok(GridSpec {
+            deltas_ns,
+            search_hi_ns,
+        });
+    }
+    Err(err(
+        "grid needs either 'deltas_ns' or 'window = { lo, hi, points }'",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"
+name = "t"
+backends = ["eval", "parametric", "eval"]
+
+[grid]
+deltas_ns = [10000.0, 0.0, 10000.0]
+search_hi_ns = 1e6
+
+[[workloads]]
+app = "milc"
+ranks = 8
+
+[[workloads]]
+app = "lulesh"
+ranks = 8
+"#;
+
+    #[test]
+    fn canonicalization_sorts_and_dedups() {
+        let spec = CampaignSpec::parse(SPEC, "x.toml").unwrap();
+        assert_eq!(spec.backends, vec![Backend::Parametric, Backend::Eval]);
+        assert_eq!(spec.grid.deltas_ns, vec![0.0, 10_000.0]);
+        assert_eq!(spec.workloads[0].app.name(), "LULESH");
+    }
+
+    #[test]
+    fn hash_is_order_independent_and_syntax_independent() {
+        let a = CampaignSpec::parse(SPEC, "x.toml").unwrap();
+        // Same sweep, different order and written as JSON via re-encoding.
+        let json = a.to_value().to_json();
+        let b = CampaignSpec::parse(&json, "x.json").unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validation_rejects_oversubscribed_topology() {
+        let bad = r#"
+name = "bad"
+[[workloads]]
+app = "hpcg"
+ranks = 64
+[[topologies]]
+kind = "dragonfly"
+groups = 2
+routers = 2
+hosts = 2
+"#;
+        assert!(CampaignSpec::parse(bad, "x.toml").is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! Integration tests for the campaign subsystem: spec round-trips, cache
+//! semantics across runs, and thread-count determinism.
+
+use llamp_engine::{run_campaign, CampaignSpec, ExecutorConfig, Provenance, ResultCache};
+
+const SPEC: &str = r#"
+name = "itest"
+backends = ["parametric", "eval"]
+
+[grid]
+deltas_ns = [0.0, 20000.0, 40000.0]
+search_hi_ns = 1000000.0
+
+[[workloads]]
+app = "milc"
+ranks = 4
+iters = 1
+
+[[workloads]]
+app = "cloverleaf"
+ranks = 4
+iters = 1
+
+[[topologies]]
+kind = "uniform"
+
+[[topologies]]
+kind = "fattree"
+k = 4
+"#;
+
+fn spec() -> CampaignSpec {
+    CampaignSpec::parse(SPEC, "itest.toml").unwrap()
+}
+
+fn config(threads: usize) -> ExecutorConfig {
+    ExecutorConfig {
+        threads,
+        job_timeout: None,
+    }
+}
+
+#[test]
+fn spec_round_trip_preserves_hash_and_content() {
+    let a = spec();
+    // Canonical JSON re-encoding parses back to the identical spec.
+    let b = CampaignSpec::parse(&a.to_value().to_json(), "x.json").unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    // A reordered-but-equivalent TOML spec hashes identically.
+    let reordered = r#"
+name = "renamed-on-purpose"
+backends = ["eval", "parametric"]
+
+[grid]
+deltas_ns = [40000.0, 0.0, 20000.0, 0.0]
+search_hi_ns = 1000000.0
+
+[[workloads]]
+app = "cloverleaf"
+ranks = 4
+iters = 1
+
+[[workloads]]
+app = "milc"
+ranks = 4
+iters = 1
+
+[[topologies]]
+kind = "fattree"
+k = 4
+
+[[topologies]]
+kind = "uniform"
+"#;
+    let c = CampaignSpec::parse(reordered, "y.toml").unwrap();
+    // The name is not part of the sweep identity.
+    assert_eq!(a.fingerprint(), c.fingerprint());
+    // A genuinely different sweep hashes differently.
+    let mut d = a.clone();
+    d.grid.search_hi_ns *= 2.0;
+    assert_ne!(a.fingerprint(), d.fingerprint());
+}
+
+#[test]
+fn second_run_is_all_cache_hits_and_byte_identical() {
+    let spec = spec();
+    let cache = ResultCache::new();
+    let (r1, s1) = run_campaign(&spec, &config(1), &cache);
+    assert_eq!(s1.jobs_unique, 8, "2 workloads x 2 topologies x 2 backends");
+    assert_eq!(s1.cache_hits, 0, "cold cache cannot hit");
+    assert!(s1.cache_misses > 0);
+    assert!(s1.provenance.iter().all(|p| *p == Provenance::Computed));
+
+    let (r2, s2) = run_campaign(&spec, &config(1), &cache);
+    assert_eq!(s2.cache_misses, 0, "warm cache must not recompute anything");
+    assert!(s2.hit_rate() >= 0.9, "hit rate {}", s2.hit_rate());
+    assert!(s2.provenance.iter().all(|p| *p == Provenance::FullCacheHit));
+    assert_eq!(r1.to_json(), r2.to_json(), "results must be byte-identical");
+}
+
+#[test]
+fn overlapping_grid_reuses_shared_points() {
+    let a = spec();
+    let cache = ResultCache::new();
+    run_campaign(&a, &config(1), &cache);
+    let misses_before = cache.stats().misses();
+
+    // Extend the grid by one new point: only the new point (plus nothing
+    // else) may miss per scenario.
+    let mut b = a.clone();
+    b.grid.deltas_ns.push(60_000.0);
+    b.canonicalize();
+    let (result, summary) = run_campaign(&b, &config(1), &cache);
+    assert!(result.scenarios.iter().all(|s| s.outcome.is_ok()));
+    let new_misses = cache.stats().misses() - misses_before;
+    assert_eq!(
+        new_misses, 8,
+        "exactly one new grid point per scenario should miss"
+    );
+    assert!(summary.hit_rate() > 0.7, "hit rate {}", summary.hit_rate());
+}
+
+#[test]
+fn cache_persistence_round_trips_through_disk() {
+    let spec = spec();
+    let cache = ResultCache::new();
+    let (r1, _) = run_campaign(&spec, &config(1), &cache);
+
+    let dir = std::env::temp_dir().join(format!("llamp-itest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cache.json");
+    cache.save(&path).unwrap();
+
+    let reloaded = ResultCache::load(&path).unwrap();
+    assert_eq!(reloaded.len(), cache.len());
+    let (r2, s2) = run_campaign(&spec, &config(1), &reloaded);
+    assert_eq!(s2.cache_misses, 0);
+    assert_eq!(r1.to_json(), r2.to_json());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let spec = spec();
+    // Fresh caches so both runs compute everything.
+    let (r1, s1) = run_campaign(&spec, &config(1), &ResultCache::new());
+    let (r2, s2) = run_campaign(&spec, &config(2), &ResultCache::new());
+    assert_eq!(s1.jobs_executed, s2.jobs_executed);
+    assert_eq!(
+        r1, r2,
+        "2-thread campaign must equal 1-thread campaign result-for-result"
+    );
+    assert_eq!(r1.to_json(), r2.to_json());
+}
+
+#[test]
+fn duplicate_scenarios_are_deduplicated() {
+    let mut dup = spec();
+    let w = dup.workloads[0].clone();
+    dup.workloads.push(w);
+    let (_, summary) = run_campaign(&dup, &config(1), &ResultCache::new());
+    assert_eq!(summary.jobs_requested, 12, "3 workload entries x 2 x 2");
+    assert_eq!(
+        summary.jobs_unique, 8,
+        "duplicate workload must not add jobs"
+    );
+}
+
+#[test]
+fn timed_out_jobs_leave_no_cache_entries() {
+    let spec = spec();
+    let cache = ResultCache::new();
+    let zero_budget = ExecutorConfig {
+        threads: 1,
+        job_timeout: Some(std::time::Duration::ZERO),
+    };
+    let (result, summary) = run_campaign(&spec, &zero_budget, &cache);
+    assert!(
+        summary
+            .provenance
+            .iter()
+            .all(|p| *p == Provenance::TimedOut),
+        "a zero budget must time every job out"
+    );
+    assert!(result.scenarios.iter().all(|s| s.outcome.is_err()));
+    // Timed-out work must not be published: a rerun must recompute, not
+    // silently flip to full-cache-hit success.
+    assert!(cache.is_empty(), "cache has {} leaked entries", cache.len());
+    let (r2, s2) = run_campaign(&spec, &config(1), &cache);
+    assert!(s2.provenance.iter().all(|p| *p == Provenance::Computed));
+    assert!(r2.scenarios.iter().all(|s| s.outcome.is_ok()));
+}

@@ -37,4 +37,4 @@ pub mod solution;
 
 pub use model::{ConId, LpModel, Objective, Relation, VarId};
 pub use piecewise::{Envelope, Line};
-pub use solution::{SolveStatus, Solution};
+pub use solution::{Solution, SolveStatus};

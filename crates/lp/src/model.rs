@@ -271,7 +271,12 @@ impl fmt::Display for LpModel {
         for (i, r) in self.rows.iter().enumerate() {
             write!(f, "  {}:", nm(&r.name, i))?;
             for &(v, coef) in &r.terms {
-                write!(f, " {:+} {}", coef, nm(&self.cols[v as usize].name, v as usize))?;
+                write!(
+                    f,
+                    " {:+} {}",
+                    coef,
+                    nm(&self.cols[v as usize].name, v as usize)
+                )?;
             }
             if r.lb == r.ub {
                 writeln!(f, " = {}", r.ub)?;

@@ -328,7 +328,7 @@ mod tests {
     fn dominated_lines_are_dropped() {
         let e = Envelope::from_lines(vec![
             Line::new(1.0, 0.0),
-            Line::new(1.0, -5.0), // same slope, lower: dropped
+            Line::new(1.0, -5.0),  // same slope, lower: dropped
             Line::new(0.5, -10.0), // below everywhere in relevant range
             Line::new(2.0, -100.0),
         ]);

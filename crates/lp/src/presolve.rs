@@ -256,7 +256,6 @@ pub fn presolve_and_solve(model: &LpModel) -> Result<(f64, Vec<f64>), SolveStatu
     presolve(model)?.solve()
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -646,9 +646,17 @@ impl Core {
 
             #[cfg(debug_assertions)]
             if std::env::var_os("LLAMP_LP_TRACE").is_some() {
-                eprintln!("iter={} phase1={} q={} status={:?} dir={} t_limit={} leaving={:?} x_q={}",
-                    self.iterations, phase1, q, self.status[q], dir, t_limit,
-                    leaving.map(|(r, up)| (r, self.basis[r], up)), self.x[q]);
+                eprintln!(
+                    "iter={} phase1={} q={} status={:?} dir={} t_limit={} leaving={:?} x_q={}",
+                    self.iterations,
+                    phase1,
+                    q,
+                    self.status[q],
+                    dir,
+                    t_limit,
+                    leaving.map(|(r, up)| (r, self.basis[r], up)),
+                    self.x[q]
+                );
             }
             // Apply the step.
             let step = dir * t_limit;
@@ -686,7 +694,11 @@ impl Core {
                     #[cfg(debug_assertions)]
                     if std::env::var_os("LLAMP_LP_CHECK").is_some() {
                         let res = self.binv_residual();
-                        assert!(res < 1e-6, "binv residual {res} after pivot (iter {})", self.iterations);
+                        assert!(
+                            res < 1e-6,
+                            "binv residual {res} after pivot (iter {})",
+                            self.iterations
+                        );
                         let incr: Vec<f64> = self.basis.iter().map(|&b| self.x[b]).collect();
                         self.recompute_basics();
                         for (i, &b) in self.basis.iter().enumerate() {

@@ -126,7 +126,8 @@ impl Solution {
     /// nonbasic variable at its upper bound the lower bound is equally
     /// slack and the range is `(-∞, ub]`.
     pub fn lb_range(&self, v: VarId) -> (f64, f64) {
-        self.ranging.lb_range(v.0 as usize, self.var_status[v.0 as usize])
+        self.ranging
+            .lb_range(v.0 as usize, self.var_status[v.0 as usize])
     }
 
     /// Equivalent of Gurobi's `SALBLow` attribute: the smallest lower-bound

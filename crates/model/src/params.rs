@@ -16,10 +16,8 @@
 //!   synchronise sender and receiver before transmission.
 //! * `P` — number of processes.
 
-use serde::{Deserialize, Serialize};
-
 /// Transmission protocol selected for a message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Protocol {
     /// Fire-and-forget: the message is buffered by the transport.
     Eager,
@@ -28,7 +26,7 @@ pub enum Protocol {
 }
 
 /// A LogGPS model configuration. All times in nanoseconds, sizes in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LogGPSParams {
     /// Network latency `L` (ns).
     pub l: f64,

@@ -195,54 +195,76 @@ pub fn build_graph(trace: &Trace, cfg: &GraphConfig) -> Result<ExecGraph, BuildE
                 CallKind::Init | CallKind::Finalize => {}
                 CallKind::Send { peer, bytes, tag } => {
                     let cont = builder.add_vertex(r, VertexKind::Calc, CostExpr::ZERO);
-                    send_q.entry((r, *peer, *tag)).or_default().push_back(PendingP2p {
-                        id: alloc_id(),
-                        pre: tail,
-                        cont: Some(cont),
-                        bytes: *bytes,
-                        blocking: true,
-                    });
+                    send_q
+                        .entry((r, *peer, *tag))
+                        .or_default()
+                        .push_back(PendingP2p {
+                            id: alloc_id(),
+                            pre: tail,
+                            cont: Some(cont),
+                            bytes: *bytes,
+                            blocking: true,
+                        });
                     tail = cont;
                 }
                 CallKind::Recv { peer, bytes, tag } => {
                     let cont = builder.add_vertex(r, VertexKind::Calc, CostExpr::ZERO);
-                    recv_q.entry((*peer, r, *tag)).or_default().push_back(PendingP2p {
-                        id: alloc_id(),
-                        pre: tail,
-                        cont: Some(cont),
-                        bytes: *bytes,
-                        blocking: true,
-                    });
+                    recv_q
+                        .entry((*peer, r, *tag))
+                        .or_default()
+                        .push_back(PendingP2p {
+                            id: alloc_id(),
+                            pre: tail,
+                            cont: Some(cont),
+                            bytes: *bytes,
+                            blocking: true,
+                        });
                     tail = cont;
                 }
-                CallKind::Isend { peer, bytes, tag, req } => {
+                CallKind::Isend {
+                    peer,
+                    bytes,
+                    tag,
+                    req,
+                } => {
                     let id = alloc_id();
                     if inflight.insert(*req, id).is_some() {
                         return Err(BuildError::DuplicateRequest { rank: r, req: *req });
                     }
                     let cont = builder.add_vertex(r, VertexKind::Calc, CostExpr::ZERO);
-                    send_q.entry((r, *peer, *tag)).or_default().push_back(PendingP2p {
-                        id,
-                        pre: tail,
-                        cont: Some(cont),
-                        bytes: *bytes,
-                        blocking: false,
-                    });
+                    send_q
+                        .entry((r, *peer, *tag))
+                        .or_default()
+                        .push_back(PendingP2p {
+                            id,
+                            pre: tail,
+                            cont: Some(cont),
+                            bytes: *bytes,
+                            blocking: false,
+                        });
                     tail = cont;
                 }
-                CallKind::Irecv { peer, bytes, tag, req } => {
+                CallKind::Irecv {
+                    peer,
+                    bytes,
+                    tag,
+                    req,
+                } => {
                     let id = alloc_id();
                     if inflight.insert(*req, id).is_some() {
                         return Err(BuildError::DuplicateRequest { rank: r, req: *req });
                     }
                     let cont = builder.add_vertex(r, VertexKind::Calc, CostExpr::ZERO);
-                    recv_q.entry((*peer, r, *tag)).or_default().push_back(PendingP2p {
-                        id,
-                        pre: tail,
-                        cont: Some(cont),
-                        bytes: *bytes,
-                        blocking: false,
-                    });
+                    recv_q
+                        .entry((*peer, r, *tag))
+                        .or_default()
+                        .push_back(PendingP2p {
+                            id,
+                            pre: tail,
+                            cont: Some(cont),
+                            bytes: *bytes,
+                            blocking: false,
+                        });
                     tail = cont;
                 }
                 CallKind::Wait { req } => {
@@ -358,11 +380,13 @@ pub fn build_graph(trace: &Trace, cfg: &GraphConfig) -> Result<ExecGraph, BuildE
                 completions[rv.id] = m.recv_done;
                 if let Some(cont) = s.cont {
                     let from = if s.blocking { m.send_done } else { m.issue };
-                    low.builder.add_edge(from, cont, EdgeKind::Local, CostExpr::ZERO);
+                    low.builder
+                        .add_edge(from, cont, EdgeKind::Local, CostExpr::ZERO);
                 }
                 if let Some(cont) = rv.cont {
                     let from = if rv.blocking { m.recv_done } else { m.post };
-                    low.builder.add_edge(from, cont, EdgeKind::Local, CostExpr::ZERO);
+                    low.builder
+                        .add_edge(from, cont, EdgeKind::Local, CostExpr::ZERO);
                 }
             }
         }
@@ -480,10 +504,7 @@ mod tests {
         let rv = (0..g.num_vertices() as u32)
             .find(|&v| g.vertex(v).kind.is_recv())
             .unwrap();
-        assert!(g
-            .succs(rv)
-            .iter()
-            .any(|e| g.preds(e.other).len() >= 2));
+        assert!(g.succs(rv).iter().any(|e| g.preds(e.other).len() >= 2));
     }
 
     #[test]
@@ -508,7 +529,9 @@ mod tests {
             }
         }));
         match build_graph(&tr, &GraphConfig::eager()) {
-            Err(BuildError::UnmatchedMessages { excess_sends: 1, .. }) => {}
+            Err(BuildError::UnmatchedMessages {
+                excess_sends: 1, ..
+            }) => {}
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -521,7 +544,9 @@ mod tests {
             }
         }));
         match build_graph(&tr, &GraphConfig::eager()) {
-            Err(BuildError::UnmatchedMessages { excess_sends: -1, .. }) => {}
+            Err(BuildError::UnmatchedMessages {
+                excess_sends: -1, ..
+            }) => {}
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -147,13 +147,14 @@ impl<'a, 'b> Expansion<'a, 'b> {
                 0 => {}
                 1 => self.tails[r] = list[0],
                 _ => {
-                    let j = self.low.builder.add_vertex(
-                        r as u32,
-                        VertexKind::Calc,
-                        CostExpr::ZERO,
-                    );
+                    let j = self
+                        .low
+                        .builder
+                        .add_vertex(r as u32, VertexKind::Calc, CostExpr::ZERO);
                     for &v in list {
-                        self.low.builder.add_edge(v, j, EdgeKind::Local, CostExpr::ZERO);
+                        self.low
+                            .builder
+                            .add_edge(v, j, EdgeKind::Local, CostExpr::ZERO);
                     }
                     self.tails[r] = j;
                 }

@@ -97,7 +97,11 @@ pub struct GoalParseError {
 
 impl std::fmt::Display for GoalParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "GOAL parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "GOAL parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

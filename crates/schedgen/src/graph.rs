@@ -358,10 +358,9 @@ impl GraphBuilder {
         debug_assert!((from as usize) < self.verts.len());
         debug_assert!((to as usize) < self.verts.len());
         debug_assert_ne!(from, to, "self edge");
-        if kind == EdgeKind::Local && cost.is_zero()
-            && self.seen.insert((from, to), ()).is_some() {
-                return;
-            }
+        if kind == EdgeKind::Local && cost.is_zero() && self.seen.insert((from, to), ()).is_some() {
+            return;
+        }
         self.edges.push((from, to, kind, cost));
     }
 
@@ -414,9 +413,7 @@ impl GraphBuilder {
         }
 
         // Kahn's algorithm for the topological order.
-        let mut indeg: Vec<u32> = (0..n)
-            .map(|v| pred_start[v + 1] - pred_start[v])
-            .collect();
+        let mut indeg: Vec<u32> = (0..n).map(|v| pred_start[v + 1] - pred_start[v]).collect();
         let mut queue: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
         let mut topo = Vec::with_capacity(n);
         let mut head = 0;

@@ -1,0 +1,267 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro and builder surface the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`],
+//! `criterion_group!` / `criterion_main!` — with real wall-clock
+//! measurement: a warm-up phase sizes the per-sample iteration count, then
+//! `sample_size` samples are timed and min / mean / max per-iteration times
+//! are reported. No statistical regression analysis or HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Elements- or bytes-per-iteration annotation for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical items processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("stage", param)`.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// `BenchmarkId::from_parameter(param)`.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    /// Iterations per sample (sized during warm-up).
+    iters_per_sample: u64,
+    /// Collected per-sample durations.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time the closure. Runs `iters_per_sample` calls and records one
+    /// sample; the driver calls this repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Top-level benchmark driver and configuration.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up duration before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self, name, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput
+/// annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &name, self.throughput, f);
+        self
+    }
+
+    /// Run a benchmark parameterised by an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &name, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (report separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &Criterion, name: &str, tp: Option<Throughput>, mut f: F) {
+    // Warm-up: run single-iteration samples until the warm-up budget is
+    // spent, deriving the per-sample iteration count for measurement.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut probe = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+    };
+    while warm_start.elapsed() < c.warm_up_time {
+        f(&mut probe);
+        warm_iters += 1;
+        if probe.samples.is_empty() {
+            // The closure never called `iter`; nothing to measure.
+            println!("{name:<50} (no timing loop)");
+            return;
+        }
+    }
+    let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+    let budget = c.measurement_time.as_nanos() as f64 / c.sample_size as f64;
+    let iters = ((budget / per_iter.max(1.0)).round() as u64).clamp(1, 1 << 24);
+
+    let mut b = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::with_capacity(c.sample_size),
+    };
+    for _ in 0..c.sample_size {
+        f(&mut b);
+    }
+    let per: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / iters as f64)
+        .collect();
+    let mean = per.iter().sum::<f64>() / per.len() as f64;
+    let min = per.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let tp_str = match tp {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 * 1e9 / mean)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.0} B/s", n as f64 * 1e9 / mean)
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<50} time: [{} {} {}]{tp_str}",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Define a benchmark group function, optionally with a custom
+/// configuration (`name = ...; config = ...; targets = ...`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` running the given groups. Ignores harness CLI arguments
+/// (`--bench`, filters) that Cargo passes through.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

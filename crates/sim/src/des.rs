@@ -160,14 +160,13 @@ impl<'g> Simulator<'g> {
             let mut cost = vert.cost.eval(p.o, p.l, p.big_g);
             if vert.kind == VertexKind::Calc && vert.cost.const_ns > 0.0 {
                 if let Some(ns) = noise.as_mut() {
-                    cost = vert.cost.const_ns * ns.comp_factor()
-                        + (cost - vert.cost.const_ns);
+                    cost = vert.cost.const_ns * ns.comp_factor() + (cost - vert.cost.const_ns);
                 }
             }
             // Design B: eager sends busy-wait the injected delay before the
             // message leaves (Underwood et al., Fig. 8B).
-            let is_eager_send = vert.kind.is_send()
-                && g.succs(v).iter().any(|e| e.kind == EdgeKind::Comm);
+            let is_eager_send =
+                vert.kind.is_send() && g.succs(v).iter().any(|e| e.kind == EdgeKind::Comm);
             if design == InjectorDesign::SenderDelay && is_eager_send {
                 cost += delta;
             }
@@ -293,7 +292,11 @@ mod tests {
         let g = running_example();
         let params = didactic_params().with_l(us(3.0));
         let r = Simulator::new(&g, SimConfig::ideal(params)).run();
-        assert!((r.makespan - (us(3.0) + 2_015.0)).abs() < 1e-6, "{}", r.makespan);
+        assert!(
+            (r.makespan - (us(3.0) + 2_015.0)).abs() < 1e-6,
+            "{}",
+            r.makespan
+        );
     }
 
     #[test]
@@ -407,7 +410,7 @@ mod tests {
     }
 
     #[test]
-    fn collective_runtime_scales_with_log_p(){
+    fn collective_runtime_scales_with_log_p() {
         // Recursive-doubling allreduce over pure latency: T ~ lg(P)·(L+2o).
         let params = LogGPSParams {
             l: us(1.0),

@@ -50,7 +50,9 @@ impl Network for SimNetwork {
         });
         let g = build_graph(&set.trace(&TracerConfig::default()), &GraphConfig::eager())
             .expect("prtt program builds");
-        Simulator::new(&g, SimConfig::ideal(self.params)).run().makespan
+        Simulator::new(&g, SimConfig::ideal(self.params))
+            .run()
+            .makespan
     }
 }
 

@@ -24,7 +24,10 @@ pub struct FatTree {
 impl FatTree {
     /// Build a fat tree with switch radix `k` (must be even and ≥ 2).
     pub fn new(k: u32) -> Self {
-        assert!(k >= 2 && k.is_multiple_of(2), "fat tree radix must be even, got {k}");
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat tree radix must be even, got {k}"
+        );
         Self { k }
     }
 

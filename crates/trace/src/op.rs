@@ -19,9 +19,19 @@ pub enum CallKind {
     /// Blocking receive.
     Recv { peer: u32, bytes: u64, tag: u32 },
     /// Nonblocking send; completion observed by `Wait`/`Waitall` on `req`.
-    Isend { peer: u32, bytes: u64, tag: u32, req: u32 },
+    Isend {
+        peer: u32,
+        bytes: u64,
+        tag: u32,
+        req: u32,
+    },
     /// Nonblocking receive.
-    Irecv { peer: u32, bytes: u64, tag: u32, req: u32 },
+    Irecv {
+        peer: u32,
+        bytes: u64,
+        tag: u32,
+        req: u32,
+    },
     /// Wait for a single request.
     Wait { req: u32 },
     /// Wait for a set of requests.

@@ -72,8 +72,12 @@ impl ProgramBuilder {
     pub fn isend(&mut self, peer: u32, bytes: u64, tag: u32) -> u32 {
         let req = self.next_req;
         self.next_req += 1;
-        self.ops
-            .push(Op::Call(CallKind::Isend { peer, bytes, tag, req }));
+        self.ops.push(Op::Call(CallKind::Isend {
+            peer,
+            bytes,
+            tag,
+            req,
+        }));
         req
     }
 
@@ -81,8 +85,12 @@ impl ProgramBuilder {
     pub fn irecv(&mut self, peer: u32, bytes: u64, tag: u32) -> u32 {
         let req = self.next_req;
         self.next_req += 1;
-        self.ops
-            .push(Op::Call(CallKind::Irecv { peer, bytes, tag, req }));
+        self.ops.push(Op::Call(CallKind::Irecv {
+            peer,
+            bytes,
+            tag,
+            req,
+        }));
         req
     }
 
@@ -201,12 +209,7 @@ impl ProgramSet {
     pub fn num_calls(&self) -> usize {
         self.programs
             .iter()
-            .map(|p| {
-                p.ops
-                    .iter()
-                    .filter(|o| matches!(o, Op::Call(_)))
-                    .count()
-            })
+            .map(|p| p.ops.iter().filter(|o| matches!(o, Op::Call(_))).count())
             .sum()
     }
 

@@ -35,8 +35,18 @@ fn write_record(out: &mut String, rec: &TraceRecord) {
         CallKind::Send { peer, bytes, tag } | CallKind::Recv { peer, bytes, tag } => {
             writeln!(out, "{name}:{s}:{peer}:{bytes}:{tag}:{e}")
         }
-        CallKind::Isend { peer, bytes, tag, req }
-        | CallKind::Irecv { peer, bytes, tag, req } => {
+        CallKind::Isend {
+            peer,
+            bytes,
+            tag,
+            req,
+        }
+        | CallKind::Irecv {
+            peer,
+            bytes,
+            tag,
+            req,
+        } => {
             writeln!(out, "{name}:{s}:{peer}:{bytes}:{tag}:{req}:{e}")
         }
         CallKind::Wait { req } => writeln!(out, "{name}:{s}:{req}:{e}"),
@@ -79,7 +89,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -103,10 +117,7 @@ pub fn parse_trace(input: &str) -> Result<Trace, ParseError> {
         };
         if let Some(rest) = line.strip_prefix('#') {
             if let Some(n) = rest.trim().strip_prefix("llamp-trace nranks=") {
-                nranks = Some(
-                    n.parse()
-                        .map_err(|e| err(format!("bad nranks: {e}")))?,
-                );
+                nranks = Some(n.parse().map_err(|e| err(format!("bad nranks: {e}")))?);
             }
             continue;
         }
@@ -203,9 +214,19 @@ fn parse_record(line: &str, lineno: usize) -> Result<TraceRecord, ParseError> {
             need(7)?;
             let (peer, bytes, tag, req) = (u32f(2)?, u(3)?, u32f(4)?, u32f(5)?);
             let k = if name == "MPI_Isend" {
-                CallKind::Isend { peer, bytes, tag, req }
+                CallKind::Isend {
+                    peer,
+                    bytes,
+                    tag,
+                    req,
+                }
             } else {
-                CallKind::Irecv { peer, bytes, tag, req }
+                CallKind::Irecv {
+                    peer,
+                    bytes,
+                    tag,
+                    req,
+                }
             };
             (k, f(1)?, f(6)?)
         }
@@ -365,7 +386,12 @@ mod proptests {
                 tag
             }),
             (0u32..8, 0u64..10_000, 0u32..100, 0u32..32).prop_map(|(peer, bytes, tag, req)| {
-                CallKind::Isend { peer, bytes, tag, req }
+                CallKind::Isend {
+                    peer,
+                    bytes,
+                    tag,
+                    req,
+                }
             }),
             (0u64..10_000).prop_map(|bytes| CallKind::Allreduce { bytes }),
             (0u64..10_000, 0u32..8).prop_map(|(bytes, root)| CallKind::Bcast { bytes, root }),

@@ -85,11 +85,7 @@ impl Grid3 {
     /// Neighbour rank offset by `(dx, dy, dz)` with periodic wrap.
     pub fn neighbor(&self, rank: u32, d: [i64; 3]) -> u32 {
         let c = self.coords(rank);
-        self.rank_at([
-            c[0] as i64 + d[0],
-            c[1] as i64 + d[1],
-            c[2] as i64 + d[2],
-        ])
+        self.rank_at([c[0] as i64 + d[0], c[1] as i64 + d[1], c[2] as i64 + d[2]])
     }
 
     /// The 6 face, 12 edge and 8 corner neighbour offsets of a 3D stencil,

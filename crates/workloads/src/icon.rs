@@ -111,10 +111,7 @@ mod tests {
             let ns = neighbors(r, p);
             assert!(ns.len() >= 2 && ns.len() <= 6, "rank {r}: {ns:?}");
             for &n in &ns {
-                assert!(
-                    neighbors(n, p).contains(&r),
-                    "asymmetric: {r} -> {n}"
-                );
+                assert!(neighbors(n, p).contains(&r), "asymmetric: {r} -> {n}");
             }
         }
     }

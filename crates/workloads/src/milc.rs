@@ -86,9 +86,7 @@ impl Grid4 {
 /// Spinor surface bytes along one direction: a 3D boundary of the local 4D
 /// block, 24 reals (3×4 complex) per site at 4 bytes (single precision).
 fn surface_bytes(cfg: &Config) -> u64 {
-    let local_side = (cfg.lattice as f64
-        / (cfg.ranks as f64).powf(0.25))
-    .max(2.0) as u64;
+    let local_side = (cfg.lattice as f64 / (cfg.ranks as f64).powf(0.25)).max(2.0) as u64;
     (local_side.pow(3) * 24 * 4).max(64)
 }
 

@@ -79,7 +79,11 @@ pub fn programs(cfg: &Config) -> ProgramSet {
             // up front (message-driven execution).
             let mut pending = Vec::new();
             for c in 0..pipelined {
-                let dir = if (c + rank) % 2 == 0 { 1 } else { cfg.ranks - 1 };
+                let dir = if (c + rank) % 2 == 0 {
+                    1
+                } else {
+                    cfg.ranks - 1
+                };
                 let peer = (rank + dir) % cfg.ranks;
                 let tag = c;
                 pending.push(b.irecv(peer, cfg.bytes, tag));
@@ -93,7 +97,11 @@ pub fn programs(cfg: &Config) -> ProgramSet {
             // Phase 2: the rest run serially (send, wait, compute) — the
             // un-adapted remainder.
             for c in pipelined..cfg.chares {
-                let dir = if (c + rank) % 2 == 0 { 1 } else { cfg.ranks - 1 };
+                let dir = if (c + rank) % 2 == 0 {
+                    1
+                } else {
+                    cfg.ranks - 1
+                };
                 let peer = (rank + dir) % cfg.ranks;
                 let tag = c;
                 let rq_r = b.irecv(peer, cfg.bytes, tag);

@@ -127,9 +127,7 @@ fn adi_sweeps(cfg: &Config) -> ProgramSet {
         for iter in 0..cfg.iters {
             // Phase along x, then y, then "z" (modelled as a second x
             // sweep in reverse).
-            for (phase, (coord, n)) in [(x, nx), (y, ny), (nx - 1 - x, nx)]
-                .into_iter()
-                .enumerate()
+            for (phase, (coord, n)) in [(x, nx), (y, ny), (nx - 1 - x, nx)].into_iter().enumerate()
             {
                 let tag = (iter * 3 + phase) as u32;
                 let (prev, next): (Option<u32>, Option<u32>) = match phase {
@@ -173,7 +171,14 @@ fn cg(cfg: &Config) -> ProgramSet {
         for iter in 0..cfg.iters {
             b.comp(cfg.comp_ns * imbalance(rank, iter, 0.03));
             if partner != rank && partner < cfg.ranks {
-                b.sendrecv(partner, cfg.bytes, iter as u32, partner, cfg.bytes, iter as u32);
+                b.sendrecv(
+                    partner,
+                    cfg.bytes,
+                    iter as u32,
+                    partner,
+                    cfg.bytes,
+                    iter as u32,
+                );
             }
             b.allreduce(8);
             b.comp(0.2 * cfg.comp_ns);
@@ -294,11 +299,7 @@ mod tests {
             let g = graph_of_programs(&programs(&cfg), &GraphConfig::eager()).unwrap();
             sizes.push((k, g.num_vertices()));
         }
-        let ep = sizes
-            .iter()
-            .find(|(k, _)| *k == Kernel::Ep)
-            .unwrap()
-            .1;
+        let ep = sizes.iter().find(|(k, _)| *k == Kernel::Ep).unwrap().1;
         for (k, s) in &sizes {
             if *k != Kernel::Ep {
                 assert!(ep < *s, "{}: EP {} vs {}", k.name(), ep, s);
@@ -322,7 +323,7 @@ mod tests {
     #[test]
     fn wavefront_is_latency_sensitive() {
         // LU's dependent chains make λ_L grow with the grid diagonal.
-        use llamp_core::{Analyzer};
+        use llamp_core::Analyzer;
         use llamp_model::LogGPSParams;
         let cfg = Config::class_c(Kernel::Lu, 16, 2);
         let g = graph_of_programs(&programs(&cfg), &GraphConfig::eager()).unwrap();

@@ -26,9 +26,18 @@ fn main() {
     println!("{:<38}{:>10}{:>10}", "injector design", "t_R0", "t_R1");
     for (name, d) in [
         ("none (baseline)", InjectorDesign::None),
-        ("B: delay inside send (Underwood)", InjectorDesign::SenderDelay),
-        ("C: receiver progress thread", InjectorDesign::ProgressThread),
-        ("D: delay thread (paper's design)", InjectorDesign::DelayThread),
+        (
+            "B: delay inside send (Underwood)",
+            InjectorDesign::SenderDelay,
+        ),
+        (
+            "C: receiver progress thread",
+            InjectorDesign::ProgressThread,
+        ),
+        (
+            "D: delay thread (paper's design)",
+            InjectorDesign::DelayThread,
+        ),
     ] {
         let out = fig8_scenario(params, bytes, delta, d);
         println!("{name:<38}{:>10.0}{:>10.0}", out.t_r0, out.t_r1);

@@ -58,7 +58,10 @@ fn main() {
 
     // 5. Fig. 5: predict at L = 0.5 µs.
     let p = lp.predict(us(0.5)).unwrap();
-    println!("T(L = 0.5 µs)      = {:.3} µs  (paper: 1.615)", p.runtime / 1000.0);
+    println!(
+        "T(L = 0.5 µs)      = {:.3} µs  (paper: 1.615)",
+        p.runtime / 1000.0
+    );
     println!("λ_L                = {:.0}        (paper: 1)", p.lambda);
     println!(
         "basis stable down to L = {:.3} µs (the critical latency; paper: 0.385)",
@@ -67,7 +70,10 @@ fn main() {
 
     // 6. Fig. 6: tolerance — max L keeping T ≤ 2 µs.
     let tol = lp.tolerance(0.0, us(2.0)).unwrap();
-    println!("max L with T ≤ 2µs = {:.3} µs  (paper: 0.885)", tol / 1000.0);
+    println!(
+        "max L with T ≤ 2µs = {:.3} µs  (paper: 0.885)",
+        tol / 1000.0
+    );
 
     // 7. The exact T(L) curve from the parametric backend.
     let prof = ParametricProfile::compute(&contracted, &binding, (0.0, us(2.0)));

@@ -50,7 +50,10 @@ fn main() {
         ("block (MPI default)", block.clone()),
         ("round-robin", round_robin_mapping(ranks, &machine)),
         ("random (seed 42)", random_mapping(ranks, &machine, 42)),
-        ("volume-greedy (Scotch-like)", volume_greedy_mapping(&graph, &machine)),
+        (
+            "volume-greedy (Scotch-like)",
+            volume_greedy_mapping(&graph, &machine),
+        ),
     ] {
         let t = evaluate_mapping(&graph, &machine, &params, &mapping);
         println!("  {name:<28} {}", format_ns(t));

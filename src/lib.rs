@@ -15,11 +15,14 @@
 //! | [`topo`] | Fat Tree / Dragonfly topologies and wire-latency decomposition |
 //! | [`core`] | the paper's contribution: graph→LP, λ_L, ρ_L, critical latencies, tolerance, placement |
 //! | [`workloads`] | communication-skeleton proxies of the paper's applications |
+//! | [`engine`] | scenario campaigns: declarative specs, work-stealing executor, result cache, the `llamp` CLI |
 //!
 //! See the `examples/` directory for end-to-end walkthroughs, starting with
-//! `quickstart.rs`.
+//! `quickstart.rs`, and `examples/campaign.toml` for the campaign front
+//! door (`llamp run examples/campaign.toml`).
 
 pub use llamp_core as core;
+pub use llamp_engine as engine;
 pub use llamp_lp as lp;
 pub use llamp_model as model;
 pub use llamp_schedgen as schedgen;

@@ -3,9 +3,7 @@
 
 use llamp::core::Analyzer;
 use llamp::model::LogGPSParams;
-use llamp::schedgen::{
-    build_graph, AllreduceAlgo, BcastAlgo, CollectiveConfig, GraphConfig,
-};
+use llamp::schedgen::{build_graph, AllreduceAlgo, BcastAlgo, CollectiveConfig, GraphConfig};
 use llamp::trace::{ProgramSet, TracerConfig};
 use llamp::util::time::us;
 
@@ -115,7 +113,10 @@ fn bcast_algorithm_tradeoff() {
     // Overhead-dominated regime (L ≈ 0): binomial wins.
     let (t_bin, lam_bin) = mk(BcastAlgo::BinomialTree, 0.0);
     let (t_lin, lam_lin) = mk(BcastAlgo::Linear, 0.0);
-    assert!(t_bin < t_lin, "o-regime: binomial {t_bin} vs linear {t_lin}");
+    assert!(
+        t_bin < t_lin,
+        "o-regime: binomial {t_bin} vs linear {t_lin}"
+    );
     // Latency sensitivities: lg P for the tree, 1 for the pipelined chain.
     assert_eq!(lam_bin, 4.0);
     assert_eq!(lam_lin, 1.0);

@@ -39,10 +39,10 @@ struct Pattern {
 
 fn pattern_strategy() -> impl Strategy<Value = Pattern> {
     (2u32..7).prop_flat_map(|ranks| {
-        let msg = (0..ranks, 0..ranks, 1u64..300_000).prop_filter_map(
-            "no self messages",
-            move |(a, b, bytes)| (a != b).then_some((a, b, bytes)),
-        );
+        let msg = (0..ranks, 0..ranks, 1u64..300_000)
+            .prop_filter_map("no self messages", move |(a, b, bytes)| {
+                (a != b).then_some((a, b, bytes))
+            });
         let coll = prop_oneof![
             3 => Just(PhaseColl::None),
             1 => Just(PhaseColl::Barrier),
@@ -59,8 +59,7 @@ fn pattern_strategy() -> impl Strategy<Value = Pattern> {
                 comp_ns,
                 coll,
             });
-        prop::collection::vec(phase, 1..5)
-            .prop_map(move |phases| Pattern { ranks, phases })
+        prop::collection::vec(phase, 1..5).prop_map(move |phases| Pattern { ranks, phases })
     })
 }
 

@@ -64,9 +64,18 @@ fn dragonfly_at_least_matches_fat_tree() {
     let params = LogGPSParams::cscs_testbed(ranks).with_o(us(1.0));
     let placement: Vec<u32> = (0..ranks).collect();
     let l_wire = 274.0;
-    let t = |b: Binding| Analyzer::with_binding(&graph, b, l_wire).evaluate(l_wire).runtime;
+    let t = |b: Binding| {
+        Analyzer::with_binding(&graph, b, l_wire)
+            .evaluate(l_wire)
+            .runtime
+    };
     let t_ft = t(Binding::wire(&params, &FatTree::new(16), &placement, 108.0));
-    let t_df = t(Binding::wire(&params, &Dragonfly::paper(), &placement, 108.0));
+    let t_df = t(Binding::wire(
+        &params,
+        &Dragonfly::paper(),
+        &placement,
+        108.0,
+    ));
     assert!(
         t_df <= t_ft * 1.001,
         "dragonfly {t_df} should not lose to fat tree {t_ft}"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_backends-6b4e51e6ccda9806.d: crates/bench/src/bin/abl_backends.rs
+
+/root/repo/target/debug/deps/libabl_backends-6b4e51e6ccda9806.rmeta: crates/bench/src/bin/abl_backends.rs
+
+crates/bench/src/bin/abl_backends.rs:

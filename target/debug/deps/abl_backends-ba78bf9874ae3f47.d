@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_backends-ba78bf9874ae3f47.d: crates/bench/src/bin/abl_backends.rs
+
+/root/repo/target/debug/deps/abl_backends-ba78bf9874ae3f47: crates/bench/src/bin/abl_backends.rs
+
+crates/bench/src/bin/abl_backends.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_backends-ec5e22f9136a8193.d: crates/bench/src/bin/abl_backends.rs
+
+/root/repo/target/debug/deps/abl_backends-ec5e22f9136a8193: crates/bench/src/bin/abl_backends.rs
+
+crates/bench/src/bin/abl_backends.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_backends-f3e53f0b571115de.d: crates/bench/src/bin/abl_backends.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_backends-f3e53f0b571115de.rmeta: crates/bench/src/bin/abl_backends.rs Cargo.toml
+
+crates/bench/src/bin/abl_backends.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_presolve-634916726e35f102.d: crates/bench/src/bin/abl_presolve.rs
+
+/root/repo/target/debug/deps/abl_presolve-634916726e35f102: crates/bench/src/bin/abl_presolve.rs
+
+crates/bench/src/bin/abl_presolve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_presolve-8b0c1cc925997b60.d: crates/bench/src/bin/abl_presolve.rs
+
+/root/repo/target/debug/deps/libabl_presolve-8b0c1cc925997b60.rmeta: crates/bench/src/bin/abl_presolve.rs
+
+crates/bench/src/bin/abl_presolve.rs:

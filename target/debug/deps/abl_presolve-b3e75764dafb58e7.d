@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_presolve-b3e75764dafb58e7.d: crates/bench/src/bin/abl_presolve.rs
+
+/root/repo/target/debug/deps/abl_presolve-b3e75764dafb58e7: crates/bench/src/bin/abl_presolve.rs
+
+crates/bench/src/bin/abl_presolve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_presolve-f3d862135520a997.d: crates/bench/src/bin/abl_presolve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_presolve-f3d862135520a997.rmeta: crates/bench/src/bin/abl_presolve.rs Cargo.toml
+
+crates/bench/src/bin/abl_presolve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

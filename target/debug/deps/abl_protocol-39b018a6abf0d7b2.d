@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_protocol-39b018a6abf0d7b2.d: crates/bench/src/bin/abl_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_protocol-39b018a6abf0d7b2.rmeta: crates/bench/src/bin/abl_protocol.rs Cargo.toml
+
+crates/bench/src/bin/abl_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

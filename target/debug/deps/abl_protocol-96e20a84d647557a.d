@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_protocol-96e20a84d647557a.d: crates/bench/src/bin/abl_protocol.rs
+
+/root/repo/target/debug/deps/libabl_protocol-96e20a84d647557a.rmeta: crates/bench/src/bin/abl_protocol.rs
+
+crates/bench/src/bin/abl_protocol.rs:

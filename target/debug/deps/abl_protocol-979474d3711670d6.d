@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_protocol-979474d3711670d6.d: crates/bench/src/bin/abl_protocol.rs
+
+/root/repo/target/debug/deps/abl_protocol-979474d3711670d6: crates/bench/src/bin/abl_protocol.rs
+
+crates/bench/src/bin/abl_protocol.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_protocol-ad7de8a7ba018cfb.d: crates/bench/src/bin/abl_protocol.rs
+
+/root/repo/target/debug/deps/abl_protocol-ad7de8a7ba018cfb: crates/bench/src/bin/abl_protocol.rs
+
+crates/bench/src/bin/abl_protocol.rs:

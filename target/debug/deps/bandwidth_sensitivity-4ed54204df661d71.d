@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bandwidth_sensitivity-4ed54204df661d71.d: tests/bandwidth_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbandwidth_sensitivity-4ed54204df661d71.rmeta: tests/bandwidth_sensitivity.rs Cargo.toml
+
+tests/bandwidth_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

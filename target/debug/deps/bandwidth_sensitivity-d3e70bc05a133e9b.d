@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bandwidth_sensitivity-d3e70bc05a133e9b.d: tests/bandwidth_sensitivity.rs
+
+/root/repo/target/debug/deps/bandwidth_sensitivity-d3e70bc05a133e9b: tests/bandwidth_sensitivity.rs
+
+tests/bandwidth_sensitivity.rs:

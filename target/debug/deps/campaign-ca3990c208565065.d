@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign-ca3990c208565065.d: crates/engine/tests/campaign.rs
+
+/root/repo/target/debug/deps/campaign-ca3990c208565065: crates/engine/tests/campaign.rs
+
+crates/engine/tests/campaign.rs:

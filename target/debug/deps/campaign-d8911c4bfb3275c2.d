@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campaign-d8911c4bfb3275c2.d: crates/engine/tests/campaign.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampaign-d8911c4bfb3275c2.rmeta: crates/engine/tests/campaign.rs Cargo.toml
+
+crates/engine/tests/campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

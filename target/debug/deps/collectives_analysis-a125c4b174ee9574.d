@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collectives_analysis-a125c4b174ee9574.d: tests/collectives_analysis.rs
+
+/root/repo/target/debug/deps/collectives_analysis-a125c4b174ee9574: tests/collectives_analysis.rs
+
+tests/collectives_analysis.rs:

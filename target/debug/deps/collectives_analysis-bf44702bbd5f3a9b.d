@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/collectives_analysis-bf44702bbd5f3a9b.d: tests/collectives_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollectives_analysis-bf44702bbd5f3a9b.rmeta: tests/collectives_analysis.rs Cargo.toml
+
+tests/collectives_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-8d0952ecc23bb25b.d: crates/bench/benches/engine.rs
+
+/root/repo/target/debug/deps/libengine-8d0952ecc23bb25b.rmeta: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_tolerance_zones-0c61aaff1c8b0f62.d: crates/bench/src/bin/fig01_tolerance_zones.rs
+
+/root/repo/target/debug/deps/fig01_tolerance_zones-0c61aaff1c8b0f62: crates/bench/src/bin/fig01_tolerance_zones.rs
+
+crates/bench/src/bin/fig01_tolerance_zones.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_tolerance_zones-15c54acb7b55a33d.d: crates/bench/src/bin/fig01_tolerance_zones.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_tolerance_zones-15c54acb7b55a33d.rmeta: crates/bench/src/bin/fig01_tolerance_zones.rs Cargo.toml
+
+crates/bench/src/bin/fig01_tolerance_zones.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_tolerance_zones-dc39282799df92d9.d: crates/bench/src/bin/fig01_tolerance_zones.rs
+
+/root/repo/target/debug/deps/fig01_tolerance_zones-dc39282799df92d9: crates/bench/src/bin/fig01_tolerance_zones.rs
+
+crates/bench/src/bin/fig01_tolerance_zones.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_tolerance_zones-e58d497e919f17ab.d: crates/bench/src/bin/fig01_tolerance_zones.rs
+
+/root/repo/target/debug/deps/libfig01_tolerance_zones-e58d497e919f17ab.rmeta: crates/bench/src/bin/fig01_tolerance_zones.rs
+
+crates/bench/src/bin/fig01_tolerance_zones.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_injector-49f88f692accedce.d: crates/bench/src/bin/fig08_injector.rs
+
+/root/repo/target/debug/deps/libfig08_injector-49f88f692accedce.rmeta: crates/bench/src/bin/fig08_injector.rs
+
+crates/bench/src/bin/fig08_injector.rs:

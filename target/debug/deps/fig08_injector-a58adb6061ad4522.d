@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_injector-a58adb6061ad4522.d: crates/bench/src/bin/fig08_injector.rs
+
+/root/repo/target/debug/deps/fig08_injector-a58adb6061ad4522: crates/bench/src/bin/fig08_injector.rs
+
+crates/bench/src/bin/fig08_injector.rs:

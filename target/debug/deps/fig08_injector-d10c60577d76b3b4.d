@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_injector-d10c60577d76b3b4.d: crates/bench/src/bin/fig08_injector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_injector-d10c60577d76b3b4.rmeta: crates/bench/src/bin/fig08_injector.rs Cargo.toml
+
+crates/bench/src/bin/fig08_injector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

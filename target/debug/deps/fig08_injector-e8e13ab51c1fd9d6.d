@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_injector-e8e13ab51c1fd9d6.d: crates/bench/src/bin/fig08_injector.rs
+
+/root/repo/target/debug/deps/fig08_injector-e8e13ab51c1fd9d6: crates/bench/src/bin/fig08_injector.rs
+
+crates/bench/src/bin/fig08_injector.rs:

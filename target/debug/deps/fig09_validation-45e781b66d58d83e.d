@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_validation-45e781b66d58d83e.d: crates/bench/src/bin/fig09_validation.rs
+
+/root/repo/target/debug/deps/libfig09_validation-45e781b66d58d83e.rmeta: crates/bench/src/bin/fig09_validation.rs
+
+crates/bench/src/bin/fig09_validation.rs:

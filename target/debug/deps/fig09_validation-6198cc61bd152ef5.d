@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_validation-6198cc61bd152ef5.d: crates/bench/src/bin/fig09_validation.rs
+
+/root/repo/target/debug/deps/fig09_validation-6198cc61bd152ef5: crates/bench/src/bin/fig09_validation.rs
+
+crates/bench/src/bin/fig09_validation.rs:

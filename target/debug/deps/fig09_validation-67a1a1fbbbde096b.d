@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_validation-67a1a1fbbbde096b.d: crates/bench/src/bin/fig09_validation.rs
+
+/root/repo/target/debug/deps/fig09_validation-67a1a1fbbbde096b: crates/bench/src/bin/fig09_validation.rs
+
+crates/bench/src/bin/fig09_validation.rs:

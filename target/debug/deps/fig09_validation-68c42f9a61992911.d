@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_validation-68c42f9a61992911.d: crates/bench/src/bin/fig09_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_validation-68c42f9a61992911.rmeta: crates/bench/src/bin/fig09_validation.rs Cargo.toml
+
+crates/bench/src/bin/fig09_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

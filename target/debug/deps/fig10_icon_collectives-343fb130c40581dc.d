@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_icon_collectives-343fb130c40581dc.d: crates/bench/src/bin/fig10_icon_collectives.rs
+
+/root/repo/target/debug/deps/fig10_icon_collectives-343fb130c40581dc: crates/bench/src/bin/fig10_icon_collectives.rs
+
+crates/bench/src/bin/fig10_icon_collectives.rs:

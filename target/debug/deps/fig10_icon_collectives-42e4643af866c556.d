@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_icon_collectives-42e4643af866c556.d: crates/bench/src/bin/fig10_icon_collectives.rs
+
+/root/repo/target/debug/deps/libfig10_icon_collectives-42e4643af866c556.rmeta: crates/bench/src/bin/fig10_icon_collectives.rs
+
+crates/bench/src/bin/fig10_icon_collectives.rs:

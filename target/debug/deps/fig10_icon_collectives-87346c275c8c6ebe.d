@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_icon_collectives-87346c275c8c6ebe.d: crates/bench/src/bin/fig10_icon_collectives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_icon_collectives-87346c275c8c6ebe.rmeta: crates/bench/src/bin/fig10_icon_collectives.rs Cargo.toml
+
+crates/bench/src/bin/fig10_icon_collectives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

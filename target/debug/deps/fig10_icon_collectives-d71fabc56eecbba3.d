@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_icon_collectives-d71fabc56eecbba3.d: crates/bench/src/bin/fig10_icon_collectives.rs
+
+/root/repo/target/debug/deps/fig10_icon_collectives-d71fabc56eecbba3: crates/bench/src/bin/fig10_icon_collectives.rs
+
+crates/bench/src/bin/fig10_icon_collectives.rs:

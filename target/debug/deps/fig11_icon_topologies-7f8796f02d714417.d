@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_icon_topologies-7f8796f02d714417.d: crates/bench/src/bin/fig11_icon_topologies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_icon_topologies-7f8796f02d714417.rmeta: crates/bench/src/bin/fig11_icon_topologies.rs Cargo.toml
+
+crates/bench/src/bin/fig11_icon_topologies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

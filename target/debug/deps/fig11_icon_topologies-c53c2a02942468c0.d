@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_icon_topologies-c53c2a02942468c0.d: crates/bench/src/bin/fig11_icon_topologies.rs
+
+/root/repo/target/debug/deps/libfig11_icon_topologies-c53c2a02942468c0.rmeta: crates/bench/src/bin/fig11_icon_topologies.rs
+
+crates/bench/src/bin/fig11_icon_topologies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_icon_topologies-cd8742ea0a8f7aaa.d: crates/bench/src/bin/fig11_icon_topologies.rs
+
+/root/repo/target/debug/deps/fig11_icon_topologies-cd8742ea0a8f7aaa: crates/bench/src/bin/fig11_icon_topologies.rs
+
+crates/bench/src/bin/fig11_icon_topologies.rs:

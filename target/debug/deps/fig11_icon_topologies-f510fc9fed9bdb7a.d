@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_icon_topologies-f510fc9fed9bdb7a.d: crates/bench/src/bin/fig11_icon_topologies.rs
+
+/root/repo/target/debug/deps/fig11_icon_topologies-f510fc9fed9bdb7a: crates/bench/src/bin/fig11_icon_topologies.rs
+
+crates/bench/src/bin/fig11_icon_topologies.rs:

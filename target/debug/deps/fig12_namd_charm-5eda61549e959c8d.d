@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_namd_charm-5eda61549e959c8d.d: crates/bench/src/bin/fig12_namd_charm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_namd_charm-5eda61549e959c8d.rmeta: crates/bench/src/bin/fig12_namd_charm.rs Cargo.toml
+
+crates/bench/src/bin/fig12_namd_charm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_namd_charm-a9ff2fe8812a1202.d: crates/bench/src/bin/fig12_namd_charm.rs
+
+/root/repo/target/debug/deps/fig12_namd_charm-a9ff2fe8812a1202: crates/bench/src/bin/fig12_namd_charm.rs
+
+crates/bench/src/bin/fig12_namd_charm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_namd_charm-c713db67642bb7cb.d: crates/bench/src/bin/fig12_namd_charm.rs
+
+/root/repo/target/debug/deps/libfig12_namd_charm-c713db67642bb7cb.rmeta: crates/bench/src/bin/fig12_namd_charm.rs
+
+crates/bench/src/bin/fig12_namd_charm.rs:

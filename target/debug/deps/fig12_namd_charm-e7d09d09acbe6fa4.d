@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_namd_charm-e7d09d09acbe6fa4.d: crates/bench/src/bin/fig12_namd_charm.rs
+
+/root/repo/target/debug/deps/fig12_namd_charm-e7d09d09acbe6fa4: crates/bench/src/bin/fig12_namd_charm.rs
+
+crates/bench/src/bin/fig12_namd_charm.rs:

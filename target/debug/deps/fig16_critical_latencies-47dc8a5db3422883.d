@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_critical_latencies-47dc8a5db3422883.d: crates/bench/src/bin/fig16_critical_latencies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_critical_latencies-47dc8a5db3422883.rmeta: crates/bench/src/bin/fig16_critical_latencies.rs Cargo.toml
+
+crates/bench/src/bin/fig16_critical_latencies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

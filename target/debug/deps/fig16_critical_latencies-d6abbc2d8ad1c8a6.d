@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_critical_latencies-d6abbc2d8ad1c8a6.d: crates/bench/src/bin/fig16_critical_latencies.rs
+
+/root/repo/target/debug/deps/libfig16_critical_latencies-d6abbc2d8ad1c8a6.rmeta: crates/bench/src/bin/fig16_critical_latencies.rs
+
+crates/bench/src/bin/fig16_critical_latencies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_critical_latencies-dc4f17dbe7c9c999.d: crates/bench/src/bin/fig16_critical_latencies.rs
+
+/root/repo/target/debug/deps/fig16_critical_latencies-dc4f17dbe7c9c999: crates/bench/src/bin/fig16_critical_latencies.rs
+
+crates/bench/src/bin/fig16_critical_latencies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_critical_latencies-e503e2890b3bf39a.d: crates/bench/src/bin/fig16_critical_latencies.rs
+
+/root/repo/target/debug/deps/fig16_critical_latencies-e503e2890b3bf39a: crates/bench/src/bin/fig16_critical_latencies.rs
+
+crates/bench/src/bin/fig16_critical_latencies.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig20_rank_placement-19c5556d1b7a9d8b.d: crates/bench/src/bin/fig20_rank_placement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig20_rank_placement-19c5556d1b7a9d8b.rmeta: crates/bench/src/bin/fig20_rank_placement.rs Cargo.toml
+
+crates/bench/src/bin/fig20_rank_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20_rank_placement-b80d8e136c187c9e.d: crates/bench/src/bin/fig20_rank_placement.rs
+
+/root/repo/target/debug/deps/libfig20_rank_placement-b80d8e136c187c9e.rmeta: crates/bench/src/bin/fig20_rank_placement.rs
+
+crates/bench/src/bin/fig20_rank_placement.rs:

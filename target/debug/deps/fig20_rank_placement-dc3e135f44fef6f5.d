@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20_rank_placement-dc3e135f44fef6f5.d: crates/bench/src/bin/fig20_rank_placement.rs
+
+/root/repo/target/debug/deps/fig20_rank_placement-dc3e135f44fef6f5: crates/bench/src/bin/fig20_rank_placement.rs
+
+crates/bench/src/bin/fig20_rank_placement.rs:

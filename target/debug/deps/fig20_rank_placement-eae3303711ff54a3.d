@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20_rank_placement-eae3303711ff54a3.d: crates/bench/src/bin/fig20_rank_placement.rs
+
+/root/repo/target/debug/deps/fig20_rank_placement-eae3303711ff54a3: crates/bench/src/bin/fig20_rank_placement.rs
+
+crates/bench/src/bin/fig20_rank_placement.rs:

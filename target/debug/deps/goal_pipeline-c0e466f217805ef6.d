@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/goal_pipeline-c0e466f217805ef6.d: tests/goal_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgoal_pipeline-c0e466f217805ef6.rmeta: tests/goal_pipeline.rs Cargo.toml
+
+tests/goal_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/goal_pipeline-d6da4d633d971361.d: tests/goal_pipeline.rs
+
+/root/repo/target/debug/deps/goal_pipeline-d6da4d633d971361: tests/goal_pipeline.rs
+
+tests/goal_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/llamp-099a0fff777475b7.d: crates/engine/src/bin/llamp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllamp-099a0fff777475b7.rmeta: crates/engine/src/bin/llamp.rs Cargo.toml
+
+crates/engine/src/bin/llamp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

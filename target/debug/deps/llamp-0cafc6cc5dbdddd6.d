@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llamp-0cafc6cc5dbdddd6.d: crates/engine/src/bin/llamp.rs
+
+/root/repo/target/debug/deps/libllamp-0cafc6cc5dbdddd6.rmeta: crates/engine/src/bin/llamp.rs
+
+crates/engine/src/bin/llamp.rs:

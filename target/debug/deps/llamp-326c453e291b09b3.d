@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llamp-326c453e291b09b3.d: src/lib.rs
+
+/root/repo/target/debug/deps/llamp-326c453e291b09b3: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llamp-3394fd86cb48a83d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libllamp-3394fd86cb48a83d.rmeta: src/lib.rs
+
+src/lib.rs:

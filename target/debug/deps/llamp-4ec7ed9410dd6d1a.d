@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llamp-4ec7ed9410dd6d1a.d: crates/engine/src/bin/llamp.rs
+
+/root/repo/target/debug/deps/llamp-4ec7ed9410dd6d1a: crates/engine/src/bin/llamp.rs
+
+crates/engine/src/bin/llamp.rs:

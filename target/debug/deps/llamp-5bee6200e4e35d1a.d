@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/llamp-5bee6200e4e35d1a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllamp-5bee6200e4e35d1a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llamp-705d537875f7367b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libllamp-705d537875f7367b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llamp-a0a9a144887ad8bb.d: crates/engine/src/bin/llamp.rs
+
+/root/repo/target/debug/deps/llamp-a0a9a144887ad8bb: crates/engine/src/bin/llamp.rs
+
+crates/engine/src/bin/llamp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/llamp-b5cbb39e3d4e88f5.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllamp-b5cbb39e3d4e88f5.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

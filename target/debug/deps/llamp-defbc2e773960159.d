@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/llamp-defbc2e773960159.d: src/lib.rs
+
+/root/repo/target/debug/deps/libllamp-defbc2e773960159.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libllamp-defbc2e773960159.rmeta: src/lib.rs
+
+src/lib.rs:

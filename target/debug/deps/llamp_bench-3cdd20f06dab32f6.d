@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/llamp_bench-3cdd20f06dab32f6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libllamp_bench-3cdd20f06dab32f6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libllamp_bench-3cdd20f06dab32f6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llamp_bench-534abcc847eb9df9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libllamp_bench-534abcc847eb9df9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

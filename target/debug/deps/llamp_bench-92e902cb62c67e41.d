@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llamp_bench-92e902cb62c67e41.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/llamp_bench-92e902cb62c67e41: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/llamp_bench-ca83db9d769a38f8.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllamp_bench-ca83db9d769a38f8.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

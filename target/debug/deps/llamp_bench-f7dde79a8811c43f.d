@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llamp_bench-f7dde79a8811c43f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libllamp_bench-f7dde79a8811c43f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/llamp_core-01fb2ef202238759.d: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/binding.rs crates/core/src/eval.rs crates/core/src/lp_build.rs crates/core/src/parametric.rs crates/core/src/placement.rs
+
+/root/repo/target/debug/deps/libllamp_core-01fb2ef202238759.rmeta: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/binding.rs crates/core/src/eval.rs crates/core/src/lp_build.rs crates/core/src/parametric.rs crates/core/src/placement.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analyzer.rs:
+crates/core/src/binding.rs:
+crates/core/src/eval.rs:
+crates/core/src/lp_build.rs:
+crates/core/src/parametric.rs:
+crates/core/src/placement.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/llamp_core-9b2ff89f8ffcd57e.d: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/binding.rs crates/core/src/eval.rs crates/core/src/lp_build.rs crates/core/src/parametric.rs crates/core/src/placement.rs
+
+/root/repo/target/debug/deps/libllamp_core-9b2ff89f8ffcd57e.rmeta: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/binding.rs crates/core/src/eval.rs crates/core/src/lp_build.rs crates/core/src/parametric.rs crates/core/src/placement.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analyzer.rs:
+crates/core/src/binding.rs:
+crates/core/src/eval.rs:
+crates/core/src/lp_build.rs:
+crates/core/src/parametric.rs:
+crates/core/src/placement.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/llamp_core-9f68c861ea3192d9.d: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/binding.rs crates/core/src/eval.rs crates/core/src/lp_build.rs crates/core/src/parametric.rs crates/core/src/placement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllamp_core-9f68c861ea3192d9.rmeta: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/binding.rs crates/core/src/eval.rs crates/core/src/lp_build.rs crates/core/src/parametric.rs crates/core/src/placement.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analyzer.rs:
+crates/core/src/binding.rs:
+crates/core/src/eval.rs:
+crates/core/src/lp_build.rs:
+crates/core/src/parametric.rs:
+crates/core/src/placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

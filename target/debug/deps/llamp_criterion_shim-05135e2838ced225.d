@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/llamp_criterion_shim-05135e2838ced225.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libllamp_criterion_shim-05135e2838ced225.rlib: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libllamp_criterion_shim-05135e2838ced225.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/llamp_criterion_shim-32870cef0b0373d6.d: crates/shims/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllamp_criterion_shim-32870cef0b0373d6.rmeta: crates/shims/criterion/src/lib.rs Cargo.toml
+
+crates/shims/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llamp_criterion_shim-4cfb26cea8c5225c.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/llamp_criterion_shim-4cfb26cea8c5225c: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

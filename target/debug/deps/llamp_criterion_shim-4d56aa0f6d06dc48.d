@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llamp_criterion_shim-4d56aa0f6d06dc48.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libllamp_criterion_shim-4d56aa0f6d06dc48.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llamp_criterion_shim-5be73a4f9f654dcd.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libllamp_criterion_shim-5be73a4f9f654dcd.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/llamp_engine-123b100686e232e9.d: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/campaign.rs crates/engine/src/executor.rs crates/engine/src/scenario.rs crates/engine/src/spec.rs crates/engine/src/value.rs
+
+/root/repo/target/debug/deps/llamp_engine-123b100686e232e9: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/campaign.rs crates/engine/src/executor.rs crates/engine/src/scenario.rs crates/engine/src/spec.rs crates/engine/src/value.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cache.rs:
+crates/engine/src/campaign.rs:
+crates/engine/src/executor.rs:
+crates/engine/src/scenario.rs:
+crates/engine/src/spec.rs:
+crates/engine/src/value.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llamp_engine-2938f52cb057d36e.d: crates/engine/src/lib.rs
+
+/root/repo/target/debug/deps/libllamp_engine-2938f52cb057d36e.rmeta: crates/engine/src/lib.rs
+
+crates/engine/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/llamp_engine-3bde7f2adbb0aac2.d: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/campaign.rs crates/engine/src/executor.rs crates/engine/src/scenario.rs crates/engine/src/spec.rs crates/engine/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllamp_engine-3bde7f2adbb0aac2.rmeta: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/campaign.rs crates/engine/src/executor.rs crates/engine/src/scenario.rs crates/engine/src/spec.rs crates/engine/src/value.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/cache.rs:
+crates/engine/src/campaign.rs:
+crates/engine/src/executor.rs:
+crates/engine/src/scenario.rs:
+crates/engine/src/spec.rs:
+crates/engine/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/llamp_engine-9c670d4df4ac0912.d: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/campaign.rs crates/engine/src/executor.rs crates/engine/src/scenario.rs crates/engine/src/spec.rs crates/engine/src/value.rs
+
+/root/repo/target/debug/deps/libllamp_engine-9c670d4df4ac0912.rlib: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/campaign.rs crates/engine/src/executor.rs crates/engine/src/scenario.rs crates/engine/src/spec.rs crates/engine/src/value.rs
+
+/root/repo/target/debug/deps/libllamp_engine-9c670d4df4ac0912.rmeta: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/campaign.rs crates/engine/src/executor.rs crates/engine/src/scenario.rs crates/engine/src/spec.rs crates/engine/src/value.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cache.rs:
+crates/engine/src/campaign.rs:
+crates/engine/src/executor.rs:
+crates/engine/src/scenario.rs:
+crates/engine/src/spec.rs:
+crates/engine/src/value.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llamp_engine-be182a729afc8c6e.d: crates/engine/src/lib.rs
+
+/root/repo/target/debug/deps/libllamp_engine-be182a729afc8c6e.rmeta: crates/engine/src/lib.rs
+
+crates/engine/src/lib.rs:

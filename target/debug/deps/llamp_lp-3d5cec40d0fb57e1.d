@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/llamp_lp-3d5cec40d0fb57e1.d: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/piecewise.rs crates/lp/src/presolve.rs crates/lp/src/simplex.rs crates/lp/src/solution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllamp_lp-3d5cec40d0fb57e1.rmeta: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/piecewise.rs crates/lp/src/presolve.rs crates/lp/src/simplex.rs crates/lp/src/solution.rs Cargo.toml
+
+crates/lp/src/lib.rs:
+crates/lp/src/model.rs:
+crates/lp/src/piecewise.rs:
+crates/lp/src/presolve.rs:
+crates/lp/src/simplex.rs:
+crates/lp/src/solution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/llamp_lp-5df92568f91e58ec.d: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/piecewise.rs crates/lp/src/presolve.rs crates/lp/src/simplex.rs crates/lp/src/solution.rs
+
+/root/repo/target/debug/deps/llamp_lp-5df92568f91e58ec: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/piecewise.rs crates/lp/src/presolve.rs crates/lp/src/simplex.rs crates/lp/src/solution.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/model.rs:
+crates/lp/src/piecewise.rs:
+crates/lp/src/presolve.rs:
+crates/lp/src/simplex.rs:
+crates/lp/src/solution.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/llamp_lp-fb07326c8caecac2.d: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/piecewise.rs crates/lp/src/presolve.rs crates/lp/src/simplex.rs crates/lp/src/solution.rs
+
+/root/repo/target/debug/deps/libllamp_lp-fb07326c8caecac2.rlib: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/piecewise.rs crates/lp/src/presolve.rs crates/lp/src/simplex.rs crates/lp/src/solution.rs
+
+/root/repo/target/debug/deps/libllamp_lp-fb07326c8caecac2.rmeta: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/piecewise.rs crates/lp/src/presolve.rs crates/lp/src/simplex.rs crates/lp/src/solution.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/model.rs:
+crates/lp/src/piecewise.rs:
+crates/lp/src/presolve.rs:
+crates/lp/src/simplex.rs:
+crates/lp/src/solution.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/llamp_model-594b7027b4821d21.d: crates/model/src/lib.rs crates/model/src/hloggp.rs crates/model/src/netgauge.rs crates/model/src/params.rs
+
+/root/repo/target/debug/deps/libllamp_model-594b7027b4821d21.rlib: crates/model/src/lib.rs crates/model/src/hloggp.rs crates/model/src/netgauge.rs crates/model/src/params.rs
+
+/root/repo/target/debug/deps/libllamp_model-594b7027b4821d21.rmeta: crates/model/src/lib.rs crates/model/src/hloggp.rs crates/model/src/netgauge.rs crates/model/src/params.rs
+
+crates/model/src/lib.rs:
+crates/model/src/hloggp.rs:
+crates/model/src/netgauge.rs:
+crates/model/src/params.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/llamp_model-ccfb838a6ef524cc.d: crates/model/src/lib.rs crates/model/src/hloggp.rs crates/model/src/netgauge.rs crates/model/src/params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllamp_model-ccfb838a6ef524cc.rmeta: crates/model/src/lib.rs crates/model/src/hloggp.rs crates/model/src/netgauge.rs crates/model/src/params.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/hloggp.rs:
+crates/model/src/netgauge.rs:
+crates/model/src/params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

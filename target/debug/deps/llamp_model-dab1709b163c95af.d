@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/llamp_model-dab1709b163c95af.d: crates/model/src/lib.rs crates/model/src/hloggp.rs crates/model/src/netgauge.rs crates/model/src/params.rs
+
+/root/repo/target/debug/deps/libllamp_model-dab1709b163c95af.rmeta: crates/model/src/lib.rs crates/model/src/hloggp.rs crates/model/src/netgauge.rs crates/model/src/params.rs
+
+crates/model/src/lib.rs:
+crates/model/src/hloggp.rs:
+crates/model/src/netgauge.rs:
+crates/model/src/params.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/llamp_model-f9045ffc436af454.d: crates/model/src/lib.rs crates/model/src/hloggp.rs crates/model/src/netgauge.rs crates/model/src/params.rs
+
+/root/repo/target/debug/deps/llamp_model-f9045ffc436af454: crates/model/src/lib.rs crates/model/src/hloggp.rs crates/model/src/netgauge.rs crates/model/src/params.rs
+
+crates/model/src/lib.rs:
+crates/model/src/hloggp.rs:
+crates/model/src/netgauge.rs:
+crates/model/src/params.rs:

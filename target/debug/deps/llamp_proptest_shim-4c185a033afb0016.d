@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/llamp_proptest_shim-4c185a033afb0016.d: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libllamp_proptest_shim-4c185a033afb0016.rlib: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libllamp_proptest_shim-4c185a033afb0016.rmeta: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs
+
+crates/shims/proptest/src/lib.rs:
+crates/shims/proptest/src/strategy.rs:
+crates/shims/proptest/src/test_runner.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/llamp_proptest_shim-b24ead427ded3c7c.d: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/llamp_proptest_shim-b24ead427ded3c7c: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs
+
+crates/shims/proptest/src/lib.rs:
+crates/shims/proptest/src/strategy.rs:
+crates/shims/proptest/src/test_runner.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/llamp_proptest_shim-b3ccdea9a88ed601.d: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllamp_proptest_shim-b3ccdea9a88ed601.rmeta: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs Cargo.toml
+
+crates/shims/proptest/src/lib.rs:
+crates/shims/proptest/src/strategy.rs:
+crates/shims/proptest/src/test_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

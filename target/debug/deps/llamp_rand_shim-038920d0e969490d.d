@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/llamp_rand_shim-038920d0e969490d.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/libllamp_rand_shim-038920d0e969490d.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/libllamp_rand_shim-038920d0e969490d.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

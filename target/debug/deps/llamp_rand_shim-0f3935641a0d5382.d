@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llamp_rand_shim-0f3935641a0d5382.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/libllamp_rand_shim-0f3935641a0d5382.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

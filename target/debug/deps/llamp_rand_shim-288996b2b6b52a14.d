@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llamp_rand_shim-288996b2b6b52a14.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/llamp_rand_shim-288996b2b6b52a14: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/llamp_rand_shim-3f478f1687a1622d.d: crates/shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllamp_rand_shim-3f478f1687a1622d.rmeta: crates/shims/rand/src/lib.rs Cargo.toml
+
+crates/shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

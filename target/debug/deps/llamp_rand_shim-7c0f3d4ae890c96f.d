@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/llamp_rand_shim-7c0f3d4ae890c96f.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/libllamp_rand_shim-7c0f3d4ae890c96f.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

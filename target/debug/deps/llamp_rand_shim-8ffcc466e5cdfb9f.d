@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/llamp_rand_shim-8ffcc466e5cdfb9f.d: crates/shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllamp_rand_shim-8ffcc466e5cdfb9f.rmeta: crates/shims/rand/src/lib.rs Cargo.toml
+
+crates/shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/llamp_schedgen-3b6575d9becfa023.d: crates/schedgen/src/lib.rs crates/schedgen/src/build.rs crates/schedgen/src/collectives.rs crates/schedgen/src/goal.rs crates/schedgen/src/graph.rs crates/schedgen/src/lower.rs
+
+/root/repo/target/debug/deps/llamp_schedgen-3b6575d9becfa023: crates/schedgen/src/lib.rs crates/schedgen/src/build.rs crates/schedgen/src/collectives.rs crates/schedgen/src/goal.rs crates/schedgen/src/graph.rs crates/schedgen/src/lower.rs
+
+crates/schedgen/src/lib.rs:
+crates/schedgen/src/build.rs:
+crates/schedgen/src/collectives.rs:
+crates/schedgen/src/goal.rs:
+crates/schedgen/src/graph.rs:
+crates/schedgen/src/lower.rs:

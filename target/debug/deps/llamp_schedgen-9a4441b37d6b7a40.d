@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/llamp_schedgen-9a4441b37d6b7a40.d: crates/schedgen/src/lib.rs crates/schedgen/src/build.rs crates/schedgen/src/collectives.rs crates/schedgen/src/goal.rs crates/schedgen/src/graph.rs crates/schedgen/src/lower.rs
+
+/root/repo/target/debug/deps/libllamp_schedgen-9a4441b37d6b7a40.rlib: crates/schedgen/src/lib.rs crates/schedgen/src/build.rs crates/schedgen/src/collectives.rs crates/schedgen/src/goal.rs crates/schedgen/src/graph.rs crates/schedgen/src/lower.rs
+
+/root/repo/target/debug/deps/libllamp_schedgen-9a4441b37d6b7a40.rmeta: crates/schedgen/src/lib.rs crates/schedgen/src/build.rs crates/schedgen/src/collectives.rs crates/schedgen/src/goal.rs crates/schedgen/src/graph.rs crates/schedgen/src/lower.rs
+
+crates/schedgen/src/lib.rs:
+crates/schedgen/src/build.rs:
+crates/schedgen/src/collectives.rs:
+crates/schedgen/src/goal.rs:
+crates/schedgen/src/graph.rs:
+crates/schedgen/src/lower.rs:

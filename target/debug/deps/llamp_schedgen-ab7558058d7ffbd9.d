@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/llamp_schedgen-ab7558058d7ffbd9.d: crates/schedgen/src/lib.rs crates/schedgen/src/build.rs crates/schedgen/src/collectives.rs crates/schedgen/src/goal.rs crates/schedgen/src/graph.rs crates/schedgen/src/lower.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllamp_schedgen-ab7558058d7ffbd9.rmeta: crates/schedgen/src/lib.rs crates/schedgen/src/build.rs crates/schedgen/src/collectives.rs crates/schedgen/src/goal.rs crates/schedgen/src/graph.rs crates/schedgen/src/lower.rs Cargo.toml
+
+crates/schedgen/src/lib.rs:
+crates/schedgen/src/build.rs:
+crates/schedgen/src/collectives.rs:
+crates/schedgen/src/goal.rs:
+crates/schedgen/src/graph.rs:
+crates/schedgen/src/lower.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

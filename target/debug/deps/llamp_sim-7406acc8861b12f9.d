@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/llamp_sim-7406acc8861b12f9.d: crates/sim/src/lib.rs crates/sim/src/des.rs crates/sim/src/injector.rs crates/sim/src/netgauge_impl.rs crates/sim/src/noise.rs
+
+/root/repo/target/debug/deps/llamp_sim-7406acc8861b12f9: crates/sim/src/lib.rs crates/sim/src/des.rs crates/sim/src/injector.rs crates/sim/src/netgauge_impl.rs crates/sim/src/noise.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/des.rs:
+crates/sim/src/injector.rs:
+crates/sim/src/netgauge_impl.rs:
+crates/sim/src/noise.rs:

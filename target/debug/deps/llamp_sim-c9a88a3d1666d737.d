@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/llamp_sim-c9a88a3d1666d737.d: crates/sim/src/lib.rs crates/sim/src/des.rs crates/sim/src/injector.rs crates/sim/src/netgauge_impl.rs crates/sim/src/noise.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllamp_sim-c9a88a3d1666d737.rmeta: crates/sim/src/lib.rs crates/sim/src/des.rs crates/sim/src/injector.rs crates/sim/src/netgauge_impl.rs crates/sim/src/noise.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/des.rs:
+crates/sim/src/injector.rs:
+crates/sim/src/netgauge_impl.rs:
+crates/sim/src/noise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/llamp_sim-ce31470ba8411ec6.d: crates/sim/src/lib.rs crates/sim/src/des.rs crates/sim/src/injector.rs crates/sim/src/netgauge_impl.rs crates/sim/src/noise.rs
+
+/root/repo/target/debug/deps/libllamp_sim-ce31470ba8411ec6.rmeta: crates/sim/src/lib.rs crates/sim/src/des.rs crates/sim/src/injector.rs crates/sim/src/netgauge_impl.rs crates/sim/src/noise.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/des.rs:
+crates/sim/src/injector.rs:
+crates/sim/src/netgauge_impl.rs:
+crates/sim/src/noise.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/llamp_sim-eb86dcbad13a322b.d: crates/sim/src/lib.rs crates/sim/src/des.rs crates/sim/src/injector.rs crates/sim/src/netgauge_impl.rs crates/sim/src/noise.rs
+
+/root/repo/target/debug/deps/libllamp_sim-eb86dcbad13a322b.rlib: crates/sim/src/lib.rs crates/sim/src/des.rs crates/sim/src/injector.rs crates/sim/src/netgauge_impl.rs crates/sim/src/noise.rs
+
+/root/repo/target/debug/deps/libllamp_sim-eb86dcbad13a322b.rmeta: crates/sim/src/lib.rs crates/sim/src/des.rs crates/sim/src/injector.rs crates/sim/src/netgauge_impl.rs crates/sim/src/noise.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/des.rs:
+crates/sim/src/injector.rs:
+crates/sim/src/netgauge_impl.rs:
+crates/sim/src/noise.rs:

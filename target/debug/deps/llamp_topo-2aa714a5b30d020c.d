@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/llamp_topo-2aa714a5b30d020c.d: crates/topo/src/lib.rs crates/topo/src/dragonfly.rs crates/topo/src/fattree.rs
+
+/root/repo/target/debug/deps/libllamp_topo-2aa714a5b30d020c.rmeta: crates/topo/src/lib.rs crates/topo/src/dragonfly.rs crates/topo/src/fattree.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/dragonfly.rs:
+crates/topo/src/fattree.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/llamp_topo-3fb29095b9155844.d: crates/topo/src/lib.rs crates/topo/src/dragonfly.rs crates/topo/src/fattree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllamp_topo-3fb29095b9155844.rmeta: crates/topo/src/lib.rs crates/topo/src/dragonfly.rs crates/topo/src/fattree.rs Cargo.toml
+
+crates/topo/src/lib.rs:
+crates/topo/src/dragonfly.rs:
+crates/topo/src/fattree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

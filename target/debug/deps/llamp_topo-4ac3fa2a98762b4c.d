@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/llamp_topo-4ac3fa2a98762b4c.d: crates/topo/src/lib.rs crates/topo/src/dragonfly.rs crates/topo/src/fattree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllamp_topo-4ac3fa2a98762b4c.rmeta: crates/topo/src/lib.rs crates/topo/src/dragonfly.rs crates/topo/src/fattree.rs Cargo.toml
+
+crates/topo/src/lib.rs:
+crates/topo/src/dragonfly.rs:
+crates/topo/src/fattree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

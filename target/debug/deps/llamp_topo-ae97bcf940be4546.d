@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/llamp_topo-ae97bcf940be4546.d: crates/topo/src/lib.rs crates/topo/src/dragonfly.rs crates/topo/src/fattree.rs
+
+/root/repo/target/debug/deps/libllamp_topo-ae97bcf940be4546.rmeta: crates/topo/src/lib.rs crates/topo/src/dragonfly.rs crates/topo/src/fattree.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/dragonfly.rs:
+crates/topo/src/fattree.rs:

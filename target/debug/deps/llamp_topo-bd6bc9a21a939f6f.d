@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/llamp_topo-bd6bc9a21a939f6f.d: crates/topo/src/lib.rs crates/topo/src/dragonfly.rs crates/topo/src/fattree.rs
+
+/root/repo/target/debug/deps/llamp_topo-bd6bc9a21a939f6f: crates/topo/src/lib.rs crates/topo/src/dragonfly.rs crates/topo/src/fattree.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/dragonfly.rs:
+crates/topo/src/fattree.rs:

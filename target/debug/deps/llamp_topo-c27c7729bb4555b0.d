@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/llamp_topo-c27c7729bb4555b0.d: crates/topo/src/lib.rs crates/topo/src/dragonfly.rs crates/topo/src/fattree.rs
+
+/root/repo/target/debug/deps/libllamp_topo-c27c7729bb4555b0.rlib: crates/topo/src/lib.rs crates/topo/src/dragonfly.rs crates/topo/src/fattree.rs
+
+/root/repo/target/debug/deps/libllamp_topo-c27c7729bb4555b0.rmeta: crates/topo/src/lib.rs crates/topo/src/dragonfly.rs crates/topo/src/fattree.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/dragonfly.rs:
+crates/topo/src/fattree.rs:

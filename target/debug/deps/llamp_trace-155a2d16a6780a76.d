@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/llamp_trace-155a2d16a6780a76.d: crates/trace/src/lib.rs crates/trace/src/op.rs crates/trace/src/program.rs crates/trace/src/text.rs
+
+/root/repo/target/debug/deps/libllamp_trace-155a2d16a6780a76.rlib: crates/trace/src/lib.rs crates/trace/src/op.rs crates/trace/src/program.rs crates/trace/src/text.rs
+
+/root/repo/target/debug/deps/libllamp_trace-155a2d16a6780a76.rmeta: crates/trace/src/lib.rs crates/trace/src/op.rs crates/trace/src/program.rs crates/trace/src/text.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/op.rs:
+crates/trace/src/program.rs:
+crates/trace/src/text.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/llamp_trace-7da7584d26eec24f.d: crates/trace/src/lib.rs crates/trace/src/op.rs crates/trace/src/program.rs crates/trace/src/text.rs
+
+/root/repo/target/debug/deps/libllamp_trace-7da7584d26eec24f.rmeta: crates/trace/src/lib.rs crates/trace/src/op.rs crates/trace/src/program.rs crates/trace/src/text.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/op.rs:
+crates/trace/src/program.rs:
+crates/trace/src/text.rs:

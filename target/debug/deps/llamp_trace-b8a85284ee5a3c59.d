@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/llamp_trace-b8a85284ee5a3c59.d: crates/trace/src/lib.rs crates/trace/src/op.rs crates/trace/src/program.rs crates/trace/src/text.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllamp_trace-b8a85284ee5a3c59.rmeta: crates/trace/src/lib.rs crates/trace/src/op.rs crates/trace/src/program.rs crates/trace/src/text.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/op.rs:
+crates/trace/src/program.rs:
+crates/trace/src/text.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

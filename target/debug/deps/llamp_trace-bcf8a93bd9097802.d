@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/llamp_trace-bcf8a93bd9097802.d: crates/trace/src/lib.rs crates/trace/src/op.rs crates/trace/src/program.rs crates/trace/src/text.rs
+
+/root/repo/target/debug/deps/llamp_trace-bcf8a93bd9097802: crates/trace/src/lib.rs crates/trace/src/op.rs crates/trace/src/program.rs crates/trace/src/text.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/op.rs:
+crates/trace/src/program.rs:
+crates/trace/src/text.rs:

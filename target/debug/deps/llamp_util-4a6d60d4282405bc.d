@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/llamp_util-4a6d60d4282405bc.d: crates/util/src/lib.rs crates/util/src/fx.rs crates/util/src/stats.rs crates/util/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllamp_util-4a6d60d4282405bc.rmeta: crates/util/src/lib.rs crates/util/src/fx.rs crates/util/src/stats.rs crates/util/src/time.rs Cargo.toml
+
+crates/util/src/lib.rs:
+crates/util/src/fx.rs:
+crates/util/src/stats.rs:
+crates/util/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/llamp_util-76e1e32af56e3660.d: crates/util/src/lib.rs crates/util/src/fx.rs crates/util/src/stats.rs crates/util/src/time.rs
+
+/root/repo/target/debug/deps/libllamp_util-76e1e32af56e3660.rlib: crates/util/src/lib.rs crates/util/src/fx.rs crates/util/src/stats.rs crates/util/src/time.rs
+
+/root/repo/target/debug/deps/libllamp_util-76e1e32af56e3660.rmeta: crates/util/src/lib.rs crates/util/src/fx.rs crates/util/src/stats.rs crates/util/src/time.rs
+
+crates/util/src/lib.rs:
+crates/util/src/fx.rs:
+crates/util/src/stats.rs:
+crates/util/src/time.rs:

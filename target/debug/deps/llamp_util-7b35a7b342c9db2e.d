@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/llamp_util-7b35a7b342c9db2e.d: crates/util/src/lib.rs crates/util/src/fx.rs crates/util/src/stats.rs crates/util/src/time.rs
+
+/root/repo/target/debug/deps/libllamp_util-7b35a7b342c9db2e.rmeta: crates/util/src/lib.rs crates/util/src/fx.rs crates/util/src/stats.rs crates/util/src/time.rs
+
+crates/util/src/lib.rs:
+crates/util/src/fx.rs:
+crates/util/src/stats.rs:
+crates/util/src/time.rs:

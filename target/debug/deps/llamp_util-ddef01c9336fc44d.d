@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/llamp_util-ddef01c9336fc44d.d: crates/util/src/lib.rs crates/util/src/fx.rs crates/util/src/stats.rs crates/util/src/time.rs
+
+/root/repo/target/debug/deps/llamp_util-ddef01c9336fc44d: crates/util/src/lib.rs crates/util/src/fx.rs crates/util/src/stats.rs crates/util/src/time.rs
+
+crates/util/src/lib.rs:
+crates/util/src/fx.rs:
+crates/util/src/stats.rs:
+crates/util/src/time.rs:

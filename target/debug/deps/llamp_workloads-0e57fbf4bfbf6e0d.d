@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/llamp_workloads-0e57fbf4bfbf6e0d.d: crates/workloads/src/lib.rs crates/workloads/src/cloverleaf.rs crates/workloads/src/decomp.rs crates/workloads/src/hpcg.rs crates/workloads/src/icon.rs crates/workloads/src/lammps.rs crates/workloads/src/lulesh.rs crates/workloads/src/milc.rs crates/workloads/src/namd.rs crates/workloads/src/npb.rs crates/workloads/src/openmx.rs Cargo.toml
+
+/root/repo/target/debug/deps/libllamp_workloads-0e57fbf4bfbf6e0d.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cloverleaf.rs crates/workloads/src/decomp.rs crates/workloads/src/hpcg.rs crates/workloads/src/icon.rs crates/workloads/src/lammps.rs crates/workloads/src/lulesh.rs crates/workloads/src/milc.rs crates/workloads/src/namd.rs crates/workloads/src/npb.rs crates/workloads/src/openmx.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cloverleaf.rs:
+crates/workloads/src/decomp.rs:
+crates/workloads/src/hpcg.rs:
+crates/workloads/src/icon.rs:
+crates/workloads/src/lammps.rs:
+crates/workloads/src/lulesh.rs:
+crates/workloads/src/milc.rs:
+crates/workloads/src/namd.rs:
+crates/workloads/src/npb.rs:
+crates/workloads/src/openmx.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

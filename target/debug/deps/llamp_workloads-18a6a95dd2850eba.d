@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/llamp_workloads-18a6a95dd2850eba.d: crates/workloads/src/lib.rs crates/workloads/src/cloverleaf.rs crates/workloads/src/decomp.rs crates/workloads/src/hpcg.rs crates/workloads/src/icon.rs crates/workloads/src/lammps.rs crates/workloads/src/lulesh.rs crates/workloads/src/milc.rs crates/workloads/src/namd.rs crates/workloads/src/npb.rs crates/workloads/src/openmx.rs
+
+/root/repo/target/debug/deps/libllamp_workloads-18a6a95dd2850eba.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cloverleaf.rs crates/workloads/src/decomp.rs crates/workloads/src/hpcg.rs crates/workloads/src/icon.rs crates/workloads/src/lammps.rs crates/workloads/src/lulesh.rs crates/workloads/src/milc.rs crates/workloads/src/namd.rs crates/workloads/src/npb.rs crates/workloads/src/openmx.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cloverleaf.rs:
+crates/workloads/src/decomp.rs:
+crates/workloads/src/hpcg.rs:
+crates/workloads/src/icon.rs:
+crates/workloads/src/lammps.rs:
+crates/workloads/src/lulesh.rs:
+crates/workloads/src/milc.rs:
+crates/workloads/src/namd.rs:
+crates/workloads/src/npb.rs:
+crates/workloads/src/openmx.rs:

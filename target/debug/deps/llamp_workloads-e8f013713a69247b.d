@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/llamp_workloads-e8f013713a69247b.d: crates/workloads/src/lib.rs crates/workloads/src/cloverleaf.rs crates/workloads/src/decomp.rs crates/workloads/src/hpcg.rs crates/workloads/src/icon.rs crates/workloads/src/lammps.rs crates/workloads/src/lulesh.rs crates/workloads/src/milc.rs crates/workloads/src/namd.rs crates/workloads/src/npb.rs crates/workloads/src/openmx.rs
+
+/root/repo/target/debug/deps/libllamp_workloads-e8f013713a69247b.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cloverleaf.rs crates/workloads/src/decomp.rs crates/workloads/src/hpcg.rs crates/workloads/src/icon.rs crates/workloads/src/lammps.rs crates/workloads/src/lulesh.rs crates/workloads/src/milc.rs crates/workloads/src/namd.rs crates/workloads/src/npb.rs crates/workloads/src/openmx.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cloverleaf.rs:
+crates/workloads/src/decomp.rs:
+crates/workloads/src/hpcg.rs:
+crates/workloads/src/icon.rs:
+crates/workloads/src/lammps.rs:
+crates/workloads/src/lulesh.rs:
+crates/workloads/src/milc.rs:
+crates/workloads/src/namd.rs:
+crates/workloads/src/npb.rs:
+crates/workloads/src/openmx.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/llamp_workloads-f2efe7bf02539caa.d: crates/workloads/src/lib.rs crates/workloads/src/cloverleaf.rs crates/workloads/src/decomp.rs crates/workloads/src/hpcg.rs crates/workloads/src/icon.rs crates/workloads/src/lammps.rs crates/workloads/src/lulesh.rs crates/workloads/src/milc.rs crates/workloads/src/namd.rs crates/workloads/src/npb.rs crates/workloads/src/openmx.rs
+
+/root/repo/target/debug/deps/llamp_workloads-f2efe7bf02539caa: crates/workloads/src/lib.rs crates/workloads/src/cloverleaf.rs crates/workloads/src/decomp.rs crates/workloads/src/hpcg.rs crates/workloads/src/icon.rs crates/workloads/src/lammps.rs crates/workloads/src/lulesh.rs crates/workloads/src/milc.rs crates/workloads/src/namd.rs crates/workloads/src/npb.rs crates/workloads/src/openmx.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cloverleaf.rs:
+crates/workloads/src/decomp.rs:
+crates/workloads/src/hpcg.rs:
+crates/workloads/src/icon.rs:
+crates/workloads/src/lammps.rs:
+crates/workloads/src/lulesh.rs:
+crates/workloads/src/milc.rs:
+crates/workloads/src/namd.rs:
+crates/workloads/src/npb.rs:
+crates/workloads/src/openmx.rs:

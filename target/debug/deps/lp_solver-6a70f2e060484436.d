@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lp_solver-6a70f2e060484436.d: crates/bench/benches/lp_solver.rs
+
+/root/repo/target/debug/deps/liblp_solver-6a70f2e060484436.rmeta: crates/bench/benches/lp_solver.rs
+
+crates/bench/benches/lp_solver.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lp_solver-a965456122c3add3.d: crates/bench/benches/lp_solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblp_solver-a965456122c3add3.rmeta: crates/bench/benches/lp_solver.rs Cargo.toml
+
+crates/bench/benches/lp_solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/measurement-18e87ba78a5a90fc.d: tests/measurement.rs
+
+/root/repo/target/debug/deps/measurement-18e87ba78a5a90fc: tests/measurement.rs
+
+tests/measurement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/measurement-a41c527f90b4d6c3.d: tests/measurement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmeasurement-a41c527f90b4d6c3.rmeta: tests/measurement.rs Cargo.toml
+
+tests/measurement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

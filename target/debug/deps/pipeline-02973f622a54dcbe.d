@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-02973f622a54dcbe.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-02973f622a54dcbe: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-7d7d219fa817400f.d: crates/bench/benches/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-7d7d219fa817400f.rmeta: crates/bench/benches/pipeline.rs Cargo.toml
+
+crates/bench/benches/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

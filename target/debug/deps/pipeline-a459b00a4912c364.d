@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-a459b00a4912c364.d: crates/bench/benches/pipeline.rs
+
+/root/repo/target/debug/deps/libpipeline-a459b00a4912c364.rmeta: crates/bench/benches/pipeline.rs
+
+crates/bench/benches/pipeline.rs:

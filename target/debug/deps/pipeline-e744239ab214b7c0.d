@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-e744239ab214b7c0.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-e744239ab214b7c0.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

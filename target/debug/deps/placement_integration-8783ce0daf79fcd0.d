@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/placement_integration-8783ce0daf79fcd0.d: tests/placement_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplacement_integration-8783ce0daf79fcd0.rmeta: tests/placement_integration.rs Cargo.toml
+
+tests/placement_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

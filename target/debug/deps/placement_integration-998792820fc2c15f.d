@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/placement_integration-998792820fc2c15f.d: tests/placement_integration.rs
+
+/root/repo/target/debug/deps/placement_integration-998792820fc2c15f: tests/placement_integration.rs
+
+tests/placement_integration.rs:

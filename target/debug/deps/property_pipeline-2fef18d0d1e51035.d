@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_pipeline-2fef18d0d1e51035.d: tests/property_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_pipeline-2fef18d0d1e51035.rmeta: tests/property_pipeline.rs Cargo.toml
+
+tests/property_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_pipeline-a7afc8cc6bb61283.d: tests/property_pipeline.rs
+
+/root/repo/target/debug/deps/property_pipeline-a7afc8cc6bb61283: tests/property_pipeline.rs
+
+tests/property_pipeline.rs:

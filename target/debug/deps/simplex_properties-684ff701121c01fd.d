@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simplex_properties-684ff701121c01fd.d: crates/lp/tests/simplex_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimplex_properties-684ff701121c01fd.rmeta: crates/lp/tests/simplex_properties.rs Cargo.toml
+
+crates/lp/tests/simplex_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simplex_properties-ca65a204bf54a189.d: crates/lp/tests/simplex_properties.rs
+
+/root/repo/target/debug/deps/simplex_properties-ca65a204bf54a189: crates/lp/tests/simplex_properties.rs
+
+crates/lp/tests/simplex_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator-d751fdd48300f4f4.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/debug/deps/libsimulator-d751fdd48300f4f4.rmeta: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

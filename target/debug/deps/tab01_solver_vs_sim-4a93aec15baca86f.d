@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab01_solver_vs_sim-4a93aec15baca86f.d: crates/bench/src/bin/tab01_solver_vs_sim.rs
+
+/root/repo/target/debug/deps/tab01_solver_vs_sim-4a93aec15baca86f: crates/bench/src/bin/tab01_solver_vs_sim.rs
+
+crates/bench/src/bin/tab01_solver_vs_sim.rs:

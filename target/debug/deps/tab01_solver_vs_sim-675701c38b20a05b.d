@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab01_solver_vs_sim-675701c38b20a05b.d: crates/bench/src/bin/tab01_solver_vs_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab01_solver_vs_sim-675701c38b20a05b.rmeta: crates/bench/src/bin/tab01_solver_vs_sim.rs Cargo.toml
+
+crates/bench/src/bin/tab01_solver_vs_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab01_solver_vs_sim-8e79944840e68167.d: crates/bench/src/bin/tab01_solver_vs_sim.rs
+
+/root/repo/target/debug/deps/tab01_solver_vs_sim-8e79944840e68167: crates/bench/src/bin/tab01_solver_vs_sim.rs
+
+crates/bench/src/bin/tab01_solver_vs_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab01_solver_vs_sim-f90c72ae42c79698.d: crates/bench/src/bin/tab01_solver_vs_sim.rs
+
+/root/repo/target/debug/deps/libtab01_solver_vs_sim-f90c72ae42c79698.rmeta: crates/bench/src/bin/tab01_solver_vs_sim.rs
+
+crates/bench/src/bin/tab01_solver_vs_sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tolerance-589db0e85e6dcc3f.d: tests/tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtolerance-589db0e85e6dcc3f.rmeta: tests/tolerance.rs Cargo.toml
+
+tests/tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

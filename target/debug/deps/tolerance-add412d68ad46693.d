@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tolerance-add412d68ad46693.d: tests/tolerance.rs
+
+/root/repo/target/debug/deps/tolerance-add412d68ad46693: tests/tolerance.rs
+
+tests/tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topology_analysis-43057241bd45330c.d: tests/topology_analysis.rs
+
+/root/repo/target/debug/deps/topology_analysis-43057241bd45330c: tests/topology_analysis.rs
+
+tests/topology_analysis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topology_analysis-dd6cac66395561d2.d: tests/topology_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopology_analysis-dd6cac66395561d2.rmeta: tests/topology_analysis.rs Cargo.toml
+
+tests/topology_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/icon_case_study-4a162cf78c4bca38.d: examples/icon_case_study.rs
+
+/root/repo/target/debug/examples/libicon_case_study-4a162cf78c4bca38.rmeta: examples/icon_case_study.rs
+
+examples/icon_case_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/icon_case_study-66501890d9891af3.d: examples/icon_case_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libicon_case_study-66501890d9891af3.rmeta: examples/icon_case_study.rs Cargo.toml
+
+examples/icon_case_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

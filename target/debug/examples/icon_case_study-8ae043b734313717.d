@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/icon_case_study-8ae043b734313717.d: examples/icon_case_study.rs
+
+/root/repo/target/debug/examples/icon_case_study-8ae043b734313717: examples/icon_case_study.rs
+
+examples/icon_case_study.rs:

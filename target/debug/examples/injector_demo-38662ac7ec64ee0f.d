@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/injector_demo-38662ac7ec64ee0f.d: examples/injector_demo.rs
+
+/root/repo/target/debug/examples/injector_demo-38662ac7ec64ee0f: examples/injector_demo.rs
+
+examples/injector_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/injector_demo-6fabbebc6490036c.d: examples/injector_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinjector_demo-6fabbebc6490036c.rmeta: examples/injector_demo.rs Cargo.toml
+
+examples/injector_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/injector_demo-a1e460edf3efaa6e.d: examples/injector_demo.rs
+
+/root/repo/target/debug/examples/libinjector_demo-a1e460edf3efaa6e.rmeta: examples/injector_demo.rs
+
+examples/injector_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/latency_tolerance-001b7c374a3e943d.d: examples/latency_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblatency_tolerance-001b7c374a3e943d.rmeta: examples/latency_tolerance.rs Cargo.toml
+
+examples/latency_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/latency_tolerance-070e30d48bd9b1e2.d: examples/latency_tolerance.rs
+
+/root/repo/target/debug/examples/liblatency_tolerance-070e30d48bd9b1e2.rmeta: examples/latency_tolerance.rs
+
+examples/latency_tolerance.rs:

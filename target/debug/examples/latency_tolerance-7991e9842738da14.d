@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/latency_tolerance-7991e9842738da14.d: examples/latency_tolerance.rs
+
+/root/repo/target/debug/examples/latency_tolerance-7991e9842738da14: examples/latency_tolerance.rs
+
+examples/latency_tolerance.rs:

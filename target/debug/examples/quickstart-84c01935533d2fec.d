@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-84c01935533d2fec.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-84c01935533d2fec: examples/quickstart.rs
+
+examples/quickstart.rs:

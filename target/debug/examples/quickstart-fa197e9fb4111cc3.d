@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fa197e9fb4111cc3.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-fa197e9fb4111cc3.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

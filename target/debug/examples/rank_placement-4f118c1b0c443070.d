@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rank_placement-4f118c1b0c443070.d: examples/rank_placement.rs
+
+/root/repo/target/debug/examples/librank_placement-4f118c1b0c443070.rmeta: examples/rank_placement.rs
+
+examples/rank_placement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rank_placement-729a54947b0f31a3.d: examples/rank_placement.rs
+
+/root/repo/target/debug/examples/rank_placement-729a54947b0f31a3: examples/rank_placement.rs
+
+examples/rank_placement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rank_placement-ca1b568ae46eb4a4.d: examples/rank_placement.rs Cargo.toml
+
+/root/repo/target/debug/examples/librank_placement-ca1b568ae46eb4a4.rmeta: examples/rank_placement.rs Cargo.toml
+
+examples/rank_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

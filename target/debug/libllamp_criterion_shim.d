@@ -1,0 +1,1 @@
+/root/repo/target/debug/libllamp_criterion_shim.rlib: /root/repo/crates/shims/criterion/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libllamp_model.rlib: /root/repo/crates/model/src/hloggp.rs /root/repo/crates/model/src/lib.rs /root/repo/crates/model/src/netgauge.rs /root/repo/crates/model/src/params.rs

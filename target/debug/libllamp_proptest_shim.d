@@ -1,0 +1,1 @@
+/root/repo/target/debug/libllamp_proptest_shim.rlib: /root/repo/crates/shims/proptest/src/lib.rs /root/repo/crates/shims/proptest/src/strategy.rs /root/repo/crates/shims/proptest/src/test_runner.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libllamp_rand_shim.rlib: /root/repo/crates/shims/rand/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libllamp_topo.rlib: /root/repo/crates/topo/src/dragonfly.rs /root/repo/crates/topo/src/fattree.rs /root/repo/crates/topo/src/lib.rs

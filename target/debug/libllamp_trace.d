@@ -1,0 +1,1 @@
+/root/repo/target/debug/libllamp_trace.rlib: /root/repo/crates/trace/src/lib.rs /root/repo/crates/trace/src/op.rs /root/repo/crates/trace/src/program.rs /root/repo/crates/trace/src/text.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libllamp_util.rlib: /root/repo/crates/util/src/fx.rs /root/repo/crates/util/src/lib.rs /root/repo/crates/util/src/stats.rs /root/repo/crates/util/src/time.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_backends-232559f9287e465a.d: crates/bench/src/bin/abl_backends.rs
+
+/root/repo/target/release/deps/abl_backends-232559f9287e465a: crates/bench/src/bin/abl_backends.rs
+
+crates/bench/src/bin/abl_backends.rs:

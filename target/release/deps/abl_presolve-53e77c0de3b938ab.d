@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_presolve-53e77c0de3b938ab.d: crates/bench/src/bin/abl_presolve.rs
+
+/root/repo/target/release/deps/abl_presolve-53e77c0de3b938ab: crates/bench/src/bin/abl_presolve.rs
+
+crates/bench/src/bin/abl_presolve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_protocol-c0e041a4945a5c61.d: crates/bench/src/bin/abl_protocol.rs
+
+/root/repo/target/release/deps/abl_protocol-c0e041a4945a5c61: crates/bench/src/bin/abl_protocol.rs
+
+crates/bench/src/bin/abl_protocol.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine-30821ddf92ef4658.d: crates/bench/benches/engine.rs
+
+/root/repo/target/release/deps/engine-30821ddf92ef4658: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_tolerance_zones-b2d897771c2cde7e.d: crates/bench/src/bin/fig01_tolerance_zones.rs
+
+/root/repo/target/release/deps/fig01_tolerance_zones-b2d897771c2cde7e: crates/bench/src/bin/fig01_tolerance_zones.rs
+
+crates/bench/src/bin/fig01_tolerance_zones.rs:

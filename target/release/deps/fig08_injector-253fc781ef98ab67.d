@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_injector-253fc781ef98ab67.d: crates/bench/src/bin/fig08_injector.rs
+
+/root/repo/target/release/deps/fig08_injector-253fc781ef98ab67: crates/bench/src/bin/fig08_injector.rs
+
+crates/bench/src/bin/fig08_injector.rs:

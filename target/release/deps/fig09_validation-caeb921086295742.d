@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_validation-caeb921086295742.d: crates/bench/src/bin/fig09_validation.rs
+
+/root/repo/target/release/deps/fig09_validation-caeb921086295742: crates/bench/src/bin/fig09_validation.rs
+
+crates/bench/src/bin/fig09_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_icon_collectives-12a9507b6ff9e17c.d: crates/bench/src/bin/fig10_icon_collectives.rs
+
+/root/repo/target/release/deps/fig10_icon_collectives-12a9507b6ff9e17c: crates/bench/src/bin/fig10_icon_collectives.rs
+
+crates/bench/src/bin/fig10_icon_collectives.rs:

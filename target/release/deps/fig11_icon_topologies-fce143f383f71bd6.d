@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_icon_topologies-fce143f383f71bd6.d: crates/bench/src/bin/fig11_icon_topologies.rs
+
+/root/repo/target/release/deps/fig11_icon_topologies-fce143f383f71bd6: crates/bench/src/bin/fig11_icon_topologies.rs
+
+crates/bench/src/bin/fig11_icon_topologies.rs:

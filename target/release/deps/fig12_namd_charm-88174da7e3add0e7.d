@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_namd_charm-88174da7e3add0e7.d: crates/bench/src/bin/fig12_namd_charm.rs
+
+/root/repo/target/release/deps/fig12_namd_charm-88174da7e3add0e7: crates/bench/src/bin/fig12_namd_charm.rs
+
+crates/bench/src/bin/fig12_namd_charm.rs:

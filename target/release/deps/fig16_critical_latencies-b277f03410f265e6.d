@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_critical_latencies-b277f03410f265e6.d: crates/bench/src/bin/fig16_critical_latencies.rs
+
+/root/repo/target/release/deps/fig16_critical_latencies-b277f03410f265e6: crates/bench/src/bin/fig16_critical_latencies.rs
+
+crates/bench/src/bin/fig16_critical_latencies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20_rank_placement-a28e6cf16feea8a9.d: crates/bench/src/bin/fig20_rank_placement.rs
+
+/root/repo/target/release/deps/fig20_rank_placement-a28e6cf16feea8a9: crates/bench/src/bin/fig20_rank_placement.rs
+
+crates/bench/src/bin/fig20_rank_placement.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/llamp-182c9a8c85ac397f.d: src/lib.rs
+
+/root/repo/target/release/deps/libllamp-182c9a8c85ac397f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libllamp-182c9a8c85ac397f.rmeta: src/lib.rs
+
+src/lib.rs:

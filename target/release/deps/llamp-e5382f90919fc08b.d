@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/llamp-e5382f90919fc08b.d: crates/engine/src/bin/llamp.rs
+
+/root/repo/target/release/deps/llamp-e5382f90919fc08b: crates/engine/src/bin/llamp.rs
+
+crates/engine/src/bin/llamp.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/llamp_bench-6ec6853e987d6464.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libllamp_bench-6ec6853e987d6464.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libllamp_bench-6ec6853e987d6464.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

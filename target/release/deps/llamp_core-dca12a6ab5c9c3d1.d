@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/llamp_core-dca12a6ab5c9c3d1.d: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/binding.rs crates/core/src/eval.rs crates/core/src/lp_build.rs crates/core/src/parametric.rs crates/core/src/placement.rs
+
+/root/repo/target/release/deps/libllamp_core-dca12a6ab5c9c3d1.rlib: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/binding.rs crates/core/src/eval.rs crates/core/src/lp_build.rs crates/core/src/parametric.rs crates/core/src/placement.rs
+
+/root/repo/target/release/deps/libllamp_core-dca12a6ab5c9c3d1.rmeta: crates/core/src/lib.rs crates/core/src/analyzer.rs crates/core/src/binding.rs crates/core/src/eval.rs crates/core/src/lp_build.rs crates/core/src/parametric.rs crates/core/src/placement.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analyzer.rs:
+crates/core/src/binding.rs:
+crates/core/src/eval.rs:
+crates/core/src/lp_build.rs:
+crates/core/src/parametric.rs:
+crates/core/src/placement.rs:

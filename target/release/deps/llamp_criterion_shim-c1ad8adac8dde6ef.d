@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/llamp_criterion_shim-c1ad8adac8dde6ef.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libllamp_criterion_shim-c1ad8adac8dde6ef.rlib: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libllamp_criterion_shim-c1ad8adac8dde6ef.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

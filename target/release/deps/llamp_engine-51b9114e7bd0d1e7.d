@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/llamp_engine-51b9114e7bd0d1e7.d: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/campaign.rs crates/engine/src/executor.rs crates/engine/src/scenario.rs crates/engine/src/spec.rs crates/engine/src/value.rs
+
+/root/repo/target/release/deps/libllamp_engine-51b9114e7bd0d1e7.rlib: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/campaign.rs crates/engine/src/executor.rs crates/engine/src/scenario.rs crates/engine/src/spec.rs crates/engine/src/value.rs
+
+/root/repo/target/release/deps/libllamp_engine-51b9114e7bd0d1e7.rmeta: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/campaign.rs crates/engine/src/executor.rs crates/engine/src/scenario.rs crates/engine/src/spec.rs crates/engine/src/value.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cache.rs:
+crates/engine/src/campaign.rs:
+crates/engine/src/executor.rs:
+crates/engine/src/scenario.rs:
+crates/engine/src/spec.rs:
+crates/engine/src/value.rs:

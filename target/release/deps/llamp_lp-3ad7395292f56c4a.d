@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/llamp_lp-3ad7395292f56c4a.d: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/piecewise.rs crates/lp/src/presolve.rs crates/lp/src/simplex.rs crates/lp/src/solution.rs
+
+/root/repo/target/release/deps/libllamp_lp-3ad7395292f56c4a.rlib: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/piecewise.rs crates/lp/src/presolve.rs crates/lp/src/simplex.rs crates/lp/src/solution.rs
+
+/root/repo/target/release/deps/libllamp_lp-3ad7395292f56c4a.rmeta: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/piecewise.rs crates/lp/src/presolve.rs crates/lp/src/simplex.rs crates/lp/src/solution.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/model.rs:
+crates/lp/src/piecewise.rs:
+crates/lp/src/presolve.rs:
+crates/lp/src/simplex.rs:
+crates/lp/src/solution.rs:

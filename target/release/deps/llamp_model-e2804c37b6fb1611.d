@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/llamp_model-e2804c37b6fb1611.d: crates/model/src/lib.rs crates/model/src/hloggp.rs crates/model/src/netgauge.rs crates/model/src/params.rs
+
+/root/repo/target/release/deps/libllamp_model-e2804c37b6fb1611.rlib: crates/model/src/lib.rs crates/model/src/hloggp.rs crates/model/src/netgauge.rs crates/model/src/params.rs
+
+/root/repo/target/release/deps/libllamp_model-e2804c37b6fb1611.rmeta: crates/model/src/lib.rs crates/model/src/hloggp.rs crates/model/src/netgauge.rs crates/model/src/params.rs
+
+crates/model/src/lib.rs:
+crates/model/src/hloggp.rs:
+crates/model/src/netgauge.rs:
+crates/model/src/params.rs:

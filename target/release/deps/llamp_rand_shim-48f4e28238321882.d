@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/llamp_rand_shim-48f4e28238321882.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/libllamp_rand_shim-48f4e28238321882.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/libllamp_rand_shim-48f4e28238321882.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

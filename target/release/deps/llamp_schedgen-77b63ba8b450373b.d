@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/llamp_schedgen-77b63ba8b450373b.d: crates/schedgen/src/lib.rs crates/schedgen/src/build.rs crates/schedgen/src/collectives.rs crates/schedgen/src/goal.rs crates/schedgen/src/graph.rs crates/schedgen/src/lower.rs
+
+/root/repo/target/release/deps/libllamp_schedgen-77b63ba8b450373b.rlib: crates/schedgen/src/lib.rs crates/schedgen/src/build.rs crates/schedgen/src/collectives.rs crates/schedgen/src/goal.rs crates/schedgen/src/graph.rs crates/schedgen/src/lower.rs
+
+/root/repo/target/release/deps/libllamp_schedgen-77b63ba8b450373b.rmeta: crates/schedgen/src/lib.rs crates/schedgen/src/build.rs crates/schedgen/src/collectives.rs crates/schedgen/src/goal.rs crates/schedgen/src/graph.rs crates/schedgen/src/lower.rs
+
+crates/schedgen/src/lib.rs:
+crates/schedgen/src/build.rs:
+crates/schedgen/src/collectives.rs:
+crates/schedgen/src/goal.rs:
+crates/schedgen/src/graph.rs:
+crates/schedgen/src/lower.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/llamp_sim-86e2e723364955a8.d: crates/sim/src/lib.rs crates/sim/src/des.rs crates/sim/src/injector.rs crates/sim/src/netgauge_impl.rs crates/sim/src/noise.rs
+
+/root/repo/target/release/deps/libllamp_sim-86e2e723364955a8.rlib: crates/sim/src/lib.rs crates/sim/src/des.rs crates/sim/src/injector.rs crates/sim/src/netgauge_impl.rs crates/sim/src/noise.rs
+
+/root/repo/target/release/deps/libllamp_sim-86e2e723364955a8.rmeta: crates/sim/src/lib.rs crates/sim/src/des.rs crates/sim/src/injector.rs crates/sim/src/netgauge_impl.rs crates/sim/src/noise.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/des.rs:
+crates/sim/src/injector.rs:
+crates/sim/src/netgauge_impl.rs:
+crates/sim/src/noise.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/llamp_topo-b8b772a14e2661cb.d: crates/topo/src/lib.rs crates/topo/src/dragonfly.rs crates/topo/src/fattree.rs
+
+/root/repo/target/release/deps/libllamp_topo-b8b772a14e2661cb.rlib: crates/topo/src/lib.rs crates/topo/src/dragonfly.rs crates/topo/src/fattree.rs
+
+/root/repo/target/release/deps/libllamp_topo-b8b772a14e2661cb.rmeta: crates/topo/src/lib.rs crates/topo/src/dragonfly.rs crates/topo/src/fattree.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/dragonfly.rs:
+crates/topo/src/fattree.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/llamp_trace-7f59799abd20ef03.d: crates/trace/src/lib.rs crates/trace/src/op.rs crates/trace/src/program.rs crates/trace/src/text.rs
+
+/root/repo/target/release/deps/libllamp_trace-7f59799abd20ef03.rlib: crates/trace/src/lib.rs crates/trace/src/op.rs crates/trace/src/program.rs crates/trace/src/text.rs
+
+/root/repo/target/release/deps/libllamp_trace-7f59799abd20ef03.rmeta: crates/trace/src/lib.rs crates/trace/src/op.rs crates/trace/src/program.rs crates/trace/src/text.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/op.rs:
+crates/trace/src/program.rs:
+crates/trace/src/text.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/llamp_util-6246d56450e21aed.d: crates/util/src/lib.rs crates/util/src/fx.rs crates/util/src/stats.rs crates/util/src/time.rs
+
+/root/repo/target/release/deps/libllamp_util-6246d56450e21aed.rlib: crates/util/src/lib.rs crates/util/src/fx.rs crates/util/src/stats.rs crates/util/src/time.rs
+
+/root/repo/target/release/deps/libllamp_util-6246d56450e21aed.rmeta: crates/util/src/lib.rs crates/util/src/fx.rs crates/util/src/stats.rs crates/util/src/time.rs
+
+crates/util/src/lib.rs:
+crates/util/src/fx.rs:
+crates/util/src/stats.rs:
+crates/util/src/time.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/llamp_workloads-6726954274094687.d: crates/workloads/src/lib.rs crates/workloads/src/cloverleaf.rs crates/workloads/src/decomp.rs crates/workloads/src/hpcg.rs crates/workloads/src/icon.rs crates/workloads/src/lammps.rs crates/workloads/src/lulesh.rs crates/workloads/src/milc.rs crates/workloads/src/namd.rs crates/workloads/src/npb.rs crates/workloads/src/openmx.rs
+
+/root/repo/target/release/deps/libllamp_workloads-6726954274094687.rlib: crates/workloads/src/lib.rs crates/workloads/src/cloverleaf.rs crates/workloads/src/decomp.rs crates/workloads/src/hpcg.rs crates/workloads/src/icon.rs crates/workloads/src/lammps.rs crates/workloads/src/lulesh.rs crates/workloads/src/milc.rs crates/workloads/src/namd.rs crates/workloads/src/npb.rs crates/workloads/src/openmx.rs
+
+/root/repo/target/release/deps/libllamp_workloads-6726954274094687.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cloverleaf.rs crates/workloads/src/decomp.rs crates/workloads/src/hpcg.rs crates/workloads/src/icon.rs crates/workloads/src/lammps.rs crates/workloads/src/lulesh.rs crates/workloads/src/milc.rs crates/workloads/src/namd.rs crates/workloads/src/npb.rs crates/workloads/src/openmx.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cloverleaf.rs:
+crates/workloads/src/decomp.rs:
+crates/workloads/src/hpcg.rs:
+crates/workloads/src/icon.rs:
+crates/workloads/src/lammps.rs:
+crates/workloads/src/lulesh.rs:
+crates/workloads/src/milc.rs:
+crates/workloads/src/namd.rs:
+crates/workloads/src/npb.rs:
+crates/workloads/src/openmx.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab01_solver_vs_sim-e495b52112ce702e.d: crates/bench/src/bin/tab01_solver_vs_sim.rs
+
+/root/repo/target/release/deps/tab01_solver_vs_sim-e495b52112ce702e: crates/bench/src/bin/tab01_solver_vs_sim.rs
+
+crates/bench/src/bin/tab01_solver_vs_sim.rs:

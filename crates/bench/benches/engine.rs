@@ -3,11 +3,14 @@
 //! Measures jobs/second for a fixed campaign (7 workloads × eval backend
 //! over a 5-point grid) at 1, 2 and N worker threads, cold-cache vs.
 //! warm-cache. The warm rows quantify the full-cache-hit fast path (no
-//! graph builds at all); the thread rows quantify executor scaling.
+//! graph builds at all); the thread rows quantify executor scaling. A
+//! second group runs the same campaign through each LP solver variant
+//! (`lp-dense` / `lp-sparse` / `lp-parametric`), reporting the
+//! sparse-vs-dense and warm-vs-cold speedups at campaign granularity.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use llamp_bench::{app_campaign_spec, campaign_grid};
-use llamp_engine::{run_campaign, Backend, CampaignSpec, ExecutorConfig, ResultCache};
+use llamp_engine::{run_campaign, Backend, CampaignSpec, ExecutorConfig, LpSolver, ResultCache};
 use llamp_util::time::us;
 use llamp_workloads::App;
 use std::hint::black_box;
@@ -72,6 +75,30 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// The same campaign answered by each LP solver variant (all re-solve
+/// per grid point through their warm-start path; they differ in the
+/// factorisation — dense inverse vs. sparse LU — and in the parametric
+/// variant's pivot-free basis-stability shortcut).
+fn bench_lp_backends(c: &mut Criterion) {
+    // Two medium workloads over a 9-point grid keeps the dense row under
+    // bench-friendly cost while still showing the per-point re-solve gap.
+    let apps: Vec<(App, u32, usize)> = vec![(App::Milc, 8, 1), (App::Cloverleaf, 8, 1)];
+    let grid = || campaign_grid(0.0, us(60.0), 9, us(1_000.0));
+    let mut group = c.benchmark_group("engine_lp_backends");
+    group.sample_size(2);
+    for solver in [LpSolver::Dense, LpSolver::Sparse, LpSolver::Parametric] {
+        let backend = Backend::Lp(solver);
+        let spec = app_campaign_spec(&apps, &[backend], grid());
+        group.bench_function(BenchmarkId::from_parameter(backend.name()), |b| {
+            b.iter(|| {
+                let cache = ResultCache::new();
+                black_box(run_campaign(&spec, &ExecutorConfig::default(), &cache))
+            })
+        });
+    }
+    group.finish();
+}
+
 fn configured() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -82,6 +109,6 @@ fn configured() -> Criterion {
 criterion_group! {
     name = benches;
     config = configured();
-    targets = bench_engine
+    targets = bench_engine, bench_lp_backends
 }
 criterion_main!(benches);

@@ -1,17 +1,27 @@
 //! Criterion: LP backend costs on graph-shaped models.
 //!
-//! Measures (a) Algorithm 1 model construction, (b) simplex solve time on
-//! contracted graphs of growing size, (c) the parametric envelope pass,
-//! and (d) the bound-tightening resolve that Algorithm 2 performs per
-//! iteration.
+//! Measures (a) Algorithm 1 model construction, (b) per-backend solve
+//! time on contracted graphs of growing size, (c) the parametric envelope
+//! pass, (d) the bound-tightening resolve that Algorithm 2 performs per
+//! iteration, and (e) the headline comparison of this crate's solver
+//! stack: **cold dense vs. cold sparse vs. warm-started sparse /
+//! parametric** on a 64-point latency sweep. The sweep group reports the
+//! sparse-vs-dense and warm-vs-cold speedups the `SolverBackend` layer
+//! exists to deliver: the dense reference re-solves every point from the
+//! all-logical basis, while the warm backends thread each point's optimal
+//! basis into the next (usually a pivot-free re-extraction).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use llamp_bench::graph_of;
+use llamp_bench::{graph_of, linspace};
 use llamp_core::{Binding, GraphLp, ParametricProfile};
 use llamp_model::LogGPSParams;
+use llamp_schedgen::ExecGraph;
 use llamp_util::time::us;
 use llamp_workloads::App;
 use std::hint::black_box;
+
+/// Rows above which the dense-inverse path is too slow to bench.
+const DENSE_ROW_CAP: usize = 2_500;
 
 fn bench_lp(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp_solver");
@@ -26,14 +36,19 @@ fn bench_lp(c: &mut Criterion) {
             |b, g| b.iter(|| black_box(GraphLp::build(g, &binding))),
         );
 
-        // Dense simplex is O(rows²) per pivot; bench it only on models it
-        // is meant for (the envelope covers the rest).
-        if GraphLp::build(&graph, &binding).model().num_constraints() <= 1_200 {
+        // Repeated predicts at one latency: after the first solve the
+        // warm backends answer from the retained basis.
+        for backend in ["dense", "sparse", "parametric"] {
+            if backend == "dense"
+                && GraphLp::build(&graph, &binding).model().num_constraints() > DENSE_ROW_CAP
+            {
+                continue;
+            }
             group.bench_with_input(
-                BenchmarkId::new("simplex_predict", graph.num_vertices()),
+                BenchmarkId::new(format!("predict_{backend}"), graph.num_vertices()),
                 &graph,
                 |b, g| {
-                    let mut lp = GraphLp::build(g, &binding);
+                    let mut lp = GraphLp::build_named(g, &binding, backend).unwrap();
                     b.iter(|| black_box(lp.predict(params.l).unwrap().runtime))
                 },
             );
@@ -60,6 +75,80 @@ fn bench_tolerance(c: &mut Criterion) {
     });
 }
 
+/// One full latency sweep through a named backend. `cold` resets the
+/// backend before every point, so each solve starts from the all-logical
+/// basis; warm sweeps thread the previous basis through.
+fn sweep(graph: &ExecGraph, binding: &Binding, backend: &str, deltas: &[f64], cold: bool) -> f64 {
+    let mut lp = GraphLp::build_named(graph, binding, backend).unwrap();
+    let mut acc = 0.0;
+    for &d in deltas {
+        if cold {
+            lp.reset_backend();
+        }
+        acc += lp.predict(d).unwrap().runtime;
+    }
+    acc
+}
+
+/// The headline benchmark: a 64-point latency sweep, cold dense vs. cold
+/// sparse vs. warm sparse vs. warm parametric.
+///
+/// Two subjects, chosen by LP row count at 8 ranks: the largest bundled
+/// workload outright (HPCG; the dense reference cannot sweep it in bench
+/// time, which is the point of the sparse path), and the largest the
+/// dense inverse can still handle (for the full 4-way comparison).
+fn bench_sweep64(c: &mut Criterion) {
+    let params = LogGPSParams::cscs_testbed(8).with_o(us(6.0));
+    let binding = Binding::uniform(&params);
+    let deltas = linspace(0.0, us(60.0), 64);
+
+    // Rank the bundled workloads by LP size.
+    let mut sized: Vec<(App, ExecGraph, usize)> = App::ALL
+        .iter()
+        .map(|&app| {
+            let g = graph_of(&app.programs(8, 1)).contracted();
+            let rows = GraphLp::build(&g, &binding).model().num_constraints();
+            (app, g, rows)
+        })
+        .collect();
+    sized.sort_by_key(|&(_, _, rows)| rows);
+    let (largest_app, largest_graph, largest_rows) = sized.last().unwrap();
+    let (dense_app, dense_graph, dense_rows) = sized
+        .iter()
+        .rev()
+        .find(|&&(_, _, rows)| rows <= DENSE_ROW_CAP)
+        .expect("some workload fits the dense cap");
+
+    let mut group = c.benchmark_group("sweep64");
+    group.sample_size(2);
+
+    // Full 4-way comparison on the largest dense-eligible workload.
+    let label = format!("{}_{}rows", dense_app.name(), dense_rows);
+    for (mode, backend, cold) in [
+        ("cold_dense", "dense", true),
+        ("cold_sparse", "sparse", true),
+        ("warm_sparse", "sparse", false),
+        ("warm_parametric", "parametric", false),
+    ] {
+        group.bench_with_input(BenchmarkId::new(mode, &label), dense_graph, |b, g| {
+            b.iter(|| black_box(sweep(g, &binding, backend, &deltas, cold)))
+        });
+    }
+
+    // The true largest workload: sparse-only (cold vs. warm).
+    let label = format!("{}_{}rows", largest_app.name(), largest_rows);
+    for (mode, backend, cold) in [
+        ("cold_sparse", "sparse", true),
+        ("warm_sparse", "sparse", false),
+        ("warm_parametric", "parametric", false),
+    ] {
+        group.bench_with_input(BenchmarkId::new(mode, &label), largest_graph, |b, g| {
+            b.iter(|| black_box(sweep(g, &binding, backend, &deltas, cold)))
+        });
+    }
+    group.finish();
+}
+
 fn configured() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -70,6 +159,6 @@ fn configured() -> Criterion {
 criterion_group! {
     name = benches;
     config = configured();
-    targets = bench_lp, bench_tolerance
+    targets = bench_lp, bench_tolerance, bench_sweep64
 }
 criterion_main!(benches);

@@ -13,7 +13,7 @@
 
 use llamp_bench::{app_campaign_spec, campaign_grid, graph_of, Table};
 use llamp_core::{Binding, GraphLp};
-use llamp_engine::{run_campaign, Backend, ExecutorConfig, ResultCache, ScenarioResult};
+use llamp_engine::{run_campaign, Backend, ExecutorConfig, LpSolver, ResultCache, ScenarioResult};
 use llamp_model::LogGPSParams;
 use llamp_util::time::us;
 use llamp_workloads::App;
@@ -55,7 +55,11 @@ fn main() {
     for (backend, apps) in [
         (Backend::Eval, &all),
         (Backend::Parametric, &all),
-        (Backend::Lp, &lp_apps),
+        // Sparse and warm-started LP cover every app; the dense inverse
+        // stays behind the row cap.
+        (Backend::Lp(LpSolver::Sparse), &all),
+        (Backend::Lp(LpSolver::Parametric), &all),
+        (Backend::Lp(LpSolver::Dense), &lp_apps),
     ] {
         let spec = app_campaign_spec(apps, &[backend], grid());
         let t0 = Instant::now();
@@ -79,7 +83,7 @@ fn main() {
     for &(app, rows) in &rows_of {
         let eval = find(Backend::Eval, app).expect("eval campaign covers all apps");
         let envl = find(Backend::Parametric, app).expect("parametric campaign covers all apps");
-        let lp = find(Backend::Lp, app);
+        let lp = find(Backend::Lp(LpSolver::Sparse), app);
         let pe = &eval.outcome.as_ref().unwrap().sweep;
         let pp = &envl.outcome.as_ref().unwrap().sweep;
         let pl = lp.map(|s| &s.outcome.as_ref().unwrap().sweep);
@@ -104,7 +108,7 @@ fn main() {
             if pl.is_some() {
                 "yes".into()
             } else {
-                format!("- (>{ROW_CAP} rows)")
+                "-".into()
             },
             format!("{max_rel:.2e}"),
             if lambda_ok { "yes".into() } else { "NO".into() },

@@ -97,9 +97,17 @@ impl Analyzer {
         self.evaluate(self.base_l).runtime
     }
 
-    /// Build the LP form (Algorithm 1) for solver-based queries.
+    /// Build the LP form (Algorithm 1) for solver-based queries, answered
+    /// by the default backend (warm-started sparse simplex with the
+    /// parametric shortcut).
     pub fn lp(&self) -> GraphLp {
         GraphLp::build(&self.graph, &self.binding)
+    }
+
+    /// Build the LP form with a named solver backend (`"dense"`,
+    /// `"sparse"` or `"parametric"`). `None` for an unknown name.
+    pub fn lp_named(&self, backend: &str) -> Option<GraphLp> {
+        GraphLp::build_named(&self.graph, &self.binding, backend)
     }
 
     /// Exact `T(L)` profile over `[l_min, l_max]`.

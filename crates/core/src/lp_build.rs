@@ -12,7 +12,8 @@
 //! which is what makes the reduced cost of `l` equal `∂T/∂L ≥ 0`.
 
 use crate::binding::Binding;
-use llamp_lp::{LpModel, Objective, Relation, Solution, SolveStatus, VarId};
+use llamp_lp::backend::{by_name, Parametric, SolverBackend};
+use llamp_lp::{Basis, LpModel, Objective, Relation, Solution, SolveStatus, VarId};
 use llamp_schedgen::ExecGraph;
 
 /// Affine running expression `base + c + m·l` for a vertex's completion
@@ -24,12 +25,17 @@ struct Expr {
     m: f64,
 }
 
-/// The LP form of an execution graph under a binding.
-#[derive(Debug, Clone)]
+/// The LP form of an execution graph under a binding, paired with the
+/// [`SolverBackend`] that answers its queries. Successive queries re-solve
+/// through the backend's warm-start path, so a latency sweep threads the
+/// previous optimal basis into the next point (one factorisation plus a
+/// few — often zero — pivots per point instead of a cold solve).
+#[derive(Debug)]
 pub struct GraphLp {
     model: LpModel,
     l: VarId,
     t: VarId,
+    backend: Box<dyn SolverBackend>,
 }
 
 /// What a single `predict` solve reports (the quantities LLAMP reads from
@@ -60,9 +66,26 @@ impl Prediction {
 }
 
 impl GraphLp {
-    /// Algorithm 1: build the LP for `graph` under `binding`. The latency
-    /// variable starts with bound `l ≥ 0`.
+    /// Algorithm 1 with the default solver backend ([`Parametric`]: sparse
+    /// simplex + warm starts + the basis-stability shortcut — the right
+    /// choice for sweeps). The latency variable starts with bound `l ≥ 0`.
     pub fn build(graph: &ExecGraph, binding: &Binding) -> Self {
+        Self::build_with_backend(graph, binding, Box::new(Parametric::default()))
+    }
+
+    /// Algorithm 1 with a named solver backend (`"dense"`, `"sparse"` or
+    /// `"parametric"`; see [`by_name`]).
+    pub fn build_named(graph: &ExecGraph, binding: &Binding, backend: &str) -> Option<Self> {
+        Some(Self::build_with_backend(graph, binding, by_name(backend)?))
+    }
+
+    /// Algorithm 1: build the LP for `graph` under `binding`, answered by
+    /// an explicit solver backend.
+    pub fn build_with_backend(
+        graph: &ExecGraph,
+        binding: &Binding,
+        backend: Box<dyn SolverBackend>,
+    ) -> Self {
         let mut model = LpModel::new(Objective::Minimize);
         let l = model.add_var("l", 0.0, f64::INFINITY, 0.0);
         let t = model.add_var("t", f64::NEG_INFINITY, f64::INFINITY, 1.0);
@@ -143,12 +166,39 @@ impl GraphLp {
             }
         }
 
-        Self { model, l, t }
+        Self {
+            model,
+            l,
+            t,
+            backend,
+        }
     }
 
     /// The underlying model (for statistics or custom solves).
     pub fn model(&self) -> &LpModel {
         &self.model
+    }
+
+    /// Name of the active solver backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Drop the backend's warm state (the next query solves cold).
+    pub fn reset_backend(&mut self) {
+        self.backend.reset();
+    }
+
+    /// The basis the backend would warm-start its next query from.
+    pub fn warm_basis(&self) -> Option<Basis> {
+        self.backend.warm_basis().cloned()
+    }
+
+    /// Re-seed the backend's warm state from an explicit basis (e.g. run
+    /// several related queries from one reference optimum instead of
+    /// chaining them).
+    pub fn seed_backend(&mut self, basis: &Basis) {
+        self.backend.seed(basis);
     }
 
     /// Latency decision variable.
@@ -167,7 +217,7 @@ impl GraphLp {
         self.model.set_var_lb(self.l, l_value);
         self.model.set_sense(Objective::Minimize);
         self.model.set_objective(&[(self.t, 1.0)]);
-        let sol = self.model.solve()?;
+        let sol = self.backend.resolve(&self.model)?;
         Ok(Prediction {
             runtime: sol.objective(),
             lambda: sol.reduced_cost(self.l),
@@ -182,7 +232,7 @@ impl GraphLp {
         self.model.set_var_lb(self.l, l_value);
         self.model.set_sense(Objective::Minimize);
         self.model.set_objective(&[(self.t, 1.0)]);
-        self.model.solve()
+        self.backend.resolve(&self.model)
     }
 
     /// Latency tolerance (§II-D2): maximise `l` subject to
@@ -194,7 +244,7 @@ impl GraphLp {
         self.model.set_var_ub(self.t, max_runtime);
         self.model.set_sense(Objective::Maximize);
         self.model.set_objective(&[(self.l, 1.0)]);
-        let out = match self.model.solve() {
+        let out = match self.backend.resolve(&self.model) {
             Ok(sol) => Ok(sol.value(self.l)),
             Err(SolveStatus::Unbounded) => Ok(f64::INFINITY),
             Err(e) => Err(e),
@@ -336,6 +386,36 @@ mod tests {
         let lcs = lp.critical_latencies(200.0, 500.0, 100.0, 0.01).unwrap();
         assert_eq!(lcs.len(), 1, "{lcs:?}");
         assert!((lcs[0] - 385.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_backends_agree_on_fig5() {
+        let g = running_example(0.1);
+        for name in llamp_lp::backend::BACKEND_NAMES {
+            let mut lp = GraphLp::build_named(&g.contracted(), &didactic(), name).unwrap();
+            assert_eq!(lp.backend_name(), *name);
+            let p = lp.predict(500.0).unwrap();
+            assert!((p.runtime - 1_615.0).abs() < 1e-6, "{name}: {}", p.runtime);
+            assert!((p.lambda - 1.0).abs() < 1e-9, "{name}");
+        }
+        assert!(GraphLp::build_named(&g, &didactic(), "gurobi").is_none());
+    }
+
+    #[test]
+    fn warm_sweep_matches_cold_solves_bitwise() {
+        // A descending latency sweep through the default (parametric)
+        // backend must report exactly what independent cold solves do —
+        // the engine's cross-backend byte-identity contract in miniature.
+        let g = running_example(0.1).contracted();
+        let mut warm = GraphLp::build(&g, &didactic());
+        for i in (0..=20).rev() {
+            let l = 50.0 * i as f64;
+            let p = warm.predict(l).unwrap();
+            let mut cold = GraphLp::build_named(&g, &didactic(), "sparse").unwrap();
+            let q = cold.predict(l).unwrap();
+            assert_eq!(p.runtime.to_bits(), q.runtime.to_bits(), "L={l}");
+            assert_eq!(p.lambda.to_bits(), q.lambda.to_bits(), "L={l}");
+        }
     }
 
     #[test]

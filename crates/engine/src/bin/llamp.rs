@@ -14,7 +14,7 @@
 //! clean for piped JSON.
 
 use llamp_engine::value::{parse_json, Value};
-use llamp_engine::{run_campaign, CampaignSpec, ExecutorConfig, ResultCache};
+use llamp_engine::{parse_backend, run_campaign, CampaignSpec, ExecutorConfig, ResultCache};
 use llamp_workloads::App;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -54,6 +54,9 @@ RUN OPTIONS:
   --cache FILE      load/save the result cache (JSON; created if missing)
   --out FILE        write results JSON here (default: stdout)
   --csv FILE        also write a flat CSV of all sweep points
+  --backends LIST   override the spec's backends (comma-separated:
+                    parametric | eval | lp | lp-dense | lp-sparse |
+                    lp-parametric)
   --timeout-ms N    per-scenario timeout (default: unlimited)
   --quiet           suppress the run summary
 ";
@@ -104,7 +107,7 @@ impl Args {
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let args = Args::parse(
         args,
-        &["threads", "cache", "out", "csv", "timeout-ms"],
+        &["threads", "cache", "out", "csv", "backends", "timeout-ms"],
         &["quiet"],
     )?;
     let [spec_path] = args.positional.as_slice() else {
@@ -112,7 +115,17 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     };
     let source =
         std::fs::read_to_string(spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
-    let spec = CampaignSpec::parse(&source, spec_path).map_err(|e| e.to_string())?;
+    let mut spec = CampaignSpec::parse(&source, spec_path).map_err(|e| e.to_string())?;
+    if let Some(list) = args.get("backends") {
+        spec.backends = list
+            .split(',')
+            .map(|b| parse_backend(b.trim()).map_err(|e| e.to_string()))
+            .collect::<Result<Vec<_>, _>>()?;
+        if spec.backends.is_empty() {
+            return Err("--backends: need at least one backend".into());
+        }
+        spec.canonicalize();
+    }
 
     let threads = match args.get("threads") {
         None => 0,

@@ -54,7 +54,7 @@ pub use campaign::{run_campaign, CampaignResult, Provenance, RunSummary, Scenari
 pub use executor::{run_jobs, ExecutorConfig, JobStatus};
 pub use scenario::{expand, PointResult, Scenario, ScenarioOutcome, ZonesResult};
 pub use spec::{
-    Backend, CampaignSpec, GridSpec, ParamsPreset, ParamsSpec, SpecError, TopologySpec,
-    WorkloadSpec,
+    parse_backend, Backend, CampaignSpec, GridSpec, LpSolver, ParamsPreset, ParamsSpec, SpecError,
+    TopologySpec, WorkloadSpec,
 };
 pub use value::Value;

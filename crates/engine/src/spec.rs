@@ -94,26 +94,72 @@ pub struct ParamsSpec {
     pub s_bytes: Option<u64>,
 }
 
+/// Which simplex variant answers an `lp-*` backend (see
+/// `llamp_lp::backend`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LpSolver {
+    /// Dense basis inverse — the cross-validation reference.
+    Dense,
+    /// Sparse LU + eta file — the at-scale simplex (what plain `"lp"`
+    /// means).
+    Sparse,
+    /// Sparse simplex + warm starts + the Algorithm-2 basis-stability
+    /// shortcut — best for latency sweeps.
+    Parametric,
+}
+
+impl LpSolver {
+    /// The `llamp_lp::backend::by_name` name.
+    pub fn solver_name(&self) -> &'static str {
+        match self {
+            LpSolver::Dense => "dense",
+            LpSolver::Sparse => "sparse",
+            LpSolver::Parametric => "parametric",
+        }
+    }
+}
+
 /// Analysis backend answering the sweep (all cross-validated in
 /// `llamp-core`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Backend {
     /// Exact `T(L)` envelope in one pass (`ParametricProfile`).
     Parametric,
-    /// The paper's Algorithm 1 LP, solved per grid point.
-    Lp,
+    /// The paper's Algorithm 1 LP, solved per grid point by the chosen
+    /// simplex variant. All three variants produce byte-identical results;
+    /// they differ only in speed.
+    Lp(LpSolver),
     /// Direct critical-path evaluation per grid point.
     Eval,
 }
 
 impl Backend {
-    /// Spec-file name.
+    /// Spec-file name (also the cache-key component, so results are keyed
+    /// per solver variant).
     pub fn name(&self) -> &'static str {
         match self {
             Backend::Parametric => "parametric",
-            Backend::Lp => "lp",
+            Backend::Lp(LpSolver::Dense) => "lp-dense",
+            Backend::Lp(LpSolver::Sparse) => "lp-sparse",
+            Backend::Lp(LpSolver::Parametric) => "lp-parametric",
             Backend::Eval => "eval",
         }
+    }
+}
+
+/// Parse a backend name as used in spec files and `llamp run --backends`:
+/// `parametric`, `eval`, `lp-dense`, `lp-sparse`, `lp-parametric`, or the
+/// aliases `lp` / `simplex` (→ `lp-sparse`).
+pub fn parse_backend(name: &str) -> Result<Backend, SpecError> {
+    match name.to_ascii_lowercase().as_str() {
+        "parametric" => Ok(Backend::Parametric),
+        "lp" | "simplex" | "lp-sparse" => Ok(Backend::Lp(LpSolver::Sparse)),
+        "lp-dense" => Ok(Backend::Lp(LpSolver::Dense)),
+        "lp-parametric" => Ok(Backend::Lp(LpSolver::Parametric)),
+        "eval" | "evaluate" => Ok(Backend::Eval),
+        _ => Err(err(format!(
+            "unknown backend '{name}' (expected parametric | eval | lp | lp-dense | lp-sparse | lp-parametric)"
+        ))),
     }
 }
 
@@ -229,17 +275,7 @@ impl CampaignSpec {
                 .as_array()
                 .ok_or_else(|| err("'backends' must be an array of strings"))?
                 .iter()
-                .map(|b| {
-                    let s = b.as_str().ok_or_else(|| err("backend must be a string"))?;
-                    match s.to_ascii_lowercase().as_str() {
-                        "parametric" => Ok(Backend::Parametric),
-                        "lp" | "simplex" => Ok(Backend::Lp),
-                        "eval" | "evaluate" => Ok(Backend::Eval),
-                        _ => Err(err(format!(
-                            "unknown backend '{s}' (expected parametric | lp | eval)"
-                        ))),
-                    }
-                })
+                .map(|b| parse_backend(b.as_str().ok_or_else(|| err("backend must be a string"))?))
                 .collect::<Result<Vec<_>, _>>()?,
         };
         let grid = decode_grid(value.get("grid"))?;

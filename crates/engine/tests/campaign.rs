@@ -1,5 +1,6 @@
 //! Integration tests for the campaign subsystem: spec round-trips, cache
-//! semantics across runs, and thread-count determinism.
+//! semantics across runs, thread-count determinism, and the cross-backend
+//! byte-identity contract of the LP solver variants.
 
 use llamp_engine::{run_campaign, CampaignSpec, ExecutorConfig, Provenance, ResultCache};
 
@@ -152,6 +153,111 @@ fn thread_count_does_not_change_results() {
         "2-thread campaign must equal 1-thread campaign result-for-result"
     );
     assert_eq!(r1.to_json(), r2.to_json());
+}
+
+#[test]
+fn lp_backends_are_byte_identical() {
+    // The three LP solver variants (dense inverse, sparse LU, sparse +
+    // parametric warm-start shortcut) must produce *byte-identical*
+    // numbers: same canonical extraction from the same final bases. Only
+    // the backend label may differ between their serialized scenarios.
+    let spec = CampaignSpec::parse(
+        r#"
+name = "lp-identity"
+backends = ["lp-dense", "lp-sparse", "lp-parametric"]
+
+[grid]
+window = { lo = 0.0, hi = 80000.0, points = 5 }
+search_hi_ns = 1000000.0
+
+[[workloads]]
+app = "cloverleaf"
+ranks = 4
+iters = 1
+
+[[workloads]]
+app = "milc"
+ranks = 4
+iters = 1
+"#,
+        "ident.toml",
+    )
+    .unwrap();
+    let (result, _) = run_campaign(&spec, &config(2), &ResultCache::new());
+    assert_eq!(result.scenarios.len(), 6, "2 workloads x 3 LP backends");
+    // Group by workload, compare the serialized outcome (zones + sweep)
+    // across the three backends byte for byte.
+    for app in ["cloverleaf", "milc"] {
+        let bodies: Vec<(String, String)> = result
+            .scenarios
+            .iter()
+            .filter(|s| s.scenario.workload.canonical().starts_with(app))
+            .map(|s| {
+                let outcome = s.outcome.as_ref().expect("scenario solved");
+                let body = s
+                    .scenario
+                    .to_value()
+                    .to_json()
+                    .replace(s.scenario.backend.name(), "<backend>");
+                let zones = format!("{:?}", outcome.zones);
+                let sweep = format!("{:?}", outcome.sweep);
+                (body, format!("{zones}|{sweep}"))
+            })
+            .collect();
+        assert_eq!(bodies.len(), 3, "{app}");
+        for pair in bodies.windows(2) {
+            assert_eq!(pair[0].0, pair[1].0, "{app}: scenario identity differs");
+            assert_eq!(
+                pair[0].1, pair[1].1,
+                "{app}: results differ across LP backends"
+            );
+        }
+    }
+}
+
+#[test]
+fn lp_points_are_cache_state_independent() {
+    // Each LP grid point warm-starts from the scenario's base-latency
+    // anchor, never from a neighbouring point — so computing a *subset*
+    // of the grid (because the rest was cached) must produce the same
+    // bytes as computing the whole grid fresh.
+    let parse = |deltas: &str| {
+        CampaignSpec::parse(
+            &format!(
+                r#"
+name = "cache-independence"
+backends = ["lp-sparse"]
+[grid]
+deltas_ns = [{deltas}]
+search_hi_ns = 1000000.0
+[[workloads]]
+app = "milc"
+ranks = 4
+iters = 1
+"#
+            ),
+            "x.toml",
+        )
+        .unwrap()
+    };
+    // Warm a cache with a 2-point grid, then run the 3-point superset
+    // against it: only the middle point computes, warm-started from the
+    // anchor.
+    let cache = ResultCache::new();
+    run_campaign(&parse("0.0, 40000.0"), &config(1), &cache);
+    let (with_cache, s1) = run_campaign(&parse("0.0, 20000.0, 40000.0"), &config(1), &cache);
+    assert!(s1.cache_hits > 0, "the superset run must reuse points");
+    // The same superset computed entirely fresh.
+    let (fresh, _) = run_campaign(
+        &parse("0.0, 20000.0, 40000.0"),
+        &config(1),
+        &ResultCache::new(),
+    );
+    assert_eq!(
+        with_cache.to_json(),
+        fresh.to_json(),
+        "cached-subset and fresh runs must be byte-identical"
+    );
 }
 
 #[test]

@@ -1,0 +1,433 @@
+//! The unified solver-backend layer.
+//!
+//! [`SolverBackend`] is the interface the analysis layers (`llamp-core`,
+//! `llamp-engine`) program against: solve a model, re-solve it cheaply
+//! after the incremental edits LLAMP performs (bound tightenings, the
+//! tolerance objective flip), and read duals / reduced costs / ranging
+//! off the returned [`Solution`]. Three implementations:
+//!
+//! * [`DenseSimplex`] — the dense-inverse simplex. The original path,
+//!   `O(m²)` per iteration; kept behind the same interface as the
+//!   cross-validation reference.
+//! * [`SparseSimplex`] — sparse LU + eta-file simplex. The at-scale
+//!   default.
+//! * [`Parametric`] — sparse simplex plus the parametric shortcut of
+//!   Algorithm 2: it remembers the previous optimum's basis-stability
+//!   window, and when a re-solve changed nothing but one variable's lower
+//!   bound *within* that window (the per-`L` step of a latency sweep) it
+//!   skips the simplex entirely — one factorisation, zero pivots.
+//!
+//! All three warm-start `resolve` from the previous optimal basis, and all
+//! three report solutions through the same canonical extraction, so
+//! backends that land on the same final basis return bit-identical
+//! numbers (the engine's cross-backend byte-identity contract).
+//!
+//! Pick a backend by name with [`by_name`] (`"dense"`, `"sparse"`,
+//! `"parametric"`); campaign specs and the `llamp` CLI surface the same
+//! names as `lp-dense` / `lp-sparse` / `lp-parametric`.
+
+use crate::model::{LpModel, Objective, VarId};
+use crate::simplex::{reextract, solve_dense, solve_sparse, SimplexOptions};
+use crate::solution::{Basis, Solution, SolveStatus};
+
+/// A solver that can answer LLAMP's LP queries, re-using work across the
+/// incremental model edits a latency sweep performs.
+pub trait SolverBackend: std::fmt::Debug + Send {
+    /// Spec-file name of this backend (`dense` / `sparse` / `parametric`).
+    fn name(&self) -> &'static str;
+
+    /// Cold solve: ignore (and replace) any retained warm state.
+    fn solve(&mut self, model: &LpModel) -> Result<Solution, SolveStatus>;
+
+    /// Re-solve after incremental model edits, warm-starting from the
+    /// previous optimal basis when one is retained. Falls back to a cold
+    /// solve when no state fits the model.
+    fn resolve(&mut self, model: &LpModel) -> Result<Solution, SolveStatus>;
+
+    /// The basis the next `resolve` would warm-start from, if any.
+    fn warm_basis(&self) -> Option<&Basis>;
+
+    /// Replace the warm state with an explicit basis. Useful to re-seed
+    /// several related solves from one reference optimum instead of
+    /// chaining them — chained warm paths may settle on different
+    /// (degenerate-equivalent) bases per factorisation, while a shared
+    /// seed keeps backends bit-identical.
+    fn seed(&mut self, basis: &Basis);
+
+    /// Drop all warm state (the next `resolve` starts cold).
+    fn reset(&mut self);
+}
+
+/// The backend names [`by_name`] accepts, in canonical order.
+pub const BACKEND_NAMES: &[&str] = &["dense", "sparse", "parametric"];
+
+/// Construct a backend (with default options) from its spec name.
+pub fn by_name(name: &str) -> Option<Box<dyn SolverBackend>> {
+    match name.to_ascii_lowercase().as_str() {
+        "dense" => Some(Box::new(DenseSimplex::default())),
+        "sparse" => Some(Box::new(SparseSimplex::default())),
+        "parametric" => Some(Box::new(Parametric::default())),
+        _ => None,
+    }
+}
+
+/// Dense-inverse simplex backend (cross-validation reference).
+#[derive(Debug, Default)]
+pub struct DenseSimplex {
+    opts: SimplexOptions,
+    warm: Option<Basis>,
+}
+
+impl DenseSimplex {
+    /// Backend with explicit simplex options.
+    pub fn with_options(opts: SimplexOptions) -> Self {
+        Self { opts, warm: None }
+    }
+}
+
+impl SolverBackend for DenseSimplex {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn solve(&mut self, model: &LpModel) -> Result<Solution, SolveStatus> {
+        let sol = solve_dense(model, &self.opts, None)?;
+        self.warm = Some(sol.basis().clone());
+        Ok(sol)
+    }
+
+    fn resolve(&mut self, model: &LpModel) -> Result<Solution, SolveStatus> {
+        let sol = solve_dense(model, &self.opts, self.warm.as_ref())?;
+        self.warm = Some(sol.basis().clone());
+        Ok(sol)
+    }
+
+    fn warm_basis(&self) -> Option<&Basis> {
+        self.warm.as_ref()
+    }
+
+    fn seed(&mut self, basis: &Basis) {
+        self.warm = Some(basis.clone());
+    }
+
+    fn reset(&mut self) {
+        self.warm = None;
+    }
+}
+
+/// Sparse LU / eta-file simplex backend (the at-scale default).
+#[derive(Debug, Default)]
+pub struct SparseSimplex {
+    opts: SimplexOptions,
+    warm: Option<Basis>,
+}
+
+impl SparseSimplex {
+    /// Backend with explicit simplex options.
+    pub fn with_options(opts: SimplexOptions) -> Self {
+        Self { opts, warm: None }
+    }
+}
+
+impl SolverBackend for SparseSimplex {
+    fn name(&self) -> &'static str {
+        "sparse"
+    }
+
+    fn solve(&mut self, model: &LpModel) -> Result<Solution, SolveStatus> {
+        let sol = solve_sparse(model, &self.opts, None)?;
+        self.warm = Some(sol.basis().clone());
+        Ok(sol)
+    }
+
+    fn resolve(&mut self, model: &LpModel) -> Result<Solution, SolveStatus> {
+        let sol = solve_sparse(model, &self.opts, self.warm.as_ref())?;
+        self.warm = Some(sol.basis().clone());
+        Ok(sol)
+    }
+
+    fn warm_basis(&self) -> Option<&Basis> {
+        self.warm.as_ref()
+    }
+
+    fn seed(&mut self, basis: &Basis) {
+        self.warm = Some(basis.clone());
+    }
+
+    fn reset(&mut self) {
+        self.warm = None;
+    }
+}
+
+/// Snapshot of the mutable parts of a model, for detecting what a
+/// `resolve` actually changed.
+#[derive(Debug, Clone, PartialEq)]
+struct ModelStamp {
+    sense: Objective,
+    /// `(lb, ub, obj)` per structural column.
+    cols: Vec<(f64, f64, f64)>,
+    rows: usize,
+}
+
+impl ModelStamp {
+    fn of(model: &LpModel) -> Self {
+        Self {
+            sense: model.sense(),
+            cols: (0..model.num_vars() as u32)
+                .map(|j| {
+                    let v = VarId(j);
+                    (model.var_lb(v), model.var_ub(v), model.var_obj(v))
+                })
+                .collect(),
+            rows: model.num_constraints(),
+        }
+    }
+
+    /// If `other` differs from `self` in exactly one column's *lower
+    /// bound* (same sense, objective, upper bounds, row count), return
+    /// that column.
+    fn single_lb_change(&self, other: &Self) -> Option<VarId> {
+        if self.sense != other.sense
+            || self.rows != other.rows
+            || self.cols.len() != other.cols.len()
+        {
+            return None;
+        }
+        let mut changed = None;
+        for (j, (a, b)) in self.cols.iter().zip(&other.cols).enumerate() {
+            if a.1.to_bits() != b.1.to_bits() || a.2.to_bits() != b.2.to_bits() {
+                return None;
+            }
+            if a.0.to_bits() != b.0.to_bits() {
+                if changed.is_some() {
+                    return None;
+                }
+                changed = Some(VarId(j as u32));
+            }
+        }
+        changed
+    }
+}
+
+#[derive(Debug)]
+struct ParametricState {
+    stamp: ModelStamp,
+    solution: Solution,
+}
+
+/// Sparse simplex with the Algorithm-2 parametric shortcut: a `resolve`
+/// that only moved one lower bound within the previous optimum's
+/// basis-stability window re-extracts the solution from the retained
+/// basis without a single pivot.
+#[derive(Debug, Default)]
+pub struct Parametric {
+    opts: SimplexOptions,
+    state: Option<ParametricState>,
+    /// Explicitly seeded warm basis, used when no full state is retained.
+    seeded: Option<Basis>,
+}
+
+impl Parametric {
+    /// Backend with explicit simplex options.
+    pub fn with_options(opts: SimplexOptions) -> Self {
+        Self {
+            opts,
+            state: None,
+            seeded: None,
+        }
+    }
+
+    fn remember(&mut self, model: &LpModel, sol: &Solution) {
+        self.state = Some(ParametricState {
+            stamp: ModelStamp::of(model),
+            solution: sol.clone(),
+        });
+    }
+}
+
+impl SolverBackend for Parametric {
+    fn name(&self) -> &'static str {
+        "parametric"
+    }
+
+    fn solve(&mut self, model: &LpModel) -> Result<Solution, SolveStatus> {
+        let sol = solve_sparse(model, &self.opts, None)?;
+        self.remember(model, &sol);
+        Ok(sol)
+    }
+
+    fn resolve(&mut self, model: &LpModel) -> Result<Solution, SolveStatus> {
+        // Parametric shortcut: one lower bound moved inside the previous
+        // basis-stability window ⇒ the basis is still optimal, so a
+        // pivot-free re-extraction answers exactly.
+        if let Some(state) = &self.state {
+            let stamp = ModelStamp::of(model);
+            if let Some(v) = state.stamp.single_lb_change(&stamp) {
+                let (lo, hi) = state.solution.lb_range(v);
+                let new_lb = model.var_lb(v);
+                if new_lb >= lo && new_lb <= hi {
+                    if let Ok(sol) = reextract(model, &self.opts, state.solution.basis()) {
+                        self.remember(model, &sol);
+                        return Ok(sol);
+                    }
+                }
+            }
+        }
+        // Anything else: warm-started sparse solve from the last basis
+        // (or an explicitly seeded one).
+        let warm = self
+            .state
+            .as_ref()
+            .map(|s| s.solution.basis().clone())
+            .or_else(|| self.seeded.clone());
+        let sol = solve_sparse(model, &self.opts, warm.as_ref())?;
+        self.remember(model, &sol);
+        Ok(sol)
+    }
+
+    fn warm_basis(&self) -> Option<&Basis> {
+        self.state
+            .as_ref()
+            .map(|s| s.solution.basis())
+            .or(self.seeded.as_ref())
+    }
+
+    fn seed(&mut self, basis: &Basis) {
+        // Re-seeding with the basis the retained state already sits on
+        // keeps the full state, so the basis-stability shortcut can still
+        // answer the next in-window re-solve without iterating. This is
+        // sound for callers seeding every query from one shared anchor
+        // (the engine's determinism pattern): a shortcut hit is verified
+        // by `reextract` to be bit-identical to the warm solve the seed
+        // would otherwise trigger.
+        if self
+            .state
+            .as_ref()
+            .is_some_and(|s| s.solution.basis() == basis)
+        {
+            return;
+        }
+        self.state = None;
+        self.seeded = Some(basis.clone());
+    }
+
+    fn reset(&mut self) {
+        self.state = None;
+        self.seeded = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LpModel, Objective, Relation};
+
+    fn running_example(l_lb: f64) -> (LpModel, VarId) {
+        let mut m = LpModel::new(Objective::Minimize);
+        let l = m.add_var("l", l_lb, f64::INFINITY, 0.0);
+        let y1 = m.add_var("y1", f64::NEG_INFINITY, f64::INFINITY, 0.0);
+        let t = m.add_var("t", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        m.add_constraint("c1", &[(y1, 1.0), (l, -1.0)], Relation::Ge, 0.115);
+        m.add_constraint("c2", &[(y1, 1.0)], Relation::Ge, 0.5);
+        m.add_constraint("c3", &[(t, 1.0)], Relation::Ge, 1.1);
+        m.add_constraint("c4", &[(t, 1.0), (y1, -1.0)], Relation::Ge, 1.0);
+        (m, l)
+    }
+
+    #[test]
+    fn registry_knows_all_backends() {
+        for name in BACKEND_NAMES {
+            let b = by_name(name).unwrap();
+            assert_eq!(b.name(), *name);
+        }
+        assert!(by_name("gurobi").is_none());
+    }
+
+    #[test]
+    fn all_backends_agree_on_running_example() {
+        for name in BACKEND_NAMES {
+            let mut b = by_name(name).unwrap();
+            let (m, l) = running_example(0.5);
+            let sol = b.solve(&m).unwrap();
+            assert!((sol.objective() - 1.615).abs() < 1e-9, "{name}");
+            assert!((sol.reduced_cost(l) - 1.0).abs() < 1e-9, "{name}");
+        }
+    }
+
+    #[test]
+    fn parametric_shortcut_skips_pivots() {
+        let mut b = Parametric::default();
+        let (m, _) = running_example(0.5);
+        let first = b.solve(&m).unwrap();
+        assert!(first.iterations() > 0);
+        // 0.45 is inside the stability window [0.385, ∞) of the l ≥ 0.5
+        // optimum: the shortcut must answer with zero iterations.
+        let (m2, l2) = running_example(0.45);
+        let second = b.resolve(&m2).unwrap();
+        assert_eq!(second.iterations(), 0);
+        assert!((second.objective() - 1.565).abs() < 1e-9);
+        assert!((second.reduced_cost(l2) - 1.0).abs() < 1e-9);
+        // 0.2 is below the 0.385 breakpoint: a real (warm) solve runs and
+        // lands on the compute-dominated optimum.
+        let (m3, l3) = running_example(0.2);
+        let third = b.resolve(&m3).unwrap();
+        assert!((third.objective() - 1.5).abs() < 1e-9);
+        assert!(third.reduced_cost(l3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parametric_matches_cold_solves_bitwise_across_a_sweep() {
+        let mut warm = Parametric::default();
+        for i in 0..20 {
+            let l = 0.1 + 0.03 * i as f64;
+            let (m, lv) = running_example(l);
+            let a = warm.resolve(&m).unwrap();
+            let b = SparseSimplex::default().solve(&m).unwrap();
+            assert_eq!(a.objective().to_bits(), b.objective().to_bits(), "L={l}");
+            assert_eq!(
+                a.reduced_cost(lv).to_bits(),
+                b.reduced_cost(lv).to_bits(),
+                "L={l}"
+            );
+        }
+    }
+
+    #[test]
+    fn anchor_seeding_keeps_the_shortcut_alive() {
+        // The engine seeds every query from one anchor basis. When the
+        // anchor is the backend's own retained optimum, the shortcut must
+        // still fire (zero iterations) and stay bit-identical to the
+        // warm sparse solve the seed would otherwise trigger.
+        let mut p = Parametric::default();
+        let (m0, _) = running_example(0.5);
+        let anchor_sol = p.solve(&m0).unwrap();
+        let anchor = anchor_sol.basis().clone();
+        for l in [0.45, 0.48, 0.5] {
+            let (m, lv) = running_example(l);
+            p.seed(&anchor);
+            let a = p.resolve(&m).unwrap();
+            assert_eq!(a.iterations(), 0, "shortcut must fire at L={l}");
+            let mut s = SparseSimplex::default();
+            s.seed(&anchor);
+            let b = s.resolve(&m).unwrap();
+            assert_eq!(a.objective().to_bits(), b.objective().to_bits(), "L={l}");
+            assert_eq!(
+                a.reduced_cost(lv).to_bits(),
+                b.reduced_cost(lv).to_bits(),
+                "L={l}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_forgets_state() {
+        let mut b = Parametric::default();
+        let (m, _) = running_example(0.5);
+        b.solve(&m).unwrap();
+        b.reset();
+        let (m2, _) = running_example(0.45);
+        let sol = b.resolve(&m2).unwrap();
+        // Cold again: pivots happen.
+        assert!(sol.iterations() > 0);
+    }
+}

@@ -9,32 +9,78 @@
 //!
 //! * [`model::LpModel`] — a general LP model builder: variables with bounds,
 //!   linear constraints (`≤`, `≥`, `=`, ranges), minimise/maximise.
-//! * [`simplex`] — a bounded-variable primal simplex with a dense basis
-//!   inverse, artificial-free phase 1, Dantzig pricing with Bland fallback
-//!   (anti-cycling), and periodic refactorisation.
+//! * [`simplex`] — a bounded-variable primal simplex, generic over the
+//!   basis factorisation (see [`factor`]): the dense inverse (the original
+//!   path, kept for cross-validation) or a sparse LU with a product-form
+//!   eta file (the at-scale path). Artificial-free phase 1, Dantzig
+//!   pricing with deterministic lowest-index tie-breaking and a Bland
+//!   fallback (anti-cycling), a two-pass Harris ratio test, periodic
+//!   refactorisation, and warm starts from a previous [`Basis`].
+//! * [`backend`] — the [`SolverBackend`] trait the analysis layers program
+//!   against, with three implementations selected by name:
+//!   [`DenseSimplex`], [`SparseSimplex`] and [`Parametric`] (sparse +
+//!   the Algorithm-2 shortcut: a re-solve that moved one lower bound
+//!   within the previous basis-stability window is answered by a
+//!   pivot-free re-extraction).
 //! * [`solution::Solution`] — primal values, objective, row duals, reduced
-//!   costs, and *bound ranging*: the equivalent of Gurobi's `SARHSLow` /
-//!   `SALBLow` attributes that Algorithm 2 of the paper relies on.
+//!   costs, the exportable warm-start [`Basis`], and *bound ranging*: the
+//!   equivalent of Gurobi's `SARHSLow` / `SALBLow` attributes that
+//!   Algorithm 2 of the paper relies on.
 //! * [`presolve`] — fixed-variable elimination, empty/singleton-row
 //!   reduction and duplicate-row dropping, mirroring the presolve phase the
 //!   paper credits for the LP approach outperforming simulation (§II-D3).
 //! * [`piecewise`] — convex piecewise-linear functions represented as upper
-//!   envelopes of lines. This powers the *parametric* backend: for the
-//!   network-structured LPs LLAMP produces, the full value function `T(L)`
-//!   can be computed exactly over a latency window, yielding every critical
-//!   latency, the sensitivity step function `λ_L(L)` and exact tolerances in
-//!   a single pass.
+//!   envelopes of lines. This powers the graph-level *parametric envelope*
+//!   backend in `llamp-core`: the full value function `T(L)` over a
+//!   latency window in a single pass.
 //!
-//! Both solving styles are cross-validated against each other (and against
-//! brute-force enumeration) in the test suites of this crate and
+//! ## The warm-start protocol
+//!
+//! Every solved model exports its optimal [`Basis`]
+//! ([`Solution::basis`]). Passing it back into the next solve of an
+//! *edited* model (bounds moved, objective or sense changed — the edits a
+//! latency sweep and the tolerance flip perform) starts the simplex from
+//! that basis instead of the all-logical one. A sweep point that stays
+//! within the previous basis-stability window re-solves with zero pivots;
+//! one that crosses a breakpoint needs only the few pivots that walk to
+//! the adjacent basis. The [`backend::SolverBackend::resolve`] method is
+//! this protocol's front door; `solve` always starts cold.
+//!
+//! ## Cross-backend determinism
+//!
+//! Solutions are extracted *canonically*: whatever factorisation ran the
+//! pivots, every reported number is recomputed from a fresh sparse LU of
+//! the final basis (columns in ascending order, nonbasic values snapped
+//! exactly onto their bounds). Pricing and ratio-test ties break by
+//! lowest index within a relative epsilon. Together these make a
+//! solution a pure function of `(model, final basis)` — dense, sparse,
+//! warm and cold paths that land on the same basis return bit-identical
+//! results, which is what lets `llamp-engine` demand byte-identical
+//! campaign output across its `lp-dense` / `lp-sparse` / `lp-parametric`
+//! backends.
+//!
+//! ## Picking a backend
+//!
+//! [`backend::by_name`] maps `"dense"`, `"sparse"` and `"parametric"` to
+//! boxed backends; campaign specs surface the same choice as
+//! `backends = ["lp-dense" | "lp-sparse" | "lp-parametric"]` (plain
+//! `"lp"` means `lp-sparse`). Use `dense` to cross-check numerics,
+//! `sparse` for one-shot solves at scale, `parametric` for sweeps —
+//! anything that re-solves the same graph at many latencies.
+//!
+//! All solving styles are cross-validated against each other (and against
+//! brute-force vertex enumeration) in the test suites of this crate and
 //! `llamp-core`.
 
+pub mod backend;
+pub(crate) mod factor;
 pub mod model;
 pub mod piecewise;
 pub mod presolve;
 pub mod simplex;
 pub mod solution;
 
+pub use backend::{by_name, DenseSimplex, Parametric, SolverBackend, SparseSimplex};
 pub use model::{ConId, LpModel, Objective, Relation, VarId};
 pub use piecewise::{Envelope, Line};
-pub use solution::{Solution, SolveStatus};
+pub use solution::{Basis, Solution, SolveStatus};

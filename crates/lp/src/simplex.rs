@@ -1,4 +1,4 @@
-//! Bounded-variable primal simplex.
+//! Bounded-variable primal simplex, generic over the basis factorisation.
 //!
 //! Design notes (what a reader needs to audit the implementation):
 //!
@@ -16,23 +16,57 @@
 //!   shrinks total infeasibility.
 //! * **Pricing.** Dantzig (most negative reduced cost) with an automatic
 //!   fallback to Bland's least-index rule after a run of degenerate pivots,
-//!   guaranteeing termination.
-//! * **Factorisation.** The basis inverse is kept as a dense column-major
-//!   matrix updated by elementary (eta) transformations, refactorised from
-//!   scratch periodically via Gauss–Jordan elimination with partial
-//!   pivoting. Dense linear algebra bounds this solver to medium problems —
-//!   the parametric envelope backend in `llamp-core` covers the
-//!   multi-million-vertex graphs, exactly as the paper leans on Gurobi's
-//!   presolve for scale (§II-D3).
+//!   guaranteeing termination. Reduced-cost ties (within a relative
+//!   epsilon) break toward the lowest column index, so the pivot sequence —
+//!   and therefore the final basis — is reproducible across the dense and
+//!   sparse factorisation paths despite their different rounding.
+//! * **Ratio test.** Two-pass Harris: pass 1 computes the largest step
+//!   every basic variable tolerates with its bound expanded by the
+//!   feasibility tolerance; pass 2 picks the largest-magnitude pivot among
+//!   rows blocking within that step, breaking near-ties toward the lowest
+//!   basis position. This both stabilises the pivot choice and makes it
+//!   deterministic across factorisation backends.
+//! * **Factorisation.** The basis is held behind the [`BasisFactor`] trait:
+//!   [`DenseInv`] (dense inverse + dense eta updates, the original path,
+//!   kept for cross-validation) or [`SparseLu`] (sparse LU + product-form
+//!   eta file, the at-scale path). Both refactorise periodically.
+//! * **Warm starts.** A solved model exposes its final [`Basis`];
+//!   [`solve_dense`]/[`solve_sparse`] accept one and start from it instead
+//!   of the all-logical basis. After a bound tightening (Algorithm 2's
+//!   `l ≥ L` step) the previous basis is typically a handful of pivots —
+//!   often zero — from the new optimum.
+//! * **Canonical extraction.** Whatever path produced the final basis, the
+//!   reported [`Solution`] is recomputed from scratch off a canonical
+//!   sparse LU of the basis columns in ascending column order. Solutions
+//!   are therefore a pure function of `(model, final basis)`: a cold dense
+//!   solve, a cold sparse solve and a warm re-solve that land on the same
+//!   basis report bit-identical numbers — the property the engine's
+//!   cross-backend byte-identity contract rests on.
+//!
+//! [`DenseInv`]: crate::factor::DenseInv
+//! [`SparseLu`]: crate::factor::SparseLu
+//! [`BasisFactor`]: crate::factor::BasisFactor
 
 // Dense linear-algebra kernels index several same-length buffers per loop;
 // iterator zips would obscure the math without changing codegen.
 #![allow(clippy::needless_range_loop)]
 
+use crate::factor::{BasisFactor, ColsView, DenseInv, SparseLu};
 use crate::model::{LpModel, Objective};
-use crate::solution::{Solution, SolveStatus, VarStatus};
+use crate::solution::{Basis, Solution, SolveStatus, VarStatus};
 
 const INF: f64 = f64::INFINITY;
+
+/// Relative epsilon under which two reduced costs count as tied in
+/// Dantzig pricing (ties break toward the lowest column index). Wide
+/// enough to swallow the rounding gap between the dense-inverse and
+/// sparse-LU factorisations — mathematically tied candidates must
+/// resolve identically in both, or their pivot paths (and degenerate
+/// final bases) drift apart.
+const PRICE_TIE_REL: f64 = 1e-6;
+/// Relative epsilon under which two ratio-test pivot magnitudes count as
+/// tied (ties break toward the lowest basis position).
+const RATIO_TIE_REL: f64 = 1e-6;
 
 /// Tunable solver parameters. The defaults suit the well-scaled (±1
 /// coefficient) models LLAMP generates.
@@ -46,7 +80,7 @@ pub struct SimplexOptions {
     pub pivot_tol: f64,
     /// Hard iteration cap; `0` selects `20_000 + 50·(m+n)`.
     pub max_iterations: u64,
-    /// Refactorise the basis inverse every this many pivots.
+    /// Refactorise the basis every this many pivots.
     pub refactor_every: u64,
     /// Switch to Bland's rule after this many consecutive degenerate pivots.
     pub bland_after: u32,
@@ -65,17 +99,17 @@ impl Default for SimplexOptions {
     }
 }
 
-/// Retained basis data enabling post-solve ranging queries.
+/// Retained basis data enabling post-solve ranging queries. Holds the
+/// canonical sparse LU built at extraction, so ranging is identical no
+/// matter which factorisation ran the pivots.
 #[derive(Debug, Clone)]
 pub struct RangingData {
-    m: usize,
-    /// Column-major dense basis inverse.
-    binv: Vec<f64>,
+    lu: SparseLu,
     /// Column sparse structure of the extended matrix (structural+logical).
     col_start: Vec<usize>,
     col_rows: Vec<u32>,
     col_vals: Vec<f64>,
-    /// Basic column per row position.
+    /// Basic column per row position (ascending column order).
     basis: Vec<usize>,
     /// Values of all extended columns at the optimum.
     x: Vec<f64>,
@@ -132,17 +166,12 @@ impl RangingData {
     }
 
     fn ftran(&self, j: usize) -> Vec<f64> {
-        let m = self.m;
-        let mut w = vec![0.0; m];
-        for idx in self.col_start[j]..self.col_start[j + 1] {
-            let k = self.col_rows[idx] as usize;
-            let a = self.col_vals[idx];
-            let col = &self.binv[k * m..(k + 1) * m];
-            for i in 0..m {
-                w[i] += a * col[i];
-            }
-        }
-        w
+        let view = ColsView {
+            start: &self.col_start,
+            rows: &self.col_rows,
+            vals: &self.col_vals,
+        };
+        self.lu.ftran_col(view, j)
     }
 }
 
@@ -154,7 +183,18 @@ enum NbStatus {
     FreeZero,
 }
 
-struct Core {
+impl NbStatus {
+    fn to_var_status(self) -> VarStatus {
+        match self {
+            NbStatus::Basic => VarStatus::Basic,
+            NbStatus::Lower => VarStatus::AtLower,
+            NbStatus::Upper => VarStatus::AtUpper,
+            NbStatus::FreeZero => VarStatus::FreeZero,
+        }
+    }
+}
+
+struct Core<F: BasisFactor> {
     m: usize,
     n_struct: usize,
     n_total: usize,
@@ -169,29 +209,81 @@ struct Core {
     in_basis: Vec<i32>,
     status: Vec<NbStatus>,
     x: Vec<f64>,
-    /// Column-major dense basis inverse.
-    binv: Vec<f64>,
+    factor: F,
     iterations: u64,
     pivots_since_refactor: u64,
+    /// Whether the requested warm basis was actually installed (a
+    /// dimension mismatch or singular basis silently falls back to the
+    /// cold start).
+    warm_installed: bool,
     opts: SimplexOptions,
 }
 
-/// Solve `model`, returning the optimal [`Solution`] or the terminal
-/// [`SolveStatus`] explaining why none exists.
+/// Solve `model` with the default (sparse LU) factorisation, returning the
+/// optimal [`Solution`] or the terminal [`SolveStatus`] explaining why
+/// none exists.
 pub fn solve(model: &LpModel, opts: &SimplexOptions) -> Result<Solution, SolveStatus> {
-    let mut core = Core::build(model, opts.clone());
+    solve_sparse(model, opts, None)
+}
+
+/// Solve with the dense basis inverse (the cross-validation reference
+/// path). `warm` optionally seeds the starting basis.
+pub fn solve_dense(
+    model: &LpModel,
+    opts: &SimplexOptions,
+    warm: Option<&Basis>,
+) -> Result<Solution, SolveStatus> {
+    solve_generic::<DenseInv>(model, opts, warm)
+}
+
+/// Solve with the sparse LU / eta-file factorisation (the at-scale path).
+/// `warm` optionally seeds the starting basis.
+pub fn solve_sparse(
+    model: &LpModel,
+    opts: &SimplexOptions,
+    warm: Option<&Basis>,
+) -> Result<Solution, SolveStatus> {
+    solve_generic::<SparseLu>(model, opts, warm)
+}
+
+/// Re-extract a solution from a purportedly-still-optimal basis (e.g.
+/// Algorithm 2's basis-stability argument after a bound move). The basis
+/// is *verified*, not trusted: primal feasibility is checked at the same
+/// scaled tolerance the solve path uses to trigger phase 1, and a full
+/// pricing pass confirms no improving column exists. On success the
+/// result is bit-identical to what a warm `solve_sparse` from the same
+/// basis would report (which would run zero pivots); any verification
+/// failure returns `Err` so the caller can fall back to a real solve.
+pub fn reextract(
+    model: &LpModel,
+    opts: &SimplexOptions,
+    basis: &Basis,
+) -> Result<Solution, SolveStatus> {
+    let core: Core<SparseLu> = Core::build(model, opts.clone(), Some(basis));
+    if !core.warm_installed || !core.is_primal_feasible(1.0) || core.price(false).is_some() {
+        return Err(SolveStatus::Infeasible);
+    }
+    Ok(core.extract(model))
+}
+
+fn solve_generic<F: BasisFactor>(
+    model: &LpModel,
+    opts: &SimplexOptions,
+    warm: Option<&Basis>,
+) -> Result<Solution, SolveStatus> {
+    let mut core: Core<F> = Core::build(model, opts.clone(), warm);
     let max_iters = if opts.max_iterations == 0 {
         20_000 + 50 * (core.m as u64 + core.n_total as u64)
     } else {
         opts.max_iterations
     };
 
-    // Phase 1: restore primal feasibility if the slack basis violates row
-    // bounds.
-    if core.infeasibility() > opts.feas_tol {
+    // Phase 1: restore primal feasibility if the starting basis violates
+    // row bounds.
+    if !core.is_primal_feasible(1.0) {
         match core.iterate(true, max_iters) {
             PhaseOutcome::Done => {
-                if core.infeasibility() > opts.feas_tol * 10.0 {
+                if !core.is_primal_feasible(10.0) {
                     return Err(SolveStatus::Infeasible);
                 }
             }
@@ -212,14 +304,25 @@ pub fn solve(model: &LpModel, opts: &SimplexOptions) -> Result<Solution, SolveSt
     }
 }
 
+/// Bound-violation tolerance, scaled by the bound's magnitude. Feasibility
+/// must be relative on these models: grid latencies are nanoseconds, so
+/// basic values reach `1e9` where an absolute `1e-7` sits inside the
+/// factorisation's recompute noise — and a noise-triggered phase 1 in one
+/// factorisation backend but not the other would break cross-backend
+/// determinism.
+#[inline]
+fn viol_tol(bound: f64, feas: f64) -> f64 {
+    feas * (1.0 + bound.abs())
+}
+
 enum PhaseOutcome {
     Done,
     Unbounded,
     IterLimit,
 }
 
-impl Core {
-    fn build(model: &LpModel, opts: SimplexOptions) -> Self {
+impl<F: BasisFactor> Core<F> {
+    fn build(model: &LpModel, opts: SimplexOptions, warm: Option<&Basis>) -> Self {
         let m = model.rows.len();
         let n_struct = model.cols.len();
         let n_total = n_struct + m;
@@ -277,42 +380,6 @@ impl Core {
             cost.push(0.0);
         }
 
-        // Nonbasic structural variables start at their bound nearest zero;
-        // logical variables form the initial basis (B = −I ⇒ B⁻¹ = −I).
-        let mut status = vec![NbStatus::Lower; n_total];
-        let mut x = vec![0.0; n_total];
-        for j in 0..n_struct {
-            let (l, u) = (lb[j], ub[j]);
-            if l.is_finite() && u.is_finite() {
-                if l.abs() <= u.abs() {
-                    status[j] = NbStatus::Lower;
-                    x[j] = l;
-                } else {
-                    status[j] = NbStatus::Upper;
-                    x[j] = u;
-                }
-            } else if l.is_finite() {
-                status[j] = NbStatus::Lower;
-                x[j] = l;
-            } else if u.is_finite() {
-                status[j] = NbStatus::Upper;
-                x[j] = u;
-            } else {
-                status[j] = NbStatus::FreeZero;
-                x[j] = 0.0;
-            }
-        }
-        let mut basis = Vec::with_capacity(m);
-        let mut in_basis = vec![-1i32; n_total];
-        let mut binv = vec![0.0; m * m];
-        for i in 0..m {
-            let j = n_struct + i;
-            basis.push(j);
-            in_basis[j] = i as i32;
-            status[j] = NbStatus::Basic;
-            binv[i * m + i] = -1.0;
-        }
-
         let mut core = Self {
             m,
             n_struct,
@@ -323,17 +390,147 @@ impl Core {
             lb,
             ub,
             cost,
-            basis,
-            in_basis,
-            status,
-            x,
-            binv,
+            basis: Vec::new(),
+            in_basis: vec![-1i32; n_total],
+            status: vec![NbStatus::Lower; n_total],
+            x: vec![0.0; n_total],
+            factor: F::new(m),
             iterations: 0,
             pivots_since_refactor: 0,
+            warm_installed: false,
             opts,
         };
+
+        let warm_ok = warm.is_some_and(|b| core.try_install_basis(b));
+        if !warm_ok {
+            core.install_default_basis();
+        }
+        core.warm_installed = warm_ok;
         core.recompute_basics();
         core
+    }
+
+    /// Cold start: nonbasic structural variables at their bound nearest
+    /// zero, logical variables forming the basis (`B = −I`).
+    fn install_default_basis(&mut self) {
+        let (m, n_struct) = (self.m, self.n_struct);
+        for j in 0..n_struct {
+            let (l, u) = (self.lb[j], self.ub[j]);
+            let (st, xj) = if l.is_finite() && u.is_finite() {
+                if l.abs() <= u.abs() {
+                    (NbStatus::Lower, l)
+                } else {
+                    (NbStatus::Upper, u)
+                }
+            } else if l.is_finite() {
+                (NbStatus::Lower, l)
+            } else if u.is_finite() {
+                (NbStatus::Upper, u)
+            } else {
+                (NbStatus::FreeZero, 0.0)
+            };
+            self.status[j] = st;
+            self.x[j] = xj;
+            self.in_basis[j] = -1;
+        }
+        self.basis.clear();
+        for i in 0..m {
+            let j = n_struct + i;
+            self.basis.push(j);
+            self.in_basis[j] = i as i32;
+            self.status[j] = NbStatus::Basic;
+        }
+        let ok = self.refactorize();
+        debug_assert!(ok, "the all-logical basis is always nonsingular");
+    }
+
+    /// Try to start from a previous solve's basis. Statuses are
+    /// normalised against the *current* bounds (a bound that became
+    /// infinite demotes the status) and the basis matrix is refactorised;
+    /// any mismatch falls back to the cold start.
+    fn try_install_basis(&mut self, warm: &Basis) -> bool {
+        if warm.cols.len() != self.n_struct || warm.rows.len() != self.m {
+            return false;
+        }
+        let mut basis = Vec::with_capacity(self.m);
+        let mut status = vec![NbStatus::Lower; self.n_total];
+        let mut x = vec![0.0; self.n_total];
+        for j in 0..self.n_total {
+            let s = if j < self.n_struct {
+                warm.cols[j]
+            } else {
+                warm.rows[j - self.n_struct]
+            };
+            let (l, u) = (self.lb[j], self.ub[j]);
+            let st = match s {
+                VarStatus::Basic => NbStatus::Basic,
+                VarStatus::AtLower if l.is_finite() => NbStatus::Lower,
+                VarStatus::AtUpper if u.is_finite() => NbStatus::Upper,
+                // Bound vanished (or FreeZero): rest on the nearest
+                // remaining finite bound, or free at zero.
+                _ => {
+                    if l.is_finite() {
+                        NbStatus::Lower
+                    } else if u.is_finite() {
+                        NbStatus::Upper
+                    } else {
+                        NbStatus::FreeZero
+                    }
+                }
+            };
+            status[j] = st;
+            x[j] = match st {
+                NbStatus::Basic => {
+                    basis.push(j);
+                    0.0
+                }
+                NbStatus::Lower => l,
+                NbStatus::Upper => u,
+                NbStatus::FreeZero => 0.0,
+            };
+        }
+        if basis.len() != self.m {
+            return false;
+        }
+        // Install tentatively; refactorisation is the singularity check.
+        let saved_basis = std::mem::replace(&mut self.basis, basis);
+        if !self.refactorize() {
+            self.basis = saved_basis;
+            return false;
+        }
+        self.status = status;
+        self.x = x;
+        for v in &mut self.in_basis {
+            *v = -1;
+        }
+        for (i, &j) in self.basis.iter().enumerate() {
+            self.in_basis[j] = i as i32;
+        }
+        true
+    }
+
+    fn cols_view(&self) -> ColsView<'_> {
+        ColsView {
+            start: &self.col_start,
+            rows: &self.col_rows,
+            vals: &self.col_vals,
+        }
+    }
+
+    /// Refactorise the basis, resetting the eta counter on success.
+    fn refactorize(&mut self) -> bool {
+        let ok = self.factor.refactor(
+            ColsView {
+                start: &self.col_start,
+                rows: &self.col_rows,
+                vals: &self.col_vals,
+            },
+            &self.basis,
+        );
+        if ok {
+            self.pivots_since_refactor = 0;
+        }
+        ok
     }
 
     /// Recompute all basic variable values from the nonbasic assignment:
@@ -350,63 +547,21 @@ impl Core {
                 r[self.col_rows[idx] as usize] -= self.col_vals[idx] * xj;
             }
         }
-        let mut xb = vec![0.0; m];
-        for k in 0..m {
-            let rk = r[k];
-            if rk == 0.0 {
-                continue;
-            }
-            let col = &self.binv[k * m..(k + 1) * m];
-            for i in 0..m {
-                xb[i] += rk * col[i];
-            }
-        }
+        let xb = self.factor.ftran_dense(&r);
         for i in 0..m {
             self.x[self.basis[i]] = xb[i];
         }
     }
 
-    fn infeasibility(&self) -> f64 {
-        let mut total = 0.0;
-        for &b in &self.basis {
+    /// Whether every basic variable sits within its (magnitude-scaled,
+    /// `mult`-relaxed) bounds.
+    fn is_primal_feasible(&self, mult: f64) -> bool {
+        let feas = self.opts.feas_tol * mult;
+        self.basis.iter().all(|&b| {
             let v = self.x[b];
-            if v < self.lb[b] {
-                total += self.lb[b] - v;
-            } else if v > self.ub[b] {
-                total += v - self.ub[b];
-            }
-        }
-        total
-    }
-
-    /// BTRAN: `y = cᵦᵀ B⁻¹` for the given basic cost vector.
-    fn btran(&self, cb: &[f64]) -> Vec<f64> {
-        let m = self.m;
-        let mut y = vec![0.0; m];
-        for (k, yk) in y.iter_mut().enumerate() {
-            let col = &self.binv[k * m..(k + 1) * m];
-            let mut acc = 0.0;
-            for i in 0..m {
-                acc += cb[i] * col[i];
-            }
-            *yk = acc;
-        }
-        y
-    }
-
-    /// FTRAN: `w = B⁻¹ A_j`.
-    fn ftran(&self, j: usize) -> Vec<f64> {
-        let m = self.m;
-        let mut w = vec![0.0; m];
-        for idx in self.col_start[j]..self.col_start[j + 1] {
-            let k = self.col_rows[idx] as usize;
-            let a = self.col_vals[idx];
-            let col = &self.binv[k * m..(k + 1) * m];
-            for i in 0..m {
-                w[i] += a * col[i];
-            }
-        }
-        w
+            v >= self.lb[b] - viol_tol(self.lb[b], feas)
+                && v <= self.ub[b] + viol_tol(self.ub[b], feas)
+        })
     }
 
     fn dot_col(&self, j: usize, y: &[f64]) -> f64 {
@@ -417,69 +572,133 @@ impl Core {
         acc
     }
 
-    /// Rebuild the dense basis inverse via Gauss–Jordan with partial
-    /// pivoting, then refresh the basic values.
-    fn refactor(&mut self) {
-        let m = self.m;
-        if m == 0 {
-            return;
-        }
-        // Assemble B column-major.
-        let mut b = vec![0.0; m * m];
-        for (pos, &j) in self.basis.iter().enumerate() {
-            for idx in self.col_start[j]..self.col_start[j + 1] {
-                b[pos * m + self.col_rows[idx] as usize] = self.col_vals[idx];
+    /// The bound (and whether it is the upper one) at which basic position
+    /// `i` blocks a step that changes it at `rate` per unit step.
+    /// Phase-aware: an infeasible basic variable blocks at the bound it is
+    /// approaching and never at one behind it.
+    fn blocking_bound(&self, i: usize, rate: f64, phase1: bool, feas: f64) -> Option<(f64, bool)> {
+        let b = self.basis[i];
+        let xb = self.x[b];
+        let (lbi, ubi) = (self.lb[b], self.ub[b]);
+        if rate > 0.0 {
+            // x_b increases.
+            if phase1 && xb < lbi - viol_tol(lbi, feas) {
+                // Infeasible below: blocks when it reaches lb.
+                Some((lbi, false))
+            } else if phase1 && xb > ubi + viol_tol(ubi, feas) {
+                // Already above ub and moving further up: no bound ahead
+                // to cross (its cost is in the pricing).
+                None
+            } else if ubi.is_finite() {
+                Some((ubi, true))
+            } else {
+                None
+            }
+        } else {
+            // x_b decreases.
+            if phase1 && xb > ubi + viol_tol(ubi, feas) {
+                Some((ubi, true))
+            } else if phase1 && xb < lbi - viol_tol(lbi, feas) {
+                None
+            } else if lbi.is_finite() {
+                Some((lbi, false))
+            } else {
+                None
             }
         }
-        // Invert into `inv` (column-major) by Gauss-Jordan on [B | I].
-        let mut inv = vec![0.0; m * m];
-        for i in 0..m {
-            inv[i * m + i] = 1.0;
-        }
-        for col in 0..m {
-            // Partial pivot on rows >= col in column `col` of B.
-            let mut piv = col;
-            let mut best = b[col * m + col].abs();
-            for r in col + 1..m {
-                let v = b[col * m + r].abs();
-                if v > best {
-                    best = v;
-                    piv = r;
+    }
+
+    /// Phase-dependent basic cost vector; the flag reports whether any
+    /// basic variable is (scaled-tolerance) infeasible.
+    fn phase_costs(&self, phase1: bool) -> (Vec<f64>, bool) {
+        let feas = self.opts.feas_tol;
+        let mut cb = vec![0.0; self.m];
+        let mut any_infeasible = false;
+        for (i, &b) in self.basis.iter().enumerate() {
+            if phase1 {
+                if self.x[b] < self.lb[b] - viol_tol(self.lb[b], feas) {
+                    cb[i] = -1.0;
+                    any_infeasible = true;
+                } else if self.x[b] > self.ub[b] + viol_tol(self.ub[b], feas) {
+                    cb[i] = 1.0;
+                    any_infeasible = true;
                 }
-            }
-            if best < 1e-12 {
-                // Singular basis should be impossible; fall back to leaving
-                // the previous inverse in place.
-                return;
-            }
-            if piv != col {
-                for k in 0..m {
-                    b.swap(k * m + col, k * m + piv);
-                    inv.swap(k * m + col, k * m + piv);
-                }
-            }
-            let d = b[col * m + col];
-            for k in 0..m {
-                b[k * m + col] /= d;
-                inv[k * m + col] /= d;
-            }
-            for r in 0..m {
-                if r == col {
-                    continue;
-                }
-                let f = b[col * m + r];
-                if f == 0.0 {
-                    continue;
-                }
-                for k in 0..m {
-                    b[k * m + r] -= f * b[k * m + col];
-                    inv[k * m + r] -= f * inv[k * m + col];
-                }
+            } else {
+                cb[i] = self.cost[b];
             }
         }
-        self.binv = inv;
-        self.pivots_since_refactor = 0;
-        self.recompute_basics();
+        (cb, any_infeasible)
+    }
+
+    /// One full pricing pass under the current basis: the entering column
+    /// `(col, |d|, dir)`, or `None` at (phase-)optimality. Dantzig with a
+    /// relative tie epsilon — candidates within `PRICE_TIE_REL` of the
+    /// best keep the earlier (lowest) index, making the choice
+    /// reproducible across factorisation backends — or Bland's least
+    /// index when `use_bland` is set.
+    fn price_with(&self, phase1: bool, use_bland: bool) -> Option<(usize, f64, f64)> {
+        let (cb, _) = self.phase_costs(phase1);
+        self.price_from(&cb, phase1, use_bland)
+    }
+
+    /// [`Core::price_with`] with the phase costs already computed (the
+    /// iterate loop shares one `phase_costs` scan between its phase-1
+    /// early-exit check and pricing).
+    fn price_from(&self, cb: &[f64], phase1: bool, use_bland: bool) -> Option<(usize, f64, f64)> {
+        let opt = self.opts.opt_tol;
+        let y = self.factor.btran_dense(cb);
+        let mut entering: Option<(usize, f64, f64)> = None; // (col, |d|, dir)
+        for j in 0..self.n_total {
+            let st = self.status[j];
+            if st == NbStatus::Basic {
+                continue;
+            }
+            let cj = if phase1 { 0.0 } else { self.cost[j] };
+            let d = cj - self.dot_col(j, &y);
+            let dir = match st {
+                NbStatus::Lower => {
+                    if d < -opt {
+                        1.0
+                    } else {
+                        continue;
+                    }
+                }
+                NbStatus::Upper => {
+                    if d > opt {
+                        -1.0
+                    } else {
+                        continue;
+                    }
+                }
+                NbStatus::FreeZero => {
+                    if d < -opt {
+                        1.0
+                    } else if d > opt {
+                        -1.0
+                    } else {
+                        continue;
+                    }
+                }
+                NbStatus::Basic => unreachable!(),
+            };
+            if use_bland {
+                return Some((j, d.abs(), dir));
+            }
+            let better = match entering {
+                None => true,
+                Some((_, best, _)) => d.abs() > best * (1.0 + PRICE_TIE_REL),
+            };
+            if better {
+                entering = Some((j, d.abs(), dir));
+            }
+        }
+        entering
+    }
+
+    /// Optimality probe used by [`reextract`]: the phase-2 entering
+    /// column, if one exists.
+    fn price(&self, use_bland: bool) -> Option<(usize, f64, f64)> {
+        self.price_with(false, use_bland)
     }
 
     /// Run simplex iterations for one phase. `phase1` selects infeasibility
@@ -487,7 +706,6 @@ impl Core {
     fn iterate(&mut self, phase1: bool, max_iters: u64) -> PhaseOutcome {
         let m = self.m;
         let feas = self.opts.feas_tol;
-        let opt = self.opts.opt_tol;
         let mut degenerate_streak = 0u32;
 
         loop {
@@ -496,148 +714,83 @@ impl Core {
             }
             self.iterations += 1;
 
-            // Phase-dependent basic costs.
-            let mut cb = vec![0.0; m];
-            let mut any_infeasible = false;
-            for (i, &b) in self.basis.iter().enumerate() {
-                if phase1 {
-                    if self.x[b] < self.lb[b] - feas {
-                        cb[i] = -1.0;
-                        any_infeasible = true;
-                    } else if self.x[b] > self.ub[b] + feas {
-                        cb[i] = 1.0;
-                        any_infeasible = true;
-                    }
-                } else {
-                    cb[i] = self.cost[b];
-                }
-            }
+            let (cb, any_infeasible) = self.phase_costs(phase1);
             if phase1 && !any_infeasible {
+                // Every basic variable is back inside its bounds.
                 return PhaseOutcome::Done;
             }
 
-            let y = self.btran(&cb);
-
-            // Pricing: find an entering column.
             let use_bland = degenerate_streak >= self.opts.bland_after;
-            let mut entering: Option<(usize, f64, f64)> = None; // (col, d, dir)
-            let mut best_score = opt;
-            for j in 0..self.n_total {
-                let st = self.status[j];
-                if st == NbStatus::Basic {
-                    continue;
-                }
-                let cj = if phase1 { 0.0 } else { self.cost[j] };
-                let d = cj - self.dot_col(j, &y);
-                let dir = match st {
-                    NbStatus::Lower => {
-                        if d < -opt {
-                            1.0
-                        } else {
-                            continue;
-                        }
-                    }
-                    NbStatus::Upper => {
-                        if d > opt {
-                            -1.0
-                        } else {
-                            continue;
-                        }
-                    }
-                    NbStatus::FreeZero => {
-                        if d < -opt {
-                            1.0
-                        } else if d > opt {
-                            -1.0
-                        } else {
-                            continue;
-                        }
-                    }
-                    NbStatus::Basic => unreachable!(),
-                };
-                if use_bland {
-                    entering = Some((j, d, dir));
-                    break;
-                }
-                if d.abs() > best_score {
-                    best_score = d.abs();
-                    entering = Some((j, d, dir));
-                }
-            }
+            let entering = self.price_from(&cb, phase1, use_bland);
 
             let Some((q, _dq, dir)) = entering else {
-                return if phase1 {
-                    // No improving column; infeasibility is minimal. The
-                    // caller checks whether it reached ~zero.
-                    PhaseOutcome::Done
-                } else {
-                    PhaseOutcome::Done
-                };
+                // No improving column: this phase is optimal (for phase 1
+                // the caller checks whether infeasibility reached ~zero).
+                return PhaseOutcome::Done;
             };
 
-            let w = self.ftran(q);
+            let w = self.factor.ftran_col(self.cols_view(), q);
 
-            // Ratio test: how far can x_q travel in direction `dir`?
-            let mut t_limit = if self.lb[q].is_finite() && self.ub[q].is_finite() {
+            // Two-pass Harris ratio test. `t_room` caps the step at a full
+            // bound traversal of the entering variable.
+            let t_room = if self.lb[q].is_finite() && self.ub[q].is_finite() {
                 self.ub[q] - self.lb[q]
             } else {
                 INF
             };
-            let mut leaving: Option<(usize, bool)> = None; // (row pos, leaves at upper)
+            // Pass 1: the largest step under feas-expanded bounds.
+            let mut t_max = t_room;
             for i in 0..m {
                 let rate = -dir * w[i];
                 if rate.abs() <= self.opts.pivot_tol {
                     continue;
                 }
-                let b = self.basis[i];
-                let xb = self.x[b];
-                let (lbi, ubi) = (self.lb[b], self.ub[b]);
-                let (blocking, at_upper) = if rate > 0.0 {
-                    // x_b increases.
-                    if phase1 && xb < lbi - feas {
-                        // Infeasible below: blocks when it reaches lb.
-                        (Some(lbi), false)
-                    } else if phase1 && xb > ubi + feas {
-                        // Already above ub and moving further up: no bound
-                        // ahead to cross (its cost is in the pricing).
-                        (None, false)
-                    } else if ubi.is_finite() {
-                        (Some(ubi), true)
-                    } else {
-                        (None, false)
+                if let Some((bound, _)) = self.blocking_bound(i, rate, phase1, feas) {
+                    let xb = self.x[self.basis[i]];
+                    let expanded = (bound - xb) / rate + viol_tol(bound, feas) / rate.abs();
+                    if expanded < t_max {
+                        t_max = expanded;
                     }
-                } else {
-                    // x_b decreases.
-                    if phase1 && xb > ubi + feas {
-                        (Some(ubi), true)
-                    } else if phase1 && xb < lbi - feas {
-                        // Already below lb and moving further down: no
-                        // bound ahead to cross.
-                        (None, false)
-                    } else if lbi.is_finite() {
-                        (Some(lbi), false)
-                    } else {
-                        (None, false)
-                    }
-                };
-                if let Some(bound) = blocking {
-                    let t = ((bound - xb) / rate).max(0.0);
-                    if t < t_limit - 1e-12 {
-                        t_limit = t;
-                        leaving = Some((i, at_upper));
-                    } else if t < t_limit + 1e-12 && leaving.is_some() {
-                        // Tie-break toward the larger |pivot| for stability.
-                        let (cur, _) = leaving.unwrap();
-                        if w[i].abs() > w[cur].abs() {
+                }
+            }
+            if t_max.is_infinite() {
+                return PhaseOutcome::Unbounded;
+            }
+            let t_max = t_max.max(0.0);
+            // Pass 2: the largest-magnitude pivot among rows blocking
+            // within t_max, near-ties keeping the lowest basis position.
+            let mut leaving: Option<(usize, bool)> = None;
+            let mut leave_t = 0.0f64;
+            let mut leave_w = 0.0f64;
+            for i in 0..m {
+                let rate = -dir * w[i];
+                if rate.abs() <= self.opts.pivot_tol {
+                    continue;
+                }
+                if let Some((bound, at_upper)) = self.blocking_bound(i, rate, phase1, feas) {
+                    let xb = self.x[self.basis[i]];
+                    let strict = ((bound - xb) / rate).max(0.0);
+                    if strict <= t_max {
+                        let better = match leaving {
+                            None => true,
+                            Some(_) => w[i].abs() > leave_w * (1.0 + RATIO_TIE_REL),
+                        };
+                        if better {
                             leaving = Some((i, at_upper));
+                            leave_t = strict;
+                            leave_w = w[i].abs();
                         }
                     }
                 }
             }
 
-            if t_limit.is_infinite() {
-                return PhaseOutcome::Unbounded;
-            }
+            let t_limit = match leaving {
+                // No blocking row within reach: the entering variable
+                // traverses its whole box (t_room is finite here, or
+                // t_max would have stayed infinite).
+                None => t_room,
+                Some(_) => leave_t,
+            };
             if t_limit <= 1e-12 {
                 degenerate_streak += 1;
             } else {
@@ -690,15 +843,9 @@ impl Core {
                     self.basis[r] = q;
                     self.in_basis[q] = r as i32;
                     self.status[q] = NbStatus::Basic;
-                    self.update_binv(&w, r);
+                    self.factor.update(&w, r);
                     #[cfg(debug_assertions)]
                     if std::env::var_os("LLAMP_LP_CHECK").is_some() {
-                        let res = self.binv_residual();
-                        assert!(
-                            res < 1e-6,
-                            "binv residual {res} after pivot (iter {})",
-                            self.iterations
-                        );
                         let incr: Vec<f64> = self.basis.iter().map(|&b| self.x[b]).collect();
                         self.recompute_basics();
                         for (i, &b) in self.basis.iter().enumerate() {
@@ -708,67 +855,24 @@ impl Core {
                         }
                     }
                     self.pivots_since_refactor += 1;
-                    if self.pivots_since_refactor >= self.opts.refactor_every {
-                        self.refactor();
+                    // A (numerically) singular refactorisation keeps the
+                    // eta-updated factor, mirroring the historic dense
+                    // behaviour.
+                    if self.pivots_since_refactor >= self.opts.refactor_every && self.refactorize()
+                    {
+                        self.recompute_basics();
                     }
                 }
             }
         }
     }
 
-    /// Maximum residual `|B·B⁻¹ − I|` (debug aid).
-    #[cfg(debug_assertions)]
-    #[allow(dead_code)]
-    fn binv_residual(&self) -> f64 {
-        let m = self.m;
-        let mut worst = 0.0f64;
-        // (B · Binv)[i][k] = Σ_j B[i][j] · Binv[j][k]; B's column j is the
-        // sparse column of basis[j].
-        for k in 0..m {
-            let mut acc = vec![0.0; m];
-            for (j, &bj) in self.basis.iter().enumerate() {
-                let x = self.binv[k * m + j];
-                if x == 0.0 {
-                    continue;
-                }
-                for idx in self.col_start[bj]..self.col_start[bj + 1] {
-                    acc[self.col_rows[idx] as usize] += self.col_vals[idx] * x;
-                }
-            }
-            for i in 0..m {
-                let want = if i == k { 1.0 } else { 0.0 };
-                worst = worst.max((acc[i] - want).abs());
-            }
-        }
-        worst
-    }
-
-    /// Eta update: replace basic position `r` given the FTRAN direction `w`.
-    fn update_binv(&mut self, w: &[f64], r: usize) {
-        let m = self.m;
-        let wr = w[r];
-        debug_assert!(wr.abs() > self.opts.pivot_tol, "zero pivot");
-        for k in 0..m {
-            let col = &mut self.binv[k * m..(k + 1) * m];
-            let brk = col[r];
-            if brk == 0.0 {
-                continue;
-            }
-            let scaled = brk / wr;
-            col[r] = scaled;
-            for i in 0..m {
-                if i != r && w[i] != 0.0 {
-                    col[i] -= w[i] * scaled;
-                }
-            }
-        }
-    }
-
+    /// Canonical extraction: report the optimum as a pure function of
+    /// `(model, final basis)`. The basis is re-ordered by ascending
+    /// column, nonbasic values are snapped exactly onto their bounds, and
+    /// every reported quantity is recomputed from a fresh sparse LU —
+    /// identical regardless of which factorisation ran the pivots.
     fn extract(mut self, model: &LpModel) -> Solution {
-        // One final refactor to tighten numerics before reporting.
-        if self.pivots_since_refactor > 0 {
-            self.refactor();
-        }
         let sign = match model.sense {
             Objective::Minimize => 1.0,
             Objective::Maximize => -1.0,
@@ -776,11 +880,53 @@ impl Core {
         let m = self.m;
         let n = self.n_struct;
 
+        self.basis.sort_unstable();
+        for (i, &b) in self.basis.iter().enumerate() {
+            self.in_basis[b] = i as i32;
+        }
+        for j in 0..self.n_total {
+            match self.status[j] {
+                NbStatus::Basic => {}
+                NbStatus::Lower => self.x[j] = self.lb[j],
+                NbStatus::Upper => self.x[j] = self.ub[j],
+                NbStatus::FreeZero => self.x[j] = 0.0,
+            }
+        }
+        let mut lu = SparseLu::new(m);
+        let view = ColsView {
+            start: &self.col_start,
+            rows: &self.col_rows,
+            vals: &self.col_vals,
+        };
+        // A basis the solver itself maintained is nonsingular; if the
+        // fresh LU is numerically borderline (pivot under the default
+        // threshold), retry accepting any nonzero pivot so extraction
+        // degrades to reduced accuracy rather than failing — matching the
+        // historic dense path, which reported from its stale inverse.
+        let ok = lu.refactor(view, &self.basis) || lu.refactor_min_pivot(view, &self.basis, 0.0);
+        assert!(ok, "exactly singular basis at extraction");
+
+        // x_B = B⁻¹ (0 − A_N x_N).
+        let mut r = vec![0.0; m];
+        for j in 0..self.n_total {
+            if self.in_basis[j] >= 0 || self.x[j] == 0.0 {
+                continue;
+            }
+            let xj = self.x[j];
+            for idx in self.col_start[j]..self.col_start[j + 1] {
+                r[self.col_rows[idx] as usize] -= self.col_vals[idx] * xj;
+            }
+        }
+        let xb = lu.ftran_dense(&r);
+        for (i, &b) in self.basis.iter().enumerate() {
+            self.x[b] = xb[i];
+        }
+
         let mut cb = vec![0.0; m];
         for (i, &b) in self.basis.iter().enumerate() {
             cb[i] = self.cost[b];
         }
-        let y = self.btran(&cb);
+        let y = lu.btran_dense(&cb);
 
         let mut x = Vec::with_capacity(n);
         let mut reduced = Vec::with_capacity(n);
@@ -791,18 +937,14 @@ impl Core {
             objective += model.cols[j].obj * self.x[j];
             let d_int = self.cost[j] - self.dot_col(j, &y);
             reduced.push(sign * d_int);
-            statuses.push(match self.status[j] {
-                NbStatus::Basic => VarStatus::Basic,
-                NbStatus::Lower => VarStatus::AtLower,
-                NbStatus::Upper => VarStatus::AtUpper,
-                NbStatus::FreeZero => VarStatus::FreeZero,
-            });
+            statuses.push(self.status[j].to_var_status());
         }
 
         let mut duals = Vec::with_capacity(m);
         let mut activity = Vec::with_capacity(m);
         let mut row_lb = Vec::with_capacity(m);
         let mut row_ub = Vec::with_capacity(m);
+        let mut row_statuses = Vec::with_capacity(m);
         for i in 0..m {
             // Logical column i has coefficient −1: reduced cost of the
             // logical is 0 − yᵀ(−e_i) = y_i = ∂obj/∂(row bound).
@@ -810,11 +952,15 @@ impl Core {
             activity.push(self.x[n + i]);
             row_lb.push(model.rows[i].lb);
             row_ub.push(model.rows[i].ub);
+            row_statuses.push(self.status[n + i].to_var_status());
         }
 
+        let basis = Basis {
+            cols: statuses.clone(),
+            rows: row_statuses,
+        };
         let ranging = RangingData {
-            m,
-            binv: self.binv,
+            lu,
             col_start: self.col_start,
             col_rows: self.col_rows,
             col_vals: self.col_vals,
@@ -835,7 +981,8 @@ impl Core {
             iterations: self.iterations,
             row_lb,
             row_ub,
-            ranging: Box::new(ranging),
+            basis,
+            ranging: std::sync::Arc::new(ranging),
         }
     }
 }
@@ -1021,5 +1168,89 @@ mod tests {
         m.add_constraint("c3", &[(a, 3.0), (b, 2.0)], Relation::Le, 18.0);
         let sol = m.solve().unwrap();
         assert!(sol.iterations() > 0);
+    }
+
+    #[test]
+    fn dense_and_sparse_are_bit_identical() {
+        let mut m = LpModel::new(Objective::Maximize);
+        let a = m.add_var("a", 0.0, INF, 3.0);
+        let b = m.add_var("b", 0.0, INF, 5.0);
+        m.add_constraint("c1", &[(a, 1.0)], Relation::Le, 4.0);
+        m.add_constraint("c2", &[(b, 2.0)], Relation::Le, 12.0);
+        m.add_constraint("c3", &[(a, 3.0), (b, 2.0)], Relation::Le, 18.0);
+        let opts = SimplexOptions::default();
+        let d = solve_dense(&m, &opts, None).unwrap();
+        let s = solve_sparse(&m, &opts, None).unwrap();
+        assert_eq!(d.objective().to_bits(), s.objective().to_bits());
+        for v in [a, b] {
+            assert_eq!(d.value(v).to_bits(), s.value(v).to_bits());
+            assert_eq!(d.reduced_cost(v).to_bits(), s.reduced_cost(v).to_bits());
+        }
+        assert_eq!(d.basis(), s.basis());
+    }
+
+    #[test]
+    fn warm_start_reaches_same_optimum() {
+        // min t with l >= L, warm-started from a neighbouring L.
+        let build = |l_lb: f64| {
+            let mut m = LpModel::new(Objective::Minimize);
+            let l = m.add_var("l", l_lb, INF, 0.0);
+            let y1 = m.add_var("y1", f64::NEG_INFINITY, INF, 0.0);
+            let t = m.add_var("t", f64::NEG_INFINITY, INF, 1.0);
+            m.add_constraint("c1", &[(y1, 1.0), (l, -1.0)], Relation::Ge, 0.115);
+            m.add_constraint("c2", &[(y1, 1.0)], Relation::Ge, 0.5);
+            m.add_constraint("c3", &[(t, 1.0)], Relation::Ge, 1.1);
+            m.add_constraint("c4", &[(t, 1.0), (y1, -1.0)], Relation::Ge, 1.0);
+            m
+        };
+        let opts = SimplexOptions::default();
+        let first = solve_sparse(&build(0.5), &opts, None).unwrap();
+        // Warm-started re-solve at a nearby bound must agree bitwise with
+        // a cold solve (same final basis, canonical extraction).
+        let m2 = build(0.6);
+        let warm = solve_sparse(&m2, &opts, Some(first.basis())).unwrap();
+        let cold = solve_sparse(&m2, &opts, None).unwrap();
+        assert_eq!(warm.objective().to_bits(), cold.objective().to_bits());
+        assert_eq!(warm.basis(), cold.basis());
+        // Inside the stability window the warm start needs no pivots.
+        assert_eq!(warm.iterations(), 1, "only the optimality pricing pass");
+    }
+
+    #[test]
+    fn reextract_matches_full_solve_inside_stability_window() {
+        let build = |l_lb: f64| {
+            let mut m = LpModel::new(Objective::Minimize);
+            let l = m.add_var("l", l_lb, INF, 0.0);
+            let y1 = m.add_var("y1", f64::NEG_INFINITY, INF, 0.0);
+            let t = m.add_var("t", f64::NEG_INFINITY, INF, 1.0);
+            m.add_constraint("c1", &[(y1, 1.0), (l, -1.0)], Relation::Ge, 0.115);
+            m.add_constraint("c2", &[(y1, 1.0)], Relation::Ge, 0.5);
+            m.add_constraint("c3", &[(t, 1.0)], Relation::Ge, 1.1);
+            m.add_constraint("c4", &[(t, 1.0), (y1, -1.0)], Relation::Ge, 1.0);
+            m
+        };
+        let opts = SimplexOptions::default();
+        let first = solve_sparse(&build(0.5), &opts, None).unwrap();
+        let m2 = build(0.7);
+        let re = reextract(&m2, &opts, first.basis()).unwrap();
+        let cold = solve_sparse(&m2, &opts, None).unwrap();
+        assert_eq!(re.objective().to_bits(), cold.objective().to_bits());
+        assert_eq!(re.iterations(), 0);
+    }
+
+    #[test]
+    fn mismatched_warm_basis_falls_back_to_cold() {
+        let mut small = LpModel::new(Objective::Minimize);
+        let x = small.add_var("x", 0.0, 10.0, 1.0);
+        small.add_constraint("r", &[(x, 1.0)], Relation::Ge, 2.0);
+        let sol = small.solve().unwrap();
+
+        let mut big = LpModel::new(Objective::Minimize);
+        let a = big.add_var("a", 0.0, 10.0, 1.0);
+        let b = big.add_var("b", 0.0, 10.0, 1.0);
+        big.add_constraint("r1", &[(a, 1.0), (b, 1.0)], Relation::Ge, 3.0);
+        big.add_constraint("r2", &[(a, 1.0)], Relation::Ge, 1.0);
+        let warm = solve_sparse(&big, &SimplexOptions::default(), Some(sol.basis())).unwrap();
+        assert_close(warm.objective(), 3.0);
     }
 }

@@ -54,6 +54,35 @@ pub enum VarStatus {
     FreeZero,
 }
 
+/// A complete basis snapshot: the status of every structural column and
+/// every row's logical (slack) column. This is the warm-start currency:
+/// [`Solution::basis`] exports it, `simplex::solve_dense` /
+/// `simplex::solve_sparse` accept it as a starting point, and
+/// `simplex::reextract` rebuilds a full [`Solution`] from it without any
+/// pivoting. A basis outlives bound, objective and sense edits on its
+/// model (the edits Algorithm 2 and the tolerance flip perform), which is
+/// exactly what makes latency sweeps cheap: the previous optimum is a
+/// handful of pivots from the next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    /// Status of each structural variable, by column index.
+    pub(crate) cols: Vec<VarStatus>,
+    /// Status of each row's logical variable, by row index.
+    pub(crate) rows: Vec<VarStatus>,
+}
+
+impl Basis {
+    /// Number of structural columns the basis was taken from.
+    pub fn num_vars(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of rows the basis was taken from.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
 /// The result of a successful solve. All reported quantities are expressed
 /// in the *user's* optimisation sense (signs are flipped internally for
 /// maximisation problems).
@@ -68,9 +97,14 @@ pub struct Solution {
     pub(crate) iterations: u64,
     pub(crate) row_lb: Vec<f64>,
     pub(crate) row_ub: Vec<f64>,
+    /// Full basis snapshot (structural + logical statuses) for warm
+    /// starts.
+    pub(crate) basis: Basis,
     /// Final basis factorisation, retained so ranging queries can run
-    /// on demand instead of eagerly for every variable.
-    pub(crate) ranging: Box<RangingData>,
+    /// on demand instead of eagerly for every variable. Shared (`Arc`) so
+    /// cloning a `Solution` — which warm-state bookkeeping does per
+    /// re-solve — does not copy the constraint matrix and LU factors.
+    pub(crate) ranging: std::sync::Arc<RangingData>,
 }
 
 impl Solution {
@@ -139,5 +173,11 @@ impl Solution {
     /// Number of simplex iterations performed (phases 1 and 2 combined).
     pub fn iterations(&self) -> u64 {
         self.iterations
+    }
+
+    /// The optimal basis, for warm-starting a related solve (see
+    /// [`Basis`]).
+    pub fn basis(&self) -> &Basis {
+        &self.basis
     }
 }

@@ -6,7 +6,7 @@
 //! pivot must agree with eta-update-only runs), duality relationships, and
 //! agreement with brute-force vertex enumeration on tiny instances.
 
-use llamp_lp::simplex::{solve, SimplexOptions};
+use llamp_lp::simplex::{solve, solve_dense, solve_sparse, SimplexOptions};
 use llamp_lp::{ConId, LpModel, Objective, Relation, SolveStatus, VarId};
 use proptest::prelude::*;
 
@@ -90,6 +90,93 @@ fn is_feasible(lp: &RandomLp, x: &[f64]) -> bool {
         }
     }
     true
+}
+
+/// Solve a dense square linear system by Gaussian elimination with
+/// partial pivoting. `None` when (numerically) singular.
+// Rows are eliminated in place against the pivot row; indexing keeps the
+// two-row access pattern legible.
+#[allow(clippy::needless_range_loop)]
+fn solve_square(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        let piv = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[piv][col].abs() < 1e-9 {
+            return None;
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        for r in 0..n {
+            if r == col {
+                continue;
+            }
+            let f = a[r][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[r][k] -= f * a[col][k];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    Some((0..n).map(|i| b[i] / a[i][i]).collect())
+}
+
+/// Brute-force LP optimum: enumerate every candidate vertex (intersection
+/// of `nvars` hyperplanes drawn from row-equalities and variable bounds),
+/// keep the feasible ones, and return the best objective. `None` when no
+/// candidate vertex is feasible.
+fn brute_force_optimum(lp: &RandomLp) -> Option<f64> {
+    let n = lp.nvars;
+    // Hyperplanes: each row at equality, each bound.
+    let mut planes: Vec<(Vec<f64>, f64)> = Vec::new();
+    for (terms, _, rhs) in &lp.rows {
+        let mut a = vec![0.0; n];
+        for &(v, c) in terms {
+            a[v] += c;
+        }
+        planes.push((a, *rhs));
+    }
+    for j in 0..n {
+        let mut e = vec![0.0; n];
+        e[j] = 1.0;
+        planes.push((e.clone(), lp.lbs[j]));
+        planes.push((e, lp.ubs[j]));
+    }
+    let mut best: Option<f64> = None;
+    let k = planes.len();
+    // All C(k, n) subsets via a mixed-radix combination walk.
+    let mut idx: Vec<usize> = (0..n).collect();
+    loop {
+        let a: Vec<Vec<f64>> = idx.iter().map(|&i| planes[i].0.clone()).collect();
+        let b: Vec<f64> = idx.iter().map(|&i| planes[i].1).collect();
+        if let Some(x) = solve_square(a, b) {
+            if is_feasible(lp, &x) {
+                let obj: f64 = (0..n).map(|j| lp.objs[j] * x[j]).sum();
+                best = Some(match best {
+                    None => obj,
+                    Some(cur) if lp.maximize => cur.max(obj),
+                    Some(cur) => cur.min(obj),
+                });
+            }
+        }
+        // Next combination.
+        let mut i = n;
+        loop {
+            if i == 0 {
+                return best;
+            }
+            i -= 1;
+            if idx[i] + (n - i) < k {
+                idx[i] += 1;
+                for j in i + 1..n {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
 }
 
 proptest! {
@@ -209,6 +296,91 @@ proptest! {
                     idx[k] = 0;
                     k += 1;
                 }
+            }
+        }
+    }
+
+    /// The dense and sparse factorisation paths must agree on the whole
+    /// reported optimum: status, objective, primal values, duals, reduced
+    /// costs and bound ranging, all within 1e-7 (in practice they are
+    /// bit-identical thanks to deterministic tie-breaking and canonical
+    /// extraction).
+    #[test]
+    fn dense_and_sparse_backends_agree(lp in lp_strategy(5, 6)) {
+        let (m, vars, cons) = build(&lp);
+        let opts = SimplexOptions::default();
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-7 * (1.0 + a.abs());
+        match (solve_dense(&m, &opts, None), solve_sparse(&m, &opts, None)) {
+            (Ok(d), Ok(s)) => {
+                prop_assert!(close(d.objective(), s.objective()),
+                    "objective: {} vs {}", d.objective(), s.objective());
+                for &v in &vars {
+                    prop_assert!(close(d.value(v), s.value(v)), "x[{v:?}]");
+                    prop_assert!(close(d.reduced_cost(v), s.reduced_cost(v)), "d[{v:?}]");
+                    let (dl, dh) = d.lb_range(v);
+                    let (sl, sh) = s.lb_range(v);
+                    prop_assert!(dl == sl || close(dl, sl), "lb_range lo[{v:?}]: {dl} vs {sl}");
+                    prop_assert!(dh == sh || close(dh, sh), "lb_range hi[{v:?}]: {dh} vs {sh}");
+                }
+                for &c in &cons {
+                    prop_assert!(close(d.dual(c), s.dual(c)), "y[{c:?}]: {} vs {}",
+                        d.dual(c), s.dual(c));
+                }
+            }
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+            (x, y) => prop_assert!(false, "status mismatch: {x:?} vs {y:?}"),
+        }
+    }
+
+    /// Both simplex paths must agree with brute-force vertex enumeration
+    /// on tiny instances: the optimum of a bounded LP sits on a vertex,
+    /// and every vertex is the intersection of n active hyperplanes.
+    #[test]
+    fn backends_agree_with_vertex_enumeration(lp in lp_strategy(3, 3)) {
+        let (m, _, _) = build(&lp);
+        let opts = SimplexOptions::default();
+        for sol in [solve_dense(&m, &opts, None), solve_sparse(&m, &opts, None)]
+            .into_iter()
+            .flatten()
+        {
+            // The box is bounded, so an optimum must sit on a vertex.
+            let best = brute_force_optimum(&lp);
+            prop_assert!(best.is_some(), "solver found an optimum but enumeration none");
+            let best = best.unwrap();
+            prop_assert!(
+                (sol.objective() - best).abs() <= 1e-6 * (1.0 + best.abs()),
+                "objective {} vs brute force {}", sol.objective(), best
+            );
+        }
+    }
+
+    /// Warm-starting from a neighbouring model's basis must not change
+    /// the reported optimum.
+    #[test]
+    fn warm_start_agrees_with_cold(lp in lp_strategy(5, 6), bump in 0.0f64..1.0) {
+        let (m, _, _) = build(&lp);
+        let opts = SimplexOptions::default();
+        if let Ok(first) = solve_sparse(&m, &opts, None) {
+            // Tighten var 0's lower bound part-way up its box.
+            let mut lp2 = lp.clone();
+            lp2.lbs[0] += (lp2.ubs[0] - lp2.lbs[0]) * bump * 0.5;
+            let (m2, vars, cons) = build(&lp2);
+            let warm = solve_sparse(&m2, &opts, Some(first.basis()));
+            let cold = solve_sparse(&m2, &opts, None);
+            let close = |a: f64, b: f64| (a - b).abs() <= 1e-7 * (1.0 + a.abs());
+            match (warm, cold) {
+                (Ok(w), Ok(c)) => {
+                    prop_assert!(close(w.objective(), c.objective()),
+                        "objective: {} vs {}", w.objective(), c.objective());
+                    for &v in &vars {
+                        prop_assert!(close(w.value(v), c.value(v)), "x[{v:?}]");
+                    }
+                    for &con in &cons {
+                        prop_assert!(close(w.dual(con), c.dual(con)), "y[{con:?}]");
+                    }
+                }
+                (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+                (x, y) => prop_assert!(false, "status mismatch: {x:?} vs {y:?}"),
             }
         }
     }

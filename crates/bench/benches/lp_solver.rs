@@ -149,6 +149,29 @@ fn bench_sweep64(c: &mut Criterion) {
     group.finish();
 }
 
+/// The cold anchor solve in isolation: one fresh backend, one solve at
+/// the base latency — the price every campaign scenario pays before its
+/// warm sweep can start, and the subject of the ISSUE-3 hypersparse
+/// hot-path work (PR 2 baseline on HPCG: ~728 ms; now ~60 ms).
+fn bench_cold_anchor(c: &mut Criterion) {
+    let params = LogGPSParams::cscs_testbed(8).with_o(us(6.0));
+    let binding = Binding::uniform(&params);
+    let mut group = c.benchmark_group("cold_anchor");
+    group.sample_size(5);
+    for app in [App::Lulesh, App::Hpcg] {
+        let graph = graph_of(&app.programs(8, 1)).contracted();
+        let rows = GraphLp::build(&graph, &binding).model().num_constraints();
+        let label = format!("{}_{}rows", app.name(), rows);
+        group.bench_with_input(BenchmarkId::new("sparse", &label), &graph, |b, g| {
+            b.iter(|| {
+                let mut lp = GraphLp::build_named(g, &binding, "sparse").unwrap();
+                black_box(lp.predict(params.l).unwrap().runtime)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn configured() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -159,6 +182,6 @@ fn configured() -> Criterion {
 criterion_group! {
     name = benches;
     config = configured();
-    targets = bench_lp, bench_tolerance, bench_sweep64
+    targets = bench_lp, bench_tolerance, bench_cold_anchor, bench_sweep64
 }
 criterion_main!(benches);

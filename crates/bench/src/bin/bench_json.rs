@@ -1,0 +1,118 @@
+//! Machine-readable LP solver benchmark: cold anchor solves and warm
+//! sweeps per workload, written to `BENCH_lp.json` so the perf trajectory
+//! is tracked across PRs (append-friendly: one self-contained JSON file
+//! per run, overwritten in place).
+//!
+//! ```text
+//! cargo run --release -p llamp-bench --bin bench_json [-- --out FILE]
+//! ```
+//!
+//! For each bundled workload (8 ranks, 1 iteration — the `sweep64` bench
+//! shape) it reports LP rows, the *cold* sparse anchor solve (the price
+//! every campaign pays once per scenario), a warm 64-point sweep through
+//! the parametric backend, and the solver's iteration count — the numbers
+//! the ISSUE-3 hot-path work is judged on.
+
+use llamp_bench::{graph_of, linspace};
+use llamp_core::{Binding, GraphLp};
+use llamp_model::LogGPSParams;
+use llamp_util::time::us;
+use llamp_workloads::App;
+use std::time::Instant;
+
+struct Row {
+    workload: &'static str,
+    rows: usize,
+    cold_anchor_ms: f64,
+    cold_iterations: u64,
+    warm_sweep_ms: f64,
+    warm_points: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_lp.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = it.next().expect("--out needs a value").clone(),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let params = LogGPSParams::cscs_testbed(8).with_o(us(6.0));
+    let binding = Binding::uniform(&params);
+    let deltas = linspace(0.0, us(60.0), 64);
+
+    let mut rows: Vec<Row> = Vec::new();
+    for app in App::ALL {
+        let graph = graph_of(&app.programs(8, 1)).contracted();
+        let num_rows = GraphLp::build(&graph, &binding).model().num_constraints();
+
+        // Cold anchor: a fresh sparse backend solving at the base latency
+        // from the build-time (crash) state — the per-scenario campaign
+        // cost. Best of three fresh solves, so one cold-cache outlier
+        // cannot distort the tracked trajectory.
+        let mut cold_anchor_ms = f64::INFINITY;
+        let mut lp = GraphLp::build_named(&graph, &binding, "sparse").unwrap();
+        let mut anchor = lp.predict(params.l).expect("anchor solves");
+        for _ in 0..3 {
+            lp = GraphLp::build_named(&graph, &binding, "sparse").unwrap();
+            let t0 = Instant::now();
+            anchor = lp.predict(params.l).expect("anchor solves");
+            cold_anchor_ms = cold_anchor_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+
+        // Warm sweep: every point seeded from the anchor basis, the
+        // engine's access pattern.
+        let anchor_basis = lp.warm_basis().expect("anchor leaves a basis");
+        let mut warm = GraphLp::build_named(&graph, &binding, "parametric").unwrap();
+        warm.seed_backend(&anchor_basis);
+        let t1 = Instant::now();
+        let mut acc = 0.0;
+        for &d in &deltas {
+            warm.seed_backend(&anchor_basis);
+            acc += warm
+                .predict(params.l + d)
+                .expect("sweep point solves")
+                .runtime;
+        }
+        let warm_sweep_ms = t1.elapsed().as_secs_f64() * 1e3;
+        assert!(acc.is_finite());
+
+        eprintln!(
+            "{:<12} {:>5} rows  cold anchor {:>9.2} ms ({} iters)  warm 64-pt sweep {:>9.2} ms",
+            app.name().to_ascii_lowercase(),
+            num_rows,
+            cold_anchor_ms,
+            anchor.iterations,
+            warm_sweep_ms
+        );
+        rows.push(Row {
+            workload: app.name(),
+            rows: num_rows,
+            cold_anchor_ms,
+            cold_iterations: anchor.iterations,
+            warm_sweep_ms,
+            warm_points: deltas.len(),
+        });
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"lp_solver\",\n  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"rows\": {}, \"cold_anchor_ms\": {:.3}, \
+             \"cold_iterations\": {}, \"warm_sweep_ms\": {:.3}, \"warm_points\": {}}}{}\n",
+            r.workload.to_ascii_lowercase(),
+            r.rows,
+            r.cold_anchor_ms,
+            r.cold_iterations,
+            r.warm_sweep_ms,
+            r.warm_points,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write bench json");
+    eprintln!("wrote {out_path}");
+}

@@ -29,6 +29,7 @@ pub mod placement;
 pub use analyzer::{Analyzer, SweepPoint, ToleranceZones};
 pub use binding::{AnalysisVariable, Binding, LatencyModel, LatencyTerm, PairTable};
 pub use eval::{evaluate, pair_sensitivities, Evaluation, PairSensitivities};
+pub use llamp_lp::SolveStats;
 pub use lp_build::{GraphLp, Prediction};
 pub use parametric::ParametricProfile;
 pub use placement::{

@@ -13,7 +13,7 @@
 
 use crate::binding::Binding;
 use llamp_lp::backend::{by_name, Parametric, SolverBackend};
-use llamp_lp::{Basis, LpModel, Objective, Relation, Solution, SolveStatus, VarId};
+use llamp_lp::{Basis, LpModel, Objective, Relation, Solution, SolveStats, SolveStatus, VarId};
 use llamp_schedgen::ExecGraph;
 
 /// Affine running expression `base + c + m·l` for a vertex's completion
@@ -36,6 +36,9 @@ pub struct GraphLp {
     l: VarId,
     t: VarId,
     backend: Box<dyn SolverBackend>,
+    /// Topological crash basis (see [`GraphLp::build_with_backend`]):
+    /// the structural starting point every cold solve is seeded from.
+    crash: Basis,
 }
 
 /// What a single `predict` solve reports (the quantities LLAMP reads from
@@ -81,14 +84,31 @@ impl GraphLp {
 
     /// Algorithm 1: build the LP for `graph` under `binding`, answered by
     /// an explicit solver backend.
+    ///
+    /// Alongside the model this assembles a *topological crash basis*:
+    /// every merge variable `y_v` (and the makespan `t`) is made basic on
+    /// its largest-constant incoming row, all other rows keep their
+    /// logical basic. By the graph's topological order that submatrix is
+    /// unit lower triangular — trivially nonsingular — and it encodes the
+    /// greedy "max over predecessors" forward evaluation, which is
+    /// exactly the LP optimum's critical-path structure. Cold solves are
+    /// seeded from it, replacing the maximally infeasible all-logical
+    /// start (whose phase 1 costs ~1 pivot per row) with a start that is
+    /// usually a handful of pivots from optimal.
     pub fn build_with_backend(
         graph: &ExecGraph,
         binding: &Binding,
         backend: Box<dyn SolverBackend>,
     ) -> Self {
+        use llamp_lp::solution::VarStatus;
+
         let mut model = LpModel::new(Objective::Minimize);
         let l = model.add_var("l", 0.0, f64::INFINITY, 0.0);
         let t = model.add_var("t", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        // Crash-basis statuses, filled in as variables and rows appear.
+        let mut col_status = vec![VarStatus::AtLower, VarStatus::FreeZero];
+        let mut row_status: Vec<VarStatus> = Vec::new();
+        let mut best_sink: Option<(f64, usize)> = None;
 
         let n = graph.num_vertices();
         let mut exprs: Vec<Expr> = vec![
@@ -123,6 +143,8 @@ impl GraphLp {
                 }
                 _ => {
                     let y = model.add_var(format!("y{v}"), f64::NEG_INFINITY, f64::INFINITY, 0.0);
+                    col_status.push(VarStatus::Basic);
+                    let mut best_in: Option<(f64, usize)> = None;
                     for p in preds {
                         let urank = graph.vertex(p.other).rank;
                         let (ec, em) = binding.bind(&p.cost, urank, vert.rank);
@@ -136,12 +158,23 @@ impl GraphLp {
                         if m != 0.0 {
                             terms.push((l, -m));
                         }
+                        let rhs = u.c + ec;
+                        let row_idx = row_status.len();
                         model.add_constraint(
                             format!("in{v}_{}", p.other),
                             &terms,
                             Relation::Ge,
-                            u.c + ec,
+                            rhs,
                         );
+                        row_status.push(VarStatus::Basic);
+                        // Defining in-edge for the crash: largest constant
+                        // (strict >, so ties keep the lowest row index).
+                        if best_in.is_none_or(|(bv, _)| rhs > bv) {
+                            best_in = Some((rhs, row_idx));
+                        }
+                    }
+                    if let Some((_, ri)) = best_in {
+                        row_status[ri] = VarStatus::AtLower;
                     }
                     Expr {
                         base: Some(y),
@@ -162,16 +195,32 @@ impl GraphLp {
                 if ex.m != 0.0 {
                     terms.push((l, -ex.m));
                 }
+                let row_idx = row_status.len();
                 model.add_constraint(format!("sink{v}"), &terms, Relation::Ge, ex.c);
+                row_status.push(VarStatus::Basic);
+                if best_sink.is_none_or(|(bv, _)| ex.c > bv) {
+                    best_sink = Some((ex.c, row_idx));
+                }
             }
         }
 
-        Self {
+        // `t` is basic on its largest-constant sink row (a sink always
+        // exists in a nonempty DAG; stay free-at-zero otherwise).
+        if let Some((_, ri)) = best_sink {
+            row_status[ri] = VarStatus::AtLower;
+            col_status[t.0 as usize] = VarStatus::Basic;
+        }
+        let crash = Basis::from_statuses(col_status, row_status);
+
+        let mut lp = Self {
             model,
             l,
             t,
             backend,
-        }
+            crash,
+        };
+        lp.backend.seed(&lp.crash);
+        lp
     }
 
     /// The underlying model (for statistics or custom solves).
@@ -184,9 +233,18 @@ impl GraphLp {
         self.backend.name()
     }
 
-    /// Drop the backend's warm state (the next query solves cold).
+    /// Drop the warm state accumulated from previous queries: the next
+    /// solve starts from the build-time state (the topological crash
+    /// basis), exactly as a freshly built `GraphLp` would.
     pub fn reset_backend(&mut self) {
         self.backend.reset();
+        self.backend.seed(&self.crash);
+    }
+
+    /// Cumulative solver-effort counters across every query this instance
+    /// has answered (see [`SolveStats`]).
+    pub fn solver_stats(&self) -> SolveStats {
+        self.backend.stats()
     }
 
     /// The basis the backend would warm-start its next query from.

@@ -13,6 +13,7 @@
 //! (threads, cache hit rate, wall time) go to stderr so stdout stays
 //! clean for piped JSON.
 
+use llamp_core::SolveStats;
 use llamp_engine::value::{parse_json, Value};
 use llamp_engine::{parse_backend, run_campaign, CampaignSpec, ExecutorConfig, ResultCache};
 use llamp_workloads::App;
@@ -58,7 +59,15 @@ RUN OPTIONS:
                     parametric | eval | lp | lp-dense | lp-sparse |
                     lp-parametric)
   --timeout-ms N    per-scenario timeout (default: unlimited)
+  --solver-stats    embed aggregate LP solver counters in the results file
+                    (note: counters depend on the cache state, so files
+                    written with this flag are byte-identical only across
+                    runs with the same cache)
   --quiet           suppress the run summary
+
+REPORT OPTIONS:
+  --csv FILE        also write the tolerance table as CSV
+  --solver-stats    print the solver counters embedded by 'run'
 ";
 
 /// Minimal flag parser: positionals plus `--key value` / `--flag`.
@@ -108,7 +117,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let args = Args::parse(
         args,
         &["threads", "cache", "out", "csv", "backends", "timeout-ms"],
-        &["quiet"],
+        &["quiet", "solver-stats"],
     )?;
     let [spec_path] = args.positional.as_slice() else {
         return Err(format!("'run' takes exactly one spec file\n\n{USAGE}"));
@@ -162,7 +171,20 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("cannot save cache {}: {e}", p.display()))?;
     }
 
-    let json = result.to_json();
+    let json = if args.has("solver-stats") {
+        // Opt-in: append the aggregate solver counters to the results
+        // document (they vary with the cache state, so the default
+        // output keeps its byte-identity guarantee).
+        match result.to_value() {
+            Value::Table(mut pairs) => {
+                pairs.push(("solver_stats".into(), solver_stats_value(&summary.solver)));
+                Value::Table(pairs).to_json_pretty()
+            }
+            other => other.to_json_pretty(),
+        }
+    } else {
+        result.to_json()
+    };
     match args.get("out") {
         Some(path) => {
             std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?
@@ -178,6 +200,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             result.name, result.spec_fingerprint
         );
         eprintln!("{}", summary.render());
+        let solver = summary.render_solver_stats();
+        if !solver.is_empty() {
+            eprintln!("{solver}");
+        }
     }
     let failures = result
         .scenarios
@@ -219,8 +245,31 @@ fn describe(app: App) -> &'static str {
     }
 }
 
+/// Encode the aggregate solver counters for the results file.
+fn solver_stats_value(s: &SolveStats) -> Value {
+    let int = |v: u64| Value::Int(v as i64);
+    Value::Table(vec![
+        ("iterations".into(), int(s.iterations)),
+        ("phase1_iterations".into(), int(s.phase1_iterations)),
+        ("pivots".into(), int(s.pivots)),
+        ("bound_flips".into(), int(s.bound_flips)),
+        ("refactorizations".into(), int(s.refactorizations)),
+        ("devex_resets".into(), int(s.devex_resets)),
+        ("ftran_calls".into(), int(s.ftran_calls)),
+        ("ftran_density".into(), Value::Float(s.ftran_density())),
+        ("btran_calls".into(), int(s.btran_calls)),
+        ("btran_density".into(), Value::Float(s.btran_density())),
+        ("pricing_full_scans".into(), int(s.pricing_full_scans)),
+        (
+            "pricing_candidate_scans".into(),
+            int(s.pricing_candidate_scans),
+        ),
+        ("max_resync_drift".into(), Value::Float(s.max_resync_drift)),
+    ])
+}
+
 fn cmd_report(args: &[String]) -> Result<(), String> {
-    let args = Args::parse(args, &["csv"], &[])?;
+    let args = Args::parse(args, &["csv"], &["solver-stats"])?;
     let [path] = args.positional.as_slice() else {
         return Err(format!(
             "'report' takes exactly one results file\n\n{USAGE}"
@@ -305,6 +354,22 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     }
     if let Some(csv_path) = args.get("csv") {
         std::fs::write(csv_path, rows_csv).map_err(|e| format!("cannot write {csv_path}: {e}"))?;
+    }
+    if args.has("solver-stats") {
+        match doc.get("solver_stats") {
+            Some(Value::Table(pairs)) => {
+                println!("\n# lp solver totals (as embedded by 'run --solver-stats')");
+                for (k, v) in pairs {
+                    let rendered = match v {
+                        Value::Int(i) => i.to_string(),
+                        Value::Float(f) => format!("{f:.3e}"),
+                        other => other.to_json(),
+                    };
+                    println!("{k:<24} {rendered}");
+                }
+            }
+            _ => println!("\n(no solver stats embedded; re-run 'llamp run' with --solver-stats)"),
+        }
     }
     Ok(())
 }

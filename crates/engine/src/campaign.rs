@@ -16,6 +16,7 @@ use crate::executor::{run_jobs, ExecutorConfig, JobStatus};
 use crate::scenario::{expand, PointResult, Scenario, ScenarioOutcome, ZonesResult};
 use crate::spec::CampaignSpec;
 use crate::value::Value;
+use llamp_core::SolveStats;
 use std::time::{Duration, Instant};
 
 /// How one scenario's answer was obtained (summary bookkeeping; never part
@@ -75,6 +76,11 @@ pub struct RunSummary {
     pub elapsed: Duration,
     /// Per-scenario provenance, aligned with the result's scenario order.
     pub provenance: Vec<Provenance>,
+    /// Aggregate LP solver-effort counters across the scenarios that
+    /// actually solved LPs this run (cache hits contribute nothing, so
+    /// these — like the timings — live beside, never inside, the
+    /// deterministic results file).
+    pub solver: SolveStats,
 }
 
 impl RunSummary {
@@ -105,6 +111,16 @@ impl RunSummary {
             self.elapsed.as_secs_f64()
         )
     }
+
+    /// Render the aggregate LP solver counters (empty string when no LP
+    /// ran this campaign).
+    pub fn render_solver_stats(&self) -> String {
+        if self.solver.iterations == 0 {
+            String::new()
+        } else {
+            format!("lp solver totals\n{}", self.solver.render())
+        }
+    }
 }
 
 /// Run a campaign against a (possibly pre-warmed) cache.
@@ -131,6 +147,7 @@ pub fn run_campaign(
     // jobs that need the executor.
     let mut slots: Vec<Option<(Result<ScenarioOutcome, String>, Provenance)>> =
         vec![None; all.len()];
+    let mut solver = SolveStats::default();
     let mut to_run: Vec<(usize, &Scenario)> = Vec::new();
     for (i, sc) in all.iter().enumerate() {
         match assemble_from_cache(sc, cache) {
@@ -147,7 +164,7 @@ pub fn run_campaign(
     });
     for ((idx, _), status) in to_run.iter().zip(statuses) {
         slots[*idx] = Some(match status {
-            JobStatus::Done(Ok((outcome, inserts))) => {
+            JobStatus::Done(Ok((outcome, inserts, stats))) => {
                 // Publish computed pieces only for jobs that finished
                 // within budget: a timed-out or panicked job must leave
                 // no trace, or a rerun would silently flip it from error
@@ -155,6 +172,7 @@ pub fn run_campaign(
                 for (key, entry) in inserts {
                     cache.put(key, entry);
                 }
+                solver.merge(&stats);
                 (Ok(outcome), Provenance::Computed)
             }
             JobStatus::Done(Err(msg)) => (Err(msg), Provenance::Failed),
@@ -192,6 +210,7 @@ pub fn run_campaign(
         threads,
         elapsed: started.elapsed(),
         provenance,
+        solver,
     };
     (result, summary)
 }
@@ -233,7 +252,7 @@ type ComputedInserts = Vec<(String, CachedEntry)>;
 fn run_one(
     sc: &Scenario,
     cache: &ResultCache,
-) -> Result<(ScenarioOutcome, ComputedInserts), String> {
+) -> Result<(ScenarioOutcome, ComputedInserts, SolveStats), String> {
     let base = sc.base_canonical();
     let mut cached_points: Vec<Option<PointResult>> = Vec::with_capacity(sc.grid.deltas_ns.len());
     let mut missing: Vec<f64> = Vec::new();
@@ -252,13 +271,16 @@ fn run_one(
         _ => None,
     };
 
-    let (computed_points, computed_zones): (Vec<PointResult>, Option<ZonesResult>) =
-        if missing.is_empty() && cached_zones.is_some() {
-            (Vec::new(), None)
-        } else {
-            let analyzer = sc.build_analyzer()?;
-            sc.compute(&analyzer, &missing, cached_zones.is_none())?
-        };
+    let (computed_points, computed_zones, stats): (
+        Vec<PointResult>,
+        Option<ZonesResult>,
+        SolveStats,
+    ) = if missing.is_empty() && cached_zones.is_some() {
+        (Vec::new(), None, SolveStats::default())
+    } else {
+        let analyzer = sc.build_analyzer()?;
+        sc.compute(&analyzer, &missing, cached_zones.is_none())?
+    };
 
     // Merge computed points back into grid order, collecting the inserts
     // for post-completion publication.
@@ -285,7 +307,7 @@ fn run_one(
         }
         (None, None) => return Err("backend returned no zones".to_string()),
     };
-    Ok((ScenarioOutcome { zones, sweep }, inserts))
+    Ok((ScenarioOutcome { zones, sweep }, inserts, stats))
 }
 
 impl CampaignResult {

@@ -8,7 +8,7 @@ use crate::spec::{
     WorkloadSpec,
 };
 use crate::value::Value;
-use llamp_core::{Analyzer, Binding, GraphLp};
+use llamp_core::{Analyzer, Binding, GraphLp, SolveStats};
 use llamp_model::LogGPSParams;
 use llamp_schedgen::{graph_of_programs, GraphConfig};
 use llamp_topo::{Dragonfly, FatTree};
@@ -161,13 +161,16 @@ impl Scenario {
     ///
     /// `need_deltas` selects which grid points to compute (the campaign
     /// runner passes only cache misses); `need_zones` likewise. Returned
-    /// points follow `need_deltas` order.
+    /// points follow `need_deltas` order. The third element reports the
+    /// LP solver's effort counters (zeroed for the non-LP backends);
+    /// being wall-clock-free but cache-dependent, they belong in
+    /// [`crate::RunSummary`], never in the deterministic results file.
     pub fn compute(
         &self,
         analyzer: &Analyzer,
         need_deltas: &[f64],
         need_zones: bool,
-    ) -> Result<(Vec<PointResult>, Option<ZonesResult>), String> {
+    ) -> Result<(Vec<PointResult>, Option<ZonesResult>, SolveStats), String> {
         let base = analyzer.base_l();
         let hi = base + self.grid.search_hi_ns;
         match self.backend {
@@ -191,7 +194,7 @@ impl Scenario {
                         pct5_ns: z.pct5,
                     }
                 });
-                Ok((points, zones))
+                Ok((points, zones, SolveStats::default()))
             }
             Backend::Eval => {
                 let points = need_deltas
@@ -207,7 +210,7 @@ impl Scenario {
                     })
                     .collect();
                 let zones = need_zones.then(|| eval_zones(analyzer, base, hi));
-                Ok((points, zones))
+                Ok((points, zones, SolveStats::default()))
             }
             Backend::Lp(solver) => {
                 let mut lp = analyzer
@@ -267,7 +270,7 @@ impl Scenario {
                 } else {
                     None
                 };
-                Ok((points, zones))
+                Ok((points, zones, lp.solver_stats()))
             }
         }
     }
@@ -383,7 +386,7 @@ iters = 1
         let mut results = Vec::new();
         for job in &jobs {
             let a = job.build_analyzer().unwrap();
-            let (points, zones) = job.compute(&a, &job.grid.deltas_ns, true).unwrap();
+            let (points, zones, _) = job.compute(&a, &job.grid.deltas_ns, true).unwrap();
             results.push((job.backend, points, zones.unwrap()));
         }
         // All three backends answer the same questions; runtimes must agree

@@ -297,3 +297,38 @@ fn timed_out_jobs_leave_no_cache_entries() {
     assert!(s2.provenance.iter().all(|p| *p == Provenance::Computed));
     assert!(r2.scenarios.iter().all(|s| s.outcome.is_ok()));
 }
+
+#[test]
+fn solver_stats_surface_in_run_summary() {
+    // LP scenarios report their solver effort through the RunSummary side
+    // channel (never the deterministic results file): a computed run has
+    // iterations, a fully cached rerun has none — while the results stay
+    // byte-identical across the two.
+    let spec = CampaignSpec::parse(
+        r#"
+name = "stats"
+backends = ["lp-sparse"]
+[grid]
+deltas_ns = [0.0, 40000.0]
+search_hi_ns = 500000.0
+[[workloads]]
+app = "cloverleaf"
+ranks = 4
+iters = 1
+"#,
+        "stats.toml",
+    )
+    .unwrap();
+    let cache = ResultCache::new();
+    let (r1, s1) = run_campaign(&spec, &config(1), &cache);
+    assert!(
+        s1.solver.iterations > 0 && s1.solver.ftran_calls > 0,
+        "computed LP run must report solver effort: {:?}",
+        s1.solver
+    );
+    assert!(!s1.render_solver_stats().is_empty());
+    let (r2, s2) = run_campaign(&spec, &config(1), &cache);
+    assert_eq!(s2.solver.iterations, 0, "cached rerun solves nothing");
+    assert!(s2.render_solver_stats().is_empty());
+    assert_eq!(r1.to_json(), r2.to_json(), "stats never leak into results");
+}

@@ -28,7 +28,7 @@
 
 use crate::model::{LpModel, Objective, VarId};
 use crate::simplex::{reextract, solve_dense, solve_sparse, SimplexOptions};
-use crate::solution::{Basis, Solution, SolveStatus};
+use crate::solution::{Basis, Solution, SolveStats, SolveStatus};
 
 /// A solver that can answer LLAMP's LP queries, re-using work across the
 /// incremental model edits a latency sweep performs.
@@ -56,6 +56,11 @@ pub trait SolverBackend: std::fmt::Debug + Send {
 
     /// Drop all warm state (the next `resolve` starts cold).
     fn reset(&mut self);
+
+    /// Cumulative solver-effort counters across every solve this backend
+    /// has run (not cleared by [`SolverBackend::reset`] — they are
+    /// observability, not solver state).
+    fn stats(&self) -> SolveStats;
 }
 
 /// The backend names [`by_name`] accepts, in canonical order.
@@ -76,12 +81,17 @@ pub fn by_name(name: &str) -> Option<Box<dyn SolverBackend>> {
 pub struct DenseSimplex {
     opts: SimplexOptions,
     warm: Option<Basis>,
+    stats: SolveStats,
 }
 
 impl DenseSimplex {
     /// Backend with explicit simplex options.
     pub fn with_options(opts: SimplexOptions) -> Self {
-        Self { opts, warm: None }
+        Self {
+            opts,
+            warm: None,
+            stats: SolveStats::default(),
+        }
     }
 }
 
@@ -92,12 +102,14 @@ impl SolverBackend for DenseSimplex {
 
     fn solve(&mut self, model: &LpModel) -> Result<Solution, SolveStatus> {
         let sol = solve_dense(model, &self.opts, None)?;
+        self.stats.merge(sol.stats());
         self.warm = Some(sol.basis().clone());
         Ok(sol)
     }
 
     fn resolve(&mut self, model: &LpModel) -> Result<Solution, SolveStatus> {
         let sol = solve_dense(model, &self.opts, self.warm.as_ref())?;
+        self.stats.merge(sol.stats());
         self.warm = Some(sol.basis().clone());
         Ok(sol)
     }
@@ -113,6 +125,10 @@ impl SolverBackend for DenseSimplex {
     fn reset(&mut self) {
         self.warm = None;
     }
+
+    fn stats(&self) -> SolveStats {
+        self.stats
+    }
 }
 
 /// Sparse LU / eta-file simplex backend (the at-scale default).
@@ -120,12 +136,17 @@ impl SolverBackend for DenseSimplex {
 pub struct SparseSimplex {
     opts: SimplexOptions,
     warm: Option<Basis>,
+    stats: SolveStats,
 }
 
 impl SparseSimplex {
     /// Backend with explicit simplex options.
     pub fn with_options(opts: SimplexOptions) -> Self {
-        Self { opts, warm: None }
+        Self {
+            opts,
+            warm: None,
+            stats: SolveStats::default(),
+        }
     }
 }
 
@@ -136,12 +157,14 @@ impl SolverBackend for SparseSimplex {
 
     fn solve(&mut self, model: &LpModel) -> Result<Solution, SolveStatus> {
         let sol = solve_sparse(model, &self.opts, None)?;
+        self.stats.merge(sol.stats());
         self.warm = Some(sol.basis().clone());
         Ok(sol)
     }
 
     fn resolve(&mut self, model: &LpModel) -> Result<Solution, SolveStatus> {
         let sol = solve_sparse(model, &self.opts, self.warm.as_ref())?;
+        self.stats.merge(sol.stats());
         self.warm = Some(sol.basis().clone());
         Ok(sol)
     }
@@ -156,6 +179,10 @@ impl SolverBackend for SparseSimplex {
 
     fn reset(&mut self) {
         self.warm = None;
+    }
+
+    fn stats(&self) -> SolveStats {
+        self.stats
     }
 }
 
@@ -225,6 +252,7 @@ pub struct Parametric {
     state: Option<ParametricState>,
     /// Explicitly seeded warm basis, used when no full state is retained.
     seeded: Option<Basis>,
+    stats: SolveStats,
 }
 
 impl Parametric {
@@ -234,6 +262,7 @@ impl Parametric {
             opts,
             state: None,
             seeded: None,
+            stats: SolveStats::default(),
         }
     }
 
@@ -252,6 +281,7 @@ impl SolverBackend for Parametric {
 
     fn solve(&mut self, model: &LpModel) -> Result<Solution, SolveStatus> {
         let sol = solve_sparse(model, &self.opts, None)?;
+        self.stats.merge(sol.stats());
         self.remember(model, &sol);
         Ok(sol)
     }
@@ -267,6 +297,7 @@ impl SolverBackend for Parametric {
                 let new_lb = model.var_lb(v);
                 if new_lb >= lo && new_lb <= hi {
                     if let Ok(sol) = reextract(model, &self.opts, state.solution.basis()) {
+                        self.stats.merge(sol.stats());
                         self.remember(model, &sol);
                         return Ok(sol);
                     }
@@ -281,6 +312,7 @@ impl SolverBackend for Parametric {
             .map(|s| s.solution.basis().clone())
             .or_else(|| self.seeded.clone());
         let sol = solve_sparse(model, &self.opts, warm.as_ref())?;
+        self.stats.merge(sol.stats());
         self.remember(model, &sol);
         Ok(sol)
     }
@@ -314,6 +346,10 @@ impl SolverBackend for Parametric {
     fn reset(&mut self) {
         self.state = None;
         self.seeded = None;
+    }
+
+    fn stats(&self) -> SolveStats {
+        self.stats
     }
 }
 

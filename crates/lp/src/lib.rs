@@ -83,4 +83,4 @@ pub mod solution;
 pub use backend::{by_name, DenseSimplex, Parametric, SolverBackend, SparseSimplex};
 pub use model::{ConId, LpModel, Objective, Relation, VarId};
 pub use piecewise::{Envelope, Line};
-pub use solution::{Basis, Solution, SolveStatus};
+pub use solution::{Basis, Solution, SolveStats, SolveStatus};

@@ -1,4 +1,5 @@
-//! Bounded-variable primal simplex, generic over the basis factorisation.
+//! Bounded-variable primal simplex, generic over the basis factorisation,
+//! built around a *hypersparse* hot loop.
 //!
 //! Design notes (what a reader needs to audit the implementation):
 //!
@@ -14,22 +15,35 @@
 //!   bound, +1 above the upper bound). Infeasible basic variables block the
 //!   ratio test at the bound they are approaching, which monotonically
 //!   shrinks total infeasibility.
-//! * **Pricing.** Dantzig (most negative reduced cost) with an automatic
-//!   fallback to Bland's least-index rule after a run of degenerate pivots,
-//!   guaranteeing termination. Reduced-cost ties (within a relative
-//!   epsilon) break toward the lowest column index, so the pivot sequence —
-//!   and therefore the final basis — is reproducible across the dense and
-//!   sparse factorisation paths despite their different rounding.
-//! * **Ratio test.** Two-pass Harris: pass 1 computes the largest step
-//!   every basic variable tolerates with its bound expanded by the
-//!   feasibility tolerance; pass 2 picks the largest-magnitude pivot among
-//!   rows blocking within that step, breaking near-ties toward the lowest
-//!   basis position. This both stabilises the pivot choice and makes it
-//!   deterministic across factorisation backends.
-//! * **Factorisation.** The basis is held behind the [`BasisFactor`] trait:
-//!   [`DenseInv`] (dense inverse + dense eta updates, the original path,
-//!   kept for cross-validation) or [`SparseLu`] (sparse LU + product-form
-//!   eta file, the at-scale path). Both refactorise periodically.
+//! * **Pricing.** The reduced-cost vector `d` is maintained
+//!   *incrementally*: after each basis exchange it is updated from the
+//!   pivot row (`d ← d − θ_d·α_r`, with `α_r` scattered from a sparse
+//!   BTRAN of the pivot row), and in phase 1 the cost flips of basic
+//!   variables crossing their bounds are folded in through one batched
+//!   sparse BTRAN per iteration. Selection is candidate-list partial
+//!   pricing driven by Devex reference weights (score `d²/w`): a full
+//!   scan refills the list periodically (and proves optimality), cheap
+//!   candidate scans serve the iterations in between. Ties (within a
+//!   relative epsilon) break toward the lowest column index, so the pivot
+//!   sequence — and therefore the final basis — is reproducible across
+//!   the dense and sparse factorisation paths despite their different
+//!   rounding. A Bland fallback (least-index, after a run of degenerate
+//!   pivots) guarantees termination; the periodic resynchronisation
+//!   recomputes `d` from scratch so incremental drift stays at rounding
+//!   level (observable via [`SolveStats::max_resync_drift`]).
+//! * **Ratio test.** Two-pass Harris over the *nonzeros* of the FTRAN
+//!   result: pass 1 computes the largest step every basic variable
+//!   tolerates with its bound expanded by the feasibility tolerance;
+//!   pass 2 picks the largest-magnitude pivot among rows blocking within
+//!   that step, breaking near-ties toward the lowest basis position.
+//! * **Factorisation.** The basis is held behind the [`BasisFactor`]
+//!   trait: [`DenseInv`] (dense inverse + dense eta updates, the original
+//!   path, kept for cross-validation) or [`SparseLu`] (Markowitz-ordered
+//!   sparse LU + product-form eta file, the at-scale path). Refactoring
+//!   is periodic *and* triggered early when the eta file outgrows the
+//!   fresh factorisation. All hot-path linear algebra runs through
+//!   caller-owned [`IndexedVec`] workspaces: the FTRAN / BTRAN / pricing
+//!   path performs **no heap allocation**.
 //! * **Warm starts.** A solved model exposes its final [`Basis`];
 //!   [`solve_dense`]/[`solve_sparse`] accept one and start from it instead
 //!   of the all-logical basis. After a bound tightening (Algorithm 2's
@@ -53,20 +67,32 @@
 
 use crate::factor::{BasisFactor, ColsView, DenseInv, SparseLu};
 use crate::model::{LpModel, Objective};
-use crate::solution::{Basis, Solution, SolveStatus, VarStatus};
+use crate::solution::{Basis, Solution, SolveStats, SolveStatus, VarStatus};
+use llamp_util::IndexedVec;
 
 const INF: f64 = f64::INFINITY;
 
-/// Relative epsilon under which two reduced costs count as tied in
-/// Dantzig pricing (ties break toward the lowest column index). Wide
-/// enough to swallow the rounding gap between the dense-inverse and
-/// sparse-LU factorisations — mathematically tied candidates must
-/// resolve identically in both, or their pivot paths (and degenerate
-/// final bases) drift apart.
+/// Relative epsilon under which two pricing scores count as tied (ties
+/// break toward the lowest column index). Wide enough to swallow the
+/// rounding gap between the dense-inverse and sparse-LU factorisations —
+/// mathematically tied candidates must resolve identically in both, or
+/// their pivot paths (and degenerate final bases) drift apart.
 const PRICE_TIE_REL: f64 = 1e-6;
 /// Relative epsilon under which two ratio-test pivot magnitudes count as
 /// tied (ties break toward the lowest basis position).
 const RATIO_TIE_REL: f64 = 1e-6;
+/// Candidate-list refill cadence: a full pricing scan at least every this
+/// many iterations, so stale lists cannot starve a strongly improving
+/// column for long. Keyed to the iteration counter (identical across
+/// factorisation backends) to keep pivot sequences reproducible.
+const PARTIAL_REFILL_EVERY: u64 = 16;
+/// Devex reference-framework reset threshold: when the leaving variable's
+/// new weight estimate exceeds this, the weights have degraded and the
+/// framework restarts from 1.
+const DEVEX_RESET: f64 = 1e8;
+/// Minimum pivots between eta-growth-triggered refactorisations, so a
+/// dense burst cannot thrash the factoriser.
+const MIN_PIVOTS_BEFORE_ETA_REFACTOR: u64 = 16;
 
 /// Tunable solver parameters. The defaults suit the well-scaled (±1
 /// coefficient) models LLAMP generates.
@@ -80,7 +106,8 @@ pub struct SimplexOptions {
     pub pivot_tol: f64,
     /// Hard iteration cap; `0` selects `20_000 + 50·(m+n)`.
     pub max_iterations: u64,
-    /// Refactorise the basis every this many pivots.
+    /// Refactorise the basis every this many pivots (an eta file that
+    /// outgrows the fresh factorisation triggers earlier).
     pub refactor_every: u64,
     /// Switch to Bland's rule after this many consecutive degenerate pivots.
     pub bland_after: u32,
@@ -171,7 +198,7 @@ impl RangingData {
             rows: &self.col_rows,
             vals: &self.col_vals,
         };
-        self.lu.ftran_col(view, j)
+        self.lu.ftran_col_alloc(view, j)
     }
 }
 
@@ -201,6 +228,13 @@ struct Core<F: BasisFactor> {
     col_start: Vec<usize>,
     col_rows: Vec<u32>,
     col_vals: Vec<f64>,
+    /// Row-wise mirror of the structural columns (CSR), for scattering
+    /// pivot rows: `α_j = Σ_i ρ_i A_ij` costs only the nonzeros of the
+    /// rows in `supp(ρ)`. Logical columns are implicit (−1 on the
+    /// diagonal).
+    row_start: Vec<usize>,
+    row_cols: Vec<u32>,
+    row_vals: Vec<f64>,
     lb: Vec<f64>,
     ub: Vec<f64>,
     /// Internal costs (always a minimisation).
@@ -216,6 +250,28 @@ struct Core<F: BasisFactor> {
     /// dimension mismatch or singular basis silently falls back to the
     /// cold start).
     warm_installed: bool,
+    // --- incremental pricing state ---
+    /// Reduced costs of all columns under the current phase's objective,
+    /// maintained incrementally and resynchronised at refactorisations.
+    d: Vec<f64>,
+    /// Devex reference weights.
+    devex: Vec<f64>,
+    /// Candidate list (ascending column order).
+    cand: Vec<u32>,
+    /// Phase-1 cost of each basic position (−1/0/+1).
+    cb1: Vec<f64>,
+    /// Number of (scaled-tolerance) infeasible basic positions.
+    infeas_count: usize,
+    /// Whether the current Bland streak has already forced a resync.
+    bland_active: bool,
+    // --- solver-owned workspaces (no per-iteration allocation) ---
+    w: IndexedVec,
+    rho: IndexedVec,
+    alpha: IndexedVec,
+    delta: IndexedVec,
+    cb_buf: Vec<f64>,
+    y_buf: Vec<f64>,
+    stats: SolveStats,
     opts: SimplexOptions,
 }
 
@@ -260,7 +316,7 @@ pub fn reextract(
     basis: &Basis,
 ) -> Result<Solution, SolveStatus> {
     let core: Core<SparseLu> = Core::build(model, opts.clone(), Some(basis));
-    if !core.warm_installed || !core.is_primal_feasible(1.0) || core.price(false).is_some() {
+    if !core.warm_installed || !core.is_primal_feasible(1.0) || core.has_improving_column() {
         return Err(SolveStatus::Infeasible);
     }
     Ok(core.extract(model))
@@ -366,6 +422,21 @@ impl<F: BasisFactor> Core<F> {
             fill[n_struct + i] += 1;
         }
 
+        // Row-wise mirror of the structural part (logicals stay implicit).
+        let struct_nnz: usize = model.rows.iter().map(|r| r.terms.len()).sum();
+        let mut row_start = vec![0usize; m + 1];
+        for (i, row) in model.rows.iter().enumerate() {
+            row_start[i + 1] = row_start[i] + row.terms.len();
+        }
+        let mut row_cols = vec![0u32; struct_nnz];
+        let mut row_vals = vec![0.0f64; struct_nnz];
+        for (i, row) in model.rows.iter().enumerate() {
+            for (p, &(v, c)) in (row_start[i]..).zip(row.terms.iter()) {
+                row_cols[p] = v;
+                row_vals[p] = c;
+            }
+        }
+
         let mut lb = Vec::with_capacity(n_total);
         let mut ub = Vec::with_capacity(n_total);
         let mut cost = Vec::with_capacity(n_total);
@@ -387,6 +458,9 @@ impl<F: BasisFactor> Core<F> {
             col_start,
             col_rows,
             col_vals,
+            row_start,
+            row_cols,
+            row_vals,
             lb,
             ub,
             cost,
@@ -398,6 +472,22 @@ impl<F: BasisFactor> Core<F> {
             iterations: 0,
             pivots_since_refactor: 0,
             warm_installed: false,
+            d: vec![0.0; n_total],
+            devex: vec![1.0; n_total],
+            cand: Vec::new(),
+            cb1: vec![0.0; m],
+            infeas_count: 0,
+            bland_active: false,
+            w: IndexedVec::new(m),
+            rho: IndexedVec::new(m),
+            alpha: IndexedVec::new(n_total),
+            delta: IndexedVec::new(m),
+            cb_buf: vec![0.0; m],
+            y_buf: vec![0.0; m],
+            stats: SolveStats {
+                rows: m as u64,
+                ..SolveStats::default()
+            },
             opts,
         };
 
@@ -509,14 +599,6 @@ impl<F: BasisFactor> Core<F> {
         true
     }
 
-    fn cols_view(&self) -> ColsView<'_> {
-        ColsView {
-            start: &self.col_start,
-            rows: &self.col_rows,
-            vals: &self.col_vals,
-        }
-    }
-
     /// Refactorise the basis, resetting the eta counter on success.
     fn refactorize(&mut self) -> bool {
         let ok = self.factor.refactor(
@@ -529,6 +611,13 @@ impl<F: BasisFactor> Core<F> {
         );
         if ok {
             self.pivots_since_refactor = 0;
+            // The install-time factorisation of a fresh solve (iterations
+            // still 0) is setup, not solver behaviour: the counter reports
+            // only mid-solve (periodic / eta-growth) refactorisations, as
+            // documented on `SolveStats`.
+            if self.iterations > 0 {
+                self.stats.refactorizations += 1;
+            }
         }
         ok
     }
@@ -564,12 +653,273 @@ impl<F: BasisFactor> Core<F> {
         })
     }
 
-    fn dot_col(&self, j: usize, y: &[f64]) -> f64 {
+    fn dot_col(
+        col_start: &[usize],
+        col_rows: &[u32],
+        col_vals: &[f64],
+        j: usize,
+        y: &[f64],
+    ) -> f64 {
         let mut acc = 0.0;
-        for idx in self.col_start[j]..self.col_start[j + 1] {
-            acc += self.col_vals[idx] * y[self.col_rows[idx] as usize];
+        for idx in col_start[j]..col_start[j + 1] {
+            acc += col_vals[idx] * y[col_rows[idx] as usize];
         }
         acc
+    }
+
+    /// Phase-1 cost class of column `b` given its current value:
+    /// −1 below the (scaled-tolerance) lower bound, +1 above the upper.
+    #[inline]
+    fn p1_class(&self, b: usize) -> f64 {
+        let v = self.x[b];
+        let feas = self.opts.feas_tol;
+        if v < self.lb[b] - viol_tol(self.lb[b], feas) {
+            -1.0
+        } else if v > self.ub[b] + viol_tol(self.ub[b], feas) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Rebuild the phase-1 basic cost vector and infeasibility count from
+    /// scratch (phase entry and after every refactorisation, where all
+    /// basic values move slightly). Returns whether any cost changed —
+    /// when it did, the incremental reduced costs are stale *by objective
+    /// change*, not by drift, so the following resync must not count the
+    /// gap as incremental error.
+    fn rebuild_cb1(&mut self) -> bool {
+        self.infeas_count = 0;
+        let mut changed = false;
+        for i in 0..self.m {
+            let c = self.p1_class(self.basis[i]);
+            if c != self.cb1[i] {
+                changed = true;
+            }
+            self.cb1[i] = c;
+            if c != 0.0 {
+                self.infeas_count += 1;
+            }
+        }
+        changed
+    }
+
+    /// Recompute the reduced-cost vector from scratch for the given
+    /// phase. When `record_drift` is set, the worst relative gap between
+    /// the incremental values and the fresh ones is folded into
+    /// [`SolveStats::max_resync_drift`] — the observable bound on
+    /// incremental-pricing error.
+    fn resync_d(&mut self, phase1: bool, record_drift: bool) {
+        for i in 0..self.m {
+            self.cb_buf[i] = if phase1 {
+                self.cb1[i]
+            } else {
+                self.cost[self.basis[i]]
+            };
+        }
+        self.factor.btran_dense_into(&self.cb_buf, &mut self.y_buf);
+        let mut d = std::mem::take(&mut self.d);
+        let mut drift = 0.0f64;
+        for j in 0..self.n_total {
+            if self.status[j] == NbStatus::Basic {
+                d[j] = 0.0;
+                continue;
+            }
+            let cj = if phase1 { 0.0 } else { self.cost[j] };
+            let fresh = cj
+                - Self::dot_col(
+                    &self.col_start,
+                    &self.col_rows,
+                    &self.col_vals,
+                    j,
+                    &self.y_buf,
+                );
+            if record_drift {
+                let gap = (fresh - d[j]).abs() / (1.0 + fresh.abs());
+                drift = drift.max(gap);
+            }
+            d[j] = fresh;
+        }
+        self.d = d;
+        if record_drift {
+            self.stats.max_resync_drift = self.stats.max_resync_drift.max(drift);
+        }
+    }
+
+    /// Enter a phase: build phase costs, resynchronise reduced costs,
+    /// reset the Devex framework and candidate list.
+    fn enter_phase(&mut self, phase1: bool) {
+        if phase1 {
+            self.rebuild_cb1();
+        }
+        self.resync_d(phase1, false);
+        self.devex.iter_mut().for_each(|w| *w = 1.0);
+        self.cand.clear();
+        self.bland_active = false;
+    }
+
+    /// Eligibility of a nonbasic column under the current reduced costs:
+    /// the entering direction, or `None`.
+    #[inline]
+    fn eligible(&self, j: usize) -> Option<f64> {
+        let opt = self.opts.opt_tol;
+        let dj = self.d[j];
+        match self.status[j] {
+            NbStatus::Basic => None,
+            NbStatus::Lower => (dj < -opt).then_some(1.0),
+            NbStatus::Upper => (dj > opt).then_some(-1.0),
+            NbStatus::FreeZero => {
+                if dj < -opt {
+                    Some(1.0)
+                } else if dj > opt {
+                    Some(-1.0)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Refill the candidate list with every eligible column (ascending).
+    fn refill_candidates(&mut self) {
+        let mut cand = std::mem::take(&mut self.cand);
+        cand.clear();
+        for j in 0..self.n_total {
+            if self.eligible(j).is_some() {
+                cand.push(j as u32);
+            }
+        }
+        self.cand = cand;
+    }
+
+    /// Scan the candidate list for the best Devex-scored entering column
+    /// (`d²/w`, epsilon ties toward the lowest index), pruning members
+    /// that became basic or ineligible.
+    fn scan_candidates(&mut self) -> Option<(usize, f64)> {
+        let mut cand = std::mem::take(&mut self.cand);
+        let mut best: Option<(usize, f64, f64)> = None; // (col, score, dir)
+        cand.retain(|&ju| {
+            let j = ju as usize;
+            match self.eligible(j) {
+                None => false,
+                Some(dir) => {
+                    let score = self.d[j] * self.d[j] / self.devex[j];
+                    let better = match best {
+                        None => true,
+                        Some((_, bs, _)) => score > bs * (1.0 + PRICE_TIE_REL),
+                    };
+                    if better {
+                        best = Some((j, score, dir));
+                    }
+                    true
+                }
+            }
+        });
+        self.cand = cand;
+        best.map(|(j, _, dir)| (j, dir))
+    }
+
+    /// Pick the entering column, or `None` at (phase-)optimality. Cheap
+    /// candidate scans serve most iterations; a full refill runs on the
+    /// [`PARTIAL_REFILL_EVERY`] cadence, when the list runs dry, and to
+    /// confirm optimality (after a from-scratch reduced-cost resync, so
+    /// incremental drift can never fake convergence).
+    fn select_entering(&mut self, phase1: bool, use_bland: bool) -> Option<(usize, f64)> {
+        if use_bland {
+            // Least-index rule (termination guarantee). The reduced costs
+            // were resynchronised when the Bland streak began.
+            self.stats.pricing_full_scans += 1;
+            for j in 0..self.n_total {
+                if let Some(dir) = self.eligible(j) {
+                    return Some((j, dir));
+                }
+            }
+            return None;
+        }
+        let refill = self.cand.is_empty() || self.iterations.is_multiple_of(PARTIAL_REFILL_EVERY);
+        if !refill {
+            self.stats.pricing_candidate_scans += 1;
+            if let Some(sel) = self.scan_candidates() {
+                return Some(sel);
+            }
+        }
+        self.stats.pricing_full_scans += 1;
+        self.refill_candidates();
+        if let Some(sel) = self.scan_candidates() {
+            return Some(sel);
+        }
+        // Optimality claim: confirm on freshly recomputed reduced costs.
+        self.resync_d(phase1, true);
+        self.stats.pricing_full_scans += 1;
+        self.refill_candidates();
+        self.scan_candidates()
+    }
+
+    /// Scatter the pivot row `α = Aᵀρ` (column space) from a row-space
+    /// BTRAN result, using the CSR mirror plus the implicit −1 logical
+    /// diagonal.
+    fn scatter_alpha(&mut self) {
+        self.alpha.reset(self.n_total);
+        for &iu in self.rho.indices() {
+            let i = iu as usize;
+            let ri = self.rho.get(i);
+            if ri == 0.0 {
+                continue;
+            }
+            for idx in self.row_start[i]..self.row_start[i + 1] {
+                self.alpha
+                    .add(self.row_cols[idx] as usize, ri * self.row_vals[idx]);
+            }
+            self.alpha.add(self.n_struct + i, -ri);
+        }
+    }
+
+    /// Fold phase-1 basic-cost deltas (already written into `cb1`,
+    /// accumulated in `self.delta` as a position-space vector) into the
+    /// incremental reduced costs: `d ← d − Aᵀ B⁻ᵀ Σ δᵢeᵢ`. One batched
+    /// sparse BTRAN regardless of how many basic variables crossed a
+    /// bound this iteration.
+    fn apply_cost_deltas(&mut self) {
+        self.factor.btran_sparse(&self.delta, &mut self.rho);
+        self.stats.btran_calls += 1;
+        self.stats.btran_nnz += self.rho.nnz() as u64;
+        self.scatter_alpha();
+        for &ju in self.alpha.indices() {
+            let j = ju as usize;
+            if self.status[j] != NbStatus::Basic {
+                self.d[j] -= self.alpha.get(j);
+            }
+        }
+    }
+
+    /// Optimality probe used by [`reextract`]: does a phase-2 improving
+    /// column exist for the current basis? Computed from scratch (this is
+    /// a cold, once-per-query path).
+    fn has_improving_column(&self) -> bool {
+        let opt = self.opts.opt_tol;
+        let mut cb = vec![0.0; self.m];
+        for (i, &b) in self.basis.iter().enumerate() {
+            cb[i] = self.cost[b];
+        }
+        let y = self.factor.btran_dense(&cb);
+        for j in 0..self.n_total {
+            let st = self.status[j];
+            if st == NbStatus::Basic {
+                continue;
+            }
+            let d = self.cost[j]
+                - Self::dot_col(&self.col_start, &self.col_rows, &self.col_vals, j, &y);
+            let improving = match st {
+                NbStatus::Lower => d < -opt,
+                NbStatus::Upper => d > opt,
+                NbStatus::FreeZero => d.abs() > opt,
+                NbStatus::Basic => unreachable!(),
+            };
+            if improving {
+                return true;
+            }
+        }
+        false
     }
 
     /// The bound (and whether it is the upper one) at which basic position
@@ -608,131 +958,59 @@ impl<F: BasisFactor> Core<F> {
         }
     }
 
-    /// Phase-dependent basic cost vector; the flag reports whether any
-    /// basic variable is (scaled-tolerance) infeasible.
-    fn phase_costs(&self, phase1: bool) -> (Vec<f64>, bool) {
-        let feas = self.opts.feas_tol;
-        let mut cb = vec![0.0; self.m];
-        let mut any_infeasible = false;
-        for (i, &b) in self.basis.iter().enumerate() {
-            if phase1 {
-                if self.x[b] < self.lb[b] - viol_tol(self.lb[b], feas) {
-                    cb[i] = -1.0;
-                    any_infeasible = true;
-                } else if self.x[b] > self.ub[b] + viol_tol(self.ub[b], feas) {
-                    cb[i] = 1.0;
-                    any_infeasible = true;
-                }
-            } else {
-                cb[i] = self.cost[b];
-            }
-        }
-        (cb, any_infeasible)
-    }
-
-    /// One full pricing pass under the current basis: the entering column
-    /// `(col, |d|, dir)`, or `None` at (phase-)optimality. Dantzig with a
-    /// relative tie epsilon — candidates within `PRICE_TIE_REL` of the
-    /// best keep the earlier (lowest) index, making the choice
-    /// reproducible across factorisation backends — or Bland's least
-    /// index when `use_bland` is set.
-    fn price_with(&self, phase1: bool, use_bland: bool) -> Option<(usize, f64, f64)> {
-        let (cb, _) = self.phase_costs(phase1);
-        self.price_from(&cb, phase1, use_bland)
-    }
-
-    /// [`Core::price_with`] with the phase costs already computed (the
-    /// iterate loop shares one `phase_costs` scan between its phase-1
-    /// early-exit check and pricing).
-    fn price_from(&self, cb: &[f64], phase1: bool, use_bland: bool) -> Option<(usize, f64, f64)> {
-        let opt = self.opts.opt_tol;
-        let y = self.factor.btran_dense(cb);
-        let mut entering: Option<(usize, f64, f64)> = None; // (col, |d|, dir)
-        for j in 0..self.n_total {
-            let st = self.status[j];
-            if st == NbStatus::Basic {
-                continue;
-            }
-            let cj = if phase1 { 0.0 } else { self.cost[j] };
-            let d = cj - self.dot_col(j, &y);
-            let dir = match st {
-                NbStatus::Lower => {
-                    if d < -opt {
-                        1.0
-                    } else {
-                        continue;
-                    }
-                }
-                NbStatus::Upper => {
-                    if d > opt {
-                        -1.0
-                    } else {
-                        continue;
-                    }
-                }
-                NbStatus::FreeZero => {
-                    if d < -opt {
-                        1.0
-                    } else if d > opt {
-                        -1.0
-                    } else {
-                        continue;
-                    }
-                }
-                NbStatus::Basic => unreachable!(),
-            };
-            if use_bland {
-                return Some((j, d.abs(), dir));
-            }
-            let better = match entering {
-                None => true,
-                Some((_, best, _)) => d.abs() > best * (1.0 + PRICE_TIE_REL),
-            };
-            if better {
-                entering = Some((j, d.abs(), dir));
-            }
-        }
-        entering
-    }
-
-    /// Optimality probe used by [`reextract`]: the phase-2 entering
-    /// column, if one exists.
-    fn price(&self, use_bland: bool) -> Option<(usize, f64, f64)> {
-        self.price_with(false, use_bland)
-    }
-
     /// Run simplex iterations for one phase. `phase1` selects infeasibility
     /// costs instead of the model objective.
     fn iterate(&mut self, phase1: bool, max_iters: u64) -> PhaseOutcome {
-        let m = self.m;
         let feas = self.opts.feas_tol;
         let mut degenerate_streak = 0u32;
+        self.enter_phase(phase1);
 
         loop {
             if self.iterations >= max_iters {
                 return PhaseOutcome::IterLimit;
             }
             self.iterations += 1;
-
-            let (cb, any_infeasible) = self.phase_costs(phase1);
-            if phase1 && !any_infeasible {
-                // Every basic variable is back inside its bounds.
-                return PhaseOutcome::Done;
+            if phase1 {
+                self.stats.phase1_iterations += 1;
+                if self.infeas_count == 0 {
+                    // Every basic variable is back inside its bounds.
+                    return PhaseOutcome::Done;
+                }
             }
 
             let use_bland = degenerate_streak >= self.opts.bland_after;
-            let entering = self.price_from(&cb, phase1, use_bland);
+            if use_bland && !self.bland_active {
+                // Bland's termination argument needs trustworthy reduced
+                // costs: resynchronise once per streak.
+                self.resync_d(phase1, true);
+                self.bland_active = true;
+            }
+            let entering = self.select_entering(phase1, use_bland);
 
-            let Some((q, _dq, dir)) = entering else {
-                // No improving column: this phase is optimal (for phase 1
-                // the caller checks whether infeasibility reached ~zero).
+            let Some((q, dir)) = entering else {
+                // No improving column (confirmed on fresh reduced costs):
+                // this phase is optimal (for phase 1 the caller checks
+                // whether infeasibility reached ~zero).
                 return PhaseOutcome::Done;
             };
 
-            let w = self.factor.ftran_col(self.cols_view(), q);
+            // FTRAN the entering column into the solver-owned workspace;
+            // the sorted support drives everything downstream.
+            {
+                let view = ColsView {
+                    start: &self.col_start,
+                    rows: &self.col_rows,
+                    vals: &self.col_vals,
+                };
+                self.factor.ftran_col(view, q, &mut self.w);
+            }
+            self.w.sort_indices();
+            self.stats.ftran_calls += 1;
+            self.stats.ftran_nnz += self.w.nnz() as u64;
 
-            // Two-pass Harris ratio test. `t_room` caps the step at a full
-            // bound traversal of the entering variable.
+            // Two-pass Harris ratio test over the nonzeros of `w`.
+            // `t_room` caps the step at a full bound traversal of the
+            // entering variable.
             let t_room = if self.lb[q].is_finite() && self.ub[q].is_finite() {
                 self.ub[q] - self.lb[q]
             } else {
@@ -740,8 +1018,8 @@ impl<F: BasisFactor> Core<F> {
             };
             // Pass 1: the largest step under feas-expanded bounds.
             let mut t_max = t_room;
-            for i in 0..m {
-                let rate = -dir * w[i];
+            for (i, wi) in self.w.iter() {
+                let rate = -dir * wi;
                 if rate.abs() <= self.opts.pivot_tol {
                     continue;
                 }
@@ -758,12 +1036,13 @@ impl<F: BasisFactor> Core<F> {
             }
             let t_max = t_max.max(0.0);
             // Pass 2: the largest-magnitude pivot among rows blocking
-            // within t_max, near-ties keeping the lowest basis position.
+            // within t_max, near-ties keeping the lowest basis position
+            // (the support is sorted ascending).
             let mut leaving: Option<(usize, bool)> = None;
             let mut leave_t = 0.0f64;
             let mut leave_w = 0.0f64;
-            for i in 0..m {
-                let rate = -dir * w[i];
+            for (i, wi) in self.w.iter() {
+                let rate = -dir * wi;
                 if rate.abs() <= self.opts.pivot_tol {
                     continue;
                 }
@@ -773,12 +1052,12 @@ impl<F: BasisFactor> Core<F> {
                     if strict <= t_max {
                         let better = match leaving {
                             None => true,
-                            Some(_) => w[i].abs() > leave_w * (1.0 + RATIO_TIE_REL),
+                            Some(_) => wi.abs() > leave_w * (1.0 + RATIO_TIE_REL),
                         };
                         if better {
                             leaving = Some((i, at_upper));
                             leave_t = strict;
-                            leave_w = w[i].abs();
+                            leave_w = wi.abs();
                         }
                     }
                 }
@@ -795,6 +1074,7 @@ impl<F: BasisFactor> Core<F> {
                 degenerate_streak += 1;
             } else {
                 degenerate_streak = 0;
+                self.bland_active = false;
             }
 
             #[cfg(debug_assertions)]
@@ -814,24 +1094,83 @@ impl<F: BasisFactor> Core<F> {
             // Apply the step.
             let step = dir * t_limit;
             self.x[q] += step;
-            for i in 0..m {
-                if w[i] != 0.0 {
+            for (i, wi) in self.w.iter() {
+                if wi != 0.0 {
                     let b = self.basis[i];
-                    self.x[b] -= step * w[i];
+                    self.x[b] -= step * wi;
                 }
             }
 
             match leaving {
                 None => {
-                    // Bound flip: x_q traversed its whole box.
+                    // Bound flip: x_q traversed its whole box. The basis
+                    // (and hence d) is unchanged; only phase-1 costs of
+                    // basic variables that crossed a bound need folding.
+                    self.stats.bound_flips += 1;
                     self.status[q] = match self.status[q] {
                         NbStatus::Lower => NbStatus::Upper,
                         NbStatus::Upper => NbStatus::Lower,
                         s => s,
                     };
+                    if phase1 {
+                        self.collect_cost_deltas(None);
+                        if self.delta.nnz() > 0 {
+                            self.apply_cost_deltas();
+                        }
+                    }
                 }
                 Some((r, at_upper)) => {
+                    self.stats.pivots += 1;
                     let out = self.basis[r];
+                    let w_r = self.w.get(r);
+                    let old_r_class = if phase1 { self.cb1[r] } else { 0.0 };
+
+                    // Pivot row (against the *current* basis) for the
+                    // incremental reduced-cost and Devex updates.
+                    {
+                        let mut unit = std::mem::take(&mut self.delta);
+                        unit.reset(self.m);
+                        unit.set(r, 1.0);
+                        self.factor.btran_sparse(&unit, &mut self.rho);
+                        unit.clear();
+                        self.delta = unit;
+                    }
+                    self.stats.btran_calls += 1;
+                    self.stats.btran_nnz += self.rho.nnz() as u64;
+                    self.scatter_alpha();
+
+                    // d ← d − θ_d·α  (θ_d = d_q / α_q; α_q ≡ w_r).
+                    let theta_d = self.d[q] / w_r;
+                    let wq_ref = self.devex[q].max(1.0);
+                    for &ju in self.alpha.indices() {
+                        let j = ju as usize;
+                        if self.status[j] == NbStatus::Basic || j == q {
+                            continue;
+                        }
+                        let aj = self.alpha.get(j);
+                        if aj == 0.0 {
+                            continue;
+                        }
+                        self.d[j] -= theta_d * aj;
+                        // Devex reference-weight update.
+                        let ratio = aj / w_r;
+                        let cand_w = ratio * ratio * wq_ref;
+                        if cand_w > self.devex[j] {
+                            self.devex[j] = cand_w;
+                        }
+                    }
+                    self.d[q] = 0.0;
+                    // The leaving variable lands exactly on its bound; its
+                    // phase-1 cost contribution (if it was infeasible)
+                    // leaves the basic cost vector with it.
+                    self.d[out] = -theta_d - old_r_class;
+                    let w_out = (wq_ref / (w_r * w_r)).max(1.0);
+                    self.devex[out] = w_out;
+                    if w_out > DEVEX_RESET {
+                        self.devex.iter_mut().for_each(|v| *v = 1.0);
+                        self.stats.devex_resets += 1;
+                    }
+
                     // Snap the leaving variable exactly onto its bound.
                     self.x[out] = if at_upper { self.ub[out] } else { self.lb[out] };
                     self.status[out] = if at_upper {
@@ -843,7 +1182,20 @@ impl<F: BasisFactor> Core<F> {
                     self.basis[r] = q;
                     self.in_basis[q] = r as i32;
                     self.status[q] = NbStatus::Basic;
-                    self.factor.update(&w, r);
+                    self.factor.update(&self.w, r);
+                    if phase1 {
+                        // Position r now carries the entering variable at
+                        // cost 0 (θ_d already priced that in); the old
+                        // occupant's infeasibility left with it.
+                        if old_r_class != 0.0 {
+                            self.infeas_count -= 1;
+                        }
+                        self.cb1[r] = 0.0;
+                        self.collect_cost_deltas(Some(r));
+                        if self.delta.nnz() > 0 {
+                            self.apply_cost_deltas();
+                        }
+                    }
                     #[cfg(debug_assertions)]
                     if std::env::var_os("LLAMP_LP_CHECK").is_some() {
                         let incr: Vec<f64> = self.basis.iter().map(|&b| self.x[b]).collect();
@@ -855,16 +1207,75 @@ impl<F: BasisFactor> Core<F> {
                         }
                     }
                     self.pivots_since_refactor += 1;
-                    // A (numerically) singular refactorisation keeps the
+                    // Periodic refactorisation, pulled forward when the
+                    // eta file outgrows the fresh factorisation. A
+                    // (numerically) singular refactorisation keeps the
                     // eta-updated factor, mirroring the historic dense
                     // behaviour.
-                    if self.pivots_since_refactor >= self.opts.refactor_every && self.refactorize()
+                    let eta_heavy = self.pivots_since_refactor >= MIN_PIVOTS_BEFORE_ETA_REFACTOR
+                        && self.factor.factor_nnz() > 0
+                        && self.factor.update_nnz() > 2 * self.factor.factor_nnz();
+                    if (self.pivots_since_refactor >= self.opts.refactor_every || eta_heavy)
+                        && self.refactorize()
                     {
                         self.recompute_basics();
+                        // All basic values moved (slightly): rebuild the
+                        // phase-1 classification and resynchronise the
+                        // incremental reduced costs. Drift is recorded
+                        // only when the phase-1 costs did not flip — a
+                        // flipped cost changes the objective itself, so
+                        // the gap would not measure incremental error.
+                        let costs_flipped = phase1 && self.rebuild_cb1();
+                        self.resync_d(phase1, !costs_flipped);
                     }
                 }
             }
         }
+    }
+
+    /// Reclassify the phase-1 cost of every basic position whose value
+    /// just changed (the FTRAN support, minus the freshly exchanged
+    /// position `skip`, which the pivot handled), accumulating the cost
+    /// deltas into `self.delta` and maintaining the infeasibility count.
+    fn collect_cost_deltas(&mut self, skip: Option<usize>) {
+        let mut delta = std::mem::take(&mut self.delta);
+        delta.reset(self.m);
+        // Iterate the FTRAN support without borrowing `self.w` across the
+        // mutation of `cb1`/`infeas_count` (indices are read up front).
+        for k in 0..self.w.indices().len() {
+            let i = self.w.indices()[k] as usize;
+            if skip == Some(i) {
+                continue;
+            }
+            let old = self.cb1[i];
+            let new = self.p1_class(self.basis[i]);
+            if new != old {
+                delta.add(i, new - old);
+                self.cb1[i] = new;
+                if old != 0.0 {
+                    self.infeas_count -= 1;
+                }
+                if new != 0.0 {
+                    self.infeas_count += 1;
+                }
+            }
+        }
+        // The freshly exchanged position enters at cost 0; if the ratio
+        // test left it (tolerance-)infeasible after all, classify it too.
+        if let Some(r) = skip {
+            let new = self.p1_class(self.basis[r]);
+            if new != self.cb1[r] {
+                delta.add(r, new - self.cb1[r]);
+                if self.cb1[r] != 0.0 {
+                    self.infeas_count -= 1;
+                }
+                if new != 0.0 {
+                    self.infeas_count += 1;
+                }
+                self.cb1[r] = new;
+            }
+        }
+        self.delta = delta;
     }
 
     /// Canonical extraction: report the optimum as a pure function of
@@ -935,7 +1346,8 @@ impl<F: BasisFactor> Core<F> {
         for j in 0..n {
             x.push(self.x[j]);
             objective += model.cols[j].obj * self.x[j];
-            let d_int = self.cost[j] - self.dot_col(j, &y);
+            let d_int = self.cost[j]
+                - Self::dot_col(&self.col_start, &self.col_rows, &self.col_vals, j, &y);
             reduced.push(sign * d_int);
             statuses.push(self.status[j].to_var_status());
         }
@@ -971,6 +1383,9 @@ impl<F: BasisFactor> Core<F> {
             pivot_tol: self.opts.pivot_tol,
         };
 
+        let mut stats = self.stats;
+        stats.iterations = self.iterations;
+
         Solution {
             objective,
             x,
@@ -979,6 +1394,7 @@ impl<F: BasisFactor> Core<F> {
             row_activity: activity,
             var_status: statuses,
             iterations: self.iterations,
+            stats,
             row_lb,
             row_ub,
             basis,
@@ -1168,6 +1584,10 @@ mod tests {
         m.add_constraint("c3", &[(a, 3.0), (b, 2.0)], Relation::Le, 18.0);
         let sol = m.solve().unwrap();
         assert!(sol.iterations() > 0);
+        // The stats agree with the headline counter and saw real work.
+        assert_eq!(sol.stats().iterations, sol.iterations());
+        assert!(sol.stats().ftran_calls > 0);
+        assert_eq!(sol.stats().rows, 3);
     }
 
     #[test]

@@ -41,6 +41,106 @@ impl std::fmt::Display for SolveStatus {
 
 impl std::error::Error for SolveStatus {}
 
+/// Counters describing how a solve spent its effort — the observability
+/// layer of the hypersparse hot path. Cheap to collect (increments on
+/// paths that already run), deterministic for a deterministic pivot
+/// sequence, and additive: [`SolveStats::merge`] folds per-solve stats
+/// into campaign-level aggregates.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolveStats {
+    /// Simplex iterations (phases 1 and 2 combined).
+    pub iterations: u64,
+    /// Iterations spent restoring primal feasibility (phase 1).
+    pub phase1_iterations: u64,
+    /// Basis exchanges (pivots); the remainder were bound flips.
+    pub pivots: u64,
+    /// Bound flips (the entering variable traversed its whole box).
+    pub bound_flips: u64,
+    /// Basis refactorisations (periodic + eta-growth-triggered).
+    pub refactorizations: u64,
+    /// Hot-path FTRAN calls and the nonzeros they produced.
+    pub ftran_calls: u64,
+    /// Total nonzeros across hot-path FTRAN results.
+    pub ftran_nnz: u64,
+    /// Hot-path BTRAN calls (pivot rows + phase-1 cost corrections).
+    pub btran_calls: u64,
+    /// Total nonzeros across hot-path BTRAN results.
+    pub btran_nnz: u64,
+    /// Full pricing passes (candidate-list refills / optimality proofs).
+    pub pricing_full_scans: u64,
+    /// Candidate-list pricing passes (the cheap, common case).
+    pub pricing_candidate_scans: u64,
+    /// Devex reference-framework resets.
+    pub devex_resets: u64,
+    /// Rows of the largest model solved (denominator for nnz ratios).
+    pub rows: u64,
+    /// Worst relative gap between the incrementally maintained reduced
+    /// costs and a from-scratch recompute, observed at periodic resyncs.
+    pub max_resync_drift: f64,
+}
+
+impl SolveStats {
+    /// Mean FTRAN result density (nnz / m), in `[0, 1]`.
+    pub fn ftran_density(&self) -> f64 {
+        if self.ftran_calls == 0 || self.rows == 0 {
+            0.0
+        } else {
+            self.ftran_nnz as f64 / (self.ftran_calls * self.rows) as f64
+        }
+    }
+
+    /// Mean BTRAN result density (nnz / m), in `[0, 1]`.
+    pub fn btran_density(&self) -> f64 {
+        if self.btran_calls == 0 || self.rows == 0 {
+            0.0
+        } else {
+            self.btran_nnz as f64 / (self.btran_calls * self.rows) as f64
+        }
+    }
+
+    /// Fold another solve's counters into this aggregate.
+    pub fn merge(&mut self, other: &SolveStats) {
+        self.iterations += other.iterations;
+        self.phase1_iterations += other.phase1_iterations;
+        self.pivots += other.pivots;
+        self.bound_flips += other.bound_flips;
+        self.refactorizations += other.refactorizations;
+        self.ftran_calls += other.ftran_calls;
+        self.ftran_nnz += other.ftran_nnz;
+        self.btran_calls += other.btran_calls;
+        self.btran_nnz += other.btran_nnz;
+        self.pricing_full_scans += other.pricing_full_scans;
+        self.pricing_candidate_scans += other.pricing_candidate_scans;
+        self.devex_resets += other.devex_resets;
+        self.rows = self.rows.max(other.rows);
+        self.max_resync_drift = self.max_resync_drift.max(other.max_resync_drift);
+    }
+
+    /// Render a compact human-readable block (the `--solver-stats` view).
+    pub fn render(&self) -> String {
+        format!(
+            "iterations: {} ({} phase-1), pivots: {}, bound flips: {}\n\
+             refactorisations: {}, devex resets: {}\n\
+             ftran: {} calls ({:.1}% dense), btran: {} calls ({:.1}% dense)\n\
+             pricing: {} full scans, {} candidate scans\n\
+             max reduced-cost resync drift: {:.2e}",
+            self.iterations,
+            self.phase1_iterations,
+            self.pivots,
+            self.bound_flips,
+            self.refactorizations,
+            self.devex_resets,
+            self.ftran_calls,
+            100.0 * self.ftran_density(),
+            self.btran_calls,
+            100.0 * self.btran_density(),
+            self.pricing_full_scans,
+            self.pricing_candidate_scans,
+            self.max_resync_drift
+        )
+    }
+}
+
 /// Basis membership of a variable in the optimal solution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VarStatus {
@@ -72,6 +172,17 @@ pub struct Basis {
 }
 
 impl Basis {
+    /// Assemble a basis from explicit per-column / per-row statuses — the
+    /// entry point for *crash bases* built by model constructors that
+    /// know their problem's structure (e.g. `llamp-core`'s topological
+    /// crash for execution-graph LPs). The solver verifies the basis on
+    /// installation (column count, nonsingular refactorisation) and falls
+    /// back to the all-logical start if it is unusable, so a bad crash
+    /// costs one failed factorisation, never correctness.
+    pub fn from_statuses(cols: Vec<VarStatus>, rows: Vec<VarStatus>) -> Self {
+        Self { cols, rows }
+    }
+
     /// Number of structural columns the basis was taken from.
     pub fn num_vars(&self) -> usize {
         self.cols.len()
@@ -95,6 +206,7 @@ pub struct Solution {
     pub(crate) row_activity: Vec<f64>,
     pub(crate) var_status: Vec<VarStatus>,
     pub(crate) iterations: u64,
+    pub(crate) stats: SolveStats,
     pub(crate) row_lb: Vec<f64>,
     pub(crate) row_ub: Vec<f64>,
     /// Full basis snapshot (structural + logical statuses) for warm
@@ -173,6 +285,12 @@ impl Solution {
     /// Number of simplex iterations performed (phases 1 and 2 combined).
     pub fn iterations(&self) -> u64 {
         self.iterations
+    }
+
+    /// Detailed solver-effort counters for this solve (see
+    /// [`SolveStats`]).
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
     }
 
     /// The optimal basis, for warm-starting a related solve (see

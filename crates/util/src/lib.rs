@@ -6,15 +6,20 @@
 //!   [`FxHashMap`]/[`FxHashSet`] aliases used throughout the workspace.
 //!   Profiling-oriented Rust guidance recommends replacing SipHash for
 //!   integer-keyed tables on hot paths; execution graphs are exactly that.
+//! * [`sparse`] — the [`IndexedVec`] sparse-vector workspace (dense value
+//!   array + explicit nonzero index list) behind the hypersparse
+//!   FTRAN/BTRAN/pricing path of `llamp-lp`.
 //! * [`stats`] — summary statistics (mean/std) and the error metrics the
 //!   paper reports (RMSE, RRMSE).
 //! * [`time`] — nanosecond-based time helpers and pretty-printing.
 
 pub mod fx;
+pub mod sparse;
 pub mod stats;
 pub mod time;
 
 pub use fx::{FxHashMap, FxHashSet};
+pub use sparse::IndexedVec;
 
 /// Workspace-wide absolute tolerance for floating-point comparisons of times
 /// expressed in nanoseconds. One picosecond: far below any modelled effect.

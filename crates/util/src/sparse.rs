@@ -1,0 +1,210 @@
+//! Sparse vector workspace for hypersparse linear algebra.
+//!
+//! [`IndexedVec`] is the HiGHS/CPLEX-style "indexed vector": a dense value
+//! array paired with an explicit list of (possibly) nonzero indices. It
+//! makes the three operations the simplex hot loop lives on cheap:
+//!
+//! * *scatter/accumulate* — `add` marks an index on first touch, so after
+//!   a sequence of updates the nonzero support is known without a scan;
+//! * *sparse iteration* — consumers walk `indices()` instead of the full
+//!   dimension, making ratio tests and eta updates `O(nnz)`;
+//! * *O(nnz) reset* — `clear` zeroes only the touched entries, so one
+//!   workspace serves millions of FTRAN/BTRAN calls without reallocating.
+//!
+//! Indices are `u32` (the workspace-wide row-index width) and the value
+//! array never shrinks: callers own one `IndexedVec` per role (FTRAN
+//! result, BTRAN result, pivot row) for the lifetime of a solve.
+//!
+//! An index may be listed while its value is exactly `0.0` (numerical
+//! cancellation): the support is an *upper bound* on the true nonzeros.
+//! Readers that care filter on the value, which they load anyway.
+
+/// A dense `f64` array plus the list of indices that may hold nonzeros.
+#[derive(Debug, Clone, Default)]
+pub struct IndexedVec {
+    vals: Vec<f64>,
+    idx: Vec<u32>,
+    listed: Vec<bool>,
+}
+
+impl IndexedVec {
+    /// An all-zero vector of dimension `n`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            vals: vec![0.0; n],
+            idx: Vec::new(),
+            listed: vec![false; n],
+        }
+    }
+
+    /// Dimension of the dense value array.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Whether the dense dimension is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Number of listed (touched) indices — an upper bound on the nonzero
+    /// count.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Grow (or keep) the dimension and reset to all-zero.
+    pub fn reset(&mut self, n: usize) {
+        self.clear();
+        if self.vals.len() < n {
+            self.vals.resize(n, 0.0);
+            self.listed.resize(n, false);
+        }
+    }
+
+    /// Zero all touched entries and forget the support. `O(nnz)`.
+    pub fn clear(&mut self) {
+        for &i in &self.idx {
+            self.vals[i as usize] = 0.0;
+            self.listed[i as usize] = false;
+        }
+        self.idx.clear();
+    }
+
+    /// Value at `i` (zero when untouched).
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        self.vals[i]
+    }
+
+    /// Accumulate `v` into entry `i`, listing the index on first touch.
+    #[inline]
+    pub fn add(&mut self, i: usize, v: f64) {
+        if !self.listed[i] {
+            self.listed[i] = true;
+            self.idx.push(i as u32);
+        }
+        self.vals[i] += v;
+    }
+
+    /// Overwrite entry `i`, listing the index on first touch.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: f64) {
+        if !self.listed[i] {
+            self.listed[i] = true;
+            self.idx.push(i as u32);
+        }
+        self.vals[i] = v;
+    }
+
+    /// The touched indices, in touch order.
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.idx
+    }
+
+    /// The dense value array.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Sort the support ascending — consumers whose tie-breaking depends
+    /// on scan order (the ratio test) call this once per fill.
+    pub fn sort_indices(&mut self) {
+        self.idx.sort_unstable();
+    }
+
+    /// Iterate `(index, value)` over the listed support.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.idx
+            .iter()
+            .map(|&i| (i as usize, self.vals[i as usize]))
+    }
+
+    /// Rebuild from a dense slice, listing every entry with `|v| > 0`.
+    pub fn assign_dense(&mut self, dense: &[f64]) {
+        self.reset(dense.len());
+        for (i, &v) in dense.iter().enumerate() {
+            if v != 0.0 {
+                self.set(i, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_lists_each_index_once() {
+        let mut v = IndexedVec::new(8);
+        v.add(3, 1.0);
+        v.add(3, 2.0);
+        v.add(5, -1.0);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.get(3), 3.0);
+        assert_eq!(v.get(5), -1.0);
+        assert_eq!(v.get(0), 0.0);
+    }
+
+    #[test]
+    fn clear_is_complete() {
+        let mut v = IndexedVec::new(4);
+        v.set(0, 2.0);
+        v.set(3, 4.0);
+        v.clear();
+        assert_eq!(v.nnz(), 0);
+        for i in 0..4 {
+            assert_eq!(v.get(i), 0.0);
+        }
+        // Re-touch after clear lists again.
+        v.add(3, 1.0);
+        assert_eq!(v.nnz(), 1);
+        assert_eq!(v.get(3), 1.0);
+    }
+
+    #[test]
+    fn cancellation_keeps_index_listed() {
+        let mut v = IndexedVec::new(4);
+        v.add(1, 1.0);
+        v.add(1, -1.0);
+        assert_eq!(v.get(1), 0.0);
+        assert_eq!(v.nnz(), 1, "support is an upper bound");
+    }
+
+    #[test]
+    fn sort_and_iterate() {
+        let mut v = IndexedVec::new(10);
+        v.set(7, 7.0);
+        v.set(2, 2.0);
+        v.set(9, 9.0);
+        v.sort_indices();
+        let pairs: Vec<(usize, f64)> = v.iter().collect();
+        assert_eq!(pairs, vec![(2, 2.0), (7, 7.0), (9, 9.0)]);
+    }
+
+    #[test]
+    fn assign_dense_skips_zeros() {
+        let mut v = IndexedVec::new(2);
+        v.assign_dense(&[0.0, 1.5, 0.0, -2.0]);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.get(1), 1.5);
+        assert_eq!(v.get(3), -2.0);
+    }
+
+    #[test]
+    fn reset_grows_and_clears() {
+        let mut v = IndexedVec::new(2);
+        v.set(1, 1.0);
+        v.reset(6);
+        assert_eq!(v.len(), 6);
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.get(1), 0.0);
+    }
+}

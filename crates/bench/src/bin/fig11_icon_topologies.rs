@@ -60,6 +60,7 @@ fn main() {
             deltas_ns: (0..7).map(|i| 150.0 * i as f64 / 6.0).collect(),
             search_hi_ns: 2_000_000.0,
         },
+        axes: vec![],
     };
     spec.canonicalize();
 

@@ -23,8 +23,8 @@
 
 use llamp_core::Analyzer;
 use llamp_engine::{
-    run_campaign, Backend, CampaignResult, CampaignSpec, ExecutorConfig, GridSpec, ParamsPreset,
-    ParamsSpec, ResultCache, RunSummary, TopologySpec, WorkloadSpec,
+    run_campaign, AxisSpec, Backend, CampaignResult, CampaignSpec, ExecutorConfig, GridSpec,
+    ParamsPreset, ParamsSpec, ResultCache, RunSummary, SweepParam, TopologySpec, WorkloadSpec,
 };
 use llamp_model::LogGPSParams;
 use llamp_schedgen::{build_graph, ExecGraph, GraphConfig};
@@ -136,7 +136,39 @@ pub fn app_campaign_spec(
         }],
         backends: backends.to_vec(),
         grid,
+        axes: vec![],
     };
+    spec.canonicalize();
+    spec
+}
+
+/// An engine sweep axis: `points` evenly spaced deltas over `[lo, hi]`
+/// for one LogGPS parameter (`L`/`o` in ns, `G` in ns/byte).
+pub fn campaign_axis(param: SweepParam, lo: f64, hi: f64, points: usize) -> AxisSpec {
+    AxisSpec {
+        param,
+        deltas: linspace(lo, hi, points),
+    }
+}
+
+/// Build a multi-parameter (axes) campaign over `(app, ranks, iters)`
+/// workloads — the harnesses' standard shape, but sweeping the cartesian
+/// product of the given axes instead of a latency grid.
+pub fn app_campaign_axes_spec(
+    apps: &[(App, u32, usize)],
+    backends: &[Backend],
+    axes: Vec<AxisSpec>,
+    search_hi: f64,
+) -> CampaignSpec {
+    let mut spec = app_campaign_spec(
+        apps,
+        backends,
+        GridSpec {
+            deltas_ns: vec![],
+            search_hi_ns: search_hi,
+        },
+    );
+    spec.axes = axes;
     spec.canonicalize();
     spec
 }

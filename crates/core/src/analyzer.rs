@@ -110,6 +110,40 @@ impl Analyzer {
         GraphLp::build_named(&self.graph, &self.binding, backend)
     }
 
+    /// Base value of one sweep parameter: the point the campaign's delta
+    /// axes are relative to (`L` from the analyzer, `G`/`o` from the
+    /// binding).
+    pub fn base_param(&self, p: crate::binding::SweepParam) -> f64 {
+        self.binding.base_value(p, self.base_l)
+    }
+
+    /// The full base query point `(L, G, o)`.
+    pub fn base_point(&self) -> crate::multi_lp::ParamPoint {
+        use crate::binding::SweepParam;
+        crate::multi_lp::ParamPoint {
+            l: self.base_param(SweepParam::L),
+            g: self.base_param(SweepParam::G),
+            o: self.base_param(SweepParam::O),
+        }
+    }
+
+    /// Build the multi-parameter LP (symbolic `L`, `G`, `o`; see
+    /// [`crate::multi_lp::GraphMultiLp`]) with the default backend.
+    pub fn multi_lp(&self) -> crate::multi_lp::GraphMultiLp {
+        crate::multi_lp::GraphMultiLp::build(&self.graph, &self.binding)
+    }
+
+    /// Build the multi-parameter LP with a named solver backend.
+    pub fn multi_lp_named(&self, backend: &str) -> Option<crate::multi_lp::GraphMultiLp> {
+        crate::multi_lp::GraphMultiLp::build_named(&self.graph, &self.binding, backend)
+    }
+
+    /// Direct evaluation at an arbitrary `(L, G, o)` point, with the full
+    /// sensitivity gradient (see [`crate::eval::evaluate_multi`]).
+    pub fn evaluate_multi(&self, at: crate::multi_lp::ParamPoint) -> crate::eval::MultiEvaluation {
+        crate::eval::evaluate_multi(&self.graph, &self.binding, at.l, at.g, at.o)
+    }
+
     /// Exact `T(L)` profile over `[l_min, l_max]`.
     pub fn profile(&self, l_min: f64, l_max: f64) -> ParametricProfile {
         ParametricProfile::compute(&self.graph, &self.binding, (l_min, l_max))

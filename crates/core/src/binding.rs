@@ -103,6 +103,104 @@ pub enum AnalysisVariable {
         /// The fixed network latency while `G` varies (ns).
         fixed_l: f64,
     },
+    /// The per-message CPU overhead `o`; `L` is frozen at the given
+    /// value. The sensitivity `λ_o` counts message overheads on the
+    /// critical path (the Eq. 4 generalisation for `o`).
+    OverheadO {
+        /// The fixed network latency while `o` varies (ns).
+        fixed_l: f64,
+    },
+}
+
+/// A LogGPS parameter usable as a sweep axis in multi-parameter analyses
+/// (the `L × G × o` campaign grids). Ordering is the canonical axis order
+/// `L < G < o`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SweepParam {
+    /// The network latency `L` (ns) — or the per-wire latency under a
+    /// topology binding.
+    L,
+    /// The per-byte gap `G` (ns/byte, inverse bandwidth).
+    G,
+    /// The per-message CPU overhead `o` (ns).
+    O,
+}
+
+impl SweepParam {
+    /// All sweepable parameters in canonical axis order.
+    pub const ALL: [SweepParam; 3] = [SweepParam::L, SweepParam::G, SweepParam::O];
+
+    /// Canonical spec-file name (`"L"`, `"G"`, `"o"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SweepParam::L => "L",
+            SweepParam::G => "G",
+            SweepParam::O => "o",
+        }
+    }
+
+    /// Parse a spec-file name: `L`/`l`/`latency`, `G`/`bandwidth`,
+    /// `o`/`O`/`overhead` (long names case-insensitive). A bare
+    /// lowercase `g` is rejected on purpose — in LogGPS notation it is
+    /// the per-message gap, a different (non-sweepable) parameter, while
+    /// `o`/`O` are unambiguous.
+    pub fn parse(name: &str) -> Option<SweepParam> {
+        match name {
+            "L" | "l" => Some(SweepParam::L),
+            "G" => Some(SweepParam::G),
+            "o" | "O" => Some(SweepParam::O),
+            _ => match name.to_ascii_lowercase().as_str() {
+                "latency" => Some(SweepParam::L),
+                // No "gap" alias: it would collide with the LogGPS
+                // per-message gap `g` this parser rejects.
+                "bandwidth" => Some(SweepParam::G),
+                "overhead" => Some(SweepParam::O),
+                _ => None,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for SweepParam {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A cost bound in **all three** sweepable parameters at once: the affine
+/// form `constant + l·L + g·G + o·o`. This is what the multi-parameter
+/// LP and evaluator consume — unlike [`Binding::bind`], nothing is baked
+/// to a constant, so one bound answers any `(L, G, o)` query point.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MultiBound {
+    /// Constant nanoseconds (compute, switch traversals, per-pair fixed
+    /// latencies).
+    pub constant: f64,
+    /// Coefficient of the latency axis (`L` traversals × the latency
+    /// model's per-traversal multiplier).
+    pub l: f64,
+    /// Coefficient of the per-byte gap `G` (bytes on the wire).
+    pub g: f64,
+    /// Coefficient of the per-message overhead `o` (overhead count).
+    pub o: f64,
+}
+
+impl MultiBound {
+    /// Evaluate at a concrete `(L, G, o)` point.
+    #[inline]
+    pub fn eval(&self, l: f64, g: f64, o: f64) -> f64 {
+        self.constant + self.l * l + self.g * g + self.o * o
+    }
+
+    /// Coefficient of one sweep parameter.
+    #[inline]
+    pub fn coeff(&self, p: SweepParam) -> f64 {
+        match p {
+            SweepParam::L => self.l,
+            SweepParam::G => self.g,
+            SweepParam::O => self.o,
+        }
+    }
 }
 
 /// A complete binding: scalar parameters plus the latency model.
@@ -142,6 +240,21 @@ impl Binding {
             big_g: params.big_g,
             latency: LatencyModel::Uniform,
             variable: AnalysisVariable::BandwidthG { fixed_l: params.l },
+        }
+    }
+
+    /// Overhead-sensitivity binding (the Eq. 4 generalisation for `o`):
+    /// the per-message CPU overhead becomes the analysis variable, `L`
+    /// stays fixed at `params.l`. Every query's variable value is then an
+    /// overhead in ns, `λ` becomes `λ_o ≈` message overheads on the
+    /// critical path, and tolerances answer "how slow may the MPI stack's
+    /// per-message processing get".
+    pub fn overhead(params: &llamp_model::LogGPSParams) -> Self {
+        Self {
+            o: params.o,
+            big_g: params.big_g,
+            latency: LatencyModel::Uniform,
+            variable: AnalysisVariable::OverheadO { fixed_l: params.l },
         }
     }
 
@@ -271,6 +384,53 @@ impl Binding {
                 }
                 (constant, cost.gbytes)
             }
+            AnalysisVariable::OverheadO { fixed_l } => {
+                // o is the variable: its coefficient is the overhead
+                // count; latency and bandwidth become constants.
+                let mut constant = cost.const_ns + cost.gbytes * self.big_g;
+                if cost.l_count != 0.0 {
+                    let term = self.latency_term(src, dst);
+                    constant += cost.l_count * (term.multiplier * fixed_l + term.constant);
+                }
+                (constant, cost.o_count)
+            }
+        }
+    }
+
+    /// Bind a symbolic cost in **all three** sweep parameters at once:
+    /// nothing is frozen to a constant except the latency model's
+    /// structural terms (switch delays, per-pair fixed latencies). The
+    /// result answers any `(L, G, o)` point, which is what the
+    /// multi-parameter LP ([`crate::multi_lp::GraphMultiLp`]) and
+    /// [`crate::eval::evaluate_multi`] are built from. The
+    /// [`AnalysisVariable`] selection is irrelevant here — all three
+    /// parameters stay symbolic.
+    #[inline]
+    pub fn bind_multi(&self, cost: &CostExpr, src: u32, dst: u32) -> MultiBound {
+        let mut out = MultiBound {
+            constant: cost.const_ns,
+            l: 0.0,
+            g: cost.gbytes,
+            o: cost.o_count,
+        };
+        if cost.l_count != 0.0 {
+            let term = self.latency_term(src, dst);
+            out.constant += cost.l_count * term.constant;
+            out.l = cost.l_count * term.multiplier;
+        }
+        out
+    }
+
+    /// The binding's base value of one sweep parameter: what the
+    /// campaign's delta axes are relative to. `base_l` is supplied by the
+    /// caller (the latency base lives outside the binding — e.g. the
+    /// analyzer's wire latency), `G` and `o` come from the bound
+    /// constants.
+    pub fn base_value(&self, p: SweepParam, base_l: f64) -> f64 {
+        match p {
+            SweepParam::L => base_l,
+            SweepParam::G => self.big_g,
+            SweepParam::O => self.o,
         }
     }
 }

@@ -114,6 +114,103 @@ pub fn evaluate(g: &ExecGraph, binding: &Binding, lambda_value: f64) -> Evaluati
     }
 }
 
+/// Result of a multi-parameter evaluation: the makespan plus its full
+/// gradient in the three sweepable LogGPS parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiEvaluation {
+    /// Predicted runtime `T` (ns) at the query point.
+    pub runtime: f64,
+    /// Latency sensitivity `λ_L = ∂T/∂L` (traversals on the critical
+    /// path, scaled by the latency model's multipliers).
+    pub lambda_l: f64,
+    /// Bandwidth sensitivity `λ_G = ∂T/∂G` (bytes on the critical path).
+    pub lambda_g: f64,
+    /// Overhead sensitivity `λ_o = ∂T/∂o` (message overheads on the
+    /// critical path).
+    pub lambda_o: f64,
+}
+
+impl MultiEvaluation {
+    /// Sensitivity of one sweep parameter.
+    pub fn lambda(&self, p: crate::binding::SweepParam) -> f64 {
+        use crate::binding::SweepParam;
+        match p {
+            SweepParam::L => self.lambda_l,
+            SweepParam::G => self.lambda_g,
+            SweepParam::O => self.lambda_o,
+        }
+    }
+}
+
+/// Evaluate the graph at an arbitrary `(L, G, o)` point, tracking the full
+/// sensitivity gradient along the critical path. Costs come from
+/// [`Binding::bind_multi`], so nothing is baked to a constant: this is the
+/// direct-evaluation counterpart of the multi-parameter LP, and the
+/// reference the `λ_G` / `λ_o` dual certificates are checked against.
+/// Ties between equal-cost paths prefer the larger `(λ_L, λ_G, λ_o)`
+/// gradient lexicographically — the right-derivative at the query point,
+/// matching the 1-D evaluator's slope tie-break.
+pub fn evaluate_multi(
+    g: &ExecGraph,
+    binding: &Binding,
+    l: f64,
+    gap: f64,
+    o: f64,
+) -> MultiEvaluation {
+    let n = g.num_vertices();
+    let mut finish = vec![0.0f64; n];
+    // Per-vertex gradient of the best incoming path, for tie-breaking and
+    // the sink read-out.
+    let mut grad: Vec<[f64; 3]> = vec![[0.0; 3]; n];
+
+    for &v in g.topo_order() {
+        let vert = g.vertex(v);
+        let vb = binding.bind_multi(&vert.cost, vert.rank, vert.rank);
+        let mut best_t = 0.0f64;
+        let mut best_g = [0.0f64; 3];
+        for e in g.preds(v) {
+            let u = e.other;
+            let urank = g.vertex(u).rank;
+            let eb = binding.bind_multi(&e.cost, urank, vert.rank);
+            let t = finish[u as usize] + eb.eval(l, gap, o);
+            let s = [
+                grad[u as usize][0] + eb.l,
+                grad[u as usize][1] + eb.g,
+                grad[u as usize][2] + eb.o,
+            ];
+            if t > best_t + TIE_EPS || (t > best_t - TIE_EPS && s > best_g) {
+                best_t = t;
+                best_g = s;
+            }
+        }
+        finish[v as usize] = best_t + vb.eval(l, gap, o);
+        grad[v as usize] = [best_g[0] + vb.l, best_g[1] + vb.g, best_g[2] + vb.o];
+    }
+
+    let mut runtime = 0.0f64;
+    let mut best = [0.0f64; 3];
+    let mut found = false;
+    for v in 0..n as u32 {
+        if g.succs(v).is_empty() {
+            let t = finish[v as usize];
+            let s = grad[v as usize];
+            let better =
+                !found || t > runtime + TIE_EPS || ((t - runtime).abs() <= TIE_EPS && s > best);
+            if better {
+                runtime = t;
+                best = s;
+                found = true;
+            }
+        }
+    }
+    MultiEvaluation {
+        runtime,
+        lambda_l: best[0],
+        lambda_g: best[1],
+        lambda_o: best[2],
+    }
+}
+
 /// Pairwise sensitivity matrices over ranks (Appendix I). `lambda[i·P+j]`
 /// counts latency traversals between ranks `i` and `j` on the critical
 /// path; `bytes[i·P+j]` sums the corresponding `G` coefficients. Both are

@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # llamp-core — the LLAMP analyzer
 //!
 //! The paper's contribution: converting MPI execution graphs into linear
@@ -23,14 +24,20 @@ pub mod analyzer;
 pub mod binding;
 pub mod eval;
 pub mod lp_build;
+pub mod multi_lp;
 pub mod parametric;
 pub mod placement;
 
 pub use analyzer::{Analyzer, SweepPoint, ToleranceZones};
-pub use binding::{AnalysisVariable, Binding, LatencyModel, LatencyTerm, PairTable};
-pub use eval::{evaluate, pair_sensitivities, Evaluation, PairSensitivities};
+pub use binding::{
+    AnalysisVariable, Binding, LatencyModel, LatencyTerm, MultiBound, PairTable, SweepParam,
+};
+pub use eval::{
+    evaluate, evaluate_multi, pair_sensitivities, Evaluation, MultiEvaluation, PairSensitivities,
+};
 pub use llamp_lp::SolveStats;
 pub use lp_build::{GraphLp, Prediction};
+pub use multi_lp::{GraphMultiLp, MultiPrediction, ParamPoint};
 pub use parametric::ParametricProfile;
 pub use placement::{
     block_mapping, evaluate_mapping, llamp_placement, random_mapping, round_robin_mapping,

@@ -1,0 +1,591 @@
+//! The multi-parameter LP: Algorithm 1 generalised so that **all three**
+//! sweepable LogGPS parameters — the latency `L`, the per-byte gap `G`
+//! and the per-message overhead `o` — are decision variables at once.
+//!
+//! The construction mirrors [`crate::lp_build::GraphLp`] exactly, except
+//! that edge costs enter through [`Binding::bind_multi`]: instead of
+//! baking `G` and `o` into row constants, every `≥` constraint carries
+//! coefficients `(-m_L, -m_G, -m_o)` on the three parameter columns.
+//! Queries pin each parameter with a *lower bound* (never an equality),
+//! so the reduced cost of each column is the corresponding sensitivity —
+//! `λ_L`, `λ_G` and `λ_o` all fall out of the **same dual solution** of
+//! one solve, and per-parameter basis-stability windows come from the
+//! same ranging machinery Algorithm 2 uses for `L`.
+//!
+//! Warm starts work unchanged: a solution's basis outlives bound edits,
+//! so a campaign answers one cold anchor per scenario and every grid
+//! cross-section — fix all axes but one, step the last — re-seeds from
+//! that anchor and re-solves in a handful (usually zero) of pivots.
+
+use crate::binding::{Binding, SweepParam};
+use llamp_lp::backend::{by_name, Parametric, SolverBackend};
+use llamp_lp::{Basis, LpModel, Objective, Relation, Solution, SolveStats, SolveStatus, VarId};
+use llamp_schedgen::ExecGraph;
+
+/// A query point in the three-parameter space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParamPoint {
+    /// Network (or per-wire) latency `L` (ns).
+    pub l: f64,
+    /// Per-byte gap `G` (ns/byte).
+    pub g: f64,
+    /// Per-message overhead `o` (ns).
+    pub o: f64,
+}
+
+impl ParamPoint {
+    /// The value of one sweep parameter.
+    pub fn get(&self, p: SweepParam) -> f64 {
+        match p {
+            SweepParam::L => self.l,
+            SweepParam::G => self.g,
+            SweepParam::O => self.o,
+        }
+    }
+
+    /// Replace the value of one sweep parameter.
+    pub fn with(mut self, p: SweepParam, value: f64) -> Self {
+        match p {
+            SweepParam::L => self.l = value,
+            SweepParam::G => self.g = value,
+            SweepParam::O => self.o = value,
+        }
+        self
+    }
+}
+
+/// Affine running expression `base + c + m·(L,G,o)` for a vertex's
+/// completion time while building the LP (Algorithm 1's `Tv`, with the
+/// full coefficient vector kept symbolic).
+#[derive(Debug, Clone, Copy)]
+struct Expr {
+    base: Option<VarId>,
+    c: f64,
+    ml: f64,
+    mg: f64,
+    mo: f64,
+}
+
+/// What a single multi-parameter solve reports: the runtime plus the full
+/// sensitivity gradient and per-parameter basis-stability ranges.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiPrediction {
+    /// Predicted runtime `T` (ns).
+    pub runtime: f64,
+    /// Latency sensitivity `λ_L` (reduced cost of the `L` column).
+    pub lambda_l: f64,
+    /// Bandwidth sensitivity `λ_G` (reduced cost of the `G` column).
+    pub lambda_g: f64,
+    /// Overhead sensitivity `λ_o` (reduced cost of the `o` column).
+    pub lambda_o: f64,
+    /// Basis-stability range of the `L` lower bound (`SALBLow`/`SALBUp`).
+    pub l_feasible: (f64, f64),
+    /// Basis-stability range of the `G` lower bound.
+    pub g_feasible: (f64, f64),
+    /// Basis-stability range of the `o` lower bound.
+    pub o_feasible: (f64, f64),
+    /// Simplex iterations spent.
+    pub iterations: u64,
+}
+
+impl MultiPrediction {
+    /// Sensitivity of one sweep parameter.
+    pub fn lambda(&self, p: SweepParam) -> f64 {
+        match p {
+            SweepParam::L => self.lambda_l,
+            SweepParam::G => self.lambda_g,
+            SweepParam::O => self.lambda_o,
+        }
+    }
+
+    /// Basis-stability range of one parameter's lower bound.
+    pub fn feasible(&self, p: SweepParam) -> (f64, f64) {
+        match p {
+            SweepParam::L => self.l_feasible,
+            SweepParam::G => self.g_feasible,
+            SweepParam::O => self.o_feasible,
+        }
+    }
+
+    /// The ratio `ρ_X = λ_X · X / T` for one parameter at its query
+    /// value: the critical-path share attributable to that parameter.
+    pub fn rho(&self, p: SweepParam, value: f64) -> f64 {
+        if self.runtime <= 0.0 {
+            0.0
+        } else {
+            self.lambda(p) * value / self.runtime
+        }
+    }
+}
+
+/// The multi-parameter LP form of an execution graph under a binding,
+/// paired with the [`SolverBackend`] that answers its queries (same
+/// warm-start protocol as [`crate::lp_build::GraphLp`]).
+#[derive(Debug)]
+pub struct GraphMultiLp {
+    model: LpModel,
+    l: VarId,
+    g: VarId,
+    o: VarId,
+    t: VarId,
+    backend: Box<dyn SolverBackend>,
+    /// Topological crash basis — the structural starting point every cold
+    /// solve is seeded from (see `GraphLp::build_with_backend`).
+    crash: Basis,
+}
+
+impl GraphMultiLp {
+    /// Build with the default solver backend ([`Parametric`], whose
+    /// zero-pivot shortcut now covers joint `(L, G, o)` bound moves).
+    pub fn build(graph: &ExecGraph, binding: &Binding) -> Self {
+        Self::build_with_backend(graph, binding, Box::new(Parametric::default()))
+    }
+
+    /// Build with a named solver backend (`"dense"`, `"sparse"` or
+    /// `"parametric"`; see [`by_name`]).
+    pub fn build_named(graph: &ExecGraph, binding: &Binding, backend: &str) -> Option<Self> {
+        Some(Self::build_with_backend(graph, binding, by_name(backend)?))
+    }
+
+    /// Algorithm 1 with symbolic `(L, G, o)`: one decision variable per
+    /// parameter, each edge constraint carrying its full coefficient
+    /// vector from [`Binding::bind_multi`]. The topological crash basis
+    /// is assembled exactly as in the single-parameter build.
+    pub fn build_with_backend(
+        graph: &ExecGraph,
+        binding: &Binding,
+        backend: Box<dyn SolverBackend>,
+    ) -> Self {
+        use llamp_lp::solution::VarStatus;
+
+        let mut model = LpModel::new(Objective::Minimize);
+        let l = model.add_var("l", 0.0, f64::INFINITY, 0.0);
+        let g = model.add_var("g", 0.0, f64::INFINITY, 0.0);
+        let o = model.add_var("o", 0.0, f64::INFINITY, 0.0);
+        let t = model.add_var("t", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        let mut col_status = vec![
+            VarStatus::AtLower,
+            VarStatus::AtLower,
+            VarStatus::AtLower,
+            VarStatus::FreeZero,
+        ];
+        let mut row_status: Vec<VarStatus> = Vec::new();
+        let mut best_sink: Option<(f64, usize)> = None;
+
+        let n = graph.num_vertices();
+        let mut exprs: Vec<Expr> = vec![
+            Expr {
+                base: None,
+                c: 0.0,
+                ml: 0.0,
+                mg: 0.0,
+                mo: 0.0,
+            };
+            n
+        ];
+
+        // Append the parameter coefficients of an expression to a
+        // constraint's term list (negated: y − base − m·(l,g,o) ≥ c).
+        let push_coeffs = |terms: &mut Vec<(VarId, f64)>, ml: f64, mg: f64, mo: f64| {
+            if ml != 0.0 {
+                terms.push((l, -ml));
+            }
+            if mg != 0.0 {
+                terms.push((g, -mg));
+            }
+            if mo != 0.0 {
+                terms.push((o, -mo));
+            }
+        };
+
+        for &v in graph.topo_order() {
+            let vert = graph.vertex(v);
+            let vb = binding.bind_multi(&vert.cost, vert.rank, vert.rank);
+            let preds = graph.preds(v);
+            let e = match preds.len() {
+                0 => Expr {
+                    base: None,
+                    c: vb.constant,
+                    ml: vb.l,
+                    mg: vb.g,
+                    mo: vb.o,
+                },
+                1 => {
+                    let p = &preds[0];
+                    let urank = graph.vertex(p.other).rank;
+                    let eb = binding.bind_multi(&p.cost, urank, vert.rank);
+                    let u = exprs[p.other as usize];
+                    Expr {
+                        base: u.base,
+                        c: u.c + eb.constant + vb.constant,
+                        ml: u.ml + eb.l + vb.l,
+                        mg: u.mg + eb.g + vb.g,
+                        mo: u.mo + eb.o + vb.o,
+                    }
+                }
+                _ => {
+                    let y = model.add_var(format!("y{v}"), f64::NEG_INFINITY, f64::INFINITY, 0.0);
+                    col_status.push(VarStatus::Basic);
+                    let mut best_in: Option<(f64, usize)> = None;
+                    for p in preds {
+                        let urank = graph.vertex(p.other).rank;
+                        let eb = binding.bind_multi(&p.cost, urank, vert.rank);
+                        let u = exprs[p.other as usize];
+                        // y ≥ base_u + (c_u + ec) + (m_u + em)·(l,g,o)
+                        let mut terms = vec![(y, 1.0)];
+                        if let Some(b) = u.base {
+                            terms.push((b, -1.0));
+                        }
+                        push_coeffs(&mut terms, u.ml + eb.l, u.mg + eb.g, u.mo + eb.o);
+                        let rhs = u.c + eb.constant;
+                        let row_idx = row_status.len();
+                        model.add_constraint(
+                            format!("in{v}_{}", p.other),
+                            &terms,
+                            Relation::Ge,
+                            rhs,
+                        );
+                        row_status.push(VarStatus::Basic);
+                        // Defining in-edge for the crash: largest constant
+                        // (strict >, so ties keep the lowest row index).
+                        if best_in.is_none_or(|(bv, _)| rhs > bv) {
+                            best_in = Some((rhs, row_idx));
+                        }
+                    }
+                    if let Some((_, ri)) = best_in {
+                        row_status[ri] = VarStatus::AtLower;
+                    }
+                    Expr {
+                        base: Some(y),
+                        c: vb.constant,
+                        ml: vb.l,
+                        mg: vb.g,
+                        mo: vb.o,
+                    }
+                }
+            };
+            exprs[v as usize] = e;
+
+            // Sinks bound the makespan variable: t ≥ Tv.
+            if graph.succs(v).is_empty() {
+                let ex = exprs[v as usize];
+                let mut terms = vec![(t, 1.0)];
+                if let Some(b) = ex.base {
+                    terms.push((b, -1.0));
+                }
+                push_coeffs(&mut terms, ex.ml, ex.mg, ex.mo);
+                let row_idx = row_status.len();
+                model.add_constraint(format!("sink{v}"), &terms, Relation::Ge, ex.c);
+                row_status.push(VarStatus::Basic);
+                if best_sink.is_none_or(|(bv, _)| ex.c > bv) {
+                    best_sink = Some((ex.c, row_idx));
+                }
+            }
+        }
+
+        if let Some((_, ri)) = best_sink {
+            row_status[ri] = VarStatus::AtLower;
+            col_status[t.0 as usize] = VarStatus::Basic;
+        }
+        let crash = Basis::from_statuses(col_status, row_status);
+
+        let mut lp = Self {
+            model,
+            l,
+            g,
+            o,
+            t,
+            backend,
+            crash,
+        };
+        lp.backend.seed(&lp.crash);
+        lp
+    }
+
+    /// The underlying model (for statistics or custom solves).
+    pub fn model(&self) -> &LpModel {
+        &self.model
+    }
+
+    /// Name of the active solver backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Drop accumulated warm state: the next solve starts from the
+    /// build-time topological crash basis.
+    pub fn reset_backend(&mut self) {
+        self.backend.reset();
+        self.backend.seed(&self.crash);
+    }
+
+    /// Cumulative solver-effort counters across every query this instance
+    /// has answered.
+    pub fn solver_stats(&self) -> SolveStats {
+        self.backend.stats()
+    }
+
+    /// The basis the backend would warm-start its next query from.
+    pub fn warm_basis(&self) -> Option<Basis> {
+        self.backend.warm_basis().cloned()
+    }
+
+    /// Re-seed the backend's warm state from an explicit basis (e.g. run
+    /// every grid point from one anchor optimum).
+    pub fn seed_backend(&mut self, basis: &Basis) {
+        self.backend.seed(basis);
+    }
+
+    /// The decision variable of one sweep parameter.
+    pub fn param_var(&self, p: SweepParam) -> VarId {
+        match p {
+            SweepParam::L => self.l,
+            SweepParam::G => self.g,
+            SweepParam::O => self.o,
+        }
+    }
+
+    /// Makespan decision variable.
+    pub fn t_var(&self) -> VarId {
+        self.t
+    }
+
+    /// Solve `min t` with `l ≥ L`, `g ≥ G`, `o ≥ o` and report the
+    /// runtime, the full sensitivity gradient and the per-parameter
+    /// basis-stability ranges — all from one dual solution.
+    pub fn predict(&mut self, at: ParamPoint) -> Result<MultiPrediction, SolveStatus> {
+        self.model.set_var_lb(self.l, at.l);
+        self.model.set_var_lb(self.g, at.g);
+        self.model.set_var_lb(self.o, at.o);
+        self.model.set_sense(Objective::Minimize);
+        self.model.set_objective(&[(self.t, 1.0)]);
+        let sol = self.backend.resolve(&self.model)?;
+        Ok(MultiPrediction {
+            runtime: sol.objective(),
+            lambda_l: sol.reduced_cost(self.l),
+            lambda_g: sol.reduced_cost(self.g),
+            lambda_o: sol.reduced_cost(self.o),
+            l_feasible: sol.lb_range(self.l),
+            g_feasible: sol.lb_range(self.g),
+            o_feasible: sol.lb_range(self.o),
+            iterations: sol.iterations(),
+        })
+    }
+
+    /// Solve and hand back the raw solution (tight-constraint /
+    /// critical-path inspection).
+    pub fn solve_raw(&mut self, at: ParamPoint) -> Result<Solution, SolveStatus> {
+        self.model.set_var_lb(self.l, at.l);
+        self.model.set_var_lb(self.g, at.g);
+        self.model.set_var_lb(self.o, at.o);
+        self.model.set_sense(Objective::Minimize);
+        self.model.set_objective(&[(self.t, 1.0)]);
+        self.backend.resolve(&self.model)
+    }
+
+    /// Tolerance along one parameter (§II-D2 generalised): maximise that
+    /// parameter subject to `t ≤ max_runtime`, the other two pinned at
+    /// `at`'s values. Returns `f64::INFINITY` when the runtime never
+    /// exceeds the cap and an `Err` when even the floor violates it.
+    pub fn tolerance(
+        &mut self,
+        p: SweepParam,
+        at: ParamPoint,
+        max_runtime: f64,
+    ) -> Result<f64, SolveStatus> {
+        self.model.set_var_lb(self.l, at.l);
+        self.model.set_var_lb(self.g, at.g);
+        self.model.set_var_lb(self.o, at.o);
+        let var = self.param_var(p);
+        self.model.set_var_ub(self.t, max_runtime);
+        self.model.set_sense(Objective::Maximize);
+        self.model.set_objective(&[(var, 1.0)]);
+        let out = match self.backend.resolve(&self.model) {
+            Ok(sol) => Ok(sol.value(var)),
+            Err(SolveStatus::Unbounded) => Ok(f64::INFINITY),
+            Err(e) => Err(e),
+        };
+        // Restore the prediction shape.
+        self.model.set_var_ub(self.t, f64::INFINITY);
+        self.model.set_sense(Objective::Minimize);
+        self.model.set_objective(&[(self.t, 1.0)]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::Binding;
+    use crate::eval::evaluate_multi;
+    use crate::lp_build::GraphLp;
+    use llamp_model::LogGPSParams;
+    use llamp_schedgen::{build_graph, ExecGraph, GraphConfig};
+    use llamp_trace::{ProgramSet, TracerConfig};
+    use llamp_util::time::us;
+
+    fn running_example(c0_us: f64) -> ExecGraph {
+        let set = ProgramSet::spmd(2, |rank, b| {
+            if rank == 0 {
+                b.comp(us(c0_us));
+                b.send(1, 4, 0);
+                b.comp(us(1.0));
+            } else {
+                b.comp(us(0.5));
+                b.recv(0, 4, 0);
+                b.comp(us(1.0));
+            }
+        });
+        build_graph(&set.trace(&TracerConfig::default()), &GraphConfig::eager())
+            .unwrap()
+            .contracted()
+    }
+
+    fn didactic() -> (Binding, ParamPoint) {
+        let p = LogGPSParams::didactic();
+        (
+            Binding::uniform(&p),
+            ParamPoint {
+                l: p.l,
+                g: p.big_g,
+                o: p.o,
+            },
+        )
+    }
+
+    #[test]
+    fn matches_single_parameter_lp_at_base_point() {
+        let g = running_example(0.1);
+        let (binding, base) = didactic();
+        let mut multi = GraphMultiLp::build(&g, &binding);
+        let mut single = GraphLp::build(&g, &binding);
+        for l in [0.0, 200.0, 385.0, 500.0, 2_000.0] {
+            let a = multi.predict(base.with(SweepParam::L, l)).unwrap();
+            let b = single.predict(l).unwrap();
+            assert!(
+                (a.runtime - b.runtime).abs() < 1e-9 * (1.0 + b.runtime),
+                "L={l}: {} vs {}",
+                a.runtime,
+                b.runtime
+            );
+            assert!((a.lambda_l - b.lambda).abs() < 1e-9, "L={l}");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_direct_evaluation() {
+        let set = ProgramSet::spmd(4, |rank, b| {
+            b.comp(us(3.0) * (rank + 1) as f64);
+            b.allreduce(512);
+            b.comp(us(1.0));
+            b.barrier();
+        });
+        let g = build_graph(&set.trace(&TracerConfig::default()), &GraphConfig::eager())
+            .unwrap()
+            .contracted();
+        let params = LogGPSParams::cscs_testbed(4).with_o(us(1.0));
+        let binding = Binding::uniform(&params);
+        let mut lp = GraphMultiLp::build(&g, &binding);
+        for (l, gap, o) in [
+            (0.0, 0.018, 1_000.0),
+            (3_000.0, 0.018, 1_000.0),
+            (50_000.0, 0.5, 2_000.0),
+            (3_000.0, 2.0, 500.0),
+        ] {
+            let p = lp.predict(ParamPoint { l, g: gap, o }).unwrap();
+            let e = evaluate_multi(&g, &binding, l, gap, o);
+            assert!(
+                (p.runtime - e.runtime).abs() < 1e-6 * (1.0 + e.runtime),
+                "({l},{gap},{o}): lp {} vs eval {}",
+                p.runtime,
+                e.runtime
+            );
+            assert!(
+                (p.lambda_l - e.lambda_l).abs() < 1e-6,
+                "λ_L at ({l},{gap},{o})"
+            );
+            assert!(
+                (p.lambda_g - e.lambda_g).abs() < 1e-6,
+                "λ_G at ({l},{gap},{o})"
+            );
+            assert!(
+                (p.lambda_o - e.lambda_o).abs() < 1e-6,
+                "λ_o at ({l},{gap},{o})"
+            );
+        }
+    }
+
+    #[test]
+    fn stability_window_step_is_exactly_linear() {
+        // Inside the reported per-parameter stability window the basis is
+        // unchanged, so T moves exactly linearly with slope λ — the dual
+        // certificate for λ_G and λ_o.
+        let g = running_example(0.1);
+        let (binding, base) = didactic();
+        let mut lp = GraphMultiLp::build(&g, &binding);
+        let at = base.with(SweepParam::L, 500.0);
+        let p0 = lp.predict(at).unwrap();
+        for param in SweepParam::ALL {
+            let (lo, hi) = p0.feasible(param);
+            let x0 = at.get(param);
+            // Step halfway to the window edge (bounded to stay finite).
+            let step_up = if hi.is_finite() { (hi - x0) / 2.0 } else { 1.0 };
+            if step_up > 0.0 {
+                let p1 = lp.predict(at.with(param, x0 + step_up)).unwrap();
+                let want = p0.runtime + p0.lambda(param) * step_up;
+                assert!(
+                    (p1.runtime - want).abs() < 1e-7 * (1.0 + want.abs()),
+                    "{param}: {} vs {}",
+                    p1.runtime,
+                    want
+                );
+            }
+            let _ = lo;
+            let p_back = lp.predict(at).unwrap();
+            assert!((p_back.runtime - p0.runtime).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tolerance_along_each_parameter() {
+        let g = running_example(0.1);
+        let (binding, base) = didactic();
+        let mut lp = GraphMultiLp::build(&g, &binding);
+        let at = base.with(SweepParam::L, 0.0);
+        // Fig. 6: max L s.t. T ≤ 2 µs is 0.885 µs (G, o at base).
+        let tol_l = lp.tolerance(SweepParam::L, at, 2_000.0).unwrap();
+        assert!((tol_l - 885.0).abs() < 1e-6, "{tol_l}");
+        // The prediction shape is restored afterwards.
+        let p = lp.predict(at).unwrap();
+        assert!((p.runtime - 1_500.0).abs() < 1e-6);
+        // G tolerance: a cap above the G-free runtime admits a positive
+        // per-byte gap; the runtime at the tolerance hits the cap.
+        let tol_g = lp.tolerance(SweepParam::G, at, 2_000.0).unwrap();
+        assert!(tol_g > 0.0);
+        if tol_g.is_finite() {
+            let e = evaluate_multi(&g, &binding, at.l, tol_g, at.o);
+            assert!((e.runtime - 2_000.0).abs() < 1e-6 * 2_000.0);
+        }
+    }
+
+    #[test]
+    fn all_backends_agree_bitwise() {
+        let g = running_example(0.1);
+        let (binding, base) = didactic();
+        let mut reference: Option<MultiPrediction> = None;
+        for name in llamp_lp::backend::BACKEND_NAMES {
+            let mut lp = GraphMultiLp::build_named(&g, &binding, name).unwrap();
+            let p = lp
+                .predict(base.with(SweepParam::L, 500.0).with(SweepParam::G, 5.0))
+                .unwrap();
+            if let Some(r) = &reference {
+                assert_eq!(p.runtime.to_bits(), r.runtime.to_bits(), "{name}");
+                assert_eq!(p.lambda_l.to_bits(), r.lambda_l.to_bits(), "{name}");
+                assert_eq!(p.lambda_g.to_bits(), r.lambda_g.to_bits(), "{name}");
+                assert_eq!(p.lambda_o.to_bits(), r.lambda_o.to_bits(), "{name}");
+            } else {
+                reference = Some(p);
+            }
+        }
+    }
+}

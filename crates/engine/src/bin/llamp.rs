@@ -50,6 +50,11 @@ USAGE:
   llamp list-workloads                        list workload proxies
   llamp report <results.json> [--csv FILE]    summarise a results file
 
+Campaign specs sweep workloads x topologies x params x backends over a
+latency grid ([grid]) or multi-parameter L/G/o axes ([[axes]]). The
+complete field reference is docs/SPEC.md; runnable examples live in
+examples/campaign.toml (grid) and examples/heatmap.toml (L x G axes).
+
 RUN OPTIONS:
   --threads N       worker threads (default: all cores)
   --cache FILE      load/save the result cache (JSON; created if missing)

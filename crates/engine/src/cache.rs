@@ -17,7 +17,7 @@
 //! [`ResultCache::save`] round-trip the store through the same
 //! deterministic JSON writer the result files use.
 
-use crate::scenario::{PointResult, ZonesResult};
+use crate::scenario::{AxisPointValue, PointResult, ZonesResult};
 use crate::spec::fnv1a;
 use crate::value::{parse_json, Value};
 use std::collections::HashMap;
@@ -29,6 +29,10 @@ use std::sync::RwLock;
 pub enum CachedEntry {
     /// One sweep sample.
     Point(PointResult),
+    /// One multi-parameter grid sample (axes campaigns). Keyed by the
+    /// layout-independent absolute `(∆L, ∆G, ∆o)` offsets, so campaigns
+    /// with different axis shapes share overlapping points.
+    AxisPoint(AxisPointValue),
     /// One tolerance-zone triple.
     Zones(ZonesResult),
 }
@@ -76,9 +80,37 @@ pub fn point_key(base_canonical: &str, delta_l_ns: f64) -> String {
     format!("{base_canonical}|pt|{:016x}", delta_l_ns.to_bits())
 }
 
-/// Key for one zones entry.
+/// Key for one zones entry (latency-grid campaigns).
 pub fn zones_key(base_canonical: &str, search_hi_ns: f64) -> String {
     format!("{base_canonical}|zones|{:016x}", search_hi_ns.to_bits())
+}
+
+/// Key for one zones entry computed by an **axes** campaign. Axes
+/// scenarios answer zones through the multi-parameter LP, whose numbers
+/// agree with the single-variable LP only to numerical tolerance — never
+/// bit-for-bit — so the two sweep families must not substitute zone
+/// entries for each other (same reasoning as [`axis_point_key`] vs
+/// [`point_key`]).
+pub fn zones_key_multi(base_canonical: &str, search_hi_ns: f64) -> String {
+    format!("{base_canonical}|mzones|{:016x}", search_hi_ns.to_bits())
+}
+
+/// Key for one multi-parameter point entry. The key carries the absolute
+/// per-parameter offsets `(∆L, ∆G, ∆o)` — missing axes are zero — so it
+/// is independent of the requesting campaign's axis order or
+/// dimensionality. Distinct from [`point_key`]'s `|pt|` namespace on
+/// purpose: grid campaigns answer through the single-variable LP, axes
+/// campaigns through the multi-parameter LP, and the two formulations'
+/// results must never substitute for each other (they agree only to
+/// numerical tolerance, not bit-for-bit). Old cache files therefore stay
+/// valid for grid campaigns and simply never collide with axis entries.
+pub fn axis_point_key(base_canonical: &str, param_deltas: [f64; 3]) -> String {
+    format!(
+        "{base_canonical}|apt|l{:016x},g{:016x},o{:016x}",
+        param_deltas[0].to_bits(),
+        param_deltas[1].to_bits(),
+        param_deltas[2].to_bits()
+    )
 }
 
 impl ResultCache {
@@ -169,6 +201,16 @@ impl ResultCache {
                                     pairs.push(("lambda".into(), Value::Float(p.lambda)));
                                     pairs.push(("rho".into(), Value::Float(p.rho)));
                                 }
+                                CachedEntry::AxisPoint(p) => {
+                                    pairs.push(("kind".into(), Value::Str("axis-point".into())));
+                                    pairs.push(("runtime_ns".into(), Value::Float(p.runtime_ns)));
+                                    pairs.push(("lambda_l".into(), Value::Float(p.lambda_l)));
+                                    pairs.push(("lambda_g".into(), Value::Float(p.lambda_g)));
+                                    pairs.push(("lambda_o".into(), Value::Float(p.lambda_o)));
+                                    pairs.push(("rho_l".into(), Value::Float(p.rho_l)));
+                                    pairs.push(("rho_g".into(), Value::Float(p.rho_g)));
+                                    pairs.push(("rho_o".into(), Value::Float(p.rho_o)));
+                                }
                                 CachedEntry::Zones(z) => {
                                     pairs.push(("kind".into(), Value::Str("zones".into())));
                                     pairs.push((
@@ -214,6 +256,12 @@ impl ResultCache {
                     let Some(p) = decode_point(e) else { continue };
                     CachedEntry::Point(p)
                 }
+                Some("axis-point") => {
+                    let Some(p) = decode_axis_point(e) else {
+                        continue;
+                    };
+                    CachedEntry::AxisPoint(p)
+                }
                 Some("zones") => {
                     let Some(z) = decode_zones(e) else { continue };
                     CachedEntry::Zones(z)
@@ -250,6 +298,18 @@ fn decode_point(e: &Value) -> Option<PointResult> {
         runtime_ns: e.get("runtime_ns")?.as_f64()?,
         lambda: e.get("lambda")?.as_f64()?,
         rho: e.get("rho")?.as_f64()?,
+    })
+}
+
+fn decode_axis_point(e: &Value) -> Option<AxisPointValue> {
+    Some(AxisPointValue {
+        runtime_ns: e.get("runtime_ns")?.as_f64()?,
+        lambda_l: e.get("lambda_l")?.as_f64()?,
+        lambda_g: e.get("lambda_g")?.as_f64()?,
+        lambda_o: e.get("lambda_o")?.as_f64()?,
+        rho_l: e.get("rho_l")?.as_f64()?,
+        rho_g: e.get("rho_g")?.as_f64()?,
+        rho_o: e.get("rho_o")?.as_f64()?,
     })
 }
 

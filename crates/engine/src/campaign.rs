@@ -11,9 +11,13 @@
 //! and contain no wall-clock data (timings live in [`RunSummary`], which
 //! is reported separately).
 
-use crate::cache::{point_key, zones_key, CachedEntry, ResultCache};
+use crate::cache::{
+    axis_point_key, point_key, zones_key, zones_key_multi, CachedEntry, ResultCache,
+};
 use crate::executor::{run_jobs, ExecutorConfig, JobStatus};
-use crate::scenario::{expand, PointResult, Scenario, ScenarioOutcome, ZonesResult};
+use crate::scenario::{
+    expand, AxisPointResult, AxisPointValue, PointResult, Scenario, ScenarioOutcome, ZonesResult,
+};
 use crate::spec::CampaignSpec;
 use crate::value::Value;
 use llamp_core::SolveStats;
@@ -219,6 +223,38 @@ pub fn run_campaign(
 /// if so, replay the lookups through the counting path and assemble.
 fn assemble_from_cache(sc: &Scenario, cache: &ResultCache) -> Option<ScenarioOutcome> {
     let base = sc.base_canonical();
+    if !sc.axes.is_empty() {
+        let zk = zones_key_multi(&base, sc.grid.search_hi_ns);
+        let tuples = sc.axis_points();
+        let all_present = cache.peek(&zk).is_some()
+            && tuples.iter().all(|t| {
+                cache
+                    .peek(&axis_point_key(&base, sc.param_deltas(t)))
+                    .is_some()
+            });
+        if !all_present {
+            return None;
+        }
+        let zones = match cache.get(&zk)? {
+            CachedEntry::Zones(z) => z,
+            _ => return None,
+        };
+        let mut points = Vec::with_capacity(tuples.len());
+        for t in tuples {
+            match cache.get(&axis_point_key(&base, sc.param_deltas(&t)))? {
+                CachedEntry::AxisPoint(v) => points.push(AxisPointResult {
+                    deltas: t,
+                    value: v,
+                }),
+                _ => return None,
+            }
+        }
+        return Some(ScenarioOutcome {
+            zones,
+            sweep: Vec::new(),
+            points,
+        });
+    }
     let zk = zones_key(&base, sc.grid.search_hi_ns);
     let all_present = cache.peek(&zk).is_some()
         && sc
@@ -241,7 +277,11 @@ fn assemble_from_cache(sc: &Scenario, cache: &ResultCache) -> Option<ScenarioOut
             _ => return None,
         }
     }
-    Some(ScenarioOutcome { zones, sweep })
+    Some(ScenarioOutcome {
+        zones,
+        sweep,
+        points: Vec::new(),
+    })
 }
 
 /// Execute one scenario: look up cached pieces, compute the rest. Newly
@@ -253,6 +293,9 @@ fn run_one(
     sc: &Scenario,
     cache: &ResultCache,
 ) -> Result<(ScenarioOutcome, ComputedInserts, SolveStats), String> {
+    if !sc.axes.is_empty() {
+        return run_one_axes(sc, cache);
+    }
     let base = sc.base_canonical();
     let mut cached_points: Vec<Option<PointResult>> = Vec::with_capacity(sc.grid.deltas_ns.len());
     let mut missing: Vec<f64> = Vec::new();
@@ -307,7 +350,90 @@ fn run_one(
         }
         (None, None) => return Err("backend returned no zones".to_string()),
     };
-    Ok((ScenarioOutcome { zones, sweep }, inserts, stats))
+    Ok((
+        ScenarioOutcome {
+            zones,
+            sweep,
+            points: Vec::new(),
+        },
+        inserts,
+        stats,
+    ))
+}
+
+/// The axes-campaign variant of [`run_one`]: grid points are delta
+/// *tuples*, cached at per-parameter-offset granularity so overlapping
+/// axis grids recompute only their set difference.
+fn run_one_axes(
+    sc: &Scenario,
+    cache: &ResultCache,
+) -> Result<(ScenarioOutcome, ComputedInserts, SolveStats), String> {
+    let base = sc.base_canonical();
+    let tuples = sc.axis_points();
+    let mut cached_points: Vec<Option<AxisPointValue>> = Vec::with_capacity(tuples.len());
+    let mut missing: Vec<Vec<f64>> = Vec::new();
+    for t in &tuples {
+        match cache.get(&axis_point_key(&base, sc.param_deltas(t))) {
+            Some(CachedEntry::AxisPoint(v)) => cached_points.push(Some(v)),
+            _ => {
+                cached_points.push(None);
+                missing.push(t.clone());
+            }
+        }
+    }
+    let zk = zones_key_multi(&base, sc.grid.search_hi_ns);
+    let cached_zones = match cache.get(&zk) {
+        Some(CachedEntry::Zones(z)) => Some(z),
+        _ => None,
+    };
+
+    let (computed_points, computed_zones, stats): (
+        Vec<AxisPointValue>,
+        Option<ZonesResult>,
+        SolveStats,
+    ) = if missing.is_empty() && cached_zones.is_some() {
+        (Vec::new(), None, SolveStats::default())
+    } else {
+        let analyzer = sc.build_analyzer()?;
+        sc.compute_axes(&analyzer, &missing, cached_zones.is_none())?
+    };
+
+    let mut inserts: ComputedInserts = Vec::new();
+    let mut computed_iter = computed_points.into_iter();
+    let mut points = Vec::with_capacity(tuples.len());
+    for (slot, t) in cached_points.into_iter().zip(tuples) {
+        let value = match slot {
+            Some(v) => v,
+            None => {
+                let v = computed_iter
+                    .next()
+                    .ok_or_else(|| "backend returned fewer points than requested".to_string())?;
+                inserts.push((
+                    axis_point_key(&base, sc.param_deltas(&t)),
+                    CachedEntry::AxisPoint(v),
+                ));
+                v
+            }
+        };
+        points.push(AxisPointResult { deltas: t, value });
+    }
+    let zones = match (cached_zones, computed_zones) {
+        (Some(z), _) => z,
+        (None, Some(z)) => {
+            inserts.push((zk, CachedEntry::Zones(z)));
+            z
+        }
+        (None, None) => return Err("backend returned no zones".to_string()),
+    };
+    Ok((
+        ScenarioOutcome {
+            zones,
+            sweep: Vec::new(),
+            points,
+        },
+        inserts,
+        stats,
+    ))
 }
 
 impl CampaignResult {
@@ -335,12 +461,25 @@ impl CampaignResult {
                             match &sr.outcome {
                                 Ok(outcome) => {
                                     pairs.push(("zones".into(), zones_to_value(&outcome.zones)));
-                                    pairs.push((
-                                        "sweep".into(),
-                                        Value::Array(
-                                            outcome.sweep.iter().map(point_to_value).collect(),
-                                        ),
-                                    ));
+                                    if sr.scenario.axes.is_empty() {
+                                        pairs.push((
+                                            "sweep".into(),
+                                            Value::Array(
+                                                outcome.sweep.iter().map(point_to_value).collect(),
+                                            ),
+                                        ));
+                                    } else {
+                                        pairs.push((
+                                            "points".into(),
+                                            Value::Array(
+                                                outcome
+                                                    .points
+                                                    .iter()
+                                                    .map(axis_point_to_value)
+                                                    .collect(),
+                                            ),
+                                        ));
+                                    }
                                 }
                                 Err(msg) => {
                                     pairs.push(("error".into(), Value::Str(msg.clone())));
@@ -359,8 +498,40 @@ impl CampaignResult {
         self.to_value().to_json_pretty()
     }
 
-    /// Flat CSV: one row per sweep point.
+    /// Flat CSV: one row per sweep point. Axes campaigns widen the schema
+    /// to per-parameter deltas, sensitivities and ratios (absent axes
+    /// report a zero delta).
     pub fn to_csv(&self) -> String {
+        let axes_mode = self.scenarios.iter().any(|sr| !sr.scenario.axes.is_empty());
+        if axes_mode {
+            let mut out = String::from(
+                "workload,topology,params,backend,delta_l_ns,delta_g,delta_o_ns,\
+                 runtime_ns,lambda_l,lambda_g,lambda_o,rho_l,rho_g,rho_o\n",
+            );
+            for sr in &self.scenarios {
+                if let Ok(outcome) = &sr.outcome {
+                    for p in &outcome.points {
+                        let [dl, dg, d_o] = sr.scenario.param_deltas(&p.deltas);
+                        let v = &p.value;
+                        out.push_str(&format!(
+                            "{},{},{},{},{dl:?},{dg:?},{d_o:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?}\n",
+                            csv_field(&sr.scenario.workload.canonical()),
+                            csv_field(&sr.scenario.topology.canonical()),
+                            csv_field(&sr.scenario.params.canonical()),
+                            sr.scenario.backend.name(),
+                            v.runtime_ns,
+                            v.lambda_l,
+                            v.lambda_g,
+                            v.lambda_o,
+                            v.rho_l,
+                            v.rho_g,
+                            v.rho_o
+                        ));
+                    }
+                }
+            }
+            return out;
+        }
         let mut out =
             String::from("workload,topology,params,backend,delta_l_ns,runtime_ns,lambda,rho\n");
         for sr in &self.scenarios {
@@ -417,5 +588,22 @@ fn point_to_value(p: &PointResult) -> Value {
         ("runtime_ns".into(), Value::Float(p.runtime_ns)),
         ("lambda".into(), Value::Float(p.lambda)),
         ("rho".into(), Value::Float(p.rho)),
+    ])
+}
+
+fn axis_point_to_value(p: &AxisPointResult) -> Value {
+    let v = &p.value;
+    Value::Table(vec![
+        (
+            "deltas".into(),
+            Value::Array(p.deltas.iter().map(|&d| Value::Float(d)).collect()),
+        ),
+        ("runtime_ns".into(), Value::Float(v.runtime_ns)),
+        ("lambda_l".into(), Value::Float(v.lambda_l)),
+        ("lambda_g".into(), Value::Float(v.lambda_g)),
+        ("lambda_o".into(), Value::Float(v.lambda_o)),
+        ("rho_l".into(), Value::Float(v.rho_l)),
+        ("rho_g".into(), Value::Float(v.rho_g)),
+        ("rho_o".into(), Value::Float(v.rho_o)),
     ])
 }

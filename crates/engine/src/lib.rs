@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # llamp-engine — the scenario-campaign subsystem
 //!
 //! LLAMP's value comes from sweeping *many* scenarios — workloads ×
@@ -52,9 +53,11 @@ pub mod value;
 pub use cache::{CacheStats, CachedEntry, ResultCache};
 pub use campaign::{run_campaign, CampaignResult, Provenance, RunSummary, ScenarioResult};
 pub use executor::{run_jobs, ExecutorConfig, JobStatus};
-pub use scenario::{expand, PointResult, Scenario, ScenarioOutcome, ZonesResult};
+pub use scenario::{
+    expand, AxisPointResult, AxisPointValue, PointResult, Scenario, ScenarioOutcome, ZonesResult,
+};
 pub use spec::{
-    parse_backend, Backend, CampaignSpec, GridSpec, LpSolver, ParamsPreset, ParamsSpec, SpecError,
-    TopologySpec, WorkloadSpec,
+    parse_backend, AxisSpec, Backend, CampaignSpec, GridSpec, LpSolver, ParamsPreset, ParamsSpec,
+    SpecError, SweepParam, TopologySpec, WorkloadSpec,
 };
 pub use value::Value;

@@ -4,11 +4,11 @@
 //! unit of scheduling, caching and reporting.
 
 use crate::spec::{
-    fnv1a, grid_canonical, Backend, CampaignSpec, GridSpec, ParamsPreset, ParamsSpec, TopologySpec,
-    WorkloadSpec,
+    axes_canonical, fnv1a, grid_canonical, AxisSpec, Backend, CampaignSpec, GridSpec, ParamsPreset,
+    ParamsSpec, TopologySpec, WorkloadSpec,
 };
 use crate::value::Value;
-use llamp_core::{Analyzer, Binding, GraphLp, SolveStats};
+use llamp_core::{Analyzer, Binding, GraphLp, ParamPoint, SolveStats, SweepParam};
 use llamp_model::LogGPSParams;
 use llamp_schedgen::{graph_of_programs, GraphConfig};
 use llamp_topo::{Dragonfly, FatTree};
@@ -25,7 +25,10 @@ pub struct Scenario {
     /// Backend answering the questions.
     pub backend: Backend,
     /// Latency grid (added latency above the scenario's base value).
+    /// `grid.deltas_ns` is empty when `axes` is non-empty.
     pub grid: GridSpec,
+    /// Multi-parameter sweep axes (empty for classic latency grids).
+    pub axes: Vec<AxisSpec>,
 }
 
 /// One sweep sample of a scenario result.
@@ -39,6 +42,39 @@ pub struct PointResult {
     pub lambda: f64,
     /// Latency ratio `ρ_L`.
     pub rho: f64,
+}
+
+/// The answer at one multi-parameter grid point, independent of which
+/// axes layout produced it (this is the cached record: campaigns whose
+/// axes merely *overlap* in absolute `(∆L, ∆G, ∆o)` offsets share these
+/// regardless of their axis ordering or dimensionality).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AxisPointValue {
+    /// Predicted runtime (ns).
+    pub runtime_ns: f64,
+    /// Latency sensitivity `λ_L = ∂T/∂L`.
+    pub lambda_l: f64,
+    /// Bandwidth sensitivity `λ_G = ∂T/∂G`.
+    pub lambda_g: f64,
+    /// Overhead sensitivity `λ_o = ∂T/∂o`.
+    pub lambda_o: f64,
+    /// Latency ratio `ρ_L = λ_L·L/T` at the point.
+    pub rho_l: f64,
+    /// Bandwidth ratio `ρ_G = λ_G·G/T` at the point.
+    pub rho_g: f64,
+    /// Overhead ratio `ρ_o = λ_o·o/T` at the point.
+    pub rho_o: f64,
+}
+
+/// One sample of a multi-parameter sweep: the axis-aligned delta tuple
+/// (in the scenario's axes order) plus the answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisPointResult {
+    /// Per-axis deltas above the scenario's base values, aligned with
+    /// [`Scenario::axes`].
+    pub deltas: Vec<f64>,
+    /// The answer at the point.
+    pub value: AxisPointValue,
 }
 
 /// The 1/2/5% tolerance zones plus the baseline they are relative to.
@@ -55,20 +91,82 @@ pub struct ZonesResult {
     pub pct5_ns: f64,
 }
 
-/// A fully answered scenario.
+/// A fully answered scenario. Exactly one of `sweep` (latency-grid
+/// campaigns) and `points` (multi-parameter axes campaigns) is populated.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioOutcome {
-    /// Tolerance zones.
+    /// Tolerance zones (always latency-based, at the base values of the
+    /// other parameters).
     pub zones: ZonesResult,
-    /// Sweep samples, in grid order.
+    /// Sweep samples, in grid order (latency-grid campaigns).
     pub sweep: Vec<PointResult>,
+    /// Multi-parameter samples, in cartesian-product order with the last
+    /// axis varying fastest (axes campaigns).
+    pub points: Vec<AxisPointResult>,
 }
 
 impl Scenario {
     /// Canonical identity of the full job (cache key for whole-scenario
-    /// lookups; grid included).
+    /// lookups; sweep included).
     pub fn canonical(&self) -> String {
-        format!("{}|{}", self.base_canonical(), grid_canonical(&self.grid))
+        if self.axes.is_empty() {
+            format!("{}|{}", self.base_canonical(), grid_canonical(&self.grid))
+        } else {
+            format!(
+                "{}|{}",
+                self.base_canonical(),
+                axes_canonical(&self.axes, self.grid.search_hi_ns)
+            )
+        }
+    }
+
+    /// The cartesian product of the axis delta lists, in deterministic
+    /// order: first axis outermost, last axis varying fastest — so
+    /// consecutive points form warm 1-D cross-sections along the last
+    /// axis. Empty for latency-grid scenarios.
+    pub fn axis_points(&self) -> Vec<Vec<f64>> {
+        if self.axes.is_empty() {
+            return Vec::new();
+        }
+        let total: usize = self.axes.iter().map(|a| a.deltas.len()).product();
+        let mut out = Vec::with_capacity(total);
+        let mut idx = vec![0usize; self.axes.len()];
+        loop {
+            out.push(
+                idx.iter()
+                    .zip(&self.axes)
+                    .map(|(&i, a)| a.deltas[i])
+                    .collect(),
+            );
+            // Odometer increment, last axis fastest.
+            let mut k = self.axes.len();
+            loop {
+                if k == 0 {
+                    return out;
+                }
+                k -= 1;
+                idx[k] += 1;
+                if idx[k] < self.axes[k].deltas.len() {
+                    break;
+                }
+                idx[k] = 0;
+            }
+        }
+    }
+
+    /// Map an axis-aligned delta tuple onto the absolute per-parameter
+    /// deltas `(∆L, ∆G, ∆o)` — the layout-independent identity of a grid
+    /// point (missing axes contribute zero).
+    pub fn param_deltas(&self, deltas: &[f64]) -> [f64; 3] {
+        let mut out = [0.0; 3];
+        for (a, &d) in self.axes.iter().zip(deltas) {
+            match a.param {
+                SweepParam::L => out[0] = d,
+                SweepParam::G => out[1] = d,
+                SweepParam::O => out[2] = d,
+            }
+        }
+        out
     }
 
     /// Canonical identity *excluding* the grid: the key space for
@@ -275,15 +373,159 @@ impl Scenario {
         }
     }
 
+    /// Answer an axes scenario's missing grid points (and zones) with its
+    /// backend. `need_points` holds axis-aligned delta tuples (the
+    /// campaign runner passes only cache misses); returned values follow
+    /// its order.
+    ///
+    /// The LP path keeps the anchor-seeding discipline of
+    /// [`Scenario::compute`]: one cold solve at the scenario's base
+    /// `(L, G, o)` point, then every grid point re-seeds from that anchor
+    /// basis and re-solves with moved bounds — consecutive points of a
+    /// 1-D cross-section differ in a single lower bound, which the
+    /// parametric backend's directional shortcut answers with zero
+    /// pivots. Every answer stays a pure function of (scenario, point),
+    /// so results are byte-identical across `lp-*` backends and cache
+    /// states.
+    pub fn compute_axes(
+        &self,
+        analyzer: &Analyzer,
+        need_points: &[Vec<f64>],
+        need_zones: bool,
+    ) -> Result<(Vec<AxisPointValue>, Option<ZonesResult>, SolveStats), String> {
+        let base = analyzer.base_point();
+        let hi = base.l + self.grid.search_hi_ns;
+        let at = |deltas: &[f64]| -> ParamPoint {
+            let [dl, dg, d_o] = self.param_deltas(deltas);
+            ParamPoint {
+                l: base.l + dl,
+                g: base.g + dg,
+                o: base.o + d_o,
+            }
+        };
+        let value_of = |runtime: f64, lam: [f64; 3], p: ParamPoint| -> AxisPointValue {
+            let rho = |lambda: f64, v: f64| {
+                if runtime <= 0.0 {
+                    0.0
+                } else {
+                    lambda * v / runtime
+                }
+            };
+            AxisPointValue {
+                runtime_ns: runtime,
+                lambda_l: lam[0],
+                lambda_g: lam[1],
+                lambda_o: lam[2],
+                rho_l: rho(lam[0], p.l),
+                rho_g: rho(lam[1], p.g),
+                rho_o: rho(lam[2], p.o),
+            }
+        };
+        match self.backend {
+            Backend::Parametric | Backend::Eval => {
+                let points = need_points
+                    .iter()
+                    .map(|deltas| {
+                        let p = at(deltas);
+                        let e = analyzer.evaluate_multi(p);
+                        value_of(e.runtime, [e.lambda_l, e.lambda_g, e.lambda_o], p)
+                    })
+                    .collect();
+                let zones = need_zones.then(|| match self.backend {
+                    // The envelope backend answers zones exactly from the
+                    // T(L) profile (G, o at base); eval bisects.
+                    Backend::Parametric => {
+                        let z = analyzer.tolerance_zones(hi);
+                        ZonesResult {
+                            baseline_runtime_ns: z.baseline_runtime,
+                            pct1_ns: z.pct1,
+                            pct2_ns: z.pct2,
+                            pct5_ns: z.pct5,
+                        }
+                    }
+                    _ => eval_zones(analyzer, base.l, hi),
+                });
+                Ok((points, zones, SolveStats::default()))
+            }
+            Backend::Lp(solver) => {
+                let mut lp = analyzer
+                    .multi_lp_named(solver.solver_name())
+                    .expect("LpSolver names map onto llamp-lp backends");
+                // One cold anchor at the base point; every query re-seeds
+                // from its basis (see the `compute` comment for why
+                // anchor-seeding, not chaining, is what keeps results
+                // byte-identical across backends and cache states).
+                let anchor = lp
+                    .predict(base)
+                    .map_err(|e| format!("LP baseline solve failed: {e:?}"))?;
+                let anchor_basis = lp.warm_basis();
+                let seed = |lp: &mut llamp_core::GraphMultiLp| {
+                    if let Some(b) = &anchor_basis {
+                        lp.seed_backend(b);
+                    }
+                };
+                let mut points = Vec::with_capacity(need_points.len());
+                for deltas in need_points {
+                    let p = at(deltas);
+                    seed(&mut lp);
+                    let pred = lp
+                        .predict(p)
+                        .map_err(|e| format!("LP solve failed at {deltas:?}: {e:?}"))?;
+                    points.push(value_of(
+                        pred.runtime,
+                        [pred.lambda_l, pred.lambda_g, pred.lambda_o],
+                        p,
+                    ));
+                }
+                let zones = if need_zones {
+                    let t0 = anchor.runtime;
+                    let mut zone = |pct: f64| -> Result<f64, String> {
+                        let cap = t0 * (1.0 + pct / 100.0);
+                        seed(&mut lp);
+                        let l = lp
+                            .tolerance(SweepParam::L, base, cap)
+                            .map_err(|e| format!("LP tolerance solve failed: {e:?}"))?;
+                        Ok(if l - base.l >= self.grid.search_hi_ns {
+                            f64::INFINITY
+                        } else {
+                            l - base.l
+                        })
+                    };
+                    Some(ZonesResult {
+                        baseline_runtime_ns: t0,
+                        pct1_ns: zone(1.0)?,
+                        pct2_ns: zone(2.0)?,
+                        pct5_ns: zone(5.0)?,
+                    })
+                } else {
+                    None
+                };
+                Ok((points, zones, lp.solver_stats()))
+            }
+        }
+    }
+
     /// Re-encode for result files (canonical order; round-trips through
     /// the spec decoders).
     pub fn to_value(&self) -> Value {
-        Value::Table(vec![
+        let mut pairs = vec![
             ("workload".into(), Value::Str(self.workload.canonical())),
             ("topology".into(), Value::Str(self.topology.canonical())),
             ("params".into(), Value::Str(self.params.canonical())),
             ("backend".into(), Value::Str(self.backend.name().into())),
-        ])
+        ];
+        if !self.axes.is_empty() {
+            pairs.push((
+                "axes".into(),
+                Value::Array(
+                    self.axes
+                        .iter()
+                        .map(|a| Value::Str(a.param.name().into()))
+                        .collect(),
+                ),
+            ));
+        }
+        Value::Table(pairs)
     }
 }
 
@@ -335,6 +577,7 @@ pub fn expand(spec: &CampaignSpec) -> Vec<Scenario> {
                         params: p.clone(),
                         backend: *b,
                         grid: spec.grid.clone(),
+                        axes: spec.axes.clone(),
                     });
                 }
             }

@@ -1,8 +1,9 @@
 //! Declarative campaign specifications.
 //!
 //! A [`CampaignSpec`] describes a cartesian sweep: every combination of
-//! workload × topology × parameter set × backend becomes one [`Scenario`]
-//! (see [`crate::scenario`]), all sharing one latency grid. Specs are
+//! workload × topology × parameter set × backend becomes one
+//! [`Scenario`](crate::scenario::Scenario), all sharing one sweep — a
+//! latency grid, or multi-parameter [`AxisSpec`] axes. Specs are
 //! written in TOML (or JSON with the same shape) and decode through
 //! [`crate::value::Value`]; see `examples/campaign.toml` for the format.
 //!
@@ -12,6 +13,7 @@
 //! sets, identical content hashes, and therefore identical cache keys.
 
 use crate::value::{parse_json, parse_toml, Value};
+pub use llamp_core::SweepParam;
 use llamp_workloads::App;
 use std::fmt::Write as _;
 
@@ -167,12 +169,53 @@ pub fn parse_backend(name: &str) -> Result<Backend, SpecError> {
 #[derive(Debug, Clone, PartialEq)]
 pub struct GridSpec {
     /// Added-latency samples `∆L` (ns) above each scenario's base value.
+    /// Empty when the campaign sweeps explicit [`AxisSpec`] axes instead.
     pub deltas_ns: Vec<f64>,
     /// Upper search bound for the 1/2/5% tolerance zones (ns above base).
     pub search_hi_ns: f64,
 }
 
-/// A full campaign: the cartesian product of the four axes under one grid.
+/// One sweep axis of a multi-parameter campaign: a LogGPS parameter plus
+/// the delta samples above each scenario's base value of that parameter
+/// (`L`/`o` in ns, `G` in ns/byte). A campaign's `axes` expand to the
+/// cartesian product of their delta lists; each 1-D cross-section is
+/// answered through the warm-start protocol exactly like a latency grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisSpec {
+    /// The swept parameter.
+    pub param: SweepParam,
+    /// Delta samples above the scenario's base value (sorted, deduplicated
+    /// by canonicalisation).
+    pub deltas: Vec<f64>,
+}
+
+impl AxisSpec {
+    /// Canonical fragment.
+    pub fn canonical(&self) -> String {
+        let mut s = format!("{}[", self.param.name());
+        for (i, d) in self.deltas.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{}", f(*d));
+        }
+        s.push(']');
+        s
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Table(vec![
+            ("param".into(), Value::Str(self.param.name().into())),
+            (
+                "deltas".into(),
+                Value::Array(self.deltas.iter().map(|&d| Value::Float(d)).collect()),
+            ),
+        ])
+    }
+}
+
+/// A full campaign: the cartesian product of the four axes under one
+/// sweep (a latency grid, or multi-parameter axes).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSpec {
     /// Campaign name (used in reports and output files).
@@ -185,8 +228,13 @@ pub struct CampaignSpec {
     pub params: Vec<ParamsSpec>,
     /// Backend axis.
     pub backends: Vec<Backend>,
-    /// Shared latency grid.
+    /// Shared latency grid (`grid.deltas_ns` is empty when `axes` is
+    /// non-empty; `grid.search_hi_ns` always holds the tolerance-zone
+    /// search window).
     pub grid: GridSpec,
+    /// Multi-parameter sweep axes (empty for classic latency-grid
+    /// campaigns). Sorted by canonical parameter order `L < G < o`.
+    pub axes: Vec<AxisSpec>,
 }
 
 /// Spec decoding / validation failure.
@@ -234,8 +282,12 @@ impl CampaignSpec {
         Self::from_value(&value)
     }
 
-    /// Decode from a parsed document.
+    /// Decode from a parsed document. Unknown keys are rejected (a typo
+    /// must fail loudly, not silently fall back to a default); the
+    /// accepted field set is [`SPEC_FIELDS`], documented in
+    /// `docs/SPEC.md`.
     pub fn from_value(value: &Value) -> Result<Self, SpecError> {
+        check_keys(value, &allowed_keys(""), "campaign")?;
         let name = value
             .get("name")
             .and_then(Value::as_str)
@@ -278,7 +330,39 @@ impl CampaignSpec {
                 .map(|b| parse_backend(b.as_str().ok_or_else(|| err("backend must be a string"))?))
                 .collect::<Result<Vec<_>, _>>()?,
         };
-        let grid = decode_grid(value.get("grid"))?;
+        let axes = match value.get("axes") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| err("'axes' must be an array of tables ([[axes]])"))?
+                .iter()
+                .map(decode_axis)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let grid = decode_grid(value.get("grid"), !axes.is_empty())?;
+        let grid = match value.get("search_hi_ns") {
+            None => grid,
+            Some(v) => {
+                // The top-level key is an alias, not an override: a spec
+                // giving both sources must fail loudly (same rule as the
+                // deltas/window conflict), not silently pick one.
+                if value
+                    .get("grid")
+                    .is_some_and(|g| g.get("search_hi_ns").is_some())
+                {
+                    return Err(err(
+                        "'search_hi_ns' and 'grid.search_hi_ns' are mutually exclusive — \
+                         give the zone search window one way",
+                    ));
+                }
+                GridSpec {
+                    search_hi_ns: v
+                        .as_f64()
+                        .ok_or_else(|| err("'search_hi_ns' must be a number"))?,
+                    ..grid
+                }
+            }
+        };
 
         let mut spec = Self {
             name,
@@ -287,6 +371,7 @@ impl CampaignSpec {
             params,
             backends,
             grid,
+            axes,
         };
         spec.validate()?;
         spec.canonicalize();
@@ -297,8 +382,36 @@ impl CampaignSpec {
         if self.workloads.is_empty() {
             return Err(err("at least one [[workloads]] entry is required"));
         }
-        if self.grid.deltas_ns.is_empty() {
-            return Err(err("the latency grid needs at least one point"));
+        if self.axes.is_empty() {
+            if self.grid.deltas_ns.is_empty() {
+                return Err(err("the latency grid needs at least one point"));
+            }
+        } else {
+            if !self.grid.deltas_ns.is_empty() {
+                return Err(err(
+                    "'grid' deltas and 'axes' are mutually exclusive: a multi-parameter \
+                     campaign declares its L samples as an axes entry with param = \"L\"",
+                ));
+            }
+            for (i, a) in self.axes.iter().enumerate() {
+                if a.deltas.is_empty() {
+                    return Err(err(format!("axis {} needs at least one delta", a.param)));
+                }
+                for d in &a.deltas {
+                    if !d.is_finite() || *d < 0.0 {
+                        return Err(err(format!(
+                            "axis {} delta {d} must be finite and >= 0",
+                            a.param
+                        )));
+                    }
+                }
+                if self.axes[..i].iter().any(|b| b.param == a.param) {
+                    return Err(err(format!(
+                        "duplicate axis for parameter {} (merge the delta lists)",
+                        a.param
+                    )));
+                }
+            }
         }
         if !self.grid.search_hi_ns.is_finite() || self.grid.search_hi_ns <= 0.0 {
             return Err(err("grid.search_hi_ns must be positive and finite"));
@@ -344,6 +457,11 @@ impl CampaignSpec {
         self.grid
             .deltas_ns
             .dedup_by(|a, b| a.to_bits() == b.to_bits());
+        self.axes.sort_by_key(|a| a.param);
+        for a in &mut self.axes {
+            a.deltas.sort_by(f64::total_cmp);
+            a.deltas.dedup_by(|x, y| x.to_bits() == y.to_bits());
+        }
     }
 
     /// Canonical string form: the deterministic identity of the campaign's
@@ -363,7 +481,15 @@ impl CampaignSpec {
         for b in &self.backends {
             let _ = write!(s, "b:{};", b.name());
         }
-        let _ = write!(s, "g:{}", grid_canonical(&self.grid));
+        if self.axes.is_empty() {
+            let _ = write!(s, "g:{}", grid_canonical(&self.grid));
+        } else {
+            let _ = write!(
+                s,
+                "g:{}",
+                axes_canonical(&self.axes, self.grid.search_hi_ns)
+            );
+        }
         s
     }
 
@@ -376,7 +502,7 @@ impl CampaignSpec {
     /// Re-encode as a document (JSON-compatible), preserving canonical
     /// order — parsing the encoding yields an identical spec.
     pub fn to_value(&self) -> Value {
-        Value::Table(vec![
+        let mut doc = Value::Table(vec![
             ("name".into(), Value::Str(self.name.clone())),
             (
                 "workloads".into(),
@@ -401,21 +527,34 @@ impl CampaignSpec {
             ),
             (
                 "grid".into(),
-                Value::Table(vec![
-                    (
-                        "deltas_ns".into(),
-                        Value::Array(
-                            self.grid
-                                .deltas_ns
-                                .iter()
-                                .map(|&d| Value::Float(d))
-                                .collect(),
+                Value::Table(if self.axes.is_empty() {
+                    vec![
+                        (
+                            "deltas_ns".into(),
+                            Value::Array(
+                                self.grid
+                                    .deltas_ns
+                                    .iter()
+                                    .map(|&d| Value::Float(d))
+                                    .collect(),
+                            ),
                         ),
-                    ),
-                    ("search_hi_ns".into(), Value::Float(self.grid.search_hi_ns)),
-                ]),
+                        ("search_hi_ns".into(), Value::Float(self.grid.search_hi_ns)),
+                    ]
+                } else {
+                    vec![("search_hi_ns".into(), Value::Float(self.grid.search_hi_ns))]
+                }),
             ),
-        ])
+        ]);
+        if !self.axes.is_empty() {
+            if let Value::Table(pairs) = &mut doc {
+                pairs.push((
+                    "axes".into(),
+                    Value::Array(self.axes.iter().map(AxisSpec::to_value).collect()),
+                ));
+            }
+        }
+        doc
     }
 }
 
@@ -578,6 +717,99 @@ pub fn grid_canonical(grid: &GridSpec) -> String {
     s
 }
 
+/// Canonical fragment of a multi-parameter sweep (axes plus the zone
+/// search window).
+pub fn axes_canonical(axes: &[AxisSpec], search_hi_ns: f64) -> String {
+    let mut s = String::from("axes:");
+    for a in axes {
+        let _ = write!(s, "{};", a.canonical());
+    }
+    let _ = write!(s, "hi{}", f(search_hi_ns));
+    s
+}
+
+/// Every field path the spec decoders accept, as documented in
+/// `docs/SPEC.md`. The decoders reject unknown keys against the same
+/// lists, and a test enumerates this constant against the documentation —
+/// adding a field without documenting it fails the build.
+pub const SPEC_FIELDS: &[&str] = &[
+    "name",
+    "backends",
+    "search_hi_ns",
+    "workloads",
+    "workloads.app",
+    "workloads.ranks",
+    "workloads.iters",
+    "workloads.o_ns",
+    "topologies",
+    "topologies.kind",
+    "topologies.k",
+    "topologies.l_wire_ns",
+    "topologies.d_switch_ns",
+    "topologies.groups",
+    "topologies.routers",
+    "topologies.hosts",
+    "params",
+    "params.preset",
+    "params.l_ns",
+    "params.o_ns",
+    "params.s_bytes",
+    "grid",
+    "grid.deltas_ns",
+    "grid.window",
+    "grid.window.lo",
+    "grid.window.hi",
+    "grid.window.points",
+    "grid.search_hi_ns",
+    "axes",
+    "axes.param",
+    "axes.deltas",
+    "axes.deltas_ns",
+    "axes.window",
+    "axes.window.lo",
+    "axes.window.hi",
+    "axes.window.points",
+];
+
+/// The keys [`SPEC_FIELDS`] allows directly under `prefix` (`""` for the
+/// top level). This is what makes the constant *authoritative*: every
+/// decoder's unknown-key check derives its allow-list from it, so a field
+/// cannot be parseable yet missing from `SPEC_FIELDS` (and hence, via the
+/// docs test, from `docs/SPEC.md`).
+fn allowed_keys(prefix: &str) -> Vec<&'static str> {
+    let mut out: Vec<&'static str> = SPEC_FIELDS
+        .iter()
+        .filter_map(|f| {
+            if prefix.is_empty() {
+                (!f.contains('.')).then_some(*f)
+            } else {
+                f.strip_prefix(prefix)
+                    .and_then(|r| r.strip_prefix('.'))
+                    .map(|r| r.split('.').next().unwrap())
+            }
+        })
+        .collect();
+    out.dedup();
+    out
+}
+
+/// Reject unknown keys in a decoded table: a typo in a spec must fail
+/// loudly instead of silently selecting a default.
+fn check_keys(v: &Value, allowed: &[&str], ctx: &str) -> Result<(), SpecError> {
+    let Some(pairs) = v.as_table() else {
+        return Ok(());
+    };
+    for (k, _) in pairs {
+        if !allowed.contains(&k.as_str()) {
+            return Err(err(format!(
+                "unknown key '{k}' in {ctx} (expected one of: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
 fn req_array<'v>(value: &'v Value, key: &str) -> Result<&'v [Value], SpecError> {
     value
         .get(key)
@@ -607,6 +839,7 @@ fn get_u32(v: &Value, key: &str) -> Result<Option<u32>, SpecError> {
 }
 
 fn decode_workload(v: &Value) -> Result<WorkloadSpec, SpecError> {
+    check_keys(v, &allowed_keys("workloads"), "a [[workloads]] entry")?;
     let app_name = v
         .get("app")
         .and_then(Value::as_str)
@@ -620,6 +853,7 @@ fn decode_workload(v: &Value) -> Result<WorkloadSpec, SpecError> {
 }
 
 fn decode_topology(v: &Value) -> Result<TopologySpec, SpecError> {
+    check_keys(v, &allowed_keys("topologies"), "a [[topologies]] entry")?;
     let kind = v
         .get("kind")
         .and_then(Value::as_str)
@@ -645,6 +879,7 @@ fn decode_topology(v: &Value) -> Result<TopologySpec, SpecError> {
 }
 
 fn decode_params(v: &Value) -> Result<ParamsSpec, SpecError> {
+    check_keys(v, &allowed_keys("params"), "a [[params]] entry")?;
     let preset = match v.get("preset").and_then(Value::as_str) {
         None => ParamsPreset::Cscs,
         Some(p) => match p.to_ascii_lowercase().as_str() {
@@ -674,46 +909,99 @@ fn decode_params(v: &Value) -> Result<ParamsSpec, SpecError> {
     })
 }
 
-fn decode_grid(v: Option<&Value>) -> Result<GridSpec, SpecError> {
-    let Some(v) = v else {
-        return Ok(GridSpec {
-            deltas_ns: vec![0.0],
-            search_hi_ns: 2_000_000.0,
-        });
-    };
-    let search_hi_ns = get_f64(v, "search_hi_ns")?.unwrap_or(2_000_000.0);
-    // Either an explicit list or a linspace window.
-    if let Some(list) = v.get("deltas_ns") {
-        let arr = list
-            .as_array()
-            .ok_or_else(|| err("'deltas_ns' must be an array of numbers"))?;
-        let deltas_ns = arr
-            .iter()
-            .map(|x| x.as_f64().ok_or_else(|| err("'deltas_ns' must be numbers")))
-            .collect::<Result<Vec<_>, _>>()?;
-        return Ok(GridSpec {
-            deltas_ns,
-            search_hi_ns,
-        });
+/// Decode a delta list: either an explicit `deltas`/`deltas_ns` array or
+/// a `window = { lo, hi, points }` linspace. `None` when the table
+/// carries neither; an error when it carries more than one source (a
+/// leftover key must fail loudly, not silently lose to the other).
+fn decode_deltas(v: &Value, ctx: &str) -> Result<Option<Vec<f64>>, SpecError> {
+    let sources: Vec<&str> = ["deltas_ns", "deltas", "window"]
+        .into_iter()
+        .filter(|k| v.get(k).is_some())
+        .collect();
+    if sources.len() > 1 {
+        return Err(err(format!(
+            "{ctx}: '{}' and '{}' are mutually exclusive — give the samples one way",
+            sources[0], sources[1]
+        )));
+    }
+    for key in ["deltas_ns", "deltas"] {
+        if let Some(list) = v.get(key) {
+            let arr = list
+                .as_array()
+                .ok_or_else(|| err(format!("'{key}' must be an array of numbers")))?;
+            let deltas = arr
+                .iter()
+                .map(|x| {
+                    x.as_f64()
+                        .ok_or_else(|| err(format!("'{key}' must be numbers")))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(Some(deltas));
+        }
     }
     if let Some(win) = v.get("window") {
+        check_keys(
+            win,
+            &allowed_keys(&format!("{ctx}.window")),
+            &format!("{ctx}.window"),
+        )?;
         let lo = get_f64(win, "lo")?.unwrap_or(0.0);
-        let hi = get_f64(win, "hi")?.ok_or_else(|| err("grid.window needs 'hi'"))?;
+        let hi = get_f64(win, "hi")?.ok_or_else(|| err(format!("{ctx}.window needs 'hi'")))?;
         let points = get_u32(win, "points")?.unwrap_or(9).max(2) as usize;
         if hi <= lo {
-            return Err(err("grid.window: hi must exceed lo"));
+            return Err(err(format!("{ctx}.window: hi must exceed lo")));
         }
-        let deltas_ns = (0..points)
-            .map(|i| lo + (hi - lo) * i as f64 / (points - 1) as f64)
-            .collect();
+        return Ok(Some(
+            (0..points)
+                .map(|i| lo + (hi - lo) * i as f64 / (points - 1) as f64)
+                .collect(),
+        ));
+    }
+    Ok(None)
+}
+
+fn decode_grid(v: Option<&Value>, has_axes: bool) -> Result<GridSpec, SpecError> {
+    let default_hi = 2_000_000.0;
+    let Some(v) = v else {
         return Ok(GridSpec {
+            deltas_ns: if has_axes { vec![] } else { vec![0.0] },
+            search_hi_ns: default_hi,
+        });
+    };
+    check_keys(v, &allowed_keys("grid"), "grid")?;
+    let search_hi_ns = get_f64(v, "search_hi_ns")?.unwrap_or(default_hi);
+    let deltas_ns = decode_deltas(v, "grid")?;
+    match (deltas_ns, has_axes) {
+        (Some(_), true) => Err(err(
+            "a campaign with 'axes' must not also declare grid deltas; \
+             put the L samples in an axes entry with param = \"L\"",
+        )),
+        (None, true) => Ok(GridSpec {
+            deltas_ns: vec![],
+            search_hi_ns,
+        }),
+        (Some(deltas_ns), false) => Ok(GridSpec {
             deltas_ns,
             search_hi_ns,
-        });
+        }),
+        (None, false) => Err(err(
+            "grid needs either 'deltas_ns' or 'window = { lo, hi, points }'",
+        )),
     }
-    Err(err(
-        "grid needs either 'deltas_ns' or 'window = { lo, hi, points }'",
-    ))
+}
+
+fn decode_axis(v: &Value) -> Result<AxisSpec, SpecError> {
+    check_keys(v, &allowed_keys("axes"), "an [[axes]] entry")?;
+    let name = v
+        .get("param")
+        .and_then(Value::as_str)
+        .ok_or_else(|| err("axis needs a 'param' (\"L\", \"G\" or \"o\")"))?;
+    let param = SweepParam::parse(name)
+        .ok_or_else(|| err(format!("unknown axis param '{name}' (expected L | G | o)")))?;
+    let deltas = decode_deltas(v, "axes")?.ok_or_else(|| {
+        err("axis needs either 'deltas' (ns; ns/byte for G) or 'window = { lo, hi, points }'")
+    })?;
+    Ok(AxisSpec { param, deltas })
 }
 
 #[cfg(test)]
@@ -753,6 +1041,118 @@ ranks = 8
         let b = CampaignSpec::parse(&json, "x.json").unwrap();
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        // A typo must fail loudly, not silently pick a default.
+        for bad in [
+            "name = \"t\"\ngrids = 1\n[[workloads]]\napp = \"milc\"\n",
+            "name = \"t\"\n[[workloads]]\napp = \"milc\"\nrank = 8\n",
+            "name = \"t\"\n[grid]\ndeltas = [0.0]\n[[workloads]]\napp = \"milc\"\n",
+            "name = \"t\"\n[[axes]]\nparam = \"L\"\ndelta = [0.0]\n[[workloads]]\napp = \"milc\"\n",
+        ] {
+            let err = CampaignSpec::parse(bad, "x.toml").unwrap_err();
+            assert!(
+                err.0.contains("unknown key") || err.0.contains("needs"),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn axes_and_grid_deltas_are_mutually_exclusive() {
+        let bad = r#"
+name = "t"
+[grid]
+deltas_ns = [0.0]
+[[axes]]
+param = "G"
+deltas = [0.0]
+[[workloads]]
+app = "milc"
+"#;
+        assert!(CampaignSpec::parse(bad, "x.toml").is_err());
+        // Duplicate axis params are rejected.
+        let dup = r#"
+name = "t"
+[[axes]]
+param = "L"
+deltas_ns = [0.0]
+[[axes]]
+param = "L"
+deltas_ns = [10.0]
+[[workloads]]
+app = "milc"
+"#;
+        assert!(CampaignSpec::parse(dup, "x.toml").is_err());
+    }
+
+    #[test]
+    fn conflicting_delta_sources_are_rejected() {
+        // Two ways of giving the samples in one table must error, not
+        // silently prefer one.
+        for bad in [
+            "name = \"t\"\n[grid]\ndeltas_ns = [0.0]\nwindow = { hi = 10.0 }\n[[workloads]]\napp = \"milc\"\n",
+            "name = \"t\"\n[[axes]]\nparam = \"L\"\ndeltas = [0.0]\ndeltas_ns = [1.0]\n[[workloads]]\napp = \"milc\"\n",
+            "name = \"t\"\n[[axes]]\nparam = \"G\"\ndeltas = [0.0]\nwindow = { hi = 1.0 }\n[[workloads]]\napp = \"milc\"\n",
+            "name = \"t\"\nsearch_hi_ns = 2e6\n[grid]\ndeltas_ns = [0.0]\nsearch_hi_ns = 5e5\n[[workloads]]\napp = \"milc\"\n",
+        ] {
+            let err = CampaignSpec::parse(bad, "x.toml").unwrap_err();
+            assert!(err.0.contains("mutually exclusive"), "{err}");
+        }
+    }
+
+    #[test]
+    fn decoder_allow_lists_derive_from_spec_fields() {
+        // The unknown-key checks must stay in lockstep with SPEC_FIELDS
+        // (which the docs test in turn checks against docs/SPEC.md).
+        assert_eq!(
+            allowed_keys(""),
+            vec![
+                "name",
+                "backends",
+                "search_hi_ns",
+                "workloads",
+                "topologies",
+                "params",
+                "grid",
+                "axes"
+            ]
+        );
+        assert_eq!(
+            allowed_keys("workloads"),
+            vec!["app", "ranks", "iters", "o_ns"]
+        );
+        assert_eq!(
+            allowed_keys("grid"),
+            vec!["deltas_ns", "window", "search_hi_ns"]
+        );
+        assert_eq!(allowed_keys("grid.window"), vec!["lo", "hi", "points"]);
+        assert_eq!(
+            allowed_keys("axes"),
+            vec!["param", "deltas", "deltas_ns", "window"]
+        );
+    }
+
+    #[test]
+    fn axis_windows_expand_like_grid_windows() {
+        let spec = CampaignSpec::parse(
+            r#"
+name = "t"
+[[axes]]
+param = "G"
+window = { lo = 0.0, hi = 0.1, points = 3 }
+[[workloads]]
+app = "milc"
+"#,
+            "x.toml",
+        )
+        .unwrap();
+        assert_eq!(spec.axes.len(), 1);
+        assert_eq!(spec.axes[0].param, SweepParam::G);
+        assert_eq!(spec.axes[0].deltas, vec![0.0, 0.05, 0.1]);
+        assert!(spec.grid.deltas_ns.is_empty());
     }
 
     #[test]

@@ -73,6 +73,14 @@ impl Value {
         }
     }
 
+    /// Table accessor: the insertion-ordered key/value pairs.
+    pub fn as_table(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Table(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
     /// Render as compact canonical JSON.
     pub fn to_json(&self) -> String {
         let mut out = String::new();

@@ -298,6 +298,179 @@ fn timed_out_jobs_leave_no_cache_entries() {
     assert!(r2.scenarios.iter().all(|s| s.outcome.is_ok()));
 }
 
+const AXES_SPEC: &str = r#"
+name = "axes-itest"
+backends = ["lp-sparse", "lp-parametric"]
+search_hi_ns = 1000000.0
+
+[[axes]]
+param = "L"
+deltas_ns = [0.0, 20000.0, 40000.0]
+
+[[axes]]
+param = "G"
+deltas = [0.0, 0.05]
+
+[[workloads]]
+app = "cloverleaf"
+ranks = 4
+iters = 1
+"#;
+
+fn axes_spec() -> CampaignSpec {
+    CampaignSpec::parse(AXES_SPEC, "axes.toml").unwrap()
+}
+
+#[test]
+fn two_axis_campaign_end_to_end() {
+    let spec = axes_spec();
+    assert_eq!(spec.axes.len(), 2);
+    assert!(spec.grid.deltas_ns.is_empty());
+    let cache = ResultCache::new();
+    let (r1, s1) = run_campaign(&spec, &config(2), &cache);
+    assert!(r1.scenarios.iter().all(|s| s.outcome.is_ok()));
+    for s in &r1.scenarios {
+        let outcome = s.outcome.as_ref().unwrap();
+        assert_eq!(outcome.points.len(), 6, "3 L x 2 G points");
+        assert!(outcome.sweep.is_empty(), "axes campaigns have no 1-D sweep");
+        // The cartesian product is in lexicographic order, L outermost.
+        let tuples: Vec<&[f64]> = outcome.points.iter().map(|p| p.deltas.as_slice()).collect();
+        assert_eq!(tuples[0], [0.0, 0.0]);
+        assert_eq!(tuples[1], [0.0, 0.05]);
+        assert_eq!(tuples[2], [20_000.0, 0.0]);
+        // Runtime grows along both axes; λ_G > 0 once G matters.
+        let v0 = &outcome.points[0].value;
+        let v1 = &outcome.points[1].value;
+        assert!(v1.runtime_ns >= v0.runtime_ns);
+        assert!(v0.lambda_l >= 0.0 && v0.lambda_g >= 0.0 && v0.lambda_o >= 0.0);
+        assert!(outcome.zones.baseline_runtime_ns > 0.0);
+    }
+    // Second run: pure cache assembly, byte-identical.
+    let (r2, s2) = run_campaign(&spec, &config(1), &cache);
+    assert_eq!(s2.cache_misses, 0);
+    assert!(s2.provenance.iter().all(|p| *p == Provenance::FullCacheHit));
+    assert_eq!(r1.to_json(), r2.to_json());
+    assert!(s1.cache_misses > 0);
+}
+
+#[test]
+fn two_axis_lp_backends_are_byte_identical_across_cache_states() {
+    // lp-sparse and lp-parametric must agree byte-for-byte on the 2-D
+    // grid, and a run that computes only the set difference against a
+    // warm cache must reproduce the fresh bytes exactly.
+    let spec = axes_spec();
+    let (fresh, _) = run_campaign(&spec, &config(2), &ResultCache::new());
+    let mut bodies: Vec<String> = fresh
+        .scenarios
+        .iter()
+        .map(|s| {
+            let o = s.outcome.as_ref().unwrap();
+            format!("{:?}|{:?}", o.zones, o.points)
+        })
+        .collect();
+    assert_eq!(bodies.len(), 2, "one scenario per LP backend");
+    bodies.dedup();
+    assert_eq!(bodies.len(), 1, "lp backends differ on the 2-D grid");
+
+    // Warm a cache with a 1-D L slice (G axis pinned to its base), then
+    // run the full 2-D grid: the shared (∆L, 0) points hit, the rest
+    // compute — and the bytes must equal the all-fresh run.
+    let slice = CampaignSpec::parse(
+        r#"
+name = "axes-slice"
+backends = ["lp-sparse", "lp-parametric"]
+search_hi_ns = 1000000.0
+[[axes]]
+param = "L"
+deltas_ns = [0.0, 20000.0, 40000.0]
+[[workloads]]
+app = "cloverleaf"
+ranks = 4
+iters = 1
+"#,
+        "slice.toml",
+    )
+    .unwrap();
+    let cache = ResultCache::new();
+    run_campaign(&slice, &config(1), &cache);
+    let (warm, sw) = run_campaign(&spec, &config(1), &cache);
+    assert!(sw.cache_hits > 0, "1-D slice points must be reused in 2-D");
+    assert_eq!(warm.to_json(), fresh.to_json());
+}
+
+#[test]
+fn axes_cross_sections_solve_warm_from_one_anchor() {
+    // The acceptance bar: one cold anchor per scenario, every grid
+    // cross-section warm. Compare the solver effort of the full 2-D grid
+    // against a single-point campaign (the anchor alone): the 5 extra
+    // points and 3 zone flips together must cost less than the anchor
+    // did, which is only possible if they all start from its basis.
+    let one_point = CampaignSpec::parse(
+        r#"
+name = "anchor-only"
+backends = ["lp-parametric"]
+search_hi_ns = 1000000.0
+[[axes]]
+param = "L"
+deltas_ns = [0.0]
+[[axes]]
+param = "G"
+deltas = [0.0]
+[[workloads]]
+app = "cloverleaf"
+ranks = 4
+iters = 1
+"#,
+        "one.toml",
+    )
+    .unwrap();
+    let mut grid = axes_spec();
+    grid.backends = vec![llamp_engine::parse_backend("lp-parametric").unwrap()];
+    grid.canonicalize();
+    let (_, s_anchor) = run_campaign(&one_point, &config(1), &ResultCache::new());
+    let (_, s_grid) = run_campaign(&grid, &config(1), &ResultCache::new());
+    let anchor_iters = s_anchor.solver.iterations;
+    assert!(anchor_iters > 0);
+    assert!(
+        s_grid.solver.iterations < 2 * anchor_iters,
+        "6-point grid ({} iters) must stay warm relative to its anchor ({} iters)",
+        s_grid.solver.iterations,
+        anchor_iters
+    );
+}
+
+#[test]
+fn axes_spec_round_trip_and_canonical_order() {
+    let a = axes_spec();
+    // JSON re-encoding parses back identically.
+    let b = CampaignSpec::parse(&a.to_value().to_json(), "x.json").unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    // Axis order in the file does not matter: G-before-L canonicalises to
+    // L-before-G and hashes identically.
+    let swapped = r#"
+name = "swapped"
+backends = ["lp-parametric", "lp-sparse"]
+search_hi_ns = 1000000.0
+[[axes]]
+param = "G"
+deltas = [0.05, 0.0]
+[[axes]]
+param = "L"
+deltas_ns = [40000.0, 0.0, 20000.0]
+[[workloads]]
+app = "cloverleaf"
+ranks = 4
+iters = 1
+"#;
+    let c = CampaignSpec::parse(swapped, "y.toml").unwrap();
+    assert_eq!(a.fingerprint(), c.fingerprint());
+    // A different sweep hashes differently.
+    let mut d = a.clone();
+    d.axes[1].deltas.push(0.1);
+    assert_ne!(a.fingerprint(), d.fingerprint());
+}
+
 #[test]
 fn solver_stats_surface_in_run_summary() {
     // LP scenarios report their solver effort through the RunSummary side

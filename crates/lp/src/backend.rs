@@ -210,29 +210,36 @@ impl ModelStamp {
         }
     }
 
-    /// If `other` differs from `self` in exactly one column's *lower
-    /// bound* (same sense, objective, upper bounds, row count), return
-    /// that column.
-    fn single_lb_change(&self, other: &Self) -> Option<VarId> {
+    /// If `other` differs from `self` **only in lower bounds** (same
+    /// sense, objectives, upper bounds, row count), return the changed
+    /// columns with their bound deltas — the joint move direction. `None`
+    /// when anything else changed or nothing changed at all. One entry is
+    /// the classic per-`L` sweep step; several entries are a
+    /// multi-parameter step (`L`, `G` and `o` moving together).
+    fn lb_changes(&self, other: &Self) -> Option<Vec<(VarId, f64)>> {
         if self.sense != other.sense
             || self.rows != other.rows
             || self.cols.len() != other.cols.len()
         {
             return None;
         }
-        let mut changed = None;
+        let mut changed = Vec::new();
         for (j, (a, b)) in self.cols.iter().zip(&other.cols).enumerate() {
             if a.1.to_bits() != b.1.to_bits() || a.2.to_bits() != b.2.to_bits() {
                 return None;
             }
             if a.0.to_bits() != b.0.to_bits() {
-                if changed.is_some() {
+                if !a.0.is_finite() || !b.0.is_finite() {
                     return None;
                 }
-                changed = Some(VarId(j as u32));
+                changed.push((VarId(j as u32), b.0 - a.0));
             }
         }
-        changed
+        if changed.is_empty() {
+            None
+        } else {
+            Some(changed)
+        }
     }
 }
 
@@ -287,15 +294,18 @@ impl SolverBackend for Parametric {
     }
 
     fn resolve(&mut self, model: &LpModel) -> Result<Solution, SolveStatus> {
-        // Parametric shortcut: one lower bound moved inside the previous
+        // Parametric shortcut: lower bounds moved inside the previous
         // basis-stability window ⇒ the basis is still optimal, so a
-        // pivot-free re-extraction answers exactly.
+        // pivot-free re-extraction answers exactly. The window comes from
+        // *directional* ranging along the joint move (unit step = the
+        // full move), so the shortcut fires for multi-parameter steps —
+        // an `L`/`G`/`o` tuple moving together — exactly as it does for
+        // the classic single-`L` sweep step.
         if let Some(state) = &self.state {
             let stamp = ModelStamp::of(model);
-            if let Some(v) = state.stamp.single_lb_change(&stamp) {
-                let (lo, hi) = state.solution.lb_range(v);
-                let new_lb = model.var_lb(v);
-                if new_lb >= lo && new_lb <= hi {
+            if let Some(moves) = state.stamp.lb_changes(&stamp) {
+                let (lo, hi) = state.solution.lb_step_range(&moves);
+                if lo <= 1.0 && 1.0 <= hi {
                     if let Ok(sol) = reextract(model, &self.opts, state.solution.basis()) {
                         self.stats.merge(sol.stats());
                         self.remember(model, &sol);
@@ -453,6 +463,71 @@ mod tests {
                 "L={l}"
             );
         }
+    }
+
+    /// A two-parameter miniature: `t ≥ c + 1·l + 2·g` beside a constant
+    /// floor, so moving `l` and `g` *together* is the multi-parameter
+    /// sweep step the directional shortcut must answer pivot-free.
+    fn two_param_example(l_lb: f64, g_lb: f64) -> (LpModel, VarId, VarId) {
+        let mut m = LpModel::new(Objective::Minimize);
+        let l = m.add_var("l", l_lb, f64::INFINITY, 0.0);
+        let g = m.add_var("g", g_lb, f64::INFINITY, 0.0);
+        let t = m.add_var("t", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        m.add_constraint("wire", &[(t, 1.0), (l, -1.0), (g, -2.0)], Relation::Ge, 0.4);
+        m.add_constraint("comp", &[(t, 1.0)], Relation::Ge, 1.0);
+        (m, l, g)
+    }
+
+    #[test]
+    fn joint_lb_move_fires_shortcut() {
+        let mut p = Parametric::default();
+        let (m, l, g) = two_param_example(0.5, 0.2);
+        let first = p.solve(&m).unwrap();
+        // Wire path active: T = 0.4 + 0.5 + 0.4 = 1.3, λ_l = 1, λ_g = 2.
+        assert!((first.objective() - 1.3).abs() < 1e-9);
+        assert!((first.reduced_cost(l) - 1.0).abs() < 1e-9);
+        assert!((first.reduced_cost(g) - 2.0).abs() < 1e-9);
+        // Both bounds move, staying on the wire-dominated facet: the
+        // directional shortcut must answer with zero iterations and match
+        // a cold solve bitwise.
+        let (m2, l2, g2) = two_param_example(0.45, 0.25);
+        let sol = p.resolve(&m2).unwrap();
+        assert_eq!(sol.iterations(), 0, "joint in-window move must not pivot");
+        let cold = SparseSimplex::default().solve(&m2).unwrap();
+        assert_eq!(sol.objective().to_bits(), cold.objective().to_bits());
+        assert_eq!(
+            sol.reduced_cost(l2).to_bits(),
+            cold.reduced_cost(l2).to_bits()
+        );
+        assert_eq!(
+            sol.reduced_cost(g2).to_bits(),
+            cold.reduced_cost(g2).to_bits()
+        );
+        // A joint move crossing the facet change (wire cost below the
+        // 1.0 compute floor) leaves the window: the warm path answers and
+        // the sensitivities drop to zero.
+        let (m3, l3, g3) = two_param_example(0.1, 0.05);
+        let sol3 = p.resolve(&m3).unwrap();
+        assert!((sol3.objective() - 1.0).abs() < 1e-9);
+        assert!(sol3.reduced_cost(l3).abs() < 1e-9);
+        assert!(sol3.reduced_cost(g3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn directional_range_matches_componentwise_for_unit_moves() {
+        let mut s = SparseSimplex::default();
+        let (m, l, g) = two_param_example(0.5, 0.2);
+        let sol = s.solve(&m).unwrap();
+        // dir = e_l reproduces the classic per-column window.
+        let (lo, hi) = sol.lb_step_range(&[(l, 1.0)]);
+        let (vlo, vhi) = sol.lb_range(l);
+        assert!((0.5 + lo - vlo).abs() < 1e-12 || (lo.is_infinite() && vlo.is_infinite()));
+        assert!((0.5 + hi - vhi).abs() < 1e-12 || (hi.is_infinite() && vhi.is_infinite()));
+        // The joint direction (−0.1, +0.05) keeps the wire facet active
+        // while 1·δl + 2·δg = 0: the window must contain far more than a
+        // unit step in that objective-neutral direction.
+        let (lo2, hi2) = sol.lb_step_range(&[(l, -0.1), (g, 0.05)]);
+        assert!(lo2 <= 0.0 && hi2 >= 1.0, "window [{lo2}, {hi2}]");
     }
 
     #[test]

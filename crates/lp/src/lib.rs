@@ -10,7 +10,7 @@
 //! * [`model::LpModel`] — a general LP model builder: variables with bounds,
 //!   linear constraints (`≤`, `≥`, `=`, ranges), minimise/maximise.
 //! * [`simplex`] — a bounded-variable primal simplex, generic over the
-//!   basis factorisation (see [`factor`]): the dense inverse (the original
+//!   basis factorisation (the internal `factor` module): the dense inverse (the original
 //!   path, kept for cross-validation) or a sparse LU with a product-form
 //!   eta file (the at-scale path). Artificial-free phase 1, Dantzig
 //!   pricing with deterministic lowest-index tie-breaking and a Bland

@@ -36,9 +36,9 @@
 //!   tolerates with its bound expanded by the feasibility tolerance;
 //!   pass 2 picks the largest-magnitude pivot among rows blocking within
 //!   that step, breaking near-ties toward the lowest basis position.
-//! * **Factorisation.** The basis is held behind the [`BasisFactor`]
-//!   trait: [`DenseInv`] (dense inverse + dense eta updates, the original
-//!   path, kept for cross-validation) or [`SparseLu`] (Markowitz-ordered
+//! * **Factorisation.** The basis is held behind the internal
+//!   `BasisFactor` trait: `DenseInv` (dense inverse + dense eta updates,
+//!   the original path, kept for cross-validation) or `SparseLu` (Markowitz-ordered
 //!   sparse LU + product-form eta file, the at-scale path). Refactoring
 //!   is periodic *and* triggered early when the eta file outgrows the
 //!   fresh factorisation. All hot-path linear algebra runs through
@@ -56,10 +56,6 @@
 //!   solve, a cold sparse solve and a warm re-solve that land on the same
 //!   basis report bit-identical numbers — the property the engine's
 //!   cross-backend byte-identity contract rests on.
-//!
-//! [`DenseInv`]: crate::factor::DenseInv
-//! [`SparseLu`]: crate::factor::SparseLu
-//! [`BasisFactor`]: crate::factor::BasisFactor
 
 // Dense linear-algebra kernels index several same-length buffers per loop;
 // iterator zips would obscure the math without changing codegen.
@@ -154,42 +150,114 @@ impl RangingData {
             VarStatus::Basic | VarStatus::FreeZero => (f64::NEG_INFINITY, self.x[j]),
             VarStatus::AtUpper => (f64::NEG_INFINITY, self.ub[j]),
             VarStatus::AtLower => {
-                let w = self.ftran(j);
-                // Moving the bound by δ moves x_j by δ and the basic
-                // variables by −δ·w. Find the feasible δ window.
-                let mut dn = f64::NEG_INFINITY;
-                let mut up = INF;
-                for (i, &wi) in w.iter().enumerate() {
-                    if wi.abs() <= self.pivot_tol {
-                        continue;
-                    }
-                    let b = self.basis[i];
-                    let xb = self.x[b];
-                    let (lbi, ubi) = (self.lb[b], self.ub[b]);
-                    if wi > 0.0 {
-                        // x_b decreases as δ grows.
-                        if lbi.is_finite() {
-                            up = up.min((xb - lbi) / wi);
-                        }
-                        if ubi.is_finite() {
-                            dn = dn.max((xb - ubi) / wi);
-                        }
-                    } else {
-                        // x_b increases as δ grows.
-                        if ubi.is_finite() {
-                            up = up.min((xb - ubi) / wi);
-                        }
-                        if lbi.is_finite() {
-                            dn = dn.max((xb - lbi) / wi);
-                        }
-                    }
-                }
-                if self.ub[j].is_finite() {
-                    up = up.min(self.ub[j] - self.x[j]);
-                }
+                let (dn, up) = self.lb_step_range(&[(j, 1.0, VarStatus::AtLower)]);
                 (self.x[j] + dn, self.x[j] + up)
             }
         }
+    }
+
+    /// Feasible step window `[t_lo, t_hi]` (containing 0) for a joint
+    /// lower-bound move along an **arbitrary direction**: every listed
+    /// extended column `j` shifts its lower bound by `t·dir_j`
+    /// simultaneously. This is the ranging primitive behind parametric
+    /// re-solves that move *several* bounds at once (multi-parameter
+    /// sweeps stepping `L`, `G` and `o` together) — the classic
+    /// one-bound `SALBLow`/`SALBUp` query is the `dir = e_j` special
+    /// case.
+    ///
+    /// Dual feasibility is unaffected by bound moves, so the window is
+    /// where primal feasibility survives: nonbasic-at-lower columns ride
+    /// their bound (`x_j += t·dir_j`, basic variables move by
+    /// `−t·B⁻¹(Σ dir_j a_j)`), while basic / at-upper / free columns
+    /// merely require the moved bound to stay on the correct side of
+    /// their (unmoved) value.
+    pub(crate) fn lb_step_range(&self, moves: &[(usize, f64, VarStatus)]) -> (f64, f64) {
+        let mut dn = f64::NEG_INFINITY;
+        let mut up = INF;
+        // Aggregate basic-variable response w = Σ_j dir_j · B⁻¹ a_j over
+        // the columns that actually ride their lower bound.
+        let mut w: Option<Vec<f64>> = None;
+        for &(j, dir, status) in moves {
+            if dir == 0.0 {
+                continue;
+            }
+            match status {
+                VarStatus::Basic | VarStatus::FreeZero => {
+                    // x_j stays put; the moved bound must not cross it:
+                    // lb_j + t·dir ≤ x_j.
+                    let slack = self.x[j] - self.lb[j];
+                    if dir > 0.0 {
+                        up = up.min(slack / dir);
+                    } else {
+                        dn = dn.max(slack / dir);
+                    }
+                }
+                VarStatus::AtUpper => {
+                    let slack = self.ub[j] - self.lb[j];
+                    if dir > 0.0 {
+                        up = up.min(slack / dir);
+                    } else {
+                        dn = dn.max(slack / dir);
+                    }
+                }
+                VarStatus::AtLower => {
+                    let col = self.ftran(j);
+                    match &mut w {
+                        None => {
+                            let mut v = col;
+                            if dir != 1.0 {
+                                for x in v.iter_mut() {
+                                    *x *= dir;
+                                }
+                            }
+                            w = Some(v);
+                        }
+                        Some(acc) => {
+                            for (a, c) in acc.iter_mut().zip(&col) {
+                                *a += dir * c;
+                            }
+                        }
+                    }
+                    // The moved variable's own upper bound.
+                    if self.ub[j].is_finite() {
+                        let slack = self.ub[j] - self.x[j];
+                        if dir > 0.0 {
+                            up = up.min(slack / dir);
+                        } else {
+                            dn = dn.max(slack / dir);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(w) = w {
+            for (i, &wi) in w.iter().enumerate() {
+                if wi.abs() <= self.pivot_tol {
+                    continue;
+                }
+                let b = self.basis[i];
+                let xb = self.x[b];
+                let (lbi, ubi) = (self.lb[b], self.ub[b]);
+                if wi > 0.0 {
+                    // x_b decreases as t grows.
+                    if lbi.is_finite() {
+                        up = up.min((xb - lbi) / wi);
+                    }
+                    if ubi.is_finite() {
+                        dn = dn.max((xb - ubi) / wi);
+                    }
+                } else {
+                    // x_b increases as t grows.
+                    if ubi.is_finite() {
+                        up = up.min((xb - ubi) / wi);
+                    }
+                    if lbi.is_finite() {
+                        dn = dn.max((xb - lbi) / wi);
+                    }
+                }
+            }
+        }
+        (dn, up)
     }
 
     fn ftran(&self, j: usize) -> Vec<f64> {

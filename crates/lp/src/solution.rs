@@ -282,6 +282,21 @@ impl Solution {
         self.lb_range(v).0
     }
 
+    /// Feasible step window `[t_lo, t_hi]` (always containing 0) for a
+    /// **joint** lower-bound move: every listed variable's lower bound
+    /// shifts by `t·dir` simultaneously. Within the window the current
+    /// basis stays optimal, so a re-solve after such a move needs zero
+    /// pivots — this is the ranging query behind multi-parameter
+    /// (`L`/`G`/`o`) sweep steps, generalising [`Solution::lb_range`]
+    /// from the single-column pattern to an arbitrary direction.
+    pub fn lb_step_range(&self, moves: &[(VarId, f64)]) -> (f64, f64) {
+        let moves: Vec<(usize, f64, VarStatus)> = moves
+            .iter()
+            .map(|&(v, dir)| (v.0 as usize, dir, self.var_status[v.0 as usize]))
+            .collect();
+        self.ranging.lb_step_range(&moves)
+    }
+
     /// Number of simplex iterations performed (phases 1 and 2 combined).
     pub fn iterations(&self) -> u64 {
         self.iterations

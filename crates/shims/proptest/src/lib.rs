@@ -1,7 +1,7 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! Implements the strategy combinators and macros the workspace's property
-//! tests use — ranges, tuples, [`Just`], `prop_map` / `prop_flat_map` /
+//! tests use — ranges, tuples, [`strategy::Just`], `prop_map` / `prop_flat_map` /
 //! `prop_filter_map`, [`collection::vec`], `prop_oneof!`, `proptest!`,
 //! `prop_assert!` / `prop_assert_eq!` — with genuine randomised generation
 //! from a per-test deterministic seed. Unlike real proptest there is no
@@ -16,7 +16,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Anything usable as a size specification for [`vec`].
+    /// Anything usable as a size specification for [`vec()`].
     pub trait SizeRange {
         /// Draw a length.
         fn pick(&self, rng: &mut TestRng) -> usize;

@@ -19,7 +19,43 @@
 //!
 //! See the `examples/` directory for end-to-end walkthroughs, starting with
 //! `quickstart.rs`, and `examples/campaign.toml` for the campaign front
-//! door (`llamp run examples/campaign.toml`).
+//! door (`llamp run examples/campaign.toml`). The campaign spec format is
+//! fully documented in `docs/SPEC.md`.
+//!
+//! ## Quickstart
+//!
+//! The README quickstart as a library call. This block is a **doctest**
+//! — `cargo test --doc` executes it, so the advertised scenario counts,
+//! cache behaviour and byte-identity cannot rot:
+//!
+//! ```
+//! use llamp::engine::{run_campaign, CampaignSpec, ExecutorConfig, ResultCache};
+//!
+//! // The bundled example campaign: 2 workloads × 2 topologies × 2
+//! // backends over a 9-point latency grid.
+//! let spec = CampaignSpec::parse(
+//!     include_str!("../examples/campaign.toml"),
+//!     "campaign.toml",
+//! )
+//! .unwrap();
+//! assert_eq!(format!("{:016x}", spec.fingerprint()), "f27bca492b0ee62b");
+//!
+//! let cache = ResultCache::new();
+//! let (first, s1) = run_campaign(&spec, &ExecutorConfig::default(), &cache);
+//! assert_eq!(
+//!     (s1.jobs_requested, s1.jobs_unique, s1.full_cache_hits, s1.jobs_executed),
+//!     (8, 8, 0, 8),
+//! );
+//! // 9 grid points + 1 tolerance-zone triple per scenario.
+//! assert_eq!((s1.cache_hits, s1.cache_misses), (0, 80));
+//!
+//! // Same campaign against the warm cache: every scenario assembles from
+//! // the store and the results JSON is byte-identical.
+//! let (second, s2) = run_campaign(&spec, &ExecutorConfig::default(), &cache);
+//! assert_eq!(s2.full_cache_hits, 8);
+//! assert_eq!((s2.cache_misses, s2.jobs_executed), (0, 0));
+//! assert_eq!(first.to_json(), second.to_json());
+//! ```
 
 pub use llamp_core as core;
 pub use llamp_engine as engine;

@@ -61,6 +61,7 @@ fn main() {
             search_hi_ns: 2_000_000.0,
         },
         axes: vec![],
+        reduce: true,
     };
     spec.canonicalize();
 

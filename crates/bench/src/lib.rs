@@ -20,6 +20,8 @@
 //! | `abl_backends` | ablation: simplex vs. parametric vs. evaluation |
 //! | `abl_presolve` | ablation: chain contraction on/off |
 //! | `abl_protocol` | ablation: eager/rendezvous crossover at `S` |
+//! | `abl_reduction` | ablation: graph reduction pipeline on/off (rows, makespan/λ agreement, anchor time) |
+//! | `bench_json` | machine-readable cold-anchor / warm-sweep trajectory (`BENCH_lp.json`) |
 
 use llamp_core::Analyzer;
 use llamp_engine::{
@@ -137,6 +139,7 @@ pub fn app_campaign_spec(
         backends: backends.to_vec(),
         grid,
         axes: vec![],
+        reduce: true,
     };
     spec.canonicalize();
     spec

@@ -11,7 +11,7 @@ use crate::eval::{evaluate, Evaluation};
 use crate::lp_build::GraphLp;
 use crate::parametric::ParametricProfile;
 use llamp_model::LogGPSParams;
-use llamp_schedgen::ExecGraph;
+use llamp_schedgen::{ExecGraph, ReduceConfig, ReducedGraph, ReductionStats};
 
 /// The x% latency-tolerance triple the paper highlights (green / orange /
 /// red zones of Fig. 1).
@@ -43,37 +43,68 @@ pub struct SweepPoint {
 /// Analysis driver for one execution graph under one network binding.
 #[derive(Debug, Clone)]
 pub struct Analyzer {
-    graph: ExecGraph,
+    graph: ReducedGraph,
     binding: Binding,
     base_l: f64,
 }
 
 impl Analyzer {
     /// Build from a graph and LogGPS parameters (uniform latency model).
-    /// The graph is chain-contracted internally — the analysis-preserving
-    /// presolve — so construction cost is paid once.
+    /// The graph runs through the full makespan-preserving reduction
+    /// pipeline — the analysis-level presolve — so construction cost is
+    /// paid once; results are provenance-mapped back to the original
+    /// graph (see [`Analyzer::lift_path`]).
     pub fn new(graph: &ExecGraph, params: &LogGPSParams) -> Self {
-        Self {
-            graph: graph.contracted(),
-            binding: Binding::uniform(params),
-            base_l: params.l,
-        }
+        Self::new_with_config(graph, params, &ReduceConfig::default())
+    }
+
+    /// [`Analyzer::new`] with an explicit reduction configuration
+    /// ([`ReduceConfig::none`] analyses the raw graph).
+    pub fn new_with_config(graph: &ExecGraph, params: &LogGPSParams, cfg: &ReduceConfig) -> Self {
+        Self::with_binding_config(graph, Binding::uniform(params), params.l, cfg)
     }
 
     /// Build with an explicit binding (topology / per-class / HLogGP
     /// analyses). `base_l` is the reference value of the analysis variable
     /// (e.g. the baseline wire latency).
     pub fn with_binding(graph: &ExecGraph, binding: Binding, base_l: f64) -> Self {
+        Self::with_binding_config(graph, binding, base_l, &ReduceConfig::default())
+    }
+
+    /// [`Analyzer::with_binding`] with an explicit reduction
+    /// configuration.
+    pub fn with_binding_config(
+        graph: &ExecGraph,
+        binding: Binding,
+        base_l: f64,
+        cfg: &ReduceConfig,
+    ) -> Self {
         Self {
-            graph: graph.contracted(),
+            graph: graph.reduced(cfg),
             binding,
             base_l,
         }
     }
 
-    /// The contracted graph under analysis.
+    /// The reduced graph under analysis.
     pub fn graph(&self) -> &ExecGraph {
+        self.graph.graph()
+    }
+
+    /// The reduction IR, including the provenance map and pass stats.
+    pub fn reduction(&self) -> &ReducedGraph {
         &self.graph
+    }
+
+    /// What the reduction pipeline did to this analyzer's graph.
+    pub fn reduction_stats(&self) -> &ReductionStats {
+        self.graph.stats()
+    }
+
+    /// Lift a critical path reported against the reduced graph (e.g.
+    /// [`Evaluation::critical_path`]) back to original-graph vertex ids.
+    pub fn lift_path(&self, path: &[u32]) -> Vec<u32> {
+        self.graph.lift_path(path)
     }
 
     /// The active binding.

@@ -361,38 +361,29 @@ impl Binding {
     }
 
     /// Bind a symbolic cost on an edge between `src` and `dst` ranks,
-    /// returning `(constant, variable multiplier)`.
+    /// returning `(constant, variable multiplier)` — the single-variable
+    /// projection of [`Binding::bind_multi`] (see [`Binding::project`]).
     #[inline]
     pub fn bind(&self, cost: &CostExpr, src: u32, dst: u32) -> (f64, f64) {
+        self.project(self.bind_multi(cost, src, dst))
+    }
+
+    /// Project a fully symbolic [`MultiBound`] onto the single analysis
+    /// variable: the two non-variable parameters are baked into the
+    /// constant (`G`/`o` from the binding, `L` from the frozen
+    /// `fixed_l`), and the variable's coefficient survives. This is the
+    /// one place the [`AnalysisVariable`] selection is interpreted — the
+    /// graph-lowering walk binds everything through `bind_multi` and the
+    /// single-parameter builders project.
+    #[inline]
+    pub fn project(&self, mb: MultiBound) -> (f64, f64) {
         match self.variable {
-            AnalysisVariable::Latency => {
-                let (mut constant, l_count) = cost.eval_without_l(self.o, self.big_g);
-                if l_count == 0.0 {
-                    return (constant, 0.0);
-                }
-                let term = self.latency_term(src, dst);
-                constant += l_count * term.constant;
-                (constant, l_count * term.multiplier)
-            }
+            AnalysisVariable::Latency => (mb.constant + mb.g * self.big_g + mb.o * self.o, mb.l),
             AnalysisVariable::BandwidthG { fixed_l } => {
-                // G is the variable: its coefficient is the byte count;
-                // the latency contribution becomes a constant.
-                let mut constant = cost.const_ns + cost.o_count * self.o;
-                if cost.l_count != 0.0 {
-                    let term = self.latency_term(src, dst);
-                    constant += cost.l_count * (term.multiplier * fixed_l + term.constant);
-                }
-                (constant, cost.gbytes)
+                (mb.constant + mb.l * fixed_l + mb.o * self.o, mb.g)
             }
             AnalysisVariable::OverheadO { fixed_l } => {
-                // o is the variable: its coefficient is the overhead
-                // count; latency and bandwidth become constants.
-                let mut constant = cost.const_ns + cost.gbytes * self.big_g;
-                if cost.l_count != 0.0 {
-                    let term = self.latency_term(src, dst);
-                    constant += cost.l_count * (term.multiplier * fixed_l + term.constant);
-                }
-                (constant, cost.o_count)
+                (mb.constant + mb.l * fixed_l + mb.g * self.big_g, mb.o)
             }
         }
     }

@@ -9,7 +9,8 @@
 //! path, `λ_G^{i,j}` counts their bytes).
 
 use crate::binding::Binding;
-use llamp_schedgen::{EdgeKind, ExecGraph};
+use crate::lowering::lower_walk;
+use llamp_schedgen::{EdgeKind, GraphView};
 
 /// Tie tolerance when choosing among equal-cost predecessor paths: prefer
 /// the path with the larger latency coefficient, which matches the LP's
@@ -45,7 +46,8 @@ impl Evaluation {
 
 /// Evaluate the graph under `binding` with the analysis variable set to
 /// `lambda_value` (for the uniform model: the network latency `L`).
-pub fn evaluate(g: &ExecGraph, binding: &Binding, lambda_value: f64) -> Evaluation {
+/// Accepts any [`GraphView`] — raw or reduced graphs alike.
+pub fn evaluate<V: GraphView + ?Sized>(g: &V, binding: &Binding, lambda_value: f64) -> Evaluation {
     let n = g.num_vertices();
     let mut finish = vec![0.0f64; n];
     // Slope (latency-coefficient sum) of the best path into each vertex,
@@ -53,16 +55,14 @@ pub fn evaluate(g: &ExecGraph, binding: &Binding, lambda_value: f64) -> Evaluati
     let mut slope = vec![0.0f64; n];
     let mut argmax: Vec<u32> = vec![u32::MAX; n];
 
-    for &v in g.topo_order() {
-        let vert = g.vertex(v);
-        let (vc, vm) = binding.bind(&vert.cost, vert.rank, vert.rank);
+    lower_walk(g, binding, |low| {
+        let v = low.id;
+        let (vc, vm) = binding.project(low.cost);
         let mut best_t = 0.0f64;
         let mut best_slope = 0.0f64;
         let mut best_pred = u32::MAX;
-        for e in g.preds(v) {
-            let u = e.other;
-            let urank = g.vertex(u).rank;
-            let (ec, em) = binding.bind(&e.cost, urank, vert.rank);
+        for &(u, eb) in low.preds {
+            let (ec, em) = binding.project(eb);
             let t = finish[u as usize] + ec + em * lambda_value;
             let s = slope[u as usize] + em;
             if t > best_t + TIE_EPS || (t > best_t - TIE_EPS && s > best_slope) {
@@ -74,7 +74,7 @@ pub fn evaluate(g: &ExecGraph, binding: &Binding, lambda_value: f64) -> Evaluati
         finish[v as usize] = best_t + vc + vm * lambda_value;
         slope[v as usize] = best_slope + vm;
         argmax[v as usize] = best_pred;
-    }
+    });
 
     // Sink with the latest finish; same tie-break.
     let mut runtime = f64::NEG_INFINITY;
@@ -150,8 +150,8 @@ impl MultiEvaluation {
 /// Ties between equal-cost paths prefer the larger `(λ_L, λ_G, λ_o)`
 /// gradient lexicographically — the right-derivative at the query point,
 /// matching the 1-D evaluator's slope tie-break.
-pub fn evaluate_multi(
-    g: &ExecGraph,
+pub fn evaluate_multi<V: GraphView + ?Sized>(
+    g: &V,
     binding: &Binding,
     l: f64,
     gap: f64,
@@ -163,15 +163,12 @@ pub fn evaluate_multi(
     // the sink read-out.
     let mut grad: Vec<[f64; 3]> = vec![[0.0; 3]; n];
 
-    for &v in g.topo_order() {
-        let vert = g.vertex(v);
-        let vb = binding.bind_multi(&vert.cost, vert.rank, vert.rank);
+    lower_walk(g, binding, |low| {
+        let v = low.id;
+        let vb = low.cost;
         let mut best_t = 0.0f64;
         let mut best_g = [0.0f64; 3];
-        for e in g.preds(v) {
-            let u = e.other;
-            let urank = g.vertex(u).rank;
-            let eb = binding.bind_multi(&e.cost, urank, vert.rank);
+        for &(u, eb) in low.preds {
             let t = finish[u as usize] + eb.eval(l, gap, o);
             let s = [
                 grad[u as usize][0] + eb.l,
@@ -185,7 +182,7 @@ pub fn evaluate_multi(
         }
         finish[v as usize] = best_t + vb.eval(l, gap, o);
         grad[v as usize] = [best_g[0] + vb.l, best_g[1] + vb.g, best_g[2] + vb.o];
-    }
+    });
 
     let mut runtime = 0.0f64;
     let mut best = [0.0f64; 3];
@@ -238,8 +235,11 @@ impl PairSensitivities {
 }
 
 /// Walk the critical path of an evaluation and accumulate the pairwise
-/// sensitivity matrices.
-pub fn pair_sensitivities(g: &ExecGraph, eval: &Evaluation) -> PairSensitivities {
+/// sensitivity matrices. Works on any [`GraphView`]; to attribute a
+/// *reduced* graph's critical path to original-graph entities instead,
+/// lift it first (`ReducedGraph::lift_path`) and accumulate on the raw
+/// graph.
+pub fn pair_sensitivities<V: GraphView + ?Sized>(g: &V, eval: &Evaluation) -> PairSensitivities {
     let p = g.nranks();
     let mut lambda = vec![0.0; (p * p) as usize];
     let mut bytes = vec![0.0; (p * p) as usize];
@@ -273,7 +273,7 @@ mod tests {
     use super::*;
     use crate::binding::Binding;
     use llamp_model::LogGPSParams;
-    use llamp_schedgen::{build_graph, GraphConfig};
+    use llamp_schedgen::{build_graph, ExecGraph, GraphConfig};
     use llamp_trace::{ProgramSet, TracerConfig};
     use llamp_util::time::us;
 

@@ -23,6 +23,7 @@
 pub mod analyzer;
 pub mod binding;
 pub mod eval;
+pub mod lowering;
 pub mod lp_build;
 pub mod multi_lp;
 pub mod parametric;
@@ -36,6 +37,8 @@ pub use eval::{
     evaluate, evaluate_multi, pair_sensitivities, Evaluation, MultiEvaluation, PairSensitivities,
 };
 pub use llamp_lp::SolveStats;
+pub use llamp_schedgen::{GraphView, ReduceConfig, ReducedGraph, ReductionStats};
+pub use lowering::{lower_walk, Lowered};
 pub use lp_build::{GraphLp, Prediction};
 pub use multi_lp::{GraphMultiLp, MultiPrediction, ParamPoint};
 pub use parametric::ParametricProfile;

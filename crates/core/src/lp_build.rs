@@ -12,9 +12,10 @@
 //! which is what makes the reduced cost of `l` equal `∂T/∂L ≥ 0`.
 
 use crate::binding::Binding;
+use crate::lowering::lower_walk;
 use llamp_lp::backend::{by_name, Parametric, SolverBackend};
 use llamp_lp::{Basis, LpModel, Objective, Relation, Solution, SolveStats, SolveStatus, VarId};
-use llamp_schedgen::ExecGraph;
+use llamp_schedgen::GraphView;
 
 /// Affine running expression `base + c + m·l` for a vertex's completion
 /// time while building the LP (Algorithm 1's `Tv`).
@@ -72,13 +73,18 @@ impl GraphLp {
     /// Algorithm 1 with the default solver backend ([`Parametric`]: sparse
     /// simplex + warm starts + the basis-stability shortcut — the right
     /// choice for sweeps). The latency variable starts with bound `l ≥ 0`.
-    pub fn build(graph: &ExecGraph, binding: &Binding) -> Self {
+    /// Accepts any [`GraphView`] — raw or reduced graphs alike.
+    pub fn build<V: GraphView + ?Sized>(graph: &V, binding: &Binding) -> Self {
         Self::build_with_backend(graph, binding, Box::new(Parametric::default()))
     }
 
     /// Algorithm 1 with a named solver backend (`"dense"`, `"sparse"` or
     /// `"parametric"`; see [`by_name`]).
-    pub fn build_named(graph: &ExecGraph, binding: &Binding, backend: &str) -> Option<Self> {
+    pub fn build_named<V: GraphView + ?Sized>(
+        graph: &V,
+        binding: &Binding,
+        backend: &str,
+    ) -> Option<Self> {
         Some(Self::build_with_backend(graph, binding, by_name(backend)?))
     }
 
@@ -95,8 +101,8 @@ impl GraphLp {
     /// seeded from it, replacing the maximally infeasible all-logical
     /// start (whose phase 1 costs ~1 pivot per row) with a start that is
     /// usually a handful of pivots from optimal.
-    pub fn build_with_backend(
-        graph: &ExecGraph,
+    pub fn build_with_backend<V: GraphView + ?Sized>(
+        graph: &V,
         binding: &Binding,
         backend: Box<dyn SolverBackend>,
     ) -> Self {
@@ -120,21 +126,19 @@ impl GraphLp {
             n
         ];
 
-        for &v in graph.topo_order() {
-            let vert = graph.vertex(v);
-            let (vc, vm) = binding.bind(&vert.cost, vert.rank, vert.rank);
-            let preds = graph.preds(v);
-            let e = match preds.len() {
+        lower_walk(graph, binding, |low| {
+            let v = low.id;
+            let (vc, vm) = binding.project(low.cost);
+            let e = match low.preds.len() {
                 0 => Expr {
                     base: None,
                     c: vc,
                     m: vm,
                 },
                 1 => {
-                    let p = &preds[0];
-                    let urank = graph.vertex(p.other).rank;
-                    let (ec, em) = binding.bind(&p.cost, urank, vert.rank);
-                    let u = exprs[p.other as usize];
+                    let (p, eb) = low.preds[0];
+                    let (ec, em) = binding.project(eb);
+                    let u = exprs[p as usize];
                     Expr {
                         base: u.base,
                         c: u.c + ec + vc,
@@ -145,10 +149,9 @@ impl GraphLp {
                     let y = model.add_var(format!("y{v}"), f64::NEG_INFINITY, f64::INFINITY, 0.0);
                     col_status.push(VarStatus::Basic);
                     let mut best_in: Option<(f64, usize)> = None;
-                    for p in preds {
-                        let urank = graph.vertex(p.other).rank;
-                        let (ec, em) = binding.bind(&p.cost, urank, vert.rank);
-                        let u = exprs[p.other as usize];
+                    for &(p, eb) in low.preds {
+                        let (ec, em) = binding.project(eb);
+                        let u = exprs[p as usize];
                         // y ≥ base_u + (c_u + ec) + (m_u + em)·l
                         let mut terms = vec![(y, 1.0)];
                         if let Some(b) = u.base {
@@ -160,12 +163,7 @@ impl GraphLp {
                         }
                         let rhs = u.c + ec;
                         let row_idx = row_status.len();
-                        model.add_constraint(
-                            format!("in{v}_{}", p.other),
-                            &terms,
-                            Relation::Ge,
-                            rhs,
-                        );
+                        model.add_constraint(format!("in{v}_{p}"), &terms, Relation::Ge, rhs);
                         row_status.push(VarStatus::Basic);
                         // Defining in-edge for the crash: largest constant
                         // (strict >, so ties keep the lowest row index).
@@ -186,7 +184,7 @@ impl GraphLp {
             exprs[v as usize] = e;
 
             // Sinks bound the makespan variable: t ≥ Tv.
-            if graph.succs(v).is_empty() {
+            if low.is_sink {
                 let ex = exprs[v as usize];
                 let mut terms = vec![(t, 1.0)];
                 if let Some(b) = ex.base {
@@ -202,7 +200,7 @@ impl GraphLp {
                     best_sink = Some((ex.c, row_idx));
                 }
             }
-        }
+        });
 
         // `t` is basic on its largest-constant sink row (a sink always
         // exists in a nonempty DAG; stay free-at-zero otherwise).

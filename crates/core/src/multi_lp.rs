@@ -18,9 +18,10 @@
 //! that anchor and re-solves in a handful (usually zero) of pivots.
 
 use crate::binding::{Binding, SweepParam};
+use crate::lowering::lower_walk;
 use llamp_lp::backend::{by_name, Parametric, SolverBackend};
 use llamp_lp::{Basis, LpModel, Objective, Relation, Solution, SolveStats, SolveStatus, VarId};
-use llamp_schedgen::ExecGraph;
+use llamp_schedgen::GraphView;
 
 /// A query point in the three-parameter space.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -137,13 +138,18 @@ pub struct GraphMultiLp {
 impl GraphMultiLp {
     /// Build with the default solver backend ([`Parametric`], whose
     /// zero-pivot shortcut now covers joint `(L, G, o)` bound moves).
-    pub fn build(graph: &ExecGraph, binding: &Binding) -> Self {
+    /// Accepts any [`GraphView`] — raw or reduced graphs alike.
+    pub fn build<V: GraphView + ?Sized>(graph: &V, binding: &Binding) -> Self {
         Self::build_with_backend(graph, binding, Box::new(Parametric::default()))
     }
 
     /// Build with a named solver backend (`"dense"`, `"sparse"` or
     /// `"parametric"`; see [`by_name`]).
-    pub fn build_named(graph: &ExecGraph, binding: &Binding, backend: &str) -> Option<Self> {
+    pub fn build_named<V: GraphView + ?Sized>(
+        graph: &V,
+        binding: &Binding,
+        backend: &str,
+    ) -> Option<Self> {
         Some(Self::build_with_backend(graph, binding, by_name(backend)?))
     }
 
@@ -151,8 +157,8 @@ impl GraphMultiLp {
     /// parameter, each edge constraint carrying its full coefficient
     /// vector from [`Binding::bind_multi`]. The topological crash basis
     /// is assembled exactly as in the single-parameter build.
-    pub fn build_with_backend(
-        graph: &ExecGraph,
+    pub fn build_with_backend<V: GraphView + ?Sized>(
+        graph: &V,
         binding: &Binding,
         backend: Box<dyn SolverBackend>,
     ) -> Self {
@@ -198,11 +204,10 @@ impl GraphMultiLp {
             }
         };
 
-        for &v in graph.topo_order() {
-            let vert = graph.vertex(v);
-            let vb = binding.bind_multi(&vert.cost, vert.rank, vert.rank);
-            let preds = graph.preds(v);
-            let e = match preds.len() {
+        lower_walk(graph, binding, |low| {
+            let v = low.id;
+            let vb = low.cost;
+            let e = match low.preds.len() {
                 0 => Expr {
                     base: None,
                     c: vb.constant,
@@ -211,10 +216,8 @@ impl GraphMultiLp {
                     mo: vb.o,
                 },
                 1 => {
-                    let p = &preds[0];
-                    let urank = graph.vertex(p.other).rank;
-                    let eb = binding.bind_multi(&p.cost, urank, vert.rank);
-                    let u = exprs[p.other as usize];
+                    let (p, eb) = low.preds[0];
+                    let u = exprs[p as usize];
                     Expr {
                         base: u.base,
                         c: u.c + eb.constant + vb.constant,
@@ -227,10 +230,8 @@ impl GraphMultiLp {
                     let y = model.add_var(format!("y{v}"), f64::NEG_INFINITY, f64::INFINITY, 0.0);
                     col_status.push(VarStatus::Basic);
                     let mut best_in: Option<(f64, usize)> = None;
-                    for p in preds {
-                        let urank = graph.vertex(p.other).rank;
-                        let eb = binding.bind_multi(&p.cost, urank, vert.rank);
-                        let u = exprs[p.other as usize];
+                    for &(p, eb) in low.preds {
+                        let u = exprs[p as usize];
                         // y ≥ base_u + (c_u + ec) + (m_u + em)·(l,g,o)
                         let mut terms = vec![(y, 1.0)];
                         if let Some(b) = u.base {
@@ -239,12 +240,7 @@ impl GraphMultiLp {
                         push_coeffs(&mut terms, u.ml + eb.l, u.mg + eb.g, u.mo + eb.o);
                         let rhs = u.c + eb.constant;
                         let row_idx = row_status.len();
-                        model.add_constraint(
-                            format!("in{v}_{}", p.other),
-                            &terms,
-                            Relation::Ge,
-                            rhs,
-                        );
+                        model.add_constraint(format!("in{v}_{p}"), &terms, Relation::Ge, rhs);
                         row_status.push(VarStatus::Basic);
                         // Defining in-edge for the crash: largest constant
                         // (strict >, so ties keep the lowest row index).
@@ -267,7 +263,7 @@ impl GraphMultiLp {
             exprs[v as usize] = e;
 
             // Sinks bound the makespan variable: t ≥ Tv.
-            if graph.succs(v).is_empty() {
+            if low.is_sink {
                 let ex = exprs[v as usize];
                 let mut terms = vec![(t, 1.0)];
                 if let Some(b) = ex.base {
@@ -281,7 +277,7 @@ impl GraphMultiLp {
                     best_sink = Some((ex.c, row_idx));
                 }
             }
-        }
+        });
 
         if let Some((_, ri)) = best_sink {
             row_status[ri] = VarStatus::AtLower;

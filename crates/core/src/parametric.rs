@@ -18,8 +18,9 @@
 //! test suite.
 
 use crate::binding::Binding;
+use crate::lowering::lower_walk;
 use llamp_lp::piecewise::{Envelope, Invert, Line};
-use llamp_schedgen::ExecGraph;
+use llamp_schedgen::GraphView;
 
 /// The exact runtime curve of a graph over a latency window.
 #[derive(Debug, Clone)]
@@ -32,8 +33,13 @@ pub struct ParametricProfile {
 
 impl ParametricProfile {
     /// Run the windowed-envelope DP. `window` is the latency interval the
-    /// curve must be exact on.
-    pub fn compute(graph: &ExecGraph, binding: &Binding, window: (f64, f64)) -> Self {
+    /// curve must be exact on. Accepts any [`GraphView`] — raw or
+    /// reduced graphs alike.
+    pub fn compute<V: GraphView + ?Sized>(
+        graph: &V,
+        binding: &Binding,
+        window: (f64, f64),
+    ) -> Self {
         assert!(window.0 <= window.1, "empty latency window");
         let (lo, hi) = window;
         let n = graph.num_vertices();
@@ -42,28 +48,26 @@ impl ParametricProfile {
         let mut global: Option<Envelope> = None;
         let mut max_width = 0usize;
 
-        for &v in graph.topo_order() {
-            let vert = graph.vertex(v);
-            let (vc, vm) = binding.bind(&vert.cost, vert.rank, vert.rank);
-            let preds = graph.preds(v);
-            let env: Envelope = if preds.is_empty() {
+        lower_walk(graph, binding, |low| {
+            let v = low.id;
+            let (vc, vm) = binding.project(low.cost);
+            let env: Envelope = if low.preds.is_empty() {
                 Envelope::from_line(Line::new(vm, vc))
             } else {
                 let mut lines: Vec<Line> = Vec::new();
-                for p in preds {
-                    let urank = graph.vertex(p.other).rank;
-                    let (ec, em) = binding.bind(&p.cost, urank, vert.rank);
-                    let upstream = envs[p.other as usize]
+                for &(p, eb) in low.preds {
+                    let (ec, em) = binding.project(eb);
+                    let upstream = envs[p as usize]
                         .as_ref()
                         .expect("topological order guarantees predecessor envelopes");
                     for line in upstream.lines() {
                         lines.push(Line::new(line.slope + em + vm, line.intercept + ec + vc));
                     }
                     // Release predecessor storage once all consumers ran.
-                    let r = &mut remaining[p.other as usize];
+                    let r = &mut remaining[p as usize];
                     *r -= 1;
                     if *r == 0 {
-                        envs[p.other as usize] = None;
+                        envs[p as usize] = None;
                     }
                 }
                 let mut e = Envelope::from_lines(lines);
@@ -71,7 +75,7 @@ impl ParametricProfile {
                 e
             };
             max_width = max_width.max(env.len());
-            if graph.succs(v).is_empty() {
+            if low.is_sink {
                 global = Some(match global.take() {
                     None => env.clone(),
                     Some(g) => {
@@ -82,7 +86,7 @@ impl ParametricProfile {
                 });
             }
             envs[v as usize] = Some(env);
-        }
+        });
 
         let mut envelope = global.unwrap_or_else(Envelope::zero);
         envelope.clip(lo, hi);

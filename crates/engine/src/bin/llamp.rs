@@ -13,7 +13,7 @@
 //! (threads, cache hit rate, wall time) go to stderr so stdout stays
 //! clean for piped JSON.
 
-use llamp_core::SolveStats;
+use llamp_core::{ReductionStats, SolveStats};
 use llamp_engine::value::{parse_json, Value};
 use llamp_engine::{parse_backend, run_campaign, CampaignSpec, ExecutorConfig, ResultCache};
 use llamp_workloads::App;
@@ -57,6 +57,9 @@ examples/campaign.toml (grid) and examples/heatmap.toml (L x G axes).
 
 RUN OPTIONS:
   --threads N       worker threads (default: all cores)
+  --no-reduce       analyse raw execution graphs (skip the
+                    makespan-preserving reduction pipeline; reduced and
+                    raw runs never share cache entries)
   --cache FILE      load/save the result cache (JSON; created if missing)
   --out FILE        write results JSON here (default: stdout)
   --csv FILE        also write a flat CSV of all sweep points
@@ -64,15 +67,15 @@ RUN OPTIONS:
                     parametric | eval | lp | lp-dense | lp-sparse |
                     lp-parametric)
   --timeout-ms N    per-scenario timeout (default: unlimited)
-  --solver-stats    embed aggregate LP solver counters in the results file
-                    (note: counters depend on the cache state, so files
-                    written with this flag are byte-identical only across
-                    runs with the same cache)
+  --solver-stats    embed aggregate LP solver and graph-reduction counters
+                    in the results file (note: counters depend on the cache
+                    state, so files written with this flag are
+                    byte-identical only across runs with the same cache)
   --quiet           suppress the run summary
 
 REPORT OPTIONS:
   --csv FILE        also write the tolerance table as CSV
-  --solver-stats    print the solver counters embedded by 'run'
+  --solver-stats    print the solver and reduction counters embedded by 'run'
 ";
 
 /// Minimal flag parser: positionals plus `--key value` / `--flag`.
@@ -122,7 +125,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let args = Args::parse(
         args,
         &["threads", "cache", "out", "csv", "backends", "timeout-ms"],
-        &["quiet", "solver-stats"],
+        &["quiet", "solver-stats", "no-reduce"],
     )?;
     let [spec_path] = args.positional.as_slice() else {
         return Err(format!("'run' takes exactly one spec file\n\n{USAGE}"));
@@ -139,6 +142,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             return Err("--backends: need at least one backend".into());
         }
         spec.canonicalize();
+    }
+    if args.has("no-reduce") {
+        spec.reduce = false;
     }
 
     let threads = match args.get("threads") {
@@ -177,12 +183,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
 
     let json = if args.has("solver-stats") {
-        // Opt-in: append the aggregate solver counters to the results
-        // document (they vary with the cache state, so the default
-        // output keeps its byte-identity guarantee).
+        // Opt-in: append the aggregate solver and reduction counters to
+        // the results document (they vary with the cache state, so the
+        // default output keeps its byte-identity guarantee).
         match result.to_value() {
             Value::Table(mut pairs) => {
                 pairs.push(("solver_stats".into(), solver_stats_value(&summary.solver)));
+                pairs.push((
+                    "reduction_stats".into(),
+                    reduction_stats_value(&summary.reduction),
+                ));
                 Value::Table(pairs).to_json_pretty()
             }
             other => other.to_json_pretty(),
@@ -208,6 +218,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         let solver = summary.render_solver_stats();
         if !solver.is_empty() {
             eprintln!("{solver}");
+        }
+        let reduction = summary.render_reduction_stats();
+        if !reduction.is_empty() {
+            eprintln!("{reduction}");
         }
     }
     let failures = result
@@ -270,6 +284,26 @@ fn solver_stats_value(s: &SolveStats) -> Value {
             int(s.pricing_candidate_scans),
         ),
         ("max_resync_drift".into(), Value::Float(s.max_resync_drift)),
+    ])
+}
+
+/// Encode the aggregate reduction counters for the results file. Only
+/// the structural counters are embedded — the wall-clock pass timings
+/// stay on stderr, so `--solver-stats` output remains reproducible for
+/// runs against equal caches.
+fn reduction_stats_value(s: &ReductionStats) -> Value {
+    let int = |v: u64| Value::Int(v as i64);
+    Value::Table(vec![
+        ("vertices_before".into(), int(s.vertices_before)),
+        ("vertices_after".into(), int(s.vertices_after)),
+        ("edges_before".into(), int(s.edges_before)),
+        ("edges_after".into(), int(s.edges_after)),
+        ("rows_before".into(), int(s.rows_before)),
+        ("rows_after".into(), int(s.rows_after)),
+        ("chain_merges".into(), int(s.chain_merges)),
+        ("folds".into(), int(s.folds)),
+        ("redundant_removed".into(), int(s.redundant_removed)),
+        ("rounds".into(), int(s.rounds)),
     ])
 }
 
@@ -361,9 +395,9 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         std::fs::write(csv_path, rows_csv).map_err(|e| format!("cannot write {csv_path}: {e}"))?;
     }
     if args.has("solver-stats") {
-        match doc.get("solver_stats") {
+        let print_block = |key: &str, title: &str| match doc.get(key) {
             Some(Value::Table(pairs)) => {
-                println!("\n# lp solver totals (as embedded by 'run --solver-stats')");
+                println!("\n# {title} (as embedded by 'run --solver-stats')");
                 for (k, v) in pairs {
                     let rendered = match v {
                         Value::Int(i) => i.to_string(),
@@ -373,8 +407,10 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
                     println!("{k:<24} {rendered}");
                 }
             }
-            _ => println!("\n(no solver stats embedded; re-run 'llamp run' with --solver-stats)"),
-        }
+            _ => println!("\n(no {title} embedded; re-run 'llamp run' with --solver-stats)"),
+        };
+        print_block("solver_stats", "lp solver totals");
+        print_block("reduction_stats", "graph reduction totals");
     }
     Ok(())
 }

@@ -20,7 +20,7 @@ use crate::scenario::{
 };
 use crate::spec::CampaignSpec;
 use crate::value::Value;
-use llamp_core::SolveStats;
+use llamp_core::{ReductionStats, SolveStats};
 use std::time::{Duration, Instant};
 
 /// How one scenario's answer was obtained (summary bookkeeping; never part
@@ -85,6 +85,11 @@ pub struct RunSummary {
     /// these — like the timings — live beside, never inside, the
     /// deterministic results file).
     pub solver: SolveStats,
+    /// Aggregate graph-reduction counters across the scenarios that
+    /// ran the reduction pipeline this run (full cache hits never build
+    /// a graph, and `reduce = false` scenarios contribute nothing). Wall-clock bearing like the timings, so
+    /// reported beside — never inside — the deterministic results file.
+    pub reduction: ReductionStats,
 }
 
 impl RunSummary {
@@ -125,6 +130,16 @@ impl RunSummary {
             format!("lp solver totals\n{}", self.solver.render())
         }
     }
+
+    /// Render the aggregate graph-reduction counters (empty string when
+    /// every scenario was a full cache hit and no graph was built).
+    pub fn render_reduction_stats(&self) -> String {
+        if self.reduction.is_empty() {
+            String::new()
+        } else {
+            format!("graph reduction totals\n{}", self.reduction.render())
+        }
+    }
 }
 
 /// Run a campaign against a (possibly pre-warmed) cache.
@@ -152,6 +167,7 @@ pub fn run_campaign(
     let mut slots: Vec<Option<(Result<ScenarioOutcome, String>, Provenance)>> =
         vec![None; all.len()];
     let mut solver = SolveStats::default();
+    let mut reduction = ReductionStats::default();
     let mut to_run: Vec<(usize, &Scenario)> = Vec::new();
     for (i, sc) in all.iter().enumerate() {
         match assemble_from_cache(sc, cache) {
@@ -168,7 +184,7 @@ pub fn run_campaign(
     });
     for ((idx, _), status) in to_run.iter().zip(statuses) {
         slots[*idx] = Some(match status {
-            JobStatus::Done(Ok((outcome, inserts, stats))) => {
+            JobStatus::Done(Ok((outcome, inserts, stats, red))) => {
                 // Publish computed pieces only for jobs that finished
                 // within budget: a timed-out or panicked job must leave
                 // no trace, or a rerun would silently flip it from error
@@ -177,6 +193,7 @@ pub fn run_campaign(
                     cache.put(key, entry);
                 }
                 solver.merge(&stats);
+                reduction.merge(&red);
                 (Ok(outcome), Provenance::Computed)
             }
             JobStatus::Done(Err(msg)) => (Err(msg), Provenance::Failed),
@@ -215,6 +232,7 @@ pub fn run_campaign(
         elapsed: started.elapsed(),
         provenance,
         solver,
+        reduction,
     };
     (result, summary)
 }
@@ -289,10 +307,10 @@ fn assemble_from_cache(sc: &Scenario, cache: &ResultCache) -> Option<ScenarioOut
 /// runner publishes them only when the job completes within its budget.
 type ComputedInserts = Vec<(String, CachedEntry)>;
 
-fn run_one(
-    sc: &Scenario,
-    cache: &ResultCache,
-) -> Result<(ScenarioOutcome, ComputedInserts, SolveStats), String> {
+/// What a computed job hands back to the campaign runner.
+type JobOutput = (ScenarioOutcome, ComputedInserts, SolveStats, ReductionStats);
+
+fn run_one(sc: &Scenario, cache: &ResultCache) -> Result<JobOutput, String> {
     if !sc.axes.is_empty() {
         return run_one_axes(sc, cache);
     }
@@ -314,6 +332,7 @@ fn run_one(
         _ => None,
     };
 
+    let mut reduction = ReductionStats::default();
     let (computed_points, computed_zones, stats): (
         Vec<PointResult>,
         Option<ZonesResult>,
@@ -322,6 +341,9 @@ fn run_one(
         (Vec::new(), None, SolveStats::default())
     } else {
         let analyzer = sc.build_analyzer()?;
+        if sc.reduce {
+            reduction = *analyzer.reduction_stats();
+        }
         sc.compute(&analyzer, &missing, cached_zones.is_none())?
     };
 
@@ -358,16 +380,14 @@ fn run_one(
         },
         inserts,
         stats,
+        reduction,
     ))
 }
 
 /// The axes-campaign variant of [`run_one`]: grid points are delta
 /// *tuples*, cached at per-parameter-offset granularity so overlapping
 /// axis grids recompute only their set difference.
-fn run_one_axes(
-    sc: &Scenario,
-    cache: &ResultCache,
-) -> Result<(ScenarioOutcome, ComputedInserts, SolveStats), String> {
+fn run_one_axes(sc: &Scenario, cache: &ResultCache) -> Result<JobOutput, String> {
     let base = sc.base_canonical();
     let tuples = sc.axis_points();
     let mut cached_points: Vec<Option<AxisPointValue>> = Vec::with_capacity(tuples.len());
@@ -387,6 +407,7 @@ fn run_one_axes(
         _ => None,
     };
 
+    let mut reduction = ReductionStats::default();
     let (computed_points, computed_zones, stats): (
         Vec<AxisPointValue>,
         Option<ZonesResult>,
@@ -395,6 +416,9 @@ fn run_one_axes(
         (Vec::new(), None, SolveStats::default())
     } else {
         let analyzer = sc.build_analyzer()?;
+        if sc.reduce {
+            reduction = *analyzer.reduction_stats();
+        }
         sc.compute_axes(&analyzer, &missing, cached_zones.is_none())?
     };
 
@@ -433,6 +457,7 @@ fn run_one_axes(
         },
         inserts,
         stats,
+        reduction,
     ))
 }
 

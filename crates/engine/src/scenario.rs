@@ -8,7 +8,7 @@ use crate::spec::{
     ParamsSpec, TopologySpec, WorkloadSpec,
 };
 use crate::value::Value;
-use llamp_core::{Analyzer, Binding, GraphLp, ParamPoint, SolveStats, SweepParam};
+use llamp_core::{Analyzer, Binding, GraphLp, ParamPoint, ReduceConfig, SolveStats, SweepParam};
 use llamp_model::LogGPSParams;
 use llamp_schedgen::{graph_of_programs, GraphConfig};
 use llamp_topo::{Dragonfly, FatTree};
@@ -29,6 +29,10 @@ pub struct Scenario {
     pub grid: GridSpec,
     /// Multi-parameter sweep axes (empty for classic latency grids).
     pub axes: Vec<AxisSpec>,
+    /// Whether the graph reduction pipeline runs before lowering. Part
+    /// of the base canonical key: reduced and unreduced answers agree
+    /// only to numerical tolerance and must never share cache entries.
+    pub reduce: bool,
 }
 
 /// One sweep sample of a scenario result.
@@ -171,14 +175,18 @@ impl Scenario {
 
     /// Canonical identity *excluding* the grid: the key space for
     /// per-point cache entries, so campaigns with overlapping grids share
-    /// solved points.
+    /// solved points. The reduction state is part of the key (`r1`/`r0`),
+    /// so reduced and unreduced points never collide — and every key
+    /// differs from the pre-reduction engine's, invalidating stale
+    /// caches wholesale rather than silently reusing them.
     pub fn base_canonical(&self) -> String {
         format!(
-            "{}|{}|{}|{}",
+            "{}|{}|{}|{}|r{}",
             self.workload.canonical(),
             self.topology.canonical(),
             self.params.canonical(),
-            self.backend.name()
+            self.backend.name(),
+            u8::from(self.reduce)
         )
     }
 
@@ -213,9 +221,10 @@ impl Scenario {
         p
     }
 
-    /// Build the analyzer (graph construction + binding). This is the
-    /// expensive part of a job; the campaign runner skips it entirely when
-    /// every grid point is already cached.
+    /// Build the analyzer (graph construction + binding + the reduction
+    /// pipeline when `reduce` is on). This is the expensive part of a
+    /// job; the campaign runner skips it entirely when every grid point
+    /// is already cached.
     pub fn build_analyzer(&self) -> Result<Analyzer, String> {
         let set = self
             .workload
@@ -225,16 +234,22 @@ impl Scenario {
             .map_err(|e| format!("graph build failed: {e}"))?;
         let params = self.effective_params();
         let placement: Vec<u32> = (0..self.workload.ranks).collect();
+        let cfg = if self.reduce {
+            ReduceConfig::default()
+        } else {
+            ReduceConfig::none()
+        };
         Ok(match &self.topology {
-            TopologySpec::Uniform => Analyzer::new(&graph, &params),
+            TopologySpec::Uniform => Analyzer::new_with_config(&graph, &params, &cfg),
             TopologySpec::FatTree {
                 k,
                 l_wire_ns,
                 d_switch_ns,
-            } => Analyzer::with_binding(
+            } => Analyzer::with_binding_config(
                 &graph,
                 Binding::wire(&params, &FatTree::new(*k), &placement, *d_switch_ns),
                 *l_wire_ns,
+                &cfg,
             ),
             TopologySpec::Dragonfly {
                 groups,
@@ -242,7 +257,7 @@ impl Scenario {
                 hosts,
                 l_wire_ns,
                 d_switch_ns,
-            } => Analyzer::with_binding(
+            } => Analyzer::with_binding_config(
                 &graph,
                 Binding::wire(
                     &params,
@@ -251,6 +266,7 @@ impl Scenario {
                     *d_switch_ns,
                 ),
                 *l_wire_ns,
+                &cfg,
             ),
         })
     }
@@ -513,6 +529,7 @@ impl Scenario {
             ("topology".into(), Value::Str(self.topology.canonical())),
             ("params".into(), Value::Str(self.params.canonical())),
             ("backend".into(), Value::Str(self.backend.name().into())),
+            ("reduce".into(), Value::Bool(self.reduce)),
         ];
         if !self.axes.is_empty() {
             pairs.push((
@@ -578,6 +595,7 @@ pub fn expand(spec: &CampaignSpec) -> Vec<Scenario> {
                         backend: *b,
                         grid: spec.grid.clone(),
                         axes: spec.axes.clone(),
+                        reduce: spec.reduce,
                     });
                 }
             }

@@ -235,6 +235,11 @@ pub struct CampaignSpec {
     /// Multi-parameter sweep axes (empty for classic latency-grid
     /// campaigns). Sorted by canonical parameter order `L < G < o`.
     pub axes: Vec<AxisSpec>,
+    /// Run the makespan-preserving graph reduction pipeline before
+    /// lowering (default `true`). Part of every scenario's cache-key
+    /// identity: reduced and unreduced answers agree only to numerical
+    /// tolerance, so they must never substitute for each other.
+    pub reduce: bool,
 }
 
 /// Spec decoding / validation failure.
@@ -287,7 +292,7 @@ impl CampaignSpec {
     /// accepted field set is [`SPEC_FIELDS`], documented in
     /// `docs/SPEC.md`.
     pub fn from_value(value: &Value) -> Result<Self, SpecError> {
-        check_keys(value, &allowed_keys(""), "campaign")?;
+        check_table(value, "", "campaign")?;
         let name = value
             .get("name")
             .and_then(Value::as_str)
@@ -364,6 +369,13 @@ impl CampaignSpec {
             }
         };
 
+        let reduce = match value.get("reduce") {
+            None => true,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| err("'reduce' must be a boolean"))?,
+        };
+
         let mut spec = Self {
             name,
             workloads,
@@ -372,6 +384,7 @@ impl CampaignSpec {
             backends,
             grid,
             axes,
+            reduce,
         };
         spec.validate()?;
         spec.canonicalize();
@@ -481,6 +494,7 @@ impl CampaignSpec {
         for b in &self.backends {
             let _ = write!(s, "b:{};", b.name());
         }
+        let _ = write!(s, "r:{};", u8::from(self.reduce));
         if self.axes.is_empty() {
             let _ = write!(s, "g:{}", grid_canonical(&self.grid));
         } else {
@@ -504,6 +518,7 @@ impl CampaignSpec {
     pub fn to_value(&self) -> Value {
         let mut doc = Value::Table(vec![
             ("name".into(), Value::Str(self.name.clone())),
+            ("reduce".into(), Value::Bool(self.reduce)),
             (
                 "workloads".into(),
                 Value::Array(self.workloads.iter().map(WorkloadSpec::to_value).collect()),
@@ -734,6 +749,7 @@ pub fn axes_canonical(axes: &[AxisSpec], search_hi_ns: f64) -> String {
 /// adding a field without documenting it fails the build.
 pub const SPEC_FIELDS: &[&str] = &[
     "name",
+    "reduce",
     "backends",
     "search_hi_ns",
     "workloads",
@@ -772,10 +788,10 @@ pub const SPEC_FIELDS: &[&str] = &[
 ];
 
 /// The keys [`SPEC_FIELDS`] allows directly under `prefix` (`""` for the
-/// top level). This is what makes the constant *authoritative*: every
-/// decoder's unknown-key check derives its allow-list from it, so a field
-/// cannot be parseable yet missing from `SPEC_FIELDS` (and hence, via the
-/// docs test, from `docs/SPEC.md`).
+/// top level). This is what makes the constant *authoritative*: the
+/// unknown-key check ([`check_table`]) derives every allow-list from it,
+/// so a field cannot be parseable yet missing from `SPEC_FIELDS` (and
+/// hence, via the docs test, from `docs/SPEC.md`).
 fn allowed_keys(prefix: &str) -> Vec<&'static str> {
     let mut out: Vec<&'static str> = SPEC_FIELDS
         .iter()
@@ -793,12 +809,14 @@ fn allowed_keys(prefix: &str) -> Vec<&'static str> {
     out
 }
 
-/// Reject unknown keys in a decoded table: a typo in a spec must fail
-/// loudly instead of silently selecting a default.
-fn check_keys(v: &Value, allowed: &[&str], ctx: &str) -> Result<(), SpecError> {
+/// Reject unknown keys in a decoded table against the [`SPEC_FIELDS`]
+/// path `prefix`: a typo in a spec must fail loudly instead of silently
+/// selecting a default.
+fn check_table(v: &Value, prefix: &str, ctx: &str) -> Result<(), SpecError> {
     let Some(pairs) = v.as_table() else {
         return Ok(());
     };
+    let allowed = allowed_keys(prefix);
     for (k, _) in pairs {
         if !allowed.contains(&k.as_str()) {
             return Err(err(format!(
@@ -839,7 +857,7 @@ fn get_u32(v: &Value, key: &str) -> Result<Option<u32>, SpecError> {
 }
 
 fn decode_workload(v: &Value) -> Result<WorkloadSpec, SpecError> {
-    check_keys(v, &allowed_keys("workloads"), "a [[workloads]] entry")?;
+    check_table(v, "workloads", "a [[workloads]] entry")?;
     let app_name = v
         .get("app")
         .and_then(Value::as_str)
@@ -853,7 +871,7 @@ fn decode_workload(v: &Value) -> Result<WorkloadSpec, SpecError> {
 }
 
 fn decode_topology(v: &Value) -> Result<TopologySpec, SpecError> {
-    check_keys(v, &allowed_keys("topologies"), "a [[topologies]] entry")?;
+    check_table(v, "topologies", "a [[topologies]] entry")?;
     let kind = v
         .get("kind")
         .and_then(Value::as_str)
@@ -879,7 +897,7 @@ fn decode_topology(v: &Value) -> Result<TopologySpec, SpecError> {
 }
 
 fn decode_params(v: &Value) -> Result<ParamsSpec, SpecError> {
-    check_keys(v, &allowed_keys("params"), "a [[params]] entry")?;
+    check_table(v, "params", "a [[params]] entry")?;
     let preset = match v.get("preset").and_then(Value::as_str) {
         None => ParamsPreset::Cscs,
         Some(p) => match p.to_ascii_lowercase().as_str() {
@@ -940,11 +958,7 @@ fn decode_deltas(v: &Value, ctx: &str) -> Result<Option<Vec<f64>>, SpecError> {
         }
     }
     if let Some(win) = v.get("window") {
-        check_keys(
-            win,
-            &allowed_keys(&format!("{ctx}.window")),
-            &format!("{ctx}.window"),
-        )?;
+        check_table(win, &format!("{ctx}.window"), &format!("{ctx}.window"))?;
         let lo = get_f64(win, "lo")?.unwrap_or(0.0);
         let hi = get_f64(win, "hi")?.ok_or_else(|| err(format!("{ctx}.window needs 'hi'")))?;
         let points = get_u32(win, "points")?.unwrap_or(9).max(2) as usize;
@@ -968,7 +982,7 @@ fn decode_grid(v: Option<&Value>, has_axes: bool) -> Result<GridSpec, SpecError>
             search_hi_ns: default_hi,
         });
     };
-    check_keys(v, &allowed_keys("grid"), "grid")?;
+    check_table(v, "grid", "grid")?;
     let search_hi_ns = get_f64(v, "search_hi_ns")?.unwrap_or(default_hi);
     let deltas_ns = decode_deltas(v, "grid")?;
     match (deltas_ns, has_axes) {
@@ -991,7 +1005,7 @@ fn decode_grid(v: Option<&Value>, has_axes: bool) -> Result<GridSpec, SpecError>
 }
 
 fn decode_axis(v: &Value) -> Result<AxisSpec, SpecError> {
-    check_keys(v, &allowed_keys("axes"), "an [[axes]] entry")?;
+    check_table(v, "axes", "an [[axes]] entry")?;
     let name = v
         .get("param")
         .and_then(Value::as_str)
@@ -1111,6 +1125,7 @@ app = "milc"
             allowed_keys(""),
             vec![
                 "name",
+                "reduce",
                 "backends",
                 "search_hi_ns",
                 "workloads",

@@ -48,6 +48,14 @@ impl Value {
         }
     }
 
+    /// Boolean accessor.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Integer accessor (floats with integral values are accepted).
     pub fn as_i64(&self) -> Option<i64> {
         match self {

@@ -505,3 +505,61 @@ iters = 1
     assert!(s2.render_solver_stats().is_empty());
     assert_eq!(r1.to_json(), r2.to_json(), "stats never leak into results");
 }
+
+#[test]
+fn reduced_and_unreduced_runs_never_share_cache_entries() {
+    // Same sweep with reduction on and off: different spec fingerprints,
+    // different cache keys (so the shared cache never cross-substitutes),
+    // and answers that agree to tolerance but need not be bitwise equal.
+    let on = spec();
+    let mut off = spec();
+    off.reduce = false;
+    assert!(on.reduce);
+    assert_ne!(on.fingerprint(), off.fingerprint());
+
+    let cache = ResultCache::new();
+    let (r_on, s_on) = run_campaign(&on, &config(2), &cache);
+    let entries_after_on = cache.len();
+    let (r_off, s_off) = run_campaign(&off, &config(2), &cache);
+    // The second run found nothing reusable: every piece recomputed.
+    assert_eq!(
+        s_off.full_cache_hits, 0,
+        "raw run must not hit reduced entries"
+    );
+    assert_eq!(cache.len(), 2 * entries_after_on);
+    // Reduction ran only in the first campaign.
+    assert!(!s_on.reduction.is_empty());
+    assert!(s_on.reduction.rows_after < s_on.reduction.rows_before);
+    // The raw run reports no reduction activity at all (so `llamp run
+    // --no-reduce` never prints a reduction-totals block).
+    assert!(s_off.reduction.is_empty());
+
+    // Semantically identical answers (numerical tolerance).
+    for (a, b) in r_on.scenarios.iter().zip(&r_off.scenarios) {
+        let (oa, ob) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+        for (pa, pb) in oa.sweep.iter().zip(&ob.sweep) {
+            assert!(
+                (pa.runtime_ns - pb.runtime_ns).abs() <= 1e-9 * (1.0 + pa.runtime_ns),
+                "reduced {} vs raw {}",
+                pa.runtime_ns,
+                pb.runtime_ns
+            );
+            assert!((pa.lambda - pb.lambda).abs() <= 1e-9);
+        }
+    }
+
+    // And a reduced re-run against the shared cache is a pure hit.
+    let (r_on2, s_on2) = run_campaign(&on, &config(1), &cache);
+    assert_eq!(s_on2.full_cache_hits, s_on2.jobs_unique);
+    assert_eq!(r_on.to_json(), r_on2.to_json());
+}
+
+#[test]
+fn reduction_keeps_double_run_byte_identity() {
+    // The determinism contract with reduction on (the default): two runs
+    // from cold caches at different thread counts are byte-identical.
+    let s = spec();
+    let (r1, _) = run_campaign(&s, &config(1), &ResultCache::new());
+    let (r2, _) = run_campaign(&s, &config(4), &ResultCache::new());
+    assert_eq!(r1.to_json(), r2.to_json());
+}

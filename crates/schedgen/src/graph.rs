@@ -71,16 +71,6 @@ impl CostExpr {
         self.const_ns + self.o_count * o + self.l_count * l + self.gbytes * big_g
     }
 
-    /// Evaluate everything except the latency term, returning
-    /// `(intercept, l_count)` — the line this cost contributes to `T(L)`.
-    #[inline]
-    pub fn eval_without_l(&self, o: f64, big_g: f64) -> (f64, f64) {
-        (
-            self.const_ns + self.o_count * o + self.gbytes * big_g,
-            self.l_count,
-        )
-    }
-
     /// Component-wise sum.
     pub fn add(&self, other: &CostExpr) -> CostExpr {
         CostExpr {
@@ -243,66 +233,17 @@ impl ExecGraph {
     /// (paper §II-D3). A vertex with exactly one predecessor, whose
     /// predecessor has exactly one successor, connected by a `Local` edge,
     /// is merged into that predecessor (costs summed). The result predicts
-    /// identical runtimes/sensitivities but with far fewer LP rows.
+    /// identical runtimes/sensitivities with far fewer vertices.
+    ///
+    /// This is the chains-only configuration of the full reduction
+    /// pipeline (see [`crate::reduce`](mod@crate::reduce)); use [`ExecGraph::reduced`] for
+    /// the row-shrinking fold/redundancy passes plus provenance.
     ///
     /// The contracted graph is meant for *analysis*; `Send`/`Recv`
     /// semantics survive only for unmerged vertices, so don't feed it to
     /// the simulator.
     pub fn contracted(&self) -> ExecGraph {
-        let n = self.verts.len();
-        // merged_into[v] = representative vertex that absorbed v (itself if
-        // not merged). Process in topological order so chains collapse to
-        // their head in one pass.
-        let mut rep: Vec<u32> = (0..n as u32).collect();
-        let mut extra_cost: Vec<CostExpr> = vec![CostExpr::ZERO; n];
-
-        for &v in &self.topo {
-            let preds = self.preds(v);
-            if preds.len() != 1 {
-                continue;
-            }
-            let e = preds[0];
-            if e.kind != EdgeKind::Local {
-                continue;
-            }
-            let u = e.other;
-            if self.succs(u).len() != 1 {
-                continue;
-            }
-            // Never merge across ranks (Local edges are same-rank by
-            // construction, but be defensive) and keep Handshake identity.
-            if self.verts[u as usize].rank != self.verts[v as usize].rank {
-                continue;
-            }
-            let r = rep[u as usize];
-            rep[v as usize] = r;
-            let add = e.cost.add(&self.verts[v as usize].cost);
-            extra_cost[r as usize] = extra_cost[r as usize].add(&add);
-        }
-
-        // Renumber survivors.
-        let mut new_id = vec![u32::MAX; n];
-        let mut builder = GraphBuilder::new(self.nranks);
-        for &v in &self.topo {
-            if rep[v as usize] != v {
-                continue;
-            }
-            let old = &self.verts[v as usize];
-            let cost = old.cost.add(&extra_cost[v as usize]);
-            new_id[v as usize] = builder.add_vertex(old.rank, old.kind, cost);
-        }
-        // Re-add edges whose endpoints map to distinct survivors.
-        for &v in &self.topo {
-            let vr = rep[v as usize];
-            for e in self.preds(v) {
-                let ur = rep[e.other as usize];
-                if ur == vr && e.kind == EdgeKind::Local {
-                    continue; // merged away
-                }
-                builder.add_edge(new_id[ur as usize], new_id[vr as usize], e.kind, e.cost);
-            }
-        }
-        builder.finish().expect("contraction preserves acyclicity")
+        crate::reduce::reduce(self, &crate::reduce::ReduceConfig::chains_only()).into_graph()
     }
 }
 
@@ -460,9 +401,6 @@ mod tests {
             gbytes: 3.0,
         };
         assert_eq!(c.eval(10.0, 1000.0, 5.0), 100.0 + 20.0 + 1000.0 + 15.0);
-        let (intercept, slope) = c.eval_without_l(10.0, 5.0);
-        assert_eq!(intercept, 135.0);
-        assert_eq!(slope, 1.0);
     }
 
     #[test]

@@ -14,12 +14,18 @@
 //!   dissemination algorithm expansions (§IV-1).
 //! * [`build`] — the trace compiler ([`build::build_graph`]).
 //! * [`goal`] — GOAL-dialect writer/parser.
+//! * [`reduce`](mod@reduce) — the makespan-preserving reduction pipeline
+//!   ([`reduce::ReducedGraph`] with provenance lift-back).
+//! * [`view`] — the [`view::GraphView`] lowering trait every analysis
+//!   builder consumes (implemented by raw and reduced graphs alike).
 
 pub mod build;
 pub mod collectives;
 pub mod goal;
 pub mod graph;
 pub mod lower;
+pub mod reduce;
+pub mod view;
 
 pub use build::{build_graph, BuildError, GraphConfig};
 pub use collectives::{
@@ -27,6 +33,8 @@ pub use collectives::{
     ReduceAlgo,
 };
 pub use graph::{CostExpr, EdgeKind, EdgeRef, ExecGraph, GraphBuilder, Vertex, VertexKind};
+pub use reduce::{reduce, ReduceConfig, ReducedGraph, ReductionStats};
+pub use view::{alg1_row_count, GraphView};
 
 use llamp_trace::{ProgramSet, TracerConfig};
 

@@ -1,0 +1,104 @@
+//! The unified graph-lowering view.
+//!
+//! Every analysis in this workspace — Algorithm 1's LP, the
+//! multi-parameter LP, direct critical-path evaluation, and the
+//! parametric envelope — consumes an execution graph through the same
+//! access pattern: walk the vertices in topological order, bind each
+//! vertex/edge cost, and combine predecessors. [`GraphView`] is that
+//! pattern as a trait, implemented by both the raw [`ExecGraph`] and the
+//! reduced IR ([`crate::reduce::ReducedGraph`]), so every builder is
+//! written once and inherits graph reduction for free.
+
+use crate::graph::{EdgeRef, ExecGraph, Vertex};
+
+/// Read-only access to an execution graph in the shape the analysis
+/// builders need: CSR adjacency plus a precomputed topological order.
+pub trait GraphView {
+    /// World size of the traced job.
+    fn nranks(&self) -> u32;
+
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+
+    /// Vertex accessor.
+    fn vertex(&self, v: u32) -> &Vertex;
+
+    /// Predecessor edges of `v`.
+    fn preds(&self, v: u32) -> &[EdgeRef];
+
+    /// Successor edges of `v`.
+    fn succs(&self, v: u32) -> &[EdgeRef];
+
+    /// Vertices in a topological order.
+    fn topo_order(&self) -> &[u32];
+}
+
+impl GraphView for ExecGraph {
+    fn nranks(&self) -> u32 {
+        ExecGraph::nranks(self)
+    }
+
+    fn num_vertices(&self) -> usize {
+        ExecGraph::num_vertices(self)
+    }
+
+    fn vertex(&self, v: u32) -> &Vertex {
+        ExecGraph::vertex(self, v)
+    }
+
+    fn preds(&self, v: u32) -> &[EdgeRef] {
+        ExecGraph::preds(self, v)
+    }
+
+    fn succs(&self, v: u32) -> &[EdgeRef] {
+        ExecGraph::succs(self, v)
+    }
+
+    fn topo_order(&self) -> &[u32] {
+        ExecGraph::topo_order(self)
+    }
+}
+
+/// The number of constraint rows Algorithm 1 generates for a graph
+/// without building the model: one row per in-edge of every
+/// multi-predecessor vertex (each spawns a merge variable `y_v`) plus one
+/// row per sink (the makespan bounds `t ≥ T_v`). Single-predecessor
+/// vertices extend affine expressions and contribute nothing — which is
+/// why chain contraction alone never shrinks the LP, and the fold /
+/// redundancy passes of [`crate::reduce`](mod@crate::reduce) do.
+pub fn alg1_row_count<V: GraphView + ?Sized>(g: &V) -> u64 {
+    let mut rows = 0u64;
+    for v in 0..g.num_vertices() as u32 {
+        let np = g.preds(v).len();
+        if np > 1 {
+            rows += np as u64;
+        }
+        if g.succs(v).is_empty() {
+            rows += 1;
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{CostExpr, EdgeKind, GraphBuilder, VertexKind};
+
+    #[test]
+    fn row_count_matches_algorithm1_shape() {
+        // Diamond: a → {b, c} → d. d is a 2-pred join (2 rows) and the
+        // only sink (1 row).
+        let mut b = GraphBuilder::new(1);
+        let a = b.add_vertex(0, VertexKind::Calc, CostExpr::constant(1.0));
+        let x = b.add_vertex(0, VertexKind::Calc, CostExpr::constant(2.0));
+        let y = b.add_vertex(0, VertexKind::Calc, CostExpr::constant(3.0));
+        let d = b.add_vertex(0, VertexKind::Calc, CostExpr::constant(4.0));
+        b.add_edge(a, x, EdgeKind::Local, CostExpr::ZERO);
+        b.add_edge(a, y, EdgeKind::Local, CostExpr::ZERO);
+        b.add_edge(x, d, EdgeKind::Local, CostExpr::ZERO);
+        b.add_edge(y, d, EdgeKind::Local, CostExpr::ZERO);
+        let g = b.finish().unwrap();
+        assert_eq!(alg1_row_count(&g), 3);
+    }
+}

@@ -38,7 +38,7 @@
 //!     "campaign.toml",
 //! )
 //! .unwrap();
-//! assert_eq!(format!("{:016x}", spec.fingerprint()), "f27bca492b0ee62b");
+//! assert_eq!(format!("{:016x}", spec.fingerprint()), "35aadf3bc39a926f");
 //!
 //! let cache = ResultCache::new();
 //! let (first, s1) = run_campaign(&spec, &ExecutorConfig::default(), &cache);

@@ -38,7 +38,7 @@ fn pattern_strategy() -> impl Strategy<Value = Pattern> {
     })
 }
 
-fn graph_of(p: &Pattern) -> ExecGraph {
+fn raw_graph_of(p: &Pattern) -> ExecGraph {
     let programs = (0..p.ranks)
         .map(|rank| {
             let mut b = ProgramBuilder::new();
@@ -67,7 +67,10 @@ fn graph_of(p: &Pattern) -> ExecGraph {
         &GraphConfig::paper(),
     )
     .unwrap()
-    .contracted()
+}
+
+fn graph_of(p: &Pattern) -> ExecGraph {
+    raw_graph_of(p).contracted()
 }
 
 proptest! {
@@ -164,5 +167,145 @@ proptest! {
             "T: multi {} vs single {}", a.runtime, b.runtime
         );
         prop_assert!((a.lambda_l - b.lambda).abs() <= 1e-7);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graph reduction pipeline certificates (ISSUE 5): on the same random
+// graphs, the reduced IR must answer identically — makespans to 1e-9,
+// duals matching finite-difference slopes measured on the *raw* graph,
+// and critical paths lifting back to valid original-graph paths.
+// ---------------------------------------------------------------------------
+
+use llamp::schedgen::{reduce, ReduceConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The reduced graph's makespan and full (λ_L, λ_G, λ_o) gradient
+    /// equal the raw graph's at arbitrary (L, G, o) query points.
+    #[test]
+    fn reduced_evaluation_matches_raw(
+        p in pattern_strategy(),
+        l in 0.0f64..100_000.0,
+        g in 0.0f64..2.0,
+        o in 0.0f64..20_000.0,
+    ) {
+        let raw = raw_graph_of(&p);
+        let red = reduce(&raw, &ReduceConfig::default());
+        let params = LogGPSParams::cscs_testbed(p.ranks).with_o(2_000.0);
+        let binding = Binding::uniform(&params);
+        let a = evaluate_multi(&raw, &binding, l, g, o);
+        let b = evaluate_multi(red.graph(), &binding, l, g, o);
+        prop_assert!(
+            (a.runtime - b.runtime).abs() <= 1e-9 * (1.0 + a.runtime),
+            "T: raw {} vs reduced {}", a.runtime, b.runtime
+        );
+        prop_assert!((a.lambda_l - b.lambda_l).abs() <= 1e-9, "λ_L");
+        prop_assert!((a.lambda_g - b.lambda_g).abs() <= 1e-9, "λ_G");
+        prop_assert!((a.lambda_o - b.lambda_o).abs() <= 1e-9, "λ_o");
+    }
+
+    /// The multi-parameter LP built from the reduced graph reports the
+    /// same makespan and duals as the LP built from the raw graph.
+    #[test]
+    fn reduced_lp_matches_unreduced_lp(
+        p in pattern_strategy(),
+        l in 0.0f64..100_000.0,
+        g in 0.0f64..1.0,
+        o in 0.0f64..10_000.0,
+    ) {
+        let raw = raw_graph_of(&p);
+        let red = reduce(&raw, &ReduceConfig::default());
+        let params = LogGPSParams::cscs_testbed(p.ranks).with_o(2_000.0);
+        let binding = Binding::uniform(&params);
+        let at = ParamPoint { l, g, o };
+        let a = GraphMultiLp::build(&raw, &binding).predict(at).unwrap();
+        let b = GraphMultiLp::build(red.graph(), &binding).predict(at).unwrap();
+        prop_assert!(
+            (a.runtime - b.runtime).abs() <= 1e-9 * (1.0 + a.runtime),
+            "T: raw LP {} vs reduced LP {}", a.runtime, b.runtime
+        );
+        prop_assert!((a.lambda_l - b.lambda_l).abs() <= 1e-9, "λ_L");
+        prop_assert!((a.lambda_g - b.lambda_g).abs() <= 1e-9, "λ_G");
+        prop_assert!((a.lambda_o - b.lambda_o).abs() <= 1e-9, "λ_o");
+    }
+
+    /// Lifted-back dual certificate: λ duals read off the *reduced* LP
+    /// match central finite-difference makespan slopes measured on the
+    /// *raw* graph, inside the reported stability windows — the duals
+    /// really do refer to original-graph sensitivities.
+    #[test]
+    fn reduced_lp_duals_match_raw_finite_differences(
+        p in pattern_strategy(),
+        l in 0.0f64..80_000.0,
+        g in 0.0f64..1.0,
+        o in 500.0f64..10_000.0,
+    ) {
+        let raw = raw_graph_of(&p);
+        let red = reduce(&raw, &ReduceConfig::default());
+        let params = LogGPSParams::cscs_testbed(p.ranks).with_o(2_000.0);
+        let binding = Binding::uniform(&params);
+        let mut lp = GraphMultiLp::build(red.graph(), &binding);
+        let at = ParamPoint { l, g, o };
+        let pred = lp.predict(at).unwrap();
+        for param in SweepParam::ALL {
+            let x = at.get(param);
+            let (lo, hi) = pred.feasible(param);
+            let up = if hi.is_finite() { (hi - x) / 4.0 } else { x.max(1.0) };
+            let dn = if lo.is_finite() { (x - lo) / 4.0 } else { x };
+            // Clamp the downward probe to the non-negative domain: the
+            // reduction pipeline's equivalence (and LogGPS itself) is
+            // defined for θ ≥ 0, while a degenerate window may extend
+            // below zero.
+            let h = up.min(dn).min(x);
+            if h.is_nan() || h <= 1e-9 {
+                continue;
+            }
+            let up_pt = at.with(param, x + h);
+            let dn_pt = at.with(param, x - h);
+            let t_plus = evaluate_multi(&raw, &binding, up_pt.l, up_pt.g, up_pt.o).runtime;
+            let t_minus = evaluate_multi(&raw, &binding, dn_pt.l, dn_pt.g, dn_pt.o).runtime;
+            let slope = (t_plus - t_minus) / (2.0 * h);
+            prop_assert!(
+                (slope - pred.lambda(param)).abs() <= 1e-5 * (1.0 + pred.lambda(param).abs()),
+                "{param}: raw finite-difference slope {slope} vs reduced dual {} \
+                 (x={x}, window=({lo},{hi}), h={h}, at={at:?})",
+                pred.lambda(param)
+            );
+        }
+    }
+
+    /// Critical paths lift back to the original graph: consecutive
+    /// lifted vertices are connected by original edges, the path starts
+    /// at an original source and ends at an original sink, and every
+    /// reduced vertex/edge member appears in original topological order.
+    #[test]
+    fn reduced_critical_paths_lift_back_to_original_paths(
+        p in pattern_strategy(),
+        l in 0.0f64..100_000.0,
+    ) {
+        let raw = raw_graph_of(&p);
+        let red = reduce(&raw, &ReduceConfig::default());
+        let params = LogGPSParams::cscs_testbed(p.ranks).with_o(2_000.0);
+        let binding = Binding::uniform(&params);
+        let ev = llamp::core::evaluate(red.graph(), &binding, l);
+        let lifted = red.lift_path(&ev.critical_path);
+        prop_assert!(!lifted.is_empty());
+        for w in lifted.windows(2) {
+            prop_assert!(
+                raw.preds(w[1]).iter().any(|e| e.other == w[0]),
+                "lifted vertices {} -> {} are not connected in the original graph",
+                w[0], w[1]
+            );
+        }
+        prop_assert!(
+            raw.preds(lifted[0]).is_empty(),
+            "lifted path must start at an original source"
+        );
+        prop_assert!(
+            raw.succs(*lifted.last().unwrap()).is_empty(),
+            "lifted path must end at an original sink"
+        );
     }
 }

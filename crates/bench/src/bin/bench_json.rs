@@ -10,10 +10,10 @@
 //! For each bundled workload (8 ranks, 1 iteration — the `sweep64` bench
 //! shape) it reports the Algorithm-1 LP rows of the **raw** graph vs the
 //! **reduced** graph (the graph-reduction pipeline is the engine's
-//! default since ISSUE 5), the *cold* sparse anchor solve on the reduced
-//! LP (the price every campaign pays once per scenario), a warm 64-point
-//! sweep through the parametric backend, and the solver's iteration
-//! count.
+//! default since ISSUE 5), per-stage wall clocks for trace ingestion and
+//! graph reduction, the *cold* sparse anchor solve on the reduced LP (the
+//! price every campaign pays once per scenario), a warm 64-point sweep
+//! through the parametric backend, and the solver's iteration count.
 
 use llamp_bench::{graph_of, linspace};
 use llamp_core::{Binding, GraphLp, ReduceConfig};
@@ -26,6 +26,8 @@ struct Row {
     workload: &'static str,
     rows_raw: u64,
     rows_reduced: u64,
+    ingest_ms: f64,
+    reduce_ms: f64,
     cold_anchor_ms: f64,
     cold_iterations: u64,
     warm_sweep_ms: f64,
@@ -49,8 +51,14 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
     for app in App::ALL {
+        // Per-stage wall clocks: trace replay + graph compile (ingest),
+        // then the makespan-preserving contraction passes (reduce).
+        let t_ingest = Instant::now();
         let raw = graph_of(&app.programs(8, 1));
+        let ingest_ms = t_ingest.elapsed().as_secs_f64() * 1e3;
+        let t_reduce = Instant::now();
         let reduced = raw.reduced(&ReduceConfig::default());
+        let reduce_ms = t_reduce.elapsed().as_secs_f64() * 1e3;
         let stats = *reduced.stats();
         let graph = reduced.graph();
         let num_rows = GraphLp::build(graph, &binding).model().num_constraints();
@@ -88,12 +96,14 @@ fn main() {
         assert!(acc.is_finite());
 
         eprintln!(
-            "{:<12} rows {:>5} -> {:>4} ({:.1}x)  cold anchor {:>8.3} ms ({} iters)  \
-             warm 64-pt sweep {:>8.2} ms",
+            "{:<12} rows {:>5} -> {:>4} ({:.1}x)  ingest {:>6.2} ms  reduce {:>6.2} ms  \
+             cold anchor {:>8.3} ms ({} iters)  warm 64-pt sweep {:>8.2} ms",
             app.name().to_ascii_lowercase(),
             stats.rows_before,
             stats.rows_after,
             stats.rows_before as f64 / stats.rows_after as f64,
+            ingest_ms,
+            reduce_ms,
             cold_anchor_ms,
             anchor.iterations,
             warm_sweep_ms
@@ -102,6 +112,8 @@ fn main() {
             workload: app.name(),
             rows_raw: stats.rows_before,
             rows_reduced: stats.rows_after,
+            ingest_ms,
+            reduce_ms,
             cold_anchor_ms,
             cold_iterations: anchor.iterations,
             warm_sweep_ms,
@@ -113,11 +125,14 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"workload\": \"{}\", \"rows_raw\": {}, \"rows_reduced\": {}, \
+             \"ingest_ms\": {:.3}, \"reduce_ms\": {:.3}, \
              \"cold_anchor_ms\": {:.3}, \"cold_iterations\": {}, \"warm_sweep_ms\": {:.3}, \
              \"warm_points\": {}}}{}\n",
             r.workload.to_ascii_lowercase(),
             r.rows_raw,
             r.rows_reduced,
+            r.ingest_ms,
+            r.reduce_ms,
             r.cold_anchor_ms,
             r.cold_iterations,
             r.warm_sweep_ms,

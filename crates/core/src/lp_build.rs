@@ -108,6 +108,7 @@ impl GraphLp {
     ) -> Self {
         use llamp_lp::solution::VarStatus;
 
+        let span = llamp_obs::span("lp.lower");
         let mut model = LpModel::new(Objective::Minimize);
         let l = model.add_var("l", 0.0, f64::INFINITY, 0.0);
         let t = model.add_var("t", f64::NEG_INFINITY, f64::INFINITY, 1.0);
@@ -218,6 +219,11 @@ impl GraphLp {
             crash,
         };
         lp.backend.seed(&lp.crash);
+        if llamp_obs::is_enabled() {
+            span.field_str("shape", "single");
+            span.field_u64("rows", lp.model.num_constraints() as u64);
+            span.field_u64("cols", lp.model.num_vars() as u64);
+        }
         lp
     }
 

@@ -164,6 +164,7 @@ impl GraphMultiLp {
     ) -> Self {
         use llamp_lp::solution::VarStatus;
 
+        let span = llamp_obs::span("lp.lower");
         let mut model = LpModel::new(Objective::Minimize);
         let l = model.add_var("l", 0.0, f64::INFINITY, 0.0);
         let g = model.add_var("g", 0.0, f64::INFINITY, 0.0);
@@ -295,6 +296,11 @@ impl GraphMultiLp {
             crash,
         };
         lp.backend.seed(&lp.crash);
+        if llamp_obs::is_enabled() {
+            span.field_str("shape", "multi");
+            span.field_u64("rows", lp.model.num_constraints() as u64);
+            span.field_u64("cols", lp.model.num_vars() as u64);
+        }
         lp
     }
 

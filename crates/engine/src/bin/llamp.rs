@@ -3,8 +3,9 @@
 //! ```text
 //! llamp run <spec.toml|spec.json> [--threads N] [--cache FILE]
 //!           [--out FILE] [--csv FILE] [--timeout-ms N] [--quiet]
+//!           [--metrics] [--metrics-out FILE] [--trace-out FILE]
 //! llamp list-workloads
-//! llamp report <results.json> [--csv FILE]
+//! llamp report <results.json> [--csv FILE] [--metrics FILE]
 //! ```
 //!
 //! `run` executes a campaign spec (see `examples/campaign.toml`),
@@ -12,10 +13,17 @@
 //! renders a results file as an aligned tolerance table. Run statistics
 //! (threads, cache hit rate, wall time) go to stderr so stdout stays
 //! clean for piped JSON.
+//!
+//! Telemetry is strictly out-of-band: `--metrics` / `--trace-out` /
+//! `--metrics-out` turn on the `llamp-obs` recorder, and everything it
+//! collects goes to stderr or to sidecar files — the results JSON stays
+//! byte-identical with tracing on or off (see docs/OBSERVABILITY.md).
 
-use llamp_core::{ReductionStats, SolveStats};
 use llamp_engine::value::{parse_json, Value};
-use llamp_engine::{parse_backend, run_campaign, CampaignSpec, ExecutorConfig, ResultCache};
+use llamp_engine::{
+    metrics_value, parse_backend, render_metrics, run_campaign, CampaignSpec, ExecutorConfig,
+    ResultCache,
+};
 use llamp_workloads::App;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -67,15 +75,22 @@ RUN OPTIONS:
                     parametric | eval | lp | lp-dense | lp-sparse |
                     lp-parametric)
   --timeout-ms N    per-scenario timeout (default: unlimited)
-  --solver-stats    embed aggregate LP solver and graph-reduction counters
-                    in the results file (note: counters depend on the cache
-                    state, so files written with this flag are
-                    byte-identical only across runs with the same cache)
+  --metrics         record telemetry and print the metrics summary
+                    (solver/reduction totals, span tree, cache counters,
+                    solve-time histograms) to stderr; the results JSON is
+                    unaffected
+  --metrics-out F   also write the metrics document to a JSON sidecar
+                    (render later with 'llamp report ... --metrics F')
+  --trace-out F     also write a Chrome trace-event file (load in
+                    chrome://tracing or Perfetto)
+  --solver-stats    deprecated alias for --metrics
   --quiet           suppress the run summary
 
 REPORT OPTIONS:
   --csv FILE        also write the tolerance table as CSV
-  --solver-stats    print the solver and reduction counters embedded by 'run'
+  --metrics FILE    render a metrics sidecar written by 'run --metrics-out'
+  --solver-stats    deprecated: print counters embedded by old 'run
+                    --solver-stats' results files
 ";
 
 /// Minimal flag parser: positionals plus `--key value` / `--flag`.
@@ -124,12 +139,33 @@ impl Args {
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let args = Args::parse(
         args,
-        &["threads", "cache", "out", "csv", "backends", "timeout-ms"],
-        &["quiet", "solver-stats", "no-reduce"],
+        &[
+            "threads",
+            "cache",
+            "out",
+            "csv",
+            "backends",
+            "timeout-ms",
+            "metrics-out",
+            "trace-out",
+        ],
+        &["quiet", "metrics", "solver-stats", "no-reduce"],
     )?;
     let [spec_path] = args.positional.as_slice() else {
         return Err(format!("'run' takes exactly one spec file\n\n{USAGE}"));
     };
+    if args.has("solver-stats") {
+        eprintln!("llamp: note: --solver-stats is a deprecated alias for --metrics");
+    }
+    // Any telemetry sink turns the recorder on; without one, every obs
+    // entry point stays a single relaxed atomic load.
+    let telemetry = args.has("metrics")
+        || args.has("solver-stats")
+        || args.get("metrics-out").is_some()
+        || args.get("trace-out").is_some();
+    if telemetry {
+        llamp_obs::enable();
+    }
     let source =
         std::fs::read_to_string(spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
     let mut spec = CampaignSpec::parse(&source, spec_path).map_err(|e| e.to_string())?;
@@ -182,24 +218,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("cannot save cache {}: {e}", p.display()))?;
     }
 
-    let json = if args.has("solver-stats") {
-        // Opt-in: append the aggregate solver and reduction counters to
-        // the results document (they vary with the cache state, so the
-        // default output keeps its byte-identity guarantee).
-        match result.to_value() {
-            Value::Table(mut pairs) => {
-                pairs.push(("solver_stats".into(), solver_stats_value(&summary.solver)));
-                pairs.push((
-                    "reduction_stats".into(),
-                    reduction_stats_value(&summary.reduction),
-                ));
-                Value::Table(pairs).to_json_pretty()
-            }
-            other => other.to_json_pretty(),
-        }
-    } else {
-        result.to_json()
-    };
+    // The results file is byte-identical with telemetry on or off: the
+    // recorder never touches it.
+    let json = result.to_json();
     match args.get("out") {
         Some(path) => {
             std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?
@@ -209,19 +230,33 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(path) = args.get("csv") {
         std::fs::write(path, result.to_csv()).map_err(|e| format!("cannot write {path}: {e}"))?;
     }
+
+    // Drain the recorder (after the cache save, so its span is included).
+    let metrics_doc = telemetry.then(|| {
+        let snapshot = llamp_obs::take();
+        llamp_obs::disable();
+        if let Some(path) = args.get("trace-out") {
+            if let Err(e) = std::fs::write(path, snapshot.chrome_trace_json()) {
+                eprintln!("llamp: cannot write {path}: {e}");
+            }
+        }
+        metrics_value(&summary, &snapshot.summary())
+    });
+    if let (Some(doc), Some(path)) = (&metrics_doc, args.get("metrics-out")) {
+        std::fs::write(path, doc.to_json_pretty())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
     if !args.has("quiet") {
         eprintln!(
             "campaign '{}' ({:016x})",
             result.name, result.spec_fingerprint
         );
-        eprintln!("{}", summary.render());
-        let solver = summary.render_solver_stats();
-        if !solver.is_empty() {
-            eprintln!("{solver}");
-        }
-        let reduction = summary.render_reduction_stats();
-        if !reduction.is_empty() {
-            eprintln!("{reduction}");
+        match &metrics_doc {
+            // One rendering path for all telemetry (run summary included):
+            // `llamp report --metrics` replays the sidecar through the
+            // same formatter.
+            Some(doc) => eprintln!("{}", render_metrics(doc)),
+            None => eprintln!("{}", summary.render()),
         }
     }
     let failures = result
@@ -264,51 +299,8 @@ fn describe(app: App) -> &'static str {
     }
 }
 
-/// Encode the aggregate solver counters for the results file.
-fn solver_stats_value(s: &SolveStats) -> Value {
-    let int = |v: u64| Value::Int(v as i64);
-    Value::Table(vec![
-        ("iterations".into(), int(s.iterations)),
-        ("phase1_iterations".into(), int(s.phase1_iterations)),
-        ("pivots".into(), int(s.pivots)),
-        ("bound_flips".into(), int(s.bound_flips)),
-        ("refactorizations".into(), int(s.refactorizations)),
-        ("devex_resets".into(), int(s.devex_resets)),
-        ("ftran_calls".into(), int(s.ftran_calls)),
-        ("ftran_density".into(), Value::Float(s.ftran_density())),
-        ("btran_calls".into(), int(s.btran_calls)),
-        ("btran_density".into(), Value::Float(s.btran_density())),
-        ("pricing_full_scans".into(), int(s.pricing_full_scans)),
-        (
-            "pricing_candidate_scans".into(),
-            int(s.pricing_candidate_scans),
-        ),
-        ("max_resync_drift".into(), Value::Float(s.max_resync_drift)),
-    ])
-}
-
-/// Encode the aggregate reduction counters for the results file. Only
-/// the structural counters are embedded — the wall-clock pass timings
-/// stay on stderr, so `--solver-stats` output remains reproducible for
-/// runs against equal caches.
-fn reduction_stats_value(s: &ReductionStats) -> Value {
-    let int = |v: u64| Value::Int(v as i64);
-    Value::Table(vec![
-        ("vertices_before".into(), int(s.vertices_before)),
-        ("vertices_after".into(), int(s.vertices_after)),
-        ("edges_before".into(), int(s.edges_before)),
-        ("edges_after".into(), int(s.edges_after)),
-        ("rows_before".into(), int(s.rows_before)),
-        ("rows_after".into(), int(s.rows_after)),
-        ("chain_merges".into(), int(s.chain_merges)),
-        ("folds".into(), int(s.folds)),
-        ("redundant_removed".into(), int(s.redundant_removed)),
-        ("rounds".into(), int(s.rounds)),
-    ])
-}
-
 fn cmd_report(args: &[String]) -> Result<(), String> {
-    let args = Args::parse(args, &["csv"], &["solver-stats"])?;
+    let args = Args::parse(args, &["csv", "metrics"], &["solver-stats"])?;
     let [path] = args.positional.as_slice() else {
         return Err(format!(
             "'report' takes exactly one results file\n\n{USAGE}"
@@ -394,10 +386,23 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     if let Some(csv_path) = args.get("csv") {
         std::fs::write(csv_path, rows_csv).map_err(|e| format!("cannot write {csv_path}: {e}"))?;
     }
+    if let Some(metrics_path) = args.get("metrics") {
+        // The sidecar renders through the same formatter `run --metrics`
+        // uses, so the replay is byte-identical to the live summary.
+        let text = std::fs::read_to_string(metrics_path)
+            .map_err(|e| format!("cannot read {metrics_path}: {e}"))?;
+        let metrics_doc = parse_json(&text).map_err(|e| format!("{metrics_path}: {e}"))?;
+        println!("\n# metrics ({metrics_path})\n");
+        print!("{}", render_metrics(&metrics_doc));
+    }
     if args.has("solver-stats") {
+        eprintln!(
+            "llamp: note: --solver-stats is deprecated; use 'run --metrics-out F' \
+             and 'report --metrics F'"
+        );
         let print_block = |key: &str, title: &str| match doc.get(key) {
             Some(Value::Table(pairs)) => {
-                println!("\n# {title} (as embedded by 'run --solver-stats')");
+                println!("\n# {title} (as embedded by an old 'run --solver-stats')");
                 for (k, v) in pairs {
                     let rendered = match v {
                         Value::Int(i) => i.to_string(),
@@ -407,7 +412,7 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
                     println!("{k:<24} {rendered}");
                 }
             }
-            _ => println!("\n(no {title} embedded; re-run 'llamp run' with --solver-stats)"),
+            _ => println!("\n(no {title} embedded; use 'run --metrics-out' + 'report --metrics')"),
         };
         print_block("solver_stats", "lp solver totals");
         print_block("reduction_stats", "graph reduction totals");

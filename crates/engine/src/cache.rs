@@ -113,6 +113,23 @@ pub fn axis_point_key(base_canonical: &str, param_deltas: [f64; 3]) -> String {
     )
 }
 
+/// The `kind` segment of a cache key (`pt`, `apt`, `zones`, `mzones`).
+/// Keys are `{base_canonical}|{kind}|{suffix}`; the base may itself
+/// contain `|`, so parse from the right.
+fn kind_of_key(key: &str) -> &str {
+    let mut it = key.rsplitn(3, '|');
+    let _suffix = it.next();
+    it.next().unwrap_or("other")
+}
+
+/// Bump the per-kind obs counter `cache.{kind}.{outcome}`. The format
+/// allocation only happens with recording on.
+fn count_kind(key: &str, outcome: &str) {
+    if llamp_obs::is_enabled() {
+        llamp_obs::counter(&format!("cache.{}.{outcome}", kind_of_key(key)), 1);
+    }
+}
+
 impl ResultCache {
     /// Fresh empty cache.
     pub fn new() -> Self {
@@ -128,8 +145,14 @@ impl ResultCache {
             .and_then(|bucket| bucket.iter().find(|(k, _)| k == key))
             .map(|(_, e)| e.clone());
         match &found {
-            Some(_) => self.stats.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.stats.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                count_kind(key, "hit");
+                self.stats.hits.fetch_add(1, Ordering::Relaxed)
+            }
+            None => {
+                count_kind(key, "miss");
+                self.stats.misses.fetch_add(1, Ordering::Relaxed)
+            }
         };
         found
     }
@@ -147,6 +170,7 @@ impl ResultCache {
     /// Insert (idempotent; concurrent duplicate inserts of the same
     /// deterministic value are harmless).
     pub fn put(&self, key: String, entry: CachedEntry) {
+        count_kind(&key, "put");
         let fp = fnv1a(key.as_bytes());
         let mut map = self.map.write().expect("cache lock");
         let bucket = map.entry(fp).or_default();
@@ -232,6 +256,10 @@ impl ResultCache {
 
     /// Save to a JSON file.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let g = llamp_obs::span("cache.save");
+        if llamp_obs::is_enabled() {
+            g.field_u64("entries", self.len() as u64);
+        }
         std::fs::write(path, self.to_value().to_json_pretty())
     }
 
@@ -239,6 +267,7 @@ impl ResultCache {
     /// malformed entries are skipped (a stale cache must never block a
     /// run).
     pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        let g = llamp_obs::span("cache.load");
         let text = std::fs::read_to_string(path)?;
         let cache = Self::new();
         let Ok(doc) = parse_json(&text) else {
@@ -269,6 +298,9 @@ impl ResultCache {
                 _ => continue,
             };
             cache.put(key.to_string(), entry);
+        }
+        if llamp_obs::is_enabled() {
+            g.field_u64("entries", cache.len() as u64);
         }
         Ok(cache)
     }

@@ -148,6 +148,7 @@ pub fn run_campaign(
     config: &ExecutorConfig,
     cache: &ResultCache,
 ) -> (CampaignResult, RunSummary) {
+    let campaign_span = llamp_obs::span("campaign");
     let started = Instant::now();
     let hits_before = cache.stats().hits();
     let misses_before = cache.stats().misses();
@@ -234,6 +235,12 @@ pub fn run_campaign(
         solver,
         reduction,
     };
+    if llamp_obs::is_enabled() {
+        campaign_span.field_str("name", &result.name);
+        campaign_span.field_u64("jobs_unique", jobs_unique as u64);
+        campaign_span.field_u64("full_cache_hits", full_cache_hits as u64);
+        campaign_span.field_u64("jobs_executed", jobs_executed as u64);
+    }
     (result, summary)
 }
 
@@ -314,7 +321,11 @@ fn run_one(sc: &Scenario, cache: &ResultCache) -> Result<JobOutput, String> {
     if !sc.axes.is_empty() {
         return run_one_axes(sc, cache);
     }
+    let span = llamp_obs::span("scenario");
     let base = sc.base_canonical();
+    if llamp_obs::is_enabled() {
+        span.field_str("key", &base);
+    }
     let mut cached_points: Vec<Option<PointResult>> = Vec::with_capacity(sc.grid.deltas_ns.len());
     let mut missing: Vec<f64> = Vec::new();
     for &d in &sc.grid.deltas_ns {
@@ -388,7 +399,11 @@ fn run_one(sc: &Scenario, cache: &ResultCache) -> Result<JobOutput, String> {
 /// *tuples*, cached at per-parameter-offset granularity so overlapping
 /// axis grids recompute only their set difference.
 fn run_one_axes(sc: &Scenario, cache: &ResultCache) -> Result<JobOutput, String> {
+    let span = llamp_obs::span("scenario");
     let base = sc.base_canonical();
+    if llamp_obs::is_enabled() {
+        span.field_str("key", &base);
+    }
     let tuples = sc.axis_points();
     let mut cached_points: Vec<Option<AxisPointValue>> = Vec::with_capacity(tuples.len());
     let mut missing: Vec<Vec<f64>> = Vec::new();

@@ -77,8 +77,13 @@ where
     R: Send,
     F: Fn(&J) -> R + Sync,
 {
+    let run_span = llamp_obs::span("exec.run");
     let n_jobs = jobs.len();
     let threads = config.effective_threads().min(n_jobs.max(1));
+    if llamp_obs::is_enabled() {
+        run_span.field_u64("jobs", n_jobs as u64);
+        run_span.field_u64("workers", threads as u64);
+    }
     // Per-worker deques, seeded round-robin.
     let deques: Vec<Mutex<VecDeque<(usize, J)>>> =
         (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
@@ -98,12 +103,13 @@ where
     std::thread::scope(|scope| {
         for me in 0..threads {
             scope.spawn(move || {
+                let mut busy_ns = 0u64;
                 loop {
                     // Own deque first (front: FIFO locally for cache
                     // warmth of freshly seeded batches).
                     let next = deques[me].lock().expect("deque lock").pop_front();
-                    let (idx, job) = match next {
-                        Some(j) => j,
+                    let (idx, job, was_stolen) = match next {
+                        Some((idx, j)) => (idx, j, false),
                         None => {
                             // Steal from the back of the fullest sibling.
                             let victim = (0..threads)
@@ -112,13 +118,16 @@ where
                             let stolen = victim
                                 .and_then(|v| deques[v].lock().expect("deque lock").pop_back());
                             match stolen {
-                                Some(j) => j,
+                                Some((idx, j)) => (idx, j, true),
                                 // All deques empty: no job creates new
                                 // jobs, so the queue is drained for good.
                                 None => break,
                             }
                         }
                     };
+                    // `exec.job` is the root span on this worker thread,
+                    // so the thread's buffer flushes at every job end.
+                    let job_span = llamp_obs::span("exec.job");
                     let started = Instant::now();
                     let outcome = catch_unwind(AssertUnwindSafe(|| f(&job)));
                     let elapsed = started.elapsed();
@@ -129,7 +138,26 @@ where
                         }
                         Ok(r) => JobStatus::Done(r),
                     };
+                    if llamp_obs::is_enabled() {
+                        job_span.field_u64("idx", idx as u64);
+                        job_span.field_u64("stolen", u64::from(was_stolen));
+                        busy_ns += elapsed.as_nanos() as u64;
+                        llamp_obs::counter("exec.jobs", 1);
+                        if was_stolen {
+                            llamp_obs::counter("exec.steals", 1);
+                        }
+                        match &status {
+                            JobStatus::Panicked(_) => llamp_obs::counter("exec.panics", 1),
+                            JobStatus::TimedOut { .. } => llamp_obs::counter("exec.timeouts", 1),
+                            JobStatus::Done(_) => {}
+                        }
+                        llamp_obs::observe_ns("exec.job_ns", elapsed.as_nanos() as u64);
+                    }
+                    drop(job_span);
                     results_ref.lock().expect("results lock")[idx] = Some(status);
+                }
+                if llamp_obs::is_enabled() {
+                    llamp_obs::counter(&format!("exec.w{me}.busy_ns"), busy_ns);
                 }
             });
         }

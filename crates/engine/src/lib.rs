@@ -46,6 +46,7 @@
 pub mod cache;
 pub mod campaign;
 pub mod executor;
+pub mod metrics;
 pub mod scenario;
 pub mod spec;
 pub mod value;
@@ -53,6 +54,7 @@ pub mod value;
 pub use cache::{CacheStats, CachedEntry, ResultCache};
 pub use campaign::{run_campaign, CampaignResult, Provenance, RunSummary, ScenarioResult};
 pub use executor::{run_jobs, ExecutorConfig, JobStatus};
+pub use metrics::{metrics_value, render_metrics};
 pub use scenario::{
     expand, AxisPointResult, AxisPointValue, PointResult, Scenario, ScenarioOutcome, ZonesResult,
 };

@@ -226,6 +226,11 @@ impl Scenario {
     /// job; the campaign runner skips it entirely when every grid point
     /// is already cached.
     pub fn build_analyzer(&self) -> Result<Analyzer, String> {
+        let g = llamp_obs::span("scenario.build");
+        if llamp_obs::is_enabled() {
+            g.field_str("workload", &self.workload.canonical());
+            g.field_str("backend", self.backend.name());
+        }
         let set = self
             .workload
             .app
@@ -314,7 +319,7 @@ impl Scenario {
                 let points = need_deltas
                     .iter()
                     .map(|&d| {
-                        let e = analyzer.evaluate(base + d);
+                        let e = llamp_obs::time("eval.point_ns", || analyzer.evaluate(base + d));
                         PointResult {
                             delta_l_ns: d,
                             runtime_ns: e.runtime,
@@ -351,8 +356,7 @@ impl Scenario {
                 let mut points = Vec::with_capacity(need_deltas.len());
                 for &d in need_deltas {
                     seed(&mut lp);
-                    let p = lp
-                        .predict(base + d)
+                    let p = llamp_obs::time("lp.point_ns", || lp.predict(base + d))
                         .map_err(|e| format!("LP solve failed at ∆L={d}: {e:?}"))?;
                     points.push(PointResult {
                         delta_l_ns: d,
@@ -366,8 +370,7 @@ impl Scenario {
                     let mut zone = |pct: f64| -> Result<f64, String> {
                         let cap = t0 * (1.0 + pct / 100.0);
                         seed(&mut lp);
-                        let l = lp
-                            .tolerance(base, cap)
+                        let l = llamp_obs::time("lp.zone_ns", || lp.tolerance(base, cap))
                             .map_err(|e| format!("LP tolerance solve failed: {e:?}"))?;
                         Ok(if l - base >= self.grid.search_hi_ns {
                             f64::INFINITY
@@ -443,7 +446,7 @@ impl Scenario {
                     .iter()
                     .map(|deltas| {
                         let p = at(deltas);
-                        let e = analyzer.evaluate_multi(p);
+                        let e = llamp_obs::time("eval.point_ns", || analyzer.evaluate_multi(p));
                         value_of(e.runtime, [e.lambda_l, e.lambda_g, e.lambda_o], p)
                     })
                     .collect();
@@ -484,8 +487,7 @@ impl Scenario {
                 for deltas in need_points {
                     let p = at(deltas);
                     seed(&mut lp);
-                    let pred = lp
-                        .predict(p)
+                    let pred = llamp_obs::time("lp.point_ns", || lp.predict(p))
                         .map_err(|e| format!("LP solve failed at {deltas:?}: {e:?}"))?;
                     points.push(value_of(
                         pred.runtime,
@@ -498,9 +500,10 @@ impl Scenario {
                     let mut zone = |pct: f64| -> Result<f64, String> {
                         let cap = t0 * (1.0 + pct / 100.0);
                         seed(&mut lp);
-                        let l = lp
-                            .tolerance(SweepParam::L, base, cap)
-                            .map_err(|e| format!("LP tolerance solve failed: {e:?}"))?;
+                        let l = llamp_obs::time("lp.zone_ns", || {
+                            lp.tolerance(SweepParam::L, base, cap)
+                        })
+                        .map_err(|e| format!("LP tolerance solve failed: {e:?}"))?;
                         Ok(if l - base.l >= self.grid.search_hi_ns {
                             f64::INFINITY
                         } else {

@@ -307,6 +307,7 @@ impl SolverBackend for Parametric {
                 let (lo, hi) = state.solution.lb_step_range(&moves);
                 if lo <= 1.0 && 1.0 <= hi {
                     if let Ok(sol) = reextract(model, &self.opts, state.solution.basis()) {
+                        llamp_obs::counter("lp.parametric.shortcut", 1);
                         self.stats.merge(sol.stats());
                         self.remember(model, &sol);
                         return Ok(sol);

@@ -357,7 +357,9 @@ pub fn solve_dense(
     opts: &SimplexOptions,
     warm: Option<&Basis>,
 ) -> Result<Solution, SolveStatus> {
-    solve_generic::<DenseInv>(model, opts, warm)
+    traced_solve("dense", model, warm, || {
+        solve_generic::<DenseInv>(model, opts, warm)
+    })
 }
 
 /// Solve with the sparse LU / eta-file factorisation (the at-scale path).
@@ -367,7 +369,43 @@ pub fn solve_sparse(
     opts: &SimplexOptions,
     warm: Option<&Basis>,
 ) -> Result<Solution, SolveStatus> {
-    solve_generic::<SparseLu>(model, opts, warm)
+    traced_solve("sparse", model, warm, || {
+        solve_generic::<SparseLu>(model, opts, warm)
+    })
+}
+
+/// Wrap one solve in an `lp.solve` obs span, folding the per-solve
+/// [`SolveStats`] into span fields at close. Telemetry stays strictly
+/// out-of-band: the span neither observes nor perturbs the numerical
+/// path, and with recording off this is a single relaxed atomic load
+/// (no allocation — certified by `tests/alloc_count.rs`).
+fn traced_solve(
+    factor: &str,
+    model: &LpModel,
+    warm: Option<&Basis>,
+    f: impl FnOnce() -> Result<Solution, SolveStatus>,
+) -> Result<Solution, SolveStatus> {
+    let g = llamp_obs::span("lp.solve");
+    let out = f();
+    if llamp_obs::is_enabled() {
+        g.field_str("factor", factor);
+        g.field_u64("rows", model.num_constraints() as u64);
+        g.field_u64("cols", model.num_vars() as u64);
+        g.field_u64("warm", u64::from(warm.is_some()));
+        match &out {
+            Ok(sol) => {
+                let s = sol.stats();
+                g.field_u64("iterations", s.iterations);
+                g.field_u64("phase1_iterations", s.phase1_iterations);
+                g.field_u64("pivots", s.pivots);
+                g.field_u64("bound_flips", s.bound_flips);
+                g.field_u64("refactorisations", s.refactorizations);
+                g.field_f64("max_resync_drift", s.max_resync_drift);
+            }
+            Err(status) => g.field_str("status", &format!("{status:?}")),
+        }
+    }
+    out
 }
 
 /// Re-extract a solution from a purportedly-still-optimal basis (e.g.

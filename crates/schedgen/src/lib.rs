@@ -40,5 +40,20 @@ use llamp_trace::{ProgramSet, TracerConfig};
 
 /// Convenience: trace a program set with the default tracer and compile it.
 pub fn graph_of_programs(set: &ProgramSet, cfg: &GraphConfig) -> Result<ExecGraph, BuildError> {
-    build_graph(&set.trace(&TracerConfig::default()), cfg)
+    let trace = {
+        let g = llamp_obs::span("trace.ingest");
+        let trace = set.trace(&TracerConfig::default());
+        if llamp_obs::is_enabled() {
+            g.field_u64("ranks", u64::from(trace.nranks));
+            g.field_u64("records", trace.num_records() as u64);
+        }
+        trace
+    };
+    let g = llamp_obs::span("schedgen.build");
+    let graph = build_graph(&trace, cfg)?;
+    if llamp_obs::is_enabled() {
+        g.field_u64("vertices", graph.num_vertices() as u64);
+        g.field_u64("edges", graph.num_edges() as u64);
+    }
+    Ok(graph)
 }

@@ -41,7 +41,6 @@
 use crate::graph::{CostExpr, EdgeKind, EdgeRef, ExecGraph, GraphBuilder, Vertex};
 use crate::view::{alg1_row_count, GraphView};
 use llamp_util::FxHashMap;
-use std::time::Instant;
 
 /// Which reduction passes run, and their effort bounds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,11 +100,13 @@ impl ReduceConfig {
     }
 }
 
-/// What the pipeline did: sizes before → after plus per-pass counters and
-/// cumulative wall-clock pass timings. Campaigns aggregate these into the
-/// run summary exactly like the LP `SolveStats` — being wall-clock
-/// bearing and cache-state dependent they live *beside*, never inside,
-/// deterministic result files.
+/// What the pipeline did: sizes before → after plus per-pass counters.
+/// Campaigns aggregate these into the run summary exactly like the LP
+/// `SolveStats` — being cache-state dependent they live *beside*, never
+/// inside, deterministic result files. Wall-clock pass timings are not
+/// carried here: each pass runs under an `llamp-obs` span
+/// (`reduce/reduce.chains` etc.), so timing lives in the telemetry
+/// channel where it belongs.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ReductionStats {
     /// Vertices in the input graph.
@@ -128,12 +129,6 @@ pub struct ReductionStats {
     pub redundant_removed: u64,
     /// Pass rounds executed before the fixpoint (or the round cap).
     pub rounds: u64,
-    /// Cumulative wall time of the chain passes (ns).
-    pub chain_ns: u64,
-    /// Cumulative wall time of the fold passes (ns).
-    pub fold_ns: u64,
-    /// Cumulative wall time of the redundancy passes (ns).
-    pub redundant_ns: u64,
 }
 
 impl ReductionStats {
@@ -150,9 +145,6 @@ impl ReductionStats {
         self.folds += other.folds;
         self.redundant_removed += other.redundant_removed;
         self.rounds += other.rounds;
-        self.chain_ns += other.chain_ns;
-        self.fold_ns += other.fold_ns;
-        self.redundant_ns += other.redundant_ns;
     }
 
     /// True when no graph went through the pipeline (all counters zero).
@@ -169,13 +161,11 @@ impl ReductionStats {
                 format!("{:.2}x", before as f64 / after as f64)
             }
         };
-        let ms = |ns: u64| ns as f64 / 1e6;
         format!(
             "vertices        {} -> {} ({})\n\
              edges           {} -> {} ({})\n\
              lp rows         {} -> {} ({})\n\
-             passes          {} chain merges, {} folds, {} redundant edges, {} rounds\n\
-             pass time [ms]  chains {:.2}, folds {:.2}, redundancy {:.2}",
+             passes          {} chain merges, {} folds, {} redundant edges, {} rounds",
             self.vertices_before,
             self.vertices_after,
             ratio(self.vertices_before, self.vertices_after),
@@ -189,9 +179,6 @@ impl ReductionStats {
             self.folds,
             self.redundant_removed,
             self.rounds,
-            ms(self.chain_ns),
-            ms(self.fold_ns),
-            ms(self.redundant_ns),
         )
     }
 }
@@ -359,6 +346,7 @@ pub fn reduce(g: &ExecGraph, cfg: &ReduceConfig) -> ReducedGraph {
     if cfg.is_identity() {
         return ReducedGraph::identity(g);
     }
+    let outer = llamp_obs::span("reduce");
     let mut r = Reducer::from_graph(g);
     r.stats.vertices_before = g.num_vertices() as u64;
     r.stats.edges_before = g.num_edges() as u64;
@@ -366,26 +354,39 @@ pub fn reduce(g: &ExecGraph, cfg: &ReduceConfig) -> ReducedGraph {
     for _ in 0..cfg.max_rounds {
         let mut changed = 0u64;
         if cfg.chains {
-            let t = Instant::now();
-            changed += r.pass_chains();
-            r.stats.chain_ns += t.elapsed().as_nanos() as u64;
+            changed += traced_pass("reduce.chains", || r.pass_chains());
         }
         if cfg.folds {
-            let t = Instant::now();
-            changed += r.pass_folds();
-            r.stats.fold_ns += t.elapsed().as_nanos() as u64;
+            changed += traced_pass("reduce.folds", || r.pass_folds());
         }
         if cfg.redundant {
-            let t = Instant::now();
-            changed += r.pass_redundant(cfg.dfs_cap);
-            r.stats.redundant_ns += t.elapsed().as_nanos() as u64;
+            changed += traced_pass("reduce.redundant", || r.pass_redundant(cfg.dfs_cap));
         }
         r.stats.rounds += 1;
         if changed == 0 {
             break;
         }
     }
-    r.finish()
+    let reduced = r.finish();
+    if llamp_obs::is_enabled() {
+        let s = reduced.stats();
+        outer.field_u64("vertices_before", s.vertices_before);
+        outer.field_u64("vertices_after", s.vertices_after);
+        outer.field_u64("rows_before", s.rows_before);
+        outer.field_u64("rows_after", s.rows_after);
+        outer.field_u64("rounds", s.rounds);
+    }
+    reduced
+}
+
+/// Run one reduction pass under an obs span carrying its change count.
+fn traced_pass(name: &'static str, f: impl FnOnce() -> u64) -> u64 {
+    let g = llamp_obs::span(name);
+    let changed = f();
+    if llamp_obs::is_enabled() {
+        g.field_u64("changed", changed);
+    }
+    changed
 }
 
 /// One mutable edge of the reduction arena. Edges are only ever rewired

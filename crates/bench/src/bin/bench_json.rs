@@ -35,12 +35,15 @@ struct Row {
 }
 
 fn main() {
+    llamp_util::tune_for_large_traces();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_lp.json".to_string();
+    let mut skip_large = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--out" => out_path = it.next().expect("--out needs a value").clone(),
+            "--skip-large" => skip_large = true,
             other => panic!("unknown argument {other}"),
         }
     }
@@ -121,7 +124,105 @@ fn main() {
         });
     }
 
-    let mut json = String::from("{\n  \"bench\": \"lp_solver\",\n  \"workloads\": [\n");
+    // Large-trace tier, two entries (skipped with `--skip-large`):
+    //
+    // * `large_trace` — LULESH inflated to ~10⁶ vertices (16 ranks, 430
+    //   outer iterations, the `llamp gen` stress shape). Tracks the
+    //   streaming-ingest and partitioned-reduction wall clocks at one
+    //   worker vs one-per-core, and asserts thread-count determinism.
+    //   No LP numbers: the cold simplex anchor scales ~quadratically in
+    //   rows (docs/SCALING.md) and takes minutes at the 137k rows this
+    //   shape reduces to — the front end is what this tier tracks.
+    // * `large_lp` — LULESH at ~1.2×10⁵ vertices (16k reduced rows),
+    //   the largest shape where the solver itself stays in single-digit
+    //   seconds. Tracks the cold anchor and warm 64-point sweep there.
+    let mut large_json = String::new();
+    if !skip_large {
+        let set = llamp_workloads::scaled(App::Lulesh, 2, 430);
+        let t_ingest = Instant::now();
+        let raw = graph_of(&set);
+        let ingest_ms = t_ingest.elapsed().as_secs_f64() * 1e3;
+        let (vertices, edges) = (raw.num_vertices(), raw.num_edges());
+
+        let t1 = Instant::now();
+        let r1 = raw.reduced(&ReduceConfig {
+            threads: 1,
+            ..ReduceConfig::default()
+        });
+        let reduce_ms_t1 = t1.elapsed().as_secs_f64() * 1e3;
+        let reduce_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let tn = Instant::now();
+        let rn = raw.reduced(&ReduceConfig::default());
+        let reduce_ms_tn = tn.elapsed().as_secs_f64() * 1e3;
+        // Thread-count determinism is a hard invariant, so the bench
+        // asserts it on every run rather than trusting the test suite.
+        assert_eq!(
+            format!("{:?}", r1.stats()),
+            format!("{:?}", rn.stats()),
+            "partitioned reduction diverged between 1 and {reduce_threads} workers"
+        );
+        eprintln!(
+            "large-trace   lulesh x(2,430)  {vertices} verts / {edges} edges  \
+             ingest {ingest_ms:.0} ms  reduce t1 {reduce_ms_t1:.0} ms / \
+             t{reduce_threads} {reduce_ms_tn:.0} ms  rows -> {}",
+            rn.stats().rows_after
+        );
+
+        let set_lp = llamp_workloads::scaled(App::Lulesh, 2, 50);
+        let raw_lp = graph_of(&set_lp);
+        let red_lp = raw_lp.reduced(&ReduceConfig::default());
+        let params_l = LogGPSParams::cscs_testbed(raw_lp.nranks()).with_o(us(6.0));
+        let binding_l = Binding::uniform(&params_l);
+        let graph = red_lp.graph();
+        let mut lp = GraphLp::build_named(graph, &binding_l, "sparse").unwrap();
+        let t_cold = Instant::now();
+        let anchor = lp.predict(params_l.l).expect("large anchor solves");
+        let cold_anchor_ms = t_cold.elapsed().as_secs_f64() * 1e3;
+
+        let anchor_basis = lp.warm_basis().expect("anchor leaves a basis");
+        let mut warm = GraphLp::build_named(graph, &binding_l, "parametric").unwrap();
+        let t_warm = Instant::now();
+        let mut acc = 0.0;
+        for &d in &deltas {
+            warm.seed_backend(&anchor_basis);
+            acc += warm
+                .predict(params_l.l + d)
+                .expect("large sweep point solves")
+                .runtime;
+        }
+        let warm_sweep_ms = t_warm.elapsed().as_secs_f64() * 1e3;
+        assert!(acc.is_finite());
+        eprintln!(
+            "large-lp      lulesh x(2,50)   {} verts  rows {} -> {}  \
+             cold anchor {cold_anchor_ms:.0} ms ({} iters)  \
+             warm 64-pt sweep {warm_sweep_ms:.0} ms",
+            raw_lp.num_vertices(),
+            red_lp.stats().rows_before,
+            red_lp.stats().rows_after,
+            anchor.iterations
+        );
+
+        large_json = format!(
+            "  \"large_trace\": {{\"workload\": \"lulesh\", \"rank_mult\": 2, \"iter_mult\": 430, \
+             \"vertices\": {vertices}, \"edges\": {edges}, \"rows_reduced\": {}, \
+             \"ingest_ms\": {ingest_ms:.3}, \"reduce_ms_t1\": {reduce_ms_t1:.3}, \
+             \"reduce_ms_tn\": {reduce_ms_tn:.3}, \"reduce_threads\": {reduce_threads}}},\n  \
+             \"large_lp\": {{\"workload\": \"lulesh\", \"rank_mult\": 2, \"iter_mult\": 50, \
+             \"vertices\": {}, \"rows_raw\": {}, \"rows_reduced\": {}, \
+             \"cold_anchor_ms\": {cold_anchor_ms:.3}, \"cold_iterations\": {}, \
+             \"warm_sweep_ms\": {warm_sweep_ms:.3}, \"warm_points\": {}}},\n",
+            rn.stats().rows_after,
+            raw_lp.num_vertices(),
+            red_lp.stats().rows_before,
+            red_lp.stats().rows_after,
+            anchor.iterations,
+            deltas.len()
+        );
+    }
+
+    let mut json = format!("{{\n  \"bench\": \"lp_solver\",\n{large_json}  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"workload\": \"{}\", \"rows_raw\": {}, \"rows_reduced\": {}, \

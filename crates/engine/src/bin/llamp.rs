@@ -30,10 +30,12 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 fn main() -> ExitCode {
+    llamp_util::tune_for_large_traces();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("list-workloads") => cmd_list_workloads(),
+        Some("gen") => cmd_gen(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print!("{USAGE}");
@@ -56,6 +58,7 @@ llamp — LLAMP campaign driver
 USAGE:
   llamp run <spec.toml|spec.json> [OPTIONS]   execute a campaign spec
   llamp list-workloads                        list workload proxies
+  llamp gen <workload> [GEN OPTIONS]          emit a (scaled) synthetic trace
   llamp report <results.json> [--csv FILE]    summarise a results file
 
 Campaign specs sweep workloads x topologies x params x backends over a
@@ -85,6 +88,18 @@ RUN OPTIONS:
                     chrome://tracing or Perfetto)
   --solver-stats    deprecated alias for --metrics
   --quiet           suppress the run summary
+
+GEN OPTIONS:
+  --rank-mult N     multiply the bench-standard 8-rank shape (default 1)
+  --iter-mult N     multiply the outer iteration count (default 1)
+  --out FILE        write the trace text here (default: stdout, unless
+                    --stats is given)
+  --stats           don't dump the trace; stream-ingest it, run the
+                    reduction pipeline and print size/timing stats
+                    (combine with --out to do both)
+
+  Multipliers in the tens push the execution graph into the 10^5-10^7
+  vertex range; see docs/SCALING.md.
 
 REPORT OPTIONS:
   --csv FILE        also write the tolerance table as CSV
@@ -297,6 +312,77 @@ fn describe(app: App) -> &'static str {
         App::Openmx => "bcast/reduce-heavy DFT steps (weak)",
         App::Cloverleaf => "2D 4-neighbour halo + field reductions (weak)",
     }
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        args,
+        &["rank-mult", "iter-mult", "out"],
+        &["stats", "metrics"],
+    )?;
+    if args.has("metrics") {
+        llamp_obs::enable();
+    }
+    let [name] = args.positional.as_slice() else {
+        return Err(format!("'gen' takes exactly one workload name\n\n{USAGE}"));
+    };
+    let app = App::parse(name)
+        .ok_or_else(|| format!("unknown workload '{name}' (see 'llamp list-workloads')"))?;
+    let mult = |flag: &str| -> Result<u32, String> {
+        match args.get(flag) {
+            None => Ok(1),
+            Some(v) => v
+                .parse::<u32>()
+                .map_err(|_| format!("--{flag}: '{v}' is not a number")),
+        }
+    };
+    let (rank_mult, iter_mult) = (mult("rank-mult")?, mult("iter-mult")?);
+    let set = llamp_workloads::scaled(app, rank_mult, iter_mult);
+
+    if args.has("stats") {
+        use llamp_schedgen::{graph_of_programs, GraphConfig, ReduceConfig};
+        let t0 = std::time::Instant::now();
+        let graph = graph_of_programs(&set, &GraphConfig::paper()).map_err(|e| e.to_string())?;
+        let ingest = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let red = graph.reduced(&ReduceConfig::default());
+        let reduce = t1.elapsed();
+        println!(
+            "workload        {} x{rank_mult} ranks x{iter_mult} iters\n\
+             ranks           {}\n\
+             records         {}\n\
+             vertices        {}\n\
+             edges           {}\n\
+             ingest          {:.1} ms\n\
+             reduce          {:.1} ms\n\
+             {}",
+            app.name(),
+            set.nranks,
+            set.num_records(),
+            graph.num_vertices(),
+            graph.num_edges(),
+            ingest.as_secs_f64() * 1e3,
+            reduce.as_secs_f64() * 1e3,
+            red.stats().render(),
+        );
+    }
+
+    if args.get("out").is_some() || !args.has("stats") {
+        let trace = set.trace(&llamp_trace::TracerConfig::default());
+        let text = llamp_trace::text::write_trace(&trace);
+        match args.get("out") {
+            Some(path) => {
+                std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?
+            }
+            None => print!("{text}"),
+        }
+    }
+    if args.has("metrics") {
+        let snapshot = llamp_obs::take();
+        llamp_obs::disable();
+        eprint!("{}", snapshot.summary().render());
+    }
+    Ok(())
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {

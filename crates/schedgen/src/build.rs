@@ -155,286 +155,383 @@ struct CollPort {
 
 /// Compile a trace into an execution graph.
 pub fn build_graph(trace: &Trace, cfg: &GraphConfig) -> Result<ExecGraph, BuildError> {
-    let nranks = trace.nranks;
-    let mut builder = GraphBuilder::new(nranks);
-
-    // Matching queues: channel (src, dst, tag) -> pending ops in order.
-    let mut send_q: FxHashMap<(u32, u32, u32), VecDeque<PendingP2p>> = FxHashMap::default();
-    let mut recv_q: FxHashMap<(u32, u32, u32), VecDeque<PendingP2p>> = FxHashMap::default();
-    let mut waits: Vec<PendingWait> = Vec::new();
-    // collectives[i][r] = rank r's port for the i-th collective.
-    let mut collectives: Vec<Vec<Option<CollPort>>> = Vec::new();
-    let mut next_op_id = 0usize;
-
+    let mut ingest = GraphIngest::with_capacity(trace.nranks, cfg, trace.num_records());
     for rank_trace in &trace.ranks {
-        let r = rank_trace.rank;
-        // Rank start vertex (the paper's Init).
-        let mut tail = builder.add_vertex(r, VertexKind::Calc, CostExpr::ZERO);
-        let mut prev_end = 0.0f64;
-        // In-flight nonblocking requests: req -> op id.
-        let mut inflight: FxHashMap<u32, usize> = FxHashMap::default();
-        let mut coll_idx = 0usize;
-
+        ingest.begin_rank(rank_trace.rank);
         for rec in &rank_trace.records {
-            // Compute gap becomes a calc vertex (Fig. 3B).
-            let gap = rec.start - prev_end;
-            if gap > 0.0 {
-                let c = builder.add_vertex(r, VertexKind::Calc, CostExpr::constant(gap));
-                builder.add_edge(tail, c, EdgeKind::Local, CostExpr::ZERO);
-                tail = c;
-            }
-            prev_end = rec.end.max(prev_end);
+            ingest.record(&rec.kind, rec.start, rec.end)?;
+        }
+    }
+    ingest.finish()
+}
 
-            let mut alloc_id = || {
-                let id = next_op_id;
-                next_op_id += 1;
-                id
+/// Incremental trace → graph compiler: the streaming core behind
+/// [`build_graph`]. Sources that know their records up front (a
+/// [`llamp_trace::ProgramSet`] replay, the streaming text parser) feed
+/// rank sections with [`GraphIngest::begin_rank`] + [`GraphIngest::record`]
+/// — each record borrows its [`CallKind`], so ingestion allocates nothing
+/// per record beyond the graph arenas themselves — and
+/// [`GraphIngest::finish`] runs message matching, collective expansion
+/// and the single-pass CSR finalisation.
+#[derive(Debug)]
+pub struct GraphIngest {
+    nranks: u32,
+    cfg: GraphConfig,
+    builder: GraphBuilder,
+    /// Matching queues: channel (src, dst, tag) -> pending ops in order.
+    send_q: FxHashMap<(u32, u32, u32), VecDeque<PendingP2p>>,
+    recv_q: FxHashMap<(u32, u32, u32), VecDeque<PendingP2p>>,
+    waits: Vec<PendingWait>,
+    /// collectives[i][r] = rank r's port for the i-th collective.
+    collectives: Vec<Vec<Option<CollPort>>>,
+    next_op_id: usize,
+    // Walk state of the current rank section.
+    rank: u32,
+    tail: u32,
+    prev_end: f64,
+    /// In-flight nonblocking requests of the current rank: req -> op id.
+    inflight: FxHashMap<u32, usize>,
+    coll_idx: usize,
+    started: bool,
+}
+
+impl GraphIngest {
+    /// Start an ingest for `nranks` ranks with default-sized arenas.
+    pub fn new(nranks: u32, cfg: &GraphConfig) -> Self {
+        Self::with_capacity(nranks, cfg, 0)
+    }
+
+    /// Start an ingest with arenas pre-sized from a total record-count
+    /// hint. The eager point-to-point gadget dominates real traces at
+    /// roughly 3 vertices and 5 edges per record (continuation, gap calc
+    /// and the shared message gadget); collective expansions add more,
+    /// and the arenas still grow past an under-estimate.
+    pub fn with_capacity(nranks: u32, cfg: &GraphConfig, records_hint: usize) -> Self {
+        Self {
+            nranks,
+            cfg: *cfg,
+            builder: GraphBuilder::with_capacity(nranks, 3 * records_hint, 5 * records_hint),
+            send_q: FxHashMap::default(),
+            recv_q: FxHashMap::default(),
+            waits: Vec::new(),
+            collectives: Vec::new(),
+            next_op_id: 0,
+            rank: 0,
+            tail: 0,
+            prev_end: 0.0,
+            inflight: FxHashMap::default(),
+            coll_idx: 0,
+            started: false,
+        }
+    }
+
+    /// Number of vertices accumulated so far.
+    pub fn num_vertices(&self) -> usize {
+        self.builder.num_vertices()
+    }
+
+    /// Open rank `r`'s section: adds its start vertex (the paper's Init)
+    /// and resets the per-rank walk state.
+    pub fn begin_rank(&mut self, r: u32) {
+        self.rank = r;
+        self.tail = self.builder.add_vertex(r, VertexKind::Calc, CostExpr::ZERO);
+        self.prev_end = 0.0;
+        self.inflight.clear();
+        self.coll_idx = 0;
+        self.started = true;
+    }
+
+    /// Feed one record of the current rank section.
+    pub fn record(&mut self, kind: &CallKind, start: f64, end: f64) -> Result<(), BuildError> {
+        debug_assert!(self.started, "record before begin_rank");
+        let r = self.rank;
+        // Compute gap becomes a calc vertex (Fig. 3B).
+        let gap = start - self.prev_end;
+        if gap > 0.0 {
+            let c = self
+                .builder
+                .add_vertex(r, VertexKind::Calc, CostExpr::constant(gap));
+            self.builder
+                .add_edge(self.tail, c, EdgeKind::Local, CostExpr::ZERO);
+            self.tail = c;
+        }
+        self.prev_end = end.max(self.prev_end);
+
+        match kind {
+            CallKind::Init | CallKind::Finalize => {}
+            CallKind::Send { peer, bytes, tag } => {
+                let id = self.alloc_id();
+                let cont = self.builder.add_vertex(r, VertexKind::Calc, CostExpr::ZERO);
+                self.send_q
+                    .entry((r, *peer, *tag))
+                    .or_default()
+                    .push_back(PendingP2p {
+                        id,
+                        pre: self.tail,
+                        cont: Some(cont),
+                        bytes: *bytes,
+                        blocking: true,
+                    });
+                self.tail = cont;
+            }
+            CallKind::Recv { peer, bytes, tag } => {
+                let id = self.alloc_id();
+                let cont = self.builder.add_vertex(r, VertexKind::Calc, CostExpr::ZERO);
+                self.recv_q
+                    .entry((*peer, r, *tag))
+                    .or_default()
+                    .push_back(PendingP2p {
+                        id,
+                        pre: self.tail,
+                        cont: Some(cont),
+                        bytes: *bytes,
+                        blocking: true,
+                    });
+                self.tail = cont;
+            }
+            CallKind::Isend {
+                peer,
+                bytes,
+                tag,
+                req,
+            } => {
+                let id = self.alloc_id();
+                if self.inflight.insert(*req, id).is_some() {
+                    return Err(BuildError::DuplicateRequest { rank: r, req: *req });
+                }
+                let cont = self.builder.add_vertex(r, VertexKind::Calc, CostExpr::ZERO);
+                self.send_q
+                    .entry((r, *peer, *tag))
+                    .or_default()
+                    .push_back(PendingP2p {
+                        id,
+                        pre: self.tail,
+                        cont: Some(cont),
+                        bytes: *bytes,
+                        blocking: false,
+                    });
+                self.tail = cont;
+            }
+            CallKind::Irecv {
+                peer,
+                bytes,
+                tag,
+                req,
+            } => {
+                let id = self.alloc_id();
+                if self.inflight.insert(*req, id).is_some() {
+                    return Err(BuildError::DuplicateRequest { rank: r, req: *req });
+                }
+                let cont = self.builder.add_vertex(r, VertexKind::Calc, CostExpr::ZERO);
+                self.recv_q
+                    .entry((*peer, r, *tag))
+                    .or_default()
+                    .push_back(PendingP2p {
+                        id,
+                        pre: self.tail,
+                        cont: Some(cont),
+                        bytes: *bytes,
+                        blocking: false,
+                    });
+                self.tail = cont;
+            }
+            CallKind::Wait { req } => {
+                let id = self
+                    .inflight
+                    .remove(req)
+                    .ok_or(BuildError::UnknownRequest { rank: r, req: *req })?;
+                let w = self.builder.add_vertex(r, VertexKind::Calc, CostExpr::ZERO);
+                self.builder
+                    .add_edge(self.tail, w, EdgeKind::Local, CostExpr::ZERO);
+                self.waits.push(PendingWait {
+                    vertex: w,
+                    op_ids: vec![id],
+                });
+                self.tail = w;
+            }
+            CallKind::Waitall { reqs } => {
+                let mut ids = Vec::with_capacity(reqs.len());
+                for req in reqs {
+                    ids.push(
+                        self.inflight
+                            .remove(req)
+                            .ok_or(BuildError::UnknownRequest { rank: r, req: *req })?,
+                    );
+                }
+                let w = self.builder.add_vertex(r, VertexKind::Calc, CostExpr::ZERO);
+                self.builder
+                    .add_edge(self.tail, w, EdgeKind::Local, CostExpr::ZERO);
+                self.waits.push(PendingWait {
+                    vertex: w,
+                    op_ids: ids,
+                });
+                self.tail = w;
+            }
+            CallKind::Sendrecv {
+                dst,
+                send_bytes,
+                send_tag,
+                src,
+                recv_bytes,
+                recv_tag,
+            } => {
+                // Lower as isend ‖ irecv + waitall on a shared anchor.
+                let sid = self.alloc_id();
+                let rid = self.alloc_id();
+                self.send_q
+                    .entry((r, *dst, *send_tag))
+                    .or_default()
+                    .push_back(PendingP2p {
+                        id: sid,
+                        pre: self.tail,
+                        cont: None,
+                        bytes: *send_bytes,
+                        blocking: false,
+                    });
+                self.recv_q
+                    .entry((*src, r, *recv_tag))
+                    .or_default()
+                    .push_back(PendingP2p {
+                        id: rid,
+                        pre: self.tail,
+                        cont: None,
+                        bytes: *recv_bytes,
+                        blocking: false,
+                    });
+                let w = self.builder.add_vertex(r, VertexKind::Calc, CostExpr::ZERO);
+                self.builder
+                    .add_edge(self.tail, w, EdgeKind::Local, CostExpr::ZERO);
+                self.waits.push(PendingWait {
+                    vertex: w,
+                    op_ids: vec![sid, rid],
+                });
+                self.tail = w;
+            }
+            coll if coll.is_collective() => {
+                let entry = self.tail;
+                let exit = self.builder.add_vertex(r, VertexKind::Calc, CostExpr::ZERO);
+                if self.collectives.len() <= self.coll_idx {
+                    self.collectives
+                        .resize(self.coll_idx + 1, vec![None; self.nranks as usize]);
+                }
+                self.collectives[self.coll_idx][r as usize] = Some(CollPort {
+                    kind: coll.clone(),
+                    entry,
+                    exit,
+                });
+                self.coll_idx += 1;
+                self.tail = exit;
+            }
+            _ => unreachable!(),
+        }
+        Ok(())
+    }
+
+    fn alloc_id(&mut self) -> usize {
+        let id = self.next_op_id;
+        self.next_op_id += 1;
+        id
+    }
+
+    /// Match and lower point-to-point channels, expand collectives, wire
+    /// waits and finalise the CSR graph.
+    pub fn finish(self) -> Result<ExecGraph, BuildError> {
+        let GraphIngest {
+            nranks,
+            cfg,
+            mut builder,
+            mut send_q,
+            recv_q,
+            waits,
+            collectives,
+            next_op_id,
+            ..
+        } = self;
+        let total_ops = next_op_id;
+        let mut completions: Vec<u32> = vec![u32::MAX; total_ops];
+        let match_span = llamp_obs::span("ingest.match");
+        {
+            let mut low = Lowering {
+                builder: &mut builder,
+                rndv_threshold: cfg.rndv_threshold,
             };
+            let mut recv_q = recv_q;
+            for (&(src, dst, tag), sends) in send_q.iter_mut() {
+                let recvs = recv_q.get_mut(&(src, dst, tag));
+                let n_recvs = recvs.as_ref().map_or(0, |q| q.len());
+                if sends.len() != n_recvs {
+                    return Err(BuildError::UnmatchedMessages {
+                        src,
+                        dst,
+                        tag,
+                        excess_sends: sends.len() as i64 - n_recvs as i64,
+                    });
+                }
+                let recvs = recvs.expect("non-empty send queue implies recv queue");
+                while let (Some(s), Some(rv)) = (sends.pop_front(), recvs.pop_front()) {
+                    let m = low.message(src, s.pre, dst, rv.pre, s.bytes, tag);
+                    completions[s.id] = m.send_done;
+                    completions[rv.id] = m.recv_done;
+                    if let Some(cont) = s.cont {
+                        let from = if s.blocking { m.send_done } else { m.issue };
+                        low.builder
+                            .add_edge(from, cont, EdgeKind::Local, CostExpr::ZERO);
+                    }
+                    if let Some(cont) = rv.cont {
+                        let from = if rv.blocking { m.recv_done } else { m.post };
+                        low.builder
+                            .add_edge(from, cont, EdgeKind::Local, CostExpr::ZERO);
+                    }
+                }
+            }
+            // Any recv channel that never saw a send is unmatched.
+            for (&(src, dst, tag), recvs) in recv_q.iter() {
+                if !recvs.is_empty() {
+                    return Err(BuildError::UnmatchedMessages {
+                        src,
+                        dst,
+                        tag,
+                        excess_sends: -(recvs.len() as i64),
+                    });
+                }
+            }
 
-            match &rec.kind {
-                CallKind::Init | CallKind::Finalize => {}
-                CallKind::Send { peer, bytes, tag } => {
-                    let cont = builder.add_vertex(r, VertexKind::Calc, CostExpr::ZERO);
-                    send_q
-                        .entry((r, *peer, *tag))
-                        .or_default()
-                        .push_back(PendingP2p {
-                            id: alloc_id(),
-                            pre: tail,
-                            cont: Some(cont),
-                            bytes: *bytes,
-                            blocking: true,
-                        });
-                    tail = cont;
-                }
-                CallKind::Recv { peer, bytes, tag } => {
-                    let cont = builder.add_vertex(r, VertexKind::Calc, CostExpr::ZERO);
-                    recv_q
-                        .entry((*peer, r, *tag))
-                        .or_default()
-                        .push_back(PendingP2p {
-                            id: alloc_id(),
-                            pre: tail,
-                            cont: Some(cont),
-                            bytes: *bytes,
-                            blocking: true,
-                        });
-                    tail = cont;
-                }
-                CallKind::Isend {
-                    peer,
-                    bytes,
-                    tag,
-                    req,
-                } => {
-                    let id = alloc_id();
-                    if inflight.insert(*req, id).is_some() {
-                        return Err(BuildError::DuplicateRequest { rank: r, req: *req });
+            // Expand collectives with a private tag namespace per instance.
+            for (i, ports) in collectives.iter().enumerate() {
+                let mut entries = Vec::with_capacity(nranks as usize);
+                let mut exits = Vec::with_capacity(nranks as usize);
+                let mut kind: Option<&CallKind> = None;
+                for port in ports {
+                    let port = port
+                        .as_ref()
+                        .ok_or(BuildError::CollectiveMismatch { instance: i })?;
+                    match kind {
+                        None => kind = Some(&port.kind),
+                        Some(k) if *k == port.kind => {}
+                        Some(_) => return Err(BuildError::CollectiveMismatch { instance: i }),
                     }
-                    let cont = builder.add_vertex(r, VertexKind::Calc, CostExpr::ZERO);
-                    send_q
-                        .entry((r, *peer, *tag))
-                        .or_default()
-                        .push_back(PendingP2p {
-                            id,
-                            pre: tail,
-                            cont: Some(cont),
-                            bytes: *bytes,
-                            blocking: false,
-                        });
-                    tail = cont;
+                    entries.push(port.entry);
+                    exits.push(port.exit);
                 }
-                CallKind::Irecv {
-                    peer,
-                    bytes,
-                    tag,
-                    req,
-                } => {
-                    let id = alloc_id();
-                    if inflight.insert(*req, id).is_some() {
-                        return Err(BuildError::DuplicateRequest { rank: r, req: *req });
-                    }
-                    let cont = builder.add_vertex(r, VertexKind::Calc, CostExpr::ZERO);
-                    recv_q
-                        .entry((*peer, r, *tag))
-                        .or_default()
-                        .push_back(PendingP2p {
-                            id,
-                            pre: tail,
-                            cont: Some(cont),
-                            bytes: *bytes,
-                            blocking: false,
-                        });
-                    tail = cont;
-                }
-                CallKind::Wait { req } => {
-                    let id = inflight
-                        .remove(req)
-                        .ok_or(BuildError::UnknownRequest { rank: r, req: *req })?;
-                    let w = builder.add_vertex(r, VertexKind::Calc, CostExpr::ZERO);
-                    builder.add_edge(tail, w, EdgeKind::Local, CostExpr::ZERO);
-                    waits.push(PendingWait {
-                        vertex: w,
-                        op_ids: vec![id],
-                    });
-                    tail = w;
-                }
-                CallKind::Waitall { reqs } => {
-                    let mut ids = Vec::with_capacity(reqs.len());
-                    for req in reqs {
-                        ids.push(
-                            inflight
-                                .remove(req)
-                                .ok_or(BuildError::UnknownRequest { rank: r, req: *req })?,
-                        );
-                    }
-                    let w = builder.add_vertex(r, VertexKind::Calc, CostExpr::ZERO);
-                    builder.add_edge(tail, w, EdgeKind::Local, CostExpr::ZERO);
-                    waits.push(PendingWait {
-                        vertex: w,
-                        op_ids: ids,
-                    });
-                    tail = w;
-                }
-                CallKind::Sendrecv {
-                    dst,
-                    send_bytes,
-                    send_tag,
-                    src,
-                    recv_bytes,
-                    recv_tag,
-                } => {
-                    // Lower as isend ‖ irecv + waitall on a shared anchor.
-                    let sid = alloc_id();
-                    let rid = alloc_id();
-                    send_q
-                        .entry((r, *dst, *send_tag))
-                        .or_default()
-                        .push_back(PendingP2p {
-                            id: sid,
-                            pre: tail,
-                            cont: None,
-                            bytes: *send_bytes,
-                            blocking: false,
-                        });
-                    recv_q
-                        .entry((*src, r, *recv_tag))
-                        .or_default()
-                        .push_back(PendingP2p {
-                            id: rid,
-                            pre: tail,
-                            cont: None,
-                            bytes: *recv_bytes,
-                            blocking: false,
-                        });
-                    let w = builder.add_vertex(r, VertexKind::Calc, CostExpr::ZERO);
-                    builder.add_edge(tail, w, EdgeKind::Local, CostExpr::ZERO);
-                    waits.push(PendingWait {
-                        vertex: w,
-                        op_ids: vec![sid, rid],
-                    });
-                    tail = w;
-                }
-                coll if coll.is_collective() => {
-                    let entry = tail;
-                    let exit = builder.add_vertex(r, VertexKind::Calc, CostExpr::ZERO);
-                    if collectives.len() <= coll_idx {
-                        collectives.resize(coll_idx + 1, vec![None; nranks as usize]);
-                    }
-                    collectives[coll_idx][r as usize] = Some(CollPort {
-                        kind: coll.clone(),
-                        entry,
-                        exit,
-                    });
-                    coll_idx += 1;
-                    tail = exit;
-                }
-                _ => unreachable!(),
+                let kind = kind.expect("nranks > 0");
+                let tag = 0x4000_0000u32 + i as u32;
+                expand(&mut low, &cfg.collectives, kind, &entries, &exits, tag);
             }
         }
+
+        // Wire waits to completions.
+        for w in &waits {
+            for &id in &w.op_ids {
+                let c = completions[id];
+                debug_assert_ne!(c, u32::MAX, "wait on unlowered op");
+                builder.add_edge(c, w.vertex, EdgeKind::Local, CostExpr::ZERO);
+            }
+        }
+        drop(match_span);
+
+        let _csr = llamp_obs::span("ingest.csr");
+        Ok(builder.finish()?)
     }
-
-    // Match and lower point-to-point channels.
-    let total_ops = next_op_id;
-    let mut completions: Vec<u32> = vec![u32::MAX; total_ops];
-    {
-        let mut low = Lowering {
-            builder: &mut builder,
-            rndv_threshold: cfg.rndv_threshold,
-        };
-        for (&(src, dst, tag), sends) in send_q.iter_mut() {
-            let recvs = recv_q.get_mut(&(src, dst, tag));
-            let n_recvs = recvs.as_ref().map_or(0, |q| q.len());
-            if sends.len() != n_recvs {
-                return Err(BuildError::UnmatchedMessages {
-                    src,
-                    dst,
-                    tag,
-                    excess_sends: sends.len() as i64 - n_recvs as i64,
-                });
-            }
-            let recvs = recvs.expect("non-empty send queue implies recv queue");
-            while let (Some(s), Some(rv)) = (sends.pop_front(), recvs.pop_front()) {
-                let m = low.message(src, s.pre, dst, rv.pre, s.bytes, tag);
-                completions[s.id] = m.send_done;
-                completions[rv.id] = m.recv_done;
-                if let Some(cont) = s.cont {
-                    let from = if s.blocking { m.send_done } else { m.issue };
-                    low.builder
-                        .add_edge(from, cont, EdgeKind::Local, CostExpr::ZERO);
-                }
-                if let Some(cont) = rv.cont {
-                    let from = if rv.blocking { m.recv_done } else { m.post };
-                    low.builder
-                        .add_edge(from, cont, EdgeKind::Local, CostExpr::ZERO);
-                }
-            }
-        }
-        // Any recv channel that never saw a send is unmatched.
-        for (&(src, dst, tag), recvs) in recv_q.iter() {
-            if !recvs.is_empty() {
-                return Err(BuildError::UnmatchedMessages {
-                    src,
-                    dst,
-                    tag,
-                    excess_sends: -(recvs.len() as i64),
-                });
-            }
-        }
-
-        // Expand collectives with a private tag namespace per instance.
-        for (i, ports) in collectives.iter().enumerate() {
-            let mut entries = Vec::with_capacity(nranks as usize);
-            let mut exits = Vec::with_capacity(nranks as usize);
-            let mut kind: Option<&CallKind> = None;
-            for port in ports {
-                let port = port
-                    .as_ref()
-                    .ok_or(BuildError::CollectiveMismatch { instance: i })?;
-                match kind {
-                    None => kind = Some(&port.kind),
-                    Some(k) if *k == port.kind => {}
-                    Some(_) => return Err(BuildError::CollectiveMismatch { instance: i }),
-                }
-                entries.push(port.entry);
-                exits.push(port.exit);
-            }
-            let kind = kind.expect("nranks > 0");
-            let tag = 0x4000_0000u32 + i as u32;
-            expand(&mut low, &cfg.collectives, kind, &entries, &exits, tag);
-        }
-    }
-
-    // Wire waits to completions.
-    for w in &waits {
-        for &id in &w.op_ids {
-            let c = completions[id];
-            debug_assert_ne!(c, u32::MAX, "wait on unlowered op");
-            builder.add_edge(c, w.vertex, EdgeKind::Local, CostExpr::ZERO);
-        }
-    }
-
-    Ok(builder.finish()?)
 }
 
 #[cfg(test)]

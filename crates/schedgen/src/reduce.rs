@@ -38,7 +38,7 @@
 //! semantics survive only on unmerged vertices, so don't feed it to the
 //! simulator.
 
-use crate::graph::{CostExpr, EdgeKind, EdgeRef, ExecGraph, GraphBuilder, Vertex};
+use crate::graph::{CostExpr, EdgeKind, EdgeRef, ExecGraph, GraphBuilder, Vertex, VertexKind};
 use crate::view::{alg1_row_count, GraphView};
 use llamp_util::FxHashMap;
 
@@ -56,6 +56,17 @@ pub struct ReduceConfig {
     pub max_rounds: u32,
     /// Visited-vertex cap per transitive-elimination search.
     pub dfs_cap: usize,
+    /// Worker threads for the region-parallel path (`0` = one per
+    /// available core). Thread count never changes the output: regions
+    /// are reduced independently and stitched in rank order, so any
+    /// thread count produces the same bytes.
+    pub threads: usize,
+    /// Minimum vertex count before the region-parallel path engages.
+    /// Below it (or with a single rank) the pipeline runs the classic
+    /// whole-graph fixpoint, which can reduce slightly further on small
+    /// graphs (cross-rank edges are never contracted on the region path,
+    /// and redundancy searches do not look across region boundaries).
+    pub par_threshold: usize,
 }
 
 impl Default for ReduceConfig {
@@ -66,6 +77,8 @@ impl Default for ReduceConfig {
             redundant: true,
             max_rounds: 8,
             dfs_cap: 128,
+            threads: 0,
+            par_threshold: 65_536,
         }
     }
 }
@@ -80,6 +93,8 @@ impl ReduceConfig {
             redundant: false,
             max_rounds: 0,
             dfs_cap: 0,
+            threads: 0,
+            par_threshold: usize::MAX,
         }
     }
 
@@ -342,32 +357,31 @@ impl ExecGraph {
 
 /// Run the configured reduction passes to a fixpoint (bounded by
 /// `cfg.max_rounds`) and package the result with its provenance map.
+///
+/// Graphs at or above `cfg.par_threshold` vertices (with more than one
+/// rank) take the **region-parallel** path: the graph is partitioned into
+/// rank-local regions, each cross-rank edge is split into two per-region
+/// half-edges (see `Reducer::from_region`), regions reduce
+/// independently on `cfg.threads` workers, and the survivors are
+/// stitched back in rank order — halves recombined into whole cross
+/// edges — for a serial finishing fixpoint. The output is a pure
+/// function of the graph and the config: any thread count yields
+/// bit-identical results.
 pub fn reduce(g: &ExecGraph, cfg: &ReduceConfig) -> ReducedGraph {
     if cfg.is_identity() {
         return ReducedGraph::identity(g);
     }
     let outer = llamp_obs::span("reduce");
-    let mut r = Reducer::from_graph(g);
-    r.stats.vertices_before = g.num_vertices() as u64;
-    r.stats.edges_before = g.num_edges() as u64;
-    r.stats.rows_before = alg1_row_count(g);
-    for _ in 0..cfg.max_rounds {
-        let mut changed = 0u64;
-        if cfg.chains {
-            changed += traced_pass("reduce.chains", || r.pass_chains());
-        }
-        if cfg.folds {
-            changed += traced_pass("reduce.folds", || r.pass_folds());
-        }
-        if cfg.redundant {
-            changed += traced_pass("reduce.redundant", || r.pass_redundant(cfg.dfs_cap));
-        }
-        r.stats.rounds += 1;
-        if changed == 0 {
-            break;
-        }
-    }
-    let reduced = r.finish();
+    let reduced = if g.num_vertices() >= cfg.par_threshold && g.nranks() > 1 {
+        reduce_partitioned(g, cfg)
+    } else {
+        let mut r = Reducer::from_graph(g);
+        r.stats.vertices_before = g.num_vertices() as u64;
+        r.stats.edges_before = g.num_edges() as u64;
+        r.stats.rows_before = alg1_row_count(g);
+        run_rounds(&mut r, cfg);
+        r.finish(g.num_vertices(), Vec::new())
+    };
     if llamp_obs::is_enabled() {
         let s = reduced.stats();
         outer.field_u64("vertices_before", s.vertices_before);
@@ -377,6 +391,262 @@ pub fn reduce(g: &ExecGraph, cfg: &ReduceConfig) -> ReducedGraph {
         outer.field_u64("rounds", s.rounds);
     }
     reduced
+}
+
+/// The pass fixpoint shared by the whole-graph path, each rank-local
+/// region and the stitched finishing stage.
+fn run_rounds(r: &mut Reducer, cfg: &ReduceConfig) {
+    let dbg = std::env::var_os("LLAMP_PASS_DEBUG").is_some();
+    for _ in 0..cfg.max_rounds {
+        let mut changed = 0u64;
+        if cfg.chains {
+            changed += dbg_pass(dbg, r, "chains", |r| {
+                traced_pass("reduce.chains", || r.pass_chains())
+            });
+        }
+        if cfg.folds {
+            changed += dbg_pass(dbg, r, "folds", |r| {
+                traced_pass("reduce.folds", || r.pass_folds())
+            });
+        }
+        if cfg.redundant {
+            changed += dbg_pass(dbg, r, "redundant", |r| {
+                traced_pass("reduce.redundant", || r.pass_redundant(cfg.dfs_cap))
+            });
+        }
+        r.stats.rounds += 1;
+        if changed == 0 {
+            break;
+        }
+    }
+}
+
+fn dbg_pass(dbg: bool, r: &mut Reducer, name: &str, f: impl FnOnce(&mut Reducer) -> u64) -> u64 {
+    if !dbg {
+        return f(r);
+    }
+    let n = r.valive.iter().filter(|&&a| a).count();
+    let e = r.edges.iter().filter(|e| e.alive).count();
+    let t = std::time::Instant::now();
+    let changed = f(r);
+    eprintln!(
+        "[pass] {name:10} n={n:8} e={e:8} changed={changed:8} {:8.1} ms",
+        t.elapsed().as_secs_f64() * 1e3
+    );
+    changed
+}
+
+/// Region-parallel reduction: partition by vertex rank, split cross-rank
+/// edges into per-region half-edges (see [`Reducer::from_region`]),
+/// reduce each region independently, stitch survivors in rank order and
+/// run a serial finishing fixpoint over the merged graph.
+///
+/// Determinism argument: each region's reduction is a pure function of
+/// its region subgraph (intra edges plus its halves of the cross edges);
+/// regions only read their own arenas, so worker scheduling cannot
+/// influence them. The stitch iterates regions in rank order and each
+/// region's arena in allocation order, then recombines cross-edge halves
+/// in original arena order — the two halves of a cross edge live in
+/// different regions and touch disjoint fields (source-side cost/via
+/// prefix vs target-side cost/via suffix), so their merge is order-free.
+/// Every id assignment is order-fixed, and the finishing fixpoint plus
+/// [`Reducer::finish`] are serial. Bit-identical output at any thread
+/// count follows.
+fn reduce_partitioned(g: &ExecGraph, cfg: &ReduceConfig) -> ReducedGraph {
+    let n = g.num_vertices();
+    let nranks = g.nranks() as usize;
+
+    let part_span = llamp_obs::span("reduce.par.partition");
+    // Partition vertices into rank regions (ascending global id).
+    let mut region_verts: Vec<Vec<u32>> = vec![Vec::new(); nranks];
+    let mut local_of = vec![0u32; n];
+    for v in 0..n as u32 {
+        let r = g.vertex(v).rank as usize;
+        local_of[v as usize] = region_verts[r].len() as u32;
+        region_verts[r].push(v);
+    }
+    // Collect cross-rank edges (in arena order) and hand each region the
+    // list of halves it owns: `(cross id, is_source)` pairs. `src_pos` /
+    // `dst_pos` remember each half's position in its region's incident
+    // list so the stitch can find it again.
+    let mut cross: Vec<(u32, u32, EdgeKind, CostExpr)> = Vec::new();
+    let mut incident: Vec<Vec<(u32, bool)>> = vec![Vec::new(); nranks];
+    let mut src_pos: Vec<u32> = Vec::new();
+    let mut dst_pos: Vec<u32> = Vec::new();
+    for v in 0..n as u32 {
+        let rt = g.vertex(v).rank;
+        for e in g.preds(v) {
+            let rs = g.vertex(e.other).rank;
+            if rs != rt {
+                let cid = cross.len() as u32;
+                src_pos.push(incident[rs as usize].len() as u32);
+                incident[rs as usize].push((cid, true));
+                dst_pos.push(incident[rt as usize].len() as u32);
+                incident[rt as usize].push((cid, false));
+                cross.push((e.other, v, e.kind, e.cost));
+            }
+        }
+    }
+    drop(part_span);
+    llamp_obs::counter("reduce.par.regions", nranks as u64);
+
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        cfg.threads
+    };
+    // Each worker builds, reduces and compacts one region at a time, so
+    // an arena's memory is recycled into the next region instead of
+    // growing the peak footprint (and the kernel's fault bill).
+    let workers = threads.min(nranks).max(1);
+    let mut outs: Vec<Option<RegionOut>> = (0..nranks).map(|_| None).collect();
+    let reduce_region = |r: usize| {
+        let mut arena = Reducer::from_region(g, &region_verts[r], &local_of, &cross, &incident[r]);
+        run_rounds(&mut arena, cfg);
+        arena.into_region_out(incident[r].len())
+    };
+    if workers <= 1 {
+        for (r, slot) in outs.iter_mut().enumerate() {
+            *slot = Some(reduce_region(r));
+        }
+    } else {
+        let chunk = nranks.div_ceil(workers);
+        std::thread::scope(|s| {
+            for (ci, slice) in outs.chunks_mut(chunk).enumerate() {
+                let reduce_region = &reduce_region;
+                s.spawn(move || {
+                    let g = llamp_obs::span("reduce.par.worker");
+                    for (i, slot) in slice.iter_mut().enumerate() {
+                        *slot = Some(reduce_region(ci * chunk + i));
+                    }
+                    if llamp_obs::is_enabled() {
+                        g.field_u64("regions", slice.len() as u64);
+                    }
+                });
+            }
+        });
+    }
+    let mut outs: Vec<RegionOut> = outs.into_iter().map(|o| o.expect("region ran")).collect();
+
+    // Stitch: survivors of each region in rank order, then the
+    // recombined cross edges, then a serial finishing fixpoint.
+    let stitch_span = llamp_obs::span("reduce.par.stitch");
+    let mut stats = ReductionStats::default();
+    for o in &outs {
+        stats.chain_merges += o.stats.chain_merges;
+        stats.folds += o.stats.folds;
+        stats.redundant_removed += o.stats.redundant_removed;
+        stats.rounds = stats.rounds.max(o.stats.rounds);
+    }
+    stats.vertices_before = n as u64;
+    stats.edges_before = g.num_edges() as u64;
+    stats.rows_before = alg1_row_count(g);
+
+    let n_surv: usize = outs.iter().map(|o| o.verts.len()).sum();
+    let e_surv: usize = outs.iter().map(|o| o.edges.len()).sum::<usize>() + cross.len();
+    // Survivor-local index -> stitched id offset, per region (rank order).
+    let mut base = Vec::with_capacity(nranks);
+    let mut acc = 0u32;
+    for o in &outs {
+        base.push(acc);
+        acc += o.verts.len() as u32;
+    }
+    let mut st = Reducer {
+        nranks: g.nranks(),
+        verts: Vec::with_capacity(n_surv),
+        valive: vec![true; n_surv],
+        members: Vec::with_capacity(n_surv),
+        head: Vec::with_capacity(n_surv),
+        first_virtual: n_surv as u32,
+        edges: Vec::with_capacity(e_surv),
+        inc: vec![Vec::new(); n_surv],
+        out: vec![Vec::new(); n_surv],
+        stats,
+    };
+    // Region edges that died carrying provenance (redundant-eliminated
+    // after folds routed vertices through them) still owe those vertices
+    // a home: remember the dead edge's target by its original head id.
+    let mut dead_via: Vec<(u32, Vec<u32>)> = Vec::new();
+    let push_edge = |st: &mut Reducer, e: REdge| {
+        let id = st.edges.len() as u32;
+        st.inc[e.to as usize].push(id);
+        st.out[e.from as usize].push(id);
+        st.edges.push(e);
+    };
+    for (r, o) in outs.iter_mut().enumerate() {
+        let b = base[r];
+        st.verts.append(&mut o.verts);
+        st.head.append(&mut o.head);
+        st.members.append(&mut o.members);
+        dead_via.append(&mut o.dead_via);
+        for e in o.edges.drain(..) {
+            push_edge(
+                &mut st,
+                REdge {
+                    from: e.from + b,
+                    to: e.to + b,
+                    ..e
+                },
+            );
+        }
+    }
+    // Recombine each cross edge from its two halves: the source half's
+    // current origin and accumulated (cost, via prefix) from the source
+    // region, the target half's current target and (cost, via suffix)
+    // from the target region.
+    for (cid, &(gf, gt, kind, _)) in cross.iter().enumerate() {
+        let sr = g.vertex(gf).rank as usize;
+        let tr = g.vertex(gt).rank as usize;
+        let (sf, scost, mut via) = {
+            let h = &mut outs[sr].halves[src_pos[cid] as usize];
+            (h.0, h.1, std::mem::take(&mut h.2))
+        };
+        let (tt, tcost, tvia) = {
+            let h = &mut outs[tr].halves[dst_pos[cid] as usize];
+            (h.0, h.1, std::mem::take(&mut h.2))
+        };
+        via.extend(tvia);
+        debug_assert!(
+            sf != u32::MAX && tt != u32::MAX,
+            "cross-edge endpoint lost in region reduction"
+        );
+        push_edge(
+            &mut st,
+            REdge {
+                from: sf + base[sr],
+                to: tt + base[tr],
+                kind,
+                cost: scost.add(&tcost),
+                via,
+                alive: true,
+            },
+        );
+    }
+    drop(stitch_span);
+    run_rounds(&mut st, cfg);
+    st.finish(n, dead_via)
+}
+
+/// The compact survivor set extracted from one region's arena (see
+/// [`Reducer::into_region_out`]); everything the stitch needs, in a
+/// footprint proportional to the *reduced* region.
+struct RegionOut {
+    /// Surviving real vertices in arena-slot (= ascending original id)
+    /// order, with their head ids and member lists.
+    verts: Vec<Vertex>,
+    head: Vec<u32>,
+    members: Vec<Vec<u32>>,
+    /// Live intra-region edges in arena order, endpoints renumbered to
+    /// survivor-local indexes.
+    edges: Vec<REdge>,
+    /// Via lists of dead intra-region edges, keyed by the dead edge's
+    /// target as an original head id.
+    dead_via: Vec<(u32, Vec<u32>)>,
+    /// Per incident half-edge (same order as the region's incident
+    /// list): the real endpoint as a survivor-local index, plus the
+    /// half's accumulated cost and via list.
+    halves: Vec<(u32, CostExpr, Vec<u32>)>,
+    stats: ReductionStats,
 }
 
 /// Run one reduction pass under an obs span carrying its change count.
@@ -410,6 +680,16 @@ struct Reducer {
     /// Ordered original members absorbed by each live vertex (head
     /// first; starts as the vertex itself).
     members: Vec<Vec<u32>>,
+    /// Arena slot -> **original** graph vertex id (`members[v][0]`,
+    /// stable even after the member list is taken during stitching). On
+    /// the whole-graph path this is the identity.
+    head: Vec<u32>,
+    /// Slots `>= first_virtual` are per-cross-edge boundary anchors on
+    /// the region path (see [`Reducer::from_region`]): zero-cost
+    /// vertices with the sentinel rank `u32::MAX`, so the same-rank
+    /// guards in every pass keep them inert. Equal to `verts.len()` on
+    /// the whole-graph path and the stitched arena.
+    first_virtual: u32,
     edges: Vec<REdge>,
     /// Incoming/outgoing edge-id lists. Entries can go stale when an
     /// edge dies or is rewired; readers filter, `compact` prunes.
@@ -444,10 +724,175 @@ impl Reducer {
             verts: g.vertices().to_vec(),
             valive: vec![true; n],
             members: (0..n as u32).map(|v| vec![v]).collect(),
+            head: (0..n as u32).collect(),
+            first_virtual: n as u32,
             edges,
             inc,
             out,
             stats: ReductionStats::default(),
+        }
+    }
+
+    /// A rank-local region arena: `verts` are the region's original
+    /// vertex ids (ascending), edges are the intra-region edges in arena
+    /// order. Members and via lists carry **original** ids.
+    ///
+    /// Each cross-region edge incident on this region becomes a
+    /// **half-edge** anchored to its own virtual boundary vertex: a
+    /// source half `u -> B` (zero cost) for an outgoing cross edge, a
+    /// target half `B -> v` (carrying the cross edge's cost) for an
+    /// incoming one. The anchors have rank `u32::MAX` and degree one, so
+    /// no pass can merge, fold or eliminate them — but every *real*
+    /// vertex now sees its full global degree, and the generic rewiring
+    /// in the passes transforms the halves exactly as it would the cross
+    /// edge itself (cost pushes accumulate on the half, folded vertices
+    /// land in its via list, merges move its real endpoint). The stitch
+    /// recombines the two halves of each cross edge afterwards.
+    ///
+    /// `incident` lists this region's (cross-edge id, is-source) pairs in
+    /// cross-arena order; the `k`-th entry's half-edge gets arena id
+    /// `intra_edge_count + k`.
+    fn from_region(
+        g: &ExecGraph,
+        verts: &[u32],
+        local_of: &[u32],
+        cross: &[(u32, u32, EdgeKind, CostExpr)],
+        incident: &[(u32, bool)],
+    ) -> Self {
+        let n = verts.len();
+        let total = n + incident.len();
+        let mut edges = Vec::new();
+        let mut inc: Vec<Vec<u32>> = vec![Vec::new(); total];
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); total];
+        for (lv, &gv) in verts.iter().enumerate() {
+            let rank = g.vertex(gv).rank;
+            for e in g.preds(gv) {
+                if g.vertex(e.other).rank != rank {
+                    continue;
+                }
+                let lu = local_of[e.other as usize];
+                let id = edges.len() as u32;
+                edges.push(REdge {
+                    from: lu,
+                    to: lv as u32,
+                    kind: e.kind,
+                    cost: e.cost,
+                    via: Vec::new(),
+                    alive: true,
+                });
+                inc[lv].push(id);
+                out[lu as usize].push(id);
+            }
+        }
+        let mut arena: Vec<Vertex> = Vec::with_capacity(total);
+        arena.extend(verts.iter().map(|&gv| *g.vertex(gv)));
+        let mut members: Vec<Vec<u32>> = Vec::with_capacity(total);
+        members.extend(verts.iter().map(|&gv| vec![gv]));
+        let mut head = Vec::with_capacity(total);
+        head.extend_from_slice(verts);
+        for (k, &(cid, is_src)) in incident.iter().enumerate() {
+            let b = (n + k) as u32;
+            arena.push(Vertex {
+                rank: u32::MAX,
+                kind: VertexKind::Calc,
+                cost: CostExpr::ZERO,
+            });
+            members.push(Vec::new());
+            head.push(u32::MAX);
+            let (gf, gt, kind, cost) = cross[cid as usize];
+            let eid = edges.len() as u32;
+            if is_src {
+                let lu = local_of[gf as usize];
+                edges.push(REdge {
+                    from: lu,
+                    to: b,
+                    kind,
+                    cost: CostExpr::ZERO,
+                    via: Vec::new(),
+                    alive: true,
+                });
+                out[lu as usize].push(eid);
+                inc[b as usize].push(eid);
+            } else {
+                let lv = local_of[gt as usize];
+                edges.push(REdge {
+                    from: b,
+                    to: lv,
+                    kind,
+                    cost,
+                    via: Vec::new(),
+                    alive: true,
+                });
+                inc[lv as usize].push(eid);
+                out[b as usize].push(eid);
+            }
+        }
+        Self {
+            nranks: g.nranks(),
+            verts: arena,
+            valive: vec![true; total],
+            members,
+            head,
+            first_virtual: n as u32,
+            edges,
+            inc,
+            out,
+            stats: ReductionStats::default(),
+        }
+    }
+
+    /// Consume a reduced region arena into its compact survivor set.
+    /// `n_incident` is the region's half-edge count; halves occupy the
+    /// last `n_incident` arena edge slots (see [`Reducer::from_region`]).
+    fn into_region_out(mut self, n_incident: usize) -> RegionOut {
+        let fv = self.first_virtual as usize;
+        let n_intra = self.edges.len() - n_incident;
+        let mut surv_of = vec![u32::MAX; fv];
+        let mut verts = Vec::new();
+        let mut head = Vec::new();
+        let mut members = Vec::new();
+        for (lv, slot) in surv_of.iter_mut().enumerate() {
+            if self.valive[lv] {
+                *slot = verts.len() as u32;
+                verts.push(self.verts[lv]);
+                head.push(self.head[lv]);
+                members.push(std::mem::take(&mut self.members[lv]));
+            }
+        }
+        let mut edges = Vec::new();
+        let mut dead_via = Vec::new();
+        for e in &mut self.edges[..n_intra] {
+            if e.alive {
+                let (f, t) = (surv_of[e.from as usize], surv_of[e.to as usize]);
+                debug_assert!(f != u32::MAX && t != u32::MAX, "live edge endpoint died");
+                edges.push(REdge {
+                    from: f,
+                    to: t,
+                    kind: e.kind,
+                    cost: e.cost,
+                    via: std::mem::take(&mut e.via),
+                    alive: true,
+                });
+            } else if !e.via.is_empty() {
+                dead_via.push((self.head[e.to as usize], std::mem::take(&mut e.via)));
+            }
+        }
+        let mut halves = Vec::with_capacity(n_incident);
+        for e in &mut self.edges[n_intra..] {
+            debug_assert!(e.alive, "boundary half-edge died in region pass");
+            // The real endpoint (the other one is this half's virtual
+            // boundary anchor).
+            let real = if (e.from as usize) < fv { e.from } else { e.to };
+            halves.push((surv_of[real as usize], e.cost, std::mem::take(&mut e.via)));
+        }
+        RegionOut {
+            verts,
+            head,
+            members,
+            edges,
+            dead_via,
+            halves,
+            stats: self.stats,
         }
     }
 
@@ -768,7 +1213,17 @@ impl Reducer {
     }
 
     /// Rebuild the reduced [`ExecGraph`] and assemble the provenance map.
-    fn finish(mut self) -> ReducedGraph {
+    ///
+    /// `orig_n` is the **original** graph's vertex count (provenance
+    /// arrays index original ids — on the region-parallel path the arena
+    /// is the stitched survivor set, not the original graph).
+    /// `extra_via` carries via lists of region edges that died before
+    /// stitching, keyed by the dead edge's target as an original head id.
+    fn finish(mut self, orig_n: usize, extra_via: Vec<(u32, Vec<u32>)>) -> ReducedGraph {
+        let _span = llamp_obs::span("reduce.finish");
+        // Only whole-graph or stitched arenas reach here; boundary
+        // anchors never survive a stitch.
+        debug_assert_eq!(self.first_virtual as usize, self.verts.len());
         self.compact();
         // Pre-deduplicate parallel zero-cost Local edges ourselves so the
         // builder's internal dedup can never desynchronise the via table.
@@ -784,8 +1239,10 @@ impl Reducer {
         }
 
         let n = self.verts.len();
+        let n_live = self.valive.iter().filter(|&&a| a).count();
+        let e_live = self.edges.iter().filter(|e| e.alive).count();
         let mut new_id = vec![u32::MAX; n];
-        let mut builder = GraphBuilder::new(self.nranks);
+        let mut builder = GraphBuilder::with_capacity(self.nranks, n_live, e_live);
         let mut member_start: Vec<u32> = vec![0];
         let mut member_ids: Vec<u32> = Vec::new();
         for (v, vert) in self.verts.iter().enumerate() {
@@ -835,7 +1292,7 @@ impl Reducer {
             pred_offset.push(acc);
         }
 
-        let mut home = vec![u32::MAX; n];
+        let mut home = vec![u32::MAX; orig_n];
         for (v, members) in self.members.iter().enumerate() {
             if self.valive[v] {
                 for &m in members {
@@ -848,19 +1305,34 @@ impl Reducer {
         // via lists, and their target may itself have been folded onward —
         // resolve through the target's own home, iterating until stable
         // (each round resolves at least one fold layer, so this is bounded
-        // by the fold depth).
+        // by the fold depth). Dead targets resolve through their *head*
+        // (original id), which on the whole-graph path is the arena id
+        // itself; pre-stitch casualties in `extra_via` resolve the same
+        // way, directly by original head id.
         loop {
             let mut changed = false;
             for e in &self.edges {
                 let target_home = if self.valive[e.to as usize] {
                     new_id[e.to as usize]
                 } else {
-                    home[e.to as usize]
+                    home[self.head[e.to as usize] as usize]
                 };
                 if target_home == u32::MAX {
                     continue;
                 }
                 for &x in &e.via {
+                    if home[x as usize] == u32::MAX {
+                        home[x as usize] = target_home;
+                        changed = true;
+                    }
+                }
+            }
+            for (to_orig, via) in &extra_via {
+                let target_home = home[*to_orig as usize];
+                if target_home == u32::MAX {
+                    continue;
+                }
+                for &x in via {
                     if home[x as usize] == u32::MAX {
                         home[x as usize] = target_home;
                         changed = true;
@@ -1063,6 +1535,63 @@ mod tests {
             let h = r.home_of(orig);
             assert!(h < n, "vertex {orig} lost its home ({h})");
         }
+    }
+
+    #[test]
+    fn partitioned_reduction_is_thread_invariant_and_total() {
+        // Two ranks, cross-rank comm edges; par_threshold 0 forces the
+        // region path even on this tiny graph. Output must be a pure
+        // function of the graph — identical Debug image at any thread
+        // count — and every original vertex must keep a home.
+        let mut b = GraphBuilder::new(2);
+        let a0 = calc(&mut b, 0, 1.0);
+        let a1 = calc(&mut b, 0, 2.0);
+        let a2 = calc(&mut b, 0, 3.0);
+        let c0 = calc(&mut b, 1, 4.0);
+        let c1 = calc(&mut b, 1, 5.0);
+        let c2 = calc(&mut b, 1, 0.0);
+        b.add_edge(a0, a1, EdgeKind::Local, CostExpr::ZERO);
+        b.add_edge(a1, a2, EdgeKind::Local, CostExpr::ZERO);
+        b.add_edge(c0, c1, EdgeKind::Local, CostExpr::ZERO);
+        b.add_edge(c1, c2, EdgeKind::Local, CostExpr::ZERO);
+        b.add_edge(a1, c2, EdgeKind::Comm, CostExpr::wire(8));
+        b.add_edge(c0, a2, EdgeKind::Comm, CostExpr::wire(8));
+        let g = b.finish().unwrap();
+        let run = |threads: usize| {
+            reduce(
+                &g,
+                &ReduceConfig {
+                    threads,
+                    par_threshold: 0,
+                    ..ReduceConfig::default()
+                },
+            )
+        };
+        let r1 = run(1);
+        let img1 = format!("{r1:?}");
+        for threads in [2, 4, 8] {
+            assert_eq!(img1, format!("{:?}", run(threads)), "threads={threads}");
+        }
+        let n = r1.graph().num_vertices() as u32;
+        for orig in 0..g.num_vertices() as u32 {
+            assert!(r1.home_of(orig) < n, "vertex {orig} lost its home");
+        }
+        // Cross-rank comm edges are never contracted on the region path.
+        assert_eq!(r1.graph().nranks(), 2);
+        assert_eq!(
+            r1.graph()
+                .vertices()
+                .iter()
+                .enumerate()
+                .filter(|(v, _)| {
+                    r1.graph()
+                        .preds(*v as u32)
+                        .iter()
+                        .any(|e| e.kind == EdgeKind::Comm)
+                })
+                .count(),
+            2
+        );
     }
 
     #[test]

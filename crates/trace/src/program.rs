@@ -42,6 +42,16 @@ impl ProgramBuilder {
         Self::default()
     }
 
+    /// Start a program with room for `ops` steps — generators that know
+    /// their op count up front (e.g. `iters × per-iteration shape`) avoid
+    /// the doubling reallocations that dominate million-op builds.
+    pub fn with_capacity(ops: usize) -> Self {
+        Self {
+            ops: Vec::with_capacity(ops),
+            next_req: 0,
+        }
+    }
+
     /// Append a compute phase of `ns` nanoseconds (ignored if zero or
     /// negative, which keeps generated workloads branch-free).
     pub fn comp(&mut self, ns: f64) -> &mut Self {
@@ -193,10 +203,21 @@ impl ProgramSet {
     }
 
     /// Generate per-rank programs from a closure (the standard SPMD shape).
-    pub fn spmd(nranks: u32, mut f: impl FnMut(u32, &mut ProgramBuilder)) -> Self {
+    pub fn spmd(nranks: u32, f: impl FnMut(u32, &mut ProgramBuilder)) -> Self {
+        Self::spmd_with_capacity(nranks, 0, f)
+    }
+
+    /// [`ProgramSet::spmd`] with a per-rank op-count hint, so each rank's
+    /// program vector is allocated once (see
+    /// [`ProgramBuilder::with_capacity`]).
+    pub fn spmd_with_capacity(
+        nranks: u32,
+        ops_hint: usize,
+        mut f: impl FnMut(u32, &mut ProgramBuilder),
+    ) -> Self {
         let programs = (0..nranks)
             .map(|r| {
-                let mut b = ProgramBuilder::new();
+                let mut b = ProgramBuilder::with_capacity(ops_hint);
                 f(r, &mut b);
                 b.build()
             })
@@ -213,48 +234,88 @@ impl ProgramSet {
             .sum()
     }
 
-    /// Run the virtual-clock tracer, producing a [`Trace`].
-    pub fn trace(&self, cfg: &TracerConfig) -> Trace {
-        let ranks = self
-            .programs
+    /// Number of records the tracer emits for `rank` (its MPI calls plus
+    /// the implicit `Init`/`Finalize`) — known before tracing, so
+    /// consumers can pre-size per-rank arenas.
+    pub fn rank_records(&self, rank: u32) -> usize {
+        self.programs[rank as usize]
+            .ops
             .iter()
-            .enumerate()
-            .map(|(rank, prog)| {
-                let mut clock = 0.0f64;
-                let mut records = Vec::with_capacity(prog.ops.len() + 2);
-                records.push(TraceRecord {
-                    kind: CallKind::Init,
-                    start: 0.0,
-                    end: 0.0,
-                });
-                for op in &prog.ops {
-                    match op {
-                        Op::Comp(ns) => clock += ns,
-                        Op::Call(kind) => {
-                            let start = clock;
-                            clock += cfg.call_duration_ns;
-                            records.push(TraceRecord {
-                                kind: kind.clone(),
-                                start,
-                                end: clock,
-                            });
-                        }
+            .filter(|o| matches!(o, Op::Call(_)))
+            .count()
+            + 2
+    }
+
+    /// Total records the tracer emits across all ranks.
+    pub fn num_records(&self) -> usize {
+        self.num_calls() + 2 * self.nranks as usize
+    }
+
+    /// Stream the virtual-clock tracer's records without materialising a
+    /// [`Trace`]: `on_rank` opens each rank section in ascending order,
+    /// then `on_record` sees that rank's records (including the implicit
+    /// `Init`/`Finalize`) in call order, borrowing the program's own
+    /// [`CallKind`]s — no per-record clone. This is the single source of
+    /// truth for the tracer's clock semantics; [`ProgramSet::trace`] is a
+    /// collector over it.
+    pub fn replay<E>(
+        &self,
+        cfg: &TracerConfig,
+        mut on_rank: impl FnMut(u32) -> Result<(), E>,
+        mut on_record: impl FnMut(&CallKind, f64, f64) -> Result<(), E>,
+    ) -> Result<(), E> {
+        for (rank, prog) in self.programs.iter().enumerate() {
+            on_rank(rank as u32)?;
+            let mut clock = 0.0f64;
+            on_record(&CallKind::Init, 0.0, 0.0)?;
+            for op in &prog.ops {
+                match op {
+                    Op::Comp(ns) => clock += ns,
+                    Op::Call(kind) => {
+                        let start = clock;
+                        clock += cfg.call_duration_ns;
+                        on_record(kind, start, clock)?;
                     }
                 }
-                records.push(TraceRecord {
-                    kind: CallKind::Finalize,
-                    start: clock,
-                    end: clock,
+            }
+            on_record(&CallKind::Finalize, clock, clock)?;
+        }
+        Ok(())
+    }
+
+    /// Run the virtual-clock tracer, producing a [`Trace`].
+    pub fn trace(&self, cfg: &TracerConfig) -> Trace {
+        let ranks: std::cell::RefCell<Vec<RankTrace>> =
+            std::cell::RefCell::new(Vec::with_capacity(self.nranks as usize));
+        let res: Result<(), std::convert::Infallible> = self.replay(
+            cfg,
+            |rank| {
+                ranks.borrow_mut().push(RankTrace {
+                    rank,
+                    records: Vec::with_capacity(self.rank_records(rank)),
                 });
-                RankTrace {
-                    rank: rank as u32,
-                    records,
-                }
-            })
-            .collect();
-        Trace {
-            nranks: self.nranks,
-            ranks,
+                Ok(())
+            },
+            |kind, start, end| {
+                ranks
+                    .borrow_mut()
+                    .last_mut()
+                    .expect("replay opens a rank before its records")
+                    .records
+                    .push(TraceRecord {
+                        kind: kind.clone(),
+                        start,
+                        end,
+                    });
+                Ok(())
+            },
+        );
+        match res {
+            Ok(()) => Trace {
+                nranks: self.nranks,
+                ranks: ranks.into_inner(),
+            },
+            Err(e) => match e {},
         }
     }
 }

@@ -14,14 +14,25 @@ use std::fmt::Write as _;
 /// Serialise a full trace to the text format.
 pub fn write_trace(trace: &Trace) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# llamp-trace nranks={}", trace.nranks);
+    write_trace_to(&mut out, trace).expect("writing to a String cannot fail");
+    out
+}
+
+/// Serialise a trace into any [`std::fmt::Write`] sink. Million-record
+/// traces stream straight to a file this way instead of round-tripping
+/// through one giant `String`.
+pub fn write_trace_to<W: std::fmt::Write>(out: &mut W, trace: &Trace) -> std::fmt::Result {
+    writeln!(out, "# llamp-trace nranks={}", trace.nranks)?;
+    let mut line = String::new();
     for rank in &trace.ranks {
-        let _ = writeln!(out, "@rank {}", rank.rank);
+        writeln!(out, "@rank {}", rank.rank)?;
         for rec in &rank.records {
-            write_record(&mut out, rec);
+            line.clear();
+            write_record(&mut line, rec);
+            out.write_str(&line)?;
         }
     }
-    out
+    Ok(())
 }
 
 fn write_record(out: &mut String, rec: &TraceRecord) {
@@ -99,12 +110,79 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// Parse the text format back into a [`Trace`].
-pub fn parse_trace(input: &str) -> Result<Trace, ParseError> {
-    let mut nranks: Option<u32> = None;
-    let mut ranks: Vec<RankTrace> = Vec::new();
-    let mut current: Option<RankTrace> = None;
+/// Incremental consumer for [`parse_trace_into`]: sees each `@rank`
+/// header and each record in file order, without the parser ever
+/// materialising a [`Trace`]. Implementors that can fail (e.g. a graph
+/// compiler rejecting a record) surface their error through
+/// [`StreamError::Sink`].
+pub trait TraceSink {
+    /// Sink-side failure type (use [`std::convert::Infallible`] for pure
+    /// collectors).
+    type Error;
 
+    /// A `@rank` header opened a new rank section.
+    fn rank(&mut self, rank: u32) -> Result<(), Self::Error>;
+
+    /// One record of the current rank section.
+    fn record(&mut self, rec: TraceRecord) -> Result<(), Self::Error>;
+}
+
+/// Either side of a streaming parse can fail: the text itself
+/// ([`ParseError`], with its 1-based line number) or the sink consuming
+/// the records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError<E> {
+    /// The trace text is malformed.
+    Parse(ParseError),
+    /// The sink rejected a header or record.
+    Sink(E),
+}
+
+impl<E> From<ParseError> for StreamError<E> {
+    fn from(e: ParseError) -> Self {
+        StreamError::Parse(e)
+    }
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for StreamError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Parse(e) => e.fmt(f),
+            StreamError::Sink(e) => e.fmt(f),
+        }
+    }
+}
+
+impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for StreamError<E> {}
+
+/// The world size a trace header declares, if any — readable without
+/// parsing the body, so a streaming consumer can pre-size its arenas.
+/// Scans only the comment lines before the first rank section.
+pub fn declared_nranks(input: &str) -> Option<u32> {
+    for raw in input.lines() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let rest = line.strip_prefix('#')?;
+        if let Some(n) = rest.trim().strip_prefix("llamp-trace nranks=") {
+            return n.parse().ok();
+        }
+    }
+    None
+}
+
+/// Streaming parse: feed each header/record to `sink` as it is read,
+/// holding only the current line. Returns the world size (declared by the
+/// header, or the number of rank sections seen). Used by the graph
+/// compiler to ingest million-record traces without an intermediate
+/// [`Trace`]; [`parse_trace`] is a collector over this.
+pub fn parse_trace_into<S: TraceSink>(
+    input: &str,
+    sink: &mut S,
+) -> Result<u32, StreamError<S::Error>> {
+    let mut nranks: Option<u32> = None;
+    let mut ranks_seen = 0u32;
     for (idx, raw) in input.lines().enumerate() {
         let lineno = idx + 1;
         let line = raw.trim();
@@ -122,50 +200,91 @@ pub fn parse_trace(input: &str) -> Result<Trace, ParseError> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("@rank") {
-            if let Some(r) = current.take() {
-                ranks.push(r);
-            }
             let rank: u32 = rest
                 .trim()
                 .parse()
                 .map_err(|e| err(format!("bad rank header: {e}")))?;
-            current = Some(RankTrace {
+            ranks_seen += 1;
+            sink.rank(rank).map_err(StreamError::Sink)?;
+            continue;
+        }
+        if ranks_seen == 0 {
+            return Err(err("record before any @rank header".into()).into());
+        }
+        sink.record(parse_record(line, lineno)?)
+            .map_err(StreamError::Sink)?;
+    }
+    let nranks = nranks.unwrap_or(ranks_seen);
+    if nranks != ranks_seen {
+        return Err(ParseError {
+            line: 0,
+            message: format!("header says {} ranks, found {}", nranks, ranks_seen),
+        }
+        .into());
+    }
+    Ok(nranks)
+}
+
+/// Parse the text format back into a [`Trace`].
+pub fn parse_trace(input: &str) -> Result<Trace, ParseError> {
+    struct Collect {
+        ranks: Vec<RankTrace>,
+    }
+    impl TraceSink for Collect {
+        type Error = std::convert::Infallible;
+
+        fn rank(&mut self, rank: u32) -> Result<(), Self::Error> {
+            self.ranks.push(RankTrace {
                 rank,
                 records: Vec::new(),
             });
-            continue;
+            Ok(())
         }
-        let cur = current
-            .as_mut()
-            .ok_or_else(|| err("record before any @rank header".into()))?;
-        cur.records.push(parse_record(line, lineno)?);
+
+        fn record(&mut self, rec: TraceRecord) -> Result<(), Self::Error> {
+            self.ranks
+                .last_mut()
+                .expect("parser enforces a rank header first")
+                .records
+                .push(rec);
+            Ok(())
+        }
     }
-    if let Some(r) = current.take() {
-        ranks.push(r);
+    let mut sink = Collect { ranks: Vec::new() };
+    match parse_trace_into(input, &mut sink) {
+        Ok(nranks) => Ok(Trace {
+            nranks,
+            ranks: sink.ranks,
+        }),
+        Err(StreamError::Parse(e)) => Err(e),
+        Err(StreamError::Sink(e)) => match e {},
     }
-    let nranks = nranks.unwrap_or(ranks.len() as u32);
-    if nranks as usize != ranks.len() {
-        return Err(ParseError {
-            line: 0,
-            message: format!("header says {} ranks, found {}", nranks, ranks.len()),
-        });
-    }
-    Ok(Trace { nranks, ranks })
 }
+
+/// The widest record line (`MPI_Sendrecv`) has 9 colon-separated fields,
+/// so one line parses into a fixed-size buffer — no per-line `Vec`.
+const MAX_FIELDS: usize = 9;
 
 fn parse_record(line: &str, lineno: usize) -> Result<TraceRecord, ParseError> {
     let err = |message: String| ParseError {
         line: lineno,
         message,
     };
-    let parts: Vec<&str> = line.split(':').collect();
+    // Split into the stack buffer; fields past the widest valid arity are
+    // only counted, so the arity error still reports the true total.
+    let mut fields: [&str; MAX_FIELDS] = [""; MAX_FIELDS];
+    let mut count = 0usize;
+    for part in line.split(':') {
+        if count < MAX_FIELDS {
+            fields[count] = part;
+        }
+        count += 1;
+    }
+    let parts = &fields[..count.min(MAX_FIELDS)];
     let name = parts[0];
     let need = |n: usize| -> Result<(), ParseError> {
-        if parts.len() != n {
-            Err(err(format!(
-                "{name}: expected {n} fields, found {}",
-                parts.len()
-            )))
+        if count != n {
+            Err(err(format!("{name}: expected {n} fields, found {count}")))
         } else {
             Ok(())
         }
@@ -182,7 +301,6 @@ fn parse_record(line: &str, lineno: usize) -> Result<TraceRecord, ParseError> {
     };
     let u32f = |i: usize| -> Result<u32, ParseError> { u(i).map(|v| v as u32) };
 
-    let last = parts.len() - 1;
     let (kind, start, end) = match name {
         "MPI_Init" | "MPI_Finalize" | "MPI_Barrier" => {
             need(3)?;
@@ -282,7 +400,6 @@ fn parse_record(line: &str, lineno: usize) -> Result<TraceRecord, ParseError> {
         }
         other => return Err(err(format!("unknown MPI call {other}"))),
     };
-    let _ = last;
     Ok(TraceRecord { kind, start, end })
 }
 

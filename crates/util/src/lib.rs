@@ -12,12 +12,16 @@
 //! * [`stats`] — summary statistics (mean/std) and the error metrics the
 //!   paper reports (RMSE, RRMSE).
 //! * [`time`] — nanosecond-based time helpers and pretty-printing.
+//! * [`alloc`] — allocator tuning for binaries that process
+//!   million-vertex traces.
 
+pub mod alloc;
 pub mod fx;
 pub mod sparse;
 pub mod stats;
 pub mod time;
 
+pub use alloc::tune_for_large_traces;
 pub use fx::{FxHashMap, FxHashSet};
 pub use sparse::IndexedVec;
 

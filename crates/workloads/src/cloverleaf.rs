@@ -44,7 +44,8 @@ impl Config {
 pub fn programs(cfg: &Config) -> ProgramSet {
     let [nx, ny] = dims2(cfg.ranks);
     let bytes = cfg.halo_bytes();
-    ProgramSet::spmd(cfg.ranks, |rank, b: &mut ProgramBuilder| {
+    let ops = cfg.iters * 22;
+    ProgramSet::spmd_with_capacity(cfg.ranks, ops, |rank, b: &mut ProgramBuilder| {
         let (x, y) = (rank % nx, rank / nx);
         let neighbors: Vec<u32> = [
             (x.wrapping_sub(1).min(nx - 1), y),

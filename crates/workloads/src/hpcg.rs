@@ -81,7 +81,8 @@ fn halo(b: &mut ProgramBuilder, grid: &Grid3, rank: u32, nx: u32, tag_base: u32)
 /// Generate the per-rank programs.
 pub fn programs(cfg: &Config) -> ProgramSet {
     let grid = Grid3::new(cfg.ranks);
-    ProgramSet::spmd(cfg.ranks, |rank, b: &mut ProgramBuilder| {
+    let ops = cfg.iters * (cfg.mg_levels as usize * 54 + 3);
+    ProgramSet::spmd_with_capacity(cfg.ranks, ops, |rank, b: &mut ProgramBuilder| {
         for iter in 0..cfg.iters {
             // SpMV halo at full resolution.
             halo(b, &grid, rank, cfg.nx, 0);

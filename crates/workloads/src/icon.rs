@@ -75,7 +75,8 @@ fn neighbors(rank: u32, p: u32) -> Vec<u32> {
 /// Generate the per-rank programs.
 pub fn programs(cfg: &Config) -> ProgramSet {
     let comp = cfg.comp_per_step();
-    ProgramSet::spmd(cfg.ranks, |rank, b: &mut ProgramBuilder| {
+    let ops = cfg.iters * (cfg.substeps as usize * 14 + 1);
+    ProgramSet::spmd_with_capacity(cfg.ranks, ops, |rank, b: &mut ProgramBuilder| {
         let nbrs = neighbors(rank, cfg.ranks);
         for iter in 0..cfg.iters {
             for sub in 0..cfg.substeps {

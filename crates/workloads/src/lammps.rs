@@ -76,7 +76,8 @@ fn dim_exchange(b: &mut ProgramBuilder, grid: &Grid3, rank: u32, bytes: u64, tag
 pub fn programs(cfg: &Config) -> ProgramSet {
     let grid = Grid3::new(cfg.ranks);
     let bytes = cfg.face_bytes();
-    ProgramSet::spmd(cfg.ranks, |rank, b: &mut ProgramBuilder| {
+    let ops = cfg.iters * 22;
+    ProgramSet::spmd_with_capacity(cfg.ranks, ops, |rank, b: &mut ProgramBuilder| {
         for step in 0..cfg.iters {
             // Forward comm: positions out to ghosts.
             dim_exchange(b, &grid, rank, bytes, 0);

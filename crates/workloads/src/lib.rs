@@ -98,6 +98,14 @@ impl App {
         }
     }
 
+    /// Parse a workload name (case-insensitive, paper spelling or
+    /// lowercase).
+    pub fn parse(name: &str) -> Option<App> {
+        App::ALL
+            .into_iter()
+            .find(|a| a.name().eq_ignore_ascii_case(name))
+    }
+
     /// The per-message overhead `o` the paper matched for this application
     /// (Table II, 8-node column), in nanoseconds.
     pub fn paper_o(&self) -> f64 {
@@ -111,6 +119,17 @@ impl App {
             App::Cloverleaf => 6_100.0,
         }
     }
+}
+
+/// Inflate a workload's bench-standard shape (8 ranks, 1 outer iteration)
+/// to stress-test scale: `rank_mult` multiplies the rank count, `iter_mult`
+/// the outer iteration count. Both clamp to ≥ 1. The generators are pure,
+/// so the result is deterministic — `scaled(app, 1, 1)` is exactly the
+/// benchmark configuration, and `rank_mult`/`iter_mult` in the tens push
+/// the execution graph into the 10⁵–10⁷-vertex range (`llamp gen` exposes
+/// this from the CLI).
+pub fn scaled(base: App, rank_mult: u32, iter_mult: u32) -> ProgramSet {
+    base.programs(8 * rank_mult.max(1), iter_mult.max(1) as usize)
 }
 
 #[cfg(test)]

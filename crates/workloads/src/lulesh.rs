@@ -61,7 +61,8 @@ fn halo_bytes(side: u32, order: u32) -> u64 {
 pub fn programs(cfg: &Config) -> ProgramSet {
     let grid = Grid3::new(cfg.ranks);
     let stencil = Grid3::stencil26();
-    ProgramSet::spmd(cfg.ranks, |rank, b: &mut ProgramBuilder| {
+    let ops = cfg.iters * (stencil.len() * 2 + 3);
+    ProgramSet::spmd_with_capacity(cfg.ranks, ops, |rank, b: &mut ProgramBuilder| {
         for iter in 0..cfg.iters {
             // Post all receives, then all sends (LULESH's CommRecv /
             // CommSend split), then wait for everything.

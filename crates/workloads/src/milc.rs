@@ -95,7 +95,8 @@ pub fn programs(cfg: &Config) -> ProgramSet {
     let grid = Grid4::new(cfg.ranks);
     let bytes = surface_bytes(cfg);
     let comp = cfg.comp_per_iter();
-    ProgramSet::spmd(cfg.ranks, |rank, b: &mut ProgramBuilder| {
+    let ops = cfg.iters * 22;
+    ProgramSet::spmd_with_capacity(cfg.ranks, ops, |rank, b: &mut ProgramBuilder| {
         for iter in 0..cfg.iters {
             // Dslash: gathers along 8 directions in two dependent waves
             // (MILC starts the ±even directions, computes the interior,

@@ -40,7 +40,7 @@ impl Config {
 
 /// Generate the per-rank programs.
 pub fn programs(cfg: &Config) -> ProgramSet {
-    ProgramSet::spmd(cfg.ranks, |rank, b: &mut ProgramBuilder| {
+    ProgramSet::spmd_with_capacity(cfg.ranks, cfg.iters * 5, |rank, b: &mut ProgramBuilder| {
         for step in 0..cfg.iters {
             // Distribute the updated Hamiltonian blocks.
             b.bcast(cfg.bcast_bytes, (step as u32) % cfg.ranks);

@@ -1,0 +1,101 @@
+//! Release-scale smoke: the reduced LP must agree with the raw LP on a
+//! ≥10⁵-vertex scaled workload, and the partitioned (multi-threaded)
+//! reduction must produce byte-identical campaign inputs.
+//!
+//! Ignored by default — the raw-graph LP solve is only reasonable in
+//! release mode. CI and local runs use:
+//!
+//! ```text
+//! cargo test --release --test large_trace -- --ignored
+//! ```
+
+use llamp::core::{Binding, GraphLp, ReduceConfig};
+use llamp::model::LogGPSParams;
+use llamp::schedgen::{graph_of_programs, GraphConfig};
+use llamp::util::time::us;
+use llamp::workloads::{scaled, App};
+
+/// LULESH inflated ~100× in outer iterations: ≈1.2 × 10⁵ vertices, big
+/// enough to cross the default partitioned-reduction threshold while
+/// keeping the raw (unreduced) LP solvable in CI time.
+fn large_graph() -> llamp::schedgen::ExecGraph {
+    let set = scaled(App::Lulesh, 1, 100);
+    graph_of_programs(&set, &GraphConfig::paper()).expect("scaled LULESH compiles")
+}
+
+#[test]
+#[ignore = "release-mode scale test: run with --release -- --ignored"]
+fn reduced_lp_matches_raw_lp_at_scale() {
+    let g = large_graph();
+    assert!(
+        g.num_vertices() >= 100_000,
+        "scale floor: got {} vertices",
+        g.num_vertices()
+    );
+
+    let params = LogGPSParams::cscs_testbed(8).with_o(us(6.0));
+    let binding = Binding::uniform(&params);
+
+    // Raw LP: the ground truth Algorithm-1 model, no reduction at all.
+    let raw = GraphLp::build(&g, &binding)
+        .predict(params.l)
+        .expect("raw LP solves");
+
+    // Reduced LP, serial global path and partitioned path at several
+    // worker counts. Objective and latency sensitivity (the dual the
+    // paper reports) must match the raw model to solver tolerance, and
+    // the partitioned predictions must be *bit-identical* to the serial
+    // reduced ones — reduction determinism end to end.
+    let serial = reduce_predict(&g, &binding, params.l, &ReduceConfig::default());
+    assert!(
+        llamp::util::approx_eq(raw.runtime, serial.runtime, 1e-3, 1e-9),
+        "objective drifted: raw {} vs reduced {}",
+        raw.runtime,
+        serial.runtime
+    );
+    assert!(
+        llamp::util::approx_eq(raw.lambda, serial.lambda, 1e-6, 1e-9),
+        "lambda drifted: raw {} vs reduced {}",
+        raw.lambda,
+        serial.lambda
+    );
+
+    let base = {
+        let cfg = ReduceConfig {
+            threads: 1,
+            par_threshold: 0,
+            ..ReduceConfig::default()
+        };
+        reduce_predict(&g, &binding, params.l, &cfg)
+    };
+    for threads in [2usize, 4] {
+        let cfg = ReduceConfig {
+            threads,
+            par_threshold: 0,
+            ..ReduceConfig::default()
+        };
+        let p = reduce_predict(&g, &binding, params.l, &cfg);
+        assert_eq!(
+            p.runtime.to_bits(),
+            base.runtime.to_bits(),
+            "partitioned objective not bit-identical at {threads} threads"
+        );
+        assert_eq!(
+            p.lambda.to_bits(),
+            base.lambda.to_bits(),
+            "partitioned lambda not bit-identical at {threads} threads"
+        );
+    }
+}
+
+fn reduce_predict(
+    g: &llamp::schedgen::ExecGraph,
+    binding: &Binding,
+    l: f64,
+    cfg: &ReduceConfig,
+) -> llamp::core::Prediction {
+    let reduced = g.reduced(cfg);
+    GraphLp::build(&reduced, binding)
+        .predict(l)
+        .expect("reduced LP solves")
+}

@@ -48,6 +48,7 @@ fn bench_engine(c: &mut Criterion) {
         let config = ExecutorConfig {
             threads,
             job_timeout: None,
+            ..Default::default()
         };
         group.bench_with_input(
             BenchmarkId::new("cold_cache", threads),

@@ -14,7 +14,9 @@
 use crate::binding::Binding;
 use crate::lowering::lower_walk;
 use llamp_lp::backend::{by_name, Parametric, SolverBackend};
-use llamp_lp::{Basis, LpModel, Objective, Relation, Solution, SolveStats, SolveStatus, VarId};
+use llamp_lp::{
+    resolve_robust, Basis, LpModel, Objective, Relation, Solution, SolveError, SolveStats, VarId,
+};
 use llamp_schedgen::GraphView;
 
 /// Affine running expression `base + c + m·l` for a vertex's completion
@@ -275,11 +277,11 @@ impl GraphLp {
 
     /// Solve `min t` with `l ≥ l_value` and report runtime, `λ_L` and the
     /// basis-stability range of `L`.
-    pub fn predict(&mut self, l_value: f64) -> Result<Prediction, SolveStatus> {
+    pub fn predict(&mut self, l_value: f64) -> Result<Prediction, SolveError> {
         self.model.set_var_lb(self.l, l_value);
         self.model.set_sense(Objective::Minimize);
         self.model.set_objective(&[(self.t, 1.0)]);
-        let sol = self.backend.resolve(&self.model)?;
+        let sol = resolve_robust(self.backend.as_mut(), &self.model, Some(&self.crash))?;
         Ok(Prediction {
             runtime: sol.objective(),
             lambda: sol.reduced_cost(self.l),
@@ -290,25 +292,25 @@ impl GraphLp {
 
     /// Solve `min t` and hand back the raw solution (for tight-constraint /
     /// critical-path inspection).
-    pub fn solve_raw(&mut self, l_value: f64) -> Result<Solution, SolveStatus> {
+    pub fn solve_raw(&mut self, l_value: f64) -> Result<Solution, SolveError> {
         self.model.set_var_lb(self.l, l_value);
         self.model.set_sense(Objective::Minimize);
         self.model.set_objective(&[(self.t, 1.0)]);
-        self.backend.resolve(&self.model)
+        resolve_robust(self.backend.as_mut(), &self.model, Some(&self.crash))
     }
 
     /// Latency tolerance (§II-D2): maximise `l` subject to
     /// `t ≤ max_runtime`. Returns `f64::INFINITY` when the runtime never
     /// exceeds the cap (fully latency-hiding program) and an `Err` when
     /// even `l = l_floor` violates it.
-    pub fn tolerance(&mut self, l_floor: f64, max_runtime: f64) -> Result<f64, SolveStatus> {
+    pub fn tolerance(&mut self, l_floor: f64, max_runtime: f64) -> Result<f64, SolveError> {
         self.model.set_var_lb(self.l, l_floor);
         self.model.set_var_ub(self.t, max_runtime);
         self.model.set_sense(Objective::Maximize);
         self.model.set_objective(&[(self.l, 1.0)]);
-        let out = match self.backend.resolve(&self.model) {
+        let out = match resolve_robust(self.backend.as_mut(), &self.model, Some(&self.crash)) {
             Ok(sol) => Ok(sol.value(self.l)),
-            Err(SolveStatus::Unbounded) => Ok(f64::INFINITY),
+            Err(SolveError::Unbounded) => Ok(f64::INFINITY),
             Err(e) => Err(e),
         };
         // Restore the prediction shape.
@@ -328,7 +330,7 @@ impl GraphLp {
         l_max: f64,
         step: f64,
         eps: f64,
-    ) -> Result<Vec<f64>, SolveStatus> {
+    ) -> Result<Vec<f64>, SolveError> {
         assert!(l_min <= l_max && step > 0.0 && eps > 0.0);
         let mut lcs: Vec<f64> = Vec::new();
         let mut l = l_max;

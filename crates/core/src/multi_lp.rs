@@ -20,7 +20,9 @@
 use crate::binding::{Binding, SweepParam};
 use crate::lowering::lower_walk;
 use llamp_lp::backend::{by_name, Parametric, SolverBackend};
-use llamp_lp::{Basis, LpModel, Objective, Relation, Solution, SolveStats, SolveStatus, VarId};
+use llamp_lp::{
+    resolve_robust, Basis, LpModel, Objective, Relation, Solution, SolveError, SolveStats, VarId,
+};
 use llamp_schedgen::GraphView;
 
 /// A query point in the three-parameter space.
@@ -355,13 +357,13 @@ impl GraphMultiLp {
     /// Solve `min t` with `l ≥ L`, `g ≥ G`, `o ≥ o` and report the
     /// runtime, the full sensitivity gradient and the per-parameter
     /// basis-stability ranges — all from one dual solution.
-    pub fn predict(&mut self, at: ParamPoint) -> Result<MultiPrediction, SolveStatus> {
+    pub fn predict(&mut self, at: ParamPoint) -> Result<MultiPrediction, SolveError> {
         self.model.set_var_lb(self.l, at.l);
         self.model.set_var_lb(self.g, at.g);
         self.model.set_var_lb(self.o, at.o);
         self.model.set_sense(Objective::Minimize);
         self.model.set_objective(&[(self.t, 1.0)]);
-        let sol = self.backend.resolve(&self.model)?;
+        let sol = resolve_robust(self.backend.as_mut(), &self.model, Some(&self.crash))?;
         Ok(MultiPrediction {
             runtime: sol.objective(),
             lambda_l: sol.reduced_cost(self.l),
@@ -376,13 +378,13 @@ impl GraphMultiLp {
 
     /// Solve and hand back the raw solution (tight-constraint /
     /// critical-path inspection).
-    pub fn solve_raw(&mut self, at: ParamPoint) -> Result<Solution, SolveStatus> {
+    pub fn solve_raw(&mut self, at: ParamPoint) -> Result<Solution, SolveError> {
         self.model.set_var_lb(self.l, at.l);
         self.model.set_var_lb(self.g, at.g);
         self.model.set_var_lb(self.o, at.o);
         self.model.set_sense(Objective::Minimize);
         self.model.set_objective(&[(self.t, 1.0)]);
-        self.backend.resolve(&self.model)
+        resolve_robust(self.backend.as_mut(), &self.model, Some(&self.crash))
     }
 
     /// Tolerance along one parameter (§II-D2 generalised): maximise that
@@ -394,7 +396,7 @@ impl GraphMultiLp {
         p: SweepParam,
         at: ParamPoint,
         max_runtime: f64,
-    ) -> Result<f64, SolveStatus> {
+    ) -> Result<f64, SolveError> {
         self.model.set_var_lb(self.l, at.l);
         self.model.set_var_lb(self.g, at.g);
         self.model.set_var_lb(self.o, at.o);
@@ -402,9 +404,9 @@ impl GraphMultiLp {
         self.model.set_var_ub(self.t, max_runtime);
         self.model.set_sense(Objective::Maximize);
         self.model.set_objective(&[(var, 1.0)]);
-        let out = match self.backend.resolve(&self.model) {
+        let out = match resolve_robust(self.backend.as_mut(), &self.model, Some(&self.crash)) {
             Ok(sol) => Ok(sol.value(var)),
-            Err(SolveStatus::Unbounded) => Ok(f64::INFINITY),
+            Err(SolveError::Unbounded) => Ok(f64::INFINITY),
             Err(e) => Err(e),
         };
         // Restore the prediction shape.

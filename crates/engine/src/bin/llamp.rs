@@ -21,16 +21,62 @@
 
 use llamp_engine::value::{parse_json, Value};
 use llamp_engine::{
-    metrics_value, parse_backend, render_metrics, run_campaign, CampaignSpec, ExecutorConfig,
-    ResultCache,
+    metrics_value, parse_backend, render_metrics, run_campaign_checked, CampaignSpec,
+    ExecutorConfig, ResultCache,
 };
 use llamp_workloads::App;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
+/// Typed CLI failure, mapped onto the documented exit-code table (see
+/// README § Exit codes): 2 usage, 3 input parse, 4 I/O, 5 campaign
+/// completed with failures past the fault budget (partial results were
+/// still written), 1 anything else.
+enum CliError {
+    /// Bad command line (unknown command/flag, wrong arity, bad number).
+    Usage(String),
+    /// An input file did not parse (spec, results, metrics sidecar).
+    Parse(String),
+    /// A file could not be read or written.
+    Io(String),
+    /// The campaign ran but more scenarios failed than the fault budget
+    /// tolerates; the partial results file was written before this error.
+    Campaign(String),
+    /// Everything else.
+    Internal(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Internal(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Parse(_) => 3,
+            CliError::Io(_) => 4,
+            CliError::Campaign(_) => 5,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m)
+            | CliError::Parse(m)
+            | CliError::Io(m)
+            | CliError::Campaign(m)
+            | CliError::Internal(m) => m,
+        }
+    }
+}
+
 fn main() -> ExitCode {
     llamp_util::tune_for_large_traces();
+    // Deterministic chaos: LLAMP_FAULTS / LLAMP_FAULTS_SEED arm the
+    // fault-injection registry for this process (see docs/ROBUSTNESS.md).
+    if let Err(e) = llamp_faults::init_from_env() {
+        eprintln!("llamp: LLAMP_FAULTS: {e}");
+        return ExitCode::from(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
@@ -41,13 +87,15 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown command '{other}'\n\n{USAGE}"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("llamp: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("llamp: {}", e.message());
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -78,6 +126,11 @@ RUN OPTIONS:
                     parametric | eval | lp | lp-dense | lp-sparse |
                     lp-parametric)
   --timeout-ms N    per-scenario timeout (default: unlimited)
+  --retries N       re-run a panicked/timed-out scenario up to N times
+                    before recording the failure (default: 1)
+  --fault-budget N  tolerate up to N failed scenarios; their slots stay
+                    typed errors in the results file. One more and the
+                    run exits 5 — after writing all outputs (default: 0)
   --metrics         record telemetry and print the metrics summary
                     (solver/reduction totals, span tree, cache counters,
                     solve-time histograms) to stderr; the results JSON is
@@ -106,6 +159,10 @@ REPORT OPTIONS:
   --metrics FILE    render a metrics sidecar written by 'run --metrics-out'
   --solver-stats    deprecated: print counters embedded by old 'run
                     --solver-stats' results files
+
+EXIT CODES:
+  0 success   1 internal error   2 usage error   3 input parse error
+  4 I/O error   5 campaign failures exceeded --fault-budget
 ";
 
 /// Minimal flag parser: positionals plus `--key value` / `--flag`.
@@ -151,7 +208,7 @@ impl Args {
     }
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let args = Args::parse(
         args,
         &[
@@ -161,13 +218,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "csv",
             "backends",
             "timeout-ms",
+            "fault-budget",
+            "retries",
             "metrics-out",
             "trace-out",
         ],
         &["quiet", "metrics", "solver-stats", "no-reduce"],
-    )?;
+    )
+    .map_err(CliError::Usage)?;
     let [spec_path] = args.positional.as_slice() else {
-        return Err(format!("'run' takes exactly one spec file\n\n{USAGE}"));
+        return Err(CliError::Usage(format!(
+            "'run' takes exactly one spec file\n\n{USAGE}"
+        )));
     };
     if args.has("solver-stats") {
         eprintln!("llamp: note: --solver-stats is a deprecated alias for --metrics");
@@ -181,16 +243,19 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if telemetry {
         llamp_obs::enable();
     }
-    let source =
-        std::fs::read_to_string(spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
-    let mut spec = CampaignSpec::parse(&source, spec_path).map_err(|e| e.to_string())?;
+    let source = std::fs::read_to_string(spec_path)
+        .map_err(|e| CliError::Io(format!("cannot read {spec_path}: {e}")))?;
+    let mut spec =
+        CampaignSpec::parse(&source, spec_path).map_err(|e| CliError::Parse(e.to_string()))?;
     if let Some(list) = args.get("backends") {
         spec.backends = list
             .split(',')
-            .map(|b| parse_backend(b.trim()).map_err(|e| e.to_string()))
+            .map(|b| parse_backend(b.trim()).map_err(|e| CliError::Usage(e.to_string())))
             .collect::<Result<Vec<_>, _>>()?;
         if spec.backends.is_empty() {
-            return Err("--backends: need at least one backend".into());
+            return Err(CliError::Usage(
+                "--backends: need at least one backend".into(),
+            ));
         }
         spec.canonicalize();
     }
@@ -202,48 +267,68 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         None => 0,
         Some(t) => t
             .parse::<usize>()
-            .map_err(|_| format!("--threads: '{t}' is not a number"))?,
+            .map_err(|_| CliError::Usage(format!("--threads: '{t}' is not a number")))?,
     };
     let job_timeout = match args.get("timeout-ms") {
         None => None,
-        Some(t) => {
-            Some(Duration::from_millis(t.parse::<u64>().map_err(|_| {
-                format!("--timeout-ms: '{t}' is not a number")
-            })?))
-        }
+        Some(t) => Some(Duration::from_millis(t.parse::<u64>().map_err(|_| {
+            CliError::Usage(format!("--timeout-ms: '{t}' is not a number"))
+        })?)),
+    };
+    let fault_budget = match args.get("fault-budget") {
+        None => 0,
+        Some(n) => n
+            .parse::<usize>()
+            .map_err(|_| CliError::Usage(format!("--fault-budget: '{n}' is not a number")))?,
+    };
+    let max_retries = match args.get("retries") {
+        None => ExecutorConfig::default().max_retries,
+        Some(n) => n
+            .parse::<u32>()
+            .map_err(|_| CliError::Usage(format!("--retries: '{n}' is not a number")))?,
     };
     let config = ExecutorConfig {
         threads,
         job_timeout,
+        max_retries,
+        ..Default::default()
     };
 
     let cache_path = args.get("cache").map(PathBuf::from);
     let cache = match &cache_path {
-        Some(p) if p.exists() => {
-            ResultCache::load(p).map_err(|e| format!("cannot load cache {}: {e}", p.display()))?
-        }
+        Some(p) if p.exists() => ResultCache::load(p)
+            .map_err(|e| CliError::Io(format!("cannot load cache {}: {e}", p.display())))?,
         _ => ResultCache::new(),
     };
 
-    let (result, summary) = run_campaign(&spec, &config, &cache);
+    // A blown fault budget still produces the full partial result: write
+    // every output first, fail the process last.
+    let (result, summary, campaign_failure) =
+        match run_campaign_checked(&spec, &config, &cache, fault_budget) {
+            Ok((result, summary)) => (result, summary, None),
+            Err(e) => {
+                let rendered = e.to_string();
+                (e.result, e.summary, Some(rendered))
+            }
+        };
 
     if let Some(p) = &cache_path {
         cache
             .save(p)
-            .map_err(|e| format!("cannot save cache {}: {e}", p.display()))?;
+            .map_err(|e| CliError::Io(format!("cannot save cache {}: {e}", p.display())))?;
     }
 
     // The results file is byte-identical with telemetry on or off: the
     // recorder never touches it.
     let json = result.to_json();
     match args.get("out") {
-        Some(path) => {
-            std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?
-        }
+        Some(path) => std::fs::write(path, &json)
+            .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?,
         None => print!("{json}"),
     }
     if let Some(path) = args.get("csv") {
-        std::fs::write(path, result.to_csv()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        std::fs::write(path, result.to_csv())
+            .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
     }
 
     // Drain the recorder (after the cache save, so its span is included).
@@ -259,7 +344,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     });
     if let (Some(doc), Some(path)) = (&metrics_doc, args.get("metrics-out")) {
         std::fs::write(path, doc.to_json_pretty())
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+            .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
     }
     if !args.has("quiet") {
         eprintln!(
@@ -274,20 +359,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             None => eprintln!("{}", summary.render()),
         }
     }
-    let failures = result
-        .scenarios
-        .iter()
-        .filter(|s| s.outcome.is_err())
-        .count();
-    if failures > 0 {
-        return Err(format!(
-            "{failures} scenario(s) failed; see the results file"
-        ));
+    if let Some(rendered) = campaign_failure {
+        return Err(CliError::Campaign(format!(
+            "{rendered}see the results file for the failing scenarios"
+        )));
     }
     Ok(())
 }
 
-fn cmd_list_workloads() -> Result<(), String> {
+fn cmd_list_workloads() -> Result<(), CliError> {
     println!("{:<12} {:>10} character", "name", "paper o");
     println!("{}", "-".repeat(72));
     for app in App::ALL {
@@ -314,26 +394,32 @@ fn describe(app: App) -> &'static str {
     }
 }
 
-fn cmd_gen(args: &[String]) -> Result<(), String> {
+fn cmd_gen(args: &[String]) -> Result<(), CliError> {
     let args = Args::parse(
         args,
         &["rank-mult", "iter-mult", "out"],
         &["stats", "metrics"],
-    )?;
+    )
+    .map_err(CliError::Usage)?;
     if args.has("metrics") {
         llamp_obs::enable();
     }
     let [name] = args.positional.as_slice() else {
-        return Err(format!("'gen' takes exactly one workload name\n\n{USAGE}"));
+        return Err(CliError::Usage(format!(
+            "'gen' takes exactly one workload name\n\n{USAGE}"
+        )));
     };
-    let app = App::parse(name)
-        .ok_or_else(|| format!("unknown workload '{name}' (see 'llamp list-workloads')"))?;
-    let mult = |flag: &str| -> Result<u32, String> {
+    let app = App::parse(name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown workload '{name}' (see 'llamp list-workloads')"
+        ))
+    })?;
+    let mult = |flag: &str| -> Result<u32, CliError> {
         match args.get(flag) {
             None => Ok(1),
             Some(v) => v
                 .parse::<u32>()
-                .map_err(|_| format!("--{flag}: '{v}' is not a number")),
+                .map_err(|_| CliError::Usage(format!("--{flag}: '{v}' is not a number"))),
         }
     };
     let (rank_mult, iter_mult) = (mult("rank-mult")?, mult("iter-mult")?);
@@ -342,7 +428,8 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     if args.has("stats") {
         use llamp_schedgen::{graph_of_programs, GraphConfig, ReduceConfig};
         let t0 = std::time::Instant::now();
-        let graph = graph_of_programs(&set, &GraphConfig::paper()).map_err(|e| e.to_string())?;
+        let graph = graph_of_programs(&set, &GraphConfig::paper())
+            .map_err(|e| CliError::Internal(e.to_string()))?;
         let ingest = t0.elapsed();
         let t1 = std::time::Instant::now();
         let red = graph.reduced(&ReduceConfig::default());
@@ -371,9 +458,8 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         let trace = set.trace(&llamp_trace::TracerConfig::default());
         let text = llamp_trace::text::write_trace(&trace);
         match args.get("out") {
-            Some(path) => {
-                std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?
-            }
+            Some(path) => std::fs::write(path, &text)
+                .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?,
             None => print!("{text}"),
         }
     }
@@ -385,20 +471,22 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_report(args: &[String]) -> Result<(), String> {
-    let args = Args::parse(args, &["csv", "metrics"], &["solver-stats"])?;
+fn cmd_report(args: &[String]) -> Result<(), CliError> {
+    let args =
+        Args::parse(args, &["csv", "metrics"], &["solver-stats"]).map_err(CliError::Usage)?;
     let [path] = args.positional.as_slice() else {
-        return Err(format!(
+        return Err(CliError::Usage(format!(
             "'report' takes exactly one results file\n\n{USAGE}"
-        ));
+        )));
     };
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let doc = parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+    let doc = parse_json(&text).map_err(|e| CliError::Parse(format!("{path}: {e}")))?;
     let name = doc.get("name").and_then(Value::as_str).unwrap_or("?");
     let scenarios = doc
         .get("scenarios")
         .and_then(Value::as_array)
-        .ok_or_else(|| format!("{path}: not a llamp results file"))?;
+        .ok_or_else(|| CliError::Parse(format!("{path}: not a llamp results file")))?;
 
     println!("# campaign '{name}' — {} scenario(s)\n", scenarios.len());
     let fmt_tol = |v: Option<&Value>| -> String {
@@ -470,14 +558,16 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         ));
     }
     if let Some(csv_path) = args.get("csv") {
-        std::fs::write(csv_path, rows_csv).map_err(|e| format!("cannot write {csv_path}: {e}"))?;
+        std::fs::write(csv_path, rows_csv)
+            .map_err(|e| CliError::Io(format!("cannot write {csv_path}: {e}")))?;
     }
     if let Some(metrics_path) = args.get("metrics") {
         // The sidecar renders through the same formatter `run --metrics`
         // uses, so the replay is byte-identical to the live summary.
         let text = std::fs::read_to_string(metrics_path)
-            .map_err(|e| format!("cannot read {metrics_path}: {e}"))?;
-        let metrics_doc = parse_json(&text).map_err(|e| format!("{metrics_path}: {e}"))?;
+            .map_err(|e| CliError::Io(format!("cannot read {metrics_path}: {e}")))?;
+        let metrics_doc =
+            parse_json(&text).map_err(|e| CliError::Parse(format!("{metrics_path}: {e}")))?;
         println!("\n# metrics ({metrics_path})\n");
         print!("{}", render_metrics(&metrics_doc));
     }

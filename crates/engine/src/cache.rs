@@ -16,6 +16,24 @@
 //! workers) with optional JSON persistence: [`ResultCache::load`] /
 //! [`ResultCache::save`] round-trip the store through the same
 //! deterministic JSON writer the result files use.
+//!
+//! ## Integrity (self-healing persistence)
+//!
+//! A cache file is an accelerant, never an authority — any corruption
+//! must degrade to recomputation, not to a crash or a silently wrong
+//! result. Three layers enforce that (see `docs/ROBUSTNESS.md`):
+//!
+//! * **atomic save** — [`ResultCache::save`] writes to a same-directory
+//!   temp file, fsyncs, then renames over the target (and fsyncs the
+//!   directory), so a crash mid-save leaves either the old file or the
+//!   new one, never a torn hybrid;
+//! * **per-entry checksums** — every persisted entry carries a `sum`
+//!   field (FNV-1a over its key, kind and exact payload bit patterns);
+//!   [`ResultCache::load`] recomputes and drops any entry whose checksum
+//!   is missing or wrong (counter `cache.quarantined`);
+//! * **file quarantine** — an unparseable file is renamed aside to
+//!   `<name>.quarantined-<pid>` (counter `cache.quarantined.file`) and
+//!   the run starts from an empty cache, preserving the evidence.
 
 use crate::scenario::{AxisPointValue, PointResult, ZonesResult};
 use crate::spec::fnv1a;
@@ -200,7 +218,8 @@ impl ResultCache {
         &self.stats
     }
 
-    /// Serialize the store (entries sorted by key for determinism).
+    /// Serialize the store (entries sorted by key for determinism). Each
+    /// entry carries its integrity checksum (`sum`).
     pub fn to_value(&self) -> Value {
         let map = self.map.read().expect("cache lock");
         let mut entries: Vec<(String, CachedEntry)> = map
@@ -209,14 +228,18 @@ impl ResultCache {
             .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Table(vec![
-            ("version".into(), Value::Int(1)),
+            ("version".into(), Value::Int(2)),
             (
                 "entries".into(),
                 Value::Array(
                     entries
                         .into_iter()
                         .map(|(key, entry)| {
-                            let mut pairs = vec![("key".into(), Value::Str(key))];
+                            let sum = entry_checksum(&key, &entry);
+                            let mut pairs = vec![
+                                ("key".into(), Value::Str(key)),
+                                ("sum".into(), Value::Str(format!("{sum:016x}"))),
+                            ];
                             match entry {
                                 CachedEntry::Point(p) => {
                                     pairs.push(("kind".into(), Value::Str("point".into())));
@@ -254,49 +277,110 @@ impl ResultCache {
         ])
     }
 
-    /// Save to a JSON file.
+    /// Save to a JSON file atomically: write a same-directory temp file,
+    /// fsync it, rename it over `path`, fsync the directory. A crash at
+    /// any point leaves either the previous file or the new one intact —
+    /// never a torn hybrid.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
         let g = llamp_obs::span("cache.save");
         if llamp_obs::is_enabled() {
             g.field_u64("entries", self.len() as u64);
         }
-        std::fs::write(path, self.to_value().to_json_pretty())
+        let mut payload = self.to_value().to_json_pretty();
+        if llamp_faults::should_inject("cache.save.torn") {
+            // Chaos site: simulate the torn in-place write the atomic
+            // protocol exists to prevent, so tests can prove the *next*
+            // load quarantines and recomputes instead of going wrong.
+            payload.truncate(payload.len() / 2);
+            return std::fs::write(path, payload);
+        }
+        let tmp = sibling_path(path, &format!("tmp-{}", std::process::id()));
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(payload.as_bytes())?;
+            f.sync_all()?;
+        }
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        // Persist the rename itself (best effort — not all platforms
+        // support fsync on directories).
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
     }
 
-    /// Load from a JSON file produced by [`ResultCache::save`]. Unknown or
-    /// malformed entries are skipped (a stale cache must never block a
-    /// run).
+    /// Load from a JSON file produced by [`ResultCache::save`].
+    ///
+    /// Self-healing, never trusting: an unparseable file is quarantined
+    /// (renamed aside, counter `cache.quarantined.file`) and an empty
+    /// cache returned; an entry that is malformed, of unknown kind, or
+    /// whose integrity checksum is missing or wrong is dropped (counter
+    /// `cache.quarantined`) so it gets recomputed. Only a genuinely
+    /// unreadable file (I/O error) is reported to the caller.
     pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
         let g = llamp_obs::span("cache.load");
-        let text = std::fs::read_to_string(path)?;
+        let mut text = std::fs::read_to_string(path)?;
+        if llamp_faults::should_inject("cache.load.corrupt") {
+            // Chaos site: bit-rot the file after reading it, exercising
+            // the quarantine path without touching the disk.
+            text.truncate(text.len() / 3);
+        }
         let cache = Self::new();
         let Ok(doc) = parse_json(&text) else {
+            quarantine_file(path);
             return Ok(cache);
         };
         let Some(entries) = doc.get("entries").and_then(Value::as_array) else {
+            quarantine_file(path);
             return Ok(cache);
         };
         for e in entries {
             let Some(key) = e.get("key").and_then(Value::as_str) else {
+                quarantine_entry();
                 continue;
             };
             let entry = match e.get("kind").and_then(Value::as_str) {
-                Some("point") => {
-                    let Some(p) = decode_point(e) else { continue };
-                    CachedEntry::Point(p)
-                }
-                Some("axis-point") => {
-                    let Some(p) = decode_axis_point(e) else {
+                Some("point") => match decode_point(e) {
+                    Some(p) => CachedEntry::Point(p),
+                    None => {
+                        quarantine_entry();
                         continue;
-                    };
-                    CachedEntry::AxisPoint(p)
+                    }
+                },
+                Some("axis-point") => match decode_axis_point(e) {
+                    Some(p) => CachedEntry::AxisPoint(p),
+                    None => {
+                        quarantine_entry();
+                        continue;
+                    }
+                },
+                Some("zones") => match decode_zones(e) {
+                    Some(z) => CachedEntry::Zones(z),
+                    None => {
+                        quarantine_entry();
+                        continue;
+                    }
+                },
+                _ => {
+                    quarantine_entry();
+                    continue;
                 }
-                Some("zones") => {
-                    let Some(z) = decode_zones(e) else { continue };
-                    CachedEntry::Zones(z)
-                }
-                _ => continue,
             };
+            let sum_ok = e
+                .get("sum")
+                .and_then(Value::as_str)
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .is_some_and(|s| s == entry_checksum(key, &entry));
+            if !sum_ok {
+                quarantine_entry();
+                continue;
+            }
             cache.put(key.to_string(), entry);
         }
         if llamp_obs::is_enabled() {
@@ -304,6 +388,73 @@ impl ResultCache {
         }
         Ok(cache)
     }
+}
+
+/// `<name>.<tag>` next to `path` (same directory, so `rename` stays
+/// within one filesystem).
+fn sibling_path(path: &std::path::Path, tag: &str) -> std::path::PathBuf {
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("cache.json");
+    path.with_file_name(format!("{name}.{tag}"))
+}
+
+/// Move an unparseable cache file aside (preserving the evidence) and
+/// count the event. Best effort — if the rename fails the file simply
+/// stays and gets overwritten by the next save.
+fn quarantine_file(path: &std::path::Path) {
+    llamp_obs::counter("cache.quarantined", 1);
+    llamp_obs::counter("cache.quarantined.file", 1);
+    let aside = sibling_path(path, &format!("quarantined-{}", std::process::id()));
+    let _ = std::fs::rename(path, &aside);
+}
+
+/// Count one dropped (malformed or checksum-failed) entry.
+fn quarantine_entry() {
+    llamp_obs::counter("cache.quarantined", 1);
+}
+
+/// FNV-1a integrity checksum over an entry's key, kind and exact payload
+/// bit patterns. Any bit flip in a persisted number changes the sum.
+fn entry_checksum(key: &str, entry: &CachedEntry) -> u64 {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(key.len() + 144);
+    s.push_str(key);
+    let push_bits = |s: &mut String, xs: &[f64]| {
+        for x in xs {
+            let _ = write!(s, "{:016x}", x.to_bits());
+        }
+    };
+    match entry {
+        CachedEntry::Point(p) => {
+            s.push_str("|point|");
+            push_bits(&mut s, &[p.delta_l_ns, p.runtime_ns, p.lambda, p.rho]);
+        }
+        CachedEntry::AxisPoint(p) => {
+            s.push_str("|axis-point|");
+            push_bits(
+                &mut s,
+                &[
+                    p.runtime_ns,
+                    p.lambda_l,
+                    p.lambda_g,
+                    p.lambda_o,
+                    p.rho_l,
+                    p.rho_g,
+                    p.rho_o,
+                ],
+            );
+        }
+        CachedEntry::Zones(z) => {
+            s.push_str("|zones|");
+            push_bits(
+                &mut s,
+                &[z.baseline_runtime_ns, z.pct1_ns, z.pct2_ns, z.pct5_ns],
+            );
+        }
+    }
+    fnv1a(s.as_bytes())
 }
 
 /// Infinite tolerances serialise as `null` (JSON has no `inf`);
@@ -414,6 +565,101 @@ mod tests {
             }
             other => panic!("bad entry: {other:?}"),
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn temp_cache_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("llamp-cache-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Regression test for the torn-write failure mode: a cache file cut
+    /// off mid-entry (what an in-place `fs::write` interrupted by a crash
+    /// leaves behind) must load as an empty cache with the broken file
+    /// quarantined aside — never an error, never a partial store.
+    #[test]
+    fn truncated_file_is_quarantined_not_fatal() {
+        let dir = temp_cache_dir("torn");
+        let path = dir.join("cache.json");
+        let c = ResultCache::new();
+        c.put(point_key("b", 0.0), CachedEntry::Point(point(0.0)));
+        c.put(point_key("b", 1.0), CachedEntry::Point(point(1.0)));
+        c.save(&path).unwrap();
+
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+
+        let back = ResultCache::load(&path).unwrap();
+        assert_eq!(back.len(), 0, "no entry from a torn file may be trusted");
+        assert!(!path.exists(), "broken file must be moved aside");
+        let aside: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("quarantined"))
+            .collect();
+        assert_eq!(aside.len(), 1, "evidence file preserved");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checksum_mismatch_drops_only_the_tampered_entry() {
+        let dir = temp_cache_dir("sum");
+        let path = dir.join("cache.json");
+        let c = ResultCache::new();
+        c.put(point_key("b", 0.0), CachedEntry::Point(point(0.0)));
+        c.put(point_key("b", 1.0), CachedEntry::Point(point(1.0)));
+        c.save(&path).unwrap();
+
+        // Flip one stored number without updating its checksum.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tampered = text.replacen("101.0", "999.0", 1);
+        assert_ne!(text, tampered, "fixture must actually tamper a value");
+        std::fs::write(&path, tampered).unwrap();
+
+        let back = ResultCache::load(&path).unwrap();
+        assert_eq!(back.len(), 1, "intact entry survives, tampered one goes");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unsummed_legacy_entries_are_recomputed_not_trusted() {
+        // A pre-integrity (version 1) file has no `sum` fields: every
+        // entry is dropped for recomputation rather than trusted blindly.
+        let dir = temp_cache_dir("legacy");
+        let path = dir.join("cache.json");
+        let c = ResultCache::new();
+        c.put(point_key("b", 0.0), CachedEntry::Point(point(0.0)));
+        c.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Strip the sum fields (simulate an old writer).
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.contains("\"sum\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        std::fs::write(&path, stripped).unwrap();
+        let back = ResultCache::load(&path).unwrap();
+        assert_eq!(back.len(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_no_temp_residue() {
+        let dir = temp_cache_dir("atomic");
+        let path = dir.join("cache.json");
+        let c = ResultCache::new();
+        c.put(point_key("b", 2.0), CachedEntry::Point(point(2.0)));
+        c.save(&path).unwrap();
+        c.save(&path).unwrap(); // overwrite path exercises rename-over
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["cache.json".to_string()], "{names:?}");
+        let back = ResultCache::load(&path).unwrap();
+        assert_eq!(back.len(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

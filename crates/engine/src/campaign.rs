@@ -39,13 +39,45 @@ pub enum Provenance {
     Failed,
 }
 
+/// Why one scenario produced no outcome, typed by failure mode. The
+/// rendered `Display` strings are byte-stable — they are what lands in
+/// the deterministic results file's `error` field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The job panicked (isolated by the executor's `catch_unwind`);
+    /// payload is the rendered panic message.
+    Panicked(String),
+    /// The job exceeded the per-job timeout.
+    TimedOut {
+        /// How long the job actually ran.
+        elapsed: Duration,
+    },
+    /// The analysis itself reported an error (bad workload, infeasible
+    /// tolerance cap, solver failure past the fallback ladder, ...).
+    Failed(String),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Panicked(msg) => write!(f, "panic: {msg}"),
+            ScenarioError::TimedOut { elapsed } => {
+                write!(f, "timed out after {:.3}s", elapsed.as_secs_f64())
+            }
+            ScenarioError::Failed(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
 /// One scenario's slot in a campaign result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioResult {
     /// The scenario.
     pub scenario: Scenario,
-    /// The outcome, or a rendered error.
-    pub outcome: Result<ScenarioOutcome, String>,
+    /// The outcome, or the typed failure.
+    pub outcome: Result<ScenarioOutcome, ScenarioError>,
 }
 
 /// The deterministic product of a campaign run.
@@ -165,7 +197,7 @@ pub fn run_campaign(
 
     // Split into full cache hits (assembled inline, counted as hits) and
     // jobs that need the executor.
-    let mut slots: Vec<Option<(Result<ScenarioOutcome, String>, Provenance)>> =
+    let mut slots: Vec<Option<(Result<ScenarioOutcome, ScenarioError>, Provenance)>> =
         vec![None; all.len()];
     let mut solver = SolveStats::default();
     let mut reduction = ReductionStats::default();
@@ -197,10 +229,10 @@ pub fn run_campaign(
                 reduction.merge(&red);
                 (Ok(outcome), Provenance::Computed)
             }
-            JobStatus::Done(Err(msg)) => (Err(msg), Provenance::Failed),
-            JobStatus::Panicked(msg) => (Err(format!("panic: {msg}")), Provenance::Panicked),
+            JobStatus::Done(Err(msg)) => (Err(ScenarioError::Failed(msg)), Provenance::Failed),
+            JobStatus::Panicked(msg) => (Err(ScenarioError::Panicked(msg)), Provenance::Panicked),
             JobStatus::TimedOut { elapsed } => (
-                Err(format!("timed out after {:.3}s", elapsed.as_secs_f64())),
+                Err(ScenarioError::TimedOut { elapsed }),
                 Provenance::TimedOut,
             ),
         });
@@ -242,6 +274,76 @@ pub fn run_campaign(
         campaign_span.field_u64("jobs_executed", jobs_executed as u64);
     }
     (result, summary)
+}
+
+/// A campaign that completed but exceeded its fault budget. This is a
+/// *report*, not an abort: it carries the full partial [`CampaignResult`]
+/// (failed scenarios hold their typed [`ScenarioError`]) and the
+/// [`RunSummary`], so completed work is never discarded — callers write
+/// the partial results file and surface the failure list.
+#[derive(Debug)]
+pub struct CampaignError {
+    /// The partial result (every scenario present; failed ones as `Err`).
+    pub result: CampaignResult,
+    /// The run summary.
+    pub summary: RunSummary,
+    /// `(canonical scenario key, cause)` for every failed scenario, in
+    /// result order.
+    pub failures: Vec<(String, ScenarioError)>,
+    /// The budget that was in force.
+    pub fault_budget: usize,
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} of {} scenario(s) failed (fault budget {}); partial results retained",
+            self.failures.len(),
+            self.result.scenarios.len(),
+            self.fault_budget
+        )?;
+        for (key, cause) in &self.failures {
+            writeln!(f, "  {key}: {cause}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// Run a campaign under a fault budget: at most `fault_budget` failed
+/// scenarios are tolerated (their slots stay as typed errors in the
+/// result; the rest of the campaign is unaffected). One more and the
+/// whole run comes back as a [`CampaignError`] — still carrying the
+/// partial result, never discarding completed work. `fault_budget = 0`
+/// is the strict mode: any failure fails the campaign.
+pub fn run_campaign_checked(
+    spec: &CampaignSpec,
+    config: &ExecutorConfig,
+    cache: &ResultCache,
+    fault_budget: usize,
+) -> Result<(CampaignResult, RunSummary), Box<CampaignError>> {
+    let (result, summary) = run_campaign(spec, config, cache);
+    let failures: Vec<(String, ScenarioError)> = result
+        .scenarios
+        .iter()
+        .filter_map(|sr| {
+            sr.outcome
+                .as_ref()
+                .err()
+                .map(|e| (sr.scenario.base_canonical(), e.clone()))
+        })
+        .collect();
+    if failures.len() > fault_budget {
+        return Err(Box::new(CampaignError {
+            result,
+            summary,
+            failures,
+            fault_budget,
+        }));
+    }
+    Ok((result, summary))
 }
 
 /// Probe (without counting) whether every piece of a scenario is cached;
@@ -521,8 +623,8 @@ impl CampaignResult {
                                         ));
                                     }
                                 }
-                                Err(msg) => {
-                                    pairs.push(("error".into(), Value::Str(msg.clone())));
+                                Err(e) => {
+                                    pairs.push(("error".into(), Value::Str(e.to_string())));
                                 }
                             }
                             Value::Table(pairs)

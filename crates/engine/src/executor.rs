@@ -24,12 +24,32 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Executor configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ExecutorConfig {
     /// Worker count; 0 = one per available core.
     pub threads: usize,
     /// Per-job wall-clock budget; `None` = unlimited.
     pub job_timeout: Option<Duration>,
+    /// Extra attempts for a job that panicked or timed out. The first
+    /// run is not a retry: `max_retries = 1` allows up to two runs.
+    /// Deterministic jobs that fail deterministically simply fail
+    /// `1 + max_retries` times; the retry exists for faults that do not
+    /// reproduce (injected chaos, load-dependent timeouts).
+    pub max_retries: u32,
+    /// Deterministic backoff before retry `k` (1-based): sleeps
+    /// `k * retry_backoff_ms`. 0 = retry immediately.
+    pub retry_backoff_ms: u64,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            job_timeout: None,
+            max_retries: 1,
+            retry_backoff_ms: 0,
+        }
+    }
 }
 
 impl ExecutorConfig {
@@ -84,14 +104,15 @@ where
         run_span.field_u64("jobs", n_jobs as u64);
         run_span.field_u64("workers", threads as u64);
     }
-    // Per-worker deques, seeded round-robin.
-    let deques: Vec<Mutex<VecDeque<(usize, J)>>> =
+    // Per-worker deques, seeded round-robin. Entries carry the attempt
+    // number so retries stay bounded.
+    let deques: Vec<Mutex<VecDeque<(usize, u32, J)>>> =
         (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
     for (i, job) in jobs.into_iter().enumerate() {
         deques[i % threads]
             .lock()
             .expect("deque lock")
-            .push_back((i, job));
+            .push_back((i, 0, job));
     }
 
     let results: Mutex<Vec<Option<JobStatus<R>>>> = Mutex::new((0..n_jobs).map(|_| None).collect());
@@ -99,6 +120,8 @@ where
     let deques = &deques;
     let results_ref = &results;
     let timeout = config.job_timeout;
+    let max_retries = config.max_retries;
+    let retry_backoff_ms = config.retry_backoff_ms;
 
     std::thread::scope(|scope| {
         for me in 0..threads {
@@ -108,8 +131,8 @@ where
                     // Own deque first (front: FIFO locally for cache
                     // warmth of freshly seeded batches).
                     let next = deques[me].lock().expect("deque lock").pop_front();
-                    let (idx, job, was_stolen) = match next {
-                        Some((idx, j)) => (idx, j, false),
+                    let (idx, attempt, job, was_stolen) = match next {
+                        Some((idx, a, j)) => (idx, a, j, false),
                         None => {
                             // Steal from the back of the fullest sibling.
                             let victim = (0..threads)
@@ -118,9 +141,12 @@ where
                             let stolen = victim
                                 .and_then(|v| deques[v].lock().expect("deque lock").pop_back());
                             match stolen {
-                                Some((idx, j)) => (idx, j, true),
-                                // All deques empty: no job creates new
-                                // jobs, so the queue is drained for good.
+                                Some((idx, a, j)) => (idx, a, j, true),
+                                // All deques empty for this worker: a
+                                // retry can only be re-enqueued by the
+                                // worker that will itself keep looping
+                                // (it pushes to its own deque), so an
+                                // exit here never strands a job.
                                 None => break,
                             }
                         }
@@ -129,7 +155,12 @@ where
                     // so the thread's buffer flushes at every job end.
                     let job_span = llamp_obs::span("exec.job");
                     let started = Instant::now();
-                    let outcome = catch_unwind(AssertUnwindSafe(|| f(&job)));
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        if llamp_faults::should_inject("exec.job.panic") {
+                            panic!("injected fault: exec.job.panic");
+                        }
+                        f(&job)
+                    }));
                     let elapsed = started.elapsed();
                     let status = match outcome {
                         Err(panic) => JobStatus::Panicked(panic_message(panic)),
@@ -154,6 +185,23 @@ where
                         llamp_obs::observe_ns("exec.job_ns", elapsed.as_nanos() as u64);
                     }
                     drop(job_span);
+                    // Bounded retry: a failed attempt below the retry
+                    // budget goes back on this worker's own deque (which
+                    // this loop will drain), after a deterministic
+                    // linear backoff.
+                    if !matches!(status, JobStatus::Done(_)) && attempt < max_retries {
+                        llamp_obs::counter("exec.retry", 1);
+                        if retry_backoff_ms > 0 {
+                            std::thread::sleep(Duration::from_millis(
+                                u64::from(attempt + 1) * retry_backoff_ms,
+                            ));
+                        }
+                        deques[me]
+                            .lock()
+                            .expect("deque lock")
+                            .push_back((idx, attempt + 1, job));
+                        continue;
+                    }
                     results_ref.lock().expect("results lock")[idx] = Some(status);
                 }
                 if llamp_obs::is_enabled() {
@@ -191,6 +239,7 @@ mod tests {
         let cfg = ExecutorConfig {
             threads: 4,
             job_timeout: None,
+            ..Default::default()
         };
         let jobs: Vec<u64> = (0..100).collect();
         let out = run_jobs(&cfg, jobs, |&j| j * 2);
@@ -205,6 +254,7 @@ mod tests {
         let cfg = ExecutorConfig {
             threads: 2,
             job_timeout: None,
+            ..Default::default()
         };
         let out = run_jobs(&cfg, vec![1, 2, 3], |&j| {
             if j == 2 {
@@ -225,6 +275,7 @@ mod tests {
         let cfg = ExecutorConfig {
             threads: 2,
             job_timeout: Some(Duration::from_millis(10)),
+            ..Default::default()
         };
         let out = run_jobs(&cfg, vec![0u64, 50], |&ms| {
             std::thread::sleep(Duration::from_millis(ms));
@@ -240,6 +291,7 @@ mod tests {
         let cfg = ExecutorConfig {
             threads: 4,
             job_timeout: None,
+            ..Default::default()
         };
         let counter = AtomicUsize::new(0);
         let jobs: Vec<usize> = (0..64).collect();
@@ -249,11 +301,70 @@ mod tests {
     }
 
     #[test]
+    fn transient_panic_recovers_on_retry() {
+        // Job 1 panics on its first attempt only; with the default retry
+        // budget of one, the re-run succeeds and the campaign sees a
+        // clean `Done` — the failure is fully absorbed.
+        let cfg = ExecutorConfig {
+            threads: 2,
+            job_timeout: None,
+            ..Default::default()
+        };
+        let first = AtomicUsize::new(0);
+        let out = run_jobs(&cfg, vec![0usize, 1, 2], |&j| {
+            if j == 1 && first.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient");
+            }
+            j * 10
+        });
+        assert!(matches!(out[0], JobStatus::Done(0)));
+        assert!(matches!(out[1], JobStatus::Done(10)));
+        assert!(matches!(out[2], JobStatus::Done(20)));
+    }
+
+    #[test]
+    fn persistent_panic_exhausts_bounded_retries() {
+        // A deterministic panic must fail exactly `1 + max_retries`
+        // times, then surface as `Panicked` — bounded, not infinite.
+        let cfg = ExecutorConfig {
+            threads: 1,
+            job_timeout: None,
+            max_retries: 2,
+            retry_backoff_ms: 0,
+        };
+        let attempts = AtomicUsize::new(0);
+        let out: Vec<JobStatus<()>> = run_jobs(&cfg, vec![()], |_| {
+            attempts.fetch_add(1, Ordering::SeqCst);
+            panic!("always");
+        });
+        assert!(matches!(&out[0], JobStatus::Panicked(m) if m.contains("always")));
+        assert_eq!(attempts.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn zero_retries_preserves_fail_fast() {
+        let cfg = ExecutorConfig {
+            threads: 1,
+            job_timeout: None,
+            max_retries: 0,
+            retry_backoff_ms: 0,
+        };
+        let attempts = AtomicUsize::new(0);
+        let out: Vec<JobStatus<()>> = run_jobs(&cfg, vec![()], |_| {
+            attempts.fetch_add(1, Ordering::SeqCst);
+            panic!("once");
+        });
+        assert!(matches!(&out[0], JobStatus::Panicked(_)));
+        assert_eq!(attempts.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
     fn single_thread_matches_multi_thread() {
         let run = |threads| {
             let cfg = ExecutorConfig {
                 threads,
                 job_timeout: None,
+                ..Default::default()
             };
             run_jobs(&cfg, (0..37u64).collect(), |&j| j * j)
                 .into_iter()

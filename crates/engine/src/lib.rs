@@ -52,7 +52,10 @@ pub mod spec;
 pub mod value;
 
 pub use cache::{CacheStats, CachedEntry, ResultCache};
-pub use campaign::{run_campaign, CampaignResult, Provenance, RunSummary, ScenarioResult};
+pub use campaign::{
+    run_campaign, run_campaign_checked, CampaignError, CampaignResult, Provenance, RunSummary,
+    ScenarioError, ScenarioResult,
+};
 pub use executor::{run_jobs, ExecutorConfig, JobStatus};
 pub use metrics::{metrics_value, render_metrics};
 pub use scenario::{

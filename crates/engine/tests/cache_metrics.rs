@@ -53,6 +53,7 @@ fn config() -> ExecutorConfig {
     ExecutorConfig {
         threads: 1,
         job_timeout: None,
+        ..Default::default()
     }
 }
 

@@ -38,6 +38,7 @@ fn config(threads: usize) -> ExecutorConfig {
     ExecutorConfig {
         threads,
         job_timeout: None,
+        ..Default::default()
     }
 }
 
@@ -280,6 +281,7 @@ fn timed_out_jobs_leave_no_cache_entries() {
     let zero_budget = ExecutorConfig {
         threads: 1,
         job_timeout: Some(std::time::Duration::ZERO),
+        ..Default::default()
     };
     let (result, summary) = run_campaign(&spec, &zero_budget, &cache);
     assert!(

@@ -37,6 +37,7 @@ fn config(threads: usize) -> ExecutorConfig {
     ExecutorConfig {
         threads,
         job_timeout: None,
+        ..Default::default()
     }
 }
 

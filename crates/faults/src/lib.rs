@@ -1,0 +1,359 @@
+#![deny(missing_docs)]
+//! # llamp-faults — deterministic fault injection
+//!
+//! A process-global registry of *fault sites*: named points in the
+//! pipeline (`cache.load.corrupt`, `solve.stall`, `exec.job.panic`,
+//! `trace.parse.corrupt`, …) that ask [`should_inject`] whether to fail
+//! on purpose. The answer is a **pure function of (seed, site, hit
+//! index)** — no wall clock, no OS entropy — so a faulted run is exactly
+//! reproducible, which is what lets the chaos suite assert that a
+//! *recovered* run is byte-identical to the fault-free run.
+//!
+//! ## Spec syntax
+//!
+//! A spec is a comma-separated list of `site:arm` pairs:
+//!
+//! ```text
+//! LLAMP_FAULTS="solve.stall:3,cache.load.corrupt:0.1" llamp run …
+//! ```
+//!
+//! * `site:N` (integer) — fire exactly on the `N`-th hit of that site
+//!   (1-based) and never again. Count-based arms produce *one* fault per
+//!   site, so CI can demand full recovery and byte-identity.
+//! * `site:P` (float containing `.`, in `[0,1)`) — fire each hit
+//!   independently with probability `P`, decided by a counter-based
+//!   seeded hash. Probability arms are for chaos sweeps where repeated
+//!   faults may exhaust the recovery ladder; unrecovered runs must then
+//!   fail with typed errors, never panics.
+//!
+//! The optional `LLAMP_FAULTS_SEED` (u64, default 0) perturbs the
+//! probability hash; count arms ignore it.
+//!
+//! ## Zero overhead when off
+//!
+//! Like `llamp-obs`, every entry point first loads one relaxed atomic:
+//! with no spec configured, [`should_inject`] is a branch on a cached
+//! `false` — no lock, no allocation, no hashing. Production binaries
+//! that never call [`configure`]/[`init_from_env`] pay nothing.
+//!
+//! Fault-site naming follows the observability scheme
+//! (`subsystem.thing[.failure]`); the canonical site list lives in
+//! `docs/ROBUSTNESS.md`. Every fired injection bumps the obs counters
+//! `fault.injected` and `fault.injected.{site}`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// How one configured site decides whether a given hit fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Arm {
+    /// Fire exactly on the n-th hit (1-based), once.
+    Nth(u64),
+    /// Fire each hit independently with this probability.
+    Prob(f64),
+}
+
+#[derive(Debug)]
+struct Site {
+    name: String,
+    arm: Arm,
+    /// Hits observed so far (1-based after `fetch_add`).
+    hits: AtomicU64,
+    /// Faults actually fired at this site.
+    fired: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    sites: Vec<Site>,
+    seed: u64,
+    spec: String,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static REGISTRY: RwLock<Option<Registry>> = RwLock::new(None);
+
+/// A malformed fault spec (unknown arm syntax, probability out of range).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError(pub String);
+
+impl std::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid fault spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+fn parse_spec(spec: &str) -> Result<Vec<(String, Arm)>, FaultSpecError> {
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let Some((site, arm)) = part.rsplit_once(':') else {
+            return Err(FaultSpecError(format!(
+                "'{part}' — expected site:count or site:probability"
+            )));
+        };
+        let site = site.trim();
+        let arm = arm.trim();
+        if site.is_empty() {
+            return Err(FaultSpecError(format!("'{part}' — empty site name")));
+        }
+        let arm = if arm.contains('.') {
+            let p: f64 = arm
+                .parse()
+                .map_err(|_| FaultSpecError(format!("'{part}' — bad probability '{arm}'")))?;
+            if !(0.0..1.0).contains(&p) {
+                return Err(FaultSpecError(format!(
+                    "'{part}' — probability {p} outside [0, 1)"
+                )));
+            }
+            Arm::Prob(p)
+        } else {
+            let n: u64 = arm
+                .parse()
+                .map_err(|_| FaultSpecError(format!("'{part}' — bad count '{arm}'")))?;
+            if n == 0 {
+                return Err(FaultSpecError(format!(
+                    "'{part}' — counts are 1-based; ':1' fires on the first hit"
+                )));
+            }
+            Arm::Nth(n)
+        };
+        out.push((site.to_string(), arm));
+    }
+    Ok(out)
+}
+
+/// Configure the registry from a spec string (see the module docs for
+/// the syntax). An empty spec disables injection, like [`clear`].
+/// Replaces any previous configuration and resets all hit counters.
+pub fn configure(spec: &str, seed: u64) -> Result<(), FaultSpecError> {
+    let parsed = parse_spec(spec)?;
+    let mut reg = REGISTRY.write().unwrap();
+    if parsed.is_empty() {
+        *reg = None;
+        ENABLED.store(false, Ordering::Release);
+        return Ok(());
+    }
+    *reg = Some(Registry {
+        sites: parsed
+            .into_iter()
+            .map(|(name, arm)| Site {
+                name,
+                arm,
+                hits: AtomicU64::new(0),
+                fired: AtomicU64::new(0),
+            })
+            .collect(),
+        seed,
+        spec: spec.to_string(),
+    });
+    ENABLED.store(true, Ordering::Release);
+    Ok(())
+}
+
+/// Configure from the `LLAMP_FAULTS` / `LLAMP_FAULTS_SEED` environment
+/// variables. Absent or empty `LLAMP_FAULTS` leaves injection disabled.
+pub fn init_from_env() -> Result<(), FaultSpecError> {
+    let spec = std::env::var("LLAMP_FAULTS").unwrap_or_default();
+    let seed = std::env::var("LLAMP_FAULTS_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(0);
+    configure(&spec, seed)
+}
+
+/// Drop all configured sites; [`should_inject`] returns to its one-load
+/// fast path.
+pub fn clear() {
+    let mut reg = REGISTRY.write().unwrap();
+    *reg = None;
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Whether any fault site is configured (one relaxed atomic load).
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The spec string currently in force, if any.
+pub fn active_spec() -> Option<String> {
+    if !is_enabled() {
+        return None;
+    }
+    REGISTRY.read().unwrap().as_ref().map(|r| r.spec.clone())
+}
+
+/// Total faults fired across all sites since configuration.
+pub fn fired_total() -> u64 {
+    if !is_enabled() {
+        return 0;
+    }
+    REGISTRY
+        .read()
+        .unwrap()
+        .as_ref()
+        .map(|r| {
+            r.sites
+                .iter()
+                .map(|s| s.fired.load(Ordering::Relaxed))
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+/// splitmix64: the counter-based generator behind probability arms.
+/// Small, stable, and good enough to decorrelate (seed, site, hit).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Should the pipeline fail on purpose at `site`, right now?
+///
+/// Counts the hit, decides deterministically from (seed, site, hit
+/// index), and — when firing — bumps the `fault.injected` counters.
+/// Callers own the *failure semantics*: a `true` answer means "behave
+/// as if the fault the site names had just happened".
+#[inline]
+pub fn should_inject(site: &str) -> bool {
+    if !is_enabled() {
+        return false;
+    }
+    should_inject_slow(site)
+}
+
+#[cold]
+fn should_inject_slow(site: &str) -> bool {
+    let reg = REGISTRY.read().unwrap();
+    let Some(reg) = reg.as_ref() else {
+        return false;
+    };
+    let Some(s) = reg.sites.iter().find(|s| s.name == site) else {
+        return false;
+    };
+    let hit = s.hits.fetch_add(1, Ordering::Relaxed) + 1;
+    let fire = match s.arm {
+        Arm::Nth(n) => hit == n,
+        Arm::Prob(p) => {
+            let h = splitmix64(
+                reg.seed ^ fnv1a(site.as_bytes()) ^ hit.wrapping_mul(0x2545_F491_4F6C_DD1D),
+            );
+            // Map the top 53 bits to a unit float, same construction as
+            // rand's `Open01`.
+            let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            unit < p
+        }
+    };
+    if fire {
+        s.fired.fetch_add(1, Ordering::Relaxed);
+        llamp_obs::counter("fault.injected", 1);
+        if llamp_obs::is_enabled() {
+            llamp_obs::counter(&format!("fault.injected.{site}"), 1);
+        }
+    }
+    fire
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The registry is process-global; unit tests serialize on this lock
+    // so `cargo test` parallelism cannot interleave configurations.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn session() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_is_the_default_and_never_fires() {
+        let _g = session();
+        clear();
+        assert!(!is_enabled());
+        assert!(!should_inject("solve.stall"));
+        assert_eq!(active_spec(), None);
+    }
+
+    #[test]
+    fn count_arm_fires_exactly_on_the_nth_hit() {
+        let _g = session();
+        configure("solve.stall:3", 0).unwrap();
+        assert!(!should_inject("solve.stall"));
+        assert!(!should_inject("solve.stall"));
+        assert!(should_inject("solve.stall"));
+        assert!(!should_inject("solve.stall"));
+        assert!(!should_inject("solve.stall"));
+        assert_eq!(fired_total(), 1);
+        // Unconfigured sites never fire even while enabled.
+        assert!(!should_inject("cache.load.corrupt"));
+        clear();
+    }
+
+    #[test]
+    fn probability_arm_is_deterministic_in_seed_and_hit_index() {
+        let _g = session();
+        configure("exec.job.panic:0.5", 42).unwrap();
+        let a: Vec<bool> = (0..64).map(|_| should_inject("exec.job.panic")).collect();
+        configure("exec.job.panic:0.5", 42).unwrap();
+        let b: Vec<bool> = (0..64).map(|_| should_inject("exec.job.panic")).collect();
+        assert_eq!(a, b, "same seed + hit index must decide identically");
+        assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x));
+        // A different seed gives a different firing pattern.
+        configure("exec.job.panic:0.5", 43).unwrap();
+        let c: Vec<bool> = (0..64).map(|_| should_inject("exec.job.panic")).collect();
+        assert_ne!(a, c);
+        clear();
+    }
+
+    #[test]
+    fn multi_site_specs_parse_and_route() {
+        let _g = session();
+        configure("a.b:1, c.d.e:0.0", 7).unwrap();
+        assert_eq!(active_spec().as_deref(), Some("a.b:1, c.d.e:0.0"));
+        assert!(should_inject("a.b"));
+        assert!(!should_inject("c.d.e")); // p = 0.0 never fires
+        clear();
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        let _g = session();
+        for bad in ["solve.stall", "x:", "x:abc", "x:1.5", "x:-0.1", "x:0", ":3"] {
+            assert!(configure(bad, 0).is_err(), "{bad} should be rejected");
+        }
+        // A failed configure leaves the previous configuration in force,
+        // never a half-applied one.
+        assert!(configure("ok.site:1", 0).is_ok());
+        assert!(configure("broken", 0).is_err());
+        assert_eq!(active_spec().as_deref(), Some("ok.site:1"));
+        clear();
+    }
+
+    #[test]
+    fn empty_spec_disables() {
+        let _g = session();
+        configure("a:1", 0).unwrap();
+        assert!(is_enabled());
+        configure("", 0).unwrap();
+        assert!(!is_enabled());
+    }
+}

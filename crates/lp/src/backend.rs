@@ -26,9 +26,10 @@
 //! `"parametric"`); campaign specs and the `llamp` CLI surface the same
 //! names as `lp-dense` / `lp-sparse` / `lp-parametric`.
 
+use crate::error::SolveError;
 use crate::model::{LpModel, Objective, VarId};
 use crate::simplex::{reextract, solve_dense, solve_sparse, SimplexOptions};
-use crate::solution::{Basis, Solution, SolveStats, SolveStatus};
+use crate::solution::{Basis, Solution, SolveStats};
 
 /// A solver that can answer LLAMP's LP queries, re-using work across the
 /// incremental model edits a latency sweep performs.
@@ -37,12 +38,12 @@ pub trait SolverBackend: std::fmt::Debug + Send {
     fn name(&self) -> &'static str;
 
     /// Cold solve: ignore (and replace) any retained warm state.
-    fn solve(&mut self, model: &LpModel) -> Result<Solution, SolveStatus>;
+    fn solve(&mut self, model: &LpModel) -> Result<Solution, SolveError>;
 
     /// Re-solve after incremental model edits, warm-starting from the
     /// previous optimal basis when one is retained. Falls back to a cold
     /// solve when no state fits the model.
-    fn resolve(&mut self, model: &LpModel) -> Result<Solution, SolveStatus>;
+    fn resolve(&mut self, model: &LpModel) -> Result<Solution, SolveError>;
 
     /// The basis the next `resolve` would warm-start from, if any.
     fn warm_basis(&self) -> Option<&Basis>;
@@ -100,14 +101,14 @@ impl SolverBackend for DenseSimplex {
         "dense"
     }
 
-    fn solve(&mut self, model: &LpModel) -> Result<Solution, SolveStatus> {
+    fn solve(&mut self, model: &LpModel) -> Result<Solution, SolveError> {
         let sol = solve_dense(model, &self.opts, None)?;
         self.stats.merge(sol.stats());
         self.warm = Some(sol.basis().clone());
         Ok(sol)
     }
 
-    fn resolve(&mut self, model: &LpModel) -> Result<Solution, SolveStatus> {
+    fn resolve(&mut self, model: &LpModel) -> Result<Solution, SolveError> {
         let sol = solve_dense(model, &self.opts, self.warm.as_ref())?;
         self.stats.merge(sol.stats());
         self.warm = Some(sol.basis().clone());
@@ -155,14 +156,14 @@ impl SolverBackend for SparseSimplex {
         "sparse"
     }
 
-    fn solve(&mut self, model: &LpModel) -> Result<Solution, SolveStatus> {
+    fn solve(&mut self, model: &LpModel) -> Result<Solution, SolveError> {
         let sol = solve_sparse(model, &self.opts, None)?;
         self.stats.merge(sol.stats());
         self.warm = Some(sol.basis().clone());
         Ok(sol)
     }
 
-    fn resolve(&mut self, model: &LpModel) -> Result<Solution, SolveStatus> {
+    fn resolve(&mut self, model: &LpModel) -> Result<Solution, SolveError> {
         let sol = solve_sparse(model, &self.opts, self.warm.as_ref())?;
         self.stats.merge(sol.stats());
         self.warm = Some(sol.basis().clone());
@@ -286,14 +287,14 @@ impl SolverBackend for Parametric {
         "parametric"
     }
 
-    fn solve(&mut self, model: &LpModel) -> Result<Solution, SolveStatus> {
+    fn solve(&mut self, model: &LpModel) -> Result<Solution, SolveError> {
         let sol = solve_sparse(model, &self.opts, None)?;
         self.stats.merge(sol.stats());
         self.remember(model, &sol);
         Ok(sol)
     }
 
-    fn resolve(&mut self, model: &LpModel) -> Result<Solution, SolveStatus> {
+    fn resolve(&mut self, model: &LpModel) -> Result<Solution, SolveError> {
         // Parametric shortcut: lower bounds moved inside the previous
         // basis-stability window ⇒ the basis is still optimal, so a
         // pivot-free re-extraction answers exactly. The window comes from

@@ -72,15 +72,30 @@
 //! brute-force vertex enumeration) in the test suites of this crate and
 //! `llamp-core`.
 
+//!
+//! ## Robustness
+//!
+//! Failed solves surface as the typed [`SolveError`]: model properties
+//! (infeasible / unbounded) versus recoverable solve failures (budget
+//! exhaustion, numerical distress, injected faults). For the latter,
+//! [`robust::resolve_robust`] walks the fallback ladder — warm resolve →
+//! cold sparse re-solve → dense-inverse re-solve — and canonical
+//! extraction guarantees any rung that succeeds returns the
+//! byte-identical answer the no-fault solve would have produced.
+
 pub mod backend;
+pub mod error;
 pub(crate) mod factor;
 pub mod model;
 pub mod piecewise;
 pub mod presolve;
+pub mod robust;
 pub mod simplex;
 pub mod solution;
 
 pub use backend::{by_name, DenseSimplex, Parametric, SolverBackend, SparseSimplex};
+pub use error::{Distress, SolveError};
 pub use model::{ConId, LpModel, Objective, Relation, VarId};
 pub use piecewise::{Envelope, Line};
+pub use robust::resolve_robust;
 pub use solution::{Basis, Solution, SolveStats, SolveStatus};

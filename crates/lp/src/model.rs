@@ -247,7 +247,7 @@ impl LpModel {
     ///
     /// [`simplex::SimplexOptions`]: crate::simplex::SimplexOptions
     /// [`Solution`]: crate::solution::Solution
-    pub fn solve(&self) -> Result<crate::solution::Solution, crate::solution::SolveStatus> {
+    pub fn solve(&self) -> Result<crate::solution::Solution, crate::error::SolveError> {
         crate::simplex::solve(self, &crate::simplex::SimplexOptions::default())
     }
 }

@@ -45,7 +45,7 @@ impl Presolved {
     /// Solve the reduced model and report the objective in the original
     /// model's terms.
     pub fn solve(&self) -> Result<(f64, Vec<f64>), SolveStatus> {
-        let sol = self.model.solve()?;
+        let sol = self.model.solve().map_err(|e| e.status())?;
         Ok((sol.objective() + self.objective_offset, self.recover(&sol)))
     }
 

@@ -156,12 +156,12 @@ proptest! {
     /// on the same objective.
     #[test]
     fn degenerate_lps_terminate(lp in degenerate_lp(5, 8)) {
-        use llamp_lp::SolveStatus;
+        use llamp_lp::SolveError;
         let m = build(&lp);
         let devex = solve(&m, &SimplexOptions::default());
         let bland = solve(&m, &SimplexOptions { bland_after: 0, ..Default::default() });
-        prop_assert!(!matches!(devex, Err(SolveStatus::IterationLimit)), "devex hit the cap");
-        prop_assert!(!matches!(bland, Err(SolveStatus::IterationLimit)), "bland hit the cap");
+        prop_assert!(!matches!(devex, Err(SolveError::IterationLimit)), "devex hit the cap");
+        prop_assert!(!matches!(bland, Err(SolveError::IterationLimit)), "bland hit the cap");
         if let (Ok(a), Ok(b)) = (&devex, &bland) {
             prop_assert!(
                 (a.objective() - b.objective()).abs() < 1e-5 * (1.0 + a.objective().abs()),

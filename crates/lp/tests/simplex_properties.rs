@@ -7,7 +7,7 @@
 //! agreement with brute-force vertex enumeration on tiny instances.
 
 use llamp_lp::simplex::{solve, solve_dense, solve_sparse, SimplexOptions};
-use llamp_lp::{ConId, LpModel, Objective, Relation, SolveStatus, VarId};
+use llamp_lp::{ConId, LpModel, Objective, Relation, VarId};
 use proptest::prelude::*;
 
 /// A constraint row: sparse terms, relation code (0 ≤, 1 ≥, 2 =), rhs.
@@ -270,7 +270,7 @@ proptest! {
     #[test]
     fn infeasible_verdicts_have_no_witness(lp in lp_strategy(3, 4)) {
         let (m, _, _) = build(&lp);
-        if let Err(SolveStatus::Infeasible) = m.solve() {
+        if let Err(llamp_lp::SolveError::Infeasible) = m.solve() {
             let steps = 9usize;
             let mut idx = vec![0usize; lp.nvars];
             loop {

@@ -181,6 +181,15 @@ pub fn parse_trace_into<S: TraceSink>(
     input: &str,
     sink: &mut S,
 ) -> Result<u32, StreamError<S::Error>> {
+    // Chaos site: simulates a torn/corrupted read surfacing as a typed
+    // parse error (never a panic, never silent truncation).
+    if llamp_faults::should_inject("trace.parse.corrupt") {
+        return Err(ParseError {
+            line: 0,
+            message: "injected fault: trace.parse.corrupt".into(),
+        }
+        .into());
+    }
     let mut nranks: Option<u32> = None;
     let mut ranks_seen = 0u32;
     for (idx, raw) in input.lines().enumerate() {

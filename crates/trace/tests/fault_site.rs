@@ -1,0 +1,24 @@
+//! The `trace.parse.corrupt` chaos site in its own test binary: the fault
+//! registry is process-global, so this cannot share a process with the
+//! fuzz tests without racing over who consumes the injection.
+
+use llamp_trace::text::parse_trace;
+use llamp_trace::{ProgramSet, TracerConfig};
+
+#[test]
+fn injected_corruption_is_a_typed_error() {
+    let text = llamp_trace::text::write_trace(
+        &ProgramSet::spmd(1, |_, b| {
+            b.comp(10.0);
+            b.barrier();
+        })
+        .trace(&TracerConfig::default()),
+    );
+    llamp_faults::configure("trace.parse.corrupt:1", 7).unwrap();
+    let e = parse_trace(&text).unwrap_err();
+    assert!(e.message.contains("injected fault"));
+    // One-shot count arm: the parser works again without reconfiguration.
+    assert!(parse_trace(&text).is_ok());
+    llamp_faults::clear();
+    assert!(parse_trace(&text).is_ok());
+}

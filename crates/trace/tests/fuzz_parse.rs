@@ -1,0 +1,125 @@
+//! Parser fuzzing: mutated trace bytes must never panic the parser.
+//!
+//! Starts from a valid round-trippable trace, applies randomised byte- and
+//! line-level corruption (truncation, bit flips, splices, line deletion and
+//! duplication), and asserts the only two legal outcomes: a clean parse or
+//! a typed [`ParseError`]. Any panic fails the property. This is the
+//! regression net behind the self-healing pipeline: upstream layers
+//! (cache quarantine, campaign error reports) rely on the parser
+//! surfacing corruption as `Err`, never aborting the process.
+
+use llamp_trace::text::{parse_trace, write_trace};
+use llamp_trace::{ProgramSet, TracerConfig};
+use proptest::prelude::*;
+
+fn base_trace_text() -> String {
+    let tr = ProgramSet::spmd(2, |rank, b| {
+        b.comp(1_000.0);
+        if rank == 0 {
+            let r = b.isend(1, 3_500, 15);
+            b.comp(250.0);
+            b.wait(r);
+        } else {
+            let r = b.irecv(0, 3_500, 15);
+            b.wait(r);
+        }
+        b.allreduce(8);
+        b.sendrecv(1 - rank, 64, 1, 1 - rank, 64, 1);
+        b.barrier();
+        b.bcast(1024, 0);
+        b.reduce(512, 1);
+    })
+    .trace(&TracerConfig::default());
+    write_trace(&tr)
+}
+
+/// One corruption step, described as data so strategies stay `Clone`.
+#[derive(Debug, Clone)]
+enum Mutation {
+    /// Cut the input off at a relative position.
+    Truncate(f64),
+    /// XOR one byte with a mask.
+    FlipByte { pos: f64, mask: u8 },
+    /// Insert junk bytes at a relative position.
+    Splice { pos: f64, junk: Vec<u8> },
+    /// Remove one line.
+    DeleteLine(f64),
+    /// Repeat one line (duplicate @rank headers, double records).
+    DuplicateLine(f64),
+}
+
+fn mutation_strategy() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        (0.0f64..1.0).prop_map(Mutation::Truncate),
+        (0.0f64..1.0, 1u8..=255).prop_map(|(pos, mask)| Mutation::FlipByte { pos, mask }),
+        ((0.0f64..1.0), prop::collection::vec(0u8..=255, 1..16))
+            .prop_map(|(pos, junk)| Mutation::Splice { pos, junk }),
+        (0.0f64..1.0).prop_map(Mutation::DeleteLine),
+        (0.0f64..1.0).prop_map(Mutation::DuplicateLine),
+    ]
+}
+
+fn apply(text: &str, m: &Mutation) -> String {
+    let mut bytes = text.as_bytes().to_vec();
+    let at = |rel: f64, len: usize| ((rel * len as f64) as usize).min(len.saturating_sub(1));
+    match m {
+        Mutation::Truncate(rel) => {
+            let n = at(*rel, bytes.len());
+            bytes.truncate(n);
+        }
+        Mutation::FlipByte { pos, mask } => {
+            if !bytes.is_empty() {
+                let n = at(*pos, bytes.len());
+                bytes[n] ^= mask;
+            }
+        }
+        Mutation::Splice { pos, junk } => {
+            let n = at(*pos, bytes.len());
+            for (i, b) in junk.iter().enumerate() {
+                bytes.insert(n + i, *b);
+            }
+        }
+        Mutation::DeleteLine(rel) => {
+            let mut lines: Vec<&str> = text.lines().collect();
+            if !lines.is_empty() {
+                let n = at(*rel, lines.len());
+                lines.remove(n);
+            }
+            return lines.join("\n");
+        }
+        Mutation::DuplicateLine(rel) => {
+            let mut lines: Vec<&str> = text.lines().collect();
+            if !lines.is_empty() {
+                let n = at(*rel, lines.len());
+                lines.insert(n, lines[n]);
+            }
+            return lines.join("\n");
+        }
+    }
+    // Byte-level damage can break UTF-8; the parser takes &str, so model
+    // what a real reader would hand it after lossy decoding.
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    #[test]
+    fn mutated_traces_never_panic(
+        mutations in prop::collection::vec(mutation_strategy(), 1..6),
+    ) {
+        let mut text = base_trace_text();
+        for m in &mutations {
+            text = apply(&text, m);
+        }
+        // Ok (the damage happened to stay well-formed) and Err are both
+        // legal; a panic aborts the test binary and fails the property.
+        let _ = parse_trace(&text);
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics(
+        junk in prop::collection::vec(0u8..=255, 0..512),
+    ) {
+        let text = String::from_utf8_lossy(&junk).into_owned();
+        let _ = parse_trace(&text);
+    }
+}

@@ -16,7 +16,7 @@
 //! through the parametric backend, and the solver's iteration count.
 
 use llamp_bench::{graph_of, linspace};
-use llamp_core::{Binding, GraphLp, ReduceConfig};
+use llamp_core::{Binding, CrashKind, GraphLp, ReduceConfig};
 use llamp_model::LogGPSParams;
 use llamp_util::time::us;
 use llamp_workloads::App;
@@ -30,6 +30,7 @@ struct Row {
     reduce_ms: f64,
     cold_anchor_ms: f64,
     cold_iterations: u64,
+    crash_topo_iterations: u64,
     warm_sweep_ms: f64,
     warm_points: usize,
 }
@@ -68,7 +69,7 @@ fn main() {
         assert_eq!(num_rows as u64, stats.rows_after, "row estimate is exact");
 
         // Cold anchor: a fresh sparse backend solving at the base latency
-        // from the build-time (crash) state — the per-scenario campaign
+        // from the longest-path crash basis — the per-scenario campaign
         // cost. Best of three fresh solves, so one cold-cache outlier
         // cannot distort the tracked trajectory.
         let mut cold_anchor_ms = f64::INFINITY;
@@ -80,6 +81,13 @@ fn main() {
             anchor = lp.predict(params.l).expect("anchor solves");
             cold_anchor_ms = cold_anchor_ms.min(t0.elapsed().as_secs_f64() * 1e3);
         }
+
+        // Crash comparison: the same cold anchor from the historic
+        // topological (largest-constant) heuristic, tracking what the
+        // exact longest-path crash saves in iterations.
+        let mut topo = GraphLp::build_named(graph, &binding, "sparse").unwrap();
+        topo.set_crash_kind(CrashKind::Topological);
+        let crash_topo_iterations = topo.predict(params.l).expect("anchor solves").iterations;
 
         // Warm sweep: every point seeded from the anchor basis, the
         // engine's access pattern.
@@ -100,7 +108,7 @@ fn main() {
 
         eprintln!(
             "{:<12} rows {:>5} -> {:>4} ({:.1}x)  ingest {:>6.2} ms  reduce {:>6.2} ms  \
-             cold anchor {:>8.3} ms ({} iters)  warm 64-pt sweep {:>8.2} ms",
+             cold anchor {:>8.3} ms ({} iters; topo crash {})  warm 64-pt sweep {:>8.2} ms",
             app.name().to_ascii_lowercase(),
             stats.rows_before,
             stats.rows_after,
@@ -109,6 +117,7 @@ fn main() {
             reduce_ms,
             cold_anchor_ms,
             anchor.iterations,
+            crash_topo_iterations,
             warm_sweep_ms
         );
         rows.push(Row {
@@ -119,6 +128,7 @@ fn main() {
             reduce_ms,
             cold_anchor_ms,
             cold_iterations: anchor.iterations,
+            crash_topo_iterations,
             warm_sweep_ms,
             warm_points: deltas.len(),
         });
@@ -130,12 +140,15 @@ fn main() {
     //   outer iterations, the `llamp gen` stress shape). Tracks the
     //   streaming-ingest and partitioned-reduction wall clocks at one
     //   worker vs one-per-core, and asserts thread-count determinism.
-    //   No LP numbers: the cold simplex anchor scales ~quadratically in
-    //   rows (docs/SCALING.md) and takes minutes at the 137k rows this
-    //   shape reduces to — the front end is what this tier tracks.
-    // * `large_lp` — LULESH at ~1.2×10⁵ vertices (16k reduced rows),
-    //   the largest shape where the solver itself stays in single-digit
-    //   seconds. Tracks the cold anchor and warm 64-point sweep there.
+    // * `large_lp` — the LP solved on the *same* ~10⁶-vertex shape
+    //   (137k reduced rows). The longest-path crash basis makes the cold
+    //   anchor a factorisation plus one pricing pass (no pivots), so the
+    //   anchor lands well under a second where the topological heuristic
+    //   took minutes. The 64-point sweep here starts every point from
+    //   its own crash basis (backend reset per point): at this scale the
+    //   crash is optimal at the point, so a "cold" start beats warm
+    //   re-solves from the anchor basis, whose far points pay thousands
+    //   of pivots (measured ~25 min for the same sweep).
     let mut large_json = String::new();
     if !skip_large {
         let set = llamp_workloads::scaled(App::Lulesh, 2, 430);
@@ -170,37 +183,31 @@ fn main() {
             rn.stats().rows_after
         );
 
-        let set_lp = llamp_workloads::scaled(App::Lulesh, 2, 50);
-        let raw_lp = graph_of(&set_lp);
-        let red_lp = raw_lp.reduced(&ReduceConfig::default());
-        let params_l = LogGPSParams::cscs_testbed(raw_lp.nranks()).with_o(us(6.0));
+        let params_l = LogGPSParams::cscs_testbed(raw.nranks()).with_o(us(6.0));
         let binding_l = Binding::uniform(&params_l);
-        let graph = red_lp.graph();
+        let graph = rn.graph();
         let mut lp = GraphLp::build_named(graph, &binding_l, "sparse").unwrap();
         let t_cold = Instant::now();
         let anchor = lp.predict(params_l.l).expect("large anchor solves");
         let cold_anchor_ms = t_cold.elapsed().as_secs_f64() * 1e3;
 
-        let anchor_basis = lp.warm_basis().expect("anchor leaves a basis");
-        let mut warm = GraphLp::build_named(graph, &binding_l, "parametric").unwrap();
-        let t_warm = Instant::now();
+        let t_sweep = Instant::now();
         let mut acc = 0.0;
         for &d in &deltas {
-            warm.seed_backend(&anchor_basis);
-            acc += warm
+            lp.reset_backend();
+            acc += lp
                 .predict(params_l.l + d)
                 .expect("large sweep point solves")
                 .runtime;
         }
-        let warm_sweep_ms = t_warm.elapsed().as_secs_f64() * 1e3;
+        let sweep_ms = t_sweep.elapsed().as_secs_f64() * 1e3;
         assert!(acc.is_finite());
         eprintln!(
-            "large-lp      lulesh x(2,50)   {} verts  rows {} -> {}  \
+            "large-lp      lulesh x(2,430)  {vertices} verts  rows {} -> {}  \
              cold anchor {cold_anchor_ms:.0} ms ({} iters)  \
-             warm 64-pt sweep {warm_sweep_ms:.0} ms",
-            raw_lp.num_vertices(),
-            red_lp.stats().rows_before,
-            red_lp.stats().rows_after,
+             crash-start 64-pt sweep {sweep_ms:.0} ms",
+            rn.stats().rows_before,
+            rn.stats().rows_after,
             anchor.iterations
         );
 
@@ -209,14 +216,13 @@ fn main() {
              \"vertices\": {vertices}, \"edges\": {edges}, \"rows_reduced\": {}, \
              \"ingest_ms\": {ingest_ms:.3}, \"reduce_ms_t1\": {reduce_ms_t1:.3}, \
              \"reduce_ms_tn\": {reduce_ms_tn:.3}, \"reduce_threads\": {reduce_threads}}},\n  \
-             \"large_lp\": {{\"workload\": \"lulesh\", \"rank_mult\": 2, \"iter_mult\": 50, \
-             \"vertices\": {}, \"rows_raw\": {}, \"rows_reduced\": {}, \
+             \"large_lp\": {{\"workload\": \"lulesh\", \"rank_mult\": 2, \"iter_mult\": 430, \
+             \"vertices\": {vertices}, \"rows_raw\": {}, \"rows_reduced\": {}, \
              \"cold_anchor_ms\": {cold_anchor_ms:.3}, \"cold_iterations\": {}, \
-             \"warm_sweep_ms\": {warm_sweep_ms:.3}, \"warm_points\": {}}},\n",
+             \"sweep_ms\": {sweep_ms:.3}, \"sweep_points\": {}, \"sweep_start\": \"crash\"}},\n",
             rn.stats().rows_after,
-            raw_lp.num_vertices(),
-            red_lp.stats().rows_before,
-            red_lp.stats().rows_after,
+            rn.stats().rows_before,
+            rn.stats().rows_after,
             anchor.iterations,
             deltas.len()
         );
@@ -227,8 +233,9 @@ fn main() {
         json.push_str(&format!(
             "    {{\"workload\": \"{}\", \"rows_raw\": {}, \"rows_reduced\": {}, \
              \"ingest_ms\": {:.3}, \"reduce_ms\": {:.3}, \
-             \"cold_anchor_ms\": {:.3}, \"cold_iterations\": {}, \"warm_sweep_ms\": {:.3}, \
-             \"warm_points\": {}}}{}\n",
+             \"cold_anchor_ms\": {:.3}, \"cold_iterations\": {}, \
+             \"crash\": {{\"longest_path_iters\": {}, \"topological_iters\": {}}}, \
+             \"warm_sweep_ms\": {:.3}, \"warm_points\": {}}}{}\n",
             r.workload.to_ascii_lowercase(),
             r.rows_raw,
             r.rows_reduced,
@@ -236,6 +243,8 @@ fn main() {
             r.reduce_ms,
             r.cold_anchor_ms,
             r.cold_iterations,
+            r.cold_iterations,
+            r.crash_topo_iterations,
             r.warm_sweep_ms,
             r.warm_points,
             if i + 1 == rows.len() { "" } else { "," }

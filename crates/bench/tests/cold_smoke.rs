@@ -2,11 +2,13 @@
 //! --release -p llamp-bench --test cold_smoke -- --ignored`): the cold
 //! sparse anchor solve on the LULESH proxy must stay within an iteration
 //! ceiling and a generous wall budget. The ceiling is the regression
-//! tripwire for the hypersparse pricing work (ISSUE 3): the topological
-//! crash basis plus Devex partial pricing land the anchor in a few dozen
-//! iterations (observed: ~35; the PR 2 all-logical start needed 535), so
-//! a pricing or crash regression shows up as an order-of-magnitude jump
-//! long before the wall budget trips.
+//! tripwire for the solver-start work: the longest-path crash basis
+//! (ISSUE 9) lands the anchor in a single iteration — zero pivots, just
+//! the optimality pricing pass (the ISSUE 3 topological heuristic needed
+//! ~35, the PR 2 all-logical start 535) — so a pricing or crash
+//! regression shows up as an order-of-magnitude jump long before the
+//! wall budget trips. `anchor_scaling.rs` is the same tripwire at the
+//! 32k-row scaled shape.
 
 use llamp_bench::graph_of;
 use llamp_core::{Binding, GraphLp};
@@ -15,7 +17,8 @@ use llamp_util::time::us;
 use llamp_workloads::App;
 use std::time::Instant;
 
-/// Iteration ceiling for the LULESH cold anchor (944 rows). Observed: ~35.
+/// Iteration ceiling for the LULESH cold anchor (944 rows). Observed: 1
+/// with the longest-path crash (~35 with the topological heuristic).
 const ITERATION_CEILING: u64 = 200;
 /// Wall budget in seconds (observed: ~1 ms in release; CI machines vary).
 const WALL_BUDGET_S: f64 = 2.0;

@@ -12,6 +12,7 @@
 //! which is what makes the reduced cost of `l` equal `∂T/∂L ≥ 0`.
 
 use crate::binding::Binding;
+use crate::crash::{CrashKind, CrashPlan, CrashRow, NO_BASE};
 use crate::lowering::lower_walk;
 use llamp_lp::backend::{by_name, Parametric, SolverBackend};
 use llamp_lp::{
@@ -39,9 +40,12 @@ pub struct GraphLp {
     l: VarId,
     t: VarId,
     backend: Box<dyn SolverBackend>,
-    /// Topological crash basis (see [`GraphLp::build_with_backend`]):
-    /// the structural starting point every cold solve is seeded from.
-    crash: Basis,
+    /// Crash *plan* (see [`GraphLp::build_with_backend`]): the per-row
+    /// longest-path recursion records, instantiated into a concrete
+    /// crash [`Basis`] at each query's latency point.
+    plan: CrashPlan,
+    /// Which in-edge selection rule instantiates the plan.
+    crash_kind: CrashKind,
 }
 
 /// What a single `predict` solve reports (the quantities LLAMP reads from
@@ -80,8 +84,8 @@ impl GraphLp {
         Self::build_with_backend(graph, binding, Box::new(Parametric::default()))
     }
 
-    /// Algorithm 1 with a named solver backend (`"dense"`, `"sparse"` or
-    /// `"parametric"`; see [`by_name`]).
+    /// Algorithm 1 with a named solver backend (`"dense"`, `"sparse"`,
+    /// `"parametric"` or `"dual"`; see [`by_name`]).
     pub fn build_named<V: GraphView + ?Sized>(
         graph: &V,
         binding: &Binding,
@@ -93,16 +97,18 @@ impl GraphLp {
     /// Algorithm 1: build the LP for `graph` under `binding`, answered by
     /// an explicit solver backend.
     ///
-    /// Alongside the model this assembles a *topological crash basis*:
-    /// every merge variable `y_v` (and the makespan `t`) is made basic on
-    /// its largest-constant incoming row, all other rows keep their
-    /// logical basic. By the graph's topological order that submatrix is
-    /// unit lower triangular — trivially nonsingular — and it encodes the
-    /// greedy "max over predecessors" forward evaluation, which is
-    /// exactly the LP optimum's critical-path structure. Cold solves are
-    /// seeded from it, replacing the maximally infeasible all-logical
-    /// start (whose phase 1 costs ~1 pivot per row) with a start that is
-    /// usually a handful of pivots from optimal.
+    /// Alongside the model this records a [`CrashPlan`]: one record per
+    /// row of the longest-path recursion the LP encodes. Each query
+    /// instantiates the plan *at its latency point* — by default
+    /// ([`CrashKind::LongestPath`]) running the exact forward DAG
+    /// longest-path pass, so every merge variable `y_v` (and the makespan
+    /// `t`) is made basic on the row that defines its max at that point
+    /// while all other rows keep their logical basic. By the graph's
+    /// topological order that submatrix is unit lower triangular —
+    /// trivially nonsingular — and evaluated at the query point the basis
+    /// is primal feasible *and* dual feasible, i.e. optimal up to
+    /// degeneracy: a cold solve seeded from it needs no pivots at all,
+    /// only the LU factorisation and the optimality pricing pass.
     pub fn build_with_backend<V: GraphView + ?Sized>(
         graph: &V,
         binding: &Binding,
@@ -114,10 +120,10 @@ impl GraphLp {
         let mut model = LpModel::new(Objective::Minimize);
         let l = model.add_var("l", 0.0, f64::INFINITY, 0.0);
         let t = model.add_var("t", f64::NEG_INFINITY, f64::INFINITY, 1.0);
-        // Crash-basis statuses, filled in as variables and rows appear.
+        // Crash-plan skeleton, filled in as variables and rows appear.
         let mut col_status = vec![VarStatus::AtLower, VarStatus::FreeZero];
-        let mut row_status: Vec<VarStatus> = Vec::new();
-        let mut best_sink: Option<(f64, usize)> = None;
+        let mut rows: Vec<CrashRow> = Vec::new();
+        let mut has_sink = false;
 
         let n = graph.num_vertices();
         let mut exprs: Vec<Expr> = vec![
@@ -151,7 +157,6 @@ impl GraphLp {
                 _ => {
                     let y = model.add_var(format!("y{v}"), f64::NEG_INFINITY, f64::INFINITY, 0.0);
                     col_status.push(VarStatus::Basic);
-                    let mut best_in: Option<(f64, usize)> = None;
                     for &(p, eb) in low.preds {
                         let (ec, em) = binding.project(eb);
                         let u = exprs[p as usize];
@@ -165,17 +170,15 @@ impl GraphLp {
                             terms.push((l, -m));
                         }
                         let rhs = u.c + ec;
-                        let row_idx = row_status.len();
                         model.add_constraint(format!("in{v}_{p}"), &terms, Relation::Ge, rhs);
-                        row_status.push(VarStatus::Basic);
-                        // Defining in-edge for the crash: largest constant
-                        // (strict >, so ties keep the lowest row index).
-                        if best_in.is_none_or(|(bv, _)| rhs > bv) {
-                            best_in = Some((rhs, row_idx));
-                        }
-                    }
-                    if let Some((_, ri)) = best_in {
-                        row_status[ri] = VarStatus::AtLower;
+                        rows.push(CrashRow {
+                            target: y.0,
+                            base: u.base.map_or(NO_BASE, |b| b.0),
+                            c: rhs,
+                            ml: m,
+                            mg: 0.0,
+                            mo: 0.0,
+                        });
                     }
                     Expr {
                         base: Some(y),
@@ -196,31 +199,34 @@ impl GraphLp {
                 if ex.m != 0.0 {
                     terms.push((l, -ex.m));
                 }
-                let row_idx = row_status.len();
                 model.add_constraint(format!("sink{v}"), &terms, Relation::Ge, ex.c);
-                row_status.push(VarStatus::Basic);
-                if best_sink.is_none_or(|(bv, _)| ex.c > bv) {
-                    best_sink = Some((ex.c, row_idx));
-                }
+                rows.push(CrashRow {
+                    target: t.0,
+                    base: ex.base.map_or(NO_BASE, |b| b.0),
+                    c: ex.c,
+                    ml: ex.m,
+                    mg: 0.0,
+                    mo: 0.0,
+                });
+                has_sink = true;
             }
         });
 
-        // `t` is basic on its largest-constant sink row (a sink always
-        // exists in a nonempty DAG; stay free-at-zero otherwise).
-        if let Some((_, ri)) = best_sink {
-            row_status[ri] = VarStatus::AtLower;
+        // `t` is basic on its defining sink row (a sink always exists in a
+        // nonempty DAG; stay free-at-zero otherwise).
+        if has_sink {
             col_status[t.0 as usize] = VarStatus::Basic;
         }
-        let crash = Basis::from_statuses(col_status, row_status);
+        let plan = CrashPlan { col_status, rows };
 
-        let mut lp = Self {
+        let lp = Self {
             model,
             l,
             t,
             backend,
-            crash,
+            plan,
+            crash_kind: CrashKind::default(),
         };
-        lp.backend.seed(&lp.crash);
         if llamp_obs::is_enabled() {
             span.field_str("shape", "single");
             span.field_u64("rows", lp.model.num_constraints() as u64);
@@ -240,11 +246,39 @@ impl GraphLp {
     }
 
     /// Drop the warm state accumulated from previous queries: the next
-    /// solve starts from the build-time state (the topological crash
-    /// basis), exactly as a freshly built `GraphLp` would.
+    /// query seeds the crash basis at its own latency point, exactly as a
+    /// freshly built `GraphLp` would.
     pub fn reset_backend(&mut self) {
         self.backend.reset();
-        self.backend.seed(&self.crash);
+    }
+
+    /// The crash-basis selection rule in effect (see [`CrashKind`]).
+    pub fn crash_kind(&self) -> CrashKind {
+        self.crash_kind
+    }
+
+    /// Switch the crash-basis selection rule and drop warm state, so the
+    /// next query cold-starts under the new rule.
+    pub fn set_crash_kind(&mut self, kind: CrashKind) {
+        self.crash_kind = kind;
+        self.backend.reset();
+    }
+
+    /// Instantiate the crash basis at a latency point (exposed for
+    /// conformance tests and benchmarks; queries do this internally).
+    pub fn crash_basis(&self, l_value: f64) -> Basis {
+        self.plan.basis_at(self.crash_kind, l_value, 0.0, 0.0)
+    }
+
+    /// Compute the crash at `l_value`, seed it if the backend holds no
+    /// warm state (fresh build or after [`GraphLp::reset_backend`]), and
+    /// hand it back for the robust-resolve fallback ladder.
+    fn arm_crash(&mut self, l_value: f64) -> Basis {
+        let crash = self.crash_basis(l_value);
+        if self.backend.warm_basis().is_none() {
+            self.backend.seed(&crash);
+        }
+        crash
     }
 
     /// Cumulative solver-effort counters across every query this instance
@@ -281,7 +315,8 @@ impl GraphLp {
         self.model.set_var_lb(self.l, l_value);
         self.model.set_sense(Objective::Minimize);
         self.model.set_objective(&[(self.t, 1.0)]);
-        let sol = resolve_robust(self.backend.as_mut(), &self.model, Some(&self.crash))?;
+        let crash = self.arm_crash(l_value);
+        let sol = resolve_robust(self.backend.as_mut(), &self.model, Some(&crash))?;
         Ok(Prediction {
             runtime: sol.objective(),
             lambda: sol.reduced_cost(self.l),
@@ -296,7 +331,8 @@ impl GraphLp {
         self.model.set_var_lb(self.l, l_value);
         self.model.set_sense(Objective::Minimize);
         self.model.set_objective(&[(self.t, 1.0)]);
-        resolve_robust(self.backend.as_mut(), &self.model, Some(&self.crash))
+        let crash = self.arm_crash(l_value);
+        resolve_robust(self.backend.as_mut(), &self.model, Some(&crash))
     }
 
     /// Latency tolerance (§II-D2): maximise `l` subject to
@@ -308,7 +344,8 @@ impl GraphLp {
         self.model.set_var_ub(self.t, max_runtime);
         self.model.set_sense(Objective::Maximize);
         self.model.set_objective(&[(self.l, 1.0)]);
-        let out = match resolve_robust(self.backend.as_mut(), &self.model, Some(&self.crash)) {
+        let crash = self.arm_crash(l_floor);
+        let out = match resolve_robust(self.backend.as_mut(), &self.model, Some(&crash)) {
             Ok(sol) => Ok(sol.value(self.l)),
             Err(SolveError::Unbounded) => Ok(f64::INFINITY),
             Err(e) => Err(e),

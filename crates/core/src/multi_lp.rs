@@ -18,6 +18,7 @@
 //! that anchor and re-solves in a handful (usually zero) of pivots.
 
 use crate::binding::{Binding, SweepParam};
+use crate::crash::{CrashKind, CrashPlan, CrashRow, NO_BASE};
 use crate::lowering::lower_walk;
 use llamp_lp::backend::{by_name, Parametric, SolverBackend};
 use llamp_lp::{
@@ -132,9 +133,11 @@ pub struct GraphMultiLp {
     o: VarId,
     t: VarId,
     backend: Box<dyn SolverBackend>,
-    /// Topological crash basis — the structural starting point every cold
-    /// solve is seeded from (see `GraphLp::build_with_backend`).
-    crash: Basis,
+    /// Crash plan — instantiated into a crash [`Basis`] at each query's
+    /// `(L, G, o)` point (see `GraphLp::build_with_backend`).
+    plan: CrashPlan,
+    /// Which in-edge selection rule instantiates the plan.
+    crash_kind: CrashKind,
 }
 
 impl GraphMultiLp {
@@ -145,8 +148,8 @@ impl GraphMultiLp {
         Self::build_with_backend(graph, binding, Box::new(Parametric::default()))
     }
 
-    /// Build with a named solver backend (`"dense"`, `"sparse"` or
-    /// `"parametric"`; see [`by_name`]).
+    /// Build with a named solver backend (`"dense"`, `"sparse"`,
+    /// `"parametric"` or `"dual"`; see [`by_name`]).
     pub fn build_named<V: GraphView + ?Sized>(
         graph: &V,
         binding: &Binding,
@@ -157,8 +160,9 @@ impl GraphMultiLp {
 
     /// Algorithm 1 with symbolic `(L, G, o)`: one decision variable per
     /// parameter, each edge constraint carrying its full coefficient
-    /// vector from [`Binding::bind_multi`]. The topological crash basis
-    /// is assembled exactly as in the single-parameter build.
+    /// vector from [`Binding::bind_multi`]. The crash plan is recorded
+    /// exactly as in the single-parameter build, with all three
+    /// multipliers kept per row.
     pub fn build_with_backend<V: GraphView + ?Sized>(
         graph: &V,
         binding: &Binding,
@@ -178,8 +182,8 @@ impl GraphMultiLp {
             VarStatus::AtLower,
             VarStatus::FreeZero,
         ];
-        let mut row_status: Vec<VarStatus> = Vec::new();
-        let mut best_sink: Option<(f64, usize)> = None;
+        let mut rows: Vec<CrashRow> = Vec::new();
+        let mut has_sink = false;
 
         let n = graph.num_vertices();
         let mut exprs: Vec<Expr> = vec![
@@ -232,7 +236,6 @@ impl GraphMultiLp {
                 _ => {
                     let y = model.add_var(format!("y{v}"), f64::NEG_INFINITY, f64::INFINITY, 0.0);
                     col_status.push(VarStatus::Basic);
-                    let mut best_in: Option<(f64, usize)> = None;
                     for &(p, eb) in low.preds {
                         let u = exprs[p as usize];
                         // y ≥ base_u + (c_u + ec) + (m_u + em)·(l,g,o)
@@ -242,17 +245,15 @@ impl GraphMultiLp {
                         }
                         push_coeffs(&mut terms, u.ml + eb.l, u.mg + eb.g, u.mo + eb.o);
                         let rhs = u.c + eb.constant;
-                        let row_idx = row_status.len();
                         model.add_constraint(format!("in{v}_{p}"), &terms, Relation::Ge, rhs);
-                        row_status.push(VarStatus::Basic);
-                        // Defining in-edge for the crash: largest constant
-                        // (strict >, so ties keep the lowest row index).
-                        if best_in.is_none_or(|(bv, _)| rhs > bv) {
-                            best_in = Some((rhs, row_idx));
-                        }
-                    }
-                    if let Some((_, ri)) = best_in {
-                        row_status[ri] = VarStatus::AtLower;
+                        rows.push(CrashRow {
+                            target: y.0,
+                            base: u.base.map_or(NO_BASE, |b| b.0),
+                            c: rhs,
+                            ml: u.ml + eb.l,
+                            mg: u.mg + eb.g,
+                            mo: u.mo + eb.o,
+                        });
                     }
                     Expr {
                         base: Some(y),
@@ -273,31 +274,34 @@ impl GraphMultiLp {
                     terms.push((b, -1.0));
                 }
                 push_coeffs(&mut terms, ex.ml, ex.mg, ex.mo);
-                let row_idx = row_status.len();
                 model.add_constraint(format!("sink{v}"), &terms, Relation::Ge, ex.c);
-                row_status.push(VarStatus::Basic);
-                if best_sink.is_none_or(|(bv, _)| ex.c > bv) {
-                    best_sink = Some((ex.c, row_idx));
-                }
+                rows.push(CrashRow {
+                    target: t.0,
+                    base: ex.base.map_or(NO_BASE, |b| b.0),
+                    c: ex.c,
+                    ml: ex.ml,
+                    mg: ex.mg,
+                    mo: ex.mo,
+                });
+                has_sink = true;
             }
         });
 
-        if let Some((_, ri)) = best_sink {
-            row_status[ri] = VarStatus::AtLower;
+        if has_sink {
             col_status[t.0 as usize] = VarStatus::Basic;
         }
-        let crash = Basis::from_statuses(col_status, row_status);
+        let plan = CrashPlan { col_status, rows };
 
-        let mut lp = Self {
+        let lp = Self {
             model,
             l,
             g,
             o,
             t,
             backend,
-            crash,
+            plan,
+            crash_kind: CrashKind::default(),
         };
-        lp.backend.seed(&lp.crash);
         if llamp_obs::is_enabled() {
             span.field_str("shape", "multi");
             span.field_u64("rows", lp.model.num_constraints() as u64);
@@ -316,11 +320,38 @@ impl GraphMultiLp {
         self.backend.name()
     }
 
-    /// Drop accumulated warm state: the next solve starts from the
-    /// build-time topological crash basis.
+    /// Drop accumulated warm state: the next query seeds the crash basis
+    /// at its own `(L, G, o)` point, as a freshly built instance would.
     pub fn reset_backend(&mut self) {
         self.backend.reset();
-        self.backend.seed(&self.crash);
+    }
+
+    /// The crash-basis selection rule in effect (see [`CrashKind`]).
+    pub fn crash_kind(&self) -> CrashKind {
+        self.crash_kind
+    }
+
+    /// Switch the crash-basis selection rule and drop warm state, so the
+    /// next query cold-starts under the new rule.
+    pub fn set_crash_kind(&mut self, kind: CrashKind) {
+        self.crash_kind = kind;
+        self.backend.reset();
+    }
+
+    /// Instantiate the crash basis at a parameter point (exposed for
+    /// conformance tests and benchmarks; queries do this internally).
+    pub fn crash_basis(&self, at: ParamPoint) -> Basis {
+        self.plan.basis_at(self.crash_kind, at.l, at.g, at.o)
+    }
+
+    /// Compute the crash at `at`, seed it if the backend holds no warm
+    /// state, and hand it back for the robust-resolve fallback ladder.
+    fn arm_crash(&mut self, at: ParamPoint) -> Basis {
+        let crash = self.crash_basis(at);
+        if self.backend.warm_basis().is_none() {
+            self.backend.seed(&crash);
+        }
+        crash
     }
 
     /// Cumulative solver-effort counters across every query this instance
@@ -363,7 +394,8 @@ impl GraphMultiLp {
         self.model.set_var_lb(self.o, at.o);
         self.model.set_sense(Objective::Minimize);
         self.model.set_objective(&[(self.t, 1.0)]);
-        let sol = resolve_robust(self.backend.as_mut(), &self.model, Some(&self.crash))?;
+        let crash = self.arm_crash(at);
+        let sol = resolve_robust(self.backend.as_mut(), &self.model, Some(&crash))?;
         Ok(MultiPrediction {
             runtime: sol.objective(),
             lambda_l: sol.reduced_cost(self.l),
@@ -384,7 +416,8 @@ impl GraphMultiLp {
         self.model.set_var_lb(self.o, at.o);
         self.model.set_sense(Objective::Minimize);
         self.model.set_objective(&[(self.t, 1.0)]);
-        resolve_robust(self.backend.as_mut(), &self.model, Some(&self.crash))
+        let crash = self.arm_crash(at);
+        resolve_robust(self.backend.as_mut(), &self.model, Some(&crash))
     }
 
     /// Tolerance along one parameter (§II-D2 generalised): maximise that
@@ -404,7 +437,8 @@ impl GraphMultiLp {
         self.model.set_var_ub(self.t, max_runtime);
         self.model.set_sense(Objective::Maximize);
         self.model.set_objective(&[(var, 1.0)]);
-        let out = match resolve_robust(self.backend.as_mut(), &self.model, Some(&self.crash)) {
+        let crash = self.arm_crash(at);
+        let out = match resolve_robust(self.backend.as_mut(), &self.model, Some(&crash)) {
             Ok(sol) => Ok(sol.value(var)),
             Err(SolveError::Unbounded) => Ok(f64::INFINITY),
             Err(e) => Err(e),

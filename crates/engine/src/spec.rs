@@ -108,6 +108,9 @@ pub enum LpSolver {
     /// Sparse simplex + warm starts + the Algorithm-2 basis-stability
     /// shortcut — best for latency sweeps.
     Parametric,
+    /// Sparse simplex + dual-simplex re-solves for the bound moves a
+    /// sweep performs.
+    Dual,
 }
 
 impl LpSolver {
@@ -117,6 +120,7 @@ impl LpSolver {
             LpSolver::Dense => "dense",
             LpSolver::Sparse => "sparse",
             LpSolver::Parametric => "parametric",
+            LpSolver::Dual => "dual",
         }
     }
 }
@@ -128,7 +132,7 @@ pub enum Backend {
     /// Exact `T(L)` envelope in one pass (`ParametricProfile`).
     Parametric,
     /// The paper's Algorithm 1 LP, solved per grid point by the chosen
-    /// simplex variant. All three variants produce byte-identical results;
+    /// simplex variant. All four variants produce byte-identical results;
     /// they differ only in speed.
     Lp(LpSolver),
     /// Direct critical-path evaluation per grid point.
@@ -144,23 +148,25 @@ impl Backend {
             Backend::Lp(LpSolver::Dense) => "lp-dense",
             Backend::Lp(LpSolver::Sparse) => "lp-sparse",
             Backend::Lp(LpSolver::Parametric) => "lp-parametric",
+            Backend::Lp(LpSolver::Dual) => "lp-dual",
             Backend::Eval => "eval",
         }
     }
 }
 
 /// Parse a backend name as used in spec files and `llamp run --backends`:
-/// `parametric`, `eval`, `lp-dense`, `lp-sparse`, `lp-parametric`, or the
-/// aliases `lp` / `simplex` (→ `lp-sparse`).
+/// `parametric`, `eval`, `lp-dense`, `lp-sparse`, `lp-parametric`,
+/// `lp-dual`, or the aliases `lp` / `simplex` (→ `lp-sparse`).
 pub fn parse_backend(name: &str) -> Result<Backend, SpecError> {
     match name.to_ascii_lowercase().as_str() {
         "parametric" => Ok(Backend::Parametric),
         "lp" | "simplex" | "lp-sparse" => Ok(Backend::Lp(LpSolver::Sparse)),
         "lp-dense" => Ok(Backend::Lp(LpSolver::Dense)),
         "lp-parametric" => Ok(Backend::Lp(LpSolver::Parametric)),
+        "lp-dual" => Ok(Backend::Lp(LpSolver::Dual)),
         "eval" | "evaluate" => Ok(Backend::Eval),
         _ => Err(err(format!(
-            "unknown backend '{name}' (expected parametric | eval | lp | lp-dense | lp-sparse | lp-parametric)"
+            "unknown backend '{name}' (expected parametric | eval | lp | lp-dense | lp-sparse | lp-parametric | lp-dual)"
         ))),
     }
 }

@@ -158,14 +158,15 @@ fn thread_count_does_not_change_results() {
 
 #[test]
 fn lp_backends_are_byte_identical() {
-    // The three LP solver variants (dense inverse, sparse LU, sparse +
-    // parametric warm-start shortcut) must produce *byte-identical*
-    // numbers: same canonical extraction from the same final bases. Only
-    // the backend label may differ between their serialized scenarios.
+    // The four LP solver variants (dense inverse, sparse LU, sparse +
+    // parametric warm-start shortcut, sparse + dual-simplex re-solves)
+    // must produce *byte-identical* numbers: same canonical extraction
+    // from the same final bases. Only the backend label may differ
+    // between their serialized scenarios.
     let spec = CampaignSpec::parse(
         r#"
 name = "lp-identity"
-backends = ["lp-dense", "lp-sparse", "lp-parametric"]
+backends = ["lp-dense", "lp-sparse", "lp-parametric", "lp-dual"]
 
 [grid]
 window = { lo = 0.0, hi = 80000.0, points = 5 }
@@ -185,9 +186,9 @@ iters = 1
     )
     .unwrap();
     let (result, _) = run_campaign(&spec, &config(2), &ResultCache::new());
-    assert_eq!(result.scenarios.len(), 6, "2 workloads x 3 LP backends");
+    assert_eq!(result.scenarios.len(), 8, "2 workloads x 4 LP backends");
     // Group by workload, compare the serialized outcome (zones + sweep)
-    // across the three backends byte for byte.
+    // across the four backends byte for byte.
     for app in ["cloverleaf", "milc"] {
         let bodies: Vec<(String, String)> = result
             .scenarios
@@ -205,7 +206,7 @@ iters = 1
                 (body, format!("{zones}|{sweep}"))
             })
             .collect();
-        assert_eq!(bodies.len(), 3, "{app}");
+        assert_eq!(bodies.len(), 4, "{app}");
         for pair in bodies.windows(2) {
             assert_eq!(pair[0].0, pair[1].0, "{app}: scenario identity differs");
             assert_eq!(

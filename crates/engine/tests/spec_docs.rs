@@ -37,6 +37,7 @@ fn every_backend_preset_and_param_name_is_documented() {
         "lp-dense",
         "lp-sparse",
         "lp-parametric",
+        "lp-dual",
     ] {
         assert!(
             doc.contains(&format!("`{backend}`")),
@@ -74,6 +75,7 @@ fn documented_table_keys_exist_in_the_parser() {
         "lp-sparse",
         "lp-dense",
         "lp-parametric",
+        "lp-dual",
     ];
     // Only rows of *field* tables count — those whose header row is
     // "| key | type | default | meaning |" (the backend and cache-kind

@@ -4,7 +4,7 @@
 //! `llamp-engine`) program against: solve a model, re-solve it cheaply
 //! after the incremental edits LLAMP performs (bound tightenings, the
 //! tolerance objective flip), and read duals / reduced costs / ranging
-//! off the returned [`Solution`]. Three implementations:
+//! off the returned [`Solution`]. Four implementations:
 //!
 //! * [`DenseSimplex`] — the dense-inverse simplex. The original path,
 //!   `O(m²)` per iteration; kept behind the same interface as the
@@ -16,16 +16,23 @@
 //!   window, and when a re-solve changed nothing but one variable's lower
 //!   bound *within* that window (the per-`L` step of a latency sweep) it
 //!   skips the simplex entirely — one factorisation, zero pivots.
+//! * [`DualSimplex`] — sparse simplex whose `resolve` runs the **dual**
+//!   algorithm ([`crate::dual`]): a sweep step that only moved bounds
+//!   leaves the previous basis dual feasible, so the re-solve pivots out
+//!   just the primal bound violations instead of re-proving feasibility
+//!   from scratch. Any other edit falls back to the warm primal path.
 //!
-//! All three warm-start `resolve` from the previous optimal basis, and all
-//! three report solutions through the same canonical extraction, so
+//! All four warm-start `resolve` from the previous optimal basis, and all
+//! four report solutions through the same canonical extraction, so
 //! backends that land on the same final basis return bit-identical
 //! numbers (the engine's cross-backend byte-identity contract).
 //!
 //! Pick a backend by name with [`by_name`] (`"dense"`, `"sparse"`,
-//! `"parametric"`); campaign specs and the `llamp` CLI surface the same
-//! names as `lp-dense` / `lp-sparse` / `lp-parametric`.
+//! `"parametric"`, `"dual"`); campaign specs and the `llamp` CLI surface
+//! the same names as `lp-dense` / `lp-sparse` / `lp-parametric` /
+//! `lp-dual`.
 
+use crate::dual::solve_dual;
 use crate::error::SolveError;
 use crate::model::{LpModel, Objective, VarId};
 use crate::simplex::{reextract, solve_dense, solve_sparse, SimplexOptions};
@@ -65,7 +72,7 @@ pub trait SolverBackend: std::fmt::Debug + Send {
 }
 
 /// The backend names [`by_name`] accepts, in canonical order.
-pub const BACKEND_NAMES: &[&str] = &["dense", "sparse", "parametric"];
+pub const BACKEND_NAMES: &[&str] = &["dense", "sparse", "parametric", "dual"];
 
 /// Construct a backend (with default options) from its spec name.
 pub fn by_name(name: &str) -> Option<Box<dyn SolverBackend>> {
@@ -73,6 +80,7 @@ pub fn by_name(name: &str) -> Option<Box<dyn SolverBackend>> {
         "dense" => Some(Box::new(DenseSimplex::default())),
         "sparse" => Some(Box::new(SparseSimplex::default())),
         "parametric" => Some(Box::new(Parametric::default())),
+        "dual" => Some(Box::new(DualSimplex::default())),
         _ => None,
     }
 }
@@ -165,6 +173,66 @@ impl SolverBackend for SparseSimplex {
 
     fn resolve(&mut self, model: &LpModel) -> Result<Solution, SolveError> {
         let sol = solve_sparse(model, &self.opts, self.warm.as_ref())?;
+        self.stats.merge(sol.stats());
+        self.warm = Some(sol.basis().clone());
+        Ok(sol)
+    }
+
+    fn warm_basis(&self) -> Option<&Basis> {
+        self.warm.as_ref()
+    }
+
+    fn seed(&mut self, basis: &Basis) {
+        self.warm = Some(basis.clone());
+    }
+
+    fn reset(&mut self) {
+        self.warm = None;
+    }
+
+    fn stats(&self) -> SolveStats {
+        self.stats
+    }
+}
+
+/// Sparse simplex with dual-simplex re-solves: `resolve` hands the warm
+/// basis to [`crate::dual::solve_dual`], which repairs pure bound moves
+/// with dual pivots (and falls back to the shared warm primal driver for
+/// any other edit, bit-identically to [`SparseSimplex`]). `solve` is the
+/// plain cold sparse path, so cold results are bit-identical across the
+/// sparse-family backends by construction.
+#[derive(Debug, Default)]
+pub struct DualSimplex {
+    opts: SimplexOptions,
+    warm: Option<Basis>,
+    stats: SolveStats,
+}
+
+impl DualSimplex {
+    /// Backend with explicit simplex options.
+    pub fn with_options(opts: SimplexOptions) -> Self {
+        Self {
+            opts,
+            warm: None,
+            stats: SolveStats::default(),
+        }
+    }
+}
+
+impl SolverBackend for DualSimplex {
+    fn name(&self) -> &'static str {
+        "dual"
+    }
+
+    fn solve(&mut self, model: &LpModel) -> Result<Solution, SolveError> {
+        let sol = solve_sparse(model, &self.opts, None)?;
+        self.stats.merge(sol.stats());
+        self.warm = Some(sol.basis().clone());
+        Ok(sol)
+    }
+
+    fn resolve(&mut self, model: &LpModel) -> Result<Solution, SolveError> {
+        let sol = solve_dual(model, &self.opts, self.warm.as_ref())?;
         self.stats.merge(sol.stats());
         self.warm = Some(sol.basis().clone());
         Ok(sol)

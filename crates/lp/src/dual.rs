@@ -1,0 +1,400 @@
+//! Bounded-variable **dual simplex**, sharing the primal's [`Core`]
+//! (basis factorisation, CSR pivot-row scatter, [`IndexedVec`]
+//! workspaces, canonical extraction) so both algorithms report
+//! bit-identical solutions from the same final basis.
+//!
+//! The dual simplex is the natural re-solve engine for LLAMP's sweeps:
+//! a bound move (Algorithm 2's `l ≥ L` step, or a multi-parameter grid
+//! step) leaves the previous optimal basis **dual feasible** — the
+//! reduced costs do not depend on bounds — while possibly knocking a few
+//! basic variables outside their (shifted) boxes. Instead of re-proving
+//! feasibility with a primal phase 1, the dual algorithm drives exactly
+//! those violations out:
+//!
+//! * **Leaving row.** The basic variable with the largest (magnitude-
+//!   scaled) bound violation leaves at the bound it violates; ties break
+//!   toward the lowest basis position. No violation ⇒ the basis is primal
+//!   *and* dual feasible ⇒ optimal.
+//! * **Pivot row.** One sparse BTRAN of `eᵣ` plus the CSR scatter
+//!   produces the pivot row `α = Aᵀ B⁻ᵀ eᵣ` — the same hypersparse path
+//!   the primal uses for incremental pricing.
+//! * **Dual ratio test.** Among sign-eligible nonbasic columns (those
+//!   whose movement pushes the leaving variable toward its bound), the
+//!   entering column minimises `|d_j| / |α_j|`; near-ties (relative
+//!   epsilon) keep the largest `|α_j|`, then the lowest column index —
+//!   mirroring the primal's deterministic tie-breaks. The reduced costs
+//!   update as `d ← d − θ_d·α` with `θ_d = d_q / α_q`, preserving dual
+//!   feasibility by the minimality of the ratio.
+//! * **No eligible column** while a violation remains ⇒ the primal is
+//!   infeasible (the dual ray certifies it).
+//!
+//! After the dual loop reaches primal feasibility the caller runs one
+//! primal phase-2 confirmation (a pricing pass over freshly
+//! resynchronised reduced costs), so a certified optimum never rests on
+//! incrementally updated numbers alone.
+
+use crate::error::SolveError;
+use crate::factor::{BasisFactor, ColsView, SparseLu};
+use crate::model::LpModel;
+use crate::simplex::{
+    run_primal, traced_solve, viol_tol, Core, NbStatus, PhaseOutcome, SimplexOptions,
+};
+use crate::solution::{Basis, Solution};
+
+/// Relative epsilon under which two dual-ratio pivots count as tied
+/// (ties keep the largest pivot magnitude, then the lowest column
+/// index) — the same width the primal uses, for the same reason: tied
+/// candidates must resolve identically across factorisation backends.
+const DUAL_RATIO_TIE_REL: f64 = 1e-6;
+
+/// Re-solve `model` from `warm` with the dual simplex (sparse LU
+/// factorisation). When the warm basis is dual feasible but primal
+/// infeasible — the shape every pure bound move produces — the dual
+/// algorithm repairs it directly; any other shape (cold basis, changed
+/// objective, primal-feasible start) falls through to the shared primal
+/// driver, so the result is bit-identical to what `solve_sparse` would
+/// report from the same start.
+pub fn solve_dual(
+    model: &LpModel,
+    opts: &SimplexOptions,
+    warm: Option<&Basis>,
+) -> Result<Solution, SolveError> {
+    traced_solve("dual", model, warm, || solve_dual_inner(model, opts, warm))
+}
+
+fn solve_dual_inner(
+    model: &LpModel,
+    opts: &SimplexOptions,
+    warm: Option<&Basis>,
+) -> Result<Solution, SolveError> {
+    let mut core: Core<SparseLu> = Core::build(model, opts.clone(), warm);
+    core.arm_deadline();
+    let max_iters = core.iteration_cap();
+
+    if !core.warm_installed || core.is_primal_feasible(1.0) || !is_dual_feasible(&mut core) {
+        // Nothing for the dual algorithm to do (or no trustworthy start):
+        // the shared primal driver handles it, bit-identically to the
+        // primal backends.
+        return run_primal(core, model);
+    }
+
+    match dual_iterate(&mut core, max_iters) {
+        PhaseOutcome::Done => {}
+        PhaseOutcome::Unbounded => return Err(SolveError::Infeasible),
+        PhaseOutcome::Abort(e) => return Err(e),
+    }
+    // Primal confirmation pass: resynchronised pricing certifies
+    // optimality (and mops up any tolerance-level dual drift).
+    run_primal(core, model)
+}
+
+/// Whether the current basis is dual feasible under the phase-2
+/// objective: every nonbasic reduced cost points away from its bound
+/// (within the optimality tolerance). Recomputes `d` from scratch; the
+/// dual loop maintains it incrementally from here.
+fn is_dual_feasible<F: BasisFactor>(core: &mut Core<F>) -> bool {
+    core.resync_d(false, false);
+    let opt = core.opts.opt_tol;
+    (0..core.n_total).all(|j| {
+        let dj = core.d[j];
+        match core.status[j] {
+            NbStatus::Basic => true,
+            // A fixed column (lb == ub) can absorb either sign.
+            NbStatus::Lower => dj >= -opt || core.lb[j] == core.ub[j],
+            NbStatus::Upper => dj <= opt || core.lb[j] == core.ub[j],
+            NbStatus::FreeZero => dj.abs() <= opt,
+        }
+    })
+}
+
+/// The most-violating basic position (scaled tolerance), with the sign
+/// of the violation: `+1` below the lower bound (the variable must
+/// rise), `−1` above the upper. Ties break toward the lowest position.
+fn select_leaving<F: BasisFactor>(core: &Core<F>) -> Option<(usize, f64)> {
+    let feas = core.opts.feas_tol;
+    let mut best: Option<(usize, f64, f64)> = None; // (row, viol, sigma)
+    for (i, &b) in core.basis.iter().enumerate() {
+        let v = core.x[b];
+        let (lo, hi) = (core.lb[b], core.ub[b]);
+        let (viol, sigma) = if v < lo - viol_tol(lo, feas) {
+            (lo - v, 1.0)
+        } else if v > hi + viol_tol(hi, feas) {
+            (v - hi, -1.0)
+        } else {
+            continue;
+        };
+        let better = match best {
+            None => true,
+            Some((_, bv, _)) => viol > bv * (1.0 + DUAL_RATIO_TIE_REL),
+        };
+        if better {
+            best = Some((i, viol, sigma));
+        }
+    }
+    best.map(|(i, _, sigma)| (i, sigma))
+}
+
+/// Run dual simplex iterations until primal feasibility (⇒ optimality,
+/// since dual feasibility is maintained), primal infeasibility
+/// (`Unbounded` outcome, by dual-unboundedness) or a budget abort.
+pub(crate) fn dual_iterate<F: BasisFactor>(core: &mut Core<F>, max_iters: u64) -> PhaseOutcome {
+    loop {
+        if core.iterations >= max_iters {
+            return PhaseOutcome::Abort(SolveError::IterationLimit);
+        }
+        if llamp_faults::should_inject("solve.stall") {
+            return PhaseOutcome::Abort(SolveError::Injected);
+        }
+        if let Some(deadline) = core.deadline {
+            if core.iterations & 63 == 0 && std::time::Instant::now() > deadline {
+                return PhaseOutcome::Abort(SolveError::TimeLimit);
+            }
+        }
+
+        let Some((r, sigma)) = select_leaving(core) else {
+            return PhaseOutcome::Done;
+        };
+        core.iterations += 1;
+        let out = core.basis[r];
+        // The leaving variable exits at the bound it violates.
+        let leave_at_upper = sigma < 0.0;
+        let leave_bound = if leave_at_upper {
+            core.ub[out]
+        } else {
+            core.lb[out]
+        };
+
+        // Pivot row α = Aᵀ B⁻ᵀ eᵣ via the shared hypersparse path.
+        {
+            let mut unit = std::mem::take(&mut core.delta);
+            unit.reset(core.m);
+            unit.set(r, 1.0);
+            core.factor.btran_sparse(&unit, &mut core.rho);
+            unit.clear();
+            core.delta = unit;
+        }
+        core.stats.btran_calls += 1;
+        core.stats.btran_nnz += core.rho.nnz() as u64;
+        core.scatter_alpha();
+
+        // Dual ratio test. `x_br` moves by `−α_j · Δx_j`; eligibility is
+        // the sign pattern that pushes it toward the violated bound.
+        let pivot_tol = core.opts.pivot_tol;
+        let mut entering: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        let mut best_alpha = 0.0f64;
+        for &ju in core.alpha.indices() {
+            let j = ju as usize;
+            let aj = core.alpha.get(j);
+            if aj.abs() <= pivot_tol || core.lb[j] == core.ub[j] {
+                continue;
+            }
+            let eligible = match core.status[j] {
+                NbStatus::Basic => false,
+                // At lower: x_j can only increase (Δ > 0) ⇒ x_br moves by
+                // −α_j·Δ; rising (σ=+1) needs α_j < 0, falling α_j > 0.
+                NbStatus::Lower => sigma * aj < 0.0,
+                // At upper: x_j can only decrease ⇒ x_br moves by +α_j·Δ.
+                NbStatus::Upper => sigma * aj > 0.0,
+                // Free: moves either way.
+                NbStatus::FreeZero => true,
+            };
+            if !eligible {
+                continue;
+            }
+            let ratio = core.d[j].abs() / aj.abs();
+            let better = match entering {
+                None => true,
+                Some(_) if ratio < best_ratio * (1.0 - DUAL_RATIO_TIE_REL) => true,
+                Some(cur) if ratio <= best_ratio * (1.0 + DUAL_RATIO_TIE_REL) => {
+                    // Tied ratio: keep the largest pivot, then lowest index
+                    // (alpha.indices() is not sorted, so compare explicitly).
+                    aj.abs() > best_alpha * (1.0 + DUAL_RATIO_TIE_REL)
+                        || (aj.abs() >= best_alpha * (1.0 - DUAL_RATIO_TIE_REL) && j < cur)
+                }
+                Some(_) => false,
+            };
+            if better {
+                entering = Some(j);
+                best_ratio = ratio;
+                best_alpha = aj.abs();
+            }
+        }
+        let Some(q) = entering else {
+            // A violated row with no sign-eligible column: the primal
+            // problem is infeasible (dual unbounded ray).
+            return PhaseOutcome::Unbounded;
+        };
+        let alpha_q = core.alpha.get(q);
+
+        // Reduced-cost update d ← d − θ_d·α, θ_d = d_q / α_q (θ_d's sign
+        // automatically gives the leaving variable the reduced cost its
+        // exit bound requires: d_out = −θ_d).
+        let theta_d = core.d[q] / alpha_q;
+        for &ju in core.alpha.indices() {
+            let j = ju as usize;
+            if core.status[j] == NbStatus::Basic || j == q {
+                continue;
+            }
+            let aj = core.alpha.get(j);
+            if aj != 0.0 {
+                core.d[j] -= theta_d * aj;
+            }
+        }
+        core.d[q] = 0.0;
+        core.d[out] = -theta_d;
+
+        // Primal step: FTRAN the entering column, move the leaving
+        // variable exactly onto its bound.
+        {
+            let view = ColsView {
+                start: &core.col_start,
+                rows: &core.col_rows,
+                vals: &core.col_vals,
+            };
+            core.factor.ftran_col(view, q, &mut core.w);
+        }
+        core.w.sort_indices();
+        core.stats.ftran_calls += 1;
+        core.stats.ftran_nnz += core.w.nnz() as u64;
+        let w_r = core.w.get(r);
+        if w_r.abs() <= pivot_tol {
+            // FTRAN disagrees with the scattered pivot row at pivot
+            // magnitude — numerically wedged; refactorise and retry once
+            // per basis, else give up via the iteration budget.
+            if !core.refactorize() {
+                return PhaseOutcome::Abort(SolveError::IterationLimit);
+            }
+            core.recompute_basics();
+            core.resync_d(false, true);
+            continue;
+        }
+        let step = (core.x[out] - leave_bound) / w_r;
+        core.x[q] += step;
+        for (i, wi) in core.w.iter() {
+            if wi != 0.0 {
+                let b = core.basis[i];
+                core.x[b] -= step * wi;
+            }
+        }
+
+        core.stats.pivots += 1;
+        core.x[out] = leave_bound;
+        core.status[out] = if leave_at_upper {
+            NbStatus::Upper
+        } else {
+            NbStatus::Lower
+        };
+        core.in_basis[out] = -1;
+        core.basis[r] = q;
+        core.in_basis[q] = r as i32;
+        core.status[q] = NbStatus::Basic;
+        core.factor.update(&core.w, r);
+        core.pivots_since_refactor += 1;
+
+        let eta_heavy = core.pivots_since_refactor >= 16
+            && core.factor.factor_nnz() > 0
+            && core.factor.update_nnz() > 2 * core.factor.factor_nnz();
+        // A singular refactorisation keeps the eta-updated factor,
+        // matching the primal's behaviour.
+        if (core.pivots_since_refactor >= core.opts.refactor_every || eta_heavy)
+            && core.refactorize()
+        {
+            core.recompute_basics();
+            core.resync_d(false, true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LpModel, Objective, Relation};
+    use crate::simplex::solve_sparse;
+
+    const INF: f64 = f64::INFINITY;
+
+    fn running_example(l_lb: f64) -> LpModel {
+        let mut m = LpModel::new(Objective::Minimize);
+        let l = m.add_var("l", l_lb, INF, 0.0);
+        let y1 = m.add_var("y1", f64::NEG_INFINITY, INF, 0.0);
+        let t = m.add_var("t", f64::NEG_INFINITY, INF, 1.0);
+        m.add_constraint("c1", &[(y1, 1.0), (l, -1.0)], Relation::Ge, 0.115);
+        m.add_constraint("c2", &[(y1, 1.0)], Relation::Ge, 0.5);
+        m.add_constraint("c3", &[(t, 1.0)], Relation::Ge, 1.1);
+        m.add_constraint("c4", &[(t, 1.0), (y1, -1.0)], Relation::Ge, 1.0);
+        m
+    }
+
+    #[test]
+    fn cold_dual_matches_sparse_bitwise() {
+        let m = running_example(0.5);
+        let opts = SimplexOptions::default();
+        let d = solve_dual(&m, &opts, None).unwrap();
+        let s = solve_sparse(&m, &opts, None).unwrap();
+        assert_eq!(d.objective().to_bits(), s.objective().to_bits());
+        assert_eq!(d.basis(), s.basis());
+    }
+
+    #[test]
+    fn bound_move_resolves_via_dual_pivots() {
+        // Solve at l ≥ 0.5, then push the bound past the critical latency
+        // (0.385 < 0.5 < 0.9): the old basis is dual feasible but primal
+        // infeasible at l ≥ 0.9, exactly the dual simplex's case.
+        let opts = SimplexOptions::default();
+        let first = solve_sparse(&running_example(0.5), &opts, None).unwrap();
+        let m2 = running_example(0.9);
+        let dual = solve_dual(&m2, &opts, Some(first.basis())).unwrap();
+        let cold = solve_sparse(&m2, &opts, None).unwrap();
+        assert_eq!(dual.objective().to_bits(), cold.objective().to_bits());
+        assert_eq!(dual.basis(), cold.basis());
+    }
+
+    #[test]
+    fn in_window_warm_start_needs_no_dual_pivots() {
+        let opts = SimplexOptions::default();
+        let first = solve_sparse(&running_example(0.5), &opts, None).unwrap();
+        // 0.6 stays inside the latency-bound basis's stability window
+        // [0.385, ∞): the warm basis remains primal feasible, so the dual
+        // path degrades to the primal confirmation pass only.
+        let m2 = running_example(0.6);
+        let dual = solve_dual(&m2, &opts, Some(first.basis())).unwrap();
+        assert_eq!(dual.iterations(), 1, "only the optimality pricing pass");
+    }
+
+    #[test]
+    fn objective_change_falls_back_to_primal_bitwise() {
+        // Flip the objective (the `tolerance()` query shape): the warm
+        // basis is no longer dual feasible, so the dual entry point must
+        // fall back to the primal driver and match `solve_sparse` warm.
+        let opts = SimplexOptions::default();
+        let first = solve_sparse(&running_example(0.5), &opts, None).unwrap();
+        let mut m2 = running_example(0.5);
+        m2.set_sense(Objective::Maximize);
+        m2.set_objective(&[(crate::model::VarId(0), 1.0)]); // maximize l
+        m2.set_var_ub(crate::model::VarId(2), 2.0); // t ≤ 2
+        let dual = solve_dual(&m2, &opts, Some(first.basis())).unwrap();
+        let warm = solve_sparse(&m2, &opts, Some(first.basis())).unwrap();
+        assert_eq!(dual.objective().to_bits(), warm.objective().to_bits());
+        assert_eq!(dual.basis(), warm.basis());
+        assert!((dual.objective() - 0.885).abs() < 1e-7);
+    }
+
+    #[test]
+    fn dual_detects_infeasibility_after_bound_move() {
+        let opts = SimplexOptions::default();
+        let mut m = LpModel::new(Objective::Minimize);
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        m.add_constraint("r", &[(x, 1.0)], Relation::Le, 2.0);
+        let first = solve_sparse(&m, &opts, None).unwrap();
+        // Move x's box past the row bound (x ≥ 3 against x ≤ 2): the warm
+        // basis is dual feasible, and the dual ray certifies infeasibility.
+        let mut m2 = LpModel::new(Objective::Minimize);
+        let x2 = m2.add_var("x", 3.0, 4.0, 1.0);
+        m2.add_constraint("r", &[(x2, 1.0)], Relation::Le, 2.0);
+        assert_eq!(
+            solve_dual(&m2, &opts, Some(first.basis())).unwrap_err(),
+            SolveError::Infeasible
+        );
+    }
+}

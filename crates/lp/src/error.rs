@@ -14,8 +14,6 @@
 //! solution extraction guarantees any rung that succeeds returns the
 //! byte-identical answer.
 
-use crate::solution::SolveStatus;
-
 /// Which numerical-distress tripwire fired (see
 /// [`crate::simplex::SimplexOptions`] for the thresholds).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,27 +76,6 @@ impl SolveError {
     pub fn is_unbounded(&self) -> bool {
         matches!(self, SolveError::Unbounded)
     }
-
-    /// The closest legacy [`SolveStatus`] classification.
-    pub fn status(&self) -> SolveStatus {
-        match self {
-            SolveError::Infeasible => SolveStatus::Infeasible,
-            SolveError::Unbounded => SolveStatus::Unbounded,
-            _ => SolveStatus::IterationLimit,
-        }
-    }
-}
-
-impl From<SolveStatus> for SolveError {
-    fn from(s: SolveStatus) -> Self {
-        match s {
-            SolveStatus::Infeasible => SolveError::Infeasible,
-            SolveStatus::Unbounded => SolveError::Unbounded,
-            // `Optimal` never travels through an `Err`; map it with the
-            // limits to keep the conversion total.
-            SolveStatus::Optimal | SolveStatus::IterationLimit => SolveError::IterationLimit,
-        }
-    }
 }
 
 impl std::fmt::Display for SolveError {
@@ -136,20 +113,6 @@ mod tests {
         ] {
             assert!(e.is_recoverable(), "{e:?}");
         }
-    }
-
-    #[test]
-    fn legacy_status_round_trips() {
-        assert_eq!(
-            SolveError::from(SolveStatus::Infeasible),
-            SolveError::Infeasible
-        );
-        assert_eq!(
-            SolveError::from(SolveStatus::Unbounded),
-            SolveError::Unbounded
-        );
-        assert_eq!(SolveError::Infeasible.status(), SolveStatus::Infeasible);
-        assert_eq!(SolveError::Unbounded.status(), SolveStatus::Unbounded);
     }
 
     #[test]

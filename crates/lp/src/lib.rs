@@ -16,12 +16,17 @@
 //!   pricing with deterministic lowest-index tie-breaking and a Bland
 //!   fallback (anti-cycling), a two-pass Harris ratio test, periodic
 //!   refactorisation, and warm starts from a previous [`Basis`].
+//! * [`dual`] — a bounded-variable **dual simplex** sharing the primal's
+//!   core (factorisation, workspaces, canonical extraction): the re-solve
+//!   engine for pure bound moves, which leave the previous basis dual
+//!   feasible so only the handful of primal violations need pivoting out.
 //! * [`backend`] — the [`SolverBackend`] trait the analysis layers program
-//!   against, with three implementations selected by name:
-//!   [`DenseSimplex`], [`SparseSimplex`] and [`Parametric`] (sparse +
+//!   against, with four implementations selected by name:
+//!   [`DenseSimplex`], [`SparseSimplex`], [`Parametric`] (sparse +
 //!   the Algorithm-2 shortcut: a re-solve that moved one lower bound
 //!   within the previous basis-stability window is answered by a
-//!   pivot-free re-extraction).
+//!   pivot-free re-extraction) and [`DualSimplex`] (sparse + dual-simplex
+//!   re-solves for bound moves).
 //! * [`solution::Solution`] — primal values, objective, row duals, reduced
 //!   costs, the exportable warm-start [`Basis`], and *bound ranging*: the
 //!   equivalent of Gurobi's `SARHSLow` / `SALBLow` attributes that
@@ -61,12 +66,12 @@
 //!
 //! ## Picking a backend
 //!
-//! [`backend::by_name`] maps `"dense"`, `"sparse"` and `"parametric"` to
-//! boxed backends; campaign specs surface the same choice as
-//! `backends = ["lp-dense" | "lp-sparse" | "lp-parametric"]` (plain
-//! `"lp"` means `lp-sparse`). Use `dense` to cross-check numerics,
-//! `sparse` for one-shot solves at scale, `parametric` for sweeps —
-//! anything that re-solves the same graph at many latencies.
+//! [`backend::by_name`] maps `"dense"`, `"sparse"`, `"parametric"` and
+//! `"dual"` to boxed backends; campaign specs surface the same choice as
+//! `backends = ["lp-dense" | "lp-sparse" | "lp-parametric" | "lp-dual"]`
+//! (plain `"lp"` means `lp-sparse`). Use `dense` to cross-check numerics,
+//! `sparse` for one-shot solves at scale, `parametric` or `dual` for
+//! sweeps — anything that re-solves the same graph at many latencies.
 //!
 //! All solving styles are cross-validated against each other (and against
 //! brute-force vertex enumeration) in the test suites of this crate and
@@ -84,6 +89,7 @@
 //! byte-identical answer the no-fault solve would have produced.
 
 pub mod backend;
+pub mod dual;
 pub mod error;
 pub(crate) mod factor;
 pub mod model;
@@ -93,9 +99,9 @@ pub mod robust;
 pub mod simplex;
 pub mod solution;
 
-pub use backend::{by_name, DenseSimplex, Parametric, SolverBackend, SparseSimplex};
+pub use backend::{by_name, DenseSimplex, DualSimplex, Parametric, SolverBackend, SparseSimplex};
 pub use error::{Distress, SolveError};
 pub use model::{ConId, LpModel, Objective, Relation, VarId};
 pub use piecewise::{Envelope, Line};
 pub use robust::resolve_robust;
-pub use solution::{Basis, Solution, SolveStats, SolveStatus};
+pub use solution::{Basis, Solution, SolveStats};

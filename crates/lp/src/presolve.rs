@@ -16,8 +16,9 @@
 //! optimal objective; [`Presolved::recover`] maps a reduced solution back to
 //! the original variable space.
 
+use crate::error::SolveError;
 use crate::model::{LpModel, VarId};
-use crate::solution::{Solution, SolveStatus};
+use crate::solution::Solution;
 use llamp_util::FxHashMap;
 
 /// How an original variable maps into the presolved model.
@@ -44,8 +45,8 @@ pub struct Presolved {
 impl Presolved {
     /// Solve the reduced model and report the objective in the original
     /// model's terms.
-    pub fn solve(&self) -> Result<(f64, Vec<f64>), SolveStatus> {
-        let sol = self.model.solve().map_err(|e| e.status())?;
+    pub fn solve(&self) -> Result<(f64, Vec<f64>), SolveError> {
+        let sol = self.model.solve()?;
         Ok((sol.objective() + self.objective_offset, self.recover(&sol)))
     }
 
@@ -80,9 +81,9 @@ struct WorkRow {
 
 /// Apply presolve reductions to `model`.
 ///
-/// Returns `Err(SolveStatus::Infeasible)` if a reduction proves the model
-/// infeasible outright.
-pub fn presolve(model: &LpModel) -> Result<Presolved, SolveStatus> {
+/// Returns [`Err(SolveError::Infeasible)`](SolveError::Infeasible) if a
+/// reduction proves the model infeasible outright.
+pub fn presolve(model: &LpModel) -> Result<Presolved, SolveError> {
     let n = model.num_vars();
     let mut lb: Vec<f64> = (0..n).map(|j| model.var_lb(VarId(j as u32))).collect();
     let mut ub: Vec<f64> = (0..n).map(|j| model.var_ub(VarId(j as u32))).collect();
@@ -137,7 +138,7 @@ pub fn presolve(model: &LpModel) -> Result<Presolved, SolveStatus> {
                 0 => {
                     // 2. Empty row: 0 must lie in [lb, ub].
                     if row.lb > TOL || row.ub < -TOL {
-                        return Err(SolveStatus::Infeasible);
+                        return Err(SolveError::Infeasible);
                     }
                     row.alive = false;
                     changed = true;
@@ -164,7 +165,7 @@ pub fn presolve(model: &LpModel) -> Result<Presolved, SolveStatus> {
                         ub[j] = new_ub;
                     }
                     if lb[j] > ub[j] + TOL {
-                        return Err(SolveStatus::Infeasible);
+                        return Err(SolveError::Infeasible);
                     }
                     row.alive = false;
                     changed = true;
@@ -195,7 +196,7 @@ pub fn presolve(model: &LpModel) -> Result<Presolved, SolveStatus> {
                     keep.lb = keep.lb.max(rl);
                     keep.ub = keep.ub.min(ru);
                     if keep.lb > keep.ub + TOL {
-                        return Err(SolveStatus::Infeasible);
+                        return Err(SolveError::Infeasible);
                     }
                     rows[i].alive = false;
                     changed = true;
@@ -252,7 +253,7 @@ pub fn presolve(model: &LpModel) -> Result<Presolved, SolveStatus> {
 
 /// Convenience: presolve then solve, reporting the original objective value
 /// and full primal vector.
-pub fn presolve_and_solve(model: &LpModel) -> Result<(f64, Vec<f64>), SolveStatus> {
+pub fn presolve_and_solve(model: &LpModel) -> Result<(f64, Vec<f64>), SolveError> {
     presolve(model)?.solve()
 }
 
@@ -317,7 +318,7 @@ mod tests {
         let mut m = LpModel::new(Objective::Minimize);
         let x = m.add_var("x", 0.0, 1.0, 1.0);
         m.add_constraint("lo", &[(x, 1.0)], Relation::Ge, 5.0);
-        assert_eq!(presolve(&m).unwrap_err(), SolveStatus::Infeasible);
+        assert_eq!(presolve(&m).unwrap_err(), SolveError::Infeasible);
     }
 
     #[test]
@@ -325,7 +326,46 @@ mod tests {
         let mut m = LpModel::new(Objective::Minimize);
         let x = m.add_var("x", 2.0, 2.0, 0.0);
         m.add_constraint("r", &[(x, 1.0)], Relation::Ge, 5.0);
-        assert_eq!(presolve(&m).unwrap_err(), SolveStatus::Infeasible);
+        assert_eq!(presolve(&m).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn infeasible_duplicate_rows() {
+        // Two bitwise-identical rows whose bounds intersect to an empty
+        // interval: x + y ≥ 5 merged with x + y ≤ 2.
+        let mut m = LpModel::new(Objective::Minimize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        m.add_constraint("lo", &[(x, 1.0), (y, 1.0)], Relation::Ge, 5.0);
+        m.add_constraint("hi", &[(x, 1.0), (y, 1.0)], Relation::Le, 2.0);
+        assert_eq!(presolve(&m).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn solve_passes_unbounded_through_typed() {
+        // Presolve keeps the model; the reduced solve's typed error must
+        // surface unchanged (no legacy-status flattening).
+        let mut m = LpModel::new(Objective::Minimize);
+        let x = m.add_var("x", f64::NEG_INFINITY, 0.0, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 0.0);
+        m.add_constraint("r", &[(x, 1.0), (y, 1.0)], Relation::Le, 0.0);
+        assert_eq!(
+            presolve(&m).unwrap().solve().unwrap_err(),
+            SolveError::Unbounded
+        );
+    }
+
+    #[test]
+    fn solve_passes_infeasible_through_typed() {
+        // A conflict presolve's local reductions cannot see (two coupled
+        // two-term rows) must come back from the solver as the same typed
+        // error the presolve sites themselves return.
+        let mut m = LpModel::new(Objective::Minimize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        m.add_constraint("lo", &[(x, 1.0), (y, 1.0)], Relation::Ge, 5.0);
+        m.add_constraint("hi", &[(x, 1.0), (y, 2.0)], Relation::Le, 2.0);
+        assert_eq!(presolve_and_solve(&m).unwrap_err(), SolveError::Infeasible);
     }
 
     #[test]

@@ -136,6 +136,17 @@ pub struct SimplexOptions {
     /// disables (the default — a singular refactorisation falls back to
     /// the eta-updated factor, which is usually fine once).
     pub singular_limit: u32,
+    /// Anti-degeneracy cost perturbation (à la HiGHS cost shifting),
+    /// applied at phase-2 entry and removed *exactly* before the final
+    /// optimality confirmation: each column's internal cost is shifted
+    /// away from zero by `perturb · (1 + |c_j|) · ξ_j` with a
+    /// deterministic per-column `ξ_j ∈ [0.5, 1.5)`, the perturbed problem
+    /// is solved, the true costs are restored and a clean-up phase 2
+    /// re-certifies optimality under them. The reported solution is
+    /// therefore exact. `0.0` (the default) disables — the longest-path
+    /// crash already starts dual feasible, so perturbation is a recovery
+    /// lever for tie-heavy cold starts, not a hot-path default.
+    pub perturb: f64,
 }
 
 impl Default for SimplexOptions {
@@ -152,6 +163,7 @@ impl Default for SimplexOptions {
             drift_limit: 1e-6,
             bland_streak_limit: 0,
             singular_limit: 0,
+            perturb: 0.0,
         }
     }
 }
@@ -305,7 +317,7 @@ impl RangingData {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum NbStatus {
+pub(crate) enum NbStatus {
     Basic,
     Lower,
     Upper,
@@ -323,13 +335,13 @@ impl NbStatus {
     }
 }
 
-struct Core<F: BasisFactor> {
-    m: usize,
-    n_struct: usize,
-    n_total: usize,
-    col_start: Vec<usize>,
-    col_rows: Vec<u32>,
-    col_vals: Vec<f64>,
+pub(crate) struct Core<F: BasisFactor> {
+    pub(crate) m: usize,
+    pub(crate) n_struct: usize,
+    pub(crate) n_total: usize,
+    pub(crate) col_start: Vec<usize>,
+    pub(crate) col_rows: Vec<u32>,
+    pub(crate) col_vals: Vec<f64>,
     /// Row-wise mirror of the structural columns (CSR), for scattering
     /// pivot rows: `α_j = Σ_i ρ_i A_ij` costs only the nonzeros of the
     /// rows in `supp(ρ)`. Logical columns are implicit (−1 on the
@@ -337,25 +349,25 @@ struct Core<F: BasisFactor> {
     row_start: Vec<usize>,
     row_cols: Vec<u32>,
     row_vals: Vec<f64>,
-    lb: Vec<f64>,
-    ub: Vec<f64>,
+    pub(crate) lb: Vec<f64>,
+    pub(crate) ub: Vec<f64>,
     /// Internal costs (always a minimisation).
-    cost: Vec<f64>,
-    basis: Vec<usize>,
-    in_basis: Vec<i32>,
-    status: Vec<NbStatus>,
-    x: Vec<f64>,
-    factor: F,
-    iterations: u64,
-    pivots_since_refactor: u64,
+    pub(crate) cost: Vec<f64>,
+    pub(crate) basis: Vec<usize>,
+    pub(crate) in_basis: Vec<i32>,
+    pub(crate) status: Vec<NbStatus>,
+    pub(crate) x: Vec<f64>,
+    pub(crate) factor: F,
+    pub(crate) iterations: u64,
+    pub(crate) pivots_since_refactor: u64,
     /// Whether the requested warm basis was actually installed (a
     /// dimension mismatch or singular basis silently falls back to the
     /// cold start).
-    warm_installed: bool,
+    pub(crate) warm_installed: bool,
     // --- incremental pricing state ---
     /// Reduced costs of all columns under the current phase's objective,
     /// maintained incrementally and resynchronised at refactorisations.
-    d: Vec<f64>,
+    pub(crate) d: Vec<f64>,
     /// Devex reference weights.
     devex: Vec<f64>,
     /// Candidate list (ascending column order).
@@ -376,16 +388,16 @@ struct Core<F: BasisFactor> {
     /// resync); the iteration loop aborts on it at the next check.
     distressed: Option<Distress>,
     /// Wall-clock cutoff from `SimplexOptions::time_limit_ms`.
-    deadline: Option<std::time::Instant>,
+    pub(crate) deadline: Option<std::time::Instant>,
     // --- solver-owned workspaces (no per-iteration allocation) ---
-    w: IndexedVec,
-    rho: IndexedVec,
-    alpha: IndexedVec,
-    delta: IndexedVec,
+    pub(crate) w: IndexedVec,
+    pub(crate) rho: IndexedVec,
+    pub(crate) alpha: IndexedVec,
+    pub(crate) delta: IndexedVec,
     cb_buf: Vec<f64>,
     y_buf: Vec<f64>,
-    stats: SolveStats,
-    opts: SimplexOptions,
+    pub(crate) stats: SolveStats,
+    pub(crate) opts: SimplexOptions,
 }
 
 /// Solve `model` with the default (sparse LU) factorisation, returning the
@@ -424,7 +436,7 @@ pub fn solve_sparse(
 /// out-of-band: the span neither observes nor perturbs the numerical
 /// path, and with recording off this is a single relaxed atomic load
 /// (no allocation — certified by `tests/alloc_count.rs`).
-fn traced_solve(
+pub(crate) fn traced_solve(
     factor: &str,
     model: &LpModel,
     warm: Option<&Basis>,
@@ -479,13 +491,20 @@ fn solve_generic<F: BasisFactor>(
     warm: Option<&Basis>,
 ) -> Result<Solution, SolveError> {
     let mut core: Core<F> = Core::build(model, opts.clone(), warm);
-    let max_iters = if opts.max_iterations == 0 {
-        20_000 + 50 * (core.m as u64 + core.n_total as u64)
-    } else {
-        opts.max_iterations
-    };
-    core.deadline = (opts.time_limit_ms > 0)
-        .then(|| std::time::Instant::now() + std::time::Duration::from_millis(opts.time_limit_ms));
+    core.arm_deadline();
+    run_primal(core, model)
+}
+
+/// Drive a built [`Core`] through the primal algorithm (phase 1 if the
+/// starting basis is infeasible, then phase 2) and extract the canonical
+/// solution. Shared by the cold/warm primal entry points and the dual
+/// simplex's fallback path, so both report bit-identical results from the
+/// same starting basis.
+pub(crate) fn run_primal<F: BasisFactor>(
+    mut core: Core<F>,
+    model: &LpModel,
+) -> Result<Solution, SolveError> {
+    let max_iters = core.iteration_cap();
 
     // Phase 1: restore primal feasibility if the starting basis violates
     // row bounds.
@@ -505,12 +524,30 @@ fn solve_generic<F: BasisFactor>(
         }
     }
 
-    // Phase 2: optimise the true objective.
+    // Phase 2: optimise the true objective — under temporarily perturbed
+    // costs first when anti-degeneracy shifting is enabled.
+    let saved_costs = (core.opts.perturb > 0.0).then(|| {
+        let saved = core.cost.clone();
+        core.apply_cost_perturbation();
+        saved
+    });
     match core.iterate(false, max_iters) {
-        PhaseOutcome::Done => Ok(core.extract(model)),
-        PhaseOutcome::Unbounded => Err(SolveError::Unbounded),
-        PhaseOutcome::Abort(e) => Err(e),
+        PhaseOutcome::Done => {}
+        PhaseOutcome::Unbounded => return Err(SolveError::Unbounded),
+        PhaseOutcome::Abort(e) => return Err(e),
     }
+    if let Some(costs) = saved_costs {
+        // Exact removal: restore the true costs and re-certify (phase-2
+        // entry resynchronises reduced costs from the restored vector, so
+        // nothing of the perturbation survives into the reported optimum).
+        core.cost = costs;
+        match core.iterate(false, max_iters) {
+            PhaseOutcome::Done => {}
+            PhaseOutcome::Unbounded => return Err(SolveError::Unbounded),
+            PhaseOutcome::Abort(e) => return Err(e),
+        }
+    }
+    Ok(core.extract(model))
 }
 
 /// Bound-violation tolerance, scaled by the bound's magnitude. Feasibility
@@ -520,11 +557,11 @@ fn solve_generic<F: BasisFactor>(
 /// factorisation backend but not the other would break cross-backend
 /// determinism.
 #[inline]
-fn viol_tol(bound: f64, feas: f64) -> f64 {
+pub(crate) fn viol_tol(bound: f64, feas: f64) -> f64 {
     feas * (1.0 + bound.abs())
 }
 
-enum PhaseOutcome {
+pub(crate) enum PhaseOutcome {
     Done,
     Unbounded,
     /// A budget or tripwire aborted the phase with this typed error
@@ -533,7 +570,41 @@ enum PhaseOutcome {
 }
 
 impl<F: BasisFactor> Core<F> {
-    fn build(model: &LpModel, opts: SimplexOptions, warm: Option<&Basis>) -> Self {
+    /// Effective iteration budget (`max_iterations`, or the size-scaled
+    /// default when 0).
+    pub(crate) fn iteration_cap(&self) -> u64 {
+        if self.opts.max_iterations == 0 {
+            20_000 + 50 * (self.m as u64 + self.n_total as u64)
+        } else {
+            self.opts.max_iterations
+        }
+    }
+
+    /// Start the wall clock for `SimplexOptions::time_limit_ms` (no-op
+    /// when the budget is disabled).
+    pub(crate) fn arm_deadline(&mut self) {
+        self.deadline = (self.opts.time_limit_ms > 0).then(|| {
+            std::time::Instant::now() + std::time::Duration::from_millis(self.opts.time_limit_ms)
+        });
+    }
+
+    /// Shift every cost away from zero by a deterministic per-column
+    /// amount (`SimplexOptions::perturb` scale), breaking the dual
+    /// degeneracy of massively tied models. The caller saves the original
+    /// vector and restores it before the clean-up phase — removal is
+    /// exact by construction.
+    pub(crate) fn apply_cost_perturbation(&mut self) {
+        let scale = self.opts.perturb;
+        for (j, c) in self.cost.iter_mut().enumerate() {
+            // Weyl-style low-discrepancy ξ_j ∈ [0.5, 1.5): deterministic,
+            // index-dependent, identical across factorisation backends.
+            let xi = 0.5 + (j as u64).wrapping_mul(0x9E3779B97F4A7C15) as f64 / 2f64.powi(64);
+            let shift = scale * (1.0 + c.abs()) * xi;
+            *c += if *c >= 0.0 { shift } else { -shift };
+        }
+    }
+
+    pub(crate) fn build(model: &LpModel, opts: SimplexOptions, warm: Option<&Basis>) -> Self {
         let m = model.rows.len();
         let n_struct = model.cols.len();
         let n_total = n_struct + m;
@@ -759,7 +830,7 @@ impl<F: BasisFactor> Core<F> {
     }
 
     /// Refactorise the basis, resetting the eta counter on success.
-    fn refactorize(&mut self) -> bool {
+    pub(crate) fn refactorize(&mut self) -> bool {
         let ok = self.factor.refactor(
             ColsView {
                 start: &self.col_start,
@@ -783,7 +854,7 @@ impl<F: BasisFactor> Core<F> {
 
     /// Recompute all basic variable values from the nonbasic assignment:
     /// `x_B = B⁻¹ (0 − A_N x_N)`.
-    fn recompute_basics(&mut self) {
+    pub(crate) fn recompute_basics(&mut self) {
         let m = self.m;
         let mut r = vec![0.0; m];
         for j in 0..self.n_total {
@@ -803,7 +874,7 @@ impl<F: BasisFactor> Core<F> {
 
     /// Whether every basic variable sits within its (magnitude-scaled,
     /// `mult`-relaxed) bounds.
-    fn is_primal_feasible(&self, mult: f64) -> bool {
+    pub(crate) fn is_primal_feasible(&self, mult: f64) -> bool {
         let feas = self.opts.feas_tol * mult;
         self.basis.iter().all(|&b| {
             let v = self.x[b];
@@ -868,7 +939,7 @@ impl<F: BasisFactor> Core<F> {
     /// the incremental values and the fresh ones is folded into
     /// [`SolveStats::max_resync_drift`] — the observable bound on
     /// incremental-pricing error.
-    fn resync_d(&mut self, phase1: bool, record_drift: bool) {
+    pub(crate) fn resync_d(&mut self, phase1: bool, record_drift: bool) {
         for i in 0..self.m {
             self.cb_buf[i] = if phase1 {
                 self.cb1[i]
@@ -1020,7 +1091,7 @@ impl<F: BasisFactor> Core<F> {
     /// Scatter the pivot row `α = Aᵀρ` (column space) from a row-space
     /// BTRAN result, using the CSR mirror plus the implicit −1 logical
     /// diagonal.
-    fn scatter_alpha(&mut self) {
+    pub(crate) fn scatter_alpha(&mut self) {
         self.alpha.reset(self.n_total);
         for &iu in self.rho.indices() {
             let i = iu as usize;
@@ -1122,7 +1193,7 @@ impl<F: BasisFactor> Core<F> {
 
     /// Run simplex iterations for one phase. `phase1` selects infeasibility
     /// costs instead of the model objective.
-    fn iterate(&mut self, phase1: bool, max_iters: u64) -> PhaseOutcome {
+    pub(crate) fn iterate(&mut self, phase1: bool, max_iters: u64) -> PhaseOutcome {
         let feas = self.opts.feas_tol;
         let mut degenerate_streak = 0u32;
         self.enter_phase(phase1);
@@ -1485,7 +1556,7 @@ impl<F: BasisFactor> Core<F> {
     /// column, nonbasic values are snapped exactly onto their bounds, and
     /// every reported quantity is recomputed from a fresh sparse LU —
     /// identical regardless of which factorisation ran the pivots.
-    fn extract(mut self, model: &LpModel) -> Solution {
+    pub(crate) fn extract(mut self, model: &LpModel) -> Solution {
         let sign = match model.sense {
             Objective::Minimize => 1.0,
             Objective::Maximize => -1.0,

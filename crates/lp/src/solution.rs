@@ -14,33 +14,6 @@
 use crate::model::{ConId, VarId};
 use crate::simplex::RangingData;
 
-/// Terminal state of a solve attempt.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SolveStatus {
-    /// An optimal basic solution was found.
-    Optimal,
-    /// No feasible point exists.
-    Infeasible,
-    /// The objective is unbounded in the optimisation direction.
-    Unbounded,
-    /// The iteration limit was hit before convergence.
-    IterationLimit,
-}
-
-impl std::fmt::Display for SolveStatus {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            SolveStatus::Optimal => "optimal",
-            SolveStatus::Infeasible => "infeasible",
-            SolveStatus::Unbounded => "unbounded",
-            SolveStatus::IterationLimit => "iteration limit",
-        };
-        f.write_str(s)
-    }
-}
-
-impl std::error::Error for SolveStatus {}
-
 /// Counters describing how a solve spent its effort — the observability
 /// layer of the hypersparse hot path. Cheap to collect (increments on
 /// paths that already run), deterministic for a deterministic pivot

@@ -33,6 +33,21 @@ struct Row {
     crash_topo_iterations: u64,
     warm_sweep_ms: f64,
     warm_points: usize,
+    lu_reuse: u64,
+}
+
+/// Drain the obs recorder and read the `lp.lu_reuse` counter (the number
+/// of LU factorisations the shared-LU path skipped: basis adoptions at
+/// install plus factor takeovers at extraction).
+fn take_lu_reuse() -> u64 {
+    let snapshot = llamp_obs::take();
+    snapshot
+        .summary()
+        .counters
+        .iter()
+        .find(|(k, _)| k == "lp.lu_reuse")
+        .map(|&(_, v)| v)
+        .unwrap_or(0)
 }
 
 fn main() {
@@ -89,11 +104,16 @@ fn main() {
         topo.set_crash_kind(CrashKind::Topological);
         let crash_topo_iterations = topo.predict(params.l).expect("anchor solves").iterations;
 
-        // Warm sweep: every point seeded from the anchor basis, the
-        // engine's access pattern.
+        // Warm sweep: every point seeded from the anchor basis — the
+        // engine's access pattern under the `anchor` sweep-start policy
+        // (what `auto` resolves to below the 10k-row threshold). The
+        // recorder counts how many factorisations the shared-LU path
+        // saves even here: stability-window points adopt the previous
+        // point's LU at install.
         let anchor_basis = lp.warm_basis().expect("anchor leaves a basis");
         let mut warm = GraphLp::build_named(graph, &binding, "parametric").unwrap();
         warm.seed_backend(&anchor_basis);
+        llamp_obs::enable();
         let t1 = Instant::now();
         let mut acc = 0.0;
         for &d in &deltas {
@@ -104,11 +124,14 @@ fn main() {
                 .runtime;
         }
         let warm_sweep_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let lu_reuse = take_lu_reuse();
+        llamp_obs::disable();
         assert!(acc.is_finite());
 
         eprintln!(
             "{:<12} rows {:>5} -> {:>4} ({:.1}x)  ingest {:>6.2} ms  reduce {:>6.2} ms  \
-             cold anchor {:>8.3} ms ({} iters; topo crash {})  warm 64-pt sweep {:>8.2} ms",
+             cold anchor {:>8.3} ms ({} iters; topo crash {})  warm 64-pt sweep {:>8.2} ms  \
+             lu reuse {}",
             app.name().to_ascii_lowercase(),
             stats.rows_before,
             stats.rows_after,
@@ -118,7 +141,8 @@ fn main() {
             cold_anchor_ms,
             anchor.iterations,
             crash_topo_iterations,
-            warm_sweep_ms
+            warm_sweep_ms,
+            lu_reuse
         );
         rows.push(Row {
             workload: app.name(),
@@ -131,6 +155,7 @@ fn main() {
             crash_topo_iterations,
             warm_sweep_ms,
             warm_points: deltas.len(),
+            lu_reuse,
         });
     }
 
@@ -145,10 +170,17 @@ fn main() {
     //   anchor a factorisation plus one pricing pass (no pivots), so the
     //   anchor lands well under a second where the topological heuristic
     //   took minutes. The 64-point sweep here starts every point from
-    //   its own crash basis (backend reset per point): at this scale the
-    //   crash is optimal at the point, so a "cold" start beats warm
-    //   re-solves from the anchor basis, whose far points pay thousands
-    //   of pivots (measured ~25 min for the same sweep).
+    //   its own crash basis (the `crash` sweep-start policy, what `auto`
+    //   resolves to above 10k rows): at this scale the crash is optimal
+    //   at the point, so a "cold" start beats warm re-solves from the
+    //   anchor basis, whose far points pay thousands of pivots (measured
+    //   ~25 min for the same sweep). Two effects stack on top: inside a
+    //   stability region consecutive crash bases coincide, so the
+    //   shared-LU path (`lp.lu_reuse`) skips the refactorisation, and
+    //   crash-started points are independent, so they shard across the
+    //   work-stealing executor — `sweep_ms` reports the sharded wall
+    //   clock, `sweep_ms_t1` the serial one, and the run asserts the two
+    //   produce bit-identical runtimes (thread-count determinism).
     let mut large_json = String::new();
     if !skip_large {
         let set = llamp_workloads::scaled(App::Lulesh, 2, 430);
@@ -191,21 +223,63 @@ fn main() {
         let anchor = lp.predict(params_l.l).expect("large anchor solves");
         let cold_anchor_ms = t_cold.elapsed().as_secs_f64() * 1e3;
 
+        // Serial crash-start sweep, with the recorder counting how many
+        // LU factorisations the shared-LU path skipped.
+        llamp_obs::enable();
         let t_sweep = Instant::now();
-        let mut acc = 0.0;
+        let mut runtimes_t1 = Vec::with_capacity(deltas.len());
         for &d in &deltas {
             lp.reset_backend();
-            acc += lp
-                .predict(params_l.l + d)
-                .expect("large sweep point solves")
-                .runtime;
+            runtimes_t1.push(
+                lp.predict(params_l.l + d)
+                    .expect("large sweep point solves")
+                    .runtime,
+            );
         }
-        let sweep_ms = t_sweep.elapsed().as_secs_f64() * 1e3;
-        assert!(acc.is_finite());
+        let sweep_ms_t1 = t_sweep.elapsed().as_secs_f64() * 1e3;
+        let lu_reuse = take_lu_reuse();
+        llamp_obs::disable();
+
+        // The same sweep sharded across the work-stealing executor with
+        // per-worker solver clones — the engine's intra-scenario path.
+        let sweep_threads = reduce_threads;
+        let chunk_len = deltas.len().div_ceil(sweep_threads);
+        let chunks: Vec<Vec<f64>> = deltas.chunks(chunk_len).map(<[f64]>::to_vec).collect();
+        let cfg = llamp_engine::ExecutorConfig {
+            threads: sweep_threads,
+            job_timeout: None,
+            max_retries: 0,
+            ..Default::default()
+        };
+        let t_shard = Instant::now();
+        let outs = llamp_engine::run_jobs(&cfg, chunks, |chunk: &Vec<f64>| {
+            let mut lp = GraphLp::build_named(graph, &binding_l, "sparse").unwrap();
+            let mut rts = Vec::with_capacity(chunk.len());
+            for &d in chunk {
+                lp.reset_backend();
+                rts.push(
+                    lp.predict(params_l.l + d)
+                        .expect("large sweep point solves")
+                        .runtime,
+                );
+            }
+            rts
+        });
+        let sweep_ms = t_shard.elapsed().as_secs_f64() * 1e3;
+        let runtimes_tn: Vec<f64> = outs
+            .into_iter()
+            .flat_map(|s| s.ok().expect("sweep shard completes"))
+            .collect();
+        assert_eq!(
+            runtimes_t1.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+            runtimes_tn.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+            "sharded sweep diverged from serial between 1 and {sweep_threads} workers"
+        );
         eprintln!(
             "large-lp      lulesh x(2,430)  {vertices} verts  rows {} -> {}  \
              cold anchor {cold_anchor_ms:.0} ms ({} iters)  \
-             crash-start 64-pt sweep {sweep_ms:.0} ms",
+             crash-start 64-pt sweep t1 {sweep_ms_t1:.0} ms / \
+             t{sweep_threads} {sweep_ms:.0} ms  lu reuse {lu_reuse}",
             rn.stats().rows_before,
             rn.stats().rows_after,
             anchor.iterations
@@ -219,7 +293,9 @@ fn main() {
              \"large_lp\": {{\"workload\": \"lulesh\", \"rank_mult\": 2, \"iter_mult\": 430, \
              \"vertices\": {vertices}, \"rows_raw\": {}, \"rows_reduced\": {}, \
              \"cold_anchor_ms\": {cold_anchor_ms:.3}, \"cold_iterations\": {}, \
-             \"sweep_ms\": {sweep_ms:.3}, \"sweep_points\": {}, \"sweep_start\": \"crash\"}},\n",
+             \"sweep_ms\": {sweep_ms:.3}, \"sweep_ms_t1\": {sweep_ms_t1:.3}, \
+             \"sweep_threads\": {sweep_threads}, \"sweep_points\": {}, \
+             \"sweep_start\": \"crash\", \"lu_reuse\": {lu_reuse}}},\n",
             rn.stats().rows_after,
             rn.stats().rows_before,
             rn.stats().rows_after,
@@ -235,7 +311,8 @@ fn main() {
              \"ingest_ms\": {:.3}, \"reduce_ms\": {:.3}, \
              \"cold_anchor_ms\": {:.3}, \"cold_iterations\": {}, \
              \"crash\": {{\"longest_path_iters\": {}, \"topological_iters\": {}}}, \
-             \"warm_sweep_ms\": {:.3}, \"warm_points\": {}}}{}\n",
+             \"warm_sweep_ms\": {:.3}, \"warm_points\": {}, \
+             \"sweep_start\": \"anchor\", \"lu_reuse\": {}}}{}\n",
             r.workload.to_ascii_lowercase(),
             r.rows_raw,
             r.rows_reduced,
@@ -247,6 +324,7 @@ fn main() {
             r.crash_topo_iterations,
             r.warm_sweep_ms,
             r.warm_points,
+            r.lu_reuse,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

@@ -14,7 +14,7 @@
 use llamp_bench::{s3, Table};
 use llamp_engine::{
     run_campaign, Backend, CampaignSpec, ExecutorConfig, GridSpec, ParamsPreset, ParamsSpec,
-    ResultCache, TopologySpec, WorkloadSpec,
+    ResultCache, SweepStart, TopologySpec, WorkloadSpec,
 };
 use llamp_topo::{Dragonfly, FatTree, Topology};
 use llamp_util::time::us;
@@ -62,6 +62,7 @@ fn main() {
         },
         axes: vec![],
         reduce: true,
+        sweep_start: SweepStart::Auto,
     };
     spec.canonicalize();
 

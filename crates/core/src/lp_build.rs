@@ -97,7 +97,7 @@ impl GraphLp {
     /// Algorithm 1: build the LP for `graph` under `binding`, answered by
     /// an explicit solver backend.
     ///
-    /// Alongside the model this records a [`CrashPlan`]: one record per
+    /// Alongside the model this records a `CrashPlan`: one record per
     /// row of the longest-path recursion the LP encodes. Each query
     /// instantiates the plan *at its latency point* — by default
     /// ([`CrashKind::LongestPath`]) running the exact forward DAG

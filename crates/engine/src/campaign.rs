@@ -108,6 +108,9 @@ pub struct RunSummary {
     pub cache_misses: u64,
     /// Worker threads used.
     pub threads: usize,
+    /// The sweep-start policy in force (spec field or CLI override),
+    /// rendered as its spec-level name (`anchor` / `crash` / `auto`).
+    pub sweep_start: String,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Per-scenario provenance, aligned with the result's scenario order.
@@ -212,8 +215,13 @@ pub fn run_campaign(
     let full_cache_hits = jobs_unique - jobs_executed;
 
     let threads = config.effective_threads().min(jobs_executed.max(1));
+    // Threads left idle by the scenario fan-out are lent to each
+    // scenario's own sweep loop (crash-started points are independent, so
+    // they shard across workers). A campaign with more scenarios than
+    // threads keeps every scenario single-threaded, exactly as before.
+    let point_threads = (config.effective_threads() / jobs_executed.max(1)).max(1);
     let statuses = run_jobs(config, to_run.iter().map(|(_, sc)| *sc).collect(), |sc| {
-        run_one(sc, cache)
+        run_one(sc, cache, point_threads)
     });
     for ((idx, _), status) in to_run.iter().zip(statuses) {
         slots[*idx] = Some(match status {
@@ -262,6 +270,7 @@ pub fn run_campaign(
         cache_hits: cache.stats().hits() - hits_before,
         cache_misses: cache.stats().misses() - misses_before,
         threads,
+        sweep_start: canonical_spec.sweep_start.name().to_string(),
         elapsed: started.elapsed(),
         provenance,
         solver,
@@ -419,7 +428,7 @@ type ComputedInserts = Vec<(String, CachedEntry)>;
 /// What a computed job hands back to the campaign runner.
 type JobOutput = (ScenarioOutcome, ComputedInserts, SolveStats, ReductionStats);
 
-fn run_one(sc: &Scenario, cache: &ResultCache) -> Result<JobOutput, String> {
+fn run_one(sc: &Scenario, cache: &ResultCache, point_threads: usize) -> Result<JobOutput, String> {
     if !sc.axes.is_empty() {
         return run_one_axes(sc, cache);
     }
@@ -457,7 +466,7 @@ fn run_one(sc: &Scenario, cache: &ResultCache) -> Result<JobOutput, String> {
         if sc.reduce {
             reduction = *analyzer.reduction_stats();
         }
-        sc.compute(&analyzer, &missing, cached_zones.is_none())?
+        sc.compute_with(&analyzer, &missing, cached_zones.is_none(), point_threads)?
     };
 
     // Merge computed points back into grid order, collecting the inserts

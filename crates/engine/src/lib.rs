@@ -63,6 +63,6 @@ pub use scenario::{
 };
 pub use spec::{
     parse_backend, AxisSpec, Backend, CampaignSpec, GridSpec, LpSolver, ParamsPreset, ParamsSpec,
-    SpecError, SweepParam, TopologySpec, WorkloadSpec,
+    SpecError, SweepParam, SweepStart, TopologySpec, WorkloadSpec,
 };
 pub use value::Value;

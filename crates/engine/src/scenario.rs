@@ -3,9 +3,10 @@
 //! backend over the campaign's latency grid. Scenarios are the engine's
 //! unit of scheduling, caching and reporting.
 
+use crate::executor::{run_jobs, ExecutorConfig};
 use crate::spec::{
     axes_canonical, fnv1a, grid_canonical, AxisSpec, Backend, CampaignSpec, GridSpec, ParamsPreset,
-    ParamsSpec, TopologySpec, WorkloadSpec,
+    ParamsSpec, SweepStart, TopologySpec, WorkloadSpec,
 };
 use crate::value::Value;
 use llamp_core::{Analyzer, Binding, GraphLp, ParamPoint, ReduceConfig, SolveStats, SweepParam};
@@ -33,6 +34,12 @@ pub struct Scenario {
     /// of the base canonical key: reduced and unreduced answers agree
     /// only to numerical tolerance and must never share cache entries.
     pub reduce: bool,
+    /// Where LP sweep-point solves start (campaign-wide policy). Pure
+    /// performance: anchor- and crash-started points land on the same
+    /// final basis, and canonical extraction makes the answer a function
+    /// of (model, final basis) alone — so this is *excluded* from
+    /// canonical keys, fingerprints and result files.
+    pub sweep_start: SweepStart,
 }
 
 /// One sweep sample of a scenario result.
@@ -290,6 +297,22 @@ impl Scenario {
         need_deltas: &[f64],
         need_zones: bool,
     ) -> Result<(Vec<PointResult>, Option<ZonesResult>, SolveStats), String> {
+        self.compute_with(analyzer, need_deltas, need_zones, 1)
+    }
+
+    /// [`Scenario::compute`] with an explicit intra-scenario thread
+    /// budget. When the sweep-start policy resolves to crash-per-point
+    /// (every point independent by construction), `point_threads > 1`
+    /// shards the grid across the work-stealing executor with one solver
+    /// clone per chunk; results merge in input order, so the answer is
+    /// byte-identical at any thread count.
+    pub fn compute_with(
+        &self,
+        analyzer: &Analyzer,
+        need_deltas: &[f64],
+        need_zones: bool,
+        point_threads: usize,
+    ) -> Result<(Vec<PointResult>, Option<ZonesResult>, SolveStats), String> {
         let base = analyzer.base_l();
         let hi = base + self.grid.search_hi_ns;
         match self.backend {
@@ -353,19 +376,94 @@ impl Scenario {
                         lp.seed_backend(b);
                     }
                 };
+                // Resolve the sweep-start policy against this scenario's
+                // model size: crash-per-point above the row threshold
+                // (where far points re-seeded from the anchor replay
+                // thousands of pivots), anchor-seeding below. Either way
+                // each point lands on the same final basis, so the bytes
+                // never depend on the policy.
+                let start = self.sweep_start.resolve(lp.model().num_constraints());
+                let mut extra_stats = SolveStats::default();
                 let mut points = Vec::with_capacity(need_deltas.len());
-                for &d in need_deltas {
-                    seed(&mut lp);
-                    let p = llamp_obs::time("lp.point_ns", || lp.predict(base + d))
-                        .map_err(|e| format!("LP solve failed at ∆L={d}: {e:?}"))?;
-                    points.push(PointResult {
-                        delta_l_ns: d,
-                        runtime_ns: p.runtime,
-                        lambda: p.lambda,
-                        rho: p.rho(base + d),
-                    });
+                if start == SweepStart::Crash {
+                    let threads = point_threads.clamp(1, need_deltas.len().max(1));
+                    if threads <= 1 {
+                        for &d in need_deltas {
+                            // Reset: `predict` arms the per-point
+                            // longest-path crash when no warm state is
+                            // retained.
+                            lp.reset_backend();
+                            let p = llamp_obs::time("lp.point_ns", || lp.predict(base + d))
+                                .map_err(|e| format!("LP solve failed at ∆L={d}: {e:?}"))?;
+                            points.push(PointResult {
+                                delta_l_ns: d,
+                                runtime_ns: p.runtime,
+                                lambda: p.lambda,
+                                rho: p.rho(base + d),
+                            });
+                        }
+                    } else {
+                        // Crash-started points are independent: shard the
+                        // grid into contiguous chunks, one solver clone
+                        // per chunk, and merge in input order — the
+                        // byte-identity contract holds at any thread
+                        // count because each point's answer is a pure
+                        // function of (scenario, point).
+                        let chunk_len = need_deltas.len().div_ceil(threads);
+                        let chunks: Vec<Vec<f64>> =
+                            need_deltas.chunks(chunk_len).map(<[f64]>::to_vec).collect();
+                        let cfg = ExecutorConfig {
+                            threads,
+                            job_timeout: None,
+                            max_retries: 0,
+                            retry_backoff_ms: 0,
+                        };
+                        let solver_name = solver.solver_name();
+                        let outs = run_jobs(&cfg, chunks, |chunk: &Vec<f64>| {
+                            let mut lp = analyzer
+                                .lp_named(solver_name)
+                                .expect("LpSolver names map onto llamp-lp backends");
+                            let mut pts = Vec::with_capacity(chunk.len());
+                            for &d in chunk {
+                                lp.reset_backend();
+                                let p = llamp_obs::time("lp.point_ns", || lp.predict(base + d))
+                                    .map_err(|e| format!("LP solve failed at ∆L={d}: {e:?}"))?;
+                                pts.push(PointResult {
+                                    delta_l_ns: d,
+                                    runtime_ns: p.runtime,
+                                    lambda: p.lambda,
+                                    rho: p.rho(base + d),
+                                });
+                            }
+                            Ok::<_, String>((pts, lp.solver_stats()))
+                        });
+                        for status in outs {
+                            let (pts, st) = status
+                                .ok()
+                                .ok_or_else(|| "sweep point worker failed".to_string())??;
+                            points.extend(pts);
+                            extra_stats.merge(&st);
+                        }
+                    }
+                } else {
+                    for &d in need_deltas {
+                        seed(&mut lp);
+                        let p = llamp_obs::time("lp.point_ns", || lp.predict(base + d))
+                            .map_err(|e| format!("LP solve failed at ∆L={d}: {e:?}"))?;
+                        points.push(PointResult {
+                            delta_l_ns: d,
+                            runtime_ns: p.runtime,
+                            lambda: p.lambda,
+                            rho: p.rho(base + d),
+                        });
+                    }
                 }
                 let zones = if need_zones {
+                    // Zones stay anchor-seeded under every sweep-start
+                    // policy: the tolerance flip changes the objective,
+                    // which the crash plan does not model, and the zones
+                    // are pure functions of the anchor basis — so policy
+                    // cannot change their bytes by construction.
                     let t0 = anchor.runtime;
                     let mut zone = |pct: f64| -> Result<f64, String> {
                         let cap = t0 * (1.0 + pct / 100.0);
@@ -387,7 +485,9 @@ impl Scenario {
                 } else {
                     None
                 };
-                Ok((points, zones, lp.solver_stats()))
+                let mut stats = lp.solver_stats();
+                stats.merge(&extra_stats);
+                Ok((points, zones, stats))
             }
         }
     }
@@ -483,10 +583,19 @@ impl Scenario {
                         lp.seed_backend(b);
                     }
                 };
+                // Same sweep-start policy as `compute`: a crash-resolved
+                // policy arms the per-point longest-path crash (a reset
+                // backend lets `predict` seed it lazily), instead of
+                // re-seeding every point from the anchor.
+                let start = self.sweep_start.resolve(lp.model().num_constraints());
                 let mut points = Vec::with_capacity(need_points.len());
                 for deltas in need_points {
                     let p = at(deltas);
-                    seed(&mut lp);
+                    if start == SweepStart::Crash {
+                        lp.reset_backend();
+                    } else {
+                        seed(&mut lp);
+                    }
                     let pred = llamp_obs::time("lp.point_ns", || lp.predict(p))
                         .map_err(|e| format!("LP solve failed at {deltas:?}: {e:?}"))?;
                     points.push(value_of(
@@ -599,6 +708,7 @@ pub fn expand(spec: &CampaignSpec) -> Vec<Scenario> {
                         grid: spec.grid.clone(),
                         axes: spec.axes.clone(),
                         reduce: spec.reduce,
+                        sweep_start: spec.sweep_start,
                     });
                 }
             }

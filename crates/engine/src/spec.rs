@@ -171,6 +171,73 @@ pub fn parse_backend(name: &str) -> Result<Backend, SpecError> {
     }
 }
 
+/// Where each LP sweep point's solve starts from.
+///
+/// Inside a basis-stability window the anchor-seeded warm solve and the
+/// per-point longest-path crash land on the *same* basis, and canonical
+/// extraction makes every answer a pure function of (model, final
+/// basis) — so the policy changes solver effort, never campaign bytes.
+/// It is therefore excluded from canonical keys and cache identities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepStart {
+    /// Seed every grid point from the scenario's anchor basis (the
+    /// historic discipline; cheapest for small models, where far points
+    /// replay few pivots).
+    Anchor,
+    /// Start every grid point from its own longest-path crash basis
+    /// (zero pivots at any size; the only viable start at 10⁵+ rows,
+    /// where anchor-seeded far points replay thousands of pivots).
+    Crash,
+    /// `Crash` above [`SWEEP_CRASH_ROW_THRESHOLD`] reduced LP rows,
+    /// `Anchor` below (the default).
+    #[default]
+    Auto,
+}
+
+/// Reduced-row count above which [`SweepStart::Auto`] crash-starts sweep
+/// points. All seed workloads sit far below (81–360 rows); the 10⁵+-row
+/// scaled shapes sit far above — the crossover where anchor re-seeding
+/// starts replaying thousands of pivots per far point is around 10⁴ rows
+/// (see docs/SCALING.md).
+pub const SWEEP_CRASH_ROW_THRESHOLD: usize = 10_000;
+
+impl SweepStart {
+    /// Spec-file / CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SweepStart::Anchor => "anchor",
+            SweepStart::Crash => "crash",
+            SweepStart::Auto => "auto",
+        }
+    }
+
+    /// Parse a spec-file / CLI name.
+    pub fn parse(name: &str) -> Result<Self, SpecError> {
+        match name.to_ascii_lowercase().as_str() {
+            "anchor" => Ok(SweepStart::Anchor),
+            "crash" => Ok(SweepStart::Crash),
+            "auto" => Ok(SweepStart::Auto),
+            _ => Err(err(format!(
+                "unknown sweep_start '{name}' (expected anchor | crash | auto)"
+            ))),
+        }
+    }
+
+    /// Resolve `Auto` against a concrete model size.
+    pub fn resolve(&self, lp_rows: usize) -> SweepStart {
+        match self {
+            SweepStart::Auto => {
+                if lp_rows >= SWEEP_CRASH_ROW_THRESHOLD {
+                    SweepStart::Crash
+                } else {
+                    SweepStart::Anchor
+                }
+            }
+            fixed => *fixed,
+        }
+    }
+}
+
 /// The latency grid shared by all scenarios of a campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GridSpec {
@@ -246,6 +313,10 @@ pub struct CampaignSpec {
     /// identity: reduced and unreduced answers agree only to numerical
     /// tolerance, so they must never substitute for each other.
     pub reduce: bool,
+    /// Where LP sweep-point solves start (default [`SweepStart::Auto`]).
+    /// A pure performance policy: byte-identical results either way, so
+    /// it is *not* part of canonical keys or cache identities.
+    pub sweep_start: SweepStart,
 }
 
 /// Spec decoding / validation failure.
@@ -382,6 +453,14 @@ impl CampaignSpec {
                 .ok_or_else(|| err("'reduce' must be a boolean"))?,
         };
 
+        let sweep_start = match value.get("sweep_start") {
+            None => SweepStart::Auto,
+            Some(v) => SweepStart::parse(
+                v.as_str()
+                    .ok_or_else(|| err("'sweep_start' must be a string"))?,
+            )?,
+        };
+
         let mut spec = Self {
             name,
             workloads,
@@ -391,6 +470,7 @@ impl CampaignSpec {
             grid,
             axes,
             reduce,
+            sweep_start,
         };
         spec.validate()?;
         spec.canonicalize();
@@ -575,6 +655,16 @@ impl CampaignSpec {
                 ));
             }
         }
+        // A non-default sweep-start policy round-trips; the default stays
+        // implicit so existing encodings are byte-identical.
+        if self.sweep_start != SweepStart::Auto {
+            if let Value::Table(pairs) = &mut doc {
+                pairs.push((
+                    "sweep_start".into(),
+                    Value::Str(self.sweep_start.name().into()),
+                ));
+            }
+        }
         doc
     }
 }
@@ -756,6 +846,7 @@ pub fn axes_canonical(axes: &[AxisSpec], search_hi_ns: f64) -> String {
 pub const SPEC_FIELDS: &[&str] = &[
     "name",
     "reduce",
+    "sweep_start",
     "backends",
     "search_hi_ns",
     "workloads",
@@ -1132,6 +1223,7 @@ app = "milc"
             vec![
                 "name",
                 "reduce",
+                "sweep_start",
                 "backends",
                 "search_hi_ns",
                 "workloads",

@@ -1,0 +1,241 @@
+//! The sweep-start policy contract: where a grid point's LP re-solve
+//! *starts* (the scenario's anchor basis, a fresh longest-path crash
+//! basis, or the row-count-driven `auto` choice) is pure strategy — the
+//! campaign results file must stay byte-identical across all three
+//! policies, every LP backend, and every thread count. These tests pin
+//! that contract on the seven seed workloads.
+
+use llamp_engine::spec::SWEEP_CRASH_ROW_THRESHOLD;
+use llamp_engine::{run_campaign, CampaignSpec, ExecutorConfig, ResultCache, SweepStart};
+
+/// All seven workload proxies x all four byte-identical LP variants.
+const ALL_WORKLOADS_SPEC: &str = r#"
+name = "sweep-start-identity"
+backends = ["lp-dense", "lp-sparse", "lp-parametric", "lp-dual"]
+
+[grid]
+deltas_ns = [0.0, 20000.0, 40000.0, 80000.0]
+search_hi_ns = 1000000.0
+
+[[workloads]]
+app = "lulesh"
+ranks = 8
+iters = 1
+
+[[workloads]]
+app = "hpcg"
+ranks = 4
+iters = 1
+
+[[workloads]]
+app = "milc"
+ranks = 4
+iters = 1
+
+[[workloads]]
+app = "icon"
+ranks = 4
+iters = 1
+
+[[workloads]]
+app = "lammps"
+ranks = 4
+iters = 1
+
+[[workloads]]
+app = "openmx"
+ranks = 4
+iters = 1
+
+[[workloads]]
+app = "cloverleaf"
+ranks = 4
+iters = 1
+"#;
+
+fn spec_with(start: SweepStart) -> CampaignSpec {
+    let mut spec = CampaignSpec::parse(ALL_WORKLOADS_SPEC, "sweep.toml").unwrap();
+    spec.sweep_start = start;
+    spec
+}
+
+fn config(threads: usize) -> ExecutorConfig {
+    ExecutorConfig {
+        threads,
+        job_timeout: None,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn policies_are_byte_identical_on_all_workloads_and_lp_backends() {
+    // 7 workloads x 4 LP backends under each policy; the three results
+    // files must be byte-for-byte equal (and every scenario must solve).
+    let (anchor, s_anchor) = run_campaign(
+        &spec_with(SweepStart::Anchor),
+        &config(4),
+        &ResultCache::new(),
+    );
+    assert_eq!(anchor.scenarios.len(), 28, "7 workloads x 4 LP backends");
+    assert!(anchor.scenarios.iter().all(|s| s.outcome.is_ok()));
+    assert_eq!(s_anchor.sweep_start, "anchor");
+
+    let (crash, s_crash) = run_campaign(
+        &spec_with(SweepStart::Crash),
+        &config(4),
+        &ResultCache::new(),
+    );
+    assert!(crash.scenarios.iter().all(|s| s.outcome.is_ok()));
+    assert_eq!(s_crash.sweep_start, "crash");
+
+    let (auto, s_auto) = run_campaign(
+        &spec_with(SweepStart::Auto),
+        &config(4),
+        &ResultCache::new(),
+    );
+    assert_eq!(s_auto.sweep_start, "auto");
+
+    assert_eq!(
+        anchor.to_json(),
+        crash.to_json(),
+        "crash-start sweep bytes differ from anchor-start"
+    );
+    assert_eq!(
+        anchor.to_json(),
+        auto.to_json(),
+        "auto-policy sweep bytes differ from anchor-start"
+    );
+}
+
+#[test]
+fn crash_point_parallelism_is_thread_deterministic() {
+    // One scenario + many threads is the shape that lends idle workers to
+    // the sweep loop (point_threads > 1): the sharded run must reproduce
+    // the single-threaded bytes exactly, and a warm-cache rerun must
+    // assemble the same file again.
+    let one = r#"
+name = "crash-shard"
+backends = ["lp-sparse"]
+sweep_start = "crash"
+
+[grid]
+window = { lo = 0.0, hi = 100000.0, points = 12 }
+search_hi_ns = 1000000.0
+
+[[workloads]]
+app = "milc"
+ranks = 4
+iters = 1
+"#;
+    let spec = CampaignSpec::parse(one, "shard.toml").unwrap();
+    assert_eq!(spec.sweep_start, SweepStart::Crash);
+    let (r1, _) = run_campaign(&spec, &config(1), &ResultCache::new());
+    let cache = ResultCache::new();
+    let (r4, _) = run_campaign(&spec, &config(4), &cache);
+    assert_eq!(
+        r1.to_json(),
+        r4.to_json(),
+        "sharded crash-start sweep must be byte-identical to serial"
+    );
+    let (r4b, s4b) = run_campaign(&spec, &config(4), &cache);
+    assert_eq!(s4b.cache_misses, 0);
+    assert_eq!(r1.to_json(), r4b.to_json());
+}
+
+#[test]
+fn policy_is_excluded_from_canonical_identity_and_cache_keys() {
+    // sweep_start is strategy, not sweep identity: fingerprints match
+    // across policies, and a cache warmed under one policy fully answers
+    // a run under another.
+    let anchor = spec_with(SweepStart::Anchor);
+    let crash = spec_with(SweepStart::Crash);
+    assert_eq!(anchor.fingerprint(), crash.fingerprint());
+
+    let cache = ResultCache::new();
+    let (r1, _) = run_campaign(&anchor, &config(4), &cache);
+    let (r2, s2) = run_campaign(&crash, &config(4), &cache);
+    assert_eq!(s2.cache_misses, 0, "policies must share cache entries");
+    assert_eq!(s2.full_cache_hits, s2.jobs_unique);
+    assert_eq!(r1.to_json(), r2.to_json());
+}
+
+#[test]
+fn spec_field_round_trips_and_auto_resolves_on_rows() {
+    // Non-default policies survive the spec JSON round-trip; the default
+    // stays implicit (absent from the encoded document).
+    let crash = spec_with(SweepStart::Crash);
+    let encoded = crash.to_value().to_json();
+    assert!(encoded.contains("sweep_start"));
+    let back = CampaignSpec::parse(&encoded, "x.json").unwrap();
+    assert_eq!(back.sweep_start, SweepStart::Crash);
+    let auto = spec_with(SweepStart::Auto);
+    assert!(!auto.to_value().to_json().contains("sweep_start"));
+
+    // The auto policy keys on LP rows: small models anchor, huge crash.
+    assert_eq!(SweepStart::Auto.resolve(100), SweepStart::Anchor);
+    assert_eq!(
+        SweepStart::Auto.resolve(SWEEP_CRASH_ROW_THRESHOLD),
+        SweepStart::Crash
+    );
+    // Fixed policies ignore the row count.
+    assert_eq!(SweepStart::Crash.resolve(1), SweepStart::Crash);
+    assert_eq!(SweepStart::Anchor.resolve(usize::MAX), SweepStart::Anchor);
+
+    // Unknown names are a spec error.
+    assert!(SweepStart::parse("eager").is_err());
+}
+
+#[test]
+fn cli_rejects_bad_sweep_start_with_usage_exit_code() {
+    // `llamp run --sweep-start nope` is a usage error: exit code 2, like
+    // any other malformed flag (documented in README § Exit codes).
+    let dir = std::env::temp_dir().join(format!("llamp-sweepcli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("spec.toml");
+    std::fs::write(
+        &spec_path,
+        "name = \"cli\"\nbackends = [\"lp-sparse\"]\n[grid]\ndeltas_ns = [0.0, 20000.0]\nsearch_hi_ns = 500000.0\n[[workloads]]\napp = \"milc\"\nranks = 4\niters = 1\n",
+    )
+    .unwrap();
+    let bad = std::process::Command::new(env!("CARGO_BIN_EXE_llamp"))
+        .args(["run", spec_path.to_str().unwrap(), "--sweep-start", "nope"])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(2), "bad policy must exit 2");
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert!(
+        stderr.contains("sweep-start") && stderr.contains("nope"),
+        "stderr should name the flag and the bad value: {stderr}"
+    );
+
+    // A valid override runs, reports the policy in --metrics, and emits
+    // the same results bytes as the default policy.
+    let run = |extra: &[&str]| {
+        let out_path = dir.join(format!("out-{}.json", extra.join("-").replace("--", "")));
+        let mut args = vec![
+            "run",
+            spec_path.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--metrics",
+            "--out",
+            out_path.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_llamp"))
+            .args(&args)
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(0), "{:?}", out);
+        (
+            std::fs::read_to_string(&out_path).unwrap(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let (default_json, default_err) = run(&[]);
+    let (crash_json, crash_err) = run(&["--sweep-start", "crash"]);
+    assert!(default_err.contains("sweep start: auto"), "{default_err}");
+    assert!(crash_err.contains("sweep start: crash"), "{crash_err}");
+    assert_eq!(default_json, crash_json, "policy must not change results");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -32,11 +32,14 @@
 //! the same names as `lp-dense` / `lp-sparse` / `lp-parametric` /
 //! `lp-dual`.
 
-use crate::dual::solve_dual;
+use crate::dual::solve_dual_reusing;
 use crate::error::SolveError;
 use crate::model::{LpModel, Objective, VarId};
-use crate::simplex::{reextract, solve_dense, solve_sparse, SimplexOptions};
+use crate::simplex::{
+    reextract_reusing, solve_dense, solve_sparse, solve_sparse_reusing, RangingData, SimplexOptions,
+};
 use crate::solution::{Basis, Solution, SolveStats};
+use std::sync::Arc;
 
 /// A solver that can answer LLAMP's LP queries, re-using work across the
 /// incremental model edits a latency sweep performs.
@@ -145,6 +148,11 @@ impl SolverBackend for DenseSimplex {
 pub struct SparseSimplex {
     opts: SimplexOptions,
     warm: Option<Basis>,
+    /// Last solution's ranging data — the retained LU a warm start whose
+    /// basis and matrix bits match may adopt instead of refactorising.
+    /// Deliberately survives [`SolverBackend::reset`]: adoption keys on
+    /// bit-identity, so a stale entry can only miss, never corrupt.
+    reuse: Option<Arc<RangingData>>,
     stats: SolveStats,
 }
 
@@ -154,6 +162,7 @@ impl SparseSimplex {
         Self {
             opts,
             warm: None,
+            reuse: None,
             stats: SolveStats::default(),
         }
     }
@@ -168,13 +177,16 @@ impl SolverBackend for SparseSimplex {
         let sol = solve_sparse(model, &self.opts, None)?;
         self.stats.merge(sol.stats());
         self.warm = Some(sol.basis().clone());
+        self.reuse = Some(sol.ranging.clone());
         Ok(sol)
     }
 
     fn resolve(&mut self, model: &LpModel) -> Result<Solution, SolveError> {
-        let sol = solve_sparse(model, &self.opts, self.warm.as_ref())?;
+        let sol =
+            solve_sparse_reusing(model, &self.opts, self.warm.as_ref(), self.reuse.as_deref())?;
         self.stats.merge(sol.stats());
         self.warm = Some(sol.basis().clone());
+        self.reuse = Some(sol.ranging.clone());
         Ok(sol)
     }
 
@@ -205,6 +217,8 @@ impl SolverBackend for SparseSimplex {
 pub struct DualSimplex {
     opts: SimplexOptions,
     warm: Option<Basis>,
+    /// Retained LU for bit-identical warm starts (see [`SparseSimplex`]).
+    reuse: Option<Arc<RangingData>>,
     stats: SolveStats,
 }
 
@@ -214,6 +228,7 @@ impl DualSimplex {
         Self {
             opts,
             warm: None,
+            reuse: None,
             stats: SolveStats::default(),
         }
     }
@@ -228,13 +243,15 @@ impl SolverBackend for DualSimplex {
         let sol = solve_sparse(model, &self.opts, None)?;
         self.stats.merge(sol.stats());
         self.warm = Some(sol.basis().clone());
+        self.reuse = Some(sol.ranging.clone());
         Ok(sol)
     }
 
     fn resolve(&mut self, model: &LpModel) -> Result<Solution, SolveError> {
-        let sol = solve_dual(model, &self.opts, self.warm.as_ref())?;
+        let sol = solve_dual_reusing(model, &self.opts, self.warm.as_ref(), self.reuse.as_deref())?;
         self.stats.merge(sol.stats());
         self.warm = Some(sol.basis().clone());
+        self.reuse = Some(sol.ranging.clone());
         Ok(sol)
     }
 
@@ -328,6 +345,8 @@ pub struct Parametric {
     state: Option<ParametricState>,
     /// Explicitly seeded warm basis, used when no full state is retained.
     seeded: Option<Basis>,
+    /// Retained LU for bit-identical warm starts (see [`SparseSimplex`]).
+    reuse: Option<Arc<RangingData>>,
     stats: SolveStats,
 }
 
@@ -338,11 +357,13 @@ impl Parametric {
             opts,
             state: None,
             seeded: None,
+            reuse: None,
             stats: SolveStats::default(),
         }
     }
 
     fn remember(&mut self, model: &LpModel, sol: &Solution) {
+        self.reuse = Some(sol.ranging.clone());
         self.state = Some(ParametricState {
             stamp: ModelStamp::of(model),
             solution: sol.clone(),
@@ -375,7 +396,12 @@ impl SolverBackend for Parametric {
             if let Some(moves) = state.stamp.lb_changes(&stamp) {
                 let (lo, hi) = state.solution.lb_step_range(&moves);
                 if lo <= 1.0 && 1.0 <= hi {
-                    if let Ok(sol) = reextract(model, &self.opts, state.solution.basis()) {
+                    if let Ok(sol) = reextract_reusing(
+                        model,
+                        &self.opts,
+                        state.solution.basis(),
+                        self.reuse.as_deref(),
+                    ) {
                         llamp_obs::counter("lp.parametric.shortcut", 1);
                         self.stats.merge(sol.stats());
                         self.remember(model, &sol);
@@ -391,7 +417,7 @@ impl SolverBackend for Parametric {
             .as_ref()
             .map(|s| s.solution.basis().clone())
             .or_else(|| self.seeded.clone());
-        let sol = solve_sparse(model, &self.opts, warm.as_ref())?;
+        let sol = solve_sparse_reusing(model, &self.opts, warm.as_ref(), self.reuse.as_deref())?;
         self.stats.merge(sol.stats());
         self.remember(model, &sol);
         Ok(sol)

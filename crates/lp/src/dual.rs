@@ -1,5 +1,5 @@
-//! Bounded-variable **dual simplex**, sharing the primal's [`Core`]
-//! (basis factorisation, CSR pivot-row scatter, [`IndexedVec`]
+//! Bounded-variable **dual simplex**, sharing the primal's `Core`
+//! (basis factorisation, CSR pivot-row scatter, `IndexedVec`
 //! workspaces, canonical extraction) so both algorithms report
 //! bit-identical solutions from the same final basis.
 //!
@@ -37,7 +37,7 @@ use crate::error::SolveError;
 use crate::factor::{BasisFactor, ColsView, SparseLu};
 use crate::model::LpModel;
 use crate::simplex::{
-    run_primal, traced_solve, viol_tol, Core, NbStatus, PhaseOutcome, SimplexOptions,
+    run_primal, traced_solve, viol_tol, Core, NbStatus, PhaseOutcome, RangingData, SimplexOptions,
 };
 use crate::solution::{Basis, Solution};
 
@@ -59,15 +59,31 @@ pub fn solve_dual(
     opts: &SimplexOptions,
     warm: Option<&Basis>,
 ) -> Result<Solution, SolveError> {
-    traced_solve("dual", model, warm, || solve_dual_inner(model, opts, warm))
+    solve_dual_reusing(model, opts, warm, None)
+}
+
+/// [`solve_dual`] with the optional LU-adoption shortcut of
+/// `solve_sparse_reusing`: a retained [`RangingData`] whose
+/// basis and matrix bits match the warm start is installed without
+/// refactorising.
+pub fn solve_dual_reusing(
+    model: &LpModel,
+    opts: &SimplexOptions,
+    warm: Option<&Basis>,
+    reuse: Option<&RangingData>,
+) -> Result<Solution, SolveError> {
+    traced_solve("dual", model, warm, || {
+        solve_dual_inner(model, opts, warm, reuse)
+    })
 }
 
 fn solve_dual_inner(
     model: &LpModel,
     opts: &SimplexOptions,
     warm: Option<&Basis>,
+    reuse: Option<&RangingData>,
 ) -> Result<Solution, SolveError> {
-    let mut core: Core<SparseLu> = Core::build(model, opts.clone(), warm);
+    let mut core: Core<SparseLu> = Core::build_reusing(model, opts.clone(), warm, reuse);
     core.arm_deadline();
     let max_iters = core.iteration_cap();
 
@@ -290,6 +306,7 @@ pub(crate) fn dual_iterate<F: BasisFactor>(core: &mut Core<F>, max_iters: u64) -
         core.in_basis[q] = r as i32;
         core.status[q] = NbStatus::Basic;
         core.factor.update(&core.w, r);
+        core.factor_fresh = false;
         core.pivots_since_refactor += 1;
 
         let eta_heavy = core.pivots_since_refactor >= 16

@@ -99,6 +99,21 @@ pub(crate) trait BasisFactor {
     /// Nonzeros absorbed into the update (eta) file since the last
     /// refactorisation.
     fn update_nnz(&self) -> usize;
+
+    /// Adopt an existing factorisation of the *same* basis matrix instead
+    /// of refactorising from scratch. Returns `false` (the default) when
+    /// the representation cannot host a `SparseLu`, in which case the
+    /// caller falls back to [`BasisFactor::refactor`].
+    fn adopt(&mut self, _lu: &SparseLu) -> bool {
+        false
+    }
+
+    /// Surrender the factorisation for reuse elsewhere, when it is a
+    /// pristine (eta-free) `SparseLu`. `None` (the default) means the
+    /// representation has nothing transferable.
+    fn take_sparse_lu(&mut self) -> Option<SparseLu> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -470,6 +485,22 @@ impl BasisFactor for SparseLu {
     /// factorisation intact.
     fn refactor(&mut self, cols: ColsView<'_>, basis: &[usize]) -> bool {
         self.refactor_min_pivot(cols, basis, 1e-12)
+    }
+
+    fn adopt(&mut self, lu: &SparseLu) -> bool {
+        if lu.m != self.m {
+            return false;
+        }
+        *self = lu.clone();
+        true
+    }
+
+    fn take_sparse_lu(&mut self) -> Option<SparseLu> {
+        if self.eta_r.is_empty() && self.m > 0 && !self.pivot_row.is_empty() {
+            Some(std::mem::take(self))
+        } else {
+            None
+        }
     }
 
     fn ftran_col(&mut self, cols: ColsView<'_>, j: usize, w: &mut IndexedVec) {

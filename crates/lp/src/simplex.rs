@@ -147,6 +147,14 @@ pub struct SimplexOptions {
     /// crash already starts dual feasible, so perturbation is a recovery
     /// lever for tie-heavy cold starts, not a hot-path default.
     pub perturb: f64,
+    /// Reuse a previous solve's LU factorisation when the incoming warm
+    /// basis and constraint matrix are bit-identical to the one it was
+    /// built for, and hand the final factorisation to the extracted
+    /// solution instead of refactorising (on by default). This only
+    /// skips redundant factorisations of identical matrices, so the
+    /// solution bytes are unchanged; the switch exists so tests can
+    /// certify that claim by diffing both paths.
+    pub lu_reuse: bool,
 }
 
 impl Default for SimplexOptions {
@@ -164,6 +172,7 @@ impl Default for SimplexOptions {
             bland_streak_limit: 0,
             singular_limit: 0,
             perturb: 0.0,
+            lu_reuse: true,
         }
     }
 }
@@ -185,6 +194,10 @@ pub struct RangingData {
     lb: Vec<f64>,
     ub: Vec<f64>,
     pivot_tol: f64,
+    /// Whether `lu` came from the standard-threshold factorisation (or a
+    /// solver takeover of one). The min-pivot salvage path produces an LU
+    /// that `refactor` would reject, which must never seed a later solve.
+    strict: bool,
 }
 
 impl RangingData {
@@ -364,6 +377,11 @@ pub(crate) struct Core<F: BasisFactor> {
     /// dimension mismatch or singular basis silently falls back to the
     /// cold start).
     pub(crate) warm_installed: bool,
+    /// Whether `factor` is a pristine factorisation of the current basis
+    /// (no eta updates absorbed since the last refactorisation/adoption).
+    /// Only such factors may be handed to the extracted solution in place
+    /// of the canonical re-factorisation.
+    pub(crate) factor_fresh: bool,
     // --- incremental pricing state ---
     /// Reduced costs of all columns under the current phase's objective,
     /// maintained incrementally and resynchronised at refactorisations.
@@ -415,7 +433,7 @@ pub fn solve_dense(
     warm: Option<&Basis>,
 ) -> Result<Solution, SolveError> {
     traced_solve("dense", model, warm, || {
-        solve_generic::<DenseInv>(model, opts, warm)
+        solve_generic::<DenseInv>(model, opts, warm, None)
     })
 }
 
@@ -426,8 +444,23 @@ pub fn solve_sparse(
     opts: &SimplexOptions,
     warm: Option<&Basis>,
 ) -> Result<Solution, SolveError> {
+    solve_sparse_reusing(model, opts, warm, None)
+}
+
+/// [`solve_sparse`] with an optional previous solution's [`RangingData`]:
+/// when the warm basis and constraint matrix are bit-identical to the
+/// ones the retained LU was built for, installation adopts that LU
+/// instead of refactorising. Purely a factorisation shortcut — the
+/// numbers are unchanged (the adopted LU is the very factorisation a
+/// fresh refactor of the same bits would produce).
+pub fn solve_sparse_reusing(
+    model: &LpModel,
+    opts: &SimplexOptions,
+    warm: Option<&Basis>,
+    reuse: Option<&RangingData>,
+) -> Result<Solution, SolveError> {
     traced_solve("sparse", model, warm, || {
-        solve_generic::<SparseLu>(model, opts, warm)
+        solve_generic::<SparseLu>(model, opts, warm, reuse)
     })
 }
 
@@ -478,7 +511,18 @@ pub fn reextract(
     opts: &SimplexOptions,
     basis: &Basis,
 ) -> Result<Solution, SolveError> {
-    let core: Core<SparseLu> = Core::build(model, opts.clone(), Some(basis));
+    reextract_reusing(model, opts, basis, None)
+}
+
+/// [`reextract`] with the optional LU-adoption shortcut of
+/// [`solve_sparse_reusing`].
+pub fn reextract_reusing(
+    model: &LpModel,
+    opts: &SimplexOptions,
+    basis: &Basis,
+    reuse: Option<&RangingData>,
+) -> Result<Solution, SolveError> {
+    let core: Core<SparseLu> = Core::build_reusing(model, opts.clone(), Some(basis), reuse);
     if !core.warm_installed || !core.is_primal_feasible(1.0) || core.has_improving_column() {
         return Err(SolveError::Infeasible);
     }
@@ -489,8 +533,9 @@ fn solve_generic<F: BasisFactor>(
     model: &LpModel,
     opts: &SimplexOptions,
     warm: Option<&Basis>,
+    reuse: Option<&RangingData>,
 ) -> Result<Solution, SolveError> {
-    let mut core: Core<F> = Core::build(model, opts.clone(), warm);
+    let mut core: Core<F> = Core::build_reusing(model, opts.clone(), warm, reuse);
     core.arm_deadline();
     run_primal(core, model)
 }
@@ -604,7 +649,15 @@ impl<F: BasisFactor> Core<F> {
         }
     }
 
-    pub(crate) fn build(model: &LpModel, opts: SimplexOptions, warm: Option<&Basis>) -> Self {
+    /// Build a solver core for `model`, optionally installing a warm
+    /// basis, and optionally adopting a retained [`RangingData`]'s LU at
+    /// installation (see [`solve_sparse_reusing`]).
+    pub(crate) fn build_reusing(
+        model: &LpModel,
+        opts: SimplexOptions,
+        warm: Option<&Basis>,
+        reuse: Option<&RangingData>,
+    ) -> Self {
         let m = model.rows.len();
         let n_struct = model.cols.len();
         let n_total = n_struct + m;
@@ -698,6 +751,7 @@ impl<F: BasisFactor> Core<F> {
             iterations: 0,
             pivots_since_refactor: 0,
             warm_installed: false,
+            factor_fresh: false,
             d: vec![0.0; n_total],
             devex: vec![1.0; n_total],
             cand: Vec::new(),
@@ -721,7 +775,7 @@ impl<F: BasisFactor> Core<F> {
             opts,
         };
 
-        let warm_ok = warm.is_some_and(|b| core.try_install_basis(b));
+        let warm_ok = warm.is_some_and(|b| core.try_install_basis(b, reuse));
         if !warm_ok {
             core.install_default_basis();
         }
@@ -764,11 +818,32 @@ impl<F: BasisFactor> Core<F> {
         debug_assert!(ok, "the all-logical basis is always nonsingular");
     }
 
+    /// Whether `reuse` retains an LU of exactly the basis matrix about to
+    /// be installed: same basis positions, bit-identical constraint
+    /// matrix, and a strict (standard-threshold) factorisation. Under
+    /// those conditions the retained LU *is* what refactorisation would
+    /// rebuild, so adopting it changes no bits downstream.
+    fn reuse_matches(&self, reuse: &RangingData, basis: &[usize]) -> bool {
+        self.opts.lu_reuse
+            && reuse.strict
+            && reuse.basis == basis
+            && reuse.col_start == self.col_start
+            && reuse.col_rows == self.col_rows
+            && reuse.col_vals.len() == self.col_vals.len()
+            && reuse
+                .col_vals
+                .iter()
+                .zip(&self.col_vals)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
     /// Try to start from a previous solve's basis. Statuses are
     /// normalised against the *current* bounds (a bound that became
     /// infinite demotes the status) and the basis matrix is refactorised;
-    /// any mismatch falls back to the cold start.
-    fn try_install_basis(&mut self, warm: &Basis) -> bool {
+    /// any mismatch falls back to the cold start. When `reuse` retains an
+    /// LU of this exact basis matrix, it is adopted in place of the
+    /// refactorisation (counted on the `lp.lu_reuse` obs counter).
+    fn try_install_basis(&mut self, warm: &Basis, reuse: Option<&RangingData>) -> bool {
         if warm.cols.len() != self.n_struct || warm.rows.len() != self.m {
             return false;
         }
@@ -813,8 +888,16 @@ impl<F: BasisFactor> Core<F> {
             return false;
         }
         // Install tentatively; refactorisation is the singularity check.
+        // A retained LU of this exact basis matrix skips it: the adopted
+        // factorisation already proves nonsingularity.
+        let adopted =
+            reuse.is_some_and(|r| self.reuse_matches(r, &basis) && self.factor.adopt(&r.lu));
         let saved_basis = std::mem::replace(&mut self.basis, basis);
-        if !self.refactorize() {
+        if adopted {
+            self.pivots_since_refactor = 0;
+            self.factor_fresh = true;
+            llamp_obs::counter("lp.lu_reuse", 1);
+        } else if !self.refactorize() {
             self.basis = saved_basis;
             return false;
         }
@@ -841,6 +924,7 @@ impl<F: BasisFactor> Core<F> {
         );
         if ok {
             self.pivots_since_refactor = 0;
+            self.factor_fresh = true;
             // The install-time factorisation of a fresh solve (iterations
             // still 0) is setup, not solver behaviour: the counter reports
             // only mid-solve (periodic / eta-growth) refactorisations, as
@@ -1443,6 +1527,7 @@ impl<F: BasisFactor> Core<F> {
                     self.in_basis[q] = r as i32;
                     self.status[q] = NbStatus::Basic;
                     self.factor.update(&self.w, r);
+                    self.factor_fresh = false;
                     if phase1 {
                         // Position r now carries the entering variable at
                         // cost 0 (θ_d already priced that in); the old
@@ -1564,6 +1649,20 @@ impl<F: BasisFactor> Core<F> {
         let m = self.m;
         let n = self.n_struct;
 
+        // When the solver's own factorisation is pristine (no eta
+        // updates) and its basis is already in ascending column order —
+        // true for any zero-pivot warm start, whose installation
+        // enumerates columns ascending — that LU *is* bit-for-bit the
+        // factorisation the canonical re-factor below would rebuild.
+        // Take it over instead of factorising the same matrix again.
+        let taken = if self.opts.lu_reuse
+            && self.factor_fresh
+            && self.basis.windows(2).all(|w| w[0] < w[1])
+        {
+            self.factor.take_sparse_lu()
+        } else {
+            None
+        };
         self.basis.sort_unstable();
         for (i, &b) in self.basis.iter().enumerate() {
             self.in_basis[b] = i as i32;
@@ -1576,19 +1675,32 @@ impl<F: BasisFactor> Core<F> {
                 NbStatus::FreeZero => self.x[j] = 0.0,
             }
         }
-        let mut lu = SparseLu::new(m);
         let view = ColsView {
             start: &self.col_start,
             rows: &self.col_rows,
             vals: &self.col_vals,
         };
-        // A basis the solver itself maintained is nonsingular; if the
-        // fresh LU is numerically borderline (pivot under the default
-        // threshold), retry accepting any nonzero pivot so extraction
-        // degrades to reduced accuracy rather than failing — matching the
-        // historic dense path, which reported from its stale inverse.
-        let ok = lu.refactor(view, &self.basis) || lu.refactor_min_pivot(view, &self.basis, 0.0);
-        assert!(ok, "exactly singular basis at extraction");
+        let (lu, strict) = match taken {
+            Some(lu) => {
+                llamp_obs::counter("lp.lu_reuse", 1);
+                (lu, true)
+            }
+            None => {
+                let mut lu = SparseLu::new(m);
+                // A basis the solver itself maintained is nonsingular; if
+                // the fresh LU is numerically borderline (pivot under the
+                // default threshold), retry accepting any nonzero pivot so
+                // extraction degrades to reduced accuracy rather than
+                // failing — matching the historic dense path, which
+                // reported from its stale inverse.
+                let strict = lu.refactor(view, &self.basis);
+                if !strict {
+                    let ok = lu.refactor_min_pivot(view, &self.basis, 0.0);
+                    assert!(ok, "exactly singular basis at extraction");
+                }
+                (lu, strict)
+            }
+        };
 
         // x_B = B⁻¹ (0 − A_N x_N).
         let mut r = vec![0.0; m];
@@ -1654,6 +1766,7 @@ impl<F: BasisFactor> Core<F> {
             lb: self.lb,
             ub: self.ub,
             pivot_tol: self.opts.pivot_tol,
+            strict,
         };
 
         let mut stats = self.stats;

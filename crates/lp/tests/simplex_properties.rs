@@ -385,6 +385,78 @@ proptest! {
         }
     }
 
+    /// LU reuse is invisible in the bits: a sweep-shaped sequence of
+    /// re-solves (bound moves only, the constraint matrix untouched) must
+    /// produce bitwise-identical solutions whether the backend reuses the
+    /// previous factorisation or refactorises every install. This is the
+    /// soundness property behind the shared-LU sweep path: adoption only
+    /// fires when the incoming basis and matrix are bit-identical to what
+    /// a fresh refactorisation would consume, so it can never change what
+    /// the canonical extraction reports.
+    #[test]
+    fn lu_reuse_does_not_change_any_bit(lp in lp_strategy(5, 6), bumps in prop::collection::vec(0.0f64..1.0, 1..5)) {
+        use llamp_lp::backend::{SolverBackend, SparseSimplex};
+        let reuse_on = SimplexOptions { lu_reuse: true, ..Default::default() };
+        let reuse_off = SimplexOptions { lu_reuse: false, ..Default::default() };
+        let mut on = SparseSimplex::with_options(reuse_on);
+        let mut off = SparseSimplex::with_options(reuse_off);
+        let (m, vars, cons) = build(&lp);
+        let bitwise = |a: Result<&llamp_lp::Solution, &llamp_lp::SolveError>,
+                       b: Result<&llamp_lp::Solution, &llamp_lp::SolveError>|
+         -> Result<(), String> {
+            match (a, b) {
+                (Ok(x), Ok(y)) => {
+                    if x.objective().to_bits() != y.objective().to_bits() {
+                        return Err(format!("objective {} vs {}", x.objective(), y.objective()));
+                    }
+                    for &v in &vars {
+                        if x.value(v).to_bits() != y.value(v).to_bits() {
+                            return Err(format!("x[{v:?}]"));
+                        }
+                        if x.reduced_cost(v).to_bits() != y.reduced_cost(v).to_bits() {
+                            return Err(format!("d[{v:?}]"));
+                        }
+                    }
+                    for &c in &cons {
+                        if x.dual(c).to_bits() != y.dual(c).to_bits() {
+                            return Err(format!("y[{c:?}]"));
+                        }
+                    }
+                    Ok(())
+                }
+                (Err(x), Err(y)) if x == y => Ok(()),
+                (x, y) => Err(format!("status mismatch: {x:?} vs {y:?}")),
+            }
+        };
+        let first_on = on.solve(&m);
+        let first_off = off.solve(&m);
+        prop_assert!(bitwise(first_on.as_ref(), first_off.as_ref()).is_ok(),
+            "cold solve: {:?}", bitwise(first_on.as_ref(), first_off.as_ref()));
+        if first_on.is_err() { return Ok(()); }
+        let anchor = first_on.as_ref().unwrap().basis().clone();
+        // A sweep: each step tightens var 0's lower bound (the model edit
+        // a latency sweep performs), re-seeded from the anchor basis —
+        // the exact shape that lets the reuse path adopt the previous LU.
+        for (i, bump) in bumps.iter().enumerate() {
+            let mut lp2 = lp.clone();
+            let span = lp2.ubs[0] - lp2.lbs[0];
+            lp2.lbs[0] += span * bump * 0.9;
+            let (m2, _, _) = build(&lp2);
+            if i % 2 == 0 {
+                on.seed(&anchor);
+                off.seed(&anchor);
+            } else {
+                // Odd steps re-solve from the previous point's basis — the
+                // stability-window case where the adopted LU saves the
+                // whole refactorisation.
+            }
+            let a = on.resolve(&m2);
+            let b = off.resolve(&m2);
+            let check = bitwise(a.as_ref(), b.as_ref());
+            prop_assert!(check.is_ok(), "step {i}: {check:?}");
+        }
+    }
+
     /// Reduced-cost sign convention at optimum: for minimisation, nonbasic
     /// variables at lower bound have d >= 0 and at upper bound d <= 0.
     #[test]
